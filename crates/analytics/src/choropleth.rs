@@ -1,0 +1,142 @@
+//! Choropleth series (the paper's Fig. 3).
+//!
+//! A choropleth colours regions by a value; textually, that is a labelled
+//! value series plus a class assignment (quantile binning, the standard
+//! cartographic choice for skewed count data).
+
+/// One region of the choropleth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChoroplethEntry {
+    /// Region label (e.g. zone id + theme).
+    pub label: String,
+    /// The mapped value (e.g. detection count).
+    pub value: f64,
+    /// Class index in `0..classes` (darker = higher).
+    pub class: usize,
+}
+
+/// A quantile-classed choropleth series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Choropleth {
+    entries: Vec<ChoroplethEntry>,
+    classes: usize,
+}
+
+impl Choropleth {
+    /// Builds a choropleth with `classes` quantile classes from labelled
+    /// values. Entries keep their input order; classes are assigned by
+    /// value rank.
+    pub fn quantiles(values: Vec<(String, f64)>, classes: usize) -> Choropleth {
+        assert!(classes > 0, "need at least one class");
+        let n = values.len();
+        // Rank by value (stable for ties by input order).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            values[a]
+                .1
+                .partial_cmp(&values[b].1)
+                .expect("finite values")
+        });
+        let mut class_of = vec![0usize; n];
+        for (rank, &idx) in order.iter().enumerate() {
+            class_of[idx] = if n <= 1 {
+                classes - 1
+            } else {
+                (rank * classes / n).min(classes - 1)
+            };
+        }
+        Choropleth {
+            entries: values
+                .into_iter()
+                .zip(class_of)
+                .map(|((label, value), class)| ChoroplethEntry {
+                    label,
+                    value,
+                    class,
+                })
+                .collect(),
+            classes,
+        }
+    }
+
+    /// The entries in input order.
+    pub fn entries(&self) -> &[ChoroplethEntry] {
+        &self.entries
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Entries sorted by descending value.
+    pub fn ranked(&self) -> Vec<&ChoroplethEntry> {
+        let mut out: Vec<&ChoroplethEntry> = self.entries.iter().collect();
+        out.sort_by(|a, b| b.value.partial_cmp(&a.value).expect("finite"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<(String, f64)> {
+        vec![
+            ("low".into(), 1.0),
+            ("mid".into(), 10.0),
+            ("high".into(), 100.0),
+            ("top".into(), 1000.0),
+        ]
+    }
+
+    #[test]
+    fn quantile_classes_follow_rank() {
+        let c = Choropleth::quantiles(series(), 4);
+        let class_of = |label: &str| {
+            c.entries()
+                .iter()
+                .find(|e| e.label == label)
+                .map(|e| e.class)
+                .unwrap()
+        };
+        assert_eq!(class_of("low"), 0);
+        assert_eq!(class_of("mid"), 1);
+        assert_eq!(class_of("high"), 2);
+        assert_eq!(class_of("top"), 3);
+    }
+
+    #[test]
+    fn fewer_classes_than_entries_buckets_them() {
+        let c = Choropleth::quantiles(series(), 2);
+        let classes: Vec<usize> = c.entries().iter().map(|e| e.class).collect();
+        assert_eq!(classes, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn ranked_is_descending() {
+        let c = Choropleth::quantiles(series(), 4);
+        let ranked = c.ranked();
+        assert_eq!(ranked[0].label, "top");
+        assert_eq!(ranked[3].label, "low");
+    }
+
+    #[test]
+    fn input_order_is_preserved() {
+        let c = Choropleth::quantiles(series(), 4);
+        let labels: Vec<&str> = c.entries().iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, vec!["low", "mid", "high", "top"]);
+    }
+
+    #[test]
+    fn single_entry_gets_top_class() {
+        let c = Choropleth::quantiles(vec![("only".into(), 5.0)], 3);
+        assert_eq!(c.entries()[0].class, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn zero_classes_rejected() {
+        Choropleth::quantiles(series(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Fixed-bin histograms.
+
+/// A histogram over `[lo, hi)` with uniform bins; values outside the range
+/// land in saturating edge bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` uniform bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram directly from values.
+    pub fn of(values: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        let mut h = Histogram::new(lo, hi, bins);
+        for &v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        let bins = self.counts.len();
+        let idx = if value < self.lo {
+            0
+        } else if value >= self.hi {
+            bins - 1
+        } else {
+            (((value - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// `(bin_start, bin_end, count)` per bin.
+    pub fn bins(&self) -> Vec<(f64, f64, usize)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width, c))
+            .collect()
+    }
+
+    /// Index of the fullest bin.
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .expect("bins is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_their_bins() {
+        let h = Histogram::of(&[0.5, 1.5, 1.7, 2.5, 3.9], 0.0, 4.0, 4);
+        assert_eq!(h.counts(), &[1, 2, 1, 1]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.mode_bin(), 1);
+    }
+
+    #[test]
+    fn out_of_range_values_saturate() {
+        let h = Histogram::of(&[-5.0, 10.0, 4.0], 0.0, 4.0, 4);
+        assert_eq!(h.counts(), &[1, 0, 0, 2], "lo-edge and hi-edge capture");
+    }
+
+    #[test]
+    fn bin_edges_are_uniform() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        let bins = h.bins();
+        assert_eq!(bins.len(), 5);
+        assert_eq!(bins[0].0, 0.0);
+        assert_eq!(bins[0].1, 2.0);
+        assert_eq!(bins[4].0, 8.0);
+        assert_eq!(bins[4].1, 10.0);
+    }
+
+    #[test]
+    fn boundary_value_goes_to_upper_bin() {
+        let h = Histogram::of(&[2.0], 0.0, 4.0, 4);
+        assert_eq!(h.counts(), &[0, 0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_rejected() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,135 @@
+//! Transition matrices over labelled states.
+
+use std::collections::BTreeMap;
+
+/// A transition count matrix over string-labelled states (zones, floors).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TransitionMatrix {
+    counts: BTreeMap<(String, String), usize>,
+    states: std::collections::BTreeSet<String>,
+}
+
+impl TransitionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        TransitionMatrix::default()
+    }
+
+    /// Records one transition.
+    pub fn record(&mut self, from: impl Into<String>, to: impl Into<String>) {
+        let from = from.into();
+        let to = to.into();
+        self.states.insert(from.clone());
+        self.states.insert(to.clone());
+        *self.counts.entry((from, to)).or_insert(0) += 1;
+    }
+
+    /// Fits a matrix from label sequences.
+    pub fn fit<S: AsRef<str>>(sequences: &[Vec<S>]) -> Self {
+        let mut m = TransitionMatrix::new();
+        for seq in sequences {
+            for w in seq.windows(2) {
+                m.record(w[0].as_ref(), w[1].as_ref());
+            }
+        }
+        m
+    }
+
+    /// States in order.
+    pub fn states(&self) -> Vec<&str> {
+        self.states.iter().map(String::as_str).collect()
+    }
+
+    /// Raw count of `from -> to`.
+    pub fn count(&self, from: &str, to: &str) -> usize {
+        self.counts
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total outgoing transitions of `from`.
+    pub fn row_total(&self, from: &str) -> usize {
+        self.counts
+            .iter()
+            .filter(|((f, _), _)| f == from)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// `P(to | from)`.
+    pub fn probability(&self, from: &str, to: &str) -> f64 {
+        let total = self.row_total(from);
+        if total == 0 {
+            0.0
+        } else {
+            self.count(from, to) as f64 / total as f64
+        }
+    }
+
+    /// Total transitions recorded.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// The most frequent transitions, descending.
+    pub fn top_transitions(&self, k: usize) -> Vec<(&str, &str, usize)> {
+        let mut all: Vec<(&str, &str, usize)> = self
+            .counts
+            .iter()
+            .map(|((f, t), &c)| (f.as_str(), t.as_str(), c))
+            .collect();
+        all.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> TransitionMatrix {
+        TransitionMatrix::fit(&[
+            vec!["a", "b", "c"],
+            vec!["a", "b", "b"],
+            vec!["c", "a"],
+        ])
+    }
+
+    #[test]
+    fn counts_and_probabilities() {
+        let m = matrix();
+        assert_eq!(m.count("a", "b"), 2);
+        assert_eq!(m.count("b", "c"), 1);
+        assert_eq!(m.count("b", "b"), 1);
+        assert_eq!(m.count("x", "y"), 0);
+        assert_eq!(m.row_total("b"), 2);
+        assert_eq!(m.probability("b", "c"), 0.5);
+        assert_eq!(m.probability("a", "b"), 1.0);
+        assert_eq!(m.probability("zzz", "a"), 0.0);
+        assert_eq!(m.total(), 5);
+    }
+
+    #[test]
+    fn states_are_sorted_and_complete() {
+        let m = matrix();
+        assert_eq!(m.states(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn top_transitions_ordered() {
+        let m = matrix();
+        let top = m.top_transitions(2);
+        assert_eq!(top[0], ("a", "b", 2));
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = TransitionMatrix::new();
+        assert_eq!(m.total(), 0);
+        assert!(m.states().is_empty());
+        assert!(m.top_transitions(5).is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Plain-text rendering of tables and bar charts for the repro harness.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableAlign {
+    /// Left-aligned.
+    Left,
+    /// Right-aligned.
+    Right,
+}
+
+/// Renders an aligned text table. `header` and every row must have the same
+/// arity; `aligns` may be shorter (missing columns default to left).
+pub fn table(header: &[&str], rows: &[Vec<String>], aligns: &[TableAlign]) -> String {
+    let cols = header.len();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let align_of = |i: usize| aligns.get(i).copied().unwrap_or(TableAlign::Left);
+    let fmt_cell = |text: &str, i: usize| {
+        let pad = widths[i] - text.chars().count();
+        match align_of(i) {
+            TableAlign::Left => format!("{text}{}", " ".repeat(pad)),
+            TableAlign::Right => format!("{}{text}", " ".repeat(pad)),
+        }
+    };
+    let mut out = String::new();
+    let head: Vec<String> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| fmt_cell(h, i))
+        .collect();
+    out.push_str(&head.join("  "));
+    out.push('\n');
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&rule.join("  "));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| fmt_cell(c, i))
+            .collect();
+        out.push_str(&cells.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a horizontal bar chart: one line per `(label, value)`, bars
+/// scaled to `max_width` characters.
+pub fn bar_chart(entries: &[(String, f64)], max_width: usize) -> String {
+    assert!(max_width > 0, "bar width must be positive");
+    let peak = entries.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_width = entries
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in entries {
+        let bar_len = if peak > 0.0 {
+            ((value / peak) * max_width as f64).round() as usize
+        } else {
+            0
+        };
+        let pad = " ".repeat(label_width - label.chars().count());
+        out.push_str(&format!(
+            "{label}{pad}  {:>10.0}  {}\n",
+            value,
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["zone", "count"],
+            &[
+                vec!["60850".to_string(), "7".to_string()],
+                vec!["60851-long".to_string(), "1234".to_string()],
+            ],
+            &[TableAlign::Left, TableAlign::Right],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("zone"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("60850"));
+        // Right-aligned numbers end at the same column.
+        let col_end = |line: &str| line.rfind(|c: char| !c.is_whitespace()).unwrap();
+        assert_eq!(col_end(lines[2]), col_end(lines[3]));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_peak() {
+        let out = bar_chart(
+            &[("a".to_string(), 10.0), ("b".to_string(), 5.0)],
+            20,
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        let hashes = |s: &str| s.chars().filter(|&c| c == '#').count();
+        assert_eq!(hashes(lines[0]), 20);
+        assert_eq!(hashes(lines[1]), 10);
+    }
+
+    #[test]
+    fn zero_peak_draws_no_bars() {
+        let out = bar_chart(&[("a".to_string(), 0.0)], 10);
+        assert!(!out.contains('#'));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let out = table(&["x"], &[], &[]);
+        assert_eq!(out.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        table(&["a", "b"], &[vec!["only-one".to_string()]], &[]);
+    }
+}

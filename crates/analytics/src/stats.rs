@@ -1,0 +1,115 @@
+//! Summary statistics.
+
+/// Summary of a numeric sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Median (interpolated).
+    pub median: f64,
+    /// First quartile.
+    pub p25: f64,
+    /// Third quartile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+}
+
+impl Summary {
+    /// Computes a summary; `None` for an empty sample or a sample with
+    /// non-finite values.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        Some(Summary {
+            count: n,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean,
+            std_dev: var.sqrt(),
+            median: percentile_sorted(&sorted, 50.0),
+            p25: percentile_sorted(&sorted, 25.0),
+            p75: percentile_sorted(&sorted, 75.0),
+            p90: percentile_sorted(&sorted, 90.0),
+        })
+    }
+}
+
+/// Linear-interpolated percentile over a pre-sorted slice, `p` in `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let values = [4.0, 2.0, 1.0, 3.0, 5.0];
+        let s = Summary::of(&values).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.std_dev - 2.0f64.sqrt()).abs() < 1e-9);
+        assert_eq!(s.p25, 2.0);
+        assert_eq!(s.p75, 4.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&sorted, 50.0), 5.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 90.0), 9.0);
+    }
+
+    #[test]
+    fn empty_and_non_finite_samples_rejected() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::of(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn singleton_sample() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.p90, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_of_empty_panics() {
+        percentile_sorted(&[], 50.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Dataset generator benchmarks (experiment D1's engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sitm_bench::scaled_config;
+use sitm_louvre::{generate_dataset, GeneratorConfig, PaperCalibration};
+
+/// Proportionally scaled calibrations (identities preserved).
+fn config_at_scale(divisor: usize) -> GeneratorConfig {
+    let base = PaperCalibration::default();
+    // Keep visitor mix ratios; recompute visits from the mix.
+    let visitors = base.visitors / divisor;
+    let returning = base.returning_visitors / divisor;
+    let revisits = (returning * base.revisits / base.returning_visitors).max(returning);
+    let visits = (visitors - returning) + 2 * (2 * returning - revisits) + 3 * (revisits - returning);
+    let detections = visits * base.detections / base.visits;
+    GeneratorConfig {
+        seed: 99,
+        calibration: PaperCalibration {
+            visits,
+            visitors,
+            returning_visitors: returning,
+            revisits,
+            detections,
+            transitions: detections - visits,
+            ..base
+        },
+        ..GeneratorConfig::default()
+    }
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    group.sample_size(10);
+    for divisor in [20usize, 5] {
+        let config = config_at_scale(divisor);
+        let visits = config.calibration.visits;
+        group.bench_with_input(
+            BenchmarkId::new("visits", visits),
+            &config,
+            |b, config| {
+                b.iter(|| generate_dataset(black_box(config)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let ds = generate_dataset(&scaled_config(1));
+    c.bench_function("generator/stats_scaled", |b| {
+        b.iter(|| black_box(&ds).stats());
+    });
+    c.bench_function("generator/choropleth_counts", |b| {
+        b.iter(|| black_box(&ds).detections_per_zone());
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_stats);
+criterion_main!(benches);

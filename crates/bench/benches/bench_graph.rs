@@ -1,0 +1,85 @@
+//! Graph substrate benchmarks, including ablation A1 (directed vs
+//! undirected accessibility).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sitm_graph::{
+    bfs_order, dijkstra, strongly_connected_components, unavoidable_nodes, DiMultigraph, NodeId,
+};
+
+/// Chain-with-shortcuts graph of `n` nodes, mimicking museum enfilades.
+fn corridor_graph(n: usize, one_way: bool) -> (DiMultigraph<u32, f64>, Vec<NodeId>) {
+    let mut g = DiMultigraph::with_capacity(n, n * 2);
+    let nodes: Vec<NodeId> = (0..n).map(|i| g.add_node(i as u32)).collect();
+    for i in 0..n - 1 {
+        g.add_edge(nodes[i], nodes[i + 1], 1.0);
+        if !one_way {
+            g.add_edge(nodes[i + 1], nodes[i], 1.0);
+        }
+    }
+    // Shortcut every 10 cells (stairs).
+    for i in (0..n - 10).step_by(10) {
+        g.add_edge(nodes[i], nodes[i + 10], 2.0);
+        if !one_way {
+            g.add_edge(nodes[i + 10], nodes[i], 2.0);
+        }
+    }
+    (g, nodes)
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/construction");
+    for n in [100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| corridor_graph(black_box(n), false));
+        });
+    }
+    group.finish();
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let (g, nodes) = corridor_graph(5_000, false);
+    c.bench_function("graph/bfs_5000", |b| {
+        b.iter(|| bfs_order(black_box(&g), nodes[0]));
+    });
+    c.bench_function("graph/dijkstra_5000", |b| {
+        b.iter(|| dijkstra(black_box(&g), nodes[0], |_, w| *w));
+    });
+    c.bench_function("graph/scc_5000", |b| {
+        b.iter(|| strongly_connected_components(black_box(&g)));
+    });
+}
+
+/// A1: the one-way rule's effect on reachability work.
+fn bench_directedness_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/a1_directedness");
+    for (label, one_way) in [("bidirectional", false), ("one_way", true)] {
+        let (g, nodes) = corridor_graph(2_000, one_way);
+        group.bench_function(label, |b| {
+            b.iter(|| bfs_order(black_box(&g), nodes[0]));
+        });
+    }
+    group.finish();
+}
+
+/// F6 primitive: unavoidable-node computation cost by graph size.
+fn bench_unavoidable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/unavoidable_nodes");
+    for n in [50usize, 200, 1_000] {
+        let (g, nodes) = corridor_graph(n, false);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| unavoidable_nodes(black_box(&g), nodes[0], nodes[n - 1]));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_traversal,
+    bench_directedness_ablation,
+    bench_unavoidable
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Mining benchmarks over synthetic visit sequences.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sitm_mining::{
+    edit_distance, k_medoids, mine_rules, mine_sequential_patterns, DistanceMatrix, MarkovModel,
+    NGramModel, OdMatrix,
+};
+use sitm_sim::{SimRng, Zipf};
+
+/// Synthetic zone-sequence database with Zipf-distributed zones.
+fn sequence_db(n_sequences: usize, mean_len: usize, alphabet: usize) -> Vec<Vec<u32>> {
+    let mut rng = SimRng::seeded(11);
+    let zipf = Zipf::new(alphabet, 1.0);
+    (0..n_sequences)
+        .map(|_| {
+            let len = 1 + rng.range_usize(0, mean_len * 2);
+            (0..len).map(|_| zipf.sample(&mut rng) as u32).collect()
+        })
+        .collect()
+}
+
+fn bench_prefixspan(c: &mut Criterion) {
+    let db = sequence_db(1_000, 4, 30);
+    let mut group = c.benchmark_group("mining/prefixspan");
+    group.sample_size(20);
+    group.bench_function("1000_seqs_minsup_50", |b| {
+        b.iter(|| mine_sequential_patterns(black_box(&db), 50, 4));
+    });
+    group.bench_function("1000_seqs_minsup_200", |b| {
+        b.iter(|| mine_sequential_patterns(black_box(&db), 200, 4));
+    });
+    group.finish();
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let db = sequence_db(1_000, 4, 30);
+    let patterns = mine_sequential_patterns(&db, 50, 4);
+    c.bench_function("mining/rules_from_patterns", |b| {
+        b.iter(|| mine_rules(black_box(&patterns), db.len(), 0.2));
+    });
+}
+
+fn bench_markov(c: &mut Criterion) {
+    let db = sequence_db(2_000, 4, 30);
+    c.bench_function("mining/markov_fit_2000", |b| {
+        b.iter(|| MarkovModel::fit(black_box(&db)));
+    });
+    let model = MarkovModel::fit(&db);
+    let test = sequence_db(200, 4, 30);
+    c.bench_function("mining/markov_accuracy_200", |b| {
+        b.iter(|| model.accuracy(black_box(&test)));
+    });
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let db = sequence_db(2, 40, 30);
+    c.bench_function("mining/edit_distance_80ish", |b| {
+        b.iter(|| edit_distance(black_box(&db[0]), black_box(&db[1])));
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let db = sequence_db(60, 5, 30);
+    let matrix = DistanceMatrix::build(db.len(), |i, j| {
+        edit_distance(&db[i], &db[j]) as f64
+    });
+    let mut group = c.benchmark_group("mining/k_medoids");
+    group.sample_size(20);
+    group.bench_function("60_visitors_k4", |b| {
+        b.iter(|| k_medoids(black_box(&matrix), 4, 50));
+    });
+    group.finish();
+}
+
+/// Ablation: how much does model order cost/buy on next-zone prediction?
+fn bench_ngram_orders(c: &mut Criterion) {
+    let db = sequence_db(1_000, 6, 30);
+    let (train, test) = db.split_at(800);
+    let mut group = c.benchmark_group("mining/ngram");
+    group.sample_size(20);
+    for order in [1usize, 2, 3] {
+        group.bench_function(format!("fit_order_{order}"), |b| {
+            b.iter(|| NGramModel::fit(black_box(train), order));
+        });
+    }
+    let m2 = NGramModel::fit(train, 2);
+    group.bench_function("accuracy_order_2", |b| {
+        b.iter(|| m2.accuracy(black_box(test)));
+    });
+    group.finish();
+}
+
+fn bench_od_matrix(c: &mut Criterion) {
+    let db = sequence_db(5_000, 6, 30);
+    c.bench_function("mining/od_matrix_5000", |b| {
+        b.iter(|| OdMatrix::from_sequences(black_box(&db)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_prefixspan,
+    bench_rules,
+    bench_markov,
+    bench_similarity,
+    bench_clustering,
+    bench_ngram_orders,
+    bench_od_matrix
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Ontology benchmarks: triple-store pattern queries, reasoner
+//! saturation, and trace enrichment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sitm_core::{PresenceInterval, Timestamp, Trace, TransitionTaken};
+use sitm_louvre::{build_louvre, zone_key};
+use sitm_ontology::{
+    build_louvre_kb, enrich_trace, saturate, theme_dwell_profile, zone_semantics, Pattern,
+    TripleStore,
+};
+use sitm_space::CellRef;
+
+fn saturated_kb() -> TripleStore {
+    let mut kb = build_louvre_kb();
+    saturate(&mut kb);
+    kb
+}
+
+fn bench_store_ops(c: &mut Criterion) {
+    let kb = saturated_kb();
+    let ty = kb.term("rdf:type").expect("interned");
+    let mut group = c.benchmark_group("ontology/store");
+    group.bench_function("build_louvre_kb", |b| {
+        b.iter(build_louvre_kb);
+    });
+    group.bench_function("saturate", |b| {
+        b.iter(|| {
+            let mut kb = build_louvre_kb();
+            saturate(black_box(&mut kb))
+        });
+    });
+    group.bench_function("pattern_query_by_predicate", |b| {
+        b.iter(|| {
+            kb.query(black_box(Pattern {
+                s: None,
+                p: Some(ty),
+                o: None,
+            }))
+            .len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_enrichment(c: &mut Criterion) {
+    let kb = saturated_kb();
+    let model = build_louvre();
+    // A long visit cycling through the KB's flagship zones.
+    let zones = [60862u32, 60852, 60863, 60853, 60854, 60864];
+    let stays: Vec<PresenceInterval> = (0..120)
+        .map(|i| {
+            let zone = zones[i % zones.len()];
+            PresenceInterval::new(
+                TransitionTaken::Unknown,
+                model.space.resolve(&zone_key(zone)).expect("zone modelled"),
+                Timestamp(i as i64 * 300),
+                Timestamp(i as i64 * 300 + 280),
+            )
+        })
+        .collect();
+    let trace = Trace::new(stays).expect("ordered");
+    let zone_of = |cell: CellRef| -> Option<u32> {
+        model
+            .space
+            .cell(cell)
+            .and_then(|c| c.key.strip_prefix("zone"))
+            .and_then(|k| k.parse().ok())
+    };
+    let mut group = c.benchmark_group("ontology/enrich");
+    group.bench_function("enrich_120_stay_trace", |b| {
+        b.iter(|| enrich_trace(black_box(&kb), trace.clone(), zone_of));
+    });
+    group.bench_function("theme_dwell_profile", |b| {
+        b.iter(|| theme_dwell_profile(black_box(&kb), &trace, zone_of));
+    });
+    group.bench_function("zone_semantics_lookup", |b| {
+        b.iter(|| zone_semantics(black_box(&kb), 60862));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_ops, bench_enrichment);
+criterion_main!(benches);

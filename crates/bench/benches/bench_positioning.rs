@@ -1,0 +1,100 @@
+//! Positioning substrate benchmarks, including ablation A6 (full geometric
+//! pipeline vs symbolic replay).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sitm_geometry::Point;
+use sitm_louvre::build_louvre;
+use sitm_positioning::{
+    trilaterate, BeaconDeployment, Ekf, GroundTruthFix, ParticleFilter, Pipeline, RssiModel,
+    TrilaterationInput, ZoneMap,
+};
+use sitm_sim::SimRng;
+
+fn bench_trilateration(c: &mut Criterion) {
+    let truth = Point::new(12.0, 7.0);
+    let anchors = [
+        Point::new(0.0, 0.0),
+        Point::new(25.0, 0.0),
+        Point::new(0.0, 20.0),
+        Point::new(25.0, 20.0),
+        Point::new(12.0, 0.0),
+        Point::new(12.0, 20.0),
+    ];
+    let inputs: Vec<TrilaterationInput> = anchors
+        .iter()
+        .map(|&a| TrilaterationInput {
+            anchor: a,
+            distance: a.distance(truth) + 0.3,
+            weight: 1.0,
+        })
+        .collect();
+    c.bench_function("positioning/trilaterate_6_anchors", |b| {
+        b.iter(|| trilaterate(black_box(&inputs)));
+    });
+}
+
+fn bench_filters(c: &mut Criterion) {
+    c.bench_function("positioning/ekf_step", |b| {
+        let mut ekf = Ekf::pedestrian();
+        ekf.update(Point::new(0.0, 0.0));
+        let mut i = 0.0;
+        b.iter(|| {
+            i += 1.0;
+            ekf.step(1.0, Point::new(i, i * 0.5))
+        });
+    });
+    c.bench_function("positioning/particle_step_1000", |b| {
+        let mut rng = SimRng::seeded(1);
+        let mut pf = ParticleFilter::pedestrian(1_000);
+        pf.update(Point::new(0.0, 0.0), &mut rng);
+        let mut i = 0.0;
+        b.iter(|| {
+            i += 1.0;
+            pf.step(1.0, Point::new(i * 0.1, 0.0), &mut rng)
+        });
+    });
+}
+
+/// A6: the full geometric pipeline per fix vs symbolic zone replay.
+fn bench_pipeline_vs_symbolic(c: &mut Criterion) {
+    let model = build_louvre();
+    let zones = ZoneMap::build(&model.space, model.zone_layer, 20.0);
+    let mut deployment = BeaconDeployment::new();
+    deployment.grid(model.site_bbox(), 0, 12.0, -59.0);
+    let pipeline = Pipeline::new(deployment, RssiModel::indoor_default());
+    let path: Vec<GroundTruthFix> = (0..120)
+        .map(|i| GroundTruthFix {
+            at: sitm_core::Timestamp(i),
+            position: Point::new(5.0 + i as f64 * 1.5, 20.0),
+            floor: 0,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("positioning/a6");
+    group.sample_size(20);
+    group.bench_function("geometric_pipeline_120_fixes", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seeded(42);
+            pipeline.run(&model.space, &zones, black_box(&path), &mut rng)
+        });
+    });
+    // Symbolic replay: the same walk expressed directly as zone detections.
+    let mut rng = SimRng::seeded(42);
+    let report = pipeline.run(&model.space, &zones, &path, &mut rng);
+    group.bench_function("symbolic_replay_same_walk", |b| {
+        b.iter(|| {
+            let trace = report.to_trace();
+            black_box(trace.transition_count())
+        });
+    });
+    group.finish();
+
+    c.bench_function("positioning/zonemap_locate", |b| {
+        b.iter(|| zones.locate(&model.space, black_box(Point::new(100.0, 20.0)), 0));
+    });
+}
+
+criterion_group!(benches, bench_trilateration, bench_filters, bench_pipeline_vs_symbolic);
+criterion_main!(benches);

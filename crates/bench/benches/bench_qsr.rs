@@ -1,0 +1,51 @@
+//! Qualitative spatial reasoning benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sitm_qsr::{compose, compose_sets, ConstraintNetwork, Rcc8, Rcc8Set};
+
+fn bench_composition(c: &mut Criterion) {
+    c.bench_function("qsr/compose_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = Rcc8Set::EMPTY;
+            for r1 in Rcc8::ALL {
+                for r2 in Rcc8::ALL {
+                    acc = acc.union(compose(black_box(r1), black_box(r2)));
+                }
+            }
+            acc
+        });
+    });
+    c.bench_function("qsr/compose_sets_full", |b| {
+        b.iter(|| compose_sets(black_box(Rcc8Set::FULL), black_box(Rcc8Set::FULL)));
+    });
+}
+
+/// Path consistency over a containment chain (the hierarchy-validation
+/// workload: room ⊂ floor ⊂ wing ⊂ museum, many rooms).
+fn bench_path_consistency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qsr/path_consistency");
+    group.sample_size(20);
+    for n in [10usize, 30, 60] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = ConstraintNetwork::new(n);
+                // A containment chain plus disjointness among siblings.
+                for i in 1..n {
+                    net.constrain_single(i, 0, Rcc8::Ntpp);
+                }
+                for i in 1..n {
+                    for j in (i + 1)..n {
+                        net.constrain_single(i, j, Rcc8::Dc);
+                    }
+                }
+                black_box(net.propagate())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_composition, bench_path_consistency);
+criterion_main!(benches);

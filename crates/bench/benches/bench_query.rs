@@ -1,0 +1,98 @@
+//! Query-engine benchmarks: index-backed retrieval vs full scans over
+//! the calibrated Louvre dataset (ablation A7 — the value of secondary
+//! indexes on symbolic trajectory collections).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sitm_core::{Duration, SemanticTrajectory, TimeInterval, Timestamp};
+use sitm_louvre::{build_louvre, generate_dataset, GeneratorConfig};
+use sitm_query::{dwell_by_cell, flow_matrix, occupancy, Predicate, Query, TrajectoryDb};
+
+fn louvre_db() -> (TrajectoryDb, sitm_space::CellRef) {
+    let model = build_louvre();
+    let dataset = generate_dataset(&GeneratorConfig::default());
+    let trajectories: Vec<SemanticTrajectory> = dataset
+        .visits
+        .iter()
+        .filter(|v| !v.detections.is_empty())
+        .filter_map(|v| dataset.to_trajectory(&model, v))
+        .collect();
+    let p_zone = model.zone(60888).expect("zone 60888 modelled");
+    (TrajectoryDb::build(trajectories), p_zone)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let model = build_louvre();
+    let dataset = generate_dataset(&GeneratorConfig::default());
+    let trajectories: Vec<SemanticTrajectory> = dataset
+        .visits
+        .iter()
+        .filter(|v| !v.detections.is_empty())
+        .filter_map(|v| dataset.to_trajectory(&model, v))
+        .collect();
+    let mut group = c.benchmark_group("query/build");
+    group.sample_size(10);
+    group.bench_function("index_4945_visits", |b| {
+        b.iter(|| TrajectoryDb::build(black_box(trajectories.clone())));
+    });
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let (db, p_zone) = louvre_db();
+    let window = TimeInterval::new(
+        Timestamp::from_ymd_hms(2017, 3, 1, 0, 0, 0),
+        Timestamp::from_ymd_hms(2017, 3, 8, 0, 0, 0),
+    );
+    let mut group = c.benchmark_group("query/selection");
+    group.bench_function("indexed_cell_and_window", |b| {
+        b.iter(|| {
+            Query::new()
+                .visited(black_box(p_zone))
+                .during(black_box(window))
+                .count(&db)
+        });
+    });
+    // The same predicate forced down the scan path (Not defeats indexing).
+    let scan_pred = Predicate::VisitedCell(p_zone)
+        .and(Predicate::SpanOverlaps(window))
+        .and(Predicate::Not(Box::new(Predicate::Or(vec![]))));
+    group.bench_function("full_scan_cell_and_window", |b| {
+        b.iter(|| Query::new().filter(black_box(scan_pred.clone())).count(&db));
+    });
+    group.bench_function("stay_window_probe", |b| {
+        b.iter(|| {
+            Query::new()
+                .filter(Predicate::StayOverlaps(black_box(p_zone), black_box(window)))
+                .count(&db)
+        });
+    });
+    group.bench_function("min_dwell_scan", |b| {
+        b.iter(|| {
+            Query::new()
+                .filter(Predicate::MinTotalDwell(Duration::minutes(30)))
+                .count(&db)
+        });
+    });
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let (db, _) = louvre_db();
+    let mut group = c.benchmark_group("query/aggregation");
+    group.sample_size(20);
+    group.bench_function("dwell_by_cell", |b| {
+        b.iter(|| dwell_by_cell(black_box(&db).iter()));
+    });
+    group.bench_function("flow_matrix", |b| {
+        b.iter(|| flow_matrix(black_box(&db).iter()));
+    });
+    group.bench_function("occupancy_1h_buckets", |b| {
+        b.iter(|| occupancy(black_box(&db), Duration::hours(1)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_selection, bench_aggregation);
+criterion_main!(benches);

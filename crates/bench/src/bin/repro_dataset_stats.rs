@@ -1,0 +1,10 @@
+//! Prints the §4.1 dataset statistics, paper vs synthetic (experiment D1).
+//! Pass `--scaled` for the fast scaled-down calibration.
+fn main() {
+    let config = if std::env::args().any(|a| a == "--scaled") {
+        sitm_bench::scaled_config(1)
+    } else {
+        sitm_bench::paper_config()
+    };
+    print!("{}", sitm_bench::dataset_stats(&config));
+}

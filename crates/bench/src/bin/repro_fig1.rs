@@ -1,0 +1,4 @@
+//! Prints the Fig. 1 Denon two-level graph (experiment F1).
+fn main() {
+    print!("{}", sitm_bench::fig1());
+}

@@ -1,0 +1,4 @@
+//! Prints the Fig. 2 five-layer hierarchy inventory (experiment F2).
+fn main() {
+    print!("{}", sitm_bench::fig2());
+}

@@ -1,0 +1,10 @@
+//! Prints the Fig. 3 ground-floor choropleth (experiment F3).
+//! Pass `--scaled` for the fast scaled-down calibration.
+fn main() {
+    let config = if std::env::args().any(|a| a == "--scaled") {
+        sitm_bench::scaled_config(1)
+    } else {
+        sitm_bench::paper_config()
+    };
+    print!("{}", sitm_bench::fig3(&config));
+}

@@ -1,0 +1,4 @@
+//! Prints the Fig. 4 RoI coverage report (experiment F4).
+fn main() {
+    print!("{}", sitm_bench::fig4());
+}

@@ -1,0 +1,4 @@
+//! Prints the Fig. 5 overlapping episodic segmentation (experiment F5).
+fn main() {
+    print!("{}", sitm_bench::fig5());
+}

@@ -1,0 +1,10 @@
+//! Prints the Fig. 6 missing-zone inference walk-through (experiment F6).
+//! Pass `--scaled` for the fast scaled-down calibration.
+fn main() {
+    let config = if std::env::args().any(|a| a == "--scaled") {
+        sitm_bench::scaled_config(1)
+    } else {
+        sitm_bench::paper_config()
+    };
+    print!("{}", sitm_bench::fig6(&config));
+}

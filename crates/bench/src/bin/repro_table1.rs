@@ -1,0 +1,4 @@
+//! Prints the Table 1 terminology correspondence (experiment T1).
+fn main() {
+    print!("{}", sitm_bench::table1());
+}

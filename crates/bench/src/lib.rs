@@ -1,0 +1,12 @@
+//! # sitm-bench
+//!
+//! The paper-reproduction harness: one module per table/figure of the
+//! paper, each returning the printable report the corresponding `repro_*`
+//! binary emits. Criterion benches live in `benches/`.
+//!
+//! See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured records.
+
+pub mod repro;
+
+pub use repro::*;

@@ -1,0 +1,275 @@
+//! Semantic annotations.
+//!
+//! "A trajectory semantic annotation is not confined within specific types
+//! of information, but would typically be chosen to represent an activity,
+//! a behavior, or a goal showcased by the complete trajectory. [...] we
+//! consider an 'activity' to concern more targeted/conscious actions than a
+//! 'behavior' [...] A 'goal' might instead concern the potentiality of
+//! movement" (§3.3). Annotations also attach to individual presence
+//! intervals (`A_i`) and to episodes.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Kind of an annotation, following the paper's distinction.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AnnotationKind {
+    /// Potentiality of movement (e.g. "exit museum", "buy souvenir").
+    Goal,
+    /// Targeted, conscious action (e.g. "guided tour").
+    Activity,
+    /// Less intentional action or reaction (e.g. "wandering").
+    Behavior,
+    /// Any other annotation dimension, named (e.g. "inference", "device").
+    Custom(String),
+}
+
+impl AnnotationKind {
+    /// Canonical name.
+    pub fn name(&self) -> &str {
+        match self {
+            AnnotationKind::Goal => "goal",
+            AnnotationKind::Activity => "activity",
+            AnnotationKind::Behavior => "behavior",
+            AnnotationKind::Custom(s) => s,
+        }
+    }
+
+    /// Parses a canonical name.
+    pub fn parse(s: &str) -> AnnotationKind {
+        match s {
+            "goal" => AnnotationKind::Goal,
+            "activity" => AnnotationKind::Activity,
+            "behavior" => AnnotationKind::Behavior,
+            other => AnnotationKind::Custom(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for AnnotationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One annotation: a kind plus a value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Annotation {
+    /// Annotation dimension.
+    pub kind: AnnotationKind,
+    /// Annotation value (e.g. `"visit"`, `"buy"`).
+    pub value: String,
+}
+
+impl Annotation {
+    /// Creates an annotation.
+    pub fn new(kind: AnnotationKind, value: impl Into<String>) -> Self {
+        Annotation {
+            kind,
+            value: value.into(),
+        }
+    }
+
+    /// Shorthand for a goal annotation.
+    pub fn goal(value: impl Into<String>) -> Self {
+        Annotation::new(AnnotationKind::Goal, value)
+    }
+
+    /// Shorthand for an activity annotation.
+    pub fn activity(value: impl Into<String>) -> Self {
+        Annotation::new(AnnotationKind::Activity, value)
+    }
+
+    /// Shorthand for a behavior annotation.
+    pub fn behavior(value: impl Into<String>) -> Self {
+        Annotation::new(AnnotationKind::Behavior, value)
+    }
+}
+
+impl fmt::Display for Annotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.kind, self.value)
+    }
+}
+
+/// An ordered, duplicate-free set of annotations.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash, PartialOrd, Ord)]
+pub struct AnnotationSet {
+    items: BTreeSet<Annotation>,
+}
+
+impl AnnotationSet {
+    /// The empty set (legal for per-stay `A_i`; illegal for `A_traj`).
+    pub fn new() -> Self {
+        AnnotationSet::default()
+    }
+
+    /// Builds a set from annotations.
+    #[allow(clippy::should_implement_trait)] // set-builder convenience, mirrored by the trait impl below
+    pub fn from_iter<I: IntoIterator<Item = Annotation>>(iter: I) -> Self {
+        AnnotationSet {
+            items: iter.into_iter().collect(),
+        }
+    }
+
+    /// Number of annotations.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Adds an annotation; returns whether it was new.
+    pub fn insert(&mut self, a: Annotation) -> bool {
+        self.items.insert(a)
+    }
+
+    /// Removes an annotation; returns whether it was present.
+    pub fn remove(&mut self, a: &Annotation) -> bool {
+        self.items.remove(a)
+    }
+
+    /// True if the exact annotation is present.
+    pub fn contains(&self, a: &Annotation) -> bool {
+        self.items.contains(a)
+    }
+
+    /// True if any annotation of `kind` with `value` is present.
+    pub fn has(&self, kind: &AnnotationKind, value: &str) -> bool {
+        self.items
+            .iter()
+            .any(|a| &a.kind == kind && a.value == value)
+    }
+
+    /// Values of all annotations of the given kind, in order.
+    pub fn values_of(&self, kind: &AnnotationKind) -> Vec<&str> {
+        self.items
+            .iter()
+            .filter(|a| &a.kind == kind)
+            .map(|a| a.value.as_str())
+            .collect()
+    }
+
+    /// Union of two sets.
+    #[must_use]
+    pub fn union(&self, other: &AnnotationSet) -> AnnotationSet {
+        AnnotationSet {
+            items: self.items.union(&other.items).cloned().collect(),
+        }
+    }
+
+    /// Iterates annotations in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Annotation> {
+        self.items.iter()
+    }
+}
+
+impl FromIterator<Annotation> for AnnotationSet {
+    fn from_iter<T: IntoIterator<Item = Annotation>>(iter: T) -> Self {
+        AnnotationSet::from_iter(iter)
+    }
+}
+
+impl fmt::Display for AnnotationSet {
+    /// Paper style: `{goals:["visit","buy"]}` — grouped by kind.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut kinds: Vec<&AnnotationKind> = self.items.iter().map(|a| &a.kind).collect();
+        kinds.dedup();
+        for (i, kind) in kinds.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{kind}s:[")?;
+            for (j, v) in self.values_of(kind).iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "\"{v}\"")?;
+            }
+            write!(f, "]")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in [
+            AnnotationKind::Goal,
+            AnnotationKind::Activity,
+            AnnotationKind::Behavior,
+            AnnotationKind::Custom("inference".into()),
+        ] {
+            assert_eq!(AnnotationKind::parse(k.name()), k);
+        }
+    }
+
+    #[test]
+    fn set_deduplicates() {
+        let mut set = AnnotationSet::new();
+        assert!(set.insert(Annotation::goal("visit")));
+        assert!(!set.insert(Annotation::goal("visit")), "duplicate rejected");
+        assert!(set.insert(Annotation::goal("buy")));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn has_and_values_of() {
+        let set = AnnotationSet::from_iter([
+            Annotation::goal("visit"),
+            Annotation::goal("buy"),
+            Annotation::activity("guided-tour"),
+        ]);
+        assert!(set.has(&AnnotationKind::Goal, "visit"));
+        assert!(!set.has(&AnnotationKind::Behavior, "visit"));
+        assert_eq!(set.values_of(&AnnotationKind::Goal), vec!["buy", "visit"]);
+        assert_eq!(
+            set.values_of(&AnnotationKind::Activity),
+            vec!["guided-tour"]
+        );
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = AnnotationSet::from_iter([Annotation::goal("visit")]);
+        let b = AnnotationSet::from_iter([Annotation::goal("visit"), Annotation::goal("buy")]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn display_groups_by_kind() {
+        // The paper's example: {goals:["visit","buy"]}.
+        let set = AnnotationSet::from_iter([
+            Annotation::goal("visit"),
+            Annotation::goal("buy"),
+        ]);
+        assert_eq!(set.to_string(), r#"{goals:["buy","visit"]}"#);
+        assert_eq!(AnnotationSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut set = AnnotationSet::from_iter([Annotation::behavior("wandering")]);
+        let a = Annotation::behavior("wandering");
+        assert!(set.contains(&a));
+        assert!(set.remove(&a));
+        assert!(!set.contains(&a));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn sets_compare_ignoring_insertion_order() {
+        let a = AnnotationSet::from_iter([Annotation::goal("x"), Annotation::goal("y")]);
+        let b = AnnotationSet::from_iter([Annotation::goal("y"), Annotation::goal("x")]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,350 @@
+//! Civil timestamps, durations and intervals.
+//!
+//! The trajectory model needs real calendar time (the Louvre dataset spans
+//! 19-01-2017 to 29-05-2017) without external dependencies, so this module
+//! implements a compact proleptic-Gregorian timestamp: seconds since the
+//! Unix epoch, converted to/from `(year, month, day, h, m, s)` with Howard
+//! Hinnant's `days_from_civil` algorithm.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A duration in whole seconds (may be negative as a difference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub i64);
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Duration from seconds.
+    pub const fn seconds(s: i64) -> Duration {
+        Duration(s)
+    }
+
+    /// Duration from minutes.
+    pub const fn minutes(m: i64) -> Duration {
+        Duration(m * 60)
+    }
+
+    /// Duration from hours.
+    pub const fn hours(h: i64) -> Duration {
+        Duration(h * 3600)
+    }
+
+    /// Total seconds.
+    pub const fn as_seconds(self) -> i64 {
+        self.0
+    }
+
+    /// Total seconds as f64 (for statistics).
+    pub const fn as_secs_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// True when zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Duration {
+    /// Formats as `H:MM:SS` (paper style: "7 hours, 41 min and 37 sec"
+    /// becomes `7:41:37`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.0.unsigned_abs();
+        let sign = if self.0 < 0 { "-" } else { "" };
+        write!(
+            f,
+            "{sign}{}:{:02}:{:02}",
+            total / 3600,
+            (total % 3600) / 60,
+            total % 60
+        )
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+/// An instant: seconds since the Unix epoch (proleptic Gregorian calendar,
+/// no leap seconds — the convention of every mainstream datetime library).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub i64);
+
+/// Days from civil date (Howard Hinnant's algorithm), valid over the whole
+/// i32 year range.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // [0, 11], March = 0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Civil date from days since epoch (inverse of `days_from_civil`).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+impl Timestamp {
+    /// Builds a timestamp from a civil date and time of day.
+    ///
+    /// # Panics
+    /// On out-of-range month/day/time fields.
+    pub fn from_ymd_hms(year: i32, month: u32, day: u32, h: u32, min: u32, s: u32) -> Timestamp {
+        assert!((1..=12).contains(&month), "month out of range");
+        assert!((1..=31).contains(&day), "day out of range");
+        assert!(h < 24 && min < 60 && s < 60, "time of day out of range");
+        let days = days_from_civil(year as i64, month, day);
+        Timestamp(days * 86_400 + (h * 3600 + min * 60 + s) as i64)
+    }
+
+    /// Decomposes into `(year, month, day, hour, minute, second)`.
+    pub fn to_ymd_hms(self) -> (i32, u32, u32, u32, u32, u32) {
+        let days = self.0.div_euclid(86_400);
+        let secs = self.0.rem_euclid(86_400) as u32;
+        let (y, m, d) = civil_from_days(days);
+        (y as i32, m, d, secs / 3600, (secs % 3600) / 60, secs % 60)
+    }
+
+    /// Raw seconds since the epoch.
+    pub const fn as_seconds(self) -> i64 {
+        self.0
+    }
+
+    /// Time elapsed from `earlier` to `self`.
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0 - earlier.0)
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: Timestamp) -> Timestamp {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = Duration;
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    /// ISO-ish `YYYY-MM-DD HH:MM:SS`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d, h, min, s) = self.to_ymd_hms();
+        write!(f, "{y:04}-{m:02}-{d:02} {h:02}:{min:02}:{s:02}")
+    }
+}
+
+/// A closed time interval `[start, end]` with `start <= end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeInterval {
+    /// Interval start.
+    pub start: Timestamp,
+    /// Interval end (inclusive; equal to start for instantaneous stays).
+    pub end: Timestamp,
+}
+
+impl TimeInterval {
+    /// Creates an interval; panics if `end < start`.
+    pub fn new(start: Timestamp, end: Timestamp) -> TimeInterval {
+        assert!(end >= start, "interval end before start");
+        TimeInterval { start, end }
+    }
+
+    /// Interval length.
+    pub fn duration(self) -> Duration {
+        self.end - self.start
+    }
+
+    /// True if `t` lies within the interval (inclusive).
+    pub fn contains(self, t: Timestamp) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// True if the intervals share at least one instant.
+    pub fn overlaps(self, other: TimeInterval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Intersection, if non-empty.
+    pub fn intersect(self, other: TimeInterval) -> Option<TimeInterval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start <= end {
+            Some(TimeInterval { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// True if `other` lies entirely within `self`.
+    pub fn covers(self, other: TimeInterval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_round_trip_dataset_bounds() {
+        // The Louvre dataset bounds.
+        for (y, m, d) in [(2017, 1, 19), (2017, 5, 29), (1970, 1, 1), (2000, 2, 29)] {
+            let t = Timestamp::from_ymd_hms(y, m, d, 11, 30, 0);
+            let (y2, m2, d2, h, mi, s) = t.to_ymd_hms();
+            assert_eq!((y2, m2, d2, h, mi, s), (y, m, d, 11, 30, 0));
+        }
+    }
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(Timestamp::from_ymd_hms(1970, 1, 1, 0, 0, 0).0, 0);
+        assert_eq!(Timestamp(0).to_ymd_hms(), (1970, 1, 1, 0, 0, 0));
+    }
+
+    #[test]
+    fn known_epoch_seconds() {
+        // 2017-01-19 00:00:00 UTC == 1484784000 (independent source).
+        assert_eq!(
+            Timestamp::from_ymd_hms(2017, 1, 19, 0, 0, 0).0,
+            1_484_784_000
+        );
+    }
+
+    #[test]
+    fn pre_epoch_dates_work() {
+        let t = Timestamp::from_ymd_hms(1969, 12, 31, 23, 59, 59);
+        assert_eq!(t.0, -1);
+        assert_eq!(t.to_ymd_hms(), (1969, 12, 31, 23, 59, 59));
+    }
+
+    #[test]
+    fn leap_years_handled() {
+        let feb29 = Timestamp::from_ymd_hms(2016, 2, 29, 12, 0, 0);
+        let mar1 = Timestamp::from_ymd_hms(2016, 3, 1, 12, 0, 0);
+        assert_eq!((mar1 - feb29).as_seconds(), 86_400);
+        // 2017 is not a leap year: Feb 28 -> Mar 1 is one day.
+        let feb28 = Timestamp::from_ymd_hms(2017, 2, 28, 0, 0, 0);
+        let mar1 = Timestamp::from_ymd_hms(2017, 3, 1, 0, 0, 0);
+        assert_eq!((mar1 - feb28).as_seconds(), 86_400);
+    }
+
+    #[test]
+    fn duration_arithmetic_and_format() {
+        let d = Duration::hours(7) + Duration::minutes(41) + Duration::seconds(37);
+        assert_eq!(d.as_seconds(), 27_697);
+        assert_eq!(d.to_string(), "7:41:37", "the paper's max visit duration");
+        assert_eq!(Duration::ZERO.to_string(), "0:00:00");
+        assert_eq!((Duration::ZERO - Duration::seconds(61)).to_string(), "-0:01:01");
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_ymd_hms(2017, 2, 1, 17, 30, 21);
+        let later = t + Duration::seconds(81);
+        assert_eq!(later.to_ymd_hms().5, 42);
+        assert_eq!((later - t).as_seconds(), 81);
+        assert_eq!(later.since(t), Duration::seconds(81));
+        assert_eq!(t.max(later), later);
+        assert_eq!(t.min(later), t);
+    }
+
+    #[test]
+    fn display_format() {
+        let t = Timestamp::from_ymd_hms(2017, 5, 29, 9, 5, 3);
+        assert_eq!(t.to_string(), "2017-05-29 09:05:03");
+    }
+
+    #[test]
+    fn interval_relations() {
+        let t = |s| Timestamp(s);
+        let a = TimeInterval::new(t(10), t(20));
+        let b = TimeInterval::new(t(15), t(30));
+        let c = TimeInterval::new(t(25), t(40));
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c));
+        assert!(b.overlaps(c));
+        assert_eq!(a.intersect(b), Some(TimeInterval::new(t(15), t(20))));
+        assert_eq!(a.intersect(c), None);
+        assert!(a.contains(t(10)) && a.contains(t(20)) && !a.contains(t(21)));
+        assert!(TimeInterval::new(t(0), t(100)).covers(a));
+        assert!(!a.covers(b));
+        assert_eq!(a.duration().as_seconds(), 10);
+    }
+
+    #[test]
+    fn zero_length_interval_is_legal() {
+        // ~10% of the paper's zone detections have zero duration.
+        let t = Timestamp(5);
+        let i = TimeInterval::new(t, t);
+        assert!(i.duration().is_zero());
+        assert!(i.contains(t));
+        assert!(i.overlaps(i));
+    }
+
+    #[test]
+    #[should_panic(expected = "end before start")]
+    fn reversed_interval_panics() {
+        TimeInterval::new(Timestamp(10), Timestamp(5));
+    }
+}

@@ -1,0 +1,172 @@
+//! Axis-aligned bounding boxes.
+
+use crate::point::Point;
+use crate::EPSILON;
+
+/// An axis-aligned bounding box. Invariant: `min.x <= max.x`,
+/// `min.y <= max.y` (enforced by constructors).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl BBox {
+    /// Creates a bbox from two arbitrary corner points.
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        BBox {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Smallest bbox containing all points; `None` for an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = BBox {
+            min: first,
+            max: first,
+        };
+        for p in it {
+            bb.expand(p);
+        }
+        Some(bb)
+    }
+
+    /// Grows the bbox to include `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Union of two bboxes.
+    pub fn union(self, other: BBox) -> BBox {
+        BBox {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Width along x.
+    #[inline]
+    pub fn width(self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area of the box.
+    #[inline]
+    pub fn area(self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric centre.
+    #[inline]
+    pub fn center(self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// True if `p` is inside or on the boundary (with tolerance).
+    pub fn contains(self, p: Point) -> bool {
+        p.x >= self.min.x - EPSILON
+            && p.x <= self.max.x + EPSILON
+            && p.y >= self.min.y - EPSILON
+            && p.y <= self.max.y + EPSILON
+    }
+
+    /// True if the boxes share any point (with tolerance).
+    pub fn intersects(self, other: BBox) -> bool {
+        self.min.x <= other.max.x + EPSILON
+            && other.min.x <= self.max.x + EPSILON
+            && self.min.y <= other.max.y + EPSILON
+            && other.min.y <= self.max.y + EPSILON
+    }
+
+    /// Expands by `margin` on every side.
+    pub fn inflate(self, margin: f64) -> BBox {
+        BBox {
+            min: Point::new(self.min.x - margin, self.min.y - margin),
+            max: Point::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_corners_normalizes() {
+        let bb = BBox::from_corners(Point::new(3.0, 1.0), Point::new(0.0, 4.0));
+        assert_eq!(bb.min, Point::new(0.0, 1.0));
+        assert_eq!(bb.max, Point::new(3.0, 4.0));
+        assert_eq!(bb.width(), 3.0);
+        assert_eq!(bb.height(), 3.0);
+        assert_eq!(bb.area(), 9.0);
+        assert_eq!(bb.center(), Point::new(1.5, 2.5));
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = vec![
+            Point::new(1.0, 1.0),
+            Point::new(-2.0, 0.5),
+            Point::new(0.0, 7.0),
+        ];
+        let bb = BBox::from_points(pts).unwrap();
+        assert_eq!(bb.min, Point::new(-2.0, 0.5));
+        assert_eq!(bb.max, Point::new(1.0, 7.0));
+        assert!(BBox::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn contains_boundary_and_interior() {
+        let bb = BBox::from_corners(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        assert!(bb.contains(Point::new(1.0, 1.0)));
+        assert!(bb.contains(Point::new(0.0, 0.0)), "corner counts");
+        assert!(bb.contains(Point::new(2.0, 1.0)), "edge counts");
+        assert!(!bb.contains(Point::new(2.1, 1.0)));
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let a = BBox::from_corners(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let b = BBox::from_corners(Point::new(1.0, 1.0), Point::new(3.0, 3.0));
+        let c = BBox::from_corners(Point::new(5.0, 5.0), Point::new(6.0, 6.0));
+        let d = BBox::from_corners(Point::new(2.0, 0.0), Point::new(3.0, 1.0));
+        assert!(a.intersects(b));
+        assert!(b.intersects(a));
+        assert!(!a.intersects(c));
+        assert!(a.intersects(d), "edge contact counts as intersection");
+    }
+
+    #[test]
+    fn union_and_inflate() {
+        let a = BBox::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let b = BBox::from_corners(Point::new(2.0, -1.0), Point::new(3.0, 0.5));
+        let u = a.union(b);
+        assert_eq!(u.min, Point::new(0.0, -1.0));
+        assert_eq!(u.max, Point::new(3.0, 1.0));
+        let inflated = a.inflate(0.5);
+        assert_eq!(inflated.min, Point::new(-0.5, -0.5));
+        assert_eq!(inflated.max, Point::new(1.5, 1.5));
+    }
+
+    #[test]
+    fn expand_grows_in_place() {
+        let mut bb = BBox::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        bb.expand(Point::new(-1.0, 5.0));
+        assert_eq!(bb.min, Point::new(-1.0, 0.0));
+        assert_eq!(bb.max, Point::new(1.0, 5.0));
+    }
+}

@@ -1,0 +1,170 @@
+//! Uniform spatial hash grid for candidate lookup.
+//!
+//! The positioning pipeline maps thousands of location fixes per second to
+//! zones; scanning every zone polygon per fix would be O(zones). The grid
+//! buckets item bounding boxes into fixed-size cells so a point query only
+//! inspects the handful of items whose bbox overlaps that cell. Exact
+//! point-in-polygon tests remain the caller's job — the grid returns
+//! *candidates*.
+
+use crate::bbox::BBox;
+use crate::point::Point;
+
+/// A uniform grid index over items identified by `usize` handles.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    cell_size: f64,
+    /// Bucket map: (ix, iy) -> item handles. Kept sorted by key via BTreeMap
+    /// for deterministic iteration.
+    buckets: std::collections::BTreeMap<(i64, i64), Vec<usize>>,
+    /// Item bboxes, for the final bbox pre-filter.
+    items: Vec<(usize, BBox)>,
+}
+
+impl Grid {
+    /// Creates a grid with the given cell size (metres). Choose roughly the
+    /// median item diameter; the Louvre zone maps use 10 m.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        Grid {
+            cell_size,
+            buckets: std::collections::BTreeMap::new(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no items are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn cell_of(&self, p: Point) -> (i64, i64) {
+        (
+            (p.x / self.cell_size).floor() as i64,
+            (p.y / self.cell_size).floor() as i64,
+        )
+    }
+
+    /// Indexes an item by its bounding box.
+    pub fn insert(&mut self, handle: usize, bbox: BBox) {
+        let (x0, y0) = self.cell_of(bbox.min);
+        let (x1, y1) = self.cell_of(bbox.max);
+        for ix in x0..=x1 {
+            for iy in y0..=y1 {
+                self.buckets.entry((ix, iy)).or_default().push(handle);
+            }
+        }
+        self.items.push((handle, bbox));
+    }
+
+    /// Handles whose bbox may contain `p` (bbox-filtered, deduplicated,
+    /// sorted).
+    pub fn candidates_at(&self, p: Point) -> Vec<usize> {
+        let key = self.cell_of(p);
+        let mut out: Vec<usize> = self
+            .buckets
+            .get(&key)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+            .filter(|&h| self.bbox_of(h).is_some_and(|bb| bb.contains(p)))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Handles whose bbox intersects `query` (deduplicated, sorted).
+    pub fn candidates_in(&self, query: BBox) -> Vec<usize> {
+        let (x0, y0) = self.cell_of(query.min);
+        let (x1, y1) = self.cell_of(query.max);
+        let mut out = Vec::new();
+        for ix in x0..=x1 {
+            for iy in y0..=y1 {
+                if let Some(bucket) = self.buckets.get(&(ix, iy)) {
+                    out.extend(
+                        bucket
+                            .iter()
+                            .copied()
+                            .filter(|&h| self.bbox_of(h).is_some_and(|bb| bb.intersects(query))),
+                    );
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn bbox_of(&self, handle: usize) -> Option<BBox> {
+        self.items
+            .iter()
+            .find(|(h, _)| *h == handle)
+            .map(|(_, bb)| *bb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(x0: f64, y0: f64, x1: f64, y1: f64) -> BBox {
+        BBox::from_corners(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn point_query_returns_covering_items() {
+        let mut g = Grid::new(5.0);
+        g.insert(0, bb(0.0, 0.0, 10.0, 10.0));
+        g.insert(1, bb(8.0, 8.0, 20.0, 20.0));
+        g.insert(2, bb(100.0, 100.0, 110.0, 110.0));
+        assert_eq!(g.candidates_at(Point::new(1.0, 1.0)), vec![0]);
+        assert_eq!(g.candidates_at(Point::new(9.0, 9.0)), vec![0, 1]);
+        assert_eq!(g.candidates_at(Point::new(50.0, 50.0)), Vec::<usize>::new());
+        assert_eq!(g.candidates_at(Point::new(105.0, 105.0)), vec![2]);
+    }
+
+    #[test]
+    fn bbox_query_is_deduplicated() {
+        let mut g = Grid::new(2.0);
+        g.insert(7, bb(0.0, 0.0, 10.0, 10.0)); // spans many cells
+        let found = g.candidates_in(bb(1.0, 1.0, 9.0, 9.0));
+        assert_eq!(found, vec![7]);
+    }
+
+    #[test]
+    fn negative_coordinates_are_handled() {
+        let mut g = Grid::new(3.0);
+        g.insert(0, bb(-10.0, -10.0, -1.0, -1.0));
+        assert_eq!(g.candidates_at(Point::new(-5.0, -5.0)), vec![0]);
+        assert!(g.candidates_at(Point::new(5.0, 5.0)).is_empty());
+    }
+
+    #[test]
+    fn empty_grid_answers_empty() {
+        let g = Grid::new(1.0);
+        assert!(g.is_empty());
+        assert!(g.candidates_at(Point::new(0.0, 0.0)).is_empty());
+        assert!(g.candidates_in(bb(0.0, 0.0, 1.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn item_on_cell_boundary_found_from_both_sides() {
+        let mut g = Grid::new(5.0);
+        g.insert(0, bb(4.9, 0.0, 5.1, 1.0)); // straddles the x=5 cell line
+        assert_eq!(g.candidates_at(Point::new(4.95, 0.5)), vec![0]);
+        assert_eq!(g.candidates_at(Point::new(5.05, 0.5)), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_size_rejected() {
+        Grid::new(0.0);
+    }
+}

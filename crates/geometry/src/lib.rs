@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # sitm-geometry
+//!
+//! Minimal 2D computational-geometry substrate for the SITM toolkit.
+//!
+//! The paper argues that indoor analytics should "avoid cumbersome
+//! calculations over geometric representations" and work symbolically — but
+//! the *construction* of a symbolic model still needs geometry: zone polygons
+//! (Fig. 3), RoI containment and coverage ratios (Fig. 4), Poincaré-duality
+//! adjacency derivation, and the positioning pipeline's point→zone mapping.
+//! This crate supplies exactly those primitives:
+//!
+//! * [`Point`], [`Vec2`], [`Segment`], [`BBox`] — basic primitives;
+//! * [`Polygon`] — simple polygons with area, centroid, point location;
+//! * [`relate_polygons`] — derivation of the eight binary
+//!   topological relations (disjoint, meet, overlap, equal, contains,
+//!   inside, covers, coveredBy) between simple polygons;
+//! * [`Grid`] — a uniform spatial hash for fast point→polygon lookup.
+//!
+//! All coordinates are `f64`; comparisons use a fixed tolerance
+//! [`EPSILON`] suitable for building-scale metric coordinates.
+
+pub mod bbox;
+pub mod grid;
+pub mod point;
+pub mod polygon;
+pub mod relate;
+pub mod segment;
+
+pub use bbox::BBox;
+pub use grid::Grid;
+pub use point::{Point, Vec2};
+pub use polygon::{PointLocation, Polygon, PolygonError};
+pub use relate::{relate_polygons, SpatialRelation};
+pub use segment::{Segment, SegmentIntersection};
+
+/// Comparison tolerance for coordinates in metres. Building-scale models
+/// stay well above this resolution.
+pub const EPSILON: f64 = 1e-7;
+
+/// True if `a` and `b` are equal within [`EPSILON`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPSILON
+}

@@ -1,0 +1,296 @@
+//! Points and vectors in the Euclidean plane.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::approx_eq;
+
+/// A point in the plane (metric coordinates; for the Louvre model, metres
+/// within a wing-local frame).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Easting coordinate.
+    pub x: f64,
+    /// Northing coordinate.
+    pub y: f64,
+}
+
+/// A displacement between two points.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        (self - other).length()
+    }
+
+    /// Squared Euclidean distance (avoids the square root for comparisons).
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        (self - other).length_sq()
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Component-wise approximate equality within [`crate::EPSILON`].
+    #[inline]
+    pub fn approx(self, other: Point) -> bool {
+        approx_eq(self.x, other.x) && approx_eq(self.y, other.y)
+    }
+}
+
+impl Vec2 {
+    /// Creates a vector.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f64 {
+        self.length_sq().sqrt()
+    }
+
+    /// Squared length.
+    #[inline]
+    pub fn length_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2D cross product (z-component of the 3D cross product). Positive when
+    /// `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Unit vector in the same direction; `None` for the zero vector.
+    pub fn normalized(self) -> Option<Vec2> {
+        let len = self.length();
+        if len <= crate::EPSILON {
+            None
+        } else {
+            Some(Vec2::new(self.x / len, self.y / len))
+        }
+    }
+
+    /// Perpendicular vector (rotated +90°).
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+}
+
+/// Orientation of the ordered triple `(a, b, c)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Counter-clockwise turn.
+    CounterClockwise,
+    /// Clockwise turn.
+    Clockwise,
+    /// The three points are collinear (within tolerance).
+    Collinear,
+}
+
+/// Computes the orientation of the triple `(a, b, c)` with a tolerance
+/// scaled by the segment lengths, so large buildings behave like small ones.
+pub fn orientation(a: Point, b: Point, c: Point) -> Orientation {
+    let cross = (b - a).cross(c - a);
+    let scale = (b - a).length() * (c - a).length();
+    let tol = crate::EPSILON * scale.max(1.0);
+    if cross > tol {
+        Orientation::CounterClockwise
+    } else if cross < -tol {
+        Orientation::Clockwise
+    } else {
+        Orientation::Collinear
+    }
+}
+
+impl Sub for Point {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Point) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn midpoint_and_lerp() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.midpoint(b), Point::new(1.0, 2.0));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.25), Point::new(0.5, 1.0));
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let u = Vec2::new(1.0, 2.0);
+        let v = Vec2::new(3.0, -1.0);
+        assert_eq!(u + v, Vec2::new(4.0, 1.0));
+        assert_eq!(u - v, Vec2::new(-2.0, 3.0));
+        assert_eq!(u * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(v / 2.0, Vec2::new(1.5, -0.5));
+        assert_eq!(-u, Vec2::new(-1.0, -2.0));
+        assert_eq!(u.dot(v), 1.0);
+        assert_eq!(u.cross(v), -7.0);
+        assert_eq!(u.perp(), Vec2::new(-2.0, 1.0));
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec2::new(3.0, 4.0);
+        let n = v.normalized().unwrap();
+        assert!(approx_eq(n.length(), 1.0));
+        assert!(Vec2::new(0.0, 0.0).normalized().is_none());
+    }
+
+    #[test]
+    fn orientation_cases() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        assert_eq!(
+            orientation(a, b, Point::new(1.0, 1.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orientation(a, b, Point::new(1.0, -1.0)),
+            Orientation::Clockwise
+        );
+        assert_eq!(
+            orientation(a, b, Point::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn orientation_is_scale_invariant() {
+        // The same triangle at building scale (hundreds of metres).
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(500.0, 0.0);
+        let c = Point::new(500.0, 1e-3);
+        assert_eq!(orientation(a, b, c), Orientation::CounterClockwise);
+    }
+
+    #[test]
+    fn point_arithmetic_with_vectors() {
+        let p = Point::new(1.0, 1.0);
+        let v = Vec2::new(0.5, -0.5);
+        assert_eq!(p + v, Point::new(1.5, 0.5));
+        assert_eq!(p - v, Point::new(0.5, 1.5));
+        assert_eq!(Point::new(2.0, 2.0) - p, Vec2::new(1.0, 1.0));
+    }
+}

@@ -1,0 +1,487 @@
+//! Simple polygons: construction, area, centroid, point location.
+//!
+//! Zones and RoIs in the Louvre model are simple polygons without holes
+//! (the paper: "For simplicity, a RoI includes the area physically taken up
+//! by the exhibit itself and its display installation (i.e. no holes)").
+
+use crate::bbox::BBox;
+use crate::point::{orientation, Orientation, Point};
+use crate::segment::Segment;
+use crate::EPSILON;
+
+/// Error building a polygon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolygonError {
+    /// Fewer than three vertices.
+    TooFewVertices,
+    /// Two consecutive vertices coincide.
+    DegenerateEdge,
+    /// Zero enclosed area (all vertices collinear).
+    ZeroArea,
+    /// Non-adjacent edges intersect: the ring is self-crossing.
+    SelfIntersection,
+}
+
+impl std::fmt::Display for PolygonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolygonError::TooFewVertices => write!(f, "polygon needs at least 3 vertices"),
+            PolygonError::DegenerateEdge => write!(f, "consecutive vertices coincide"),
+            PolygonError::ZeroArea => write!(f, "polygon encloses zero area"),
+            PolygonError::SelfIntersection => write!(f, "polygon ring is self-intersecting"),
+        }
+    }
+}
+
+impl std::error::Error for PolygonError {}
+
+/// Where a point sits relative to a polygon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointLocation {
+    /// Strictly inside.
+    Inside,
+    /// On the boundary (within tolerance).
+    Boundary,
+    /// Strictly outside.
+    Outside,
+}
+
+/// A simple polygon (a non-self-intersecting closed ring, no holes), stored
+/// counter-clockwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    ring: Vec<Point>,
+    bbox: BBox,
+}
+
+impl Polygon {
+    /// Builds a polygon from a vertex ring (do not repeat the first vertex
+    /// at the end). Vertices are re-oriented counter-clockwise. Rejects
+    /// degenerate and self-intersecting rings.
+    pub fn new(mut ring: Vec<Point>) -> Result<Self, PolygonError> {
+        if ring.len() < 3 {
+            return Err(PolygonError::TooFewVertices);
+        }
+        for i in 0..ring.len() {
+            let j = (i + 1) % ring.len();
+            if ring[i].approx(ring[j]) {
+                return Err(PolygonError::DegenerateEdge);
+            }
+        }
+        let area2 = signed_area2(&ring);
+        if area2.abs() <= EPSILON {
+            return Err(PolygonError::ZeroArea);
+        }
+        if area2 < 0.0 {
+            ring.reverse();
+        }
+        let poly = Polygon {
+            bbox: BBox::from_points(ring.iter().copied()).expect("ring is non-empty"),
+            ring,
+        };
+        if poly.has_self_intersection() {
+            return Err(PolygonError::SelfIntersection);
+        }
+        Ok(poly)
+    }
+
+    /// Convenience: axis-aligned rectangle from two opposite corners.
+    pub fn rectangle(a: Point, b: Point) -> Result<Self, PolygonError> {
+        let bb = BBox::from_corners(a, b);
+        Polygon::new(vec![
+            bb.min,
+            Point::new(bb.max.x, bb.min.y),
+            bb.max,
+            Point::new(bb.min.x, bb.max.y),
+        ])
+    }
+
+    /// Vertices in counter-clockwise order (first vertex not repeated).
+    pub fn vertices(&self) -> &[Point] {
+        &self.ring
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Always false: valid polygons have ≥ 3 vertices.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Cached bounding box.
+    pub fn bbox(&self) -> BBox {
+        self.bbox
+    }
+
+    /// Edges of the ring in order.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.ring.len();
+        (0..n).map(move |i| Segment::new(self.ring[i], self.ring[(i + 1) % n]))
+    }
+
+    /// Enclosed area (always positive).
+    pub fn area(&self) -> f64 {
+        signed_area2(&self.ring) / 2.0
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.length()).sum()
+    }
+
+    /// Area centroid.
+    pub fn centroid(&self) -> Point {
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut a2 = 0.0;
+        let n = self.ring.len();
+        for i in 0..n {
+            let p = self.ring[i];
+            let q = self.ring[(i + 1) % n];
+            let cross = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * cross;
+            cy += (p.y + q.y) * cross;
+            a2 += cross;
+        }
+        Point::new(cx / (3.0 * a2), cy / (3.0 * a2))
+    }
+
+    /// Classifies `p` against the polygon (ray casting with an explicit
+    /// boundary check first, so boundary points are never misclassified by
+    /// ray degeneracies).
+    pub fn locate(&self, p: Point) -> PointLocation {
+        if !self.bbox.contains(p) {
+            return PointLocation::Outside;
+        }
+        for e in self.edges() {
+            if e.contains_point(p) {
+                return PointLocation::Boundary;
+            }
+        }
+        // Ray casting towards +x; count crossings with the half-open edge
+        // rule to handle vertices hit by the ray.
+        let mut inside = false;
+        let n = self.ring.len();
+        for i in 0..n {
+            let a = self.ring[i];
+            let b = self.ring[(i + 1) % n];
+            let (lo, hi) = if a.y <= b.y { (a, b) } else { (b, a) };
+            if p.y >= lo.y && p.y < hi.y {
+                // x of the edge at height p.y
+                let t = (p.y - lo.y) / (hi.y - lo.y);
+                let x = lo.x + t * (hi.x - lo.x);
+                if x > p.x {
+                    inside = !inside;
+                }
+            }
+        }
+        if inside {
+            PointLocation::Inside
+        } else {
+            PointLocation::Outside
+        }
+    }
+
+    /// True if `p` is inside or on the boundary.
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.locate(p) != PointLocation::Outside
+    }
+
+    /// True if `p` is strictly inside.
+    pub fn contains_point_strict(&self, p: Point) -> bool {
+        self.locate(p) == PointLocation::Inside
+    }
+
+    /// A point guaranteed to be strictly inside the polygon. For convex
+    /// polygons this is the centroid; otherwise a scan over interior
+    /// candidates is used.
+    pub fn interior_point(&self) -> Point {
+        let c = self.centroid();
+        if self.locate(c) == PointLocation::Inside {
+            return c;
+        }
+        // Fall back: probe midpoints between vertex pairs, then a grid scan.
+        let n = self.ring.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let m = self.ring[i].midpoint(self.ring[j]);
+                if self.locate(m) == PointLocation::Inside {
+                    return m;
+                }
+            }
+        }
+        let bb = self.bbox;
+        let steps = 64;
+        for iy in 1..steps {
+            for ix in 1..steps {
+                let p = Point::new(
+                    bb.min.x + bb.width() * ix as f64 / steps as f64,
+                    bb.min.y + bb.height() * iy as f64 / steps as f64,
+                );
+                if self.locate(p) == PointLocation::Inside {
+                    return p;
+                }
+            }
+        }
+        unreachable!("a positive-area polygon has interior points")
+    }
+
+    /// True if the polygon is convex.
+    pub fn is_convex(&self) -> bool {
+        let n = self.ring.len();
+        let mut saw_turn = false;
+        for i in 0..n {
+            let o = orientation(
+                self.ring[i],
+                self.ring[(i + 1) % n],
+                self.ring[(i + 2) % n],
+            );
+            match o {
+                Orientation::Clockwise => return false, // ring is CCW
+                Orientation::CounterClockwise => saw_turn = true,
+                Orientation::Collinear => {}
+            }
+        }
+        saw_turn
+    }
+
+    /// Translates the polygon by `(dx, dy)`.
+    pub fn translated(&self, dx: f64, dy: f64) -> Polygon {
+        let ring = self
+            .ring
+            .iter()
+            .map(|p| Point::new(p.x + dx, p.y + dy))
+            .collect();
+        Polygon::new(ring).expect("translation preserves validity")
+    }
+
+    fn has_self_intersection(&self) -> bool {
+        let n = self.ring.len();
+        let edges: Vec<Segment> = self.edges().collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let adjacent = j == i + 1 || (i == 0 && j == n - 1);
+                if adjacent {
+                    continue;
+                }
+                if edges[i].intersects(edges[j]) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Minimum distance from `p` to the polygon boundary.
+    pub fn distance_to_boundary(&self, p: Point) -> f64 {
+        self.edges()
+            .map(|e| e.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+fn signed_area2(ring: &[Point]) -> f64 {
+    let n = ring.len();
+    let mut s = 0.0;
+    for i in 0..n {
+        let p = ring[i];
+        let q = ring[(i + 1) % n];
+        s += p.x * q.y - q.x * p.y;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap()
+    }
+
+    fn l_shape() -> Polygon {
+        // An L: 2x2 square minus its top-right 1x1 quadrant.
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validations() {
+        assert_eq!(
+            Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]),
+            Err(PolygonError::TooFewVertices)
+        );
+        assert_eq!(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 1.0)
+            ]),
+            Err(PolygonError::DegenerateEdge)
+        );
+        assert_eq!(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 0.0)
+            ]),
+            Err(PolygonError::ZeroArea)
+        );
+        // Asymmetric bow-tie (nonzero net area, so the crossing check is
+        // what rejects it; the symmetric bow-tie is caught as ZeroArea).
+        assert_eq!(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 2.0),
+                Point::new(2.0, 0.0),
+                Point::new(0.0, 1.0),
+            ]),
+            Err(PolygonError::SelfIntersection)
+        );
+        assert_eq!(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.0, 1.0),
+            ]),
+            Err(PolygonError::ZeroArea)
+        );
+    }
+
+    #[test]
+    fn clockwise_ring_is_reoriented() {
+        let cw = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+        ])
+        .unwrap();
+        assert!(cw.area() > 0.0);
+        assert_eq!(cw.area(), 1.0);
+    }
+
+    #[test]
+    fn area_perimeter_centroid_of_square() {
+        let sq = unit_square();
+        assert_eq!(sq.area(), 1.0);
+        assert_eq!(sq.perimeter(), 4.0);
+        assert!(sq.centroid().approx(Point::new(0.5, 0.5)));
+        assert!(sq.is_convex());
+    }
+
+    #[test]
+    fn area_and_centroid_of_l_shape() {
+        let l = l_shape();
+        assert_eq!(l.area(), 3.0);
+        assert!(!l.is_convex());
+        // Centroid of the L: weighted mean of the 2x1 bottom (centroid 1,0.5)
+        // and the 1x1 top-left (centroid 0.5,1.5): ((2*1+1*0.5)/3,(2*0.5+1*1.5)/3).
+        assert!(l.centroid().approx(Point::new(2.5 / 3.0, 2.5 / 3.0)));
+    }
+
+    #[test]
+    fn point_location_in_square() {
+        let sq = unit_square();
+        assert_eq!(sq.locate(Point::new(0.5, 0.5)), PointLocation::Inside);
+        assert_eq!(sq.locate(Point::new(0.0, 0.5)), PointLocation::Boundary);
+        assert_eq!(sq.locate(Point::new(0.0, 0.0)), PointLocation::Boundary);
+        assert_eq!(sq.locate(Point::new(1.5, 0.5)), PointLocation::Outside);
+        assert_eq!(sq.locate(Point::new(0.5, -0.1)), PointLocation::Outside);
+    }
+
+    #[test]
+    fn point_location_in_concave_notch() {
+        let l = l_shape();
+        // The notch (removed quadrant) is outside.
+        assert_eq!(l.locate(Point::new(1.5, 1.5)), PointLocation::Outside);
+        assert_eq!(l.locate(Point::new(0.5, 1.5)), PointLocation::Inside);
+        assert_eq!(l.locate(Point::new(1.5, 0.5)), PointLocation::Inside);
+        assert_eq!(l.locate(Point::new(1.0, 1.5)), PointLocation::Boundary);
+    }
+
+    #[test]
+    fn ray_through_vertex_is_counted_once() {
+        // Point level with the bottom vertices; ray passes through corners.
+        let tri = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 2.0),
+        ])
+        .unwrap();
+        assert_eq!(tri.locate(Point::new(-1.0, 0.0)), PointLocation::Outside);
+        assert_eq!(tri.locate(Point::new(1.0, 1.0)), PointLocation::Inside);
+        assert_eq!(tri.locate(Point::new(1.0, 2.0)), PointLocation::Boundary);
+    }
+
+    #[test]
+    fn interior_point_is_strictly_inside() {
+        for poly in [unit_square(), l_shape()] {
+            let p = poly.interior_point();
+            assert_eq!(poly.locate(p), PointLocation::Inside);
+        }
+        // A "U" whose centroid falls in the cavity.
+        let u = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 3.0),
+            Point::new(2.0, 3.0),
+            Point::new(2.0, 0.5),
+            Point::new(1.0, 0.5),
+            Point::new(1.0, 3.0),
+            Point::new(0.0, 3.0),
+        ])
+        .unwrap();
+        let p = u.interior_point();
+        assert_eq!(u.locate(p), PointLocation::Inside);
+    }
+
+    #[test]
+    fn translation_moves_everything() {
+        let sq = unit_square().translated(10.0, -5.0);
+        assert!(sq.contains_point(Point::new(10.5, -4.5)));
+        assert!(!sq.contains_point(Point::new(0.5, 0.5)));
+        assert_eq!(sq.area(), 1.0);
+    }
+
+    #[test]
+    fn distance_to_boundary() {
+        let sq = unit_square();
+        assert!(crate::approx_eq(
+            sq.distance_to_boundary(Point::new(0.5, 0.5)),
+            0.5
+        ));
+        assert!(crate::approx_eq(
+            sq.distance_to_boundary(Point::new(2.0, 0.5)),
+            1.0
+        ));
+        assert_eq!(sq.distance_to_boundary(Point::new(1.0, 0.5)), 0.0);
+    }
+
+    #[test]
+    fn bbox_is_cached_and_tight() {
+        let l = l_shape();
+        let bb = l.bbox();
+        assert_eq!(bb.min, Point::new(0.0, 0.0));
+        assert_eq!(bb.max, Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn edges_close_the_ring() {
+        let sq = unit_square();
+        let edges: Vec<Segment> = sq.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges[3].b.approx(edges[0].a), "last edge returns to start");
+    }
+}

@@ -1,0 +1,420 @@
+//! Topological relation derivation between simple polygons.
+//!
+//! The eight binary relations are those of the paper's Table 1 background
+//! (§2.1): RCC-8 / 4-intersection define "disjoint", "touch (meet)",
+//! "overlap", "contains", "insideOf", "covers", "coveredBy", "equal". This
+//! module derives the relation of polygon `A` **to** polygon `B` from
+//! coordinates; `sitm-qsr` then reasons over the derived relations
+//! symbolically.
+//!
+//! The classification is exact for polygon pairs whose boundaries either
+//! cross transversally or share walls/corners — i.e. the layouts that occur
+//! in floor plans. (Tangential single-point interior contact between curved
+//! approximations may be classified as `Meet`; that conservative choice is
+//! documented rather than hidden.)
+
+use crate::point::Point;
+use crate::polygon::{PointLocation, Polygon};
+use crate::segment::SegmentIntersection;
+use crate::EPSILON;
+
+/// Binary topological relation of `A` to `B`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpatialRelation {
+    /// No shared point.
+    Disjoint,
+    /// Boundaries touch; interiors are disjoint ("touch"/"meet").
+    Meet,
+    /// Interiors intersect but neither region contains the other.
+    Overlap,
+    /// The regions are equal.
+    Equal,
+    /// `A` strictly contains `B` (no boundary contact) — NTPP⁻¹.
+    Contains,
+    /// `A` is strictly inside `B` (no boundary contact) — NTPP.
+    Inside,
+    /// `A` contains `B` with boundary contact — TPP⁻¹.
+    Covers,
+    /// `A` is inside `B` with boundary contact — TPP.
+    CoveredBy,
+}
+
+impl SpatialRelation {
+    /// The converse relation (relation of `B` to `A`).
+    pub fn converse(self) -> SpatialRelation {
+        match self {
+            SpatialRelation::Contains => SpatialRelation::Inside,
+            SpatialRelation::Inside => SpatialRelation::Contains,
+            SpatialRelation::Covers => SpatialRelation::CoveredBy,
+            SpatialRelation::CoveredBy => SpatialRelation::Covers,
+            sym => sym,
+        }
+    }
+
+    /// True for relations implying the interiors share at least one point.
+    pub fn interiors_intersect(self) -> bool {
+        !matches!(self, SpatialRelation::Disjoint | SpatialRelation::Meet)
+    }
+
+    /// True for "proper part" relations usable inside a layer hierarchy
+    /// (the paper admits only `contains`/`covers` top→bottom).
+    pub fn is_parthood(self) -> bool {
+        matches!(
+            self,
+            SpatialRelation::Contains
+                | SpatialRelation::Covers
+                | SpatialRelation::Inside
+                | SpatialRelation::CoveredBy
+        )
+    }
+
+    /// Short name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpatialRelation::Disjoint => "disjoint",
+            SpatialRelation::Meet => "meet",
+            SpatialRelation::Overlap => "overlap",
+            SpatialRelation::Equal => "equal",
+            SpatialRelation::Contains => "contains",
+            SpatialRelation::Inside => "insideOf",
+            SpatialRelation::Covers => "covers",
+            SpatialRelation::CoveredBy => "coveredBy",
+        }
+    }
+}
+
+impl std::fmt::Display for SpatialRelation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Derives the topological relation of `a` to `b`.
+pub fn relate_polygons(a: &Polygon, b: &Polygon) -> SpatialRelation {
+    if !a.bbox().intersects(b.bbox()) {
+        return SpatialRelation::Disjoint;
+    }
+
+    let mut crossing = false;
+    let mut contact = false;
+    'outer: for ea in a.edges() {
+        for eb in b.edges() {
+            match ea.intersect(eb) {
+                SegmentIntersection::Proper(_) => {
+                    crossing = true;
+                    break 'outer;
+                }
+                SegmentIntersection::Touch(_) | SegmentIntersection::Collinear(_) => {
+                    contact = true;
+                }
+                SegmentIntersection::None => {}
+            }
+        }
+    }
+    if crossing {
+        return SpatialRelation::Overlap;
+    }
+
+    let a_side = classify_samples(a, b);
+    let b_side = classify_samples(b, a);
+    contact |= a_side.any_boundary || b_side.any_boundary;
+
+    let a_in_b = !a_side.any_outside;
+    let b_in_a = !b_side.any_outside;
+
+    if a_in_b && b_in_a && (a.area() - b.area()).abs() <= EPSILON * a.area().max(1.0) {
+        return SpatialRelation::Equal;
+    }
+    if a_in_b {
+        return if contact {
+            SpatialRelation::CoveredBy
+        } else {
+            SpatialRelation::Inside
+        };
+    }
+    if b_in_a {
+        return if contact {
+            SpatialRelation::Covers
+        } else {
+            SpatialRelation::Contains
+        };
+    }
+    if contact {
+        return SpatialRelation::Meet;
+    }
+    SpatialRelation::Disjoint
+}
+
+struct SampleSummary {
+    any_outside: bool,
+    any_boundary: bool,
+}
+
+/// Classifies the vertices and edge midpoints of `probe` against `region`.
+fn classify_samples(probe: &Polygon, region: &Polygon) -> SampleSummary {
+    let mut summary = SampleSummary {
+        any_outside: false,
+        any_boundary: false,
+    };
+    let samples = probe
+        .vertices()
+        .iter()
+        .copied()
+        .chain(probe.edges().map(|e| e.midpoint()));
+    for p in samples {
+        match region.locate(p) {
+            PointLocation::Outside => summary.any_outside = true,
+            PointLocation::Boundary => summary.any_boundary = true,
+            PointLocation::Inside => {}
+        }
+    }
+    summary
+}
+
+/// Clips `subject` to a **convex** `clipper` polygon (Sutherland–Hodgman).
+/// Returns `None` when the intersection is empty or degenerate. Used for
+/// coverage ratios (paper Fig. 4) where zones are convex.
+pub fn clip_to_convex(subject: &Polygon, clipper: &Polygon) -> Option<Polygon> {
+    debug_assert!(clipper.is_convex(), "clipper must be convex");
+    let mut output: Vec<Point> = subject.vertices().to_vec();
+    let cv = clipper.vertices();
+    let n = cv.len();
+    for i in 0..n {
+        let a = cv[i];
+        let b = cv[(i + 1) % n];
+        // Keep the half-plane to the left of a->b (ring is CCW).
+        let input = std::mem::take(&mut output);
+        if input.is_empty() {
+            return None;
+        }
+        let inside = |p: Point| (b - a).cross(p - a) >= -EPSILON;
+        let m = input.len();
+        for j in 0..m {
+            let cur = input[j];
+            let prev = input[(j + m - 1) % m];
+            let cur_in = inside(cur);
+            let prev_in = inside(prev);
+            if cur_in {
+                if !prev_in {
+                    if let Some(x) = half_plane_crossing(prev, cur, a, b) {
+                        output.push(x);
+                    }
+                }
+                output.push(cur);
+            } else if prev_in {
+                if let Some(x) = half_plane_crossing(prev, cur, a, b) {
+                    output.push(x);
+                }
+            }
+        }
+    }
+    // Remove consecutive duplicates produced by on-boundary vertices.
+    output.dedup_by(|p, q| p.approx(*q));
+    if output.len() >= 2 && output[0].approx(*output.last().expect("non-empty")) {
+        output.pop();
+    }
+    Polygon::new(output).ok()
+}
+
+/// Fractional area of `inner` that lies within convex `outer`.
+pub fn overlap_fraction(inner: &Polygon, outer: &Polygon) -> f64 {
+    match clip_to_convex(inner, outer) {
+        Some(clipped) => clipped.area() / inner.area(),
+        None => 0.0,
+    }
+}
+
+fn half_plane_crossing(p: Point, q: Point, a: Point, b: Point) -> Option<Point> {
+    let d = b - a;
+    let dp = d.cross(p - a);
+    let dq = d.cross(q - a);
+    let denom = dp - dq;
+    if denom.abs() <= EPSILON {
+        return None;
+    }
+    let t = dp / denom;
+    Some(p.lerp(q, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+        Polygon::rectangle(Point::new(x0, y0), Point::new(x1, y1)).unwrap()
+    }
+
+    #[test]
+    fn disjoint_rectangles() {
+        let a = rect(0.0, 0.0, 1.0, 1.0);
+        let b = rect(3.0, 3.0, 4.0, 4.0);
+        assert_eq!(relate_polygons(&a, &b), SpatialRelation::Disjoint);
+        assert_eq!(relate_polygons(&b, &a), SpatialRelation::Disjoint);
+    }
+
+    #[test]
+    fn shared_wall_is_meet() {
+        // Two rooms sharing a wall segment: the paper's "meet" precondition
+        // for an intra-layer accessibility edge.
+        let a = rect(0.0, 0.0, 2.0, 2.0);
+        let b = rect(2.0, 0.0, 4.0, 2.0);
+        assert_eq!(relate_polygons(&a, &b), SpatialRelation::Meet);
+        assert_eq!(relate_polygons(&b, &a), SpatialRelation::Meet);
+    }
+
+    #[test]
+    fn corner_touch_is_meet() {
+        let a = rect(0.0, 0.0, 1.0, 1.0);
+        let b = rect(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(relate_polygons(&a, &b), SpatialRelation::Meet);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = rect(0.0, 0.0, 2.0, 2.0);
+        let b = rect(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(relate_polygons(&a, &b), SpatialRelation::Overlap);
+        assert_eq!(relate_polygons(&b, &a), SpatialRelation::Overlap);
+    }
+
+    #[test]
+    fn plus_sign_overlap_without_contained_vertices() {
+        // Two crossing bars: no vertex of either is inside the other.
+        let horizontal = rect(0.0, 1.0, 3.0, 2.0);
+        let vertical = rect(1.0, 0.0, 2.0, 3.0);
+        assert_eq!(
+            relate_polygons(&horizontal, &vertical),
+            SpatialRelation::Overlap
+        );
+    }
+
+    #[test]
+    fn strict_containment() {
+        let outer = rect(0.0, 0.0, 4.0, 4.0);
+        let inner = rect(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(relate_polygons(&outer, &inner), SpatialRelation::Contains);
+        assert_eq!(relate_polygons(&inner, &outer), SpatialRelation::Inside);
+    }
+
+    #[test]
+    fn tangential_containment_is_covers() {
+        // RoI flush against the room wall: covered, not contained.
+        let room = rect(0.0, 0.0, 4.0, 4.0);
+        let roi = rect(0.0, 1.0, 1.0, 2.0);
+        assert_eq!(relate_polygons(&room, &roi), SpatialRelation::Covers);
+        assert_eq!(relate_polygons(&roi, &room), SpatialRelation::CoveredBy);
+    }
+
+    #[test]
+    fn equal_polygons() {
+        let a = rect(0.0, 0.0, 2.0, 3.0);
+        let b = rect(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(relate_polygons(&a, &b), SpatialRelation::Equal);
+    }
+
+    #[test]
+    fn equal_with_different_vertex_lists() {
+        let a = rect(0.0, 0.0, 2.0, 2.0);
+        // Same square with an extra collinear vertex on one edge.
+        let b = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+        .unwrap();
+        assert_eq!(relate_polygons(&a, &b), SpatialRelation::Equal);
+    }
+
+    #[test]
+    fn converse_round_trips() {
+        use SpatialRelation::*;
+        for r in [
+            Disjoint, Meet, Overlap, Equal, Contains, Inside, Covers, CoveredBy,
+        ] {
+            assert_eq!(r.converse().converse(), r);
+        }
+        assert_eq!(Contains.converse(), Inside);
+        assert_eq!(Covers.converse(), CoveredBy);
+        assert_eq!(Meet.converse(), Meet);
+    }
+
+    #[test]
+    fn relation_predicates() {
+        use SpatialRelation::*;
+        assert!(!Disjoint.interiors_intersect());
+        assert!(!Meet.interiors_intersect());
+        assert!(Overlap.interiors_intersect());
+        assert!(Contains.is_parthood());
+        assert!(Covers.is_parthood());
+        assert!(!Equal.is_parthood());
+        assert!(!Overlap.is_parthood());
+    }
+
+    #[test]
+    fn relation_of_concave_and_convex() {
+        // L-shaped room vs a rectangle occupying its notch: they meet along
+        // the notch walls.
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+        .unwrap();
+        let notch = rect(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(relate_polygons(&l, &notch), SpatialRelation::Meet);
+    }
+
+    #[test]
+    fn clip_identical_returns_same_area() {
+        let a = rect(0.0, 0.0, 2.0, 2.0);
+        let clipped = clip_to_convex(&a, &a).unwrap();
+        assert!((clipped.area() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_partial_overlap_area() {
+        let a = rect(0.0, 0.0, 2.0, 2.0);
+        let b = rect(1.0, 1.0, 3.0, 3.0);
+        let clipped = clip_to_convex(&a, &b).unwrap();
+        assert!((clipped.area() - 1.0).abs() < 1e-9);
+        assert!((overlap_fraction(&a, &b) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_disjoint_is_none() {
+        let a = rect(0.0, 0.0, 1.0, 1.0);
+        let b = rect(5.0, 5.0, 6.0, 6.0);
+        assert!(clip_to_convex(&a, &b).is_none());
+        assert_eq!(overlap_fraction(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn clip_contained_returns_inner() {
+        let outer = rect(0.0, 0.0, 4.0, 4.0);
+        let inner = rect(1.0, 1.0, 2.0, 2.0);
+        let clipped = clip_to_convex(&inner, &outer).unwrap();
+        assert!((clipped.area() - 1.0).abs() < 1e-9);
+        assert!((overlap_fraction(&inner, &outer) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_concave_subject_against_convex_clipper() {
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+        .unwrap();
+        let window = rect(0.0, 0.0, 2.0, 2.0);
+        let clipped = clip_to_convex(&l, &window).unwrap();
+        assert!((clipped.area() - 3.0).abs() < 1e-9, "L fits inside window");
+    }
+}

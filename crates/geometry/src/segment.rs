@@ -1,0 +1,315 @@
+//! Line segments and segment intersection.
+
+use crate::point::{orientation, Orientation, Point};
+use crate::EPSILON;
+
+/// A closed line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+/// Classification of how two segments intersect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SegmentIntersection {
+    /// No common point.
+    None,
+    /// Interiors cross at a single point (proper crossing).
+    Proper(Point),
+    /// They share exactly one point, which is an endpoint of at least one
+    /// segment (a "touch").
+    Touch(Point),
+    /// They are collinear and share a (possibly degenerate) sub-segment.
+    Collinear(Segment),
+}
+
+impl Segment {
+    /// Creates a segment.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length of the segment.
+    #[inline]
+    pub fn length(self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// True if the segment is degenerate (both endpoints coincide).
+    #[inline]
+    pub fn is_degenerate(self) -> bool {
+        self.a.approx(self.b)
+    }
+
+    /// True if `p` lies on the segment (within tolerance), endpoints
+    /// included.
+    pub fn contains_point(self, p: Point) -> bool {
+        if orientation(self.a, self.b, p) != Orientation::Collinear {
+            return false;
+        }
+        let d = self.b - self.a;
+        let len_sq = d.length_sq();
+        if len_sq <= EPSILON * EPSILON {
+            return self.a.approx(p);
+        }
+        let t = (p - self.a).dot(d) / len_sq;
+        let tol = EPSILON / len_sq.sqrt();
+        (-tol..=1.0 + tol).contains(&t)
+    }
+
+    /// Distance from `p` to the closest point of the segment.
+    pub fn distance_to_point(self, p: Point) -> f64 {
+        p.distance(self.closest_point(p))
+    }
+
+    /// Closest point of the segment to `p`.
+    pub fn closest_point(self, p: Point) -> Point {
+        let d = self.b - self.a;
+        let len_sq = d.length_sq();
+        if len_sq <= EPSILON * EPSILON {
+            return self.a;
+        }
+        let t = ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0);
+        self.a.lerp(self.b, t)
+    }
+
+    /// Full intersection classification against `other`.
+    pub fn intersect(self, other: Segment) -> SegmentIntersection {
+        let o1 = orientation(self.a, self.b, other.a);
+        let o2 = orientation(self.a, self.b, other.b);
+        let o3 = orientation(other.a, other.b, self.a);
+        let o4 = orientation(other.a, other.b, self.b);
+
+        // General case: endpoints strictly on opposite sides both ways.
+        if o1 != Orientation::Collinear
+            && o2 != Orientation::Collinear
+            && o3 != Orientation::Collinear
+            && o4 != Orientation::Collinear
+            && o1 != o2
+            && o3 != o4
+        {
+            let p = line_intersection_point(self, other)
+                .expect("crossing segments intersect at one point");
+            return SegmentIntersection::Proper(p);
+        }
+
+        // Collinear overlap case.
+        if o1 == Orientation::Collinear
+            && o2 == Orientation::Collinear
+            && o3 == Orientation::Collinear
+            && o4 == Orientation::Collinear
+        {
+            return collinear_overlap(self, other);
+        }
+
+        // Touching case: one endpoint lies on the other segment.
+        for p in [other.a, other.b] {
+            if self.contains_point(p) {
+                return SegmentIntersection::Touch(p);
+            }
+        }
+        for p in [self.a, self.b] {
+            if other.contains_point(p) {
+                return SegmentIntersection::Touch(p);
+            }
+        }
+        SegmentIntersection::None
+    }
+
+    /// True if the two segments share at least one point.
+    pub fn intersects(self, other: Segment) -> bool {
+        !matches!(self.intersect(other), SegmentIntersection::None)
+    }
+
+    /// True if the segments cross properly (interior to interior).
+    pub fn crosses(self, other: Segment) -> bool {
+        matches!(self.intersect(other), SegmentIntersection::Proper(_))
+    }
+}
+
+/// Intersection point of the supporting lines, if the segments are not
+/// parallel.
+fn line_intersection_point(s1: Segment, s2: Segment) -> Option<Point> {
+    let d1 = s1.b - s1.a;
+    let d2 = s2.b - s2.a;
+    let denom = d1.cross(d2);
+    if denom.abs() <= EPSILON {
+        return None;
+    }
+    let t = (s2.a - s1.a).cross(d2) / denom;
+    Some(s1.a.lerp(s1.b, t))
+}
+
+/// Overlap of two collinear segments.
+fn collinear_overlap(s1: Segment, s2: Segment) -> SegmentIntersection {
+    // Project onto the dominant axis of s1 to order the endpoints.
+    let d = s1.b - s1.a;
+    let use_x = d.x.abs() >= d.y.abs();
+    let key = |p: Point| if use_x { p.x } else { p.y };
+
+    let (mut a1, mut b1) = (key(s1.a), key(s1.b));
+    let (mut pa, mut pb) = (s1.a, s1.b);
+    if a1 > b1 {
+        std::mem::swap(&mut a1, &mut b1);
+        std::mem::swap(&mut pa, &mut pb);
+    }
+    let (mut a2, mut b2) = (key(s2.a), key(s2.b));
+    let (mut qa, mut qb) = (s2.a, s2.b);
+    if a2 > b2 {
+        std::mem::swap(&mut a2, &mut b2);
+        std::mem::swap(&mut qa, &mut qb);
+    }
+
+    let lo = a1.max(a2);
+    let hi = b1.min(b2);
+    if lo > hi + EPSILON {
+        return SegmentIntersection::None;
+    }
+    let lo_pt = if a1 >= a2 { pa } else { qa };
+    let hi_pt = if b1 <= b2 { pb } else { qb };
+    if (hi - lo).abs() <= EPSILON {
+        SegmentIntersection::Touch(lo_pt)
+    } else {
+        SegmentIntersection::Collinear(Segment::new(lo_pt, hi_pt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn proper_crossing() {
+        let s1 = seg(0.0, 0.0, 2.0, 2.0);
+        let s2 = seg(0.0, 2.0, 2.0, 0.0);
+        match s1.intersect(s2) {
+            SegmentIntersection::Proper(p) => assert!(p.approx(Point::new(1.0, 1.0))),
+            other => panic!("expected proper crossing, got {other:?}"),
+        }
+        assert!(s1.crosses(s2));
+    }
+
+    #[test]
+    fn no_intersection() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(0.0, 1.0, 1.0, 1.0);
+        assert_eq!(s1.intersect(s2), SegmentIntersection::None);
+        assert!(!s1.intersects(s2));
+    }
+
+    #[test]
+    fn endpoint_touch() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(1.0, 0.0, 2.0, 5.0);
+        match s1.intersect(s2) {
+            SegmentIntersection::Touch(p) => assert!(p.approx(Point::new(1.0, 0.0))),
+            other => panic!("expected touch, got {other:?}"),
+        }
+        assert!(!s1.crosses(s2), "touch is not a proper crossing");
+    }
+
+    #[test]
+    fn t_junction_touch() {
+        // s2 endpoint lands in the interior of s1.
+        let s1 = seg(0.0, 0.0, 2.0, 0.0);
+        let s2 = seg(1.0, 0.0, 1.0, 3.0);
+        match s1.intersect(s2) {
+            SegmentIntersection::Touch(p) => assert!(p.approx(Point::new(1.0, 0.0))),
+            other => panic!("expected touch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collinear_overlap_yields_shared_subsegment() {
+        let s1 = seg(0.0, 0.0, 2.0, 0.0);
+        let s2 = seg(1.0, 0.0, 3.0, 0.0);
+        match s1.intersect(s2) {
+            SegmentIntersection::Collinear(shared) => {
+                assert!(shared.a.approx(Point::new(1.0, 0.0)));
+                assert!(shared.b.approx(Point::new(2.0, 0.0)));
+            }
+            other => panic!("expected collinear, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collinear_endpoint_touch() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(1.0, 0.0, 2.0, 0.0);
+        match s1.intersect(s2) {
+            SegmentIntersection::Touch(p) => assert!(p.approx(Point::new(1.0, 0.0))),
+            other => panic!("expected touch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collinear_disjoint() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(2.0, 0.0, 3.0, 0.0);
+        assert_eq!(s1.intersect(s2), SegmentIntersection::None);
+    }
+
+    #[test]
+    fn vertical_collinear_overlap() {
+        let s1 = seg(5.0, 0.0, 5.0, 4.0);
+        let s2 = seg(5.0, 2.0, 5.0, 6.0);
+        match s1.intersect(s2) {
+            SegmentIntersection::Collinear(shared) => {
+                assert!(shared.a.approx(Point::new(5.0, 2.0)));
+                assert!(shared.b.approx(Point::new(5.0, 4.0)));
+            }
+            other => panic!("expected collinear, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contains_point_on_and_off() {
+        let s = seg(0.0, 0.0, 4.0, 0.0);
+        assert!(s.contains_point(Point::new(2.0, 0.0)));
+        assert!(s.contains_point(Point::new(0.0, 0.0)), "endpoint included");
+        assert!(s.contains_point(Point::new(4.0, 0.0)));
+        assert!(!s.contains_point(Point::new(5.0, 0.0)), "beyond endpoint");
+        assert!(!s.contains_point(Point::new(2.0, 0.5)));
+    }
+
+    #[test]
+    fn closest_point_and_distance() {
+        let s = seg(0.0, 0.0, 4.0, 0.0);
+        assert_eq!(s.closest_point(Point::new(2.0, 3.0)), Point::new(2.0, 0.0));
+        assert_eq!(s.distance_to_point(Point::new(2.0, 3.0)), 3.0);
+        // Beyond the endpoint, the endpoint is closest.
+        assert_eq!(s.closest_point(Point::new(6.0, 0.0)), Point::new(4.0, 0.0));
+        assert_eq!(s.distance_to_point(Point::new(6.0, 0.0)), 2.0);
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert!(s.is_degenerate());
+        assert!(s.contains_point(Point::new(1.0, 1.0)));
+        assert!(!s.contains_point(Point::new(1.0, 2.0)));
+        assert_eq!(s.closest_point(Point::new(9.0, 9.0)), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn shared_endpoint_of_parallel_segments() {
+        // Parallel but not collinear segments sharing nothing.
+        let s1 = seg(0.0, 0.0, 1.0, 1.0);
+        let s2 = seg(0.0, 1.0, 1.0, 2.0);
+        assert_eq!(s1.intersect(s2), SegmentIntersection::None);
+    }
+}

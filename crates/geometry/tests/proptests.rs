@@ -1,0 +1,167 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+
+use sitm_geometry::relate::{clip_to_convex, overlap_fraction};
+use sitm_geometry::{
+    relate_polygons, Grid, Point, PointLocation, Polygon, Segment, SpatialRelation,
+};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Polygon> {
+    (
+        -50.0f64..50.0,
+        -50.0f64..50.0,
+        0.5f64..30.0,
+        0.5f64..30.0,
+    )
+        .prop_map(|(x, y, w, h)| {
+            Polygon::rectangle(Point::new(x, y), Point::new(x + w, y + h)).expect("valid rect")
+        })
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (arb_point(), arb_point())
+        .prop_filter("non-degenerate", |(a, b)| a.distance(*b) > 1e-3)
+        .prop_map(|(a, b)| Segment::new(a, b))
+}
+
+proptest! {
+    #[test]
+    fn segment_intersection_is_symmetric(s1 in arb_segment(), s2 in arb_segment()) {
+        prop_assert_eq!(s1.intersects(s2), s2.intersects(s1));
+        prop_assert_eq!(s1.crosses(s2), s2.crosses(s1));
+    }
+
+    #[test]
+    fn segment_contains_its_own_samples(s in arb_segment(), t in 0.0f64..=1.0) {
+        let p = s.a.lerp(s.b, t);
+        prop_assert!(s.contains_point(p));
+        prop_assert!(s.distance_to_point(p) < 1e-6);
+    }
+
+    #[test]
+    fn closest_point_is_on_segment_and_no_farther_than_endpoints(
+        s in arb_segment(), p in arb_point(),
+    ) {
+        let c = s.closest_point(p);
+        prop_assert!(s.contains_point(c));
+        prop_assert!(p.distance(c) <= p.distance(s.a) + 1e-9);
+        prop_assert!(p.distance(c) <= p.distance(s.b) + 1e-9);
+    }
+
+    #[test]
+    fn bbox_contains_the_polygon_interior_point(poly in arb_rect()) {
+        let bb = poly.bbox();
+        prop_assert!(bb.contains(poly.interior_point()));
+        prop_assert!(bb.contains(poly.centroid()));
+    }
+
+    #[test]
+    fn point_location_is_exclusive(poly in arb_rect(), p in arb_point()) {
+        // locate() gives exactly one answer, consistent with contains().
+        let loc = poly.locate(p);
+        match loc {
+            PointLocation::Inside => prop_assert!(poly.contains_point_strict(p)),
+            PointLocation::Boundary => {
+                prop_assert!(poly.contains_point(p));
+                prop_assert!(!poly.contains_point_strict(p));
+            }
+            PointLocation::Outside => prop_assert!(!poly.contains_point(p)),
+        }
+    }
+
+    #[test]
+    fn translation_preserves_area_and_relation(
+        poly in arb_rect(), dx in -20.0f64..20.0, dy in -20.0f64..20.0,
+    ) {
+        let moved = poly.translated(dx, dy);
+        prop_assert!((moved.area() - poly.area()).abs() < 1e-9);
+        // Relating a polygon with a far-translated copy gives disjoint.
+        let far = poly.translated(1_000.0, 1_000.0);
+        prop_assert_eq!(relate_polygons(&poly, &far), SpatialRelation::Disjoint);
+    }
+
+    #[test]
+    fn clip_area_is_bounded_by_both(inner in arb_rect(), outer in arb_rect()) {
+        if let Some(clipped) = clip_to_convex(&inner, &outer) {
+            prop_assert!(clipped.area() <= inner.area() + 1e-6);
+            prop_assert!(clipped.area() <= outer.area() + 1e-6);
+        }
+        let f = overlap_fraction(&inner, &outer);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&f));
+    }
+
+    #[test]
+    fn containment_relations_match_fractions(a in arb_rect(), b in arb_rect()) {
+        // If the derived relation says a contains b, then b's overlap
+        // fraction within a must be 1 (and vice versa for disjoint).
+        match relate_polygons(&a, &b) {
+            SpatialRelation::Contains | SpatialRelation::Covers => {
+                prop_assert!((overlap_fraction(&b, &a) - 1.0).abs() < 1e-6);
+            }
+            SpatialRelation::Disjoint => {
+                prop_assert!(overlap_fraction(&b, &a) < 1e-9);
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn grid_candidates_are_complete(
+        rects in proptest::collection::vec(arb_rect(), 1..20),
+        p in arb_point(),
+    ) {
+        // Every polygon that truly contains p must appear in the grid's
+        // candidate set (no false negatives).
+        let mut grid = Grid::new(7.0);
+        for (i, r) in rects.iter().enumerate() {
+            grid.insert(i, r.bbox());
+        }
+        let candidates = grid.candidates_at(p);
+        for (i, r) in rects.iter().enumerate() {
+            if r.contains_point(p) {
+                prop_assert!(candidates.contains(&i), "missing candidate {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bbox_union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.bbox().union(b.bbox());
+        for p in a.vertices().iter().chain(b.vertices()) {
+            prop_assert!(u.contains(*p));
+        }
+        prop_assert!(u.area() + 1e-9 >= a.bbox().area().max(b.bbox().area()));
+    }
+
+    #[test]
+    fn shared_boundary_is_symmetric_and_bounded(
+        a in arb_rect(), b in arb_rect(),
+    ) {
+        // The production version lives in sitm-space::duality; the property
+        // is checked here against the raw polygons.
+        let ab = shared_len(&a, &b);
+        let ba = shared_len(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!(ab <= a.perimeter().min(b.perimeter()) + 1e-6);
+    }
+}
+
+/// Re-implementation of the shared-boundary sum for the property test (the
+/// production version lives in `sitm-space::duality`).
+fn shared_len(a: &Polygon, b: &Polygon) -> f64 {
+    use sitm_geometry::SegmentIntersection;
+    let mut total = 0.0;
+    for ea in a.edges() {
+        for eb in b.edges() {
+            if let SegmentIntersection::Collinear(shared) = ea.intersect(eb) {
+                total += shared.length();
+            }
+        }
+    }
+    total
+}

@@ -1,0 +1,504 @@
+//! Directed multigraph with stable ids and parallel-edge support.
+//!
+//! The structure is an arena: nodes and edges live in `Vec`s and are
+//! addressed by [`NodeId`]/[`EdgeId`]. Removal leaves a tombstone so that
+//! previously handed-out ids never dangle into a *different* entity; asking
+//! for a removed entity returns `None`.
+//!
+//! Indoor accessibility graphs need genuine multigraph semantics: two rooms
+//! connected by several doors are two distinct transitions (the paper keeps
+//! `e_i` in every trace tuple precisely because "it is generally useful to
+//! know the specific transition (e.g. which door, staircase, or elevator was
+//! used)", §3.3).
+
+use crate::ids::{EdgeId, NodeId};
+
+#[derive(Debug, Clone)]
+struct NodeSlot<N> {
+    payload: Option<N>,
+    /// Outgoing edge ids, in insertion order.
+    out: Vec<EdgeId>,
+    /// Incoming edge ids, in insertion order.
+    inc: Vec<EdgeId>,
+}
+
+#[derive(Debug, Clone)]
+struct EdgeSlot<E> {
+    payload: Option<E>,
+    from: NodeId,
+    to: NodeId,
+}
+
+/// A borrowed view of one edge: id, endpoints, payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef<'g, E> {
+    /// Edge identifier.
+    pub id: EdgeId,
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Edge payload ("colour").
+    pub payload: &'g E,
+}
+
+/// A directed multigraph with payloads of type `N` on nodes and `E` on edges.
+///
+/// Parallel edges (same endpoints, distinct ids) and self-loops are allowed.
+#[derive(Debug, Clone)]
+pub struct DiMultigraph<N, E> {
+    nodes: Vec<NodeSlot<N>>,
+    edges: Vec<EdgeSlot<E>>,
+    live_nodes: usize,
+    live_edges: usize,
+}
+
+impl<N, E> Default for DiMultigraph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N, E> DiMultigraph<N, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DiMultigraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            live_nodes: 0,
+            live_edges: 0,
+        }
+    }
+
+    /// Creates an empty graph with pre-allocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        DiMultigraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            live_nodes: 0,
+            live_edges: 0,
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Upper bound over all node indices ever allocated (including removed
+    /// ones). Useful to size side tables indexed by `NodeId::index()`.
+    pub fn node_bound(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Upper bound over all edge indices ever allocated.
+    pub fn edge_bound(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, payload: N) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeSlot {
+            payload: Some(payload),
+            out: Vec::new(),
+            inc: Vec::new(),
+        });
+        self.live_nodes += 1;
+        id
+    }
+
+    /// Adds a directed edge `from -> to`. Panics if either endpoint is not a
+    /// live node (that is a programming error, not a data error).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, payload: E) -> EdgeId {
+        assert!(self.contains_node(from), "add_edge: dead source {from:?}");
+        assert!(self.contains_node(to), "add_edge: dead target {to:?}");
+        let id = EdgeId::from_index(self.edges.len());
+        self.edges.push(EdgeSlot {
+            payload: Some(payload),
+            from,
+            to,
+        });
+        self.nodes[from.index()].out.push(id);
+        self.nodes[to.index()].inc.push(id);
+        self.live_edges += 1;
+        id
+    }
+
+    /// True if `id` refers to a live node of this graph.
+    pub fn contains_node(&self, id: NodeId) -> bool {
+        self.nodes
+            .get(id.index())
+            .is_some_and(|slot| slot.payload.is_some())
+    }
+
+    /// True if `id` refers to a live edge of this graph.
+    pub fn contains_edge(&self, id: EdgeId) -> bool {
+        self.edges
+            .get(id.index())
+            .is_some_and(|slot| slot.payload.is_some())
+    }
+
+    /// Payload of a live node.
+    pub fn node(&self, id: NodeId) -> Option<&N> {
+        self.nodes.get(id.index())?.payload.as_ref()
+    }
+
+    /// Mutable payload of a live node.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut N> {
+        self.nodes.get_mut(id.index())?.payload.as_mut()
+    }
+
+    /// Payload of a live edge.
+    pub fn edge(&self, id: EdgeId) -> Option<&E> {
+        self.edges.get(id.index())?.payload.as_ref()
+    }
+
+    /// Mutable payload of a live edge.
+    pub fn edge_mut(&mut self, id: EdgeId) -> Option<&mut E> {
+        self.edges.get_mut(id.index())?.payload.as_mut()
+    }
+
+    /// Endpoints `(from, to)` of a live edge.
+    pub fn endpoints(&self, id: EdgeId) -> Option<(NodeId, NodeId)> {
+        let slot = self.edges.get(id.index())?;
+        slot.payload.as_ref()?;
+        Some((slot.from, slot.to))
+    }
+
+    /// Full borrowed view of a live edge.
+    pub fn edge_ref(&self, id: EdgeId) -> Option<EdgeRef<'_, E>> {
+        let slot = self.edges.get(id.index())?;
+        let payload = slot.payload.as_ref()?;
+        Some(EdgeRef {
+            id,
+            from: slot.from,
+            to: slot.to,
+            payload,
+        })
+    }
+
+    /// Removes an edge, returning its payload.
+    pub fn remove_edge(&mut self, id: EdgeId) -> Option<E> {
+        let slot = self.edges.get_mut(id.index())?;
+        let payload = slot.payload.take()?;
+        let (from, to) = (slot.from, slot.to);
+        self.nodes[from.index()].out.retain(|&e| e != id);
+        self.nodes[to.index()].inc.retain(|&e| e != id);
+        self.live_edges -= 1;
+        Some(payload)
+    }
+
+    /// Removes a node and all its incident edges, returning its payload.
+    pub fn remove_node(&mut self, id: NodeId) -> Option<N> {
+        if !self.contains_node(id) {
+            return None;
+        }
+        let incident: Vec<EdgeId> = self
+            .nodes[id.index()]
+            .out
+            .iter()
+            .chain(self.nodes[id.index()].inc.iter())
+            .copied()
+            .collect();
+        for e in incident {
+            self.remove_edge(e);
+        }
+        let payload = self.nodes[id.index()].payload.take();
+        self.live_nodes -= 1;
+        payload
+    }
+
+    /// Iterates over live node ids in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.payload.is_some())
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+
+    /// Iterates over `(id, &payload)` for live nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.payload.as_ref().map(|p| (NodeId::from_index(i), p)))
+    }
+
+    /// Iterates over live edge ids in insertion order.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.payload.is_some())
+            .map(|(i, _)| EdgeId::from_index(i))
+    }
+
+    /// Iterates over live edges as [`EdgeRef`]s.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
+        self.edges.iter().enumerate().filter_map(|(i, slot)| {
+            slot.payload.as_ref().map(|payload| EdgeRef {
+                id: EdgeId::from_index(i),
+                from: slot.from,
+                to: slot.to,
+                payload,
+            })
+        })
+    }
+
+    /// Outgoing edges of `node`.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
+        self.nodes
+            .get(node.index())
+            .map(|slot| slot.out.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(move |&e| self.edge_ref(e))
+    }
+
+    /// Incoming edges of `node`.
+    pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
+        self.nodes
+            .get(node.index())
+            .map(|slot| slot.inc.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(move |&e| self.edge_ref(e))
+    }
+
+    /// Successor nodes of `node` (deduplicated only by edge — a parallel edge
+    /// yields its target twice, matching multigraph semantics).
+    pub fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_edges(node).map(|e| e.to)
+    }
+
+    /// Predecessor nodes of `node`.
+    pub fn predecessors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_edges(node).map(|e| e.from)
+    }
+
+    /// All edges `from -> to` (there may be several: parallel doors).
+    pub fn edges_between(
+        &self,
+        from: NodeId,
+        to: NodeId,
+    ) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
+        self.out_edges(from).filter(move |e| e.to == to)
+    }
+
+    /// True if at least one directed edge `from -> to` exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.edges_between(from, to).next().is_some()
+    }
+
+    /// Out-degree (counting parallel edges).
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.nodes
+            .get(node.index())
+            .map(|slot| slot.out.len())
+            .unwrap_or(0)
+    }
+
+    /// In-degree (counting parallel edges).
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.nodes
+            .get(node.index())
+            .map(|slot| slot.inc.len())
+            .unwrap_or(0)
+    }
+
+    /// Maps node payloads into a structurally identical graph.
+    pub fn map<N2, E2>(
+        &self,
+        mut node_map: impl FnMut(NodeId, &N) -> N2,
+        mut edge_map: impl FnMut(EdgeId, &E) -> E2,
+    ) -> DiMultigraph<N2, E2> {
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| NodeSlot {
+                payload: slot
+                    .payload
+                    .as_ref()
+                    .map(|p| node_map(NodeId::from_index(i), p)),
+                out: slot.out.clone(),
+                inc: slot.inc.clone(),
+            })
+            .collect();
+        let edges = self
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| EdgeSlot {
+                payload: slot
+                    .payload
+                    .as_ref()
+                    .map(|p| edge_map(EdgeId::from_index(i), p)),
+                from: slot.from,
+                to: slot.to,
+            })
+            .collect();
+        DiMultigraph {
+            nodes,
+            edges,
+            live_nodes: self.live_nodes,
+            live_edges: self.live_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (DiMultigraph<&'static str, u32>, [NodeId; 4]) {
+        // a -> b -> d, a -> c -> d
+        let mut g = DiMultigraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1);
+        g.add_edge(b, d, 2);
+        g.add_edge(a, c, 3);
+        g.add_edge(c, d, 4);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn empty_graph_has_no_entities() {
+        let g: DiMultigraph<(), ()> = DiMultigraph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.node_ids().count(), 0);
+        assert_eq!(g.edge_ids().count(), 0);
+    }
+
+    #[test]
+    fn add_and_read_back_nodes_and_edges() {
+        let (g, [a, b, _, d]) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.node(a), Some(&"a"));
+        assert_eq!(g.node(d), Some(&"d"));
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a), "directed: reverse edge must not exist");
+    }
+
+    #[test]
+    fn parallel_edges_are_distinct() {
+        let mut g: DiMultigraph<(), &str> = DiMultigraph::new();
+        let u = g.add_node(());
+        let v = g.add_node(());
+        let e1 = g.add_edge(u, v, "door-1");
+        let e2 = g.add_edge(u, v, "door-2");
+        assert_ne!(e1, e2);
+        assert_eq!(g.edges_between(u, v).count(), 2);
+        assert_eq!(g.out_degree(u), 2);
+        assert_eq!(g.in_degree(v), 2);
+        let payloads: Vec<&&str> = g.edges_between(u, v).map(|e| e.payload).collect();
+        assert_eq!(payloads, vec![&"door-1", &"door-2"]);
+    }
+
+    #[test]
+    fn self_loops_are_allowed() {
+        let mut g: DiMultigraph<(), ()> = DiMultigraph::new();
+        let u = g.add_node(());
+        let e = g.add_edge(u, u, ());
+        assert_eq!(g.endpoints(e), Some((u, u)));
+        assert_eq!(g.out_degree(u), 1);
+        assert_eq!(g.in_degree(u), 1);
+    }
+
+    #[test]
+    fn remove_edge_keeps_other_ids_stable() {
+        let (mut g, [a, b, c, d]) = diamond();
+        let ab = g.edges_between(a, b).next().unwrap().id;
+        assert_eq!(g.remove_edge(ab), Some(1));
+        assert_eq!(g.edge_count(), 3);
+        assert!(!g.has_edge(a, b));
+        assert!(g.has_edge(a, c));
+        assert!(g.has_edge(b, d));
+        assert!(g.has_edge(c, d));
+        assert_eq!(g.remove_edge(ab), None, "double-remove returns None");
+    }
+
+    #[test]
+    fn remove_node_removes_incident_edges() {
+        let (mut g, [a, b, c, d]) = diamond();
+        assert_eq!(g.remove_node(b), Some("b"));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2, "a->b and b->d must be gone");
+        assert!(!g.contains_node(b));
+        assert!(g.has_edge(a, c));
+        assert!(g.has_edge(c, d));
+        assert_eq!(g.node(b), None);
+    }
+
+    #[test]
+    fn removed_ids_stay_dead_and_new_ids_differ() {
+        let mut g: DiMultigraph<u8, ()> = DiMultigraph::new();
+        let a = g.add_node(1);
+        g.remove_node(a);
+        let b = g.add_node(2);
+        assert_ne!(a, b, "tombstoned slots are not reused");
+        assert!(!g.contains_node(a));
+        assert!(g.contains_node(b));
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let (g, [a, b, c, d]) = diamond();
+        let succ: Vec<NodeId> = g.successors(a).collect();
+        assert_eq!(succ, vec![b, c]);
+        let pred: Vec<NodeId> = g.predecessors(d).collect();
+        assert_eq!(pred, vec![b, c]);
+    }
+
+    #[test]
+    fn node_mut_and_edge_mut_update_payloads() {
+        let (mut g, [a, ..]) = diamond();
+        *g.node_mut(a).unwrap() = "alpha";
+        assert_eq!(g.node(a), Some(&"alpha"));
+        let e = g.edge_ids().next().unwrap();
+        *g.edge_mut(e).unwrap() = 99;
+        assert_eq!(g.edge(e), Some(&99));
+    }
+
+    #[test]
+    fn map_preserves_structure() {
+        let (g, [a, _, _, d]) = diamond();
+        let mapped: DiMultigraph<String, String> =
+            g.map(|_, n| n.to_uppercase(), |_, e| format!("w{e}"));
+        assert_eq!(mapped.node_count(), 4);
+        assert_eq!(mapped.edge_count(), 4);
+        assert_eq!(mapped.node(a), Some(&"A".to_string()));
+        assert_eq!(mapped.predecessors(d).count(), 2);
+    }
+
+    #[test]
+    fn edge_ref_exposes_endpoints_and_payload() {
+        let (g, [a, b, ..]) = diamond();
+        let e = g.edges_between(a, b).next().unwrap();
+        assert_eq!(e.from, a);
+        assert_eq!(e.to, b);
+        assert_eq!(*e.payload, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead target")]
+    fn adding_edge_to_removed_node_panics() {
+        let mut g: DiMultigraph<(), ()> = DiMultigraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.remove_node(b);
+        g.add_edge(a, b, ());
+    }
+}

@@ -1,0 +1,320 @@
+//! Multilayer network: an ordered family of [`DiMultigraph`] layers plus
+//! typed coupling edges between nodes of different layers.
+//!
+//! This mirrors the paper's formalization (§3.2): `G` comprises `m + 1`
+//! layers `G_i = (V_i, E_acc_i)`, and joint edges
+//! `e' ∈ E_top ⊆ V_i × V_j (i ≠ j)` carry binary topological relationships.
+//! Intra-layer and inter-layer edges "are always of a different type, and
+//! therefore G can be considered as an edge-coloured multigraph which can be
+//! mapped to a multilayer network".
+//!
+//! The structure is generic: `L` is the per-layer payload, `N`/`E` the node
+//! and intra-edge payloads, `C` the coupling payload. The indoor space model
+//! (`sitm-space`) instantiates it with domain types.
+
+use crate::ids::{LayerIdx, NodeId};
+use crate::multigraph::DiMultigraph;
+
+/// A node address in a layered graph: which layer, which node within it.
+pub type LayeredNode = (LayerIdx, NodeId);
+
+/// A directed coupling (inter-layer) edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CouplingEdge<C> {
+    /// Source address.
+    pub from: LayeredNode,
+    /// Target address.
+    pub to: LayeredNode,
+    /// Payload (for the space model: the topological relation).
+    pub payload: C,
+}
+
+/// Borrowed view of a coupling edge together with its arena index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CouplingRef<'g, C> {
+    /// Index into the coupling arena.
+    pub index: usize,
+    /// Source address.
+    pub from: LayeredNode,
+    /// Target address.
+    pub to: LayeredNode,
+    /// Payload reference.
+    pub payload: &'g C,
+}
+
+/// An ordered family of directed multigraph layers plus coupling edges.
+///
+/// Invariant enforced here: coupling edges never connect two nodes of the
+/// *same* layer (the paper requires `i ≠ j`); intra-layer relations belong in
+/// the layer graph itself.
+#[derive(Debug, Clone)]
+pub struct LayeredGraph<L, N, E, C> {
+    layers: Vec<(L, DiMultigraph<N, E>)>,
+    couplings: Vec<CouplingEdge<C>>,
+    /// `out_index[layer][node] -> coupling indices with this source`.
+    out_index: Vec<Vec<Vec<usize>>>,
+    /// `in_index[layer][node] -> coupling indices with this target`.
+    in_index: Vec<Vec<Vec<usize>>>,
+}
+
+impl<L, N, E, C> Default for LayeredGraph<L, N, E, C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L, N, E, C> LayeredGraph<L, N, E, C> {
+    /// Creates an empty layered graph.
+    pub fn new() -> Self {
+        LayeredGraph {
+            layers: Vec::new(),
+            couplings: Vec::new(),
+            out_index: Vec::new(),
+            in_index: Vec::new(),
+        }
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Appends an empty layer, returning its index. Layer order is
+    /// significant: hierarchies run from lower indices (roots, e.g.
+    /// BuildingComplex) to higher indices (leaves, e.g. RoI) or vice versa —
+    /// the caller decides; this structure only stores the order.
+    pub fn add_layer(&mut self, payload: L) -> LayerIdx {
+        let idx = LayerIdx::from_index(self.layers.len());
+        self.layers.push((payload, DiMultigraph::new()));
+        self.out_index.push(Vec::new());
+        self.in_index.push(Vec::new());
+        idx
+    }
+
+    /// Layer payload.
+    pub fn layer(&self, idx: LayerIdx) -> Option<&L> {
+        self.layers.get(idx.index()).map(|(p, _)| p)
+    }
+
+    /// Mutable layer payload.
+    pub fn layer_mut(&mut self, idx: LayerIdx) -> Option<&mut L> {
+        self.layers.get_mut(idx.index()).map(|(p, _)| p)
+    }
+
+    /// The intra-layer graph of `idx`.
+    pub fn graph(&self, idx: LayerIdx) -> Option<&DiMultigraph<N, E>> {
+        self.layers.get(idx.index()).map(|(_, g)| g)
+    }
+
+    /// Mutable intra-layer graph of `idx`.
+    pub fn graph_mut(&mut self, idx: LayerIdx) -> Option<&mut DiMultigraph<N, E>> {
+        self.layers.get_mut(idx.index()).map(|(_, g)| g)
+    }
+
+    /// Adds a node to layer `idx`. Panics on a bad layer index.
+    pub fn add_node(&mut self, idx: LayerIdx, payload: N) -> LayeredNode {
+        let g = &mut self.layers[idx.index()].1;
+        let n = g.add_node(payload);
+        (idx, n)
+    }
+
+    /// Adds an intra-layer edge. Panics on a bad layer index.
+    pub fn add_intra_edge(
+        &mut self,
+        idx: LayerIdx,
+        from: NodeId,
+        to: NodeId,
+        payload: E,
+    ) -> crate::ids::EdgeId {
+        self.layers[idx.index()].1.add_edge(from, to, payload)
+    }
+
+    /// Adds a coupling edge between nodes of *different* layers.
+    ///
+    /// # Panics
+    /// If `from.0 == to.0` (same layer) or either endpoint is dead.
+    pub fn add_coupling(&mut self, from: LayeredNode, to: LayeredNode, payload: C) -> usize {
+        assert_ne!(
+            from.0, to.0,
+            "coupling (joint) edges must connect different layers"
+        );
+        assert!(
+            self.layers[from.0.index()].1.contains_node(from.1),
+            "coupling source node is dead"
+        );
+        assert!(
+            self.layers[to.0.index()].1.contains_node(to.1),
+            "coupling target node is dead"
+        );
+        let index = self.couplings.len();
+        self.couplings.push(CouplingEdge { from, to, payload });
+        Self::index_insert(&mut self.out_index[from.0.index()], from.1, index);
+        Self::index_insert(&mut self.in_index[to.0.index()], to.1, index);
+        index
+    }
+
+    fn index_insert(table: &mut Vec<Vec<usize>>, node: NodeId, coupling: usize) {
+        if table.len() <= node.index() {
+            table.resize_with(node.index() + 1, Vec::new);
+        }
+        table[node.index()].push(coupling);
+    }
+
+    /// Total number of coupling edges.
+    pub fn coupling_count(&self) -> usize {
+        self.couplings.len()
+    }
+
+    /// Iterates over all coupling edges.
+    pub fn couplings(&self) -> impl Iterator<Item = CouplingRef<'_, C>> + '_ {
+        self.couplings.iter().enumerate().map(|(i, c)| CouplingRef {
+            index: i,
+            from: c.from,
+            to: c.to,
+            payload: &c.payload,
+        })
+    }
+
+    /// Coupling edges whose source is `node`.
+    pub fn couplings_from(&self, node: LayeredNode) -> impl Iterator<Item = CouplingRef<'_, C>> + '_ {
+        self.out_index[node.0.index()]
+            .get(node.1.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(move |&i| {
+                let c = &self.couplings[i];
+                CouplingRef {
+                    index: i,
+                    from: c.from,
+                    to: c.to,
+                    payload: &c.payload,
+                }
+            })
+    }
+
+    /// Coupling edges whose target is `node`.
+    pub fn couplings_to(&self, node: LayeredNode) -> impl Iterator<Item = CouplingRef<'_, C>> + '_ {
+        self.in_index[node.0.index()]
+            .get(node.1.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(move |&i| {
+                let c = &self.couplings[i];
+                CouplingRef {
+                    index: i,
+                    from: c.from,
+                    to: c.to,
+                    payload: &c.payload,
+                }
+            })
+    }
+
+    /// Total node count across layers.
+    pub fn total_nodes(&self) -> usize {
+        self.layers.iter().map(|(_, g)| g.node_count()).sum()
+    }
+
+    /// Total intra-layer edge count across layers.
+    pub fn total_intra_edges(&self) -> usize {
+        self.layers.iter().map(|(_, g)| g.edge_count()).sum()
+    }
+
+    /// Iterates over `(LayerIdx, &L)`.
+    pub fn layers(&self) -> impl Iterator<Item = (LayerIdx, &L)> + '_ {
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(i, (p, _))| (LayerIdx::from_index(i), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_layer() -> (
+        LayeredGraph<&'static str, &'static str, (), &'static str>,
+        LayeredNode,
+        LayeredNode,
+        LayeredNode,
+    ) {
+        // Layer 0 ("rooms"): hall; Layer 1 ("zones"): z1, z2.
+        let mut lg = LayeredGraph::new();
+        let rooms = lg.add_layer("rooms");
+        let zones = lg.add_layer("zones");
+        let hall = lg.add_node(rooms, "hall");
+        let z1 = lg.add_node(zones, "z1");
+        let z2 = lg.add_node(zones, "z2");
+        lg.add_intra_edge(zones, z1.1, z2.1, ());
+        lg.add_coupling(z1, hall, "coveredBy");
+        (lg, hall, z1, z2)
+    }
+
+    #[test]
+    fn layers_are_ordered_and_counted() {
+        let (lg, ..) = two_layer();
+        assert_eq!(lg.layer_count(), 2);
+        let names: Vec<&&str> = lg.layers().map(|(_, p)| p).collect();
+        assert_eq!(names, vec![&"rooms", &"zones"]);
+        assert_eq!(lg.total_nodes(), 3);
+        assert_eq!(lg.total_intra_edges(), 1);
+    }
+
+    #[test]
+    fn couplings_index_both_directions() {
+        let (lg, hall, z1, z2) = two_layer();
+        assert_eq!(lg.coupling_count(), 1);
+        let from_z1: Vec<_> = lg.couplings_from(z1).collect();
+        assert_eq!(from_z1.len(), 1);
+        assert_eq!(from_z1[0].to, hall);
+        assert_eq!(*from_z1[0].payload, "coveredBy");
+        let to_hall: Vec<_> = lg.couplings_to(hall).collect();
+        assert_eq!(to_hall.len(), 1);
+        assert_eq!(to_hall[0].from, z1);
+        assert!(lg.couplings_from(z2).next().is_none());
+        assert!(lg.couplings_to(z2).next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different layers")]
+    fn same_layer_coupling_is_rejected() {
+        let mut lg: LayeredGraph<(), (), (), ()> = LayeredGraph::new();
+        let l = lg.add_layer(());
+        let a = lg.add_node(l, ());
+        let b = lg.add_node(l, ());
+        lg.add_coupling(a, b, ());
+    }
+
+    #[test]
+    fn intra_layer_graphs_are_independent() {
+        let (lg, _, z1, z2) = two_layer();
+        let zones_graph = lg.graph(LayerIdx::from_index(1)).unwrap();
+        assert!(zones_graph.has_edge(z1.1, z2.1));
+        let rooms_graph = lg.graph(LayerIdx::from_index(0)).unwrap();
+        assert_eq!(rooms_graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn multiple_couplings_per_node() {
+        let mut lg: LayeredGraph<(), (), (), u32> = LayeredGraph::new();
+        let l0 = lg.add_layer(());
+        let l1 = lg.add_layer(());
+        let parent = lg.add_node(l0, ());
+        let c1 = lg.add_node(l1, ());
+        let c2 = lg.add_node(l1, ());
+        lg.add_coupling(parent, c1, 1);
+        lg.add_coupling(parent, c2, 2);
+        let payloads: Vec<u32> = lg.couplings_from(parent).map(|c| *c.payload).collect();
+        assert_eq!(payloads, vec![1, 2]);
+    }
+
+    #[test]
+    fn layer_payload_is_mutable() {
+        let mut lg: LayeredGraph<String, (), (), ()> = LayeredGraph::new();
+        let l = lg.add_layer("draft".to_string());
+        lg.layer_mut(l).unwrap().push_str("-final");
+        assert_eq!(lg.layer(l).unwrap(), "draft-final");
+    }
+}

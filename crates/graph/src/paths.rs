@@ -1,0 +1,369 @@
+//! Shortest paths, simple-path enumeration, and *unavoidable nodes*.
+//!
+//! The unavoidable-node computation is the algorithmic heart of the paper's
+//! Fig. 6 demonstration: a visitor detected in zone E and later in zone S
+//! must have traversed zone P whenever *every* accessibility path from E to
+//! S passes through P. "From the zone layer NRG we can infer that although
+//! never detected there, the visitor must have passed from Zone60888."
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::ids::{EdgeId, NodeId};
+use crate::multigraph::DiMultigraph;
+use crate::traversal::is_reachable_filtered;
+
+/// Errors from path queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathError {
+    /// Source node is absent or removed.
+    BadSource,
+    /// Target node is absent or removed.
+    BadTarget,
+    /// No path connects source to target.
+    Unreachable,
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::BadSource => write!(f, "source node does not exist"),
+            PathError::BadTarget => write!(f, "target node does not exist"),
+            PathError::Unreachable => write!(f, "target unreachable from source"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// A reconstructed shortest path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortestPath {
+    /// Total weight of the path.
+    pub cost: f64,
+    /// Node sequence, source first, target last.
+    pub nodes: Vec<NodeId>,
+    /// Edge sequence; `edges.len() == nodes.len() - 1`.
+    pub edges: Vec<EdgeId>,
+}
+
+/// Dijkstra single-source shortest distances with a per-edge weight function.
+/// Negative weights are rejected by panic (programming error). Returns, for
+/// each reachable node, `(node, cost)`.
+pub fn dijkstra<N, E>(
+    g: &DiMultigraph<N, E>,
+    source: NodeId,
+    mut weight: impl FnMut(EdgeId, &E) -> f64,
+) -> Vec<(NodeId, f64)> {
+    if !g.contains_node(source) {
+        return Vec::new();
+    }
+    let mut dist: Vec<f64> = vec![f64::INFINITY; g.node_bound()];
+    let mut done: Vec<bool> = vec![false; g.node_bound()];
+    let mut heap: BinaryHeap<Reverse<(OrdF64, NodeId)>> = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(Reverse((OrdF64(0.0), source)));
+    while let Some(Reverse((OrdF64(du), u))) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        for e in g.out_edges(u) {
+            let w = weight(e.id, e.payload);
+            assert!(w >= 0.0, "dijkstra requires non-negative weights");
+            let alt = du + w;
+            if alt < dist[e.to.index()] {
+                dist[e.to.index()] = alt;
+                heap.push(Reverse((OrdF64(alt), e.to)));
+            }
+        }
+    }
+    g.node_ids()
+        .filter(|n| dist[n.index()].is_finite())
+        .map(|n| (n, dist[n.index()]))
+        .collect()
+}
+
+/// Shortest path between two nodes with full node/edge reconstruction.
+pub fn shortest_path<N, E>(
+    g: &DiMultigraph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    mut weight: impl FnMut(EdgeId, &E) -> f64,
+) -> Result<ShortestPath, PathError> {
+    if !g.contains_node(source) {
+        return Err(PathError::BadSource);
+    }
+    if !g.contains_node(target) {
+        return Err(PathError::BadTarget);
+    }
+    let bound = g.node_bound();
+    let mut dist: Vec<f64> = vec![f64::INFINITY; bound];
+    let mut done: Vec<bool> = vec![false; bound];
+    let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; bound];
+    let mut heap: BinaryHeap<Reverse<(OrdF64, NodeId)>> = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(Reverse((OrdF64(0.0), source)));
+    while let Some(Reverse((OrdF64(du), u))) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        if u == target {
+            break;
+        }
+        done[u.index()] = true;
+        for e in g.out_edges(u) {
+            let w = weight(e.id, e.payload);
+            assert!(w >= 0.0, "shortest_path requires non-negative weights");
+            let alt = du + w;
+            if alt < dist[e.to.index()] {
+                dist[e.to.index()] = alt;
+                prev[e.to.index()] = Some((u, e.id));
+                heap.push(Reverse((OrdF64(alt), e.to)));
+            }
+        }
+    }
+    if !dist[target.index()].is_finite() {
+        return Err(PathError::Unreachable);
+    }
+    let mut nodes = vec![target];
+    let mut edges = Vec::new();
+    let mut cur = target;
+    while cur != source {
+        let (p, e) = prev[cur.index()].expect("finite distance implies predecessor");
+        nodes.push(p);
+        edges.push(e);
+        cur = p;
+    }
+    nodes.reverse();
+    edges.reverse();
+    Ok(ShortestPath {
+        cost: dist[target.index()],
+        nodes,
+        edges,
+    })
+}
+
+/// Enumerates all *simple* (no repeated node) paths from `source` to
+/// `target` as node sequences, up to `max_paths` results and `max_len`
+/// nodes per path. Bounded so that pathological graphs cannot explode.
+pub fn all_simple_paths<N, E>(
+    g: &DiMultigraph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    max_len: usize,
+    max_paths: usize,
+) -> Vec<Vec<NodeId>> {
+    if !g.contains_node(source) || !g.contains_node(target) || max_len == 0 || max_paths == 0 {
+        return Vec::new();
+    }
+    let mut results = Vec::new();
+    let mut on_path = vec![false; g.node_bound()];
+    let mut path = vec![source];
+    on_path[source.index()] = true;
+    // Iterative DFS with an explicit successor cursor per frame.
+    let mut frames: Vec<Vec<NodeId>> = vec![g.successors(source).collect()];
+    while let Some(frame) = frames.last_mut() {
+        if results.len() >= max_paths {
+            break;
+        }
+        match frame.pop() {
+            None => {
+                frames.pop();
+                let left = path.pop().expect("path tracks frames");
+                on_path[left.index()] = false;
+            }
+            Some(v) => {
+                if on_path[v.index()] {
+                    continue;
+                }
+                if v == target {
+                    let mut found = path.clone();
+                    found.push(v);
+                    results.push(found);
+                    continue;
+                }
+                if path.len() + 1 >= max_len {
+                    continue;
+                }
+                on_path[v.index()] = true;
+                path.push(v);
+                frames.push(g.successors(v).collect());
+            }
+        }
+    }
+    results
+}
+
+/// Nodes that lie on **every** directed path from `source` to `target`,
+/// excluding the endpoints themselves, ordered by hop distance from
+/// `source`. Returns `Err(PathError::Unreachable)` if no path exists at all.
+///
+/// A node `x` is unavoidable iff removing it disconnects `source` from
+/// `target`. Candidates are restricted to nodes of one shortest path (any
+/// unavoidable node necessarily lies on every path, hence on that one),
+/// which keeps the check to O(path_len · (V + E)).
+pub fn unavoidable_nodes<N, E>(
+    g: &DiMultigraph<N, E>,
+    source: NodeId,
+    target: NodeId,
+) -> Result<Vec<NodeId>, PathError> {
+    let base = shortest_path(g, source, target, |_, _| 1.0)?;
+    let mut out = Vec::new();
+    for &cand in &base.nodes {
+        if cand == source || cand == target {
+            continue;
+        }
+        if !is_reachable_filtered(g, source, target, |x| x != cand) {
+            out.push(cand);
+        }
+    }
+    Ok(out)
+}
+
+/// Total-ordering wrapper for non-NaN f64 keys inside the binary heap.
+#[derive(PartialEq, PartialOrd)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other)
+            .expect("path weights must not be NaN")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// E -> P -> S -> C chain plus a two-path detour between S and C.
+    ///
+    ///   e -> p -> s -> c
+    ///             s -> x -> c
+    fn louvre_like() -> (DiMultigraph<&'static str, f64>, [NodeId; 5]) {
+        let mut g = DiMultigraph::new();
+        let e = g.add_node("E");
+        let p = g.add_node("P");
+        let s = g.add_node("S");
+        let c = g.add_node("C");
+        let x = g.add_node("X");
+        g.add_edge(e, p, 1.0);
+        g.add_edge(p, s, 1.0);
+        g.add_edge(s, c, 5.0);
+        g.add_edge(s, x, 1.0);
+        g.add_edge(x, c, 1.0);
+        (g, [e, p, s, c, x])
+    }
+
+    #[test]
+    fn dijkstra_computes_weighted_distances() {
+        let (g, [e, p, s, c, x]) = louvre_like();
+        let d = dijkstra(&g, e, |_, w| *w);
+        let get = |n: NodeId| d.iter().find(|(u, _)| *u == n).map(|(_, c)| *c);
+        assert_eq!(get(e), Some(0.0));
+        assert_eq!(get(p), Some(1.0));
+        assert_eq!(get(s), Some(2.0));
+        assert_eq!(get(x), Some(3.0));
+        assert_eq!(get(c), Some(4.0), "detour via X beats direct weight-5 edge");
+    }
+
+    #[test]
+    fn shortest_path_reconstructs_nodes_and_edges() {
+        let (g, [e, p, s, c, x]) = louvre_like();
+        let sp = shortest_path(&g, e, c, |_, w| *w).unwrap();
+        assert_eq!(sp.cost, 4.0);
+        assert_eq!(sp.nodes, vec![e, p, s, x, c]);
+        assert_eq!(sp.edges.len(), 4);
+        for (i, eid) in sp.edges.iter().enumerate() {
+            let (from, to) = g.endpoints(*eid).unwrap();
+            assert_eq!(from, sp.nodes[i]);
+            assert_eq!(to, sp.nodes[i + 1]);
+        }
+    }
+
+    #[test]
+    fn shortest_path_errors() {
+        let (mut g, [e, _, _, c, _]) = louvre_like();
+        let dead = g.add_node("dead");
+        g.remove_node(dead);
+        assert_eq!(
+            shortest_path(&g, dead, c, |_, _| 1.0),
+            Err(PathError::BadSource)
+        );
+        assert_eq!(
+            shortest_path(&g, e, dead, |_, _| 1.0),
+            Err(PathError::BadTarget)
+        );
+        // c has no outgoing edges, so e is unreachable from c.
+        assert_eq!(
+            shortest_path(&g, c, e, |_, _| 1.0),
+            Err(PathError::Unreachable)
+        );
+    }
+
+    #[test]
+    fn all_simple_paths_enumerates_both_routes() {
+        let (g, [e, p, s, c, x]) = louvre_like();
+        let mut paths = all_simple_paths(&g, e, c, 10, 10);
+        paths.sort();
+        assert_eq!(paths.len(), 2);
+        assert!(paths.contains(&vec![e, p, s, c]));
+        assert!(paths.contains(&vec![e, p, s, x, c]));
+    }
+
+    #[test]
+    fn all_simple_paths_respects_limits() {
+        let (g, [e, _, _, c, _]) = louvre_like();
+        assert_eq!(all_simple_paths(&g, e, c, 10, 1).len(), 1);
+        // max_len of 4 nodes excludes the 5-node detour path.
+        let short_only = all_simple_paths(&g, e, c, 4, 10);
+        assert_eq!(short_only.len(), 1);
+        assert_eq!(short_only[0].len(), 4);
+    }
+
+    #[test]
+    fn unavoidable_nodes_finds_the_fig6_intermediate() {
+        let (g, [e, p, s, c, x]) = louvre_like();
+        // Every E -> C path passes through P and S, but X is avoidable.
+        let unavoidable = unavoidable_nodes(&g, e, c).unwrap();
+        assert_eq!(unavoidable, vec![p, s]);
+        assert!(!unavoidable.contains(&x));
+    }
+
+    #[test]
+    fn unavoidable_nodes_empty_when_parallel_routes_exist() {
+        let mut g: DiMultigraph<(), ()> = DiMultigraph::new();
+        let a = g.add_node(());
+        let b1 = g.add_node(());
+        let b2 = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b1, ());
+        g.add_edge(b1, c, ());
+        g.add_edge(a, b2, ());
+        g.add_edge(b2, c, ());
+        assert_eq!(unavoidable_nodes(&g, a, c).unwrap(), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn unavoidable_nodes_unreachable_error() {
+        let (g, [_, _, _, c, x]) = louvre_like();
+        assert_eq!(unavoidable_nodes(&g, c, x), Err(PathError::Unreachable));
+    }
+
+    #[test]
+    fn unavoidable_nodes_ordered_from_source() {
+        // a -> b -> c -> d strict chain: b then c.
+        let mut g: DiMultigraph<(), ()> = DiMultigraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        g.add_edge(c, d, ());
+        assert_eq!(unavoidable_nodes(&g, a, d).unwrap(), vec![b, c]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Connected-component computations.
+//!
+//! Strong components (Tarjan, iterative) answer "can a visitor walk from any
+//! cell of this set to any other and back?" — useful to audit one-way
+//! accessibility rules. Weak components answer basic integrity questions
+//! ("is the zone graph connected at all?").
+
+use crate::ids::NodeId;
+use crate::multigraph::DiMultigraph;
+
+/// Strongly connected components, each a vector of node ids. Components are
+/// emitted in reverse topological order of the condensation (Tarjan's
+/// property); nodes within a component are in discovery order.
+pub fn strongly_connected_components<N, E>(g: &DiMultigraph<N, E>) -> Vec<Vec<NodeId>> {
+    let bound = g.node_bound();
+    let mut index: Vec<Option<u32>> = vec![None; bound];
+    let mut lowlink: Vec<u32> = vec![0; bound];
+    let mut on_stack: Vec<bool> = vec![false; bound];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index: u32 = 0;
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+
+    // Iterative Tarjan: each frame is (node, successor cursor).
+    enum Frame {
+        Enter(NodeId),
+        Resume(NodeId, usize),
+    }
+
+    for root in g.node_ids() {
+        if index[root.index()].is_some() {
+            continue;
+        }
+        let mut work = vec![Frame::Enter(root)];
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v.index()] = Some(next_index);
+                    lowlink[v.index()] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v.index()] = true;
+                    work.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut cursor) => {
+                    let succ: Vec<NodeId> = g.successors(v).collect();
+                    let mut descended = false;
+                    while cursor < succ.len() {
+                        let w = succ[cursor];
+                        cursor += 1;
+                        match index[w.index()] {
+                            None => {
+                                work.push(Frame::Resume(v, cursor));
+                                work.push(Frame::Enter(w));
+                                descended = true;
+                                break;
+                            }
+                            Some(widx) => {
+                                if on_stack[w.index()] {
+                                    lowlink[v.index()] = lowlink[v.index()].min(widx);
+                                }
+                            }
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // All successors processed: maybe pop a component.
+                    if lowlink[v.index()] == index[v.index()].expect("visited") {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("stack holds current SCC");
+                            on_stack[w.index()] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.reverse();
+                        components.push(comp);
+                    }
+                    // Propagate lowlink to parent frame if any.
+                    if let Some(Frame::Resume(parent, _)) = work.last() {
+                        let p = *parent;
+                        lowlink[p.index()] = lowlink[p.index()].min(lowlink[v.index()]);
+                    }
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Weakly connected components (edge direction ignored).
+pub fn weakly_connected_components<N, E>(g: &DiMultigraph<N, E>) -> Vec<Vec<NodeId>> {
+    let bound = g.node_bound();
+    let mut seen = vec![false; bound];
+    let mut components = Vec::new();
+    for root in g.node_ids() {
+        if seen[root.index()] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut stack = vec![root];
+        seen[root.index()] = true;
+        while let Some(u) = stack.pop() {
+            comp.push(u);
+            for v in g.successors(u).chain(g.predecessors(u)) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        comp.sort();
+        components.push(comp);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_is_one_scc() {
+        let mut g: DiMultigraph<(), ()> = DiMultigraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        g.add_edge(c, a, ());
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 3);
+    }
+
+    #[test]
+    fn dag_yields_singletons() {
+        let mut g: DiMultigraph<(), ()> = DiMultigraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn mixed_graph_partitions_correctly() {
+        // Cycle {a,b} feeding a tail {c}, plus isolated {d}.
+        let mut g: DiMultigraph<&str, ()> = DiMultigraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        g.add_edge(b, c, ());
+        let mut sccs = strongly_connected_components(&g);
+        sccs.sort_by_key(|c| c.len());
+        assert_eq!(sccs.len(), 3);
+        assert_eq!(sccs[2].len(), 2, "the a/b cycle");
+        let cycle: Vec<NodeId> = sccs[2].clone();
+        assert!(cycle.contains(&a) && cycle.contains(&b));
+        assert!(sccs[..2].iter().any(|comp| comp == &vec![c]));
+        assert!(sccs[..2].iter().any(|comp| comp == &vec![d]));
+    }
+
+    #[test]
+    fn sccs_emitted_in_reverse_topological_order() {
+        // a -> b: component {b} must be emitted before {a}.
+        let mut g: DiMultigraph<(), ()> = DiMultigraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs, vec![vec![b], vec![a]]);
+    }
+
+    #[test]
+    fn one_way_rule_splits_strong_component() {
+        // Rooms 2 and 4 from the paper's Fig. 1: exit 4->2 allowed, entry
+        // 2->4 forbidden. With a bidirectional pair 2<->3<->4 they'd all be
+        // one SCC; with the one-way rule alone, they are separate.
+        let mut g: DiMultigraph<&str, ()> = DiMultigraph::new();
+        let r2 = g.add_node("room2");
+        let r4 = g.add_node("room4");
+        g.add_edge(r4, r2, ()); // exit allowed
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+    }
+
+    #[test]
+    fn weak_components_ignore_direction() {
+        let mut g: DiMultigraph<(), ()> = DiMultigraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        // c isolated
+        let comps = weakly_connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert!(comps.contains(&vec![a, b]));
+        assert!(comps.contains(&vec![c]));
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g: DiMultigraph<(), ()> = DiMultigraph::new();
+        assert!(strongly_connected_components(&g).is_empty());
+        assert!(weakly_connected_components(&g).is_empty());
+    }
+
+    #[test]
+    fn parallel_edges_do_not_duplicate_members() {
+        let mut g: DiMultigraph<(), ()> = DiMultigraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 2);
+    }
+}

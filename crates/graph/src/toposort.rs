@@ -1,0 +1,164 @@
+//! Topological sorting (Kahn's algorithm) and cycle detection.
+//!
+//! Layer hierarchies in the space model must be *proper*: the `contains` /
+//! `covers` joint edges, directed top→bottom, must form a DAG. Validation
+//! uses this module.
+
+use std::collections::VecDeque;
+
+use crate::ids::NodeId;
+use crate::multigraph::DiMultigraph;
+
+/// Error carrying one witness cycle (as a node list, first node repeated at
+/// the end is *not* included).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError {
+    /// Nodes forming a directed cycle, in order.
+    pub cycle: Vec<NodeId>,
+}
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "graph contains a cycle through {} node(s)", self.cycle.len())
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Kahn topological sort. Returns node ids in an order where every edge goes
+/// from an earlier to a later node, or a [`CycleError`] witnessing a cycle.
+pub fn topological_sort<N, E>(g: &DiMultigraph<N, E>) -> Result<Vec<NodeId>, CycleError> {
+    let bound = g.node_bound();
+    let mut indegree: Vec<usize> = vec![0; bound];
+    for n in g.node_ids() {
+        indegree[n.index()] = g.in_degree(n);
+    }
+    let mut queue: VecDeque<NodeId> = g
+        .node_ids()
+        .filter(|n| indegree[n.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(g.node_count());
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for v in g.successors(u) {
+            indegree[v.index()] -= 1;
+            if indegree[v.index()] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    if order.len() == g.node_count() {
+        return Ok(order);
+    }
+    // Some nodes remain with positive in-degree: extract one witness cycle by
+    // walking predecessors among the remaining nodes until a repeat.
+    let remaining: Vec<NodeId> = g
+        .node_ids()
+        .filter(|n| indegree[n.index()] > 0)
+        .collect();
+    let start = remaining[0];
+    let mut seen_at: Vec<Option<usize>> = vec![None; bound];
+    let mut walk = vec![start];
+    seen_at[start.index()] = Some(0);
+    loop {
+        let cur = *walk.last().expect("walk is never empty");
+        let next = g
+            .predecessors(cur)
+            .find(|p| indegree[p.index()] > 0)
+            .expect("nodes in a cycle region keep cyclic predecessors");
+        if let Some(pos) = seen_at[next.index()] {
+            let mut cycle: Vec<NodeId> = walk[pos..].to_vec();
+            cycle.reverse(); // walk followed predecessors; reverse to edge order
+            return Err(CycleError { cycle });
+        }
+        seen_at[next.index()] = Some(walk.len());
+        walk.push(next);
+    }
+}
+
+/// True iff the graph has no directed cycle.
+pub fn is_acyclic<N, E>(g: &DiMultigraph<N, E>) -> bool {
+    topological_sort(g).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_a_dag() {
+        let mut g: DiMultigraph<&str, ()> = DiMultigraph::new();
+        let building = g.add_node("building");
+        let floor = g.add_node("floor");
+        let room = g.add_node("room");
+        g.add_edge(building, floor, ());
+        g.add_edge(floor, room, ());
+        let order = topological_sort(&g).unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(building) < pos(floor));
+        assert!(pos(floor) < pos(room));
+    }
+
+    #[test]
+    fn detects_self_loop() {
+        let mut g: DiMultigraph<(), ()> = DiMultigraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        let err = topological_sort(&g).unwrap_err();
+        assert_eq!(err.cycle, vec![a]);
+    }
+
+    #[test]
+    fn detects_two_cycle_with_witness() {
+        let mut g: DiMultigraph<(), ()> = DiMultigraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        g.add_edge(a, c, ());
+        let err = topological_sort(&g).unwrap_err();
+        assert_eq!(err.cycle.len(), 2);
+        assert!(err.cycle.contains(&a) && err.cycle.contains(&b));
+        // Witness must be a real cycle: consecutive edges exist.
+        for w in 0..err.cycle.len() {
+            let from = err.cycle[w];
+            let to = err.cycle[(w + 1) % err.cycle.len()];
+            assert!(g.has_edge(from, to), "witness edge {from:?}->{to:?} missing");
+        }
+    }
+
+    #[test]
+    fn empty_graph_sorts_trivially() {
+        let g: DiMultigraph<(), ()> = DiMultigraph::new();
+        assert_eq!(topological_sort(&g).unwrap(), Vec::<NodeId>::new());
+        assert!(is_acyclic(&g));
+    }
+
+    #[test]
+    fn parallel_edges_do_not_break_kahn() {
+        let mut g: DiMultigraph<(), ()> = DiMultigraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, b, ());
+        let order = topological_sort(&g).unwrap();
+        assert_eq!(order, vec![a, b]);
+    }
+
+    #[test]
+    fn cycle_deep_in_graph_is_found() {
+        let mut g: DiMultigraph<(), ()> = DiMultigraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        g.add_edge(c, d, ());
+        g.add_edge(d, b, ()); // cycle b -> c -> d -> b
+        let err = topological_sort(&g).unwrap_err();
+        assert_eq!(err.cycle.len(), 3);
+        assert!(!err.cycle.contains(&a));
+    }
+}

@@ -1,0 +1,215 @@
+//! Breadth-first and depth-first traversal over [`DiMultigraph`].
+
+use std::collections::VecDeque;
+
+use crate::ids::NodeId;
+use crate::multigraph::DiMultigraph;
+
+/// Visits nodes reachable from `start` in breadth-first order following
+/// outgoing edges. Each node appears once, `start` first.
+pub fn bfs_order<N, E>(g: &DiMultigraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    if !g.contains_node(start) {
+        return Vec::new();
+    }
+    let mut seen = vec![false; g.node_bound()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for v in g.successors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Hop distance (minimum edge count) from `start` to every reachable node.
+/// Unreachable nodes are absent from the result.
+pub fn bfs_distances<N, E>(g: &DiMultigraph<N, E>, start: NodeId) -> Vec<(NodeId, usize)> {
+    if !g.contains_node(start) {
+        return Vec::new();
+    }
+    let mut dist: Vec<Option<usize>> = vec![None; g.node_bound()];
+    let mut queue = VecDeque::new();
+    dist[start.index()] = Some(0);
+    queue.push_back(start);
+    let mut out = Vec::new();
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        out.push((u, du));
+        for v in g.successors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    out
+}
+
+/// Visits nodes reachable from `start` in depth-first preorder, exploring
+/// successors in insertion order.
+pub fn dfs_order<N, E>(g: &DiMultigraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    if !g.contains_node(start) {
+        return Vec::new();
+    }
+    let mut seen = vec![false; g.node_bound()];
+    let mut order = Vec::new();
+    // Explicit stack; push successors reversed so they pop in insertion order.
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        if seen[u.index()] {
+            continue;
+        }
+        seen[u.index()] = true;
+        order.push(u);
+        let succ: Vec<NodeId> = g.successors(u).collect();
+        for v in succ.into_iter().rev() {
+            if !seen[v.index()] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// True if `to` is reachable from `from` following directed edges.
+/// `is_reachable(g, x, x)` is true for any live node `x`.
+pub fn is_reachable<N, E>(g: &DiMultigraph<N, E>, from: NodeId, to: NodeId) -> bool {
+    if !g.contains_node(from) || !g.contains_node(to) {
+        return false;
+    }
+    if from == to {
+        return true;
+    }
+    let mut seen = vec![false; g.node_bound()];
+    let mut stack = vec![from];
+    seen[from.index()] = true;
+    while let Some(u) = stack.pop() {
+        for v in g.successors(u) {
+            if v == to {
+                return true;
+            }
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    false
+}
+
+/// Reachability restricted to a node predicate: nodes failing `allow` are
+/// treated as removed (endpoints must still pass). Used by the missing-cell
+/// inference to test "is `to` reachable if cell `x` were closed?".
+pub fn is_reachable_filtered<N, E>(
+    g: &DiMultigraph<N, E>,
+    from: NodeId,
+    to: NodeId,
+    mut allow: impl FnMut(NodeId) -> bool,
+) -> bool {
+    if !g.contains_node(from) || !g.contains_node(to) || !allow(from) || !allow(to) {
+        return false;
+    }
+    if from == to {
+        return true;
+    }
+    let mut seen = vec![false; g.node_bound()];
+    let mut stack = vec![from];
+    seen[from.index()] = true;
+    while let Some(u) = stack.pop() {
+        for v in g.successors(u) {
+            if seen[v.index()] || !allow(v) {
+                continue;
+            }
+            if v == to {
+                return true;
+            }
+            seen[v.index()] = true;
+            stack.push(v);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 -> 1 -> 2 -> 3, plus 0 -> 2 shortcut and isolated 4.
+    fn chain_with_shortcut() -> (DiMultigraph<usize, ()>, Vec<NodeId>) {
+        let mut g = DiMultigraph::new();
+        let n: Vec<NodeId> = (0..5).map(|i| g.add_node(i)).collect();
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[1], n[2], ());
+        g.add_edge(n[2], n[3], ());
+        g.add_edge(n[0], n[2], ());
+        (g, n)
+    }
+
+    #[test]
+    fn bfs_order_visits_by_level() {
+        let (g, n) = chain_with_shortcut();
+        assert_eq!(bfs_order(&g, n[0]), vec![n[0], n[1], n[2], n[3]]);
+    }
+
+    #[test]
+    fn bfs_distances_take_shortcut() {
+        let (g, n) = chain_with_shortcut();
+        let d = bfs_distances(&g, n[0]);
+        let get = |x: NodeId| d.iter().find(|(u, _)| *u == x).map(|(_, d)| *d);
+        assert_eq!(get(n[0]), Some(0));
+        assert_eq!(get(n[2]), Some(1), "shortcut 0->2 wins over 0->1->2");
+        assert_eq!(get(n[3]), Some(2));
+        assert_eq!(get(n[4]), None, "isolated node unreachable");
+    }
+
+    #[test]
+    fn dfs_preorder_follows_first_branch() {
+        let (g, n) = chain_with_shortcut();
+        assert_eq!(dfs_order(&g, n[0]), vec![n[0], n[1], n[2], n[3]]);
+    }
+
+    #[test]
+    fn reachability_is_directed() {
+        let (g, n) = chain_with_shortcut();
+        assert!(is_reachable(&g, n[0], n[3]));
+        assert!(!is_reachable(&g, n[3], n[0]));
+        assert!(is_reachable(&g, n[2], n[2]), "self reachability");
+        assert!(!is_reachable(&g, n[0], n[4]));
+    }
+
+    #[test]
+    fn filtered_reachability_respects_blocked_nodes() {
+        let (g, n) = chain_with_shortcut();
+        // Blocking node 2 cuts every 0 -> 3 path.
+        assert!(!is_reachable_filtered(&g, n[0], n[3], |x| x != n[2]));
+        // Blocking node 1 leaves the 0 -> 2 -> 3 path intact.
+        assert!(is_reachable_filtered(&g, n[0], n[3], |x| x != n[1]));
+    }
+
+    #[test]
+    fn traversal_from_dead_node_is_empty() {
+        let (mut g, n) = chain_with_shortcut();
+        g.remove_node(n[0]);
+        assert!(bfs_order(&g, n[0]).is_empty());
+        assert!(dfs_order(&g, n[0]).is_empty());
+        assert!(!is_reachable(&g, n[0], n[1]));
+    }
+
+    #[test]
+    fn bfs_handles_cycles() {
+        let mut g: DiMultigraph<(), ()> = DiMultigraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        assert_eq!(bfs_order(&g, a), vec![a, b]);
+        assert!(is_reachable(&g, b, a));
+    }
+}

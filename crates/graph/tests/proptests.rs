@@ -1,0 +1,149 @@
+//! Property-based tests for the graph substrate on random digraphs.
+
+use proptest::prelude::*;
+
+use sitm_graph::{
+    bfs_distances, bfs_order, dijkstra, is_reachable, shortest_path,
+    strongly_connected_components, topological_sort, weakly_connected_components, DiMultigraph,
+    NodeId,
+};
+
+/// Builds a digraph from `n` nodes and an arbitrary edge list (indices
+/// taken modulo `n`).
+fn build(n: usize, edges: &[(usize, usize)]) -> (DiMultigraph<usize, f64>, Vec<NodeId>) {
+    let mut g = DiMultigraph::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| g.add_node(i)).collect();
+    for &(a, b) in edges {
+        g.add_edge(nodes[a % n], nodes[b % n], 1.0 + (a % 7) as f64);
+    }
+    (g, nodes)
+}
+
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..20).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0usize..n, 0usize..n), 0..60),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn bfs_visits_each_node_once((n, edges) in arb_graph()) {
+        let (g, nodes) = build(n, &edges);
+        let order = bfs_order(&g, nodes[0]);
+        let mut sorted = order.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), order.len(), "no repeats");
+        prop_assert_eq!(order.first(), Some(&nodes[0]));
+    }
+
+    #[test]
+    fn bfs_distance_is_monotone_in_visit_order((n, edges) in arb_graph()) {
+        let (g, nodes) = build(n, &edges);
+        let dist = bfs_distances(&g, nodes[0]);
+        for w in dist.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1, "BFS emits nondecreasing distances");
+        }
+    }
+
+    #[test]
+    fn reachability_agrees_with_bfs((n, edges) in arb_graph()) {
+        let (g, nodes) = build(n, &edges);
+        let reach: Vec<NodeId> = bfs_order(&g, nodes[0]);
+        for &node in &nodes {
+            prop_assert_eq!(
+                is_reachable(&g, nodes[0], node),
+                reach.contains(&node)
+            );
+        }
+    }
+
+    #[test]
+    fn dijkstra_never_beats_hops_times_min_weight((n, edges) in arb_graph()) {
+        let (g, nodes) = build(n, &edges);
+        let hop = bfs_distances(&g, nodes[0]);
+        let weighted = dijkstra(&g, nodes[0], |_, w| *w);
+        // Same reachable set.
+        prop_assert_eq!(hop.len(), weighted.len());
+        // Weighted distance >= hop count (all weights >= 1).
+        for (node, cost) in &weighted {
+            let hops = hop.iter().find(|(h, _)| h == node).expect("same set").1;
+            prop_assert!(*cost + 1e-9 >= hops as f64);
+        }
+    }
+
+    #[test]
+    fn shortest_path_edges_connect_consecutive_nodes((n, edges) in arb_graph()) {
+        let (g, nodes) = build(n, &edges);
+        let target = nodes[n - 1];
+        if let Ok(sp) = shortest_path(&g, nodes[0], target, |_, w| *w) {
+            prop_assert_eq!(sp.nodes.first(), Some(&nodes[0]));
+            prop_assert_eq!(sp.nodes.last(), Some(&target));
+            prop_assert_eq!(sp.edges.len() + 1, sp.nodes.len());
+            let mut cost = 0.0;
+            for (i, e) in sp.edges.iter().enumerate() {
+                let (from, to) = g.endpoints(*e).expect("live edge");
+                prop_assert_eq!(from, sp.nodes[i]);
+                prop_assert_eq!(to, sp.nodes[i + 1]);
+                cost += *g.edge(*e).expect("live edge");
+            }
+            prop_assert!((cost - sp.cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sccs_partition_the_nodes((n, edges) in arb_graph()) {
+        let (g, _) = build(n, &edges);
+        let sccs = strongly_connected_components(&g);
+        let mut all: Vec<NodeId> = sccs.iter().flatten().copied().collect();
+        all.sort();
+        all.dedup();
+        prop_assert_eq!(all.len(), n, "every node in exactly one SCC");
+        // Mutual reachability within each component.
+        for comp in &sccs {
+            for &a in comp {
+                for &b in comp {
+                    prop_assert!(is_reachable(&g, a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weak_components_are_coarser_than_strong((n, edges) in arb_graph()) {
+        let (g, _) = build(n, &edges);
+        let strong = strongly_connected_components(&g);
+        let weak = weakly_connected_components(&g);
+        prop_assert!(weak.len() <= strong.len());
+        let total: usize = weak.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn toposort_respects_every_edge_or_reports_a_cycle((n, edges) in arb_graph()) {
+        let (g, _) = build(n, &edges);
+        match topological_sort(&g) {
+            Ok(order) => {
+                prop_assert_eq!(order.len(), n);
+                let pos: std::collections::BTreeMap<NodeId, usize> =
+                    order.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+                for e in g.edges() {
+                    prop_assert!(pos[&e.from] < pos[&e.to] || e.from == e.to);
+                }
+            }
+            Err(err) => {
+                // The witness must be a genuine cycle.
+                let cycle = &err.cycle;
+                prop_assert!(!cycle.is_empty());
+                for i in 0..cycle.len() {
+                    let from = cycle[i];
+                    let to = cycle[(i + 1) % cycle.len()];
+                    prop_assert!(g.has_edge(from, to), "witness edge missing");
+                }
+            }
+        }
+    }
+}

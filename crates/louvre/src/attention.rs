@@ -1,0 +1,198 @@
+//! Focus-of-attention model for the Louvre (§5 future work).
+//!
+//! Instantiates [`sitm_core::conceptual`] for the museum: a stay in a
+//! flagship exhibit's RoI attends that exhibit (strongly, since the RoI
+//! *is* "the predefined spatial area of engagement with the corresponding
+//! exhibit, outside of which a visitor is certainly not paying attention
+//! to it", §4.2); a stay in a zone hosting flagship exhibits attends each
+//! of them weakly (the visitor is in the right hall but not committed).
+//!
+//! Attention weights decay for very short stays: a pass-through glance
+//! below [`AttentionConfig::full_engagement`] earns proportionally less.
+
+use sitm_core::{derive_conceptual, ConceptualTrace, Duration, PresenceInterval, Trace};
+use sitm_space::CellRef;
+
+use crate::building::LouvreModel;
+use crate::rois::{famous_exhibits, FamousExhibit};
+
+/// Tuning knobs of the museum attention model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttentionConfig {
+    /// Weight of a stay inside an exhibit's RoI.
+    pub roi_weight: f64,
+    /// Weight of a stay in the exhibit's zone but outside its RoI.
+    pub zone_weight: f64,
+    /// Stays at least this long earn their full weight; shorter stays
+    /// scale linearly ("a 10-second glance is not engagement").
+    pub full_engagement: Duration,
+}
+
+impl Default for AttentionConfig {
+    fn default() -> Self {
+        AttentionConfig {
+            roi_weight: 1.0,
+            zone_weight: 0.25,
+            full_engagement: Duration::minutes(2),
+        }
+    }
+}
+
+/// The compiled attention model: cell → attended exhibits.
+#[derive(Debug, Clone)]
+pub struct AttentionModel {
+    /// `(roi_cell, exhibit)` pairs for flagship RoIs present in the model.
+    roi_cells: Vec<(CellRef, FamousExhibit)>,
+    /// `(zone_cell, exhibit)` pairs.
+    zone_cells: Vec<(CellRef, FamousExhibit)>,
+    config: AttentionConfig,
+}
+
+impl AttentionModel {
+    /// Compiles the attention model against a built Louvre.
+    pub fn new(model: &LouvreModel, config: AttentionConfig) -> AttentionModel {
+        let mut roi_cells = Vec::new();
+        let mut zone_cells = Vec::new();
+        for exhibit in famous_exhibits() {
+            if let Some(cell) = model.space.resolve(exhibit.key) {
+                roi_cells.push((cell, exhibit));
+            }
+            if let Some(cell) = model.zone(exhibit.zone_id) {
+                zone_cells.push((cell, exhibit));
+            }
+        }
+        AttentionModel {
+            roi_cells,
+            zone_cells,
+            config,
+        }
+    }
+
+    /// Number of RoI-level attention targets.
+    pub fn roi_targets(&self) -> usize {
+        self.roi_cells.len()
+    }
+
+    /// The `(concept, weight)` pairs one stay attends.
+    pub fn attend(&self, stay: &PresenceInterval) -> Vec<(String, f64)> {
+        let scale = {
+            let full = self.config.full_engagement.as_secs_f64();
+            if full <= 0.0 {
+                1.0
+            } else {
+                (stay.duration().as_secs_f64() / full).min(1.0)
+            }
+        };
+        if scale <= 0.0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (cell, exhibit) in &self.roi_cells {
+            if *cell == stay.cell {
+                out.push((exhibit.name.to_string(), self.config.roi_weight * scale));
+            }
+        }
+        if out.is_empty() {
+            for (cell, exhibit) in &self.zone_cells {
+                if *cell == stay.cell {
+                    out.push((exhibit.name.to_string(), self.config.zone_weight * scale));
+                }
+            }
+        }
+        out
+    }
+
+    /// Derives the conceptual trajectory of a physical trace.
+    pub fn conceptual_trace(&self, trace: &Trace) -> ConceptualTrace {
+        derive_conceptual(trace, |stay| self.attend(stay))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_louvre;
+    use sitm_core::{Timestamp, TransitionTaken};
+
+    fn model_and_attention() -> (LouvreModel, AttentionModel) {
+        let model = build_louvre();
+        let attention = AttentionModel::new(&model, AttentionConfig::default());
+        (model, attention)
+    }
+
+    fn stay(cell: CellRef, start: i64, end: i64) -> PresenceInterval {
+        PresenceInterval::new(TransitionTaken::Unknown, cell, Timestamp(start), Timestamp(end))
+    }
+
+    #[test]
+    fn all_flagship_rois_resolve() {
+        let (_, attention) = model_and_attention();
+        assert_eq!(
+            attention.roi_targets(),
+            famous_exhibits().len(),
+            "every flagship exhibit must have its RoI cell in the model"
+        );
+    }
+
+    #[test]
+    fn roi_stay_attends_strongly_zone_stay_weakly() {
+        let (model, attention) = model_and_attention();
+        let mona_roi = model.space.resolve("roi-mona-lisa").unwrap();
+        let mona_zone = model.zone(60862).unwrap();
+        // Long stays: full engagement.
+        let roi_attention = attention.attend(&stay(mona_roi, 0, 600));
+        assert_eq!(roi_attention, vec![("Mona Lisa".to_string(), 1.0)]);
+        let zone_attention = attention.attend(&stay(mona_zone, 0, 600));
+        assert_eq!(zone_attention, vec![("Mona Lisa".to_string(), 0.25)]);
+    }
+
+    #[test]
+    fn short_glances_are_discounted() {
+        let (model, attention) = model_and_attention();
+        let mona_roi = model.space.resolve("roi-mona-lisa").unwrap();
+        // 30 s of a 120 s full-engagement bar → weight 0.25.
+        let glance = attention.attend(&stay(mona_roi, 0, 30));
+        assert_eq!(glance.len(), 1);
+        assert!((glance[0].1 - 0.25).abs() < 1e-9);
+        // Zero-duration detections attend nothing.
+        assert!(attention.attend(&stay(mona_roi, 0, 0)).is_empty());
+    }
+
+    #[test]
+    fn conceptual_trace_of_a_visit() {
+        let (model, attention) = model_and_attention();
+        let mona_roi = model.space.resolve("roi-mona-lisa").unwrap();
+        let venus_roi = model.space.resolve("roi-venus-de-milo").unwrap();
+        // Any non-flagship RoI is a display the attention model ignores
+        // (traces are single-layer, so the "transit" stop must also be an
+        // RoI-layer cell).
+        let famous: Vec<&str> = famous_exhibits().iter().map(|e| e.key).collect();
+        let plain_roi = model
+            .space
+            .cells_in(model.roi_layer)
+            .find(|(_, c)| !famous.contains(&c.key.as_str()))
+            .map(|(r, _)| r)
+            .expect("model has generic RoIs");
+        let trace = Trace::new(vec![
+            stay(mona_roi, 0, 600),
+            stay(venus_roi, 700, 1000),
+            stay(plain_roi, 1100, 1160),
+        ])
+        .unwrap();
+        let conceptual = attention.conceptual_trace(&trace);
+        assert_eq!(
+            conceptual.concepts(),
+            vec!["Mona Lisa", "Vénus de Milo"],
+            "a non-flagship display attracts no modelled attention"
+        );
+        assert_eq!(conceptual.dominant_concept().as_deref(), Some("Mona Lisa"));
+    }
+
+    #[test]
+    fn transit_heavy_visit_has_empty_conceptual_trace() {
+        let (model, attention) = model_and_attention();
+        let p = model.zone(60888).unwrap(); // the corridor zone of Fig. 6
+        let trace = Trace::new(vec![stay(p, 0, 60)]).unwrap();
+        assert!(attention.conceptual_trace(&trace).is_empty());
+    }
+}

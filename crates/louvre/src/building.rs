@@ -1,0 +1,520 @@
+//! The full multi-layer Louvre model (the paper's §4.2 instantiation).
+//!
+//! "Layer 4 is instantiated as the whole 'Louvre Museum', Layer 3 as its
+//! three wings ('Richelieu', 'Denon', and 'Sully') as well as the
+//! 'Napoleon' area (under the Pyramide), Layer 2 as a wing's five different
+//! floors (−2, −1, 0, +1, +2), Layer 1 as a floor's rooms and halls
+//! (hundreds in total), and Layer 0 as a room's exhibits (several hundreds
+//! of the most important ones). In addition, we add a semantic layer that
+//! happens to fall right between Layer 2 and Layer 1, representing the
+//! thematic zones of our dataset."
+//!
+//! Layer order here is root-first (BuildingComplex → … → RoI); the thematic
+//! zone layer sits outside the core hierarchy and couples to floors (above)
+//! and rooms (below) by joint edges whose relations are *derived from the
+//! synthetic geometry*, not hand-asserted.
+
+use sitm_geometry::{relate_polygons, BBox, Polygon};
+use sitm_graph::LayerIdx;
+use sitm_space::{
+    core_hierarchy, Cell, CellClass, CellRef, IndoorSpace, JointRelation, LayerHierarchy,
+    LayerKind, Transition, TransitionKind,
+};
+
+use crate::rois::{famous_exhibits, roi_rects_for_room};
+use crate::topology::zone_edges;
+use crate::zones::{zone_catalog, zone_key, zone_polygon, Wing, ZoneSpec};
+
+/// Handles into the assembled Louvre space.
+#[derive(Debug, Clone)]
+pub struct LouvreModel {
+    /// The multi-layer indoor space.
+    pub space: IndoorSpace,
+    /// Root layer: the museum as a whole.
+    pub complex_layer: LayerIdx,
+    /// Wings-as-buildings layer.
+    pub building_layer: LayerIdx,
+    /// Per-wing floor layer.
+    pub floor_layer: LayerIdx,
+    /// Thematic zone layer (the dataset's granularity).
+    pub zone_layer: LayerIdx,
+    /// Room layer.
+    pub room_layer: LayerIdx,
+    /// RoI layer.
+    pub roi_layer: LayerIdx,
+    /// The validated core hierarchy (complex → building → floor → room →
+    /// RoI).
+    pub hierarchy: LayerHierarchy,
+}
+
+/// Stable key of a wing-floor cell (e.g. `"floor-denon-p1"` for +1,
+/// `"floor-denon-m2"` for −2).
+pub fn floor_key(wing: Wing, floor: i8) -> String {
+    let level = if floor < 0 {
+        format!("m{}", -floor)
+    } else {
+        format!("p{floor}")
+    };
+    format!("floor-{}-{}", wing.name().to_lowercase(), level)
+}
+
+/// Stable key of a room cell.
+pub fn room_key(zone_id: u32, index: usize) -> String {
+    format!("room-{zone_id}-{index}")
+}
+
+/// Number of rooms a zone is subdivided into (deterministic by id).
+pub fn rooms_per_zone(zone_id: u32) -> usize {
+    3 + (zone_id as usize % 4)
+}
+
+/// Number of generic RoIs per room of a zone.
+fn rois_per_room(spec: &ZoneSpec) -> usize {
+    if !spec.active {
+        0
+    } else if spec.popularity >= 4.0 {
+        2
+    } else {
+        1
+    }
+}
+
+/// Derives the joint relation between two cells from their polygons,
+/// requiring a containment-family result.
+fn derived_joint(parent: &Polygon, child: &Polygon) -> JointRelation {
+    let rel = JointRelation::from_spatial(relate_polygons(parent, child))
+        .expect("parent and child footprints must intersect");
+    assert!(
+        matches!(rel, JointRelation::Contains | JointRelation::Covers),
+        "expected containment, derived {rel}"
+    );
+    rel
+}
+
+/// Builds the full Louvre model.
+pub fn build_louvre() -> LouvreModel {
+    let zones = zone_catalog();
+    let mut space = IndoorSpace::new();
+
+    let complex_layer = space.add_layer("museum", LayerKind::BuildingComplex);
+    let building_layer = space.add_layer("wings", LayerKind::Building);
+    let floor_layer = space.add_layer("floors", LayerKind::Floor);
+    let zone_layer = space.add_layer("thematic-zones", LayerKind::Thematic);
+    let room_layer = space.add_layer("rooms", LayerKind::Room);
+    let roi_layer = space.add_layer("rois", LayerKind::RegionOfInterest);
+
+    // ---- Root: the museum. ----------------------------------------------
+    let museum = space
+        .add_cell(
+            complex_layer,
+            Cell::new("louvre", "Louvre Museum", CellClass::BuildingComplex),
+        )
+        .expect("fresh key");
+
+    // ---- Wings as buildings. ---------------------------------------------
+    let mut wing_refs = std::collections::BTreeMap::new();
+    for wing in Wing::ALL {
+        let r = space
+            .add_cell(
+                building_layer,
+                Cell::new(wing.key(), wing.name(), CellClass::Building),
+            )
+            .expect("fresh key");
+        space
+            .add_joint(museum, r, JointRelation::Covers)
+            .expect("cross-layer");
+        wing_refs.insert(wing, r);
+    }
+    // Wings connect to their neighbours (visitors cross at gallery junctions).
+    for (a, b) in [
+        (Wing::Denon, Wing::Sully),
+        (Wing::Sully, Wing::Richelieu),
+        (Wing::Napoleon, Wing::Denon),
+        (Wing::Napoleon, Wing::Sully),
+        (Wing::Napoleon, Wing::Richelieu),
+    ] {
+        space
+            .add_transition_pair(
+                wing_refs[&a],
+                wing_refs[&b],
+                Transition::new(TransitionKind::Checkpoint),
+            )
+            .expect("same layer");
+    }
+
+    // ---- Floors per wing (derived from the zone catalog). ----------------
+    let mut floor_refs = std::collections::BTreeMap::new();
+    for wing in Wing::ALL {
+        let mut floors: Vec<i8> = zones
+            .iter()
+            .filter(|z| z.wing == wing)
+            .map(|z| z.floor)
+            .collect();
+        floors.sort_unstable();
+        floors.dedup();
+        for floor in floors {
+            let r = space
+                .add_cell(
+                    floor_layer,
+                    Cell::new(
+                        floor_key(wing, floor),
+                        format!("{} floor {floor}", wing.name()),
+                        CellClass::Floor,
+                    )
+                    .on_floor(floor),
+                )
+                .expect("fresh key");
+            space
+                .add_joint(wing_refs[&wing], r, JointRelation::Covers)
+                .expect("cross-layer");
+            floor_refs.insert((wing, floor), r);
+        }
+    }
+    // Floor accessibility mirrors the vertical zone edges, aggregated.
+    type FloorLink = ((Wing, i8), (Wing, i8), TransitionKind);
+    let mut floor_links: Vec<FloorLink> = Vec::new();
+    for e in zone_edges() {
+        let from = zones.iter().find(|z| z.id == e.from).expect("known zone");
+        let to = zones.iter().find(|z| z.id == e.to).expect("known zone");
+        if from.floor != to.floor {
+            floor_links.push(((from.wing, from.floor), (to.wing, to.floor), e.kind.clone()));
+        }
+    }
+    floor_links.sort_by(|a, b| {
+        (a.0 .0.name(), a.0 .1, a.1 .0.name(), a.1 .1)
+            .cmp(&(b.0 .0.name(), b.0 .1, b.1 .0.name(), b.1 .1))
+    });
+    floor_links.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+    for (fa, fb, kind) in floor_links {
+        space
+            .add_transition_pair(floor_refs[&fa], floor_refs[&fb], Transition::new(kind))
+            .expect("same layer");
+    }
+
+    // ---- Thematic zones (with geometry), coupled to floors. --------------
+    let mut zone_refs = std::collections::BTreeMap::new();
+    for spec in &zones {
+        let poly = zone_polygon(spec);
+        let r = space
+            .add_cell(
+                zone_layer,
+                Cell::new(zone_key(spec.id), spec.theme, spec.class.clone())
+                    .on_floor(spec.floor)
+                    .with_geometry(poly)
+                    .with_attribute("wing", spec.wing.name())
+                    .with_attribute("active", if spec.active { "true" } else { "false" })
+                    .with_attribute("theme", spec.theme),
+            )
+            .expect("fresh key");
+        // Floors carry no geometry; the zone is by construction a part of
+        // its wing-floor, so declare Contains (the zone rectangles are
+        // strictly inside the floor slab).
+        space
+            .add_joint(floor_refs[&(spec.wing, spec.floor)], r, JointRelation::Contains)
+            .expect("cross-layer");
+        zone_refs.insert(spec.id, r);
+    }
+    // Zone accessibility NRG (Fig. 6).
+    for e in zone_edges() {
+        let from = zone_refs[&e.from];
+        let to = zone_refs[&e.to];
+        let name = format!("t-{}-{}", e.from, e.to);
+        if e.bidirectional {
+            space
+                .add_transition_pair(from, to, Transition::named(e.kind.clone(), name))
+                .expect("same layer");
+        } else {
+            space
+                .add_transition(from, to, Transition::named(e.kind.clone(), name))
+                .expect("same layer");
+        }
+    }
+
+    // ---- Rooms: each zone subdivided into vertical slices. ---------------
+    let mut rooms_by_zone: std::collections::BTreeMap<u32, Vec<CellRef>> =
+        std::collections::BTreeMap::new();
+    for spec in &zones {
+        let zone_poly = zone_polygon(spec);
+        let n = rooms_per_zone(spec.id);
+        let bb = zone_poly.bbox();
+        let slice_w = bb.width() / n as f64;
+        let mut refs = Vec::with_capacity(n);
+        for i in 0..n {
+            let x0 = bb.min.x + i as f64 * slice_w;
+            let room_poly = Polygon::rectangle(
+                sitm_geometry::Point::new(x0, bb.min.y),
+                sitm_geometry::Point::new(x0 + slice_w, bb.max.y),
+            )
+            .expect("room rectangles are valid");
+            let r = space
+                .add_cell(
+                    room_layer,
+                    Cell::new(
+                        room_key(spec.id, i),
+                        format!("{} — room {}", spec.theme, i + 1),
+                        CellClass::Room,
+                    )
+                    .on_floor(spec.floor)
+                    .with_geometry(room_poly.clone())
+                    .with_attribute("zone", spec.id.to_string()),
+                )
+                .expect("fresh key");
+            // Hierarchy joint: floor contains/covers the room (no floor
+            // geometry, room strictly inside the slab: Contains).
+            space
+                .add_joint(floor_refs[&(spec.wing, spec.floor)], r, JointRelation::Contains)
+                .expect("cross-layer");
+            // Thematic coupling: zone ↔ room relation derived from geometry
+            // (rooms tile the zone, so every room is covered, not
+            // contained).
+            let rel = derived_joint(&zone_poly, &room_poly);
+            space.add_joint(zone_refs[&spec.id], r, rel).expect("cross-layer");
+            refs.push(r);
+        }
+        // Enfilade doors between consecutive rooms of the zone.
+        for w in refs.windows(2) {
+            space
+                .add_transition_pair(w[0], w[1], Transition::new(TransitionKind::Door))
+                .expect("same layer");
+        }
+        rooms_by_zone.insert(spec.id, refs);
+    }
+    // Room-level doors across zone boundaries: last room of `from` to first
+    // room of `to` for every zone edge.
+    for e in zone_edges() {
+        let from_room = *rooms_by_zone[&e.from].last().expect("zones have rooms");
+        let to_room = rooms_by_zone[&e.to][0];
+        let t = Transition::named(e.kind.clone(), format!("r-{}-{}", e.from, e.to));
+        if e.bidirectional {
+            space
+                .add_transition_pair(from_room, to_room, t)
+                .expect("same layer");
+        } else {
+            space
+                .add_transition(from_room, to_room, t)
+                .expect("same layer");
+        }
+    }
+
+    // ---- RoIs inside the rooms of active zones. ---------------------------
+    let famous = famous_exhibits();
+    for spec in &zones {
+        let per_room = rois_per_room(spec);
+        if per_room == 0 {
+            continue;
+        }
+        let rooms = &rooms_by_zone[&spec.id];
+        for (room_idx, room_ref) in rooms.iter().enumerate() {
+            let room_poly = space
+                .cell(*room_ref)
+                .and_then(|c| c.geometry.clone())
+                .expect("rooms carry geometry");
+            for (k, roi_poly) in roi_rects_for_room(room_poly.bbox(), per_room)
+                .into_iter()
+                .enumerate()
+            {
+                // The first RoI of the first room of a famous zone gets the
+                // flagship identity.
+                let famous_here = (room_idx == 0 && k == 0)
+                    .then(|| famous.iter().find(|f| f.zone_id == spec.id))
+                    .flatten();
+                let (key, name) = match famous_here {
+                    Some(f) => (f.key.to_string(), f.name.to_string()),
+                    None => (
+                        format!("roi-{}-{}-{}", spec.id, room_idx, k),
+                        format!("Exhibit {}.{}.{}", spec.id, room_idx, k),
+                    ),
+                };
+                let rel = derived_joint(&room_poly, &roi_poly);
+                let roi_ref = space
+                    .add_cell(
+                        roi_layer,
+                        Cell::new(key, name, CellClass::RegionOfInterest)
+                            .on_floor(spec.floor)
+                            .with_geometry(roi_poly)
+                            .with_attribute("zone", spec.id.to_string()),
+                    )
+                    .expect("fresh key");
+                space.add_joint(*room_ref, roi_ref, rel).expect("cross-layer");
+            }
+        }
+    }
+
+    let hierarchy = core_hierarchy(&space).expect("core layers present");
+    LouvreModel {
+        space,
+        complex_layer,
+        building_layer,
+        floor_layer,
+        zone_layer,
+        room_layer,
+        roi_layer,
+        hierarchy,
+    }
+}
+
+impl LouvreModel {
+    /// Resolves a zone id to its cell reference.
+    pub fn zone(&self, id: u32) -> Option<CellRef> {
+        self.space.resolve(&zone_key(id))
+    }
+
+    /// The analytic hierarchy that runs through the thematic-zone layer
+    /// (museum → wing → floor → zone). The zone layer sits outside the
+    /// *core* hierarchy (§4.2: it "happens to fall right between Layer 2
+    /// and Layer 1"), but its floor joints are proper `contains`
+    /// relations, so dataset-granularity traces lift through this chain
+    /// to floors, wings, and the museum root.
+    pub fn zone_hierarchy(&self) -> LayerHierarchy {
+        LayerHierarchy::new(vec![
+            self.complex_layer,
+            self.building_layer,
+            self.floor_layer,
+            self.zone_layer,
+        ])
+    }
+
+    /// Bounding box of the whole synthetic site (for beacon deployments).
+    pub fn site_bbox(&self) -> BBox {
+        let mut bb: Option<BBox> = None;
+        for (_, cell) in self.space.cells_in(self.zone_layer) {
+            if let Some(poly) = &cell.geometry {
+                bb = Some(match bb {
+                    Some(acc) => acc.union(poly.bbox()),
+                    None => poly.bbox(),
+                });
+            }
+        }
+        bb.expect("zones carry geometry")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_space::{validate_hierarchy, IssueSeverity, SpaceQuery};
+
+    #[test]
+    fn layer_inventory_matches_the_paper() {
+        let m = build_louvre();
+        let stats = m.space.stats();
+        assert_eq!(stats.layers, 6, "5 hierarchy layers + thematic zones");
+        // 1 museum + 4 wings + floors + 52 zones + rooms + RoIs.
+        let zones = m.space.cells_in(m.zone_layer).count();
+        assert_eq!(zones, 52);
+        let rooms = m.space.cells_in(m.room_layer).count();
+        assert!(
+            (150..=300).contains(&rooms),
+            "a floor's rooms 'hundreds in total': {rooms}"
+        );
+        let rois = m.space.cells_in(m.roi_layer).count();
+        assert!(
+            rois >= 100,
+            "'several hundreds of the most important' exhibits: {rois}"
+        );
+        assert_eq!(m.space.cells_in(m.complex_layer).count(), 1);
+        assert_eq!(m.space.cells_in(m.building_layer).count(), 4);
+    }
+
+    #[test]
+    fn core_hierarchy_is_valid() {
+        let m = build_louvre();
+        assert_eq!(m.hierarchy.len(), 5);
+        let issues = validate_hierarchy(&m.space, &m.hierarchy);
+        let errors: Vec<_> = issues
+            .iter()
+            .filter(|i| i.severity() == IssueSeverity::Error)
+            .collect();
+        assert!(errors.is_empty(), "hierarchy errors: {errors:?}");
+    }
+
+    #[test]
+    fn geometry_audit_is_clean() {
+        let m = build_louvre();
+        let mismatches = m.space.audit_joints_against_geometry();
+        assert!(
+            mismatches.is_empty(),
+            "joint relations disagree with geometry: {mismatches:?}"
+        );
+    }
+
+    #[test]
+    fn fig6_chain_exists_at_zone_level() {
+        let m = build_louvre();
+        let e = m.zone(60887).unwrap();
+        let p = m.zone(60888).unwrap();
+        let s = m.zone(60890).unwrap();
+        let c = m.zone(60891).unwrap();
+        assert!(m.space.accessible(e, c));
+        assert!(!m.space.accessible(c, e), "no return from the exit");
+        assert_eq!(m.space.unavoidable_between(e, s), Some(vec![p]));
+    }
+
+    #[test]
+    fn rooms_and_zones_are_consistently_coupled() {
+        let m = build_louvre();
+        // Every room has exactly one zone joint and one floor joint.
+        for (room_ref, cell) in m.space.cells_in(m.room_layer) {
+            let joints: Vec<_> = m.space.joints_to(room_ref).collect();
+            assert_eq!(joints.len(), 2, "room {} joints", cell.key);
+            let from_layers: Vec<LayerIdx> = joints.iter().map(|j| j.from.0).collect();
+            assert!(from_layers.contains(&m.zone_layer));
+            assert!(from_layers.contains(&m.floor_layer));
+        }
+    }
+
+    #[test]
+    fn famous_exhibits_are_present() {
+        let m = build_louvre();
+        for f in famous_exhibits() {
+            let r = m.space.resolve(f.key).unwrap_or_else(|| {
+                panic!("famous exhibit {} missing", f.key)
+            });
+            let cell = m.space.cell(r).unwrap();
+            assert_eq!(cell.class, CellClass::RegionOfInterest);
+            assert_eq!(cell.attribute("zone"), Some(f.zone_id.to_string().as_str()));
+        }
+    }
+
+    #[test]
+    fn zone_layer_is_walkable_end_to_end() {
+        let m = build_louvre();
+        // From the entrance, every active zone is reachable.
+        let entrance = m.zone(60886).unwrap();
+        let reachable = m.space.reachable_cells(entrance);
+        for spec in zone_catalog() {
+            if spec.active {
+                assert!(
+                    reachable.contains(&m.zone(spec.id).unwrap()),
+                    "active zone {} unreachable",
+                    spec.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn room_layer_mirrors_zone_connectivity() {
+        let m = build_louvre();
+        // Walk room-level from a Napoleon hall room to a floor +1 room.
+        let hall_rooms = &m.space.resolve(&room_key(60886, 0)).unwrap();
+        let mona_room = m.space.resolve(&room_key(60862, 0)).unwrap();
+        assert!(m.space.accessible(*hall_rooms, mona_room));
+    }
+
+    #[test]
+    fn site_bbox_covers_all_wings() {
+        let m = build_louvre();
+        let bb = m.site_bbox();
+        assert!(bb.width() > 300.0);
+        assert!(bb.height() > 300.0, "four wing bands");
+    }
+
+    #[test]
+    fn lifting_a_zone_stay_to_the_floor_fails_gracefully() {
+        // Zones are outside the core hierarchy: ancestor_at must reject.
+        let m = build_louvre();
+        let z = m.zone(60850).unwrap();
+        assert_eq!(m.hierarchy.position(z.layer), None);
+    }
+}

@@ -1,0 +1,172 @@
+//! Calibration targets: every number §4.1 reports about the dataset.
+//!
+//! "Our dataset consists of 4,945 visits (continuously collected from
+//! 19-01-2017 to 29-05-2017), where each visit consists of a sequence of
+//! timestamped 'zone detections'. The duration of a visit ranges from 0 sec
+//! (potential error) to 7 hours, 41 min and 37 sec, whereas the duration of
+//! a zone detection ranges from 0 sec (potential error) to 5 hours, 39 min
+//! and 20 sec. The visits were performed by 3228 different visitors [...]
+//! Out of them, 1227 were 'returning' visitors who made 1717 second/third
+//! visits [...] The dataset includes 20,245 zone detections and 15,300
+//! (intra-visit) zone transitions in total. [...] around 10% of the zone
+//! detections have a duration of zero value."
+
+use sitm_core::{Duration, Timestamp};
+
+/// The §4.1 dataset statistics used as generator targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperCalibration {
+    /// Total visits.
+    pub visits: usize,
+    /// Distinct visitors.
+    pub visitors: usize,
+    /// Visitors with more than one visit.
+    pub returning_visitors: usize,
+    /// Second/third visits made by returning visitors.
+    pub revisits: usize,
+    /// Total zone detections.
+    pub detections: usize,
+    /// Total intra-visit zone transitions.
+    pub transitions: usize,
+    /// Fraction of detections with zero duration ("around 10%").
+    pub zero_duration_rate: f64,
+    /// Longest visit.
+    pub max_visit_duration: Duration,
+    /// Longest single zone detection.
+    pub max_detection_duration: Duration,
+    /// Zones in the space model.
+    pub zones_total: usize,
+    /// Zones that appear in the dataset.
+    pub zones_active: usize,
+    /// First collection day (inclusive).
+    pub collection_start: Timestamp,
+    /// Last collection day (inclusive).
+    pub collection_end: Timestamp,
+}
+
+impl Default for PaperCalibration {
+    fn default() -> Self {
+        PaperCalibration {
+            visits: 4_945,
+            visitors: 3_228,
+            returning_visitors: 1_227,
+            revisits: 1_717,
+            detections: 20_245,
+            transitions: 15_300,
+            zero_duration_rate: 0.10,
+            max_visit_duration: Duration::hours(7) + Duration::minutes(41) + Duration::seconds(37),
+            max_detection_duration: Duration::hours(5)
+                + Duration::minutes(39)
+                + Duration::seconds(20),
+            zones_total: 52,
+            zones_active: 30,
+            collection_start: Timestamp::from_ymd_hms(2017, 1, 19, 0, 0, 0),
+            collection_end: Timestamp::from_ymd_hms(2017, 5, 29, 0, 0, 0),
+        }
+    }
+}
+
+impl PaperCalibration {
+    /// Collection period length in days (inclusive of both endpoints).
+    pub fn collection_days(&self) -> i64 {
+        (self.collection_end - self.collection_start).as_seconds() / 86_400 + 1
+    }
+
+    /// Visitors who made exactly one visit.
+    pub fn single_visit_visitors(&self) -> usize {
+        self.visitors - self.returning_visitors
+    }
+
+    /// Returning visitors with exactly two visits (one revisit). Solves
+    /// `x + y = returning`, `x + 2y = revisits`.
+    pub fn two_visit_visitors(&self) -> usize {
+        (2 * self.returning_visitors).saturating_sub(self.revisits)
+    }
+
+    /// Returning visitors with exactly three visits (two revisits).
+    pub fn three_visit_visitors(&self) -> usize {
+        self.revisits.saturating_sub(self.returning_visitors)
+    }
+
+    /// Internal consistency of the reported numbers: visits, detections and
+    /// transitions must satisfy the accounting identities.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if self.revisits < self.returning_visitors
+            || self.revisits > 2 * self.returning_visitors
+        {
+            return Err("revisit counts out of the second/third-visit range".to_string());
+        }
+        let total = self.single_visit_visitors()
+            + 2 * self.two_visit_visitors()
+            + 3 * self.three_visit_visitors();
+        if total != self.visits {
+            return Err(format!(
+                "visit accounting broken: {total} != {}",
+                self.visits
+            ));
+        }
+        if self.detections - self.visits != self.transitions {
+            return Err(format!(
+                "transition accounting broken: {} - {} != {}",
+                self.detections, self.visits, self.transitions
+            ));
+        }
+        Ok(())
+    }
+
+    /// Mean detections per visit (the walk-length target).
+    pub fn mean_detections_per_visit(&self) -> f64 {
+        self.detections as f64 / self.visits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_are_internally_consistent() {
+        let c = PaperCalibration::default();
+        c.check_consistency().expect("the paper's own accounting");
+        // The identities behind the generator's exact calibration:
+        assert_eq!(c.single_visit_visitors(), 2_001);
+        assert_eq!(c.two_visit_visitors(), 737);
+        assert_eq!(c.three_visit_visitors(), 490);
+        assert_eq!(2_001 + 737 * 2 + 490 * 3, 4_945);
+        assert_eq!(c.detections - c.visits, c.transitions);
+    }
+
+    #[test]
+    fn collection_period_is_131_days() {
+        let c = PaperCalibration::default();
+        assert_eq!(c.collection_days(), 131);
+    }
+
+    #[test]
+    fn mean_walk_length_is_about_four() {
+        let c = PaperCalibration::default();
+        let mean = c.mean_detections_per_visit();
+        assert!((mean - 4.094).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn max_durations_match_the_paper_text() {
+        let c = PaperCalibration::default();
+        assert_eq!(c.max_visit_duration.to_string(), "7:41:37");
+        assert_eq!(c.max_detection_duration.to_string(), "5:39:20");
+    }
+
+    #[test]
+    fn broken_numbers_are_rejected() {
+        let broken_transitions = PaperCalibration {
+            transitions: 1,
+            ..PaperCalibration::default()
+        };
+        assert!(broken_transitions.check_consistency().is_err());
+        let broken_revisits = PaperCalibration {
+            revisits: 5_000,
+            ..PaperCalibration::default()
+        };
+        assert!(broken_revisits.check_consistency().is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! The paper's Fig. 1: "A 2-level hierarchical graph representing the
+//! central part of the 1st floor of the Louvre's Denon Wing."
+//!
+//! Layer `i+1` holds five room-level cells (1, 2, 3, 4, 5); room 4 is the
+//! Salle des États (Mona Lisa) and room 5 is a hall subdivided in layer `i`
+//! into 5a, 5b, 5c. The one-way rule: "entering it (room 4) from room 2 is
+//! often prohibited by the museum personnel while exiting it that way is
+//! allowed" — so the accessibility NRG has the 4→2 edge but not 2→4.
+
+use sitm_space::{
+    Cell, CellClass, CellRef, IndoorSpace, JointRelation, LayerKind, Transition, TransitionKind,
+};
+
+/// The Fig. 1 model plus handles to its cells.
+#[derive(Debug, Clone)]
+pub struct DenonFigure1 {
+    /// The two-layer space.
+    pub space: IndoorSpace,
+    /// Rooms 1–5 in the coarse layer (`i+1`).
+    pub rooms: [CellRef; 5],
+    /// Sub-cells 5a, 5b, 5c in the fine layer (`i`).
+    pub subcells: [CellRef; 3],
+}
+
+/// Builds the Fig. 1 two-level graph.
+pub fn denon_figure1() -> DenonFigure1 {
+    let mut space = IndoorSpace::new();
+    // Layer i+1: room-level cells.
+    let coarse = space.add_layer("denon-f1-rooms", LayerKind::Room);
+    // Layer i: finer subdivision of the hall (node 5).
+    let fine = space.add_layer("denon-f1-subcells", LayerKind::Custom("subcells".into()));
+
+    let names = [
+        "Room 1 (Galerie Mollien)",
+        "Room 2 (Salle Denon)",
+        "Room 3 (Galerie Daru landing)",
+        "Room 4 (Salle des États)",
+        "Room 5 (Grande Galerie hall)",
+    ];
+    let mut rooms = Vec::with_capacity(5);
+    for (i, name) in names.iter().enumerate() {
+        let class = match i {
+            3 => CellClass::Exhibition,
+            4 => CellClass::Hall,
+            _ => CellClass::Room,
+        };
+        rooms.push(
+            space
+                .add_cell(
+                    coarse,
+                    Cell::new(format!("denon-room-{}", i + 1), *name, class).on_floor(1),
+                )
+                .expect("unique keys"),
+        );
+    }
+    let rooms: [CellRef; 5] = rooms.try_into().expect("five rooms");
+
+    let mut subcells = Vec::with_capacity(3);
+    for suffix in ["a", "b", "c"] {
+        subcells.push(
+            space
+                .add_cell(
+                    fine,
+                    Cell::new(
+                        format!("denon-room-5{suffix}"),
+                        format!("Room 5{suffix}"),
+                        CellClass::Room,
+                    )
+                    .on_floor(1),
+                )
+                .expect("unique keys"),
+        );
+    }
+    let subcells: [CellRef; 3] = subcells.try_into().expect("three subcells");
+
+    // Coarse accessibility: 1 <-> 2, 2 <-> 3, 3 <-> 5, 1 <-> 5, 4 <-> 5,
+    // and the one-way 4 -> 2 (exit allowed, entry prohibited).
+    let door = |name: &str| Transition::named(TransitionKind::Door, name);
+    space
+        .add_transition_pair(rooms[0], rooms[1], door("door-1-2"))
+        .expect("same layer");
+    space
+        .add_transition_pair(rooms[1], rooms[2], door("door-2-3"))
+        .expect("same layer");
+    space
+        .add_transition_pair(rooms[2], rooms[4], door("door-3-5"))
+        .expect("same layer");
+    space
+        .add_transition_pair(rooms[0], rooms[4], door("door-1-5"))
+        .expect("same layer");
+    space
+        .add_transition_pair(rooms[3], rooms[4], door("door-4-5"))
+        .expect("same layer");
+    space
+        .add_transition(rooms[3], rooms[1], door("door-4-2-oneway"))
+        .expect("same layer");
+
+    // Fine accessibility among the subdivided hall's parts.
+    space
+        .add_transition_pair(subcells[0], subcells[1], Transition::new(TransitionKind::Virtual))
+        .expect("same layer");
+    space
+        .add_transition_pair(subcells[1], subcells[2], Transition::new(TransitionKind::Virtual))
+        .expect("same layer");
+
+    // Joint edges: room 5 covers its three sub-cells ("if a visitor is
+    // inside the hall represented as node 5 in layer i+1, then the joint
+    // edges suggest that he can only be in either 5a, 5b, or 5c in layer i").
+    for sub in subcells {
+        space
+            .add_joint(rooms[4], sub, JointRelation::Covers)
+            .expect("different layers");
+    }
+
+    DenonFigure1 {
+        space,
+        rooms,
+        subcells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_space::SpaceQuery;
+
+    #[test]
+    fn structure_matches_fig1() {
+        let fig = denon_figure1();
+        let stats = fig.space.stats();
+        assert_eq!(stats.layers, 2);
+        assert_eq!(stats.cells, 8, "5 rooms + 3 sub-cells");
+        assert_eq!(stats.joints, 3, "5 -> {{5a, 5b, 5c}}");
+    }
+
+    #[test]
+    fn salle_des_etats_one_way_rule() {
+        let fig = denon_figure1();
+        let salle = fig.rooms[3];
+        let room2 = fig.rooms[1];
+        let nrg = fig.space.nrg(salle.layer).unwrap();
+        assert!(
+            nrg.has_edge(salle.node, room2.node),
+            "exiting 4 -> 2 is allowed"
+        );
+        assert!(
+            !nrg.has_edge(room2.node, salle.node),
+            "entering 2 -> 4 is prohibited"
+        );
+    }
+
+    #[test]
+    fn salle_des_etats_still_reachable_via_the_hall() {
+        let fig = denon_figure1();
+        // From room 2 one must detour through the hall (2 -> 3 -> 5 -> 4 or
+        // 2 -> 1 -> 5 -> 4).
+        let route = fig.space.route(fig.rooms[1], fig.rooms[3]).unwrap();
+        assert_eq!(route.len(), 4);
+        assert_eq!(route[route.len() - 2], fig.rooms[4], "enters via room 5");
+    }
+
+    #[test]
+    fn hall_covers_exactly_its_subcells() {
+        let fig = denon_figure1();
+        let children: Vec<CellRef> = fig
+            .space
+            .joints_from(fig.rooms[4])
+            .map(|j| CellRef::new(j.to.0, j.to.1))
+            .collect();
+        assert_eq!(children.len(), 3);
+        for sub in fig.subcells {
+            assert!(children.contains(&sub));
+        }
+        // No other coarse room has joint edges.
+        for r in &fig.rooms[..4] {
+            assert_eq!(fig.space.joints_from(*r).count(), 0);
+        }
+    }
+
+    #[test]
+    fn subcells_form_a_path() {
+        let fig = denon_figure1();
+        assert!(fig.space.accessible(fig.subcells[0], fig.subcells[2]));
+        assert!(fig.space.accessible(fig.subcells[2], fig.subcells[0]));
+        let route = fig
+            .space
+            .route(fig.subcells[0], fig.subcells[2])
+            .unwrap();
+        assert_eq!(route.len(), 3, "5a -> 5b -> 5c");
+    }
+
+    #[test]
+    fn every_room_reachable_from_every_other() {
+        // Despite the one-way rule the room graph stays strongly connected.
+        let fig = denon_figure1();
+        for a in fig.rooms {
+            for b in fig.rooms {
+                assert!(fig.space.accessible(a, b), "{a} cannot reach {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # sitm-louvre
+//!
+//! The paper's case study (§4): the Louvre museum instantiation of the
+//! SITM, plus a **calibrated synthetic visitor generator** substituting for
+//! the proprietary "My Visit to the Louvre" dataset.
+//!
+//! * [`zones`] — the 52 thematic zones (ids 60840–60891, matching the ids
+//!   the paper cites: 60853/60854 on the ground floor, 60887 "E",
+//!   60888 "P", 60890 "S" on floor −2), 30 of them active in the dataset;
+//! * [`topology`] — the zone accessibility NRG (Fig. 6), including the
+//!   one-way E→P→…→Carrousel exit chain;
+//! * [`building`] — the full multi-layer `IndoorSpace`: museum →
+//!   wings → floors → rooms → RoIs core hierarchy plus the thematic zone
+//!   layer "that happens to fall right between Layer 2 and Layer 1";
+//! * [`denon`] — the Fig. 1 two-level graph of the Denon wing's first
+//!   floor, with the Salle des États one-way rule;
+//! * [`rois`] — exhibit regions of interest (Fig. 4);
+//! * [`profiles`] — visitor behaviour profiles;
+//! * [`generator`]/[`calibration`] — the §4.1-calibrated synthetic dataset
+//!   (4,945 visits, 3,228 visitors, 20,245 detections, 15,300 transitions,
+//!   ~10% zero-duration detections);
+//! * [`dataset`] — dataset records, statistics, and conversion into SITM
+//!   semantic trajectories;
+//! * [`scenarios`] — the Fig. 5 overlapping-episode and Fig. 6 inference
+//!   walk-throughs used by the repro harness.
+
+pub mod attention;
+pub mod building;
+pub mod calibration;
+pub mod dataset;
+pub mod denon;
+pub mod generator;
+pub mod profiles;
+pub mod rois;
+pub mod scenarios;
+pub mod topology;
+pub mod zones;
+
+pub use attention::{AttentionConfig, AttentionModel};
+pub use building::{build_louvre, LouvreModel};
+pub use calibration::PaperCalibration;
+pub use dataset::{Dataset, DatasetStats, Device, VisitRecord, ZoneDetectionRecord};
+pub use generator::{generate_dataset, GeneratorConfig};
+pub use profiles::VisitorProfile;
+pub use zones::{zone_catalog, zone_key, Wing, ZoneSpec};

@@ -1,0 +1,126 @@
+//! Visitor behaviour profiles.
+//!
+//! The sparsity and skew of the paper's dataset come from *people*: some
+//! visitors sprint to the Mona Lisa, some read every label, many stop using
+//! the app mid-visit. Profiles parameterize the synthetic generator along
+//! those axes.
+
+/// A visitor behaviour archetype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VisitorProfile {
+    /// Reads every label; long dwell times, moderate coverage.
+    ArtLover,
+    /// The typical tourist: medium dwell, popularity-driven routing.
+    Casual,
+    /// Highlights-only: short dwells, strongly popularity-driven.
+    Rusher,
+    /// Tries to see everything: many zones, moderate dwells.
+    Completionist,
+}
+
+impl VisitorProfile {
+    /// All profiles.
+    pub const ALL: [VisitorProfile; 4] = [
+        VisitorProfile::ArtLover,
+        VisitorProfile::Casual,
+        VisitorProfile::Rusher,
+        VisitorProfile::Completionist,
+    ];
+
+    /// Mixture weight in the population.
+    pub fn weight(self) -> f64 {
+        match self {
+            VisitorProfile::ArtLover => 0.20,
+            VisitorProfile::Casual => 0.45,
+            VisitorProfile::Rusher => 0.25,
+            VisitorProfile::Completionist => 0.10,
+        }
+    }
+
+    /// Multiplier on zone dwell times.
+    pub fn dwell_multiplier(self) -> f64 {
+        match self {
+            VisitorProfile::ArtLover => 1.8,
+            VisitorProfile::Casual => 1.0,
+            VisitorProfile::Rusher => 0.45,
+            VisitorProfile::Completionist => 0.8,
+        }
+    }
+
+    /// Exponent applied to zone popularity when routing: 1 follows the
+    /// crowd, 0 ignores popularity.
+    pub fn popularity_bias(self) -> f64 {
+        match self {
+            VisitorProfile::ArtLover => 0.5,
+            VisitorProfile::Casual => 1.0,
+            VisitorProfile::Rusher => 1.6,
+            VisitorProfile::Completionist => 0.2,
+        }
+    }
+
+    /// Multiplier on the number of zones visited.
+    pub fn length_multiplier(self) -> f64 {
+        match self {
+            VisitorProfile::ArtLover => 1.0,
+            VisitorProfile::Casual => 1.0,
+            VisitorProfile::Rusher => 0.7,
+            VisitorProfile::Completionist => 1.8,
+        }
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VisitorProfile::ArtLover => "art-lover",
+            VisitorProfile::Casual => "casual",
+            VisitorProfile::Rusher => "rusher",
+            VisitorProfile::Completionist => "completionist",
+        }
+    }
+}
+
+impl std::fmt::Display for VisitorProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let total: f64 = VisitorProfile::ALL.iter().map(|p| p.weight()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rushers_are_fast_and_crowd_driven() {
+        assert!(
+            VisitorProfile::Rusher.dwell_multiplier()
+                < VisitorProfile::Casual.dwell_multiplier()
+        );
+        assert!(
+            VisitorProfile::Rusher.popularity_bias()
+                > VisitorProfile::Completionist.popularity_bias()
+        );
+    }
+
+    #[test]
+    fn completionists_cover_more_zones() {
+        for p in VisitorProfile::ALL {
+            if p != VisitorProfile::Completionist {
+                assert!(VisitorProfile::Completionist.length_multiplier() > p.length_multiplier());
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<&str> = VisitorProfile::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,172 @@
+//! Regions of Interest (RoIs) — the paper's Layer 0.
+//!
+//! "We opted to define a RoI as the predefined spatial area of engagement
+//! with the corresponding exhibit, outside of which a visitor is certainly
+//! not paying attention to it. For simplicity, a RoI includes the area
+//! physically taken up by the exhibit itself and its display installation
+//! (i.e. no holes)." (§4.2) Fig. 4 shows that RoIs do *not* fully cover
+//! their rooms — the non-full-coverage evidence.
+
+use sitm_geometry::{BBox, Point, Polygon};
+
+/// A flagship exhibit pinned to a specific zone (used to name the RoIs of
+/// the most famous rooms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FamousExhibit {
+    /// Stable key.
+    pub key: &'static str,
+    /// Display name.
+    pub name: &'static str,
+    /// Zone the exhibit lives in.
+    pub zone_id: u32,
+}
+
+/// The flagship exhibits of the model.
+pub fn famous_exhibits() -> Vec<FamousExhibit> {
+    vec![
+        FamousExhibit {
+            key: "roi-mona-lisa",
+            name: "Mona Lisa",
+            zone_id: 60862, // Salle des États zone
+        },
+        FamousExhibit {
+            key: "roi-venus-de-milo",
+            name: "Vénus de Milo",
+            zone_id: 60852, // Greek Antiquities
+        },
+        FamousExhibit {
+            key: "roi-winged-victory",
+            name: "Winged Victory of Samothrace",
+            zone_id: 60864, // Winged Victory landing
+        },
+        FamousExhibit {
+            key: "roi-raft-of-the-medusa",
+            name: "The Raft of the Medusa",
+            zone_id: 60863, // French Large Formats
+        },
+        FamousExhibit {
+            key: "roi-code-of-hammurabi",
+            name: "Code of Hammurabi",
+            zone_id: 60854, // Near Eastern Antiquities
+        },
+        FamousExhibit {
+            key: "roi-seated-scribe",
+            name: "The Seated Scribe",
+            zone_id: 60853, // Egyptian Antiquities
+        },
+    ]
+}
+
+/// Deterministically places `count` engagement rectangles inside a room
+/// footprint, inset from the walls and from each other, so that they are
+/// strict parts of the room and never cover it fully (the Fig. 4 property).
+pub fn roi_rects_for_room(room: BBox, count: usize) -> Vec<Polygon> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let margin_x = room.width() * 0.15;
+    let margin_y = room.height() * 0.2;
+    let usable_w = room.width() - 2.0 * margin_x;
+    let usable_h = room.height() - 2.0 * margin_y;
+    if usable_w <= 0.0 || usable_h <= 0.0 {
+        return Vec::new();
+    }
+    // Slots along x, each RoI occupying 60% of its slot width.
+    let slot_w = usable_w / count as f64;
+    let roi_w = slot_w * 0.6;
+    let roi_h = usable_h * 0.5;
+    let y0 = room.min.y + margin_y + (usable_h - roi_h) / 2.0;
+    (0..count)
+        .map(|i| {
+            let x0 = room.min.x + margin_x + i as f64 * slot_w + (slot_w - roi_w) / 2.0;
+            Polygon::rectangle(Point::new(x0, y0), Point::new(x0 + roi_w, y0 + roi_h))
+                .expect("RoI rectangles are valid")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_geometry::{relate_polygons, SpatialRelation};
+
+    fn room() -> BBox {
+        BBox::from_corners(Point::new(10.0, 20.0), Point::new(30.0, 40.0))
+    }
+
+    #[test]
+    fn rois_are_strictly_inside_the_room() {
+        let room_poly =
+            Polygon::rectangle(Point::new(10.0, 20.0), Point::new(30.0, 40.0)).unwrap();
+        for count in 1..=4 {
+            for roi in roi_rects_for_room(room(), count) {
+                assert_eq!(
+                    relate_polygons(&room_poly, &roi),
+                    SpatialRelation::Contains,
+                    "RoI must be a strict part of its room"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rois_never_cover_the_room() {
+        // The Fig. 4 non-full-coverage property, by construction.
+        let room_area = room().area();
+        for count in 1..=4 {
+            let total: f64 = roi_rects_for_room(room(), count)
+                .iter()
+                .map(Polygon::area)
+                .sum();
+            assert!(
+                total < room_area * 0.5,
+                "{count} RoIs cover {:.0}% of the room",
+                100.0 * total / room_area
+            );
+        }
+    }
+
+    #[test]
+    fn rois_do_not_overlap_each_other() {
+        let rois = roi_rects_for_room(room(), 4);
+        assert_eq!(rois.len(), 4);
+        for i in 0..rois.len() {
+            for j in (i + 1)..rois.len() {
+                assert_eq!(
+                    relate_polygons(&rois[i], &rois[j]),
+                    SpatialRelation::Disjoint
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_count_yields_nothing() {
+        assert!(roi_rects_for_room(room(), 0).is_empty());
+    }
+
+    #[test]
+    fn famous_exhibits_reference_real_zones() {
+        let catalog = crate::zones::zone_catalog();
+        for e in famous_exhibits() {
+            assert!(
+                catalog.iter().any(|z| z.id == e.zone_id),
+                "{} points at unknown zone {}",
+                e.name,
+                e.zone_id
+            );
+        }
+        // Fig. 4's zones both host a flagship exhibit.
+        assert!(famous_exhibits().iter().any(|e| e.zone_id == 60853));
+        assert!(famous_exhibits().iter().any(|e| e.zone_id == 60854));
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let mut keys: Vec<&str> = famous_exhibits().iter().map(|e| e.key).collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+    }
+}

@@ -1,0 +1,251 @@
+//! Zone accessibility topology (the paper's Fig. 6).
+//!
+//! "Figure 6 depicts the accessibility topology of the 30 zones present in
+//! the dataset, which was extracted by hand on site" (§4.2). We encode an
+//! equivalent topology: intra-floor chains (museum wings are enfilades of
+//! galleries), explicit one-way rules on floor −2 (the E→P→S→C exit chain),
+//! and vertical stair/escalator links between floor hubs.
+//!
+//! The Fig. 6 inference property is preserved *by construction and by
+//! test*: every path from zone 60887 (E) to zone 60890 (S) passes through
+//! zone 60888 (P), and S is the only way into the Carrousel exit.
+
+use crate::zones::{zone_catalog, ZoneSpec};
+use sitm_space::TransitionKind;
+
+/// One directed zone-to-zone accessibility rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneEdge {
+    /// Source zone id.
+    pub from: u32,
+    /// Target zone id.
+    pub to: u32,
+    /// Kind of boundary crossing.
+    pub kind: TransitionKind,
+    /// Also add the reverse edge.
+    pub bidirectional: bool,
+}
+
+fn edge(from: u32, to: u32, kind: TransitionKind, bidirectional: bool) -> ZoneEdge {
+    ZoneEdge {
+        from,
+        to,
+        kind,
+        bidirectional,
+    }
+}
+
+/// Builds the full zone accessibility rule set over the 52-zone catalog.
+pub fn zone_edges() -> Vec<ZoneEdge> {
+    let zones = zone_catalog();
+    let mut edges = Vec::new();
+
+    // Intra-floor chains by ascending id, per floor, except floor −2 which
+    // is fully hand-written below. Chains connect consecutive *catalog*
+    // zones; wing boundaries get checkpoints, plain galleries get openings.
+    for floor in [-1i8, 0, 1, 2] {
+        let mut on_floor: Vec<&ZoneSpec> = zones.iter().filter(|z| z.floor == floor).collect();
+        on_floor.sort_by_key(|z| z.id);
+        for w in on_floor.windows(2) {
+            let kind = if w[0].wing == w[1].wing {
+                TransitionKind::Opening
+            } else {
+                TransitionKind::Checkpoint
+            };
+            edges.push(edge(w[0].id, w[1].id, kind, true));
+        }
+        // A back corridor closes each floor into a loop so walks do not get
+        // funnelled to the chain ends.
+        if on_floor.len() > 2 {
+            edges.push(edge(
+                on_floor.last().expect("non-empty").id,
+                on_floor[0].id,
+                TransitionKind::Opening,
+                true,
+            ));
+        }
+    }
+
+    // ---- Floor −2 (Fig. 6), hand-written one-way exit chain. ------------
+    // Napoleon Hall (60886) is the entrance hub.
+    edges.push(edge(60886, 60888, TransitionKind::Opening, true)); // hall <-> passage
+    edges.push(edge(60886, 60887, TransitionKind::Checkpoint, false)); // hall -> E (ticket)
+    edges.push(edge(60887, 60888, TransitionKind::Checkpoint, false)); // E -> P only
+    edges.push(edge(60888, 60890, TransitionKind::Opening, false)); // P -> S only
+    edges.push(edge(60890, 60888, TransitionKind::Opening, false)); // S -> P backtrack
+    edges.push(edge(60890, 60891, TransitionKind::Checkpoint, false)); // S -> C (exit gate)
+    edges.push(edge(60888, 60889, TransitionKind::Door, true)); // P <-> studio (inactive zone)
+
+    // ---- Vertical connections (stairs / escalators between floor hubs). -
+    edges.push(edge(60886, 60844, TransitionKind::Escalator, true)); // -2 hall <-> -1 mezzanine
+    edges.push(edge(60844, 60855, TransitionKind::Escalator, true)); // -1 <-> 0 (Cour Marly side)
+    edges.push(edge(60840, 60850, TransitionKind::Stair, true)); // -1 medieval <-> 0 sculptures
+    edges.push(edge(60851, 60861, TransitionKind::Stair, true)); // Daru stairs -> Grande Galerie
+    edges.push(edge(60852, 60864, TransitionKind::Stair, true)); // Greek -> Winged Victory landing
+    edges.push(edge(60855, 60870, TransitionKind::Stair, true)); // 0 <-> 1 Richelieu
+    edges.push(edge(60870, 60876, TransitionKind::Stair, true)); // 1 <-> 2 Richelieu
+    edges.push(edge(60868, 60882, TransitionKind::Stair, true)); // 1 <-> 2 Sully
+
+    edges
+}
+
+/// Ids of the zones a fresh visitor can start in.
+pub fn entrance_zone_ids() -> Vec<u32> {
+    zone_catalog()
+        .iter()
+        .filter(|z| z.entrance)
+        .map(|z| z.id)
+        .collect()
+}
+
+/// Ids of the terminal exit zones (no onward movement once entered).
+pub fn sink_zone_ids() -> Vec<u32> {
+    // A sink is a zone with no outgoing edge in the expanded rule set.
+    let edges = zone_edges();
+    let mut has_out: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    for e in &edges {
+        has_out.insert(e.from);
+        if e.bidirectional {
+            has_out.insert(e.to);
+        }
+    }
+    zone_catalog()
+        .iter()
+        .map(|z| z.id)
+        .filter(|id| !has_out.contains(id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+    fn adjacency() -> BTreeMap<u32, Vec<u32>> {
+        let mut adj: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for z in zone_catalog() {
+            adj.entry(z.id).or_default();
+        }
+        for e in zone_edges() {
+            adj.entry(e.from).or_default().push(e.to);
+            if e.bidirectional {
+                adj.entry(e.to).or_default().push(e.from);
+            }
+        }
+        adj
+    }
+
+    fn reachable_from(start: u32, adj: &BTreeMap<u32, Vec<u32>>) -> BTreeSet<u32> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([start]);
+        seen.insert(start);
+        while let Some(z) = queue.pop_front() {
+            for &n in adj.get(&z).into_iter().flatten() {
+                if seen.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        seen
+    }
+
+    #[test]
+    fn all_zones_reachable_from_the_entrance() {
+        let adj = adjacency();
+        let reachable = reachable_from(60886, &adj);
+        let all: BTreeSet<u32> = zone_catalog().iter().map(|z| z.id).collect();
+        let missing: Vec<&u32> = all.difference(&reachable).collect();
+        assert_eq!(reachable.len(), 52, "missing: {missing:?}");
+    }
+
+    #[test]
+    fn carrousel_exit_is_the_only_sink() {
+        assert_eq!(sink_zone_ids(), vec![60891]);
+    }
+
+    #[test]
+    fn fig6_unavoidability_every_e_to_s_path_passes_p() {
+        // Remove P (60888) and check S (60890) becomes unreachable from E.
+        let mut adj = adjacency();
+        adj.remove(&60888);
+        for targets in adj.values_mut() {
+            targets.retain(|&t| t != 60888);
+        }
+        let reachable = reachable_from(60887, &adj);
+        assert!(
+            !reachable.contains(&60890),
+            "P must be unavoidable between E and S"
+        );
+    }
+
+    #[test]
+    fn exhibition_requires_ticket_checkpoint() {
+        // Entry into E is exactly one edge, from the hall, via checkpoint.
+        let entries: Vec<ZoneEdge> = zone_edges()
+            .into_iter()
+            .filter(|e| e.to == 60887 || (e.bidirectional && e.from == 60887))
+            .collect();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].from, 60886);
+        assert_eq!(entries[0].kind, TransitionKind::Checkpoint);
+        assert!(!entries[0].bidirectional, "no going back into the hall queue");
+    }
+
+    #[test]
+    fn one_way_rules_of_the_exit_chain() {
+        let edges = zone_edges();
+        let has = |from: u32, to: u32| {
+            edges
+                .iter()
+                .any(|e| (e.from == from && e.to == to) || (e.bidirectional && e.from == to && e.to == from))
+        };
+        assert!(has(60887, 60888), "E -> P");
+        assert!(!has(60888, 60887), "P -> E forbidden");
+        assert!(has(60888, 60890), "P -> S");
+        assert!(has(60890, 60888), "S -> P backtrack allowed");
+        assert!(has(60890, 60891), "S -> C");
+        assert!(!has(60891, 60890), "no return from the Carrousel exit");
+    }
+
+    #[test]
+    fn every_active_non_sink_zone_has_an_active_non_sink_successor() {
+        // The generator's walk rule requires this invariant: while steps
+        // remain it only moves into active non-sink zones.
+        let zones = zone_catalog();
+        let active: BTreeSet<u32> = zones.iter().filter(|z| z.active).map(|z| z.id).collect();
+        let sinks: BTreeSet<u32> = sink_zone_ids().into_iter().collect();
+        let adj = adjacency();
+        for &id in &active {
+            if sinks.contains(&id) {
+                continue;
+            }
+            let ok = adj[&id]
+                .iter()
+                .any(|n| active.contains(n) && !sinks.contains(n));
+            assert!(ok, "active zone {id} has no active non-sink successor");
+        }
+    }
+
+    #[test]
+    fn vertical_edges_change_floor_and_horizontal_ones_do_not() {
+        let zones = zone_catalog();
+        let floor_of = |id: u32| zones.iter().find(|z| z.id == id).unwrap().floor;
+        for e in zone_edges() {
+            let crosses = floor_of(e.from) != floor_of(e.to);
+            if e.kind.is_vertical() {
+                assert!(crosses, "vertical edge {}->{} stays on a floor", e.from, e.to);
+            } else {
+                assert!(!crosses, "flat edge {}->{} crosses floors", e.from, e.to);
+            }
+        }
+    }
+
+    #[test]
+    fn edges_reference_existing_zones() {
+        let ids: BTreeSet<u32> = zone_catalog().iter().map(|z| z.id).collect();
+        for e in zone_edges() {
+            assert!(ids.contains(&e.from), "unknown zone {}", e.from);
+            assert!(ids.contains(&e.to), "unknown zone {}", e.to);
+        }
+    }
+}

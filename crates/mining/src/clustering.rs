@@ -1,0 +1,199 @@
+//! K-medoids clustering (PAM-style) for visitor profiling.
+//!
+//! Operates on a precomputed distance matrix so any of the similarity
+//! metrics (plain or semantic) plugs in. Deterministic: initial medoids are
+//! chosen by a greedy max-min spread from item 0, and swaps are applied in
+//! index order until no swap improves the total cost.
+
+/// Result of a clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteringResult {
+    /// Medoid index per cluster.
+    pub medoids: Vec<usize>,
+    /// Cluster id per item.
+    pub assignment: Vec<usize>,
+    /// Total distance of items to their medoids.
+    pub cost: f64,
+    /// Swap iterations performed.
+    pub iterations: usize,
+}
+
+/// A symmetric distance matrix (row-major, `n × n`).
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds a matrix by evaluating `dist` on every pair (assumed
+    /// symmetric; only `i < j` is evaluated).
+    pub fn build(n: usize, mut dist: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = dist(i, j);
+                assert!(d >= 0.0 && d.is_finite(), "distances must be finite, non-negative");
+                values[i * n + j] = d;
+                values[j * n + i] = d;
+            }
+        }
+        DistanceMatrix { n, values }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between items `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.n + j]
+    }
+}
+
+/// Runs k-medoids over a distance matrix.
+///
+/// # Panics
+/// If `k` is zero or exceeds the number of items.
+pub fn k_medoids(matrix: &DistanceMatrix, k: usize, max_iterations: usize) -> ClusteringResult {
+    let n = matrix.len();
+    assert!(k > 0 && k <= n, "k must be in 1..=n");
+
+    // Greedy max-min seeding.
+    let mut medoids = vec![0usize];
+    while medoids.len() < k {
+        let next = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .max_by(|&a, &b| {
+                let da = medoids.iter().map(|&m| matrix.get(a, m)).fold(f64::INFINITY, f64::min);
+                let db = medoids.iter().map(|&m| matrix.get(b, m)).fold(f64::INFINITY, f64::min);
+                da.partial_cmp(&db).expect("finite")
+            })
+            .expect("k <= n leaves candidates");
+        medoids.push(next);
+    }
+
+    let assign = |medoids: &[usize]| -> (Vec<usize>, f64) {
+        let mut assignment = vec![0usize; n];
+        let mut cost = 0.0;
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            let (best, d) = medoids
+                .iter()
+                .enumerate()
+                .map(|(c, &m)| (c, matrix.get(i, m)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("at least one medoid");
+            *slot = best;
+            cost += d;
+        }
+        (assignment, cost)
+    };
+
+    let (mut assignment, mut cost) = assign(&medoids);
+    let mut iterations = 0;
+    'outer: while iterations < max_iterations {
+        iterations += 1;
+        for c in 0..k {
+            for candidate in 0..n {
+                if medoids.contains(&candidate) {
+                    continue;
+                }
+                let mut trial = medoids.clone();
+                trial[c] = candidate;
+                let (trial_assignment, trial_cost) = assign(&trial);
+                if trial_cost + 1e-12 < cost {
+                    medoids = trial;
+                    assignment = trial_assignment;
+                    cost = trial_cost;
+                    continue 'outer; // restart swap scan from the new state
+                }
+            }
+        }
+        break; // no improving swap
+    }
+
+    ClusteringResult {
+        medoids,
+        assignment,
+        cost,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight groups on a line: {0,1,2} near 0 and {3,4,5} near 100.
+    fn two_groups() -> DistanceMatrix {
+        let points: [f64; 6] = [0.0, 1.0, 2.0, 100.0, 101.0, 102.0];
+        DistanceMatrix::build(points.len(), |i, j| (points[i] - points[j]).abs())
+    }
+
+    #[test]
+    fn separates_obvious_groups() {
+        let result = k_medoids(&two_groups(), 2, 100);
+        assert_eq!(result.assignment[0], result.assignment[1]);
+        assert_eq!(result.assignment[1], result.assignment[2]);
+        assert_eq!(result.assignment[3], result.assignment[4]);
+        assert_eq!(result.assignment[4], result.assignment[5]);
+        assert_ne!(result.assignment[0], result.assignment[3]);
+        // Optimal medoids are the group centres (1 and 101): cost 4.
+        assert!((result.cost - 4.0).abs() < 1e-9, "cost {}", result.cost);
+    }
+
+    #[test]
+    fn k_equals_n_is_free() {
+        let result = k_medoids(&two_groups(), 6, 100);
+        assert_eq!(result.cost, 0.0);
+        let mut medoids = result.medoids.clone();
+        medoids.sort_unstable();
+        assert_eq!(medoids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn single_cluster_picks_the_median() {
+        let points: [f64; 5] = [0.0, 10.0, 20.0, 30.0, 100.0];
+        let m = DistanceMatrix::build(points.len(), |i, j| (points[i] - points[j]).abs());
+        let result = k_medoids(&m, 1, 100);
+        assert_eq!(result.medoids, vec![2], "20 minimizes total distance");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = k_medoids(&two_groups(), 2, 100);
+        let b = k_medoids(&two_groups(), 2, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let result = k_medoids(&two_groups(), 2, 1);
+        assert!(result.iterations <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in 1..=n")]
+    fn zero_k_rejected() {
+        k_medoids(&two_groups(), 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in 1..=n")]
+    fn oversized_k_rejected() {
+        k_medoids(&two_groups(), 7, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_distances_rejected() {
+        DistanceMatrix::build(2, |_, _| -1.0);
+    }
+}

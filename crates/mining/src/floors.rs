@@ -1,0 +1,89 @@
+//! Floor-switching pattern extraction.
+//!
+//! "The data can already provide some interesting insight albeit at a
+//! coarse level of granularity (e.g. floor-switching patterns)" (§5). Using
+//! granularity lifting, room/zone traces project onto floor sequences whose
+//! n-grams describe vertical circulation habits.
+
+use std::collections::BTreeMap;
+
+/// Collapses a per-stay floor sequence (one entry per trace tuple) into the
+/// floor-switch sequence (consecutive repeats removed).
+pub fn floor_switches(floors: &[i8]) -> Vec<i8> {
+    let mut out: Vec<i8> = Vec::new();
+    for &f in floors {
+        if out.last() != Some(&f) {
+            out.push(f);
+        }
+    }
+    out
+}
+
+/// Counts floor-sequence n-grams across visits, descending by frequency.
+/// Only visits with at least `n` floors after collapsing contribute.
+pub fn floor_switch_ngrams(visits: &[Vec<i8>], n: usize) -> Vec<(Vec<i8>, usize)> {
+    assert!(n > 0, "n-gram size must be positive");
+    let mut counts: BTreeMap<Vec<i8>, usize> = BTreeMap::new();
+    for visit in visits {
+        let switched = floor_switches(visit);
+        for window in switched.windows(n) {
+            *counts.entry(window.to_vec()).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<(Vec<i8>, usize)> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Number of floor changes in one visit.
+pub fn switch_count(floors: &[i8]) -> usize {
+    floor_switches(floors).len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switches_collapse_repeats() {
+        assert_eq!(floor_switches(&[0, 0, 1, 1, 0]), vec![0, 1, 0]);
+        assert_eq!(floor_switches(&[2]), vec![2]);
+        assert_eq!(floor_switches(&[]), Vec::<i8>::new());
+    }
+
+    #[test]
+    fn switch_counts() {
+        assert_eq!(switch_count(&[0, 0, 1, 1, 0]), 2);
+        assert_eq!(switch_count(&[0, 0, 0]), 0);
+        assert_eq!(switch_count(&[]), 0);
+    }
+
+    #[test]
+    fn bigrams_counted_across_visits() {
+        let visits = vec![
+            vec![-2, 0, 1],       // -2→0, 0→1
+            vec![-2, 0, 0, 1],    // same after collapsing
+            vec![0, 1, 0],        // 0→1, 1→0
+        ];
+        let grams = floor_switch_ngrams(&visits, 2);
+        let get = |g: &[i8]| grams.iter().find(|(k, _)| k == g).map(|(_, c)| *c);
+        assert_eq!(get(&[0, 1]), Some(3));
+        assert_eq!(get(&[-2, 0]), Some(2));
+        assert_eq!(get(&[1, 0]), Some(1));
+        // Sorted by count.
+        assert!(grams[0].1 >= grams[1].1);
+    }
+
+    #[test]
+    fn trigrams_skip_short_visits() {
+        let visits = vec![vec![0, 1], vec![0, 1, 2]];
+        let grams = floor_switch_ngrams(&visits, 3);
+        assert_eq!(grams, vec![(vec![0, 1, 2], 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_gram_rejected() {
+        floor_switch_ngrams(&[], 0);
+    }
+}

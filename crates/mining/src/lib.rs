@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # sitm-mining
+//!
+//! The mining and analysis layer the SITM is "developed in order to
+//! support" (§1): the model's symbolic traces feed directly into
+//! sequential-pattern mining, association rules, next-location prediction,
+//! trajectory similarity and visitor profiling — the work the paper's §5
+//! announces ("new data mining methods that exploit the expressiveness of
+//! the SITM, and semantic similarity metrics for trajectories (e.g. for
+//! visitor profiling)").
+//!
+//! * [`sequence`] — symbolic sequence extraction from traces;
+//! * [`prefixspan`] — PrefixSpan frequent sequential patterns;
+//! * [`rules`] — sequential association rules (support/confidence/lift);
+//! * [`markov`] — first-order Markov next-zone model and its evaluation;
+//! * [`similarity`] — edit distance, LCS, and hierarchy-aware semantic
+//!   distance (Wu–Palmer over the layer hierarchy);
+//! * [`clustering`] — k-medoids visitor profiling;
+//! * [`floors`] — floor-switching pattern extraction through granularity
+//!   lifting;
+//! * [`multigranularity`] — the same trace database mined at several
+//!   hierarchy levels (the §3.2 static-hierarchy payoff);
+//! * [`ngram`] — order-k Markov models with smoothing and perplexity;
+//! * [`od`] — origin–destination matrices over symbolic sequences.
+
+pub mod clustering;
+pub mod floors;
+pub mod markov;
+pub mod multigranularity;
+pub mod ngram;
+pub mod od;
+pub mod prefixspan;
+pub mod rules;
+pub mod sequence;
+pub mod similarity;
+
+pub use clustering::{k_medoids, ClusteringResult, DistanceMatrix};
+pub use floors::{floor_switch_ngrams, floor_switches};
+pub use markov::MarkovModel;
+pub use multigranularity::{lifted_sequences, mine_at_layers, LayerPatterns};
+pub use ngram::NGramModel;
+pub use od::OdMatrix;
+pub use prefixspan::{mine_sequential_patterns, Pattern};
+pub use rules::{mine_rules, Rule};
+pub use sequence::{cell_sequences, to_alphabet};
+pub use similarity::{edit_distance, lcs_length, normalized_edit_similarity, HierarchyDistance};

@@ -1,0 +1,207 @@
+//! First-order Markov next-location model.
+//!
+//! A baseline predictor over symbolic zone sequences: `P(next | current)`
+//! estimated from transition counts. Supports held-out evaluation — the
+//! kind of analysis the SITM's symbolic traces make one-line work.
+
+use std::collections::BTreeMap;
+
+/// First-order Markov chain over items of type `I`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovModel<I: Ord> {
+    /// `counts[from][to]` transition counts.
+    counts: BTreeMap<I, BTreeMap<I, usize>>,
+    total_transitions: usize,
+}
+
+impl<I: Ord + Clone> Default for MarkovModel<I> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: Ord + Clone> MarkovModel<I> {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        MarkovModel {
+            counts: BTreeMap::new(),
+            total_transitions: 0,
+        }
+    }
+
+    /// Fits a model from sequences (consecutive-pair counting).
+    pub fn fit(sequences: &[Vec<I>]) -> Self {
+        let mut model = MarkovModel::new();
+        for seq in sequences {
+            model.observe_sequence(seq);
+        }
+        model
+    }
+
+    /// Adds one sequence's transitions to the counts.
+    pub fn observe_sequence(&mut self, seq: &[I]) {
+        for w in seq.windows(2) {
+            *self
+                .counts
+                .entry(w[0].clone())
+                .or_default()
+                .entry(w[1].clone())
+                .or_insert(0) += 1;
+            self.total_transitions += 1;
+        }
+    }
+
+    /// Number of observed transitions.
+    pub fn transition_count(&self) -> usize {
+        self.total_transitions
+    }
+
+    /// `P(to | from)`; 0 when `from` was never seen.
+    pub fn probability(&self, from: &I, to: &I) -> f64 {
+        let Some(row) = self.counts.get(from) else {
+            return 0.0;
+        };
+        let row_total: usize = row.values().sum();
+        if row_total == 0 {
+            return 0.0;
+        }
+        row.get(to).copied().unwrap_or(0) as f64 / row_total as f64
+    }
+
+    /// Most likely next item after `from` (ties broken by item order).
+    pub fn predict(&self, from: &I) -> Option<&I> {
+        let row = self.counts.get(from)?;
+        row.iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(item, _)| item)
+    }
+
+    /// Top-`k` continuations with probabilities, most likely first.
+    pub fn top_k(&self, from: &I, k: usize) -> Vec<(&I, f64)> {
+        let Some(row) = self.counts.get(from) else {
+            return Vec::new();
+        };
+        let row_total: usize = row.values().sum();
+        let mut entries: Vec<(&I, f64)> = row
+            .iter()
+            .map(|(item, &c)| (item, c as f64 / row_total as f64))
+            .collect();
+        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        entries.truncate(k);
+        entries
+    }
+
+    /// Held-out next-item prediction accuracy over test sequences.
+    pub fn accuracy(&self, test: &[Vec<I>]) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for seq in test {
+            for w in seq.windows(2) {
+                total += 1;
+                if self.predict(&w[0]) == Some(&w[1]) {
+                    correct += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Stationary-ish entropy rate: mean per-state entropy of the next-step
+    /// distribution weighted by state frequency (bits).
+    pub fn entropy_rate(&self) -> f64 {
+        if self.total_transitions == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for row in self.counts.values() {
+            let row_total: usize = row.values().sum();
+            let weight = row_total as f64 / self.total_transitions as f64;
+            let mut h = 0.0;
+            for &c in row.values() {
+                let p = c as f64 / row_total as f64;
+                h -= p * p.log2();
+            }
+            acc += weight * h;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train() -> Vec<Vec<u32>> {
+        vec![
+            vec![1, 2, 3],
+            vec![1, 2, 4],
+            vec![1, 2, 3],
+            vec![5, 1, 2],
+        ]
+    }
+
+    #[test]
+    fn probabilities_normalize_per_row() {
+        let m = MarkovModel::fit(&train());
+        assert!((m.probability(&2, &3) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((m.probability(&2, &4) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.probability(&2, &99), 0.0);
+        assert_eq!(m.probability(&99, &1), 0.0, "unknown state");
+        assert_eq!(m.probability(&1, &2), 1.0);
+    }
+
+    #[test]
+    fn prediction_takes_the_mode() {
+        let m = MarkovModel::fit(&train());
+        assert_eq!(m.predict(&2), Some(&3));
+        assert_eq!(m.predict(&1), Some(&2));
+        assert_eq!(m.predict(&42), None);
+    }
+
+    #[test]
+    fn top_k_is_ordered_and_truncated() {
+        let m = MarkovModel::fit(&train());
+        let top = m.top_k(&2, 5);
+        assert_eq!(top.len(), 2);
+        assert_eq!(*top[0].0, 3);
+        assert!(top[0].1 > top[1].1);
+        assert_eq!(m.top_k(&2, 1).len(), 1);
+    }
+
+    #[test]
+    fn accuracy_on_training_data_is_high() {
+        let m = MarkovModel::fit(&train());
+        // 8 transitions; mispredicted: 2->4 (once). 5->1 and 1->2 are modes.
+        let acc = m.accuracy(&train());
+        assert!((acc - 7.0 / 8.0).abs() < 1e-9, "acc {acc}");
+    }
+
+    #[test]
+    fn accuracy_of_empty_test_is_zero() {
+        let m = MarkovModel::fit(&train());
+        assert_eq!(m.accuracy(&[]), 0.0);
+        assert_eq!(m.accuracy(&[vec![1]]), 0.0, "no transitions");
+    }
+
+    #[test]
+    fn entropy_zero_for_deterministic_chain() {
+        let m = MarkovModel::fit(&[vec![1, 2, 3, 1, 2, 3]]);
+        assert!(m.entropy_rate() < 1e-9);
+        let uncertain = MarkovModel::fit(&[vec![1, 2], vec![1, 3]]);
+        assert!(uncertain.entropy_rate() > 0.9, "a fair binary choice");
+    }
+
+    #[test]
+    fn incremental_observation_matches_fit() {
+        let mut inc = MarkovModel::new();
+        for seq in train() {
+            inc.observe_sequence(&seq);
+        }
+        assert_eq!(inc, MarkovModel::fit(&train()));
+        assert_eq!(inc.transition_count(), 8);
+    }
+}

@@ -1,0 +1,244 @@
+//! Order-`k` Markov (n-gram) next-location models.
+//!
+//! Generalizes [`crate::markov::MarkovModel`] (the order-1 baseline) to
+//! contexts of the last `k` cells, with additive smoothing and held-out
+//! evaluation (accuracy and perplexity). Comparing orders quantifies how
+//! much history the symbolic SITM traces carry — an ablation the
+//! first-order model cannot express.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An order-`k` n-gram model over items of type `I`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NGramModel<I: Ord + Clone> {
+    order: usize,
+    /// `counts[context][next]`.
+    counts: BTreeMap<Vec<I>, BTreeMap<I, usize>>,
+    /// Items seen anywhere (the smoothing vocabulary).
+    vocabulary: BTreeSet<I>,
+    observations: usize,
+}
+
+impl<I: Ord + Clone> NGramModel<I> {
+    /// Creates an empty model of the given order (`order ≥ 1`; order 1
+    /// reproduces the first-order Markov chain).
+    pub fn new(order: usize) -> Self {
+        assert!(order >= 1, "order must be at least 1");
+        NGramModel {
+            order,
+            counts: BTreeMap::new(),
+            vocabulary: BTreeSet::new(),
+            observations: 0,
+        }
+    }
+
+    /// Fits a model of `order` from sequences.
+    pub fn fit(sequences: &[Vec<I>], order: usize) -> Self {
+        let mut model = NGramModel::new(order);
+        for seq in sequences {
+            model.observe_sequence(seq);
+        }
+        model
+    }
+
+    /// Adds one sequence's transitions. Contexts shorter than `order`
+    /// (sequence prefixes) are observed too, so prediction works from the
+    /// first step.
+    pub fn observe_sequence(&mut self, seq: &[I]) {
+        self.vocabulary.extend(seq.iter().cloned());
+        for next_idx in 1..seq.len() {
+            let lo = next_idx.saturating_sub(self.order);
+            let context: Vec<I> = seq[lo..next_idx].to_vec();
+            *self
+                .counts
+                .entry(context)
+                .or_default()
+                .entry(seq[next_idx].clone())
+                .or_insert(0) += 1;
+            self.observations += 1;
+        }
+    }
+
+    /// The model order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Total transitions observed.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Distinct items seen.
+    pub fn vocabulary_size(&self) -> usize {
+        self.vocabulary.len()
+    }
+
+    /// Truncates `history` to the model's context length (last `order`
+    /// items, or fewer at sequence starts).
+    fn context_of<'a>(&self, history: &'a [I]) -> &'a [I] {
+        let lo = history.len().saturating_sub(self.order);
+        &history[lo..]
+    }
+
+    /// Add-one-smoothed `P(next | history)`. Returns a uniform
+    /// distribution over the vocabulary for unseen contexts, and 0 for an
+    /// empty vocabulary.
+    pub fn probability(&self, history: &[I], next: &I) -> f64 {
+        let v = self.vocabulary.len();
+        if v == 0 {
+            return 0.0;
+        }
+        let context = self.context_of(history);
+        match self.counts.get(context) {
+            None => 1.0 / v as f64,
+            Some(successors) => {
+                let total: usize = successors.values().sum();
+                let count = successors.get(next).copied().unwrap_or(0);
+                (count as f64 + 1.0) / (total as f64 + v as f64)
+            }
+        }
+    }
+
+    /// Most likely next item after `history` (ties broken by item order);
+    /// `None` for a context never seen.
+    pub fn predict(&self, history: &[I]) -> Option<&I> {
+        let context = self.context_of(history);
+        self.counts.get(context).and_then(|successors| {
+            successors
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                .map(|(item, _)| item)
+        })
+    }
+
+    /// Fraction of held-out transitions predicted exactly.
+    pub fn accuracy(&self, test: &[Vec<I>]) -> f64 {
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for seq in test {
+            for next_idx in 1..seq.len() {
+                total += 1;
+                if self.predict(&seq[..next_idx]) == Some(&seq[next_idx]) {
+                    hits += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Perplexity over held-out sequences (2^cross-entropy, bits); lower
+    /// is better. Returns `f64::INFINITY` when the test set has no
+    /// transitions or the model is empty.
+    pub fn perplexity(&self, test: &[Vec<I>]) -> f64 {
+        let mut log_sum = 0.0f64;
+        let mut total = 0usize;
+        for seq in test {
+            for next_idx in 1..seq.len() {
+                let p = self.probability(&seq[..next_idx], &seq[next_idx]);
+                if p <= 0.0 {
+                    return f64::INFINITY;
+                }
+                log_sum += p.log2();
+                total += 1;
+            }
+        }
+        if total == 0 {
+            f64::INFINITY
+        } else {
+            (-log_sum / total as f64).exp2()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Vec<Vec<u32>> {
+        // A second-order dependency: after [1, 2] always 3; after [4, 2]
+        // always 5. An order-1 model cannot separate the two.
+        vec![
+            vec![1, 2, 3],
+            vec![1, 2, 3],
+            vec![4, 2, 5],
+            vec![4, 2, 5],
+            vec![1, 2, 3],
+            vec![4, 2, 5],
+        ]
+    }
+
+    #[test]
+    fn order2_beats_order1_on_second_order_data() {
+        let train = db();
+        let m1 = NGramModel::fit(&train, 1);
+        let m2 = NGramModel::fit(&train, 2);
+        let test = vec![vec![1, 2, 3], vec![4, 2, 5]];
+        let a1 = m1.accuracy(&test);
+        let a2 = m2.accuracy(&test);
+        assert!(a2 > a1, "order 2 ({a2}) must beat order 1 ({a1})");
+        assert_eq!(a2, 1.0, "order 2 resolves the context exactly");
+        assert!(m2.perplexity(&test) < m1.perplexity(&test));
+    }
+
+    #[test]
+    fn order1_matches_first_order_semantics() {
+        let train = vec![vec![1u32, 2, 1, 2, 1, 3]];
+        let m = NGramModel::fit(&train, 1);
+        // From 1: 2 seen twice, 3 once → predict 2.
+        assert_eq!(m.predict(&[1]), Some(&2));
+        // Longer histories only use the last item.
+        assert_eq!(m.predict(&[9, 9, 9, 1]), Some(&2));
+        assert_eq!(m.vocabulary_size(), 3);
+        assert_eq!(m.observations(), 5);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_over_vocabulary() {
+        let m = NGramModel::fit(&db(), 2);
+        for history in [vec![1u32, 2], vec![4, 2], vec![7, 7]] {
+            let sum: f64 = m
+                .vocabulary
+                .iter()
+                .map(|item| m.probability(&history, item))
+                .sum();
+            assert!((sum - 1.0).abs() < 1e-9, "context {history:?} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn unseen_context_is_uniform() {
+        let m = NGramModel::fit(&db(), 2);
+        let v = m.vocabulary_size() as f64;
+        assert!((m.probability(&[9, 9], &3) - 1.0 / v).abs() < 1e-12);
+        assert_eq!(m.predict(&[9, 9]), None);
+    }
+
+    #[test]
+    fn empty_model_degenerates_gracefully() {
+        let m: NGramModel<u32> = NGramModel::new(3);
+        assert_eq!(m.probability(&[1], &2), 0.0);
+        assert_eq!(m.predict(&[1]), None);
+        assert_eq!(m.accuracy(&[vec![1, 2]]), 0.0);
+        assert!(m.perplexity(&[vec![1, 2]]).is_infinite());
+        assert_eq!(m.order(), 3);
+    }
+
+    #[test]
+    fn prefix_contexts_are_learned() {
+        // The first transition of every sequence has a context shorter
+        // than the order; it must still be predictable.
+        let m = NGramModel::fit(&vec![vec![7u32, 8, 9]; 3], 2);
+        assert_eq!(m.predict(&[7]), Some(&8));
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be at least 1")]
+    fn zero_order_panics() {
+        let _: NGramModel<u32> = NGramModel::new(0);
+    }
+}

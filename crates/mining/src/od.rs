@@ -1,0 +1,160 @@
+//! Origin–destination analysis over symbolic sequences.
+//!
+//! Where do visits start, where do they end, and which (entry, exit)
+//! pairs dominate? For the Louvre this is operationally loaded: §4.2
+//! derives from place semantics that Zone 60890 "is one of the Louvre's
+//! exit zones (through the Carrousel Hall)" — an OD matrix over the
+//! dataset recovers exactly that role from data.
+
+use std::collections::BTreeMap;
+
+/// Origin–destination summary of a sequence database.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OdMatrix<I: Ord> {
+    /// `(first, last)` pair counts.
+    pairs: BTreeMap<(I, I), usize>,
+    /// First-item counts.
+    origins: BTreeMap<I, usize>,
+    /// Last-item counts.
+    destinations: BTreeMap<I, usize>,
+    sequences: usize,
+}
+
+impl<I: Ord + Clone> OdMatrix<I> {
+    /// Builds the matrix from sequences; empty sequences are skipped.
+    pub fn from_sequences(sequences: &[Vec<I>]) -> OdMatrix<I> {
+        let mut od = OdMatrix {
+            pairs: BTreeMap::new(),
+            origins: BTreeMap::new(),
+            destinations: BTreeMap::new(),
+            sequences: 0,
+        };
+        for seq in sequences {
+            let (Some(first), Some(last)) = (seq.first(), seq.last()) else {
+                continue;
+            };
+            *od.pairs.entry((first.clone(), last.clone())).or_insert(0) += 1;
+            *od.origins.entry(first.clone()).or_insert(0) += 1;
+            *od.destinations.entry(last.clone()).or_insert(0) += 1;
+            od.sequences += 1;
+        }
+        od
+    }
+
+    /// Sequences counted.
+    pub fn sequences(&self) -> usize {
+        self.sequences
+    }
+
+    /// Count of a specific `(origin, destination)` pair.
+    pub fn count(&self, origin: &I, destination: &I) -> usize {
+        self.pairs
+            .get(&(origin.clone(), destination.clone()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All `(origin, destination, count)` rows, descending by count.
+    pub fn rows(&self) -> Vec<(&I, &I, usize)> {
+        let mut rows: Vec<(&I, &I, usize)> = self
+            .pairs
+            .iter()
+            .map(|((o, d), &c)| (o, d, c))
+            .collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+        rows
+    }
+
+    /// Origin distribution (item, count), descending.
+    pub fn origin_distribution(&self) -> Vec<(&I, usize)> {
+        let mut rows: Vec<(&I, usize)> = self.origins.iter().map(|(i, &c)| (i, c)).collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        rows
+    }
+
+    /// Destination distribution (item, count), descending.
+    pub fn destination_distribution(&self) -> Vec<(&I, usize)> {
+        let mut rows: Vec<(&I, usize)> = self.destinations.iter().map(|(i, &c)| (i, c)).collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        rows
+    }
+
+    /// Fraction of sequences ending at `destination` — e.g. how dominant
+    /// the Carrousel exit is. 0.0 for an empty matrix.
+    pub fn destination_share(&self, destination: &I) -> f64 {
+        if self.sequences == 0 {
+            return 0.0;
+        }
+        self.destinations.get(destination).copied().unwrap_or(0) as f64 / self.sequences as f64
+    }
+
+    /// Round-trip rate: fraction of sequences starting and ending at the
+    /// same item (museum visitors often exit where they entered).
+    pub fn round_trip_rate(&self) -> f64 {
+        if self.sequences == 0 {
+            return 0.0;
+        }
+        let round: usize = self
+            .pairs
+            .iter()
+            .filter(|((o, d), _)| o == d)
+            .map(|(_, &c)| c)
+            .sum();
+        round as f64 / self.sequences as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Vec<Vec<u32>> {
+        vec![
+            vec![1, 2, 3],    // 1 → 3
+            vec![1, 5, 3],    // 1 → 3
+            vec![1, 3],       // 1 → 3
+            vec![2, 4, 2],    // 2 → 2 (round trip)
+            vec![7],          // 7 → 7 (single stay, round trip)
+            vec![],           // skipped
+        ]
+    }
+
+    #[test]
+    fn counts_and_rows() {
+        let od = OdMatrix::from_sequences(&db());
+        assert_eq!(od.sequences(), 5, "empty sequences are skipped");
+        assert_eq!(od.count(&1, &3), 3);
+        assert_eq!(od.count(&2, &2), 1);
+        assert_eq!(od.count(&3, &1), 0);
+        let rows = od.rows();
+        assert_eq!(rows[0], (&1, &3, 3), "dominant pair first");
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn distributions_are_sorted() {
+        let od = OdMatrix::from_sequences(&db());
+        let origins = od.origin_distribution();
+        assert_eq!(origins[0], (&1, 3));
+        let dests = od.destination_distribution();
+        assert_eq!(dests[0], (&3, 3));
+        assert!((od.destination_share(&3) - 0.6).abs() < 1e-12);
+        assert_eq!(od.destination_share(&9), 0.0);
+    }
+
+    #[test]
+    fn round_trips() {
+        let od = OdMatrix::from_sequences(&db());
+        // 2→2 and 7→7 out of 5.
+        assert!((od.round_trip_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_database() {
+        let od: OdMatrix<u32> = OdMatrix::from_sequences(&[]);
+        assert_eq!(od.sequences(), 0);
+        assert!(od.rows().is_empty());
+        assert_eq!(od.destination_share(&1), 0.0);
+        assert_eq!(od.round_trip_rate(), 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! PrefixSpan frequent sequential pattern mining (Pei et al. 2001),
+//! specialized to single-item events (a visitor is in one zone at a time).
+//!
+//! The paper's lineage runs through its reference \[7\] (Bogorny et al.), which extended a
+//! trajectory model "with fundamental data mining concepts in order to
+//! support frequent/sequential patterns and association rules" — the same
+//! role this module plays for the SITM.
+
+/// A frequent sequential pattern with its support (number of database
+/// sequences containing it as a subsequence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern<I> {
+    /// Pattern items in order.
+    pub items: Vec<I>,
+    /// Number of supporting sequences.
+    pub support: usize,
+}
+
+/// Mines all sequential patterns with support ≥ `min_support` and length ≤
+/// `max_len`. Patterns are subsequences (gaps allowed), the classic
+/// PrefixSpan semantics. Results are sorted by descending support, then by
+/// items.
+pub fn mine_sequential_patterns<I: Clone + Ord>(
+    db: &[Vec<I>],
+    min_support: usize,
+    max_len: usize,
+) -> Vec<Pattern<I>> {
+    assert!(min_support > 0, "support threshold must be positive");
+    let mut results = Vec::new();
+    if max_len == 0 {
+        return results;
+    }
+    // Projections: (sequence index, start offset).
+    let full: Vec<(usize, usize)> = db.iter().enumerate().map(|(i, _)| (i, 0)).collect();
+    let mut prefix = Vec::new();
+    project(db, &full, &mut prefix, min_support, max_len, &mut results);
+    results.sort_by(|a, b| b.support.cmp(&a.support).then(a.items.cmp(&b.items)));
+    results
+}
+
+fn project<I: Clone + Ord>(
+    db: &[Vec<I>],
+    projection: &[(usize, usize)],
+    prefix: &mut Vec<I>,
+    min_support: usize,
+    max_len: usize,
+    results: &mut Vec<Pattern<I>>,
+) {
+    if prefix.len() >= max_len {
+        return;
+    }
+    // Count, per distinct item, in how many projected sequences it occurs.
+    let mut counts: std::collections::BTreeMap<I, usize> = std::collections::BTreeMap::new();
+    for &(seq, start) in projection {
+        let mut seen: std::collections::BTreeSet<&I> = std::collections::BTreeSet::new();
+        for item in &db[seq][start..] {
+            if seen.insert(item) {
+                *counts.entry(item.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+    for (item, support) in counts {
+        if support < min_support {
+            continue;
+        }
+        // New projection: after the first occurrence of `item` per sequence.
+        let next: Vec<(usize, usize)> = projection
+            .iter()
+            .filter_map(|&(seq, start)| {
+                db[seq][start..]
+                    .iter()
+                    .position(|x| *x == item)
+                    .map(|pos| (seq, start + pos + 1))
+            })
+            .collect();
+        prefix.push(item);
+        results.push(Pattern {
+            items: prefix.clone(),
+            support,
+        });
+        project(db, &next, prefix, min_support, max_len, results);
+        prefix.pop();
+    }
+}
+
+/// Support of one explicit pattern in a database (subsequence containment).
+pub fn support_of<I: PartialEq>(db: &[Vec<I>], pattern: &[I]) -> usize {
+    db.iter()
+        .filter(|seq| is_subsequence(pattern, seq))
+        .count()
+}
+
+fn is_subsequence<I: PartialEq>(needle: &[I], haystack: &[I]) -> bool {
+    let mut it = haystack.iter();
+    needle.iter().all(|n| it.any(|h| h == n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Vec<Vec<u32>> {
+        vec![
+            vec![1, 2, 3, 4],
+            vec![1, 3, 4],
+            vec![2, 1, 3],
+            vec![1, 2, 4],
+        ]
+    }
+
+    #[test]
+    fn single_items_counted_correctly() {
+        let patterns = mine_sequential_patterns(&db(), 3, 1);
+        let get = |item: u32| {
+            patterns
+                .iter()
+                .find(|p| p.items == vec![item])
+                .map(|p| p.support)
+        };
+        assert_eq!(get(1), Some(4));
+        assert_eq!(get(3), Some(3));
+        assert_eq!(get(4), Some(3));
+        assert_eq!(get(2), Some(3));
+    }
+
+    #[test]
+    fn sequential_order_matters() {
+        let patterns = mine_sequential_patterns(&db(), 2, 3);
+        let support = |items: &[u32]| {
+            patterns
+                .iter()
+                .find(|p| p.items == items)
+                .map(|p| p.support)
+        };
+        assert_eq!(support(&[1, 3]), Some(3), "1 before 3 thrice");
+        assert_eq!(support(&[3, 1]), None, "3 before 1 only once (< minsup)");
+        assert_eq!(support(&[1, 3, 4]), Some(2));
+        assert_eq!(support(&[1, 2]), Some(2));
+    }
+
+    #[test]
+    fn gaps_are_allowed() {
+        // [1, 4] skips items in between.
+        assert_eq!(support_of(&db(), &[1, 4]), 3);
+        let patterns = mine_sequential_patterns(&db(), 3, 2);
+        assert!(patterns.iter().any(|p| p.items == vec![1, 4]));
+    }
+
+    #[test]
+    fn min_support_prunes() {
+        let patterns = mine_sequential_patterns(&db(), 4, 3);
+        assert_eq!(patterns.len(), 1, "only [1] occurs in all four");
+        assert_eq!(patterns[0].items, vec![1]);
+    }
+
+    #[test]
+    fn max_len_caps_pattern_length() {
+        let patterns = mine_sequential_patterns(&db(), 2, 2);
+        assert!(patterns.iter().all(|p| p.items.len() <= 2));
+        let longer = mine_sequential_patterns(&db(), 2, 4);
+        assert!(longer.iter().any(|p| p.items.len() == 3));
+    }
+
+    #[test]
+    fn results_sorted_by_support() {
+        let patterns = mine_sequential_patterns(&db(), 2, 3);
+        for w in patterns.windows(2) {
+            assert!(w[0].support >= w[1].support);
+        }
+    }
+
+    #[test]
+    fn mined_supports_agree_with_direct_counting() {
+        // Cross-check every mined pattern against the naive counter.
+        let database = db();
+        for p in mine_sequential_patterns(&database, 2, 3) {
+            assert_eq!(
+                support_of(&database, &p.items),
+                p.support,
+                "pattern {:?}",
+                p.items
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_items_within_a_sequence_count_once() {
+        let database = vec![vec![1, 1, 1], vec![2, 1]];
+        let patterns = mine_sequential_patterns(&database, 1, 2);
+        let support = |items: &[u32]| {
+            patterns
+                .iter()
+                .find(|p| p.items == items)
+                .map(|p| p.support)
+        };
+        assert_eq!(support(&[1]), Some(2), "per-sequence support");
+        assert_eq!(support(&[1, 1]), Some(1), "but ordered repeats are found");
+    }
+
+    #[test]
+    fn empty_database_yields_nothing() {
+        let database: Vec<Vec<u32>> = Vec::new();
+        assert!(mine_sequential_patterns(&database, 1, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_support_rejected() {
+        mine_sequential_patterns(&db(), 0, 3);
+    }
+}

@@ -1,0 +1,155 @@
+//! Sequential association rules.
+//!
+//! From frequent sequential patterns, rules of the form
+//! `antecedent ⇒ consequent` ("visitors who saw the Grande Galerie then the
+//! Salle des États next go to the Winged Victory"), scored by support,
+//! confidence, and lift.
+
+use crate::prefixspan::Pattern;
+
+/// A sequential association rule `antecedent ⇒ consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule<I> {
+    /// The antecedent subsequence.
+    pub antecedent: Vec<I>,
+    /// The predicted continuation (single item).
+    pub consequent: I,
+    /// Support of the full pattern (absolute count).
+    pub support: usize,
+    /// `support(pattern) / support(antecedent)`.
+    pub confidence: f64,
+    /// `confidence / P(consequent)` — > 1 means positively correlated.
+    pub lift: f64,
+}
+
+/// Derives rules from mined patterns: every pattern of length ≥ 2 yields
+/// the rule `prefix ⇒ last`, if its confidence clears `min_confidence`.
+/// `db_len` is the number of database sequences (for lift).
+pub fn mine_rules<I: Clone + Ord>(
+    patterns: &[Pattern<I>],
+    db_len: usize,
+    min_confidence: f64,
+) -> Vec<Rule<I>> {
+    assert!(db_len > 0, "empty database");
+    // Index supports by items for O(log n) antecedent lookup.
+    let support_index: std::collections::BTreeMap<&[I], usize> = patterns
+        .iter()
+        .map(|p| (p.items.as_slice(), p.support))
+        .collect();
+    let mut rules = Vec::new();
+    for p in patterns {
+        if p.items.len() < 2 {
+            continue;
+        }
+        let (prefix, last) = p.items.split_at(p.items.len() - 1);
+        let Some(&prefix_support) = support_index.get(prefix) else {
+            continue; // antecedent below min support: no reliable confidence
+        };
+        let confidence = p.support as f64 / prefix_support as f64;
+        if confidence < min_confidence {
+            continue;
+        }
+        let consequent = last[0].clone();
+        let consequent_support = support_index
+            .get(std::slice::from_ref(&consequent))
+            .copied()
+            .unwrap_or(p.support);
+        let p_consequent = consequent_support as f64 / db_len as f64;
+        rules.push(Rule {
+            antecedent: prefix.to_vec(),
+            consequent,
+            support: p.support,
+            confidence,
+            lift: confidence / p_consequent,
+        });
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .expect("confidence is finite")
+            .then(b.support.cmp(&a.support))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefixspan::mine_sequential_patterns;
+
+    fn db() -> Vec<Vec<u32>> {
+        vec![
+            vec![1, 2, 3],
+            vec![1, 2, 3],
+            vec![1, 2, 4],
+            vec![2, 3],
+            vec![1, 3],
+        ]
+    }
+
+    #[test]
+    fn confidence_is_conditional_support() {
+        let patterns = mine_sequential_patterns(&db(), 1, 3);
+        let rules = mine_rules(&patterns, 5, 0.0);
+        // [1,2] -> 3: support([1,2,3]) = 2, support([1,2]) = 3.
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == vec![1, 2] && r.consequent == 3)
+            .expect("rule exists");
+        assert_eq!(rule.support, 2);
+        assert!((rule.confidence - 2.0 / 3.0).abs() < 1e-9);
+        // P(3) = 4/5, lift = (2/3)/(4/5) = 5/6.
+        assert!((rule.lift - 5.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_confidence_filters() {
+        let patterns = mine_sequential_patterns(&db(), 1, 3);
+        let all = mine_rules(&patterns, 5, 0.0);
+        let strict = mine_rules(&patterns, 5, 0.9);
+        assert!(strict.len() < all.len());
+        assert!(strict.iter().all(|r| r.confidence >= 0.9));
+    }
+
+    #[test]
+    fn rules_sorted_by_confidence() {
+        let patterns = mine_sequential_patterns(&db(), 1, 3);
+        let rules = mine_rules(&patterns, 5, 0.0);
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence);
+        }
+    }
+
+    #[test]
+    fn lift_above_one_for_correlated_pairs() {
+        // Sequences where 9 always follows 8 but 9 is rare globally.
+        let database = vec![
+            vec![8, 9],
+            vec![8, 9],
+            vec![1, 2],
+            vec![2, 1],
+            vec![1, 3],
+        ];
+        let patterns = mine_sequential_patterns(&database, 1, 2);
+        let rules = mine_rules(&patterns, 5, 0.0);
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == vec![8] && r.consequent == 9)
+            .expect("rule exists");
+        assert_eq!(rule.confidence, 1.0);
+        assert!((rule.lift - 2.5).abs() < 1e-9, "1.0 / (2/5)");
+    }
+
+    #[test]
+    fn single_item_patterns_yield_no_rules() {
+        let patterns = mine_sequential_patterns(&db(), 5, 1);
+        assert!(mine_rules(&patterns, 5, 0.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty database")]
+    fn zero_db_len_rejected() {
+        let patterns: Vec<Pattern<u32>> = Vec::new();
+        mine_rules(&patterns, 0, 0.5);
+    }
+}

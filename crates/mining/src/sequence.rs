@@ -1,0 +1,90 @@
+//! Symbolic sequence extraction.
+//!
+//! Mining operates on the *symbolic* view of traces — exactly the benefit
+//! the paper claims for region-based trajectories over coordinate streams
+//! (§1: "indoor trajectory analytics may gain from avoiding cumbersome
+//! calculations over geometric representations").
+
+use sitm_core::Trace;
+use sitm_space::CellRef;
+
+/// Extracts the collapsed cell sequence of every trace (consecutive
+/// repetitions merged — the standard mining input).
+pub fn cell_sequences(traces: &[Trace]) -> Vec<Vec<CellRef>> {
+    traces.iter().map(|t| t.cell_sequence()).collect()
+}
+
+/// Maps cell sequences to compact integer alphabets for faster mining.
+/// Returns the remapped database and the alphabet (index → cell).
+pub fn to_alphabet(sequences: &[Vec<CellRef>]) -> (Vec<Vec<u32>>, Vec<CellRef>) {
+    let mut alphabet: Vec<CellRef> = Vec::new();
+    let mut index: std::collections::BTreeMap<CellRef, u32> = std::collections::BTreeMap::new();
+    let db = sequences
+        .iter()
+        .map(|seq| {
+            seq.iter()
+                .map(|&cell| {
+                    *index.entry(cell).or_insert_with(|| {
+                        alphabet.push(cell);
+                        (alphabet.len() - 1) as u32
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    (db, alphabet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_core::{PresenceInterval, Timestamp, TransitionTaken};
+    use sitm_graph::{LayerIdx, NodeId};
+
+    fn cell(n: usize) -> CellRef {
+        CellRef::new(LayerIdx::from_index(0), NodeId::from_index(n))
+    }
+
+    fn trace(cells: &[usize]) -> Trace {
+        let intervals = cells
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                PresenceInterval::new(
+                    TransitionTaken::Unknown,
+                    cell(c),
+                    Timestamp(i as i64 * 10),
+                    Timestamp(i as i64 * 10 + 10),
+                )
+            })
+            .collect();
+        Trace::new(intervals).unwrap()
+    }
+
+    #[test]
+    fn sequences_collapse_repetitions() {
+        let traces = vec![trace(&[1, 1, 2, 3, 3]), trace(&[2, 2])];
+        let seqs = cell_sequences(&traces);
+        assert_eq!(seqs[0], vec![cell(1), cell(2), cell(3)]);
+        assert_eq!(seqs[1], vec![cell(2)]);
+    }
+
+    #[test]
+    fn alphabet_round_trips() {
+        let traces = vec![trace(&[5, 7]), trace(&[7, 5, 9])];
+        let seqs = cell_sequences(&traces);
+        let (db, alphabet) = to_alphabet(&seqs);
+        assert_eq!(alphabet.len(), 3);
+        for (seq, ids) in seqs.iter().zip(&db) {
+            let back: Vec<CellRef> = ids.iter().map(|&i| alphabet[i as usize]).collect();
+            assert_eq!(&back, seq);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (db, alphabet) = to_alphabet(&[]);
+        assert!(db.is_empty());
+        assert!(alphabet.is_empty());
+    }
+}

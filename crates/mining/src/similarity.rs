@@ -1,0 +1,236 @@
+//! Trajectory similarity metrics.
+//!
+//! The paper's future work (§5) calls for "semantic similarity metrics for
+//! trajectories (e.g. for visitor profiling)". Implemented here:
+//!
+//! * plain [`edit_distance`] / [`lcs_length`] over symbolic sequences;
+//! * a weighted edit distance whose substitution cost is **semantic**:
+//!   [`HierarchyDistance`] derives cell-to-cell cost from the layer
+//!   hierarchy (Wu–Palmer style — cells sharing a nearby ancestor are
+//!   cheaper to substitute than cells in different wings).
+
+use sitm_space::{CellRef, IndoorSpace, LayerHierarchy};
+
+/// Levenshtein distance between two symbolic sequences (unit costs).
+pub fn edit_distance<I: PartialEq>(a: &[I], b: &[I]) -> usize {
+    weighted_edit_distance(a, b, |x, y| if x == y { 0.0 } else { 1.0 }, 1.0) as usize
+}
+
+/// Edit distance with a custom substitution cost in `[0, 1]` and an
+/// insertion/deletion cost (`indel`). Returns the total cost.
+pub fn weighted_edit_distance<I>(
+    a: &[I],
+    b: &[I],
+    mut substitution: impl FnMut(&I, &I) -> f64,
+    indel: f64,
+) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    // One-row DP.
+    let mut prev: Vec<f64> = (0..=m).map(|j| j as f64 * indel).collect();
+    let mut cur = vec![0.0; m + 1];
+    for i in 1..=n {
+        cur[0] = i as f64 * indel;
+        for j in 1..=m {
+            let sub = prev[j - 1] + substitution(&a[i - 1], &b[j - 1]);
+            let del = prev[j] + indel;
+            let ins = cur[j - 1] + indel;
+            cur[j] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Length of the longest common subsequence.
+pub fn lcs_length<I: PartialEq>(a: &[I], b: &[I]) -> usize {
+    let m = b.len();
+    let mut prev = vec![0usize; m + 1];
+    let mut cur = vec![0usize; m + 1];
+    for x in a {
+        for (j, y) in b.iter().enumerate() {
+            cur[j + 1] = if x == y {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0;
+    }
+    prev[m]
+}
+
+/// Normalized edit similarity in `[0, 1]`: `1 − d / max(|a|, |b|)`.
+pub fn normalized_edit_similarity<I: PartialEq>(a: &[I], b: &[I]) -> f64 {
+    let longest = a.len().max(b.len());
+    if longest == 0 {
+        return 1.0;
+    }
+    1.0 - edit_distance(a, b) as f64 / longest as f64
+}
+
+/// Semantic substitution costs derived from a layer hierarchy: the cost of
+/// substituting cell `a` for cell `b` is `1 − wu_palmer(a, b)` where
+/// `wu_palmer = 2·depth(lca) / (depth(a) + depth(b))` over the hierarchy's
+/// ancestor chains (depth of the root layer = 1).
+#[derive(Debug, Clone)]
+pub struct HierarchyDistance<'a> {
+    space: &'a IndoorSpace,
+    hierarchy: &'a LayerHierarchy,
+}
+
+impl<'a> HierarchyDistance<'a> {
+    /// Creates a semantic distance over the given hierarchy.
+    pub fn new(space: &'a IndoorSpace, hierarchy: &'a LayerHierarchy) -> Self {
+        HierarchyDistance { space, hierarchy }
+    }
+
+    fn chain(&self, cell: CellRef) -> Vec<CellRef> {
+        // Root-first ancestor chain including the cell itself.
+        let mut up = self.hierarchy.ancestors_of(self.space, cell);
+        up.reverse();
+        up.push(cell);
+        up
+    }
+
+    /// Wu–Palmer similarity in `[0, 1]`; 1 for identical cells.
+    pub fn wu_palmer(&self, a: CellRef, b: CellRef) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let ca = self.chain(a);
+        let cb = self.chain(b);
+        let mut common = 0usize;
+        for (x, y) in ca.iter().zip(cb.iter()) {
+            if x == y {
+                common += 1;
+            } else {
+                break;
+            }
+        }
+        let denom = (ca.len() + cb.len()) as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        2.0 * common as f64 / denom
+    }
+
+    /// Substitution cost: `1 − wu_palmer`.
+    pub fn substitution_cost(&self, a: CellRef, b: CellRef) -> f64 {
+        1.0 - self.wu_palmer(a, b)
+    }
+
+    /// Semantic edit distance between two cell sequences.
+    pub fn sequence_distance(&self, a: &[CellRef], b: &[CellRef]) -> f64 {
+        weighted_edit_distance(a, b, |x, y| self.substitution_cost(*x, *y), 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_space::{core_hierarchy, Cell, CellClass, JointRelation, LayerKind};
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance::<u32>(&[], &[]), 0);
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 3]), 1, "deletion");
+        assert_eq!(edit_distance(&[1, 3], &[1, 2, 3]), 1, "insertion");
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 9, 3]), 1, "substitution");
+        assert_eq!(edit_distance(&[1, 2], &[3, 4]), 2);
+    }
+
+    #[test]
+    fn edit_distance_is_symmetric() {
+        let a = [1, 2, 3, 4, 5];
+        let b = [2, 4, 6];
+        assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn lcs_basics() {
+        assert_eq!(lcs_length(&[1, 2, 3, 4], &[2, 4]), 2);
+        assert_eq!(lcs_length(&[1, 2, 3], &[3, 2, 1]), 1);
+        assert_eq!(lcs_length::<u32>(&[], &[1]), 0);
+        assert_eq!(lcs_length(&[1, 3, 5, 7], &[0, 1, 2, 3, 4, 5]), 3);
+    }
+
+    #[test]
+    fn normalized_similarity_range() {
+        assert_eq!(normalized_edit_similarity(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(normalized_edit_similarity(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(normalized_edit_similarity::<u32>(&[], &[]), 1.0);
+        let s = normalized_edit_similarity(&[1, 2, 3, 4], &[1, 2, 3, 9]);
+        assert!((s - 0.75).abs() < 1e-9);
+    }
+
+    /// Building with two floors; rooms r0,r1 on f0 and r2 on f1.
+    fn hierarchy_fixture() -> (IndoorSpace, LayerHierarchy, [CellRef; 3]) {
+        let mut s = IndoorSpace::new();
+        let lb = s.add_layer("b", LayerKind::Building);
+        let lf = s.add_layer("f", LayerKind::Floor);
+        let lr = s.add_layer("r", LayerKind::Room);
+        let b = s.add_cell(lb, Cell::new("b", "B", CellClass::Building)).unwrap();
+        let f0 = s.add_cell(lf, Cell::new("f0", "F0", CellClass::Floor)).unwrap();
+        let f1 = s.add_cell(lf, Cell::new("f1", "F1", CellClass::Floor)).unwrap();
+        let r0 = s.add_cell(lr, Cell::new("r0", "R0", CellClass::Room)).unwrap();
+        let r1 = s.add_cell(lr, Cell::new("r1", "R1", CellClass::Room)).unwrap();
+        let r2 = s.add_cell(lr, Cell::new("r2", "R2", CellClass::Room)).unwrap();
+        s.add_joint(b, f0, JointRelation::Covers).unwrap();
+        s.add_joint(b, f1, JointRelation::Covers).unwrap();
+        s.add_joint(f0, r0, JointRelation::Contains).unwrap();
+        s.add_joint(f0, r1, JointRelation::Contains).unwrap();
+        s.add_joint(f1, r2, JointRelation::Contains).unwrap();
+        let h = core_hierarchy(&s).unwrap();
+        (s, h, [r0, r1, r2])
+    }
+
+    #[test]
+    fn wu_palmer_rewards_shared_ancestry() {
+        let (s, h, [r0, r1, r2]) = hierarchy_fixture();
+        let d = HierarchyDistance::new(&s, &h);
+        assert_eq!(d.wu_palmer(r0, r0), 1.0);
+        let same_floor = d.wu_palmer(r0, r1);
+        let cross_floor = d.wu_palmer(r0, r2);
+        assert!(
+            same_floor > cross_floor,
+            "same-floor rooms more similar: {same_floor} vs {cross_floor}"
+        );
+        // Chains are [b, f0, r*]: same floor shares 2 of 3 levels.
+        assert!((same_floor - 4.0 / 6.0).abs() < 1e-9);
+        assert!((cross_floor - 2.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semantic_distance_orders_trajectories() {
+        let (s, h, [r0, r1, r2]) = hierarchy_fixture();
+        let d = HierarchyDistance::new(&s, &h);
+        // Substituting a same-floor room costs less than a cross-floor one.
+        let base = [r0, r0];
+        let near = [r0, r1];
+        let far = [r0, r2];
+        let d_near = d.sequence_distance(&base, &near);
+        let d_far = d.sequence_distance(&base, &far);
+        assert!(d_near < d_far);
+        assert_eq!(d.sequence_distance(&base, &base), 0.0);
+    }
+
+    #[test]
+    fn semantic_distance_falls_back_to_indel() {
+        let (s, h, [r0, ..]) = hierarchy_fixture();
+        let d = HierarchyDistance::new(&s, &h);
+        assert_eq!(d.sequence_distance(&[r0], &[]), 1.0);
+        assert_eq!(d.sequence_distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn weighted_edit_distance_prefers_cheap_substitution() {
+        // Substitution cost 0.2 beats delete+insert (2.0).
+        let cost = weighted_edit_distance(&[1], &[2], |_, _| 0.2, 1.0);
+        assert!((cost - 0.2).abs() < 1e-9);
+        // But an expensive substitution loses to indel pairs.
+        let cost = weighted_edit_distance(&[1], &[2], |_, _| 5.0, 1.0);
+        assert!((cost - 2.0).abs() < 1e-9);
+    }
+}

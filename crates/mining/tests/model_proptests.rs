@@ -1,0 +1,107 @@
+//! Property tests for the predictive and OD models.
+
+use proptest::prelude::*;
+
+use sitm_mining::{MarkovModel, NGramModel, OdMatrix};
+
+fn db_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0u32..12, 0..10), 0..30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Smoothed n-gram probabilities form a distribution over the
+    /// vocabulary for every observed context and every unseen context.
+    #[test]
+    fn ngram_probabilities_are_distributions(
+        db in db_strategy(),
+        order in 1usize..4,
+        probe in prop::collection::vec(0u32..12, 0..4),
+    ) {
+        let model = NGramModel::fit(&db, order);
+        let vocab: std::collections::BTreeSet<u32> =
+            db.iter().flatten().copied().collect();
+        if vocab.is_empty() {
+            prop_assert_eq!(model.probability(&probe, &0), 0.0);
+            return Ok(());
+        }
+        let sum: f64 = vocab.iter().map(|i| model.probability(&probe, i)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum {} for probe {:?}", sum, probe);
+    }
+
+    /// Order-1 n-gram prediction agrees with the dedicated first-order
+    /// Markov model wherever both predict.
+    #[test]
+    fn order1_ngram_matches_markov(db in db_strategy()) {
+        let markov = MarkovModel::fit(&db);
+        let ngram = NGramModel::fit(&db, 1);
+        let vocab: std::collections::BTreeSet<u32> = db.iter().flatten().copied().collect();
+        for &item in &vocab {
+            let history = [item];
+            match (markov.predict(&item), ngram.predict(&history)) {
+                (Some(a), Some(b)) => {
+                    // Both pick a maximizer of the same count table; the
+                    // predicted successor count must match even if tie
+                    // breaking differs.
+                    prop_assert!(
+                        (markov.probability(&item, a) - markov.probability(&item, b)).abs()
+                            < 1e-12,
+                        "from {}: markov {} vs ngram {}", item, a, b
+                    );
+                }
+                (None, None) => {}
+                (a, b) => prop_assert!(false, "divergent availability from {}: {:?} vs {:?}", item, a, b),
+            }
+        }
+        // Accuracy on the training database must also be close (identical
+        // maximizer sets): allow tie-breaking wiggle.
+        let am = markov.accuracy(&db);
+        let an = ngram.accuracy(&db);
+        prop_assert!((am - an).abs() <= 0.35, "markov {} vs ngram {}", am, an);
+    }
+
+    /// OD bookkeeping identities: pair counts, origin counts, and
+    /// destination counts all sum to the number of non-empty sequences.
+    #[test]
+    fn od_matrix_identities(db in db_strategy()) {
+        let od = OdMatrix::from_sequences(&db);
+        let non_empty = db.iter().filter(|s| !s.is_empty()).count();
+        prop_assert_eq!(od.sequences(), non_empty);
+        let pair_total: usize = od.rows().iter().map(|&(_, _, c)| c).sum();
+        prop_assert_eq!(pair_total, non_empty);
+        let origin_total: usize = od.origin_distribution().iter().map(|&(_, c)| c).sum();
+        let dest_total: usize = od.destination_distribution().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(origin_total, non_empty);
+        prop_assert_eq!(dest_total, non_empty);
+        // Shares sum to 1 over destinations (when any sequences exist).
+        if non_empty > 0 {
+            let share_sum: f64 = od
+                .destination_distribution()
+                .iter()
+                .map(|&(d, _)| od.destination_share(d))
+                .sum();
+            prop_assert!((share_sum - 1.0).abs() < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&od.round_trip_rate()));
+        }
+    }
+
+    /// Every singleton sequence is a round trip; concatenating a reversed
+    /// copy onto each sequence makes every journey a round trip.
+    #[test]
+    fn round_trips_by_construction(db in db_strategy()) {
+        let mirrored: Vec<Vec<u32>> = db
+            .iter()
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                let mut out = s.clone();
+                out.extend(s.iter().rev().copied());
+                out
+            })
+            .collect();
+        let od = OdMatrix::from_sequences(&mirrored);
+        if od.sequences() > 0 {
+            prop_assert!((od.round_trip_rate() - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # sitm-ontology
+//!
+//! An in-memory triple store with a CIDOC-CRM-flavoured museum
+//! vocabulary — the paper's §5 future-work item ("it would be
+//! interesting to integrate the indoor space representation with formal
+//! ontologies of cultural heritage information (e.g. CIDOC Conceptual
+//! Reference Model)") made concrete:
+//!
+//! * [`term`] — string interning ([`Interner`], [`TermId`]);
+//! * [`triple`] — [`TripleStore`]: SPO/POS/OSP-indexed statements with
+//!   full pattern queries;
+//! * [`vocab`] — the RDF/RDFS/SKOS core and the CRM classes and
+//!   properties the museum KB uses;
+//! * [`reasoner`] — forward-chaining saturation: transitive properties,
+//!   type lifting through `rdfs:subClassOf`, location lifting through
+//!   `crm:P89_falls_within` (the KB mirror of the paper's §3.2 hierarchy
+//!   lifting);
+//! * [`museum`] — the curated Louvre exhibit catalogue, keyed to the
+//!   `sitm-louvre` RoIs and thematic zones;
+//! * [`enrich`] — trajectory enrichment: stays gain exhibit/theme/artist
+//!   annotations, traces fold into per-theme dwell profiles for visitor
+//!   profiling.
+
+pub mod enrich;
+pub mod museum;
+pub mod reasoner;
+pub mod term;
+pub mod triple;
+pub mod vocab;
+
+pub use enrich::{
+    enrich_trace, profile_similarity, theme_dwell_profile, theme_with_ancestors, zone_semantics,
+    ZoneSemantics,
+};
+pub use museum::{build_louvre_kb, exhibit_catalogue, exhibits_in_zone, ExhibitFact};
+pub use reasoner::{instances_of, saturate, saturate_transitive, saturate_types};
+pub use term::{Interner, TermId};
+pub use triple::{Pattern, Triple, TripleStore};

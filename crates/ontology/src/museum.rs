@@ -1,0 +1,322 @@
+//! The Louvre exhibit knowledge base.
+//!
+//! Instantiates the CRM-flavoured vocabulary for the flagship exhibits of
+//! the Louvre case study (§4), linking each exhibit to:
+//!
+//! * its **RoI key** in `sitm-louvre` (`roi-mona-lisa`, …) and its
+//!   **thematic zone id**, so KB facts join against the indoor space
+//!   model's cells;
+//! * its **creator** via an E12 Production event (`P108i` / `P14`),
+//!   CIDOC-style;
+//! * its **theme** (`P2_has_type`) inside a SKOS-ish `broader` hierarchy.
+//!
+//! The facts are encyclopedic (artists, periods) and serve as a realistic
+//! external-source payload, exactly the "complementary case-specific
+//! datasets" §2.2 says semantic TMs should integrate.
+
+use crate::triple::TripleStore;
+use crate::vocab::{crm, install_schema, rdf};
+
+/// One exhibit row of the curated catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExhibitFact {
+    /// KB IRI, e.g. `louvre:MonaLisa`.
+    pub iri: &'static str,
+    /// RoI key in the `sitm-louvre` space model (`roi-…`), when the
+    /// exhibit is one of the modelled flagship RoIs.
+    pub roi_key: Option<&'static str>,
+    /// Thematic zone housing the exhibit.
+    pub zone_id: u32,
+    /// Display label.
+    pub label: &'static str,
+    /// Creator IRI (`None` for anonymous works).
+    pub creator: Option<&'static str>,
+    /// Creator label.
+    pub creator_label: Option<&'static str>,
+    /// Theme IRI (leaf of the theme hierarchy).
+    pub theme: &'static str,
+    /// Production time-span IRI.
+    pub period: &'static str,
+}
+
+/// The curated exhibit catalogue.
+pub fn exhibit_catalogue() -> Vec<ExhibitFact> {
+    vec![
+        ExhibitFact {
+            iri: "louvre:MonaLisa",
+            roi_key: Some("roi-mona-lisa"),
+            zone_id: 60862,
+            label: "Mona Lisa",
+            creator: Some("louvre:LeonardoDaVinci"),
+            creator_label: Some("Leonardo da Vinci"),
+            theme: "theme:ItalianRenaissancePainting",
+            period: "period:HighRenaissance",
+        },
+        ExhibitFact {
+            iri: "louvre:VenusDeMilo",
+            roi_key: Some("roi-venus-de-milo"),
+            zone_id: 60852,
+            label: "Vénus de Milo",
+            creator: Some("louvre:AlexandrosOfAntioch"),
+            creator_label: Some("Alexandros of Antioch"),
+            theme: "theme:GreekSculpture",
+            period: "period:HellenisticGreece",
+        },
+        ExhibitFact {
+            iri: "louvre:WingedVictory",
+            roi_key: Some("roi-winged-victory"),
+            zone_id: 60864,
+            label: "Winged Victory of Samothrace",
+            creator: None,
+            creator_label: None,
+            theme: "theme:GreekSculpture",
+            period: "period:HellenisticGreece",
+        },
+        ExhibitFact {
+            iri: "louvre:RaftOfTheMedusa",
+            roi_key: Some("roi-raft-of-the-medusa"),
+            zone_id: 60863,
+            label: "The Raft of the Medusa",
+            creator: Some("louvre:TheodoreGericault"),
+            creator_label: Some("Théodore Géricault"),
+            theme: "theme:FrenchRomanticPainting",
+            period: "period:Romanticism",
+        },
+        ExhibitFact {
+            iri: "louvre:CodeOfHammurabi",
+            roi_key: Some("roi-code-of-hammurabi"),
+            zone_id: 60854,
+            label: "Code of Hammurabi",
+            creator: None,
+            creator_label: None,
+            theme: "theme:MesopotamianAntiquities",
+            period: "period:OldBabylonian",
+        },
+        ExhibitFact {
+            iri: "louvre:SeatedScribe",
+            roi_key: Some("roi-seated-scribe"),
+            zone_id: 60853,
+            label: "The Seated Scribe",
+            creator: None,
+            creator_label: None,
+            theme: "theme:EgyptianAntiquities",
+            period: "period:OldKingdomEgypt",
+        },
+        ExhibitFact {
+            iri: "louvre:LibertyLeadingThePeople",
+            roi_key: None,
+            zone_id: 60863,
+            label: "Liberty Leading the People",
+            creator: Some("louvre:EugeneDelacroix"),
+            creator_label: Some("Eugène Delacroix"),
+            theme: "theme:FrenchRomanticPainting",
+            period: "period:Romanticism",
+        },
+        ExhibitFact {
+            iri: "louvre:CoronationOfNapoleon",
+            roi_key: None,
+            zone_id: 60863,
+            label: "The Coronation of Napoleon",
+            creator: Some("louvre:JacquesLouisDavid"),
+            creator_label: Some("Jacques-Louis David"),
+            theme: "theme:FrenchNeoclassicalPainting",
+            period: "period:Neoclassicism",
+        },
+        ExhibitFact {
+            iri: "louvre:GrandeOdalisque",
+            roi_key: None,
+            zone_id: 60863,
+            label: "La Grande Odalisque",
+            creator: Some("louvre:JeanAugusteIngres"),
+            creator_label: Some("Jean-Auguste-Dominique Ingres"),
+            theme: "theme:FrenchNeoclassicalPainting",
+            period: "period:Neoclassicism",
+        },
+        ExhibitFact {
+            iri: "louvre:DyingSlave",
+            roi_key: None,
+            zone_id: 60852,
+            label: "Dying Slave",
+            creator: Some("louvre:Michelangelo"),
+            creator_label: Some("Michelangelo Buonarroti"),
+            theme: "theme:ItalianRenaissanceSculpture",
+            period: "period:HighRenaissance",
+        },
+        ExhibitFact {
+            iri: "louvre:PsycheRevived",
+            roi_key: None,
+            zone_id: 60852,
+            label: "Psyche Revived by Cupid's Kiss",
+            creator: Some("louvre:AntonioCanova"),
+            creator_label: Some("Antonio Canova"),
+            theme: "theme:ItalianNeoclassicalSculpture",
+            period: "period:Neoclassicism",
+        },
+        ExhibitFact {
+            iri: "louvre:SleepingHermaphroditus",
+            roi_key: None,
+            zone_id: 60852,
+            label: "Sleeping Hermaphroditus",
+            creator: None,
+            creator_label: None,
+            theme: "theme:GreekSculpture",
+            period: "period:HellenisticGreece",
+        },
+    ]
+}
+
+/// The theme hierarchy: `(narrower, broader)` pairs.
+fn theme_hierarchy() -> &'static [(&'static str, &'static str)] {
+    &[
+        ("theme:ItalianRenaissancePainting", "theme:Painting"),
+        ("theme:FrenchRomanticPainting", "theme:Painting"),
+        ("theme:FrenchNeoclassicalPainting", "theme:Painting"),
+        ("theme:ItalianRenaissanceSculpture", "theme:Sculpture"),
+        ("theme:ItalianNeoclassicalSculpture", "theme:Sculpture"),
+        ("theme:GreekSculpture", "theme:Sculpture"),
+        ("theme:MesopotamianAntiquities", "theme:Antiquities"),
+        ("theme:EgyptianAntiquities", "theme:Antiquities"),
+        ("theme:Painting", "theme:FineArt"),
+        ("theme:Sculpture", "theme:FineArt"),
+        ("theme:Antiquities", "theme:FineArt"),
+    ]
+}
+
+/// IRI of the place resource for a thematic zone.
+pub fn zone_place_iri(zone_id: u32) -> String {
+    format!("place:zone-{zone_id}")
+}
+
+/// IRI of the place resource for an RoI key.
+pub fn roi_place_iri(roi_key: &str) -> String {
+    format!("place:{roi_key}")
+}
+
+/// Builds the Louvre knowledge base (schema + catalogue + theme
+/// hierarchy + place containment), **without** running the reasoner —
+/// call [`crate::reasoner::saturate`] to materialize inferences.
+pub fn build_louvre_kb() -> TripleStore {
+    let mut kb = TripleStore::new();
+    install_schema(&mut kb);
+    for (narrow, broad) in theme_hierarchy() {
+        kb.insert(narrow, rdf::BROADER, broad);
+        kb.insert(narrow, rdf::TYPE, crm::E55_TYPE);
+        kb.insert(broad, rdf::TYPE, crm::E55_TYPE);
+    }
+    for fact in exhibit_catalogue() {
+        kb.insert(fact.iri, rdf::TYPE, crm::E22_MAN_MADE_OBJECT);
+        kb.insert(fact.iri, rdf::LABEL, fact.label);
+        kb.insert(fact.iri, crm::P2_HAS_TYPE, fact.theme);
+
+        let zone_place = zone_place_iri(fact.zone_id);
+        kb.insert(&zone_place, rdf::TYPE, crm::E53_PLACE);
+        match fact.roi_key {
+            Some(roi) => {
+                let roi_place = roi_place_iri(roi);
+                kb.insert(&roi_place, rdf::TYPE, crm::E53_PLACE);
+                kb.insert(&roi_place, crm::P89_FALLS_WITHIN, &zone_place);
+                kb.insert(fact.iri, crm::P55_HAS_CURRENT_LOCATION, &roi_place);
+            }
+            None => {
+                kb.insert(fact.iri, crm::P55_HAS_CURRENT_LOCATION, &zone_place);
+            }
+        }
+
+        let production = format!("{}-production", fact.iri);
+        kb.insert(fact.iri, crm::P108I_WAS_PRODUCED_BY, &production);
+        kb.insert(&production, rdf::TYPE, crm::E12_PRODUCTION);
+        kb.insert(&production, crm::P4_HAS_TIME_SPAN, fact.period);
+        kb.insert(fact.period, rdf::TYPE, crm::E52_TIME_SPAN);
+        if let (Some(creator), Some(label)) = (fact.creator, fact.creator_label) {
+            kb.insert(&production, crm::P14_CARRIED_OUT_BY, creator);
+            kb.insert(creator, rdf::TYPE, crm::E21_PERSON);
+            kb.insert(creator, rdf::LABEL, label);
+        }
+    }
+    kb
+}
+
+/// Exhibit IRIs located (directly) in a thematic zone, per the raw KB.
+pub fn exhibits_in_zone(kb: &TripleStore, zone_id: u32) -> Vec<&str> {
+    kb.subjects(crm::P55_HAS_CURRENT_LOCATION, &zone_place_iri(zone_id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reasoner::{instances_of, saturate};
+
+    #[test]
+    fn catalogue_is_consistent() {
+        let cat = exhibit_catalogue();
+        assert!(cat.len() >= 12);
+        let mut iris: Vec<&str> = cat.iter().map(|f| f.iri).collect();
+        iris.sort_unstable();
+        iris.dedup();
+        assert_eq!(iris.len(), cat.len(), "IRIs must be unique");
+        // Every themed exhibit's theme is in the hierarchy.
+        let themes: Vec<&str> = theme_hierarchy().iter().map(|&(n, _)| n).collect();
+        for f in &cat {
+            assert!(themes.contains(&f.theme), "{} has unknown theme {}", f.iri, f.theme);
+        }
+    }
+
+    #[test]
+    fn roi_keys_match_louvre_model() {
+        use sitm_louvre::rois::famous_exhibits;
+        let famous = famous_exhibits();
+        for f in exhibit_catalogue() {
+            if let Some(roi) = f.roi_key {
+                let matching = famous.iter().find(|e| e.key == roi);
+                assert!(matching.is_some(), "{roi} not in sitm-louvre famous exhibits");
+                assert_eq!(
+                    matching.unwrap().zone_id,
+                    f.zone_id,
+                    "zone mismatch for {roi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kb_answers_creator_queries() {
+        let kb = build_louvre_kb();
+        let productions = kb.objects("louvre:MonaLisa", crm::P108I_WAS_PRODUCED_BY);
+        assert_eq!(productions, vec!["louvre:MonaLisa-production"]);
+        let artists = kb.objects("louvre:MonaLisa-production", crm::P14_CARRIED_OUT_BY);
+        assert_eq!(artists, vec!["louvre:LeonardoDaVinci"]);
+    }
+
+    #[test]
+    fn saturated_kb_lifts_exhibits_to_physical_things() {
+        let mut kb = build_louvre_kb();
+        saturate(&mut kb);
+        let things = instances_of(&kb, crm::E18_PHYSICAL_THING);
+        assert!(things.len() >= exhibit_catalogue().len());
+        assert!(things.contains(&"louvre:MonaLisa"));
+    }
+
+    #[test]
+    fn saturated_kb_lifts_roi_locations_to_zones() {
+        let mut kb = build_louvre_kb();
+        saturate(&mut kb);
+        // Mona Lisa sits in an RoI; after saturation it is also located in
+        // the RoI's zone (location lifting through P89).
+        assert!(kb.contains(
+            "louvre:MonaLisa",
+            crm::P55_HAS_CURRENT_LOCATION,
+            &zone_place_iri(60862)
+        ));
+        assert!(exhibits_in_zone(&kb, 60862).contains(&"louvre:MonaLisa"));
+    }
+
+    #[test]
+    fn zone_queries_group_exhibits() {
+        let kb = build_louvre_kb();
+        let mut in_paintings_zone = exhibits_in_zone(&kb, 60863);
+        in_paintings_zone.sort_unstable();
+        assert!(in_paintings_zone.contains(&"louvre:LibertyLeadingThePeople"));
+        assert!(in_paintings_zone.contains(&"louvre:CoronationOfNapoleon"));
+        assert!(exhibits_in_zone(&kb, 59999).is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! Forward-chaining inference over the triple store.
+//!
+//! Three rules cover what the museum KB needs:
+//!
+//! 1. **Transitive properties** (`skos:broader`, `crm:P89_falls_within`,
+//!    `rdfs:subClassOf`): `(a p b), (b p c) ⊢ (a p c)`.
+//! 2. **Type lifting**: `(x rdf:type c), (c rdfs:subClassOf d) ⊢
+//!    (x rdf:type d)`.
+//! 3. **Location lifting**: `(x P55 place), (place P89_falls_within
+//!    bigger) ⊢ (x P55 bigger)` — the KB mirror of the paper's §3.2
+//!    hierarchy-lifting ("a relation between two nodes will also hold
+//!    between their predecessors").
+//!
+//! All rules run to a fixpoint; materialization is monotone, so the
+//! fixpoint exists and is reached in at most O(terms) rounds.
+
+use crate::triple::{Pattern, Triple, TripleStore};
+use crate::vocab::{crm, rdf};
+
+/// Materializes the transitive closure of `property`. Returns the number
+/// of triples added.
+pub fn saturate_transitive(store: &mut TripleStore, property: &str) -> usize {
+    let Some(p) = store.term(property) else {
+        return 0;
+    };
+    let mut added = 0;
+    loop {
+        let edges: Vec<Triple> = store.query(Pattern {
+            p: Some(p),
+            ..Pattern::ANY
+        });
+        let mut new_triples = Vec::new();
+        for &a in &edges {
+            for &b in &edges {
+                if a.o == b.s {
+                    let t = Triple {
+                        s: a.s,
+                        p,
+                        o: b.o,
+                    };
+                    new_triples.push(t);
+                }
+            }
+        }
+        let before = added;
+        for t in new_triples {
+            if store.insert_triple(t) {
+                added += 1;
+            }
+        }
+        if added == before {
+            return added;
+        }
+    }
+}
+
+/// Materializes rule 2 (type lifting through `rdfs:subClassOf`). The
+/// subclass relation is saturated first. Returns triples added.
+pub fn saturate_types(store: &mut TripleStore) -> usize {
+    let mut added = saturate_transitive(store, rdf::SUB_CLASS_OF);
+    let (Some(ty), Some(sub)) = (store.term(rdf::TYPE), store.term(rdf::SUB_CLASS_OF)) else {
+        return added;
+    };
+    let subclass_edges: Vec<Triple> = store.query(Pattern {
+        p: Some(sub),
+        ..Pattern::ANY
+    });
+    let typings: Vec<Triple> = store.query(Pattern {
+        p: Some(ty),
+        ..Pattern::ANY
+    });
+    for t in typings {
+        for e in &subclass_edges {
+            if e.s == t.o
+                && store.insert_triple(Triple {
+                    s: t.s,
+                    p: ty,
+                    o: e.o,
+                })
+            {
+                added += 1;
+            }
+        }
+    }
+    added
+}
+
+/// Materializes rule 3 (location lifting through `crm:P89_falls_within`).
+/// Returns triples added.
+pub fn saturate_locations(store: &mut TripleStore) -> usize {
+    let mut added = saturate_transitive(store, crm::P89_FALLS_WITHIN);
+    let (Some(loc), Some(within)) = (
+        store.term(crm::P55_HAS_CURRENT_LOCATION),
+        store.term(crm::P89_FALLS_WITHIN),
+    ) else {
+        return added;
+    };
+    let within_edges: Vec<Triple> = store.query(Pattern {
+        p: Some(within),
+        ..Pattern::ANY
+    });
+    let locations: Vec<Triple> = store.query(Pattern {
+        p: Some(loc),
+        ..Pattern::ANY
+    });
+    for l in locations {
+        for e in &within_edges {
+            if e.s == l.o
+                && store.insert_triple(Triple {
+                    s: l.s,
+                    p: loc,
+                    o: e.o,
+                })
+            {
+                added += 1;
+            }
+        }
+    }
+    added
+}
+
+/// Runs every rule to fixpoint (plus `skos:broader` transitivity).
+/// Returns total triples added.
+pub fn saturate(store: &mut TripleStore) -> usize {
+    let mut added = 0;
+    loop {
+        let round = saturate_transitive(store, rdf::BROADER)
+            + saturate_types(store)
+            + saturate_locations(store);
+        added += round;
+        if round == 0 {
+            return added;
+        }
+    }
+}
+
+/// All instances of `class`, respecting subclassing if
+/// [`saturate_types`] (or [`saturate`]) ran beforehand.
+pub fn instances_of<'a>(store: &'a TripleStore, class: &str) -> Vec<&'a str> {
+    store.subjects(rdf::TYPE, class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::install_schema;
+
+    #[test]
+    fn transitive_closure_of_broader() {
+        let mut s = TripleStore::new();
+        s.insert("theme:HighRenaissance", rdf::BROADER, "theme:Renaissance");
+        s.insert("theme:Renaissance", rdf::BROADER, "theme:EuropeanArt");
+        s.insert("theme:EuropeanArt", rdf::BROADER, "theme:Art");
+        let added = saturate_transitive(&mut s, rdf::BROADER);
+        assert_eq!(added, 3, "HR→EA, HR→Art, R→Art");
+        assert!(s.contains("theme:HighRenaissance", rdf::BROADER, "theme:Art"));
+    }
+
+    #[test]
+    fn closure_handles_cycles() {
+        let mut s = TripleStore::new();
+        s.insert("a", rdf::BROADER, "b");
+        s.insert("b", rdf::BROADER, "a");
+        saturate_transitive(&mut s, rdf::BROADER);
+        // a→a, b→b added; fixpoint reached without divergence.
+        assert!(s.contains("a", rdf::BROADER, "a"));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn missing_property_is_noop() {
+        let mut s = TripleStore::new();
+        s.insert("x", "p", "y");
+        assert_eq!(saturate_transitive(&mut s, rdf::BROADER), 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn type_lifting_through_subclasses() {
+        let mut s = TripleStore::new();
+        install_schema(&mut s);
+        s.insert("louvre:MonaLisa", rdf::TYPE, crm::E22_MAN_MADE_OBJECT);
+        s.insert("louvre:Leonardo", rdf::TYPE, crm::E21_PERSON);
+        saturate_types(&mut s);
+        assert!(s.contains("louvre:MonaLisa", rdf::TYPE, crm::E18_PHYSICAL_THING));
+        assert!(s.contains("louvre:Leonardo", rdf::TYPE, crm::E39_ACTOR));
+        let things = instances_of(&s, crm::E18_PHYSICAL_THING);
+        assert_eq!(things, vec!["louvre:MonaLisa"]);
+    }
+
+    #[test]
+    fn location_lifting_mirrors_hierarchy_lifting() {
+        let mut s = TripleStore::new();
+        s.insert("louvre:MonaLisa", crm::P55_HAS_CURRENT_LOCATION, "place:SalleDesEtats");
+        s.insert("place:SalleDesEtats", crm::P89_FALLS_WITHIN, "place:DenonWing");
+        s.insert("place:DenonWing", crm::P89_FALLS_WITHIN, "place:Louvre");
+        saturate_locations(&mut s);
+        assert!(s.contains("louvre:MonaLisa", crm::P55_HAS_CURRENT_LOCATION, "place:DenonWing"));
+        assert!(s.contains("louvre:MonaLisa", crm::P55_HAS_CURRENT_LOCATION, "place:Louvre"));
+    }
+
+    #[test]
+    fn saturate_reaches_global_fixpoint() {
+        let mut s = TripleStore::new();
+        install_schema(&mut s);
+        s.insert("louvre:MonaLisa", rdf::TYPE, crm::E22_MAN_MADE_OBJECT);
+        s.insert("louvre:MonaLisa", crm::P55_HAS_CURRENT_LOCATION, "place:Room");
+        s.insert("place:Room", crm::P89_FALLS_WITHIN, "place:Museum");
+        let first = saturate(&mut s);
+        assert!(first > 0);
+        assert_eq!(saturate(&mut s), 0, "second run must add nothing");
+    }
+}

@@ -1,0 +1,109 @@
+//! Term interning.
+//!
+//! A knowledge base mentions the same IRIs and literals thousands of
+//! times; the triple store therefore works on dense [`TermId`]s and keeps
+//! each distinct string once, following the string-interning pattern used
+//! throughout RDF engines.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of an interned term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub(crate) u32);
+
+impl TermId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A bidirectional string ↔ [`TermId`] table.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    ids: HashMap<String, TermId>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Returns the id for `term`, interning it on first sight.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.strings.len()).expect("more than u32::MAX terms"));
+        self.ids.insert(term.to_string(), id);
+        self.strings.push(term.to_string());
+        id
+    }
+
+    /// Looks a term up without interning.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// The string for an id (panics on a foreign id).
+    pub fn resolve(&self, id: TermId) -> &str {
+        &self.strings[id.index()]
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("crm:E22_Man-Made_Object");
+        let b = i.intern("crm:E22_Man-Made_Object");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.resolve(a), "crm:E22_Man-Made_Object");
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let mut i = Interner::new();
+        let a = i.intern("louvre:MonaLisa");
+        let b = i.intern("louvre:VenusDeMilo");
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.get("louvre:MonaLisa"), Some(a));
+        assert_eq!(i.get("louvre:Unknown"), None);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.get("x"), None);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(TermId(7).to_string(), "t7");
+    }
+}

@@ -1,0 +1,336 @@
+//! The in-memory triple store.
+//!
+//! Triples `(subject, predicate, object)` over interned [`TermId`]s are
+//! kept in three sorted permutation indexes — SPO, POS, OSP — the classic
+//! layout that makes every query pattern (`s p ?`, `? p o`, `o s ?`, …)
+//! answerable with one range scan. The store is the substrate for the
+//! paper's §5 future-work item: "integrate the indoor space
+//! representation with formal ontologies of cultural heritage
+//! information (e.g. CIDOC Conceptual Reference Model)".
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::term::{Interner, TermId};
+
+/// One statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Triple {
+    /// Subject.
+    pub s: TermId,
+    /// Predicate.
+    pub p: TermId,
+    /// Object.
+    pub o: TermId,
+}
+
+/// A query pattern: `None` is a wildcard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pattern {
+    /// Subject constraint.
+    pub s: Option<TermId>,
+    /// Predicate constraint.
+    pub p: Option<TermId>,
+    /// Object constraint.
+    pub o: Option<TermId>,
+}
+
+impl Pattern {
+    /// Matches every triple.
+    pub const ANY: Pattern = Pattern {
+        s: None,
+        p: None,
+        o: None,
+    };
+
+    /// True if `t` satisfies the pattern.
+    pub fn matches(&self, t: Triple) -> bool {
+        self.s.is_none_or(|s| s == t.s)
+            && self.p.is_none_or(|p| p == t.p)
+            && self.o.is_none_or(|o| o == t.o)
+    }
+}
+
+const MIN: TermId = TermId(0);
+const MAX: TermId = TermId(u32::MAX);
+
+/// An interning triple store with SPO/POS/OSP indexes.
+#[derive(Debug, Clone, Default)]
+pub struct TripleStore {
+    interner: Interner,
+    spo: BTreeSet<(TermId, TermId, TermId)>,
+    pos: BTreeSet<(TermId, TermId, TermId)>,
+    osp: BTreeSet<(TermId, TermId, TermId)>,
+}
+
+impl TripleStore {
+    /// An empty store.
+    pub fn new() -> TripleStore {
+        TripleStore::default()
+    }
+
+    /// Interns a term (see [`Interner::intern`]).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        self.interner.intern(term)
+    }
+
+    /// Id of an already-interned term.
+    pub fn term(&self, term: &str) -> Option<TermId> {
+        self.interner.get(term)
+    }
+
+    /// String form of a term id.
+    pub fn resolve(&self, id: TermId) -> &str {
+        self.interner.resolve(id)
+    }
+
+    /// Inserts a triple of strings, interning as needed. Returns `false`
+    /// when the triple was already present.
+    pub fn insert(&mut self, s: &str, p: &str, o: &str) -> bool {
+        let t = Triple {
+            s: self.intern(s),
+            p: self.intern(p),
+            o: self.intern(o),
+        };
+        self.insert_triple(t)
+    }
+
+    /// Inserts a triple of ids (which must come from this store).
+    pub fn insert_triple(&mut self, t: Triple) -> bool {
+        let added = self.spo.insert((t.s, t.p, t.o));
+        if added {
+            self.pos.insert((t.p, t.o, t.s));
+            self.osp.insert((t.o, t.s, t.p));
+        }
+        added
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True when no triples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Membership test on strings.
+    pub fn contains(&self, s: &str, p: &str, o: &str) -> bool {
+        match (self.term(s), self.term(p), self.term(o)) {
+            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
+            _ => false,
+        }
+    }
+
+    /// All triples matching `pattern`, via the most selective index.
+    pub fn query(&self, pattern: Pattern) -> Vec<Triple> {
+        match (pattern.s, pattern.p, pattern.o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    vec![Triple { s, p, o }]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), p, o) => self
+                .spo
+                .range((s, p.unwrap_or(MIN), MIN)..=(s, p.unwrap_or(MAX), MAX))
+                .filter(|&&(_, _, to)| o.is_none_or(|want| want == to))
+                .map(|&(s, p, o)| Triple { s, p, o })
+                .collect(),
+            (None, Some(p), o) => self
+                .pos
+                .range((p, o.unwrap_or(MIN), MIN)..=(p, o.unwrap_or(MAX), MAX))
+                .map(|&(p, o, s)| Triple { s, p, o })
+                .collect(),
+            (None, None, Some(o)) => self
+                .osp
+                .range((o, MIN, MIN)..=(o, MAX, MAX))
+                .map(|&(o, s, p)| Triple { s, p, o })
+                .collect(),
+            (None, None, None) => self
+                .spo
+                .iter()
+                .map(|&(s, p, o)| Triple { s, p, o })
+                .collect(),
+        }
+    }
+
+    /// Objects of `(s, p, ?)` for string terms.
+    pub fn objects(&self, s: &str, p: &str) -> Vec<&str> {
+        match (self.term(s), self.term(p)) {
+            (Some(s), Some(p)) => self
+                .query(Pattern {
+                    s: Some(s),
+                    p: Some(p),
+                    o: None,
+                })
+                .into_iter()
+                .map(|t| self.resolve(t.o))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Subjects of `(?, p, o)` for string terms.
+    pub fn subjects(&self, p: &str, o: &str) -> Vec<&str> {
+        match (self.term(p), self.term(o)) {
+            (Some(p), Some(o)) => self
+                .query(Pattern {
+                    s: None,
+                    p: Some(p),
+                    o: Some(o),
+                })
+                .into_iter()
+                .map(|t| self.resolve(t.s))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for TripleStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &(s, p, o) in &self.spo {
+            writeln!(
+                f,
+                "{} {} {} .",
+                self.resolve(s),
+                self.resolve(p),
+                self.resolve(o)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TripleStore {
+        let mut s = TripleStore::new();
+        s.insert("monalisa", "type", "painting");
+        s.insert("monalisa", "by", "leonardo");
+        s.insert("venus", "type", "sculpture");
+        s.insert("venus", "in", "room16");
+        s.insert("leonardo", "type", "person");
+        s
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut s = store();
+        assert_eq!(s.len(), 5);
+        assert!(!s.insert("monalisa", "type", "painting"));
+        assert_eq!(s.len(), 5);
+        assert!(s.insert("monalisa", "type", "icon"));
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn contains_on_strings() {
+        let s = store();
+        assert!(s.contains("monalisa", "by", "leonardo"));
+        assert!(!s.contains("monalisa", "by", "raphael"));
+        assert!(!s.contains("never", "interned", "terms"));
+    }
+
+    #[test]
+    fn all_eight_patterns() {
+        let s = store();
+        let id = |t: &str| s.term(t).unwrap();
+        // spo fully bound
+        assert_eq!(
+            s.query(Pattern {
+                s: Some(id("venus")),
+                p: Some(id("type")),
+                o: Some(id("sculpture"))
+            })
+            .len(),
+            1
+        );
+        // s??
+        assert_eq!(s.query(Pattern { s: Some(id("monalisa")), ..Pattern::ANY }).len(), 2);
+        // sp?
+        assert_eq!(
+            s.query(Pattern {
+                s: Some(id("monalisa")),
+                p: Some(id("type")),
+                o: None
+            })
+            .len(),
+            1
+        );
+        // s?o
+        assert_eq!(
+            s.query(Pattern {
+                s: Some(id("monalisa")),
+                p: None,
+                o: Some(id("leonardo"))
+            })
+            .len(),
+            1
+        );
+        // ?p?
+        assert_eq!(s.query(Pattern { p: Some(id("type")), ..Pattern::ANY }).len(), 3);
+        // ?po
+        assert_eq!(
+            s.query(Pattern {
+                s: None,
+                p: Some(id("type")),
+                o: Some(id("person"))
+            })
+            .len(),
+            1
+        );
+        // ??o
+        assert_eq!(s.query(Pattern { o: Some(id("leonardo")), ..Pattern::ANY }).len(), 1);
+        // ???
+        assert_eq!(s.query(Pattern::ANY).len(), 5);
+    }
+
+    #[test]
+    fn query_results_satisfy_pattern() {
+        let s = store();
+        let id = |t: &str| s.term(t).unwrap();
+        let patterns = [
+            Pattern::ANY,
+            Pattern { s: Some(id("venus")), ..Pattern::ANY },
+            Pattern { p: Some(id("type")), ..Pattern::ANY },
+            Pattern { o: Some(id("person")), ..Pattern::ANY },
+        ];
+        for pat in patterns {
+            for t in s.query(pat) {
+                assert!(pat.matches(t));
+            }
+        }
+    }
+
+    #[test]
+    fn objects_and_subjects_helpers() {
+        let s = store();
+        assert_eq!(s.objects("monalisa", "by"), vec!["leonardo"]);
+        let mut typed: Vec<&str> = s.subjects("type", "painting");
+        typed.sort_unstable();
+        assert_eq!(typed, vec!["monalisa"]);
+        assert!(s.objects("nobody", "by").is_empty());
+        assert!(s.subjects("by", "nobody").is_empty());
+    }
+
+    #[test]
+    fn display_emits_ntriple_like_lines() {
+        let s = store();
+        let text = s.to_string();
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.contains("monalisa by leonardo ."));
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = TripleStore::new();
+        assert!(s.is_empty());
+        assert!(s.query(Pattern::ANY).is_empty());
+    }
+}

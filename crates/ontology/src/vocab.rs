@@ -1,0 +1,79 @@
+//! Vocabulary constants.
+//!
+//! A compact, CIDOC-CRM-flavoured vocabulary (the paper's §5 names the
+//! CIDOC Conceptual Reference Model \[12\] as the target ontology for the
+//! museum domain), plus the few RDF/RDFS/SKOS terms the reasoner
+//! understands. Only the classes and properties the museum knowledge
+//! base exercises are declared — this is a vocabulary, not a full CRM
+//! implementation.
+
+/// RDF / RDFS / SKOS core terms.
+pub mod rdf {
+    /// `rdf:type` — instance-of.
+    pub const TYPE: &str = "rdf:type";
+    /// `rdfs:subClassOf` — class subsumption (transitive).
+    pub const SUB_CLASS_OF: &str = "rdfs:subClassOf";
+    /// `rdfs:label` — human-readable name.
+    pub const LABEL: &str = "rdfs:label";
+    /// `skos:broader` — concept generalization (transitive).
+    pub const BROADER: &str = "skos:broader";
+}
+
+/// CIDOC-CRM-flavoured classes and properties.
+pub mod crm {
+    /// E18 Physical Thing.
+    pub const E18_PHYSICAL_THING: &str = "crm:E18_Physical_Thing";
+    /// E22 Man-Made Object (the exhibits).
+    pub const E22_MAN_MADE_OBJECT: &str = "crm:E22_Man-Made_Object";
+    /// E21 Person.
+    pub const E21_PERSON: &str = "crm:E21_Person";
+    /// E39 Actor (superclass of Person).
+    pub const E39_ACTOR: &str = "crm:E39_Actor";
+    /// E53 Place (rooms, zones, RoIs).
+    pub const E53_PLACE: &str = "crm:E53_Place";
+    /// E55 Type (themes, materials, genres).
+    pub const E55_TYPE: &str = "crm:E55_Type";
+    /// E12 Production (the event that created an object).
+    pub const E12_PRODUCTION: &str = "crm:E12_Production";
+    /// E52 Time-Span.
+    pub const E52_TIME_SPAN: &str = "crm:E52_Time-Span";
+
+    /// P2 has type: object → E55 Type.
+    pub const P2_HAS_TYPE: &str = "crm:P2_has_type";
+    /// P55 has current location: object → E53 Place.
+    pub const P55_HAS_CURRENT_LOCATION: &str = "crm:P55_has_current_location";
+    /// P108i was produced by: object → E12 Production.
+    pub const P108I_WAS_PRODUCED_BY: &str = "crm:P108i_was_produced_by";
+    /// P14 carried out by: event → E39 Actor.
+    pub const P14_CARRIED_OUT_BY: &str = "crm:P14_carried_out_by";
+    /// P4 has time-span: event → E52 Time-Span.
+    pub const P4_HAS_TIME_SPAN: &str = "crm:P4_has_time-span";
+    /// P89 falls within: place → place (transitive).
+    pub const P89_FALLS_WITHIN: &str = "crm:P89_falls_within";
+}
+
+/// Installs the class hierarchy the museum KB relies on. Idempotent.
+pub fn install_schema(store: &mut crate::TripleStore) {
+    store.insert(crm::E22_MAN_MADE_OBJECT, rdf::SUB_CLASS_OF, crm::E18_PHYSICAL_THING);
+    store.insert(crm::E21_PERSON, rdf::SUB_CLASS_OF, crm::E39_ACTOR);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripleStore;
+
+    #[test]
+    fn schema_is_installed_once() {
+        let mut store = TripleStore::new();
+        install_schema(&mut store);
+        let n = store.len();
+        install_schema(&mut store);
+        assert_eq!(store.len(), n, "schema install must be idempotent");
+        assert!(store.contains(
+            crm::E22_MAN_MADE_OBJECT,
+            rdf::SUB_CLASS_OF,
+            crm::E18_PHYSICAL_THING
+        ));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: the triple store's permutation indexes must agree
+//! with a naive scan, and the reasoner's transitive closure must agree
+//! with graph reachability.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use sitm_ontology::{Pattern, TripleStore};
+
+const TERMS: usize = 8;
+
+fn term_name(i: usize) -> String {
+    format!("term-{i}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every pattern query returns exactly the naive filter result.
+    #[test]
+    fn pattern_queries_equal_naive_scan(
+        triples in prop::collection::vec((0usize..TERMS, 0usize..TERMS, 0usize..TERMS), 0..40),
+        pat in (
+            prop::option::of(0usize..TERMS),
+            prop::option::of(0usize..TERMS),
+            prop::option::of(0usize..TERMS),
+        ),
+    ) {
+        let mut store = TripleStore::new();
+        for &(s, p, o) in &triples {
+            store.insert(&term_name(s), &term_name(p), &term_name(o));
+        }
+        let naive: BTreeSet<(usize, usize, usize)> = triples
+            .iter()
+            .copied()
+            .filter(|&(s, p, o)| {
+                pat.0.is_none_or(|w| w == s)
+                    && pat.1.is_none_or(|w| w == p)
+                    && pat.2.is_none_or(|w| w == o)
+            })
+            .collect();
+        let pattern = Pattern {
+            s: pat.0.and_then(|i| store.term(&term_name(i))),
+            p: pat.1.and_then(|i| store.term(&term_name(i))),
+            o: pat.2.and_then(|i| store.term(&term_name(i))),
+        };
+        // If a constrained term was never interned the pattern matches
+        // nothing (the string does not occur in any triple).
+        let unresolvable = (pat.0.is_some() && pattern.s.is_none())
+            || (pat.1.is_some() && pattern.p.is_none())
+            || (pat.2.is_some() && pattern.o.is_none());
+        let got: BTreeSet<String> = if unresolvable {
+            prop_assert!(naive.is_empty());
+            return Ok(());
+        } else {
+            store
+                .query(pattern)
+                .into_iter()
+                .map(|t| {
+                    format!(
+                        "{} {} {}",
+                        store.resolve(t.s),
+                        store.resolve(t.p),
+                        store.resolve(t.o)
+                    )
+                })
+                .collect()
+        };
+        let want: BTreeSet<String> = naive
+            .into_iter()
+            .map(|(s, p, o)| format!("{} {} {}", term_name(s), term_name(p), term_name(o)))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Saturating a transitive property materializes exactly graph
+    /// reachability (in ≥1 hops) over the property's edges.
+    #[test]
+    fn transitive_closure_is_reachability(
+        edges in prop::collection::vec((0usize..TERMS, 0usize..TERMS), 0..20),
+    ) {
+        let mut store = TripleStore::new();
+        for &(a, b) in &edges {
+            store.insert(&term_name(a), "skos:broader", &term_name(b));
+        }
+        sitm_ontology::saturate_transitive(&mut store, "skos:broader");
+
+        // Floyd–Warshall over the original edges.
+        let mut reach = [[false; TERMS]; TERMS];
+        for &(a, b) in &edges {
+            reach[a][b] = true;
+        }
+        for k in 0..TERMS {
+            for i in 0..TERMS {
+                for j in 0..TERMS {
+                    if reach[i][k] && reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+        for (i, row) in reach.iter().enumerate() {
+            for (j, &reachable) in row.iter().enumerate() {
+                prop_assert_eq!(
+                    store.contains(&term_name(i), "skos:broader", &term_name(j)),
+                    reachable,
+                    "reachability mismatch {} -> {}", i, j
+                );
+            }
+        }
+    }
+
+    /// Insertion count equals distinct triples; insert is idempotent.
+    #[test]
+    fn len_counts_distinct_triples(
+        triples in prop::collection::vec((0usize..TERMS, 0usize..TERMS, 0usize..TERMS), 0..40),
+    ) {
+        let mut store = TripleStore::new();
+        for &(s, p, o) in &triples {
+            store.insert(&term_name(s), &term_name(p), &term_name(o));
+        }
+        let distinct: BTreeSet<_> = triples.iter().copied().collect();
+        prop_assert_eq!(store.len(), distinct.len());
+        // Re-inserting everything changes nothing.
+        for &(s, p, o) in &triples {
+            prop_assert!(!store.insert(&term_name(s), &term_name(p), &term_name(o)));
+        }
+        prop_assert_eq!(store.len(), distinct.len());
+    }
+}

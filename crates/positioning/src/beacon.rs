@@ -1,0 +1,143 @@
+//! Beacon deployments.
+//!
+//! The Louvre installed "around 1800 beacons across all five floors"
+//! (§4.1, footnote). A [`BeaconDeployment`] places beacons per floor; the
+//! [`BeaconDeployment::grid`] layout spaces them regularly, the typical
+//! museum pattern.
+
+use sitm_geometry::{BBox, Point};
+
+/// One BLE beacon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Beacon {
+    /// Stable identifier.
+    pub id: u32,
+    /// Planimetric position in the building-local frame (metres).
+    pub position: Point,
+    /// Floor the beacon is mounted on.
+    pub floor: i8,
+    /// Transmit power at the 1 m reference distance (dBm). Typical BLE
+    /// beacons: −59 to −65 dBm.
+    pub tx_power_dbm: f64,
+}
+
+/// A set of beacons with floor-indexed lookup.
+#[derive(Debug, Clone, Default)]
+pub struct BeaconDeployment {
+    beacons: Vec<Beacon>,
+}
+
+impl BeaconDeployment {
+    /// Empty deployment.
+    pub fn new() -> Self {
+        BeaconDeployment::default()
+    }
+
+    /// Adds one beacon, assigning the next id. Returns the id.
+    pub fn add(&mut self, position: Point, floor: i8, tx_power_dbm: f64) -> u32 {
+        let id = self.beacons.len() as u32;
+        self.beacons.push(Beacon {
+            id,
+            position,
+            floor,
+            tx_power_dbm,
+        });
+        id
+    }
+
+    /// Regular grid of beacons over `area` on `floor`, spaced `spacing`
+    /// metres apart (edge-inset by half a spacing).
+    pub fn grid(&mut self, area: BBox, floor: i8, spacing: f64, tx_power_dbm: f64) -> usize {
+        assert!(spacing > 0.0, "spacing must be positive");
+        let mut count = 0;
+        let mut y = area.min.y + spacing / 2.0;
+        while y < area.max.y {
+            let mut x = area.min.x + spacing / 2.0;
+            while x < area.max.x {
+                self.add(Point::new(x, y), floor, tx_power_dbm);
+                count += 1;
+                x += spacing;
+            }
+            y += spacing;
+        }
+        count
+    }
+
+    /// All beacons.
+    pub fn beacons(&self) -> &[Beacon] {
+        &self.beacons
+    }
+
+    /// Beacons on one floor.
+    pub fn on_floor(&self, floor: i8) -> impl Iterator<Item = &Beacon> + '_ {
+        self.beacons.iter().filter(move |b| b.floor == floor)
+    }
+
+    /// Beacon by id.
+    pub fn get(&self, id: u32) -> Option<&Beacon> {
+        self.beacons.get(id as usize)
+    }
+
+    /// Number of beacons.
+    pub fn len(&self) -> usize {
+        self.beacons.len()
+    }
+
+    /// True when no beacons are deployed.
+    pub fn is_empty(&self) -> bool {
+        self.beacons.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_fills_the_area() {
+        let mut d = BeaconDeployment::new();
+        let area = BBox::from_corners(Point::new(0.0, 0.0), Point::new(50.0, 30.0));
+        let n = d.grid(area, 0, 10.0, -59.0);
+        assert_eq!(n, 15, "5 columns x 3 rows");
+        assert_eq!(d.len(), 15);
+        for b in d.beacons() {
+            assert!(area.contains(b.position));
+            assert_eq!(b.floor, 0);
+            assert_eq!(b.tx_power_dbm, -59.0);
+        }
+    }
+
+    #[test]
+    fn floors_are_separate() {
+        let mut d = BeaconDeployment::new();
+        let area = BBox::from_corners(Point::new(0.0, 0.0), Point::new(20.0, 20.0));
+        d.grid(area, 0, 10.0, -59.0);
+        d.grid(area, 1, 10.0, -59.0);
+        assert_eq!(d.on_floor(0).count(), 4);
+        assert_eq!(d.on_floor(1).count(), 4);
+        assert_eq!(d.on_floor(2).count(), 0);
+    }
+
+    #[test]
+    fn ids_are_stable_and_resolvable() {
+        let mut d = BeaconDeployment::new();
+        let id0 = d.add(Point::new(1.0, 2.0), 0, -61.0);
+        let id1 = d.add(Point::new(3.0, 4.0), 1, -65.0);
+        assert_eq!(id0, 0);
+        assert_eq!(id1, 1);
+        assert_eq!(d.get(id1).unwrap().position, Point::new(3.0, 4.0));
+        assert!(d.get(99).is_none());
+    }
+
+    #[test]
+    fn louvre_scale_deployment() {
+        // Five floors of a 200x80 m wing at 6 m spacing lands in the same
+        // order of magnitude as the paper's ~1800 beacons.
+        let mut d = BeaconDeployment::new();
+        let area = BBox::from_corners(Point::new(0.0, 0.0), Point::new(200.0, 80.0));
+        for floor in -2..=2 {
+            d.grid(area, floor, 6.0, -59.0);
+        }
+        assert!(d.len() > 1500 && d.len() < 2500, "got {}", d.len());
+    }
+}

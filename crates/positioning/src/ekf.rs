@@ -1,0 +1,299 @@
+//! Constant-velocity Kalman filter over trilateration fixes.
+//!
+//! State `[x, y, vx, vy]`, linear dynamics with white-noise acceleration,
+//! position-only observations. The paper cites "extended Kalman filtering";
+//! with a position observation model (trilateration output) the observation
+//! function is linear, so the EKF's linearization step is exact and the
+//! filter reduces to the classic linear Kalman filter implemented here.
+
+use sitm_geometry::Point;
+
+/// 4-state constant-velocity Kalman filter.
+#[derive(Debug, Clone)]
+pub struct Ekf {
+    /// State estimate `[x, y, vx, vy]`.
+    x: [f64; 4],
+    /// State covariance (row-major 4×4).
+    p: [[f64; 4]; 4],
+    /// Process noise intensity (white-noise acceleration PSD, m²/s³).
+    q: f64,
+    /// Measurement noise std (metres).
+    r_std: f64,
+    initialized: bool,
+}
+
+impl Ekf {
+    /// Creates a filter with process noise intensity `q` and measurement
+    /// noise standard deviation `r_std`.
+    pub fn new(q: f64, r_std: f64) -> Self {
+        assert!(q > 0.0 && r_std > 0.0);
+        Ekf {
+            x: [0.0; 4],
+            p: [[0.0; 4]; 4],
+            q,
+            r_std,
+            initialized: false,
+        }
+    }
+
+    /// Defaults tuned for pedestrian indoor movement.
+    pub fn pedestrian() -> Self {
+        Ekf::new(0.5, 2.0)
+    }
+
+    /// True once the first measurement has been absorbed.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Current position estimate.
+    pub fn position(&self) -> Point {
+        Point::new(self.x[0], self.x[1])
+    }
+
+    /// Current velocity estimate (m/s).
+    pub fn velocity(&self) -> (f64, f64) {
+        (self.x[2], self.x[3])
+    }
+
+    /// Position uncertainty: trace of the positional covariance block.
+    pub fn position_variance(&self) -> f64 {
+        self.p[0][0] + self.p[1][1]
+    }
+
+    /// Predict step over `dt` seconds.
+    pub fn predict(&mut self, dt: f64) {
+        if !self.initialized || dt <= 0.0 {
+            return;
+        }
+        // x ← F x with F = [[1,0,dt,0],[0,1,0,dt],[0,0,1,0],[0,0,0,1]]
+        self.x = [
+            self.x[0] + dt * self.x[2],
+            self.x[1] + dt * self.x[3],
+            self.x[2],
+            self.x[3],
+        ];
+        // P ← F P Fᵀ + Q (discretized white-noise acceleration).
+        let f = [
+            [1.0, 0.0, dt, 0.0],
+            [0.0, 1.0, 0.0, dt],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ];
+        let fp = mat_mul(&f, &self.p);
+        let mut p = mat_mul_transpose(&fp, &f);
+        let dt2 = dt * dt;
+        let dt3 = dt2 * dt;
+        let q = self.q;
+        // Q blocks per axis: [[dt³/3, dt²/2], [dt²/2, dt]] · q
+        p[0][0] += q * dt3 / 3.0;
+        p[0][2] += q * dt2 / 2.0;
+        p[2][0] += q * dt2 / 2.0;
+        p[2][2] += q * dt;
+        p[1][1] += q * dt3 / 3.0;
+        p[1][3] += q * dt2 / 2.0;
+        p[3][1] += q * dt2 / 2.0;
+        p[3][3] += q * dt;
+        self.p = p;
+    }
+
+    /// Update step with a position measurement.
+    pub fn update(&mut self, z: Point) {
+        if !self.initialized {
+            self.x = [z.x, z.y, 0.0, 0.0];
+            // Wide prior: confident about nothing, least of all velocity.
+            self.p = [
+                [self.r_std * self.r_std, 0.0, 0.0, 0.0],
+                [0.0, self.r_std * self.r_std, 0.0, 0.0],
+                [0.0, 0.0, 4.0, 0.0],
+                [0.0, 0.0, 0.0, 4.0],
+            ];
+            self.initialized = true;
+            return;
+        }
+        let r = self.r_std * self.r_std;
+        // Innovation y = z − H x with H = [I₂ 0].
+        let y = [z.x - self.x[0], z.y - self.x[1]];
+        // S = H P Hᵀ + R (2×2).
+        let s = [
+            [self.p[0][0] + r, self.p[0][1]],
+            [self.p[1][0], self.p[1][1] + r],
+        ];
+        let det = s[0][0] * s[1][1] - s[0][1] * s[1][0];
+        if det.abs() < 1e-12 {
+            return; // numerically degenerate; skip the update
+        }
+        let s_inv = [
+            [s[1][1] / det, -s[0][1] / det],
+            [-s[1][0] / det, s[0][0] / det],
+        ];
+        // K = P Hᵀ S⁻¹ (4×2); P Hᵀ is the first two columns of P.
+        let mut k = [[0.0; 2]; 4];
+        for (i, k_row) in k.iter_mut().enumerate() {
+            for (j, k_ij) in k_row.iter_mut().enumerate() {
+                *k_ij = self.p[i][0] * s_inv[0][j] + self.p[i][1] * s_inv[1][j];
+            }
+        }
+        // x ← x + K y
+        for (xi, k_row) in self.x.iter_mut().zip(k.iter()) {
+            *xi += k_row[0] * y[0] + k_row[1] * y[1];
+        }
+        // P ← (I − K H) P ; KH affects only the first two columns.
+        let mut kh = [[0.0; 4]; 4];
+        for (i, k_row) in k.iter().enumerate() {
+            kh[i][0] = k_row[0];
+            kh[i][1] = k_row[1];
+        }
+        let mut ikh = [[0.0; 4]; 4];
+        for (i, ikh_row) in ikh.iter_mut().enumerate() {
+            for (j, ikh_ij) in ikh_row.iter_mut().enumerate() {
+                let id = if i == j { 1.0 } else { 0.0 };
+                *ikh_ij = id - kh[i][j];
+            }
+        }
+        self.p = mat_mul(&ikh, &self.p);
+    }
+
+    /// Predict + update in one call.
+    pub fn step(&mut self, dt: f64, z: Point) -> Point {
+        self.predict(dt);
+        self.update(z);
+        self.position()
+    }
+}
+
+fn mat_mul(a: &[[f64; 4]; 4], b: &[[f64; 4]; 4]) -> [[f64; 4]; 4] {
+    let mut out = [[0.0; 4]; 4];
+    for (i, out_row) in out.iter_mut().enumerate() {
+        for (j, out_ij) in out_row.iter_mut().enumerate() {
+            *out_ij = (0..4).map(|k| a[i][k] * b[k][j]).sum();
+        }
+    }
+    out
+}
+
+/// `A · Bᵀ`.
+fn mat_mul_transpose(a: &[[f64; 4]; 4], b: &[[f64; 4]; 4]) -> [[f64; 4]; 4] {
+    let mut out = [[0.0; 4]; 4];
+    for (i, out_row) in out.iter_mut().enumerate() {
+        for (j, out_ij) in out_row.iter_mut().enumerate() {
+            *out_ij = (0..4).map(|k| a[i][k] * b[j][k]).sum();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_sim::{Normal, SimRng};
+
+    #[test]
+    fn first_measurement_initializes() {
+        let mut f = Ekf::pedestrian();
+        assert!(!f.is_initialized());
+        f.update(Point::new(3.0, 4.0));
+        assert!(f.is_initialized());
+        assert_eq!(f.position(), Point::new(3.0, 4.0));
+        assert_eq!(f.velocity(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn stationary_target_converges() {
+        // Low process noise: the filter is told the target barely moves.
+        // (The pedestrian tuning deliberately tracks motion and would keep
+        // ~sqrt(q)-scale jitter on a stationary target.)
+        let mut f = Ekf::new(0.01, 2.0);
+        let mut rng = SimRng::seeded(40);
+        let noise = Normal::new(0.0, 2.0);
+        let truth = Point::new(10.0, -5.0);
+        let mut tail_err = 0.0;
+        let mut tail_v = 0.0;
+        let n = 400;
+        let tail = 100;
+        for i in 0..n {
+            let z = Point::new(truth.x + noise.sample(&mut rng), truth.y + noise.sample(&mut rng));
+            f.step(1.0, z);
+            if i >= n - tail {
+                tail_err += f.position().distance(truth);
+                let (vx, vy) = f.velocity();
+                tail_v += (vx * vx + vy * vy).sqrt();
+            }
+        }
+        // Judged on trailing averages: single-step estimates are noisy.
+        assert!((tail_err / tail as f64) < 1.5, "mean error {}", tail_err / tail as f64);
+        assert!((tail_v / tail as f64) < 1.0, "mean speed {}", tail_v / tail as f64);
+    }
+
+    #[test]
+    fn filter_smooths_noise() {
+        // RMS error of filtered estimates < RMS of raw measurements.
+        let mut f = Ekf::pedestrian();
+        let mut rng = SimRng::seeded(41);
+        let noise = Normal::new(0.0, 2.0);
+        let mut raw_sq = 0.0;
+        let mut filt_sq = 0.0;
+        let n = 300;
+        for i in 0..n {
+            // Constant walk at 1 m/s along x.
+            let truth = Point::new(i as f64, 0.0);
+            let z = Point::new(truth.x + noise.sample(&mut rng), truth.y + noise.sample(&mut rng));
+            let est = f.step(1.0, z);
+            if i > 20 {
+                raw_sq += z.distance(truth).powi(2);
+                filt_sq += est.distance(truth).powi(2);
+            }
+        }
+        assert!(
+            filt_sq < raw_sq * 0.7,
+            "filtered {:.2} vs raw {:.2}",
+            filt_sq.sqrt(),
+            raw_sq.sqrt()
+        );
+    }
+
+    #[test]
+    fn velocity_is_learned() {
+        let mut f = Ekf::pedestrian();
+        for i in 0..100 {
+            f.step(1.0, Point::new(i as f64 * 1.5, 0.0));
+        }
+        let (vx, vy) = f.velocity();
+        assert!((vx - 1.5).abs() < 0.1, "vx {vx}");
+        assert!(vy.abs() < 0.1, "vy {vy}");
+    }
+
+    #[test]
+    fn prediction_extrapolates_motion() {
+        let mut f = Ekf::pedestrian();
+        for i in 0..50 {
+            f.step(1.0, Point::new(i as f64, 2.0 * i as f64));
+        }
+        let before = f.position();
+        f.predict(2.0);
+        let after = f.position();
+        assert!((after.x - before.x - 2.0).abs() < 0.3);
+        assert!((after.y - before.y - 4.0).abs() < 0.6);
+    }
+
+    #[test]
+    fn uncertainty_grows_on_predict_and_shrinks_on_update() {
+        let mut f = Ekf::pedestrian();
+        f.update(Point::new(0.0, 0.0));
+        let after_init = f.position_variance();
+        f.predict(5.0);
+        let after_predict = f.position_variance();
+        assert!(after_predict > after_init);
+        f.update(Point::new(0.1, 0.1));
+        let after_update = f.position_variance();
+        assert!(after_update < after_predict);
+    }
+
+    #[test]
+    fn predict_before_init_is_noop() {
+        let mut f = Ekf::pedestrian();
+        f.predict(1.0);
+        assert!(!f.is_initialized());
+        assert_eq!(f.position(), Point::new(0.0, 0.0));
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # sitm-positioning
+//!
+//! BLE indoor-positioning substrate replacing the proprietary pipeline
+//! behind the paper's dataset: "the Louvre launched its official 'My Visit
+//! to the Louvre' smartphone application, which takes advantage of a large
+//! Bluetooth Low Energy (BLE) beacon infrastructure [...] in order to
+//! estimate the visitor's coordinate position within the museum. This is
+//! accomplished via BLE Received Signal Strength Indicator (RSSI)-based
+//! trilateration, extended Kalman and particle filtering techniques." (§4.1)
+//!
+//! Pipeline stages, each usable on its own:
+//!
+//! 1. [`BeaconDeployment`] — beacon placement (grid layouts per floor);
+//! 2. [`RssiModel`] — log-distance path loss with Gaussian shadowing, and
+//!    its inversion back to distance estimates;
+//! 3. [`trilaterate`] — weighted-least-squares position fix (Gauss–Newton);
+//! 4. [`Ekf`] — constant-velocity Kalman filter (the "extended" filter of
+//!    the paper reduces to the linear case under a position observation
+//!    model, which is what RSSI trilateration feeds it);
+//! 5. [`ParticleFilter`] — sequential Monte-Carlo alternative with
+//!    systematic resampling;
+//! 6. [`ZoneMap`] + [`pipeline`] — point→zone mapping and aggregation of
+//!    fixes into symbolic zone detections, i.e. the raw material of the
+//!    paper's dataset.
+
+pub mod beacon;
+pub mod ekf;
+pub mod particle;
+pub mod pipeline;
+pub mod rssi;
+pub mod trilateration;
+pub mod zonemap;
+
+pub use beacon::{Beacon, BeaconDeployment};
+pub use ekf::Ekf;
+pub use particle::ParticleFilter;
+pub use pipeline::{GroundTruthFix, Pipeline, PipelineReport, ZoneDetection};
+pub use rssi::{Measurement, RssiModel};
+pub use trilateration::{trilaterate, TrilaterationInput};
+pub use zonemap::ZoneMap;

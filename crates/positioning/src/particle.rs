@@ -1,0 +1,266 @@
+//! Particle filter (sequential Monte Carlo) position tracker.
+//!
+//! The paper's pipeline combines "extended Kalman and particle filtering
+//! techniques" (§4.1). This filter tracks `(x, y)` with a random-walk
+//! motion model, Gaussian position likelihood, and systematic resampling
+//! triggered by the effective-sample-size criterion.
+
+use sitm_geometry::Point;
+use sitm_sim::{Normal, SimRng};
+
+#[derive(Debug, Clone, Copy)]
+struct Particle {
+    x: f64,
+    y: f64,
+    weight: f64,
+}
+
+/// A particle filter over planimetric position.
+#[derive(Debug, Clone)]
+pub struct ParticleFilter {
+    particles: Vec<Particle>,
+    /// Motion noise per √second (random-walk std, m).
+    motion_std: f64,
+    /// Measurement likelihood std (m).
+    measurement_std: f64,
+    initialized: bool,
+}
+
+impl ParticleFilter {
+    /// Creates a filter with `n` particles.
+    pub fn new(n: usize, motion_std: f64, measurement_std: f64) -> Self {
+        assert!(n >= 10, "too few particles");
+        assert!(motion_std > 0.0 && measurement_std > 0.0);
+        ParticleFilter {
+            particles: vec![
+                Particle {
+                    x: 0.0,
+                    y: 0.0,
+                    weight: 1.0 / n as f64,
+                };
+                n
+            ],
+            motion_std,
+            measurement_std,
+            initialized: false,
+        }
+    }
+
+    /// Defaults for pedestrian tracking.
+    pub fn pedestrian(n: usize) -> Self {
+        ParticleFilter::new(n, 1.2, 2.5)
+    }
+
+    /// True once initialized by the first measurement.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// Always false (the constructor requires ≥ 10 particles).
+    pub fn is_empty(&self) -> bool {
+        self.particles.is_empty()
+    }
+
+    /// Weighted mean position estimate.
+    pub fn estimate(&self) -> Point {
+        let mut x = 0.0;
+        let mut y = 0.0;
+        let mut w = 0.0;
+        for p in &self.particles {
+            x += p.x * p.weight;
+            y += p.y * p.weight;
+            w += p.weight;
+        }
+        if w <= 0.0 {
+            return Point::new(0.0, 0.0);
+        }
+        Point::new(x / w, y / w)
+    }
+
+    /// Effective sample size — collapses towards 1 as weights degenerate.
+    pub fn effective_sample_size(&self) -> f64 {
+        let sum_sq: f64 = self.particles.iter().map(|p| p.weight * p.weight).sum();
+        if sum_sq <= 0.0 {
+            0.0
+        } else {
+            1.0 / sum_sq
+        }
+    }
+
+    /// Motion step: diffuses particles by `motion_std · √dt`.
+    pub fn predict(&mut self, dt: f64, rng: &mut SimRng) {
+        if !self.initialized || dt <= 0.0 {
+            return;
+        }
+        let std = self.motion_std * dt.sqrt();
+        let noise = Normal::new(0.0, std);
+        for p in &mut self.particles {
+            p.x += noise.sample(rng);
+            p.y += noise.sample(rng);
+        }
+    }
+
+    /// Measurement step: reweights by Gaussian likelihood and resamples
+    /// when the effective sample size drops below half the particle count.
+    pub fn update(&mut self, z: Point, rng: &mut SimRng) {
+        if !self.initialized {
+            // Spawn all particles around the first fix.
+            let spread = Normal::new(0.0, self.measurement_std);
+            let n = self.particles.len() as f64;
+            for p in &mut self.particles {
+                p.x = z.x + spread.sample(rng);
+                p.y = z.y + spread.sample(rng);
+                p.weight = 1.0 / n;
+            }
+            self.initialized = true;
+            return;
+        }
+        let inv_two_var = 1.0 / (2.0 * self.measurement_std * self.measurement_std);
+        let mut total = 0.0;
+        for p in &mut self.particles {
+            let dx = p.x - z.x;
+            let dy = p.y - z.y;
+            p.weight *= (-(dx * dx + dy * dy) * inv_two_var).exp();
+            total += p.weight;
+        }
+        if total <= f64::MIN_POSITIVE {
+            // All particles starved (measurement far from the cloud):
+            // re-seed around the measurement rather than dividing by ~0.
+            let spread = Normal::new(0.0, self.measurement_std);
+            let n = self.particles.len() as f64;
+            for p in &mut self.particles {
+                p.x = z.x + spread.sample(rng);
+                p.y = z.y + spread.sample(rng);
+                p.weight = 1.0 / n;
+            }
+            return;
+        }
+        for p in &mut self.particles {
+            p.weight /= total;
+        }
+        if self.effective_sample_size() < self.particles.len() as f64 / 2.0 {
+            self.resample(rng);
+        }
+    }
+
+    /// Predict + update in one call, returning the new estimate.
+    pub fn step(&mut self, dt: f64, z: Point, rng: &mut SimRng) -> Point {
+        self.predict(dt, rng);
+        self.update(z, rng);
+        self.estimate()
+    }
+
+    /// Systematic resampling: low variance, O(n).
+    fn resample(&mut self, rng: &mut SimRng) {
+        let n = self.particles.len();
+        let step = 1.0 / n as f64;
+        let mut target = rng.range_f64(0.0, step);
+        let mut cumulative = self.particles[0].weight;
+        let mut i = 0;
+        let mut next: Vec<Particle> = Vec::with_capacity(n);
+        for _ in 0..n {
+            while cumulative < target && i + 1 < n {
+                i += 1;
+                cumulative += self.particles[i].weight;
+            }
+            next.push(Particle {
+                weight: step,
+                ..self.particles[i]
+            });
+            target += step;
+        }
+        self.particles = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_update_initializes_around_measurement() {
+        let mut pf = ParticleFilter::pedestrian(500);
+        let mut rng = SimRng::seeded(50);
+        assert!(!pf.is_initialized());
+        pf.update(Point::new(20.0, 30.0), &mut rng);
+        assert!(pf.is_initialized());
+        assert!(pf.estimate().distance(Point::new(20.0, 30.0)) < 1.0);
+    }
+
+    #[test]
+    fn tracks_a_stationary_target() {
+        let mut pf = ParticleFilter::pedestrian(1000);
+        let mut rng = SimRng::seeded(51);
+        let noise = Normal::new(0.0, 2.5);
+        let truth = Point::new(-3.0, 8.0);
+        let mut tail_err = 0.0;
+        let n = 200;
+        let tail = 50;
+        for i in 0..n {
+            let z = Point::new(truth.x + noise.sample(&mut rng), truth.y + noise.sample(&mut rng));
+            let est = pf.step(1.0, z, &mut rng);
+            if i >= n - tail {
+                tail_err += est.distance(truth);
+            }
+        }
+        // Trailing-average error beats the raw measurement noise (2.5 m).
+        assert!((tail_err / tail as f64) < 1.5, "mean error {}", tail_err / tail as f64);
+    }
+
+    #[test]
+    fn tracks_a_moving_target() {
+        let mut pf = ParticleFilter::pedestrian(1000);
+        let mut rng = SimRng::seeded(52);
+        let noise = Normal::new(0.0, 2.0);
+        let mut errors = Vec::new();
+        for i in 0..150 {
+            let truth = Point::new(i as f64 * 0.8, i as f64 * 0.3);
+            let z = Point::new(truth.x + noise.sample(&mut rng), truth.y + noise.sample(&mut rng));
+            let est = pf.step(1.0, z, &mut rng);
+            if i > 20 {
+                errors.push(est.distance(truth));
+            }
+        }
+        let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
+        assert!(mean_err < 2.0, "mean error {mean_err:.2} m");
+    }
+
+    #[test]
+    fn effective_sample_size_bounds() {
+        let mut pf = ParticleFilter::pedestrian(100);
+        let mut rng = SimRng::seeded(53);
+        pf.update(Point::new(0.0, 0.0), &mut rng);
+        let ess = pf.effective_sample_size();
+        assert!((ess - 100.0).abs() < 0.5, "fresh filter has uniform weights: {ess}");
+    }
+
+    #[test]
+    fn survives_measurement_jump() {
+        // A jump far outside the cloud must not produce NaN estimates.
+        let mut pf = ParticleFilter::pedestrian(200);
+        let mut rng = SimRng::seeded(54);
+        pf.update(Point::new(0.0, 0.0), &mut rng);
+        for _ in 0..5 {
+            pf.step(1.0, Point::new(0.0, 0.0), &mut rng);
+        }
+        let est = pf.step(1.0, Point::new(500.0, 500.0), &mut rng);
+        assert!(est.x.is_finite() && est.y.is_finite());
+        // After a few more observations at the new place, it relocks.
+        let mut last = est;
+        for _ in 0..10 {
+            last = pf.step(1.0, Point::new(500.0, 500.0), &mut rng);
+        }
+        assert!(last.distance(Point::new(500.0, 500.0)) < 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too few particles")]
+    fn rejects_tiny_populations() {
+        ParticleFilter::pedestrian(5);
+    }
+}

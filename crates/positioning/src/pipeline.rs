@@ -1,0 +1,295 @@
+//! End-to-end positioning pipeline:
+//! ground truth → RSSI scans → trilateration → EKF smoothing → zone
+//! detections → a symbolic [`Trace`].
+//!
+//! This reproduces the data path of the Louvre app (§4.1) so that every
+//! stage the paper's dataset depends on is exercised by real code. The A6
+//! ablation bench compares this full geometric pipeline against symbolic
+//! replay.
+
+use sitm_geometry::Point;
+use sitm_sim::SimRng;
+use sitm_space::{CellRef, IndoorSpace};
+
+use sitm_core::{PresenceInterval, Timestamp, Trace, TransitionTaken};
+
+use crate::beacon::BeaconDeployment;
+use crate::ekf::Ekf;
+use crate::rssi::RssiModel;
+use crate::trilateration::{rssi_weight, trilaterate, TrilaterationInput};
+use crate::zonemap::ZoneMap;
+
+/// One ground-truth sample of the moving object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundTruthFix {
+    /// When the sample was taken.
+    pub at: Timestamp,
+    /// True planimetric position.
+    pub position: Point,
+    /// True floor.
+    pub floor: i8,
+}
+
+/// One symbolic zone detection produced by the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneDetection {
+    /// Detected zone.
+    pub cell: CellRef,
+    /// First fix mapped into the zone.
+    pub start: Timestamp,
+    /// Last fix mapped into the zone.
+    pub end: Timestamp,
+}
+
+/// Accuracy metrics of one pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Number of ground-truth fixes processed.
+    pub fixes: usize,
+    /// Fixes with enough beacons to trilaterate.
+    pub solved_fixes: usize,
+    /// Mean planimetric error of the raw trilateration fixes (m).
+    pub raw_error_mean: f64,
+    /// Mean planimetric error after EKF smoothing (m).
+    pub filtered_error_mean: f64,
+    /// The zone detections.
+    pub detections: Vec<ZoneDetection>,
+    /// Fixes that mapped to no zone (coverage gaps).
+    pub unmapped_fixes: usize,
+}
+
+/// The positioning pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Beacon deployment to scan against.
+    pub deployment: BeaconDeployment,
+    /// Channel model.
+    pub rssi: RssiModel,
+    /// How many strongest beacons feed trilateration.
+    pub top_k: usize,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the usual top-6 beacon selection.
+    pub fn new(deployment: BeaconDeployment, rssi: RssiModel) -> Self {
+        Pipeline {
+            deployment,
+            rssi,
+            top_k: 6,
+        }
+    }
+
+    /// Runs the full pipeline over a ground-truth path.
+    pub fn run(
+        &self,
+        space: &IndoorSpace,
+        zones: &ZoneMap,
+        path: &[GroundTruthFix],
+        rng: &mut SimRng,
+    ) -> PipelineReport {
+        let mut ekf = Ekf::pedestrian();
+        let mut detections: Vec<ZoneDetection> = Vec::new();
+        let mut raw_err_sum = 0.0;
+        let mut filt_err_sum = 0.0;
+        let mut solved = 0usize;
+        let mut unmapped = 0usize;
+        let mut last_time: Option<Timestamp> = None;
+
+        for fix in path {
+            let scan = self.rssi.scan(&self.deployment, fix.position, fix.floor, rng);
+            let inputs: Vec<TrilaterationInput> = scan
+                .iter()
+                .take(self.top_k)
+                .filter_map(|m| {
+                    let beacon = self.deployment.get(m.beacon_id)?;
+                    let distance = self
+                        .rssi
+                        .distance_from_rssi(beacon.tx_power_dbm, m.rssi_dbm);
+                    Some(TrilaterationInput {
+                        anchor: beacon.position,
+                        distance,
+                        weight: rssi_weight(distance),
+                    })
+                })
+                .collect();
+            let Some(raw) = trilaterate(&inputs) else {
+                last_time = Some(fix.at);
+                continue;
+            };
+            solved += 1;
+            raw_err_sum += raw.position.distance(fix.position);
+
+            let dt = last_time
+                .map(|t| (fix.at - t).as_secs_f64())
+                .unwrap_or(0.0)
+                .max(0.0);
+            let filtered = ekf.step(dt, raw.position);
+            filt_err_sum += filtered.distance(fix.position);
+            last_time = Some(fix.at);
+
+            // Map to a zone and aggregate consecutive same-zone fixes.
+            match zones.locate(space, filtered, fix.floor) {
+                None => unmapped += 1,
+                Some(cell) => match detections.last_mut() {
+                    Some(last) if last.cell == cell => last.end = fix.at,
+                    _ => detections.push(ZoneDetection {
+                        cell,
+                        start: fix.at,
+                        end: fix.at,
+                    }),
+                },
+            }
+        }
+
+        PipelineReport {
+            fixes: path.len(),
+            solved_fixes: solved,
+            raw_error_mean: if solved > 0 {
+                raw_err_sum / solved as f64
+            } else {
+                f64::NAN
+            },
+            filtered_error_mean: if solved > 0 {
+                filt_err_sum / solved as f64
+            } else {
+                f64::NAN
+            },
+            detections,
+            unmapped_fixes: unmapped,
+        }
+    }
+}
+
+impl PipelineReport {
+    /// Converts the zone detections into a symbolic SITM trace.
+    pub fn to_trace(&self) -> Trace {
+        let intervals: Vec<PresenceInterval> = self
+            .detections
+            .iter()
+            .map(|d| PresenceInterval::new(TransitionTaken::Unknown, d.cell, d.start, d.end))
+            .collect();
+        Trace::new(intervals).expect("detections are chronological")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_geometry::{BBox, Polygon};
+    use sitm_space::{Cell, CellClass, LayerKind};
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+        Polygon::rectangle(Point::new(x0, y0), Point::new(x1, y1)).unwrap()
+    }
+
+    /// Two 20x20 zones side by side on floor 0, beacons every 8 m.
+    fn setup() -> (IndoorSpace, ZoneMap, Pipeline) {
+        let mut s = IndoorSpace::new();
+        let l = s.add_layer("zones", LayerKind::Thematic);
+        s.add_cell(
+            l,
+            Cell::new("west", "West hall", CellClass::Zone)
+                .on_floor(0)
+                .with_geometry(rect(0.0, 0.0, 20.0, 20.0)),
+        )
+        .unwrap();
+        s.add_cell(
+            l,
+            Cell::new("east", "East hall", CellClass::Zone)
+                .on_floor(0)
+                .with_geometry(rect(20.0, 0.0, 40.0, 20.0)),
+        )
+        .unwrap();
+        let zones = ZoneMap::build(&s, l, 10.0);
+        let mut deployment = BeaconDeployment::new();
+        deployment.grid(
+            BBox::from_corners(Point::new(0.0, 0.0), Point::new(40.0, 20.0)),
+            0,
+            8.0,
+            -59.0,
+        );
+        let rssi = RssiModel {
+            shadowing_std_db: 2.0,
+            ..RssiModel::indoor_default()
+        };
+        let pipeline = Pipeline::new(deployment, rssi);
+        (s, zones, pipeline)
+    }
+
+    /// Straight walk from the west hall into the east hall, 1 fix/second.
+    fn walk() -> Vec<GroundTruthFix> {
+        (0..80)
+            .map(|i| GroundTruthFix {
+                at: Timestamp(i),
+                position: Point::new(2.0 + i as f64 * 0.45, 10.0),
+                floor: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_tracks_and_detects_zone_change() {
+        let (s, zones, pipeline) = setup();
+        let mut rng = SimRng::seeded(60);
+        let report = pipeline.run(&s, &zones, &walk(), &mut rng);
+        assert_eq!(report.fixes, 80);
+        assert!(report.solved_fixes > 70, "solved {}", report.solved_fixes);
+        assert!(
+            report.raw_error_mean < 6.0,
+            "raw error {:.2}",
+            report.raw_error_mean
+        );
+        // The west→east sequence must appear (possibly with flicker at the
+        // boundary, hence >= 2 detections and first/last checks).
+        assert!(report.detections.len() >= 2);
+        assert_eq!(report.detections.first().unwrap().cell, s.resolve("west").unwrap());
+        assert_eq!(report.detections.last().unwrap().cell, s.resolve("east").unwrap());
+        assert_eq!(report.unmapped_fixes, 0, "path stays inside coverage");
+    }
+
+    #[test]
+    fn filtering_does_not_hurt_on_average() {
+        let (s, zones, pipeline) = setup();
+        let mut rng = SimRng::seeded(61);
+        let report = pipeline.run(&s, &zones, &walk(), &mut rng);
+        // The EKF should be at least roughly competitive with raw fixes.
+        assert!(
+            report.filtered_error_mean < report.raw_error_mean * 1.25,
+            "filtered {:.2} vs raw {:.2}",
+            report.filtered_error_mean,
+            report.raw_error_mean
+        );
+    }
+
+    #[test]
+    fn detections_convert_to_valid_trace() {
+        let (s, zones, pipeline) = setup();
+        let mut rng = SimRng::seeded(62);
+        let report = pipeline.run(&s, &zones, &walk(), &mut rng);
+        let trace = report.to_trace();
+        assert_eq!(trace.len(), report.detections.len());
+        assert!(trace.span().is_some());
+        assert!(trace.transition_count() >= 1);
+    }
+
+    #[test]
+    fn empty_path_yields_empty_report() {
+        let (s, zones, pipeline) = setup();
+        let mut rng = SimRng::seeded(63);
+        let report = pipeline.run(&s, &zones, &[], &mut rng);
+        assert_eq!(report.fixes, 0);
+        assert_eq!(report.solved_fixes, 0);
+        assert!(report.detections.is_empty());
+        assert!(report.to_trace().is_empty());
+    }
+
+    #[test]
+    fn no_beacons_means_no_fixes() {
+        let (s, zones, _) = setup();
+        let pipeline = Pipeline::new(BeaconDeployment::new(), RssiModel::indoor_default());
+        let mut rng = SimRng::seeded(64);
+        let report = pipeline.run(&s, &zones, &walk(), &mut rng);
+        assert_eq!(report.solved_fixes, 0);
+        assert!(report.detections.is_empty());
+    }
+}

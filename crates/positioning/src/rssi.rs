@@ -1,0 +1,186 @@
+//! RSSI propagation: the log-distance path-loss model.
+//!
+//! `RSSI(d) = P_tx − 10·n·log10(d / d0) + X_sigma`, with `d0 = 1 m`,
+//! path-loss exponent `n` (≈ 1.8–3 indoors) and log-normal shadowing
+//! `X_sigma ~ N(0, sigma)`. Inverting the deterministic part recovers a
+//! distance estimate from a measured RSSI — the input of trilateration.
+
+use sitm_geometry::Point;
+use sitm_sim::{Normal, SimRng};
+
+use crate::beacon::{Beacon, BeaconDeployment};
+
+/// One RSSI observation of a beacon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Which beacon was heard.
+    pub beacon_id: u32,
+    /// Received signal strength (dBm).
+    pub rssi_dbm: f64,
+}
+
+/// Log-distance path-loss channel model.
+#[derive(Debug, Clone, Copy)]
+pub struct RssiModel {
+    /// Path-loss exponent `n`.
+    pub path_loss_exponent: f64,
+    /// Shadowing standard deviation (dB).
+    pub shadowing_std_db: f64,
+    /// Receiver sensitivity: beacons measured below this are not heard.
+    pub sensitivity_dbm: f64,
+}
+
+impl RssiModel {
+    /// A model typical of open museum halls.
+    pub fn indoor_default() -> Self {
+        RssiModel {
+            path_loss_exponent: 2.2,
+            shadowing_std_db: 3.0,
+            sensitivity_dbm: -95.0,
+        }
+    }
+
+    /// Deterministic RSSI at `distance` metres from a beacon with the given
+    /// 1 m reference power (no shadowing).
+    pub fn expected_rssi(&self, tx_power_dbm: f64, distance: f64) -> f64 {
+        let d = distance.max(0.1); // below 10 cm the far-field model breaks
+        tx_power_dbm - 10.0 * self.path_loss_exponent * d.log10()
+    }
+
+    /// Noisy RSSI sample at `distance` metres.
+    pub fn sample_rssi(&self, tx_power_dbm: f64, distance: f64, rng: &mut SimRng) -> f64 {
+        let shadowing = Normal::new(0.0, self.shadowing_std_db).sample(rng);
+        self.expected_rssi(tx_power_dbm, distance) + shadowing
+    }
+
+    /// Inverts the deterministic model: distance estimate from a measured
+    /// RSSI.
+    pub fn distance_from_rssi(&self, tx_power_dbm: f64, rssi_dbm: f64) -> f64 {
+        10f64.powf((tx_power_dbm - rssi_dbm) / (10.0 * self.path_loss_exponent))
+    }
+
+    /// Simulates one scan: RSSI measurements of all same-floor beacons
+    /// heard above the sensitivity threshold, strongest first.
+    pub fn scan(
+        &self,
+        deployment: &BeaconDeployment,
+        position: Point,
+        floor: i8,
+        rng: &mut SimRng,
+    ) -> Vec<Measurement> {
+        let mut out: Vec<Measurement> = deployment
+            .on_floor(floor)
+            .filter_map(|b: &Beacon| {
+                let d = b.position.distance(position);
+                let rssi = self.sample_rssi(b.tx_power_dbm, d, rng);
+                (rssi >= self.sensitivity_dbm).then_some(Measurement {
+                    beacon_id: b.id,
+                    rssi_dbm: rssi,
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.rssi_dbm
+                .partial_cmp(&a.rssi_dbm)
+                .expect("RSSI is never NaN")
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_geometry::BBox;
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        let m = RssiModel::indoor_default();
+        let near = m.expected_rssi(-59.0, 1.0);
+        let mid = m.expected_rssi(-59.0, 10.0);
+        let far = m.expected_rssi(-59.0, 50.0);
+        assert_eq!(near, -59.0, "reference distance gives reference power");
+        assert!(near > mid && mid > far);
+    }
+
+    #[test]
+    fn inversion_round_trips_without_noise() {
+        let m = RssiModel::indoor_default();
+        for d in [0.5, 1.0, 3.0, 10.0, 42.0] {
+            let rssi = m.expected_rssi(-59.0, d);
+            let back = m.distance_from_rssi(-59.0, rssi);
+            assert!((back - d.max(0.1)).abs() < 1e-9, "d={d} back={back}");
+        }
+    }
+
+    #[test]
+    fn shadowing_spreads_samples() {
+        let m = RssiModel::indoor_default();
+        let mut rng = SimRng::seeded(30);
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| m.sample_rssi(-59.0, 10.0, &mut rng))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let expected = m.expected_rssi(-59.0, 10.0);
+        assert!((mean - expected).abs() < 0.3, "unbiased around the model");
+        let spread = samples
+            .iter()
+            .map(|x| (x - mean).powi(2))
+            .sum::<f64>()
+            .sqrt()
+            / (samples.len() as f64).sqrt();
+        assert!(spread > 1.0, "shadowing visible");
+    }
+
+    #[test]
+    fn scan_filters_by_floor_and_sensitivity() {
+        let mut d = BeaconDeployment::new();
+        d.add(Point::new(0.0, 0.0), 0, -59.0); // near, same floor
+        d.add(Point::new(1000.0, 0.0), 0, -59.0); // out of range
+        d.add(Point::new(1.0, 0.0), 1, -59.0); // other floor
+        let m = RssiModel {
+            shadowing_std_db: 0.0,
+            ..RssiModel::indoor_default()
+        };
+        let mut rng = SimRng::seeded(31);
+        let scan = m.scan(&d, Point::new(2.0, 0.0), 0, &mut rng);
+        assert_eq!(scan.len(), 1);
+        assert_eq!(scan[0].beacon_id, 0);
+    }
+
+    #[test]
+    fn scan_orders_strongest_first() {
+        let mut d = BeaconDeployment::new();
+        let area = BBox::from_corners(Point::new(0.0, 0.0), Point::new(30.0, 30.0));
+        d.grid(area, 0, 10.0, -59.0);
+        let m = RssiModel {
+            shadowing_std_db: 0.0,
+            ..RssiModel::indoor_default()
+        };
+        let mut rng = SimRng::seeded(32);
+        let scan = m.scan(&d, Point::new(5.0, 5.0), 0, &mut rng);
+        assert!(scan.len() >= 4);
+        for w in scan.windows(2) {
+            assert!(w[0].rssi_dbm >= w[1].rssi_dbm);
+        }
+        // The nearest beacon (5,5) is the strongest.
+        let nearest = d
+            .on_floor(0)
+            .min_by(|a, b| {
+                a.position
+                    .distance(Point::new(5.0, 5.0))
+                    .partial_cmp(&b.position.distance(Point::new(5.0, 5.0)))
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(scan[0].beacon_id, nearest.id);
+    }
+
+    #[test]
+    fn sub_reference_distances_clamp() {
+        let m = RssiModel::indoor_default();
+        // At 1 cm the model clamps to 10 cm rather than diverging.
+        let close = m.expected_rssi(-59.0, 0.01);
+        assert_eq!(close, m.expected_rssi(-59.0, 0.1));
+    }
+}

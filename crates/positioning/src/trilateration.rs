@@ -1,0 +1,240 @@
+//! Weighted-least-squares trilateration (Gauss–Newton).
+//!
+//! Given distance estimates `d_i` to anchors at known positions `p_i`, find
+//! the point `x` minimizing `Σ w_i (‖x − p_i‖ − d_i)²`. Starting from the
+//! weighted anchor centroid, a handful of Gauss–Newton iterations converge
+//! for any sane beacon geometry.
+
+use sitm_geometry::Point;
+
+/// One anchor observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrilaterationInput {
+    /// Anchor (beacon) position.
+    pub anchor: Point,
+    /// Estimated distance to the anchor (metres).
+    pub distance: f64,
+    /// Observation weight (e.g. inverse distance variance; stronger signal
+    /// → larger weight).
+    pub weight: f64,
+}
+
+/// A position fix with its residual error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fix {
+    /// Estimated position.
+    pub position: Point,
+    /// Root-mean-square weighted residual (metres).
+    pub rms_residual: f64,
+    /// Gauss–Newton iterations executed.
+    pub iterations: usize,
+}
+
+/// Solves the weighted trilateration problem. Needs at least three
+/// observations with positive weights; returns `None` otherwise or when the
+/// anchor geometry is degenerate (collinear anchors can still converge but
+/// with a larger residual — degeneracy here means a singular normal
+/// matrix).
+pub fn trilaterate(inputs: &[TrilaterationInput]) -> Option<Fix> {
+    if inputs.len() < 3 {
+        return None;
+    }
+    let wsum: f64 = inputs.iter().map(|i| i.weight).sum();
+    if wsum <= 0.0 {
+        return None;
+    }
+    // Initial guess: weighted centroid of anchors.
+    let mut x = Point::new(
+        inputs.iter().map(|i| i.anchor.x * i.weight).sum::<f64>() / wsum,
+        inputs.iter().map(|i| i.anchor.y * i.weight).sum::<f64>() / wsum,
+    );
+
+    let max_iter = 20;
+    let mut iterations = 0;
+    for _ in 0..max_iter {
+        iterations += 1;
+        // Normal equations J^T W J Δ = J^T W r with
+        // r_i = d_i − ‖x − p_i‖ and J_i = (x − p_i)/‖x − p_i‖ (row).
+        let (mut a11, mut a12, mut a22) = (0.0f64, 0.0f64, 0.0f64);
+        let (mut b1, mut b2) = (0.0f64, 0.0f64);
+        for obs in inputs {
+            let dx = x.x - obs.anchor.x;
+            let dy = x.y - obs.anchor.y;
+            let dist = (dx * dx + dy * dy).sqrt().max(1e-6);
+            let jx = dx / dist;
+            let jy = dy / dist;
+            let r = obs.distance - dist;
+            let w = obs.weight;
+            a11 += w * jx * jx;
+            a12 += w * jx * jy;
+            a22 += w * jy * jy;
+            b1 += w * jx * r;
+            b2 += w * jy * r;
+        }
+        let det = a11 * a22 - a12 * a12;
+        if det.abs() < 1e-12 {
+            return None; // singular geometry
+        }
+        // Δ solves the 2x2 system; note r = d − ‖x−p‖ so x moves by +JᵀWr
+        // direction scaled: Δ = A⁻¹ b, applied as x ← x + Δ·(−1)?  With the
+        // residual defined as above, the Gauss–Newton step is x ← x − A⁻¹b
+        // when minimizing Σw(‖x−p‖−d)²; b already carries the sign flip.
+        let ddx = (a22 * b1 - a12 * b2) / det;
+        let ddy = (a11 * b2 - a12 * b1) / det;
+        x = Point::new(x.x + ddx, x.y + ddy);
+        if ddx.abs() < 1e-6 && ddy.abs() < 1e-6 {
+            break;
+        }
+    }
+
+    // Final residual.
+    let mut sq = 0.0;
+    for obs in inputs {
+        let r = obs.distance - x.distance(obs.anchor);
+        sq += obs.weight * r * r;
+    }
+    Some(Fix {
+        position: x,
+        rms_residual: (sq / wsum).sqrt(),
+        iterations,
+    })
+}
+
+/// Standard weighting for RSSI-derived distances: variance grows with
+/// distance, so weight by `1 / d²` (clamped).
+pub fn rssi_weight(distance: f64) -> f64 {
+    1.0 / distance.max(0.5).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(x: f64, y: f64, d: f64) -> TrilaterationInput {
+        TrilaterationInput {
+            anchor: Point::new(x, y),
+            distance: d,
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn exact_distances_recover_position() {
+        let truth = Point::new(3.0, 4.0);
+        let anchors = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 10.0),
+            Point::new(10.0, 10.0),
+        ];
+        let inputs: Vec<TrilaterationInput> = anchors
+            .iter()
+            .map(|&a| TrilaterationInput {
+                anchor: a,
+                distance: a.distance(truth),
+                weight: 1.0,
+            })
+            .collect();
+        let fix = trilaterate(&inputs).unwrap();
+        assert!(fix.position.distance(truth) < 1e-4, "{:?}", fix.position);
+        assert!(fix.rms_residual < 1e-4);
+    }
+
+    #[test]
+    fn noisy_distances_recover_approximately() {
+        let truth = Point::new(12.0, 7.0);
+        let anchors = [
+            Point::new(0.0, 0.0),
+            Point::new(25.0, 0.0),
+            Point::new(0.0, 20.0),
+            Point::new(25.0, 20.0),
+            Point::new(12.0, 0.0),
+        ];
+        // Perturb distances by up to ±0.5 m deterministically.
+        let noise = [0.4, -0.3, 0.2, -0.5, 0.1];
+        let inputs: Vec<TrilaterationInput> = anchors
+            .iter()
+            .zip(noise)
+            .map(|(&a, n)| TrilaterationInput {
+                anchor: a,
+                distance: (a.distance(truth) + n).max(0.1),
+                weight: rssi_weight(a.distance(truth)),
+            })
+            .collect();
+        let fix = trilaterate(&inputs).unwrap();
+        assert!(
+            fix.position.distance(truth) < 1.0,
+            "error {:.2} m",
+            fix.position.distance(truth)
+        );
+    }
+
+    #[test]
+    fn too_few_anchors_is_none() {
+        assert!(trilaterate(&[]).is_none());
+        assert!(trilaterate(&[obs(0.0, 0.0, 1.0)]).is_none());
+        assert!(trilaterate(&[obs(0.0, 0.0, 1.0), obs(5.0, 0.0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn zero_weights_are_rejected() {
+        let inputs = [
+            TrilaterationInput {
+                anchor: Point::new(0.0, 0.0),
+                distance: 1.0,
+                weight: 0.0,
+            },
+            TrilaterationInput {
+                anchor: Point::new(1.0, 0.0),
+                distance: 1.0,
+                weight: 0.0,
+            },
+            TrilaterationInput {
+                anchor: Point::new(0.0, 1.0),
+                distance: 1.0,
+                weight: 0.0,
+            },
+        ];
+        assert!(trilaterate(&inputs).is_none());
+    }
+
+    #[test]
+    fn coincident_anchors_are_singular() {
+        let inputs = [obs(5.0, 5.0, 1.0), obs(5.0, 5.0, 2.0), obs(5.0, 5.0, 3.0)];
+        assert!(trilaterate(&inputs).is_none());
+    }
+
+    #[test]
+    fn weights_pull_the_solution() {
+        // Two consistent anchors vs one lying anchor: high weights on the
+        // consistent pair keep the fix near the truth.
+        let truth = Point::new(5.0, 5.0);
+        let inputs = [
+            TrilaterationInput {
+                anchor: Point::new(0.0, 0.0),
+                distance: truth.distance(Point::new(0.0, 0.0)),
+                weight: 10.0,
+            },
+            TrilaterationInput {
+                anchor: Point::new(10.0, 0.0),
+                distance: truth.distance(Point::new(10.0, 0.0)),
+                weight: 10.0,
+            },
+            TrilaterationInput {
+                anchor: Point::new(0.0, 10.0),
+                distance: truth.distance(Point::new(0.0, 10.0)) + 4.0, // liar
+                weight: 0.1,
+            },
+        ];
+        let fix = trilaterate(&inputs).unwrap();
+        assert!(fix.position.distance(truth) < 1.5);
+    }
+
+    #[test]
+    fn rssi_weight_decreases_with_distance() {
+        assert!(rssi_weight(1.0) > rssi_weight(5.0));
+        assert!(rssi_weight(5.0) > rssi_weight(20.0));
+        // Clamped below half a metre.
+        assert_eq!(rssi_weight(0.1), rssi_weight(0.5));
+    }
+}

@@ -1,0 +1,178 @@
+//! Point→zone mapping.
+//!
+//! The dataset's primitive is the *zone detection*: "raw geometric
+//! positions have already been spatially aggregated into 52 non-overlapping
+//! zones" (§4.1). A [`ZoneMap`] indexes the polygonal cells of one layer by
+//! floor and answers "which zone contains this point?" in O(candidates).
+
+use std::collections::BTreeMap;
+
+use sitm_geometry::{Grid, Point};
+use sitm_graph::LayerIdx;
+use sitm_space::{CellRef, IndoorSpace};
+
+/// Floor-indexed spatial index over one layer's cell polygons.
+#[derive(Debug, Clone)]
+pub struct ZoneMap {
+    layer: LayerIdx,
+    /// Per-floor grid plus the cells it indexes.
+    floors: BTreeMap<i8, (Grid, Vec<(CellRef, usize)>)>,
+    /// All indexed cells, addressed by grid handle.
+    cells: Vec<CellRef>,
+}
+
+impl ZoneMap {
+    /// Builds a zone map from the polygonal cells of `layer`. Cells without
+    /// geometry or floor are skipped (they cannot answer point queries).
+    /// `grid_cell_size` is the spatial-hash pitch in metres.
+    pub fn build(space: &IndoorSpace, layer: LayerIdx, grid_cell_size: f64) -> ZoneMap {
+        let mut floors: BTreeMap<i8, (Grid, Vec<(CellRef, usize)>)> = BTreeMap::new();
+        let mut cells = Vec::new();
+        for (cref, cell) in space.cells_in(layer) {
+            let (Some(floor), Some(poly)) = (cell.floor, cell.geometry.as_ref()) else {
+                continue;
+            };
+            let handle = cells.len();
+            cells.push(cref);
+            let entry = floors
+                .entry(floor)
+                .or_insert_with(|| (Grid::new(grid_cell_size), Vec::new()));
+            entry.0.insert(handle, poly.bbox());
+            entry.1.push((cref, handle));
+        }
+        ZoneMap {
+            layer,
+            floors,
+            cells,
+        }
+    }
+
+    /// The indexed layer.
+    pub fn layer(&self) -> LayerIdx {
+        self.layer
+    }
+
+    /// Number of indexed cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The zone containing `(point, floor)`, if any. Boundary points count
+    /// as inside; when zones abut, the lowest cell reference wins
+    /// (deterministic tie-break).
+    pub fn locate(&self, space: &IndoorSpace, point: Point, floor: i8) -> Option<CellRef> {
+        let (grid, _) = self.floors.get(&floor)?;
+        let mut hit: Option<CellRef> = None;
+        for handle in grid.candidates_at(point) {
+            let cref = self.cells[handle];
+            let cell = space.cell(cref)?;
+            let poly = cell.geometry.as_ref()?;
+            if poly.contains_point(point) {
+                hit = match hit {
+                    Some(existing) if existing <= cref => Some(existing),
+                    _ => Some(cref),
+                };
+            }
+        }
+        hit
+    }
+
+    /// Floors covered by the map.
+    pub fn floor_range(&self) -> Vec<i8> {
+        self.floors.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_geometry::Polygon;
+    use sitm_space::{Cell, CellClass, LayerKind};
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+        Polygon::rectangle(Point::new(x0, y0), Point::new(x1, y1)).unwrap()
+    }
+
+    fn zoned_space() -> (IndoorSpace, LayerIdx) {
+        let mut s = IndoorSpace::new();
+        let l = s.add_layer("zones", LayerKind::Thematic);
+        s.add_cell(
+            l,
+            Cell::new("z1", "Zone 1", CellClass::Zone)
+                .on_floor(0)
+                .with_geometry(rect(0.0, 0.0, 10.0, 10.0)),
+        )
+        .unwrap();
+        s.add_cell(
+            l,
+            Cell::new("z2", "Zone 2", CellClass::Zone)
+                .on_floor(0)
+                .with_geometry(rect(10.0, 0.0, 20.0, 10.0)),
+        )
+        .unwrap();
+        s.add_cell(
+            l,
+            Cell::new("z3", "Zone 3 upstairs", CellClass::Zone)
+                .on_floor(1)
+                .with_geometry(rect(0.0, 0.0, 20.0, 10.0)),
+        )
+        .unwrap();
+        // A cell with no geometry must be skipped, not break the build.
+        s.add_cell(l, Cell::new("virtual", "No footprint", CellClass::Zone))
+            .unwrap();
+        (s, l)
+    }
+
+    #[test]
+    fn locates_points_per_floor() {
+        let (s, l) = zoned_space();
+        let map = ZoneMap::build(&s, l, 5.0);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.floor_range(), vec![0, 1]);
+        assert_eq!(
+            map.locate(&s, Point::new(5.0, 5.0), 0),
+            Some(s.resolve("z1").unwrap())
+        );
+        assert_eq!(
+            map.locate(&s, Point::new(15.0, 5.0), 0),
+            Some(s.resolve("z2").unwrap())
+        );
+        assert_eq!(
+            map.locate(&s, Point::new(5.0, 5.0), 1),
+            Some(s.resolve("z3").unwrap())
+        );
+    }
+
+    #[test]
+    fn outside_any_zone_is_none() {
+        let (s, l) = zoned_space();
+        let map = ZoneMap::build(&s, l, 5.0);
+        assert_eq!(map.locate(&s, Point::new(50.0, 5.0), 0), None);
+        assert_eq!(map.locate(&s, Point::new(5.0, 5.0), 2), None, "no floor 2");
+    }
+
+    #[test]
+    fn boundary_point_resolves_deterministically() {
+        let (s, l) = zoned_space();
+        let map = ZoneMap::build(&s, l, 5.0);
+        // x = 10 is the shared wall of z1 and z2.
+        let a = map.locate(&s, Point::new(10.0, 5.0), 0);
+        let b = map.locate(&s, Point::new(10.0, 5.0), 0);
+        assert!(a.is_some());
+        assert_eq!(a, b, "tie-break is deterministic");
+    }
+
+    #[test]
+    fn empty_layer_builds_empty_map() {
+        let mut s = IndoorSpace::new();
+        let l = s.add_layer("zones", LayerKind::Thematic);
+        let map = ZoneMap::build(&s, l, 5.0);
+        assert!(map.is_empty());
+        assert_eq!(map.locate(&s, Point::new(0.0, 0.0), 0), None);
+    }
+}

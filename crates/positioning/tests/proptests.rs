@@ -1,0 +1,87 @@
+//! Property-based tests for the positioning substrate.
+
+use proptest::prelude::*;
+
+use sitm_geometry::Point;
+use sitm_positioning::{trilaterate, RssiModel, TrilaterationInput};
+
+proptest! {
+    #[test]
+    fn trilateration_recovers_exact_positions(
+        tx in 2.0f64..38.0, ty in 2.0f64..18.0,
+    ) {
+        // Noise-free distances from a well-spread anchor set recover the
+        // position to numerical precision.
+        let truth = Point::new(tx, ty);
+        let anchors = [
+            Point::new(0.0, 0.0),
+            Point::new(40.0, 0.0),
+            Point::new(0.0, 20.0),
+            Point::new(40.0, 20.0),
+        ];
+        let inputs: Vec<TrilaterationInput> = anchors
+            .iter()
+            .map(|&a| TrilaterationInput {
+                anchor: a,
+                distance: a.distance(truth),
+                weight: 1.0,
+            })
+            .collect();
+        let fix = trilaterate(&inputs).expect("solvable geometry");
+        prop_assert!(fix.position.distance(truth) < 1e-3, "err {}", fix.position.distance(truth));
+    }
+
+    #[test]
+    fn bounded_distance_noise_gives_bounded_error(
+        tx in 5.0f64..35.0, ty in 5.0f64..15.0,
+        n1 in -0.5f64..0.5, n2 in -0.5f64..0.5, n3 in -0.5f64..0.5,
+        n4 in -0.5f64..0.5, n5 in -0.5f64..0.5,
+    ) {
+        let truth = Point::new(tx, ty);
+        let anchors = [
+            Point::new(0.0, 0.0),
+            Point::new(40.0, 0.0),
+            Point::new(0.0, 20.0),
+            Point::new(40.0, 20.0),
+            Point::new(20.0, 10.0),
+        ];
+        let noise = [n1, n2, n3, n4, n5];
+        let inputs: Vec<TrilaterationInput> = anchors
+            .iter()
+            .zip(noise)
+            .map(|(&a, n)| TrilaterationInput {
+                anchor: a,
+                distance: (a.distance(truth) + n).max(0.05),
+                weight: 1.0,
+            })
+            .collect();
+        let fix = trilaterate(&inputs).expect("solvable geometry");
+        // Half-metre distance errors stay within a few metres of position
+        // error for this anchor geometry.
+        prop_assert!(fix.position.distance(truth) < 3.0, "err {}", fix.position.distance(truth));
+    }
+
+    #[test]
+    fn rssi_inversion_round_trips(
+        d in 0.2f64..80.0, tx_power in -70.0f64..-50.0, n in 1.6f64..3.5,
+    ) {
+        let model = RssiModel {
+            path_loss_exponent: n,
+            shadowing_std_db: 0.0,
+            sensitivity_dbm: -200.0,
+        };
+        let rssi = model.expected_rssi(tx_power, d);
+        let back = model.distance_from_rssi(tx_power, rssi);
+        prop_assert!((back - d).abs() < 1e-6 * d.max(1.0), "d {d} back {back}");
+    }
+
+    #[test]
+    fn rssi_is_monotonically_decreasing_in_distance(
+        d1 in 0.2f64..50.0, delta in 0.1f64..30.0,
+    ) {
+        let model = RssiModel::indoor_default();
+        let near = model.expected_rssi(-59.0, d1);
+        let far = model.expected_rssi(-59.0, d1 + delta);
+        prop_assert!(near > far);
+    }
+}

@@ -1,0 +1,234 @@
+//! The RCC8 composition table.
+//!
+//! `compose(r1, r2)` answers: given `A r1 B` and `B r2 C`, which base
+//! relations may hold between `A` and `C`? The table is the standard one
+//! from Cohn, Bennett, Gooday & Gotts (1997), encoded as bitmask rows.
+//! Property tests in this module verify the two algebraic laws every
+//! relation algebra composition must satisfy:
+//!
+//! * identity: `EQ ∘ r = r ∘ EQ = {r}`;
+//! * converse: `(r1 ∘ r2)⁻¹ = r2⁻¹ ∘ r1⁻¹`.
+
+use crate::rcc8::Rcc8;
+use crate::relation_set::Rcc8Set;
+
+// Bit positions follow Rcc8 indices: DC=0, EC=1, PO=2, TPP=3, NTPP=4,
+// TPPi=5, NTPPi=6, EQ=7.
+const DC: u8 = 1 << 0;
+const EC: u8 = 1 << 1;
+const PO: u8 = 1 << 2;
+const TPP: u8 = 1 << 3;
+const NTPP: u8 = 1 << 4;
+const TPPI: u8 = 1 << 5;
+const NTPPI: u8 = 1 << 6;
+const EQ: u8 = 1 << 7;
+const ALL: u8 = 0xFF;
+
+/// `TABLE[r1][r2]` = bitmask of possible relations for `A?C` given
+/// `A r1 B`, `B r2 C`.
+#[rustfmt::skip]
+const TABLE: [[u8; 8]; 8] = [
+    // r1 = DC
+    [
+        ALL,                          // DC ∘ DC
+        DC | EC | PO | TPP | NTPP,    // DC ∘ EC
+        DC | EC | PO | TPP | NTPP,    // DC ∘ PO
+        DC | EC | PO | TPP | NTPP,    // DC ∘ TPP
+        DC | EC | PO | TPP | NTPP,    // DC ∘ NTPP
+        DC,                           // DC ∘ TPPi
+        DC,                           // DC ∘ NTPPi
+        DC,                           // DC ∘ EQ
+    ],
+    // r1 = EC
+    [
+        DC | EC | PO | TPPI | NTPPI,      // EC ∘ DC
+        DC | EC | PO | TPP | TPPI | EQ,   // EC ∘ EC
+        DC | EC | PO | TPP | NTPP,        // EC ∘ PO
+        EC | PO | TPP | NTPP,             // EC ∘ TPP
+        PO | TPP | NTPP,                  // EC ∘ NTPP
+        DC | EC,                          // EC ∘ TPPi
+        DC,                               // EC ∘ NTPPi
+        EC,                               // EC ∘ EQ
+    ],
+    // r1 = PO
+    [
+        DC | EC | PO | TPPI | NTPPI,  // PO ∘ DC
+        DC | EC | PO | TPPI | NTPPI,  // PO ∘ EC
+        ALL,                          // PO ∘ PO
+        PO | TPP | NTPP,              // PO ∘ TPP
+        PO | TPP | NTPP,              // PO ∘ NTPP
+        DC | EC | PO | TPPI | NTPPI,  // PO ∘ TPPi
+        DC | EC | PO | TPPI | NTPPI,  // PO ∘ NTPPi
+        PO,                           // PO ∘ EQ
+    ],
+    // r1 = TPP
+    [
+        DC,                               // TPP ∘ DC
+        DC | EC,                          // TPP ∘ EC
+        DC | EC | PO | TPP | NTPP,        // TPP ∘ PO
+        TPP | NTPP,                       // TPP ∘ TPP
+        NTPP,                             // TPP ∘ NTPP
+        DC | EC | PO | TPP | TPPI | EQ,   // TPP ∘ TPPi
+        DC | EC | PO | TPPI | NTPPI,      // TPP ∘ NTPPi
+        TPP,                              // TPP ∘ EQ
+    ],
+    // r1 = NTPP
+    [
+        DC,                           // NTPP ∘ DC
+        DC,                           // NTPP ∘ EC
+        DC | EC | PO | TPP | NTPP,    // NTPP ∘ PO
+        NTPP,                         // NTPP ∘ TPP
+        NTPP,                         // NTPP ∘ NTPP
+        DC | EC | PO | TPP | NTPP,    // NTPP ∘ TPPi
+        ALL,                          // NTPP ∘ NTPPi
+        NTPP,                         // NTPP ∘ EQ
+    ],
+    // r1 = TPPi
+    [
+        DC | EC | PO | TPPI | NTPPI,  // TPPi ∘ DC
+        EC | PO | TPPI | NTPPI,       // TPPi ∘ EC
+        PO | TPPI | NTPPI,            // TPPi ∘ PO
+        PO | TPP | TPPI | EQ,         // TPPi ∘ TPP
+        PO | TPP | NTPP,              // TPPi ∘ NTPP
+        TPPI | NTPPI,                 // TPPi ∘ TPPi
+        NTPPI,                        // TPPi ∘ NTPPi
+        TPPI,                         // TPPi ∘ EQ
+    ],
+    // r1 = NTPPi
+    [
+        DC | EC | PO | TPPI | NTPPI,              // NTPPi ∘ DC
+        PO | TPPI | NTPPI,                        // NTPPi ∘ EC
+        PO | TPPI | NTPPI,                        // NTPPi ∘ PO
+        PO | TPPI | NTPPI,                        // NTPPi ∘ TPP
+        PO | TPP | NTPP | TPPI | NTPPI | EQ,      // NTPPi ∘ NTPP
+        NTPPI,                                    // NTPPi ∘ TPPi
+        NTPPI,                                    // NTPPi ∘ NTPPi
+        NTPPI,                                    // NTPPi ∘ EQ
+    ],
+    // r1 = EQ
+    [DC, EC, PO, TPP, NTPP, TPPI, NTPPI, EQ],
+];
+
+/// Composes two base relations: possible relations of `A` to `C` given
+/// `A r1 B` and `B r2 C`.
+#[inline]
+pub fn compose(r1: Rcc8, r2: Rcc8) -> Rcc8Set {
+    Rcc8Set::from_bits(TABLE[r1.index()][r2.index()])
+}
+
+/// Composes two relation sets (union over member compositions).
+pub fn compose_sets(s1: Rcc8Set, s2: Rcc8Set) -> Rcc8Set {
+    let mut out = Rcc8Set::EMPTY;
+    for r1 in s1.iter() {
+        for r2 in s2.iter() {
+            out = out.union(compose(r1, r2));
+            if out.is_full() {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_law() {
+        for r in Rcc8::ALL {
+            assert_eq!(compose(Rcc8::Eq, r), Rcc8Set::single(r), "EQ ∘ {r}");
+            assert_eq!(compose(r, Rcc8::Eq), Rcc8Set::single(r), "{r} ∘ EQ");
+        }
+    }
+
+    #[test]
+    fn converse_law_holds_for_all_pairs() {
+        // (r1 ∘ r2)⁻¹ == r2⁻¹ ∘ r1⁻¹ for all 64 pairs.
+        for r1 in Rcc8::ALL {
+            for r2 in Rcc8::ALL {
+                let lhs = compose(r1, r2).converse();
+                let rhs = compose(r2.converse(), r1.converse());
+                assert_eq!(lhs, rhs, "converse law fails for {r1} ∘ {r2}");
+            }
+        }
+    }
+
+    #[test]
+    fn composition_never_empty() {
+        // Base relations are satisfiable, so composing two of them must
+        // leave at least one possibility.
+        for r1 in Rcc8::ALL {
+            for r2 in Rcc8::ALL {
+                assert!(!compose(r1, r2).is_empty(), "{r1} ∘ {r2} empty");
+            }
+        }
+    }
+
+    #[test]
+    fn containment_is_transitive() {
+        // Proper parts compose into proper parts.
+        assert_eq!(
+            compose(Rcc8::Ntpp, Rcc8::Ntpp),
+            Rcc8Set::single(Rcc8::Ntpp)
+        );
+        assert_eq!(compose(Rcc8::Tpp, Rcc8::Ntpp), Rcc8Set::single(Rcc8::Ntpp));
+        assert_eq!(
+            compose(Rcc8::Tpp, Rcc8::Tpp),
+            Rcc8Set::from_iter([Rcc8::Tpp, Rcc8::Ntpp])
+        );
+        assert_eq!(
+            compose(Rcc8::Ntppi, Rcc8::Ntppi),
+            Rcc8Set::single(Rcc8::Ntppi)
+        );
+    }
+
+    #[test]
+    fn disjoint_inside_composition() {
+        // A DC B, B NTPP C: A cannot contain C.
+        let result = compose(Rcc8::Dc, Rcc8::Ntpp);
+        assert!(!result.contains(Rcc8::Tppi));
+        assert!(!result.contains(Rcc8::Ntppi));
+        assert!(!result.contains(Rcc8::Eq));
+        assert!(result.contains(Rcc8::Dc));
+        assert!(result.contains(Rcc8::Ntpp));
+    }
+
+    #[test]
+    fn strict_inside_then_strict_contains_is_uninformative() {
+        assert!(compose(Rcc8::Ntpp, Rcc8::Ntppi).is_full());
+    }
+
+    #[test]
+    fn externally_connected_contents_stay_apart() {
+        // A EC B and C NTPP B (i.e. B NTPPi C): A must be DC from C.
+        assert_eq!(compose(Rcc8::Ec, Rcc8::Ntppi), Rcc8Set::single(Rcc8::Dc));
+    }
+
+    #[test]
+    fn compose_sets_unions_members() {
+        let parts = Rcc8Set::from_iter([Rcc8::Tpp, Rcc8::Ntpp]);
+        let result = compose_sets(parts, Rcc8Set::single(Rcc8::Ntpp));
+        assert_eq!(result, Rcc8Set::single(Rcc8::Ntpp));
+
+        let empty = compose_sets(Rcc8Set::EMPTY, Rcc8Set::FULL);
+        assert!(empty.is_empty(), "empty set composes to empty");
+    }
+
+    #[test]
+    fn compose_full_sets_is_full() {
+        assert!(compose_sets(Rcc8Set::FULL, Rcc8Set::FULL).is_full());
+    }
+
+    #[test]
+    fn hierarchy_lifting_composition() {
+        // The paper's transitivity argument (§3.2): "a relation (e.g.
+        // overlap) between two nodes will also hold between their
+        // predecessors" — if X overlaps R (a room) and R is a proper part of
+        // F (its floor), X at least overlaps-or-is-part-of F.
+        let x_vs_floor = compose(Rcc8::Po, Rcc8::Ntpp);
+        // X cannot be disjoint from the floor.
+        assert!(!x_vs_floor.contains(Rcc8::Dc));
+        assert!(!x_vs_floor.contains(Rcc8::Ec));
+    }
+}

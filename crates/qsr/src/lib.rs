@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # sitm-qsr
+//!
+//! Qualitative Spatial Reasoning substrate.
+//!
+//! The paper grounds its space model in QSR (§2.1): "A qualitative spatial
+//! representation formalism, coupled with qualitative relations between
+//! spatial objects and qualitative reasoning about spatial knowledge,
+//! constitutes what is known as Qualitative Spatial Reasoning. Two of the
+//! most widespread qualitative spatial calculi are RCC and n-intersection."
+//!
+//! This crate implements both calculi and the reasoning layer:
+//!
+//! * [`Rcc8`] — the eight RCC8 base relations with converse and a full
+//!   composition table ([`compose`]);
+//! * [`Rcc8Set`] — sets of base relations as bitmasks (disjunctive
+//!   knowledge);
+//! * [`ConstraintNetwork`] — qualitative constraint networks with a
+//!   path-consistency solver, used to sanity-check joint-edge annotations
+//!   in an indoor space model;
+//! * [`NineIntersection`] — the 4/9-intersection matrices for regular
+//!   closed regions and the mapping between matrices, RCC8 relations and
+//!   the geometric [`SpatialRelation`](sitm_geometry::SpatialRelation)s
+//!   derived by `sitm-geometry`.
+
+pub mod composition;
+pub mod network;
+pub mod nine_intersection;
+pub mod rcc8;
+pub mod relation_set;
+
+pub use composition::{compose, compose_sets};
+pub use network::{ConstraintNetwork, NetworkStatus};
+pub use nine_intersection::NineIntersection;
+pub use rcc8::Rcc8;
+pub use relation_set::Rcc8Set;

@@ -1,0 +1,273 @@
+//! Qualitative constraint networks with a path-consistency solver.
+//!
+//! A constraint network has variables (spatial regions: cells of the indoor
+//! model) and, for each ordered pair, an [`Rcc8Set`] of possible relations.
+//! Path consistency repeatedly refines `R(i,j) ← R(i,j) ∩ R(i,k) ∘ R(k,j)`
+//! until a fixpoint.
+//!
+//! An empty refined constraint proves the network inconsistent. For
+//! networks of *base* relations (the space model always stores singletons),
+//! path consistency decides consistency — exactly the tractable fragment
+//! the indoor model needs to validate its joint-edge annotations.
+
+use std::collections::VecDeque;
+
+use crate::composition::compose_sets;
+use crate::rcc8::Rcc8;
+use crate::relation_set::Rcc8Set;
+
+/// Result of enforcing path consistency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkStatus {
+    /// A fixpoint was reached with no empty constraint.
+    PathConsistent,
+    /// Some constraint refined to the empty set; the witness pair is given.
+    Inconsistent {
+        /// First variable of the contradictory pair.
+        i: usize,
+        /// Second variable of the contradictory pair.
+        j: usize,
+    },
+}
+
+/// An RCC8 constraint network over `n` variables.
+#[derive(Debug, Clone)]
+pub struct ConstraintNetwork {
+    n: usize,
+    /// Row-major `n × n` constraint matrix. `rel[i][j]` constrains the
+    /// relation of variable `i` to variable `j`.
+    rel: Vec<Rcc8Set>,
+}
+
+impl ConstraintNetwork {
+    /// Creates a network of `n` variables with no information (all
+    /// constraints full, diagonal fixed to `EQ`).
+    pub fn new(n: usize) -> Self {
+        let mut rel = vec![Rcc8Set::FULL; n * n];
+        for i in 0..n {
+            rel[i * n + i] = Rcc8Set::single(Rcc8::Eq);
+        }
+        ConstraintNetwork { n, rel }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the network has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Current constraint between `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> Rcc8Set {
+        self.rel[i * self.n + j]
+    }
+
+    /// Intersects the `(i, j)` constraint with `set`, and `(j, i)` with its
+    /// converse (the network stays converse-closed by construction).
+    ///
+    /// # Panics
+    /// On out-of-range variables or on constraining the diagonal with a set
+    /// excluding `EQ`.
+    pub fn constrain(&mut self, i: usize, j: usize, set: Rcc8Set) {
+        assert!(i < self.n && j < self.n, "variable out of range");
+        if i == j {
+            assert!(
+                set.contains(Rcc8::Eq),
+                "diagonal constraint must allow EQ"
+            );
+            return;
+        }
+        let ij = self.get(i, j).intersect(set);
+        let ji = self.get(j, i).intersect(set.converse());
+        self.rel[i * self.n + j] = ij;
+        self.rel[j * self.n + i] = ji;
+    }
+
+    /// Convenience: constrain to a single base relation.
+    pub fn constrain_single(&mut self, i: usize, j: usize, r: Rcc8) {
+        self.constrain(i, j, Rcc8Set::single(r));
+    }
+
+    /// Enforces path consistency in place. Returns whether the network is
+    /// path-consistent or provably inconsistent.
+    pub fn propagate(&mut self) -> NetworkStatus {
+        let n = self.n;
+        // Directly-contradictory input (empty constraint) may have no third
+        // variable to expose it during refinement; scan first.
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && self.get(i, j).is_empty() {
+                    return NetworkStatus::Inconsistent { i, j };
+                }
+            }
+        }
+        // Seed the queue with every ordered pair.
+        let mut queue: VecDeque<(usize, usize)> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .filter(|(i, j)| i != j)
+            .collect();
+        let mut queued = vec![true; n * n];
+
+        while let Some((i, j)) = queue.pop_front() {
+            queued[i * n + j] = false;
+            let rij = self.get(i, j);
+            for k in 0..n {
+                if k == i || k == j {
+                    continue;
+                }
+                // Refine R(i,k) using the path through j.
+                let refined_ik = self
+                    .get(i, k)
+                    .intersect(compose_sets(rij, self.get(j, k)));
+                if refined_ik != self.get(i, k) {
+                    if refined_ik.is_empty() {
+                        return NetworkStatus::Inconsistent { i, j: k };
+                    }
+                    self.rel[i * n + k] = refined_ik;
+                    self.rel[k * n + i] = refined_ik.converse();
+                    for pair in [(i, k), (k, i)] {
+                        if !queued[pair.0 * n + pair.1] {
+                            queued[pair.0 * n + pair.1] = true;
+                            queue.push_back(pair);
+                        }
+                    }
+                }
+                // Refine R(k,j) using the path through i.
+                let refined_kj = self
+                    .get(k, j)
+                    .intersect(compose_sets(self.get(k, i), rij));
+                if refined_kj != self.get(k, j) {
+                    if refined_kj.is_empty() {
+                        return NetworkStatus::Inconsistent { i: k, j };
+                    }
+                    self.rel[k * n + j] = refined_kj;
+                    self.rel[j * n + k] = refined_kj.converse();
+                    for pair in [(k, j), (j, k)] {
+                        if !queued[pair.0 * n + pair.1] {
+                            queued[pair.0 * n + pair.1] = true;
+                            queue.push_back(pair);
+                        }
+                    }
+                }
+            }
+        }
+        NetworkStatus::PathConsistent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_network_is_consistent() {
+        let mut net = ConstraintNetwork::new(0);
+        assert_eq!(net.propagate(), NetworkStatus::PathConsistent);
+        assert!(net.is_empty());
+    }
+
+    #[test]
+    fn unconstrained_network_is_consistent() {
+        let mut net = ConstraintNetwork::new(4);
+        assert_eq!(net.propagate(), NetworkStatus::PathConsistent);
+        assert_eq!(net.get(0, 1), Rcc8Set::FULL);
+        assert_eq!(net.get(2, 2), Rcc8Set::single(Rcc8::Eq));
+    }
+
+    #[test]
+    fn constrain_maintains_converse_closure() {
+        let mut net = ConstraintNetwork::new(2);
+        net.constrain_single(0, 1, Rcc8::Ntpp);
+        assert_eq!(net.get(0, 1), Rcc8Set::single(Rcc8::Ntpp));
+        assert_eq!(net.get(1, 0), Rcc8Set::single(Rcc8::Ntppi));
+    }
+
+    #[test]
+    fn transitive_containment_is_inferred() {
+        // room NTPP floor, floor NTPP building ⇒ room NTPP building.
+        let mut net = ConstraintNetwork::new(3);
+        net.constrain_single(0, 1, Rcc8::Ntpp);
+        net.constrain_single(1, 2, Rcc8::Ntpp);
+        assert_eq!(net.propagate(), NetworkStatus::PathConsistent);
+        assert_eq!(net.get(0, 2), Rcc8Set::single(Rcc8::Ntpp));
+        assert_eq!(net.get(2, 0), Rcc8Set::single(Rcc8::Ntppi));
+    }
+
+    #[test]
+    fn cyclic_strict_containment_is_inconsistent() {
+        // a inside b, b inside c, c inside a — impossible.
+        let mut net = ConstraintNetwork::new(3);
+        net.constrain_single(0, 1, Rcc8::Ntpp);
+        net.constrain_single(1, 2, Rcc8::Ntpp);
+        net.constrain_single(2, 0, Rcc8::Ntpp);
+        assert!(matches!(
+            net.propagate(),
+            NetworkStatus::Inconsistent { .. }
+        ));
+    }
+
+    #[test]
+    fn disjoint_contents_of_same_room_allowed() {
+        // Two RoIs disjoint from each other, both inside a room: fine.
+        let mut net = ConstraintNetwork::new(3);
+        net.constrain_single(0, 2, Rcc8::Ntpp);
+        net.constrain_single(1, 2, Rcc8::Ntpp);
+        net.constrain_single(0, 1, Rcc8::Dc);
+        assert_eq!(net.propagate(), NetworkStatus::PathConsistent);
+    }
+
+    #[test]
+    fn content_cannot_be_disjoint_from_container_of_container() {
+        // roi NTPP room, room NTPP floor, roi DC floor — contradiction.
+        let mut net = ConstraintNetwork::new(3);
+        net.constrain_single(0, 1, Rcc8::Ntpp);
+        net.constrain_single(1, 2, Rcc8::Ntpp);
+        net.constrain_single(0, 2, Rcc8::Dc);
+        assert!(matches!(
+            net.propagate(),
+            NetworkStatus::Inconsistent { .. }
+        ));
+    }
+
+    #[test]
+    fn propagation_refines_disjunctions() {
+        // a {TPP or NTPP} b, b EC c ⇒ a {DC or EC} c.
+        let mut net = ConstraintNetwork::new(3);
+        net.constrain(0, 1, Rcc8Set::from_iter([Rcc8::Tpp, Rcc8::Ntpp]));
+        net.constrain_single(1, 2, Rcc8::Ec);
+        assert_eq!(net.propagate(), NetworkStatus::PathConsistent);
+        assert!(net.get(0, 2).is_subset(Rcc8Set::from_iter([Rcc8::Dc, Rcc8::Ec])));
+    }
+
+    #[test]
+    fn equal_variables_share_constraints() {
+        // a EQ b and a NTPP c force b NTPP c.
+        let mut net = ConstraintNetwork::new(3);
+        net.constrain_single(0, 1, Rcc8::Eq);
+        net.constrain_single(0, 2, Rcc8::Ntpp);
+        assert_eq!(net.propagate(), NetworkStatus::PathConsistent);
+        assert_eq!(net.get(1, 2), Rcc8Set::single(Rcc8::Ntpp));
+    }
+
+    #[test]
+    fn overconstrained_pair_detected_directly() {
+        let mut net = ConstraintNetwork::new(2);
+        net.constrain_single(0, 1, Rcc8::Dc);
+        net.constrain_single(0, 1, Rcc8::Po); // intersect -> empty
+        assert!(net.get(0, 1).is_empty());
+        assert!(matches!(
+            net.propagate(),
+            NetworkStatus::Inconsistent { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "allow EQ")]
+    fn diagonal_must_allow_eq() {
+        let mut net = ConstraintNetwork::new(2);
+        net.constrain_single(0, 0, Rcc8::Dc);
+    }
+}

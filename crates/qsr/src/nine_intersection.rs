@@ -1,0 +1,201 @@
+//! The n-intersection model (Egenhofer & Herring / Egenhofer & Franzosa).
+//!
+//! For two regular closed regions `A`, `B`, the 9-intersection matrix
+//! records, for each pair drawn from {interior, boundary, exterior}, whether
+//! the intersection is non-empty. The paper's Table 1 maps this vocabulary
+//! onto IndoorGML: a *binary topological relationship between cells* becomes
+//! an *inter-layer joint edge*, i.e. a *valid overall state*.
+//!
+//! The matrices below are the generic-position patterns for regular closed
+//! 2D regions; classification back to RCC8 uses decision rules that are
+//! robust to the degenerate variants (e.g. a proper part whose boundary is
+//! entirely shared).
+
+use crate::rcc8::Rcc8;
+use sitm_geometry::{relate_polygons, Polygon};
+
+/// Index of the interior row/column.
+pub const INTERIOR: usize = 0;
+/// Index of the boundary row/column.
+pub const BOUNDARY: usize = 1;
+/// Index of the exterior row/column.
+pub const EXTERIOR: usize = 2;
+
+/// A 9-intersection matrix: `m[i][j]` is true when part `i` of `A`
+/// intersects part `j` of `B` (parts ordered interior, boundary, exterior).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NineIntersection(pub [[bool; 3]; 3]);
+
+impl NineIntersection {
+    /// The generic-position matrix for an RCC8 base relation between two
+    /// regular closed 2D regions.
+    pub fn from_rcc8(r: Rcc8) -> NineIntersection {
+        let t = true;
+        let f = false;
+        let m = match r {
+            Rcc8::Dc => [[f, f, t], [f, f, t], [t, t, t]],
+            Rcc8::Ec => [[f, f, t], [f, t, t], [t, t, t]],
+            Rcc8::Po => [[t, t, t], [t, t, t], [t, t, t]],
+            Rcc8::Tpp => [[t, f, f], [t, t, f], [t, t, t]],
+            Rcc8::Ntpp => [[t, f, f], [t, f, f], [t, t, t]],
+            Rcc8::Tppi => [[t, t, t], [f, t, t], [f, f, t]],
+            Rcc8::Ntppi => [[t, t, t], [f, f, t], [f, f, t]],
+            Rcc8::Eq => [[t, f, f], [f, t, f], [f, f, t]],
+        };
+        NineIntersection(m)
+    }
+
+    /// Classifies the matrix as an RCC8 base relation. Decision rules:
+    ///
+    /// * interiors disjoint → `DC` or `EC` by boundary contact;
+    /// * `A ⊆ B` (interior of `A` misses exterior of `B`) and vice versa →
+    ///   `EQ`; one-sided containment → `TPP`/`NTPP` (or inverse) by
+    ///   boundary contact; otherwise → `PO`.
+    pub fn to_rcc8(self) -> Rcc8 {
+        let m = self.0;
+        let interiors = m[INTERIOR][INTERIOR];
+        let boundary_contact = m[BOUNDARY][BOUNDARY];
+        if !interiors {
+            return if boundary_contact { Rcc8::Ec } else { Rcc8::Dc };
+        }
+        let a_in_b = !m[INTERIOR][EXTERIOR];
+        let b_in_a = !m[EXTERIOR][INTERIOR];
+        match (a_in_b, b_in_a) {
+            (true, true) => Rcc8::Eq,
+            (true, false) => {
+                if boundary_contact {
+                    Rcc8::Tpp
+                } else {
+                    Rcc8::Ntpp
+                }
+            }
+            (false, true) => {
+                if boundary_contact {
+                    Rcc8::Tppi
+                } else {
+                    Rcc8::Ntppi
+                }
+            }
+            (false, false) => Rcc8::Po,
+        }
+    }
+
+    /// Transposed matrix — the matrix of `(B, A)`.
+    pub fn transpose(self) -> NineIntersection {
+        let m = self.0;
+        NineIntersection([
+            [m[0][0], m[1][0], m[2][0]],
+            [m[0][1], m[1][1], m[2][1]],
+            [m[0][2], m[1][2], m[2][2]],
+        ])
+    }
+
+    /// The 4-intersection restriction (interior/boundary block only), as
+    /// used by the original 4-intersection model. Region pairs are already
+    /// fully distinguished by this block plus the containment tests, which
+    /// is why the paper treats "RCC-8 and 4-intersection" as equivalent
+    /// sources of the same eight relations.
+    pub fn four_intersection(self) -> [[bool; 2]; 2] {
+        [
+            [self.0[INTERIOR][INTERIOR], self.0[INTERIOR][BOUNDARY]],
+            [self.0[BOUNDARY][INTERIOR], self.0[BOUNDARY][BOUNDARY]],
+        ]
+    }
+
+    /// Computes the matrix for two polygons by geometric classification.
+    pub fn of_polygons(a: &Polygon, b: &Polygon) -> NineIntersection {
+        NineIntersection::from_rcc8(Rcc8::from_spatial(relate_polygons(a, b)))
+    }
+
+    /// DE-9IM-style pattern string, rows concatenated, `T`/`F` entries.
+    pub fn pattern(self) -> String {
+        self.0
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|&x| if x { 'T' } else { 'F' })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for NineIntersection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.pattern())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_geometry::Point;
+
+    #[test]
+    fn rcc8_round_trips_through_matrix() {
+        for r in Rcc8::ALL {
+            assert_eq!(NineIntersection::from_rcc8(r).to_rcc8(), r, "{r}");
+        }
+    }
+
+    #[test]
+    fn transpose_matches_converse() {
+        for r in Rcc8::ALL {
+            assert_eq!(
+                NineIntersection::from_rcc8(r).transpose(),
+                NineIntersection::from_rcc8(r.converse()),
+                "{r}"
+            );
+        }
+    }
+
+    #[test]
+    fn exterior_exterior_always_intersects_for_bounded_regions() {
+        for r in Rcc8::ALL {
+            assert!(NineIntersection::from_rcc8(r).0[EXTERIOR][EXTERIOR]);
+        }
+    }
+
+    #[test]
+    fn known_patterns() {
+        assert_eq!(
+            NineIntersection::from_rcc8(Rcc8::Eq).pattern(),
+            "TFFFTFFFT"
+        );
+        assert_eq!(
+            NineIntersection::from_rcc8(Rcc8::Dc).pattern(),
+            "FFTFFTTTT"
+        );
+        assert_eq!(
+            NineIntersection::from_rcc8(Rcc8::Po).pattern(),
+            "TTTTTTTTT"
+        );
+    }
+
+    #[test]
+    fn four_intersection_distinguishes_the_eight_relations_with_containment() {
+        // The 4-intersection blocks alone distinguish DC/EC/PO/EQ/TPP-family;
+        // check the blocks differ where expected.
+        let dc = NineIntersection::from_rcc8(Rcc8::Dc).four_intersection();
+        let ec = NineIntersection::from_rcc8(Rcc8::Ec).four_intersection();
+        let eq = NineIntersection::from_rcc8(Rcc8::Eq).four_intersection();
+        assert_ne!(dc, ec);
+        assert_ne!(ec, eq);
+        assert_eq!(dc, [[false, false], [false, false]]);
+        assert_eq!(eq, [[true, false], [false, true]]);
+    }
+
+    #[test]
+    fn of_polygons_matches_geometry() {
+        let outer = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(4.0, 4.0)).unwrap();
+        let inner = Polygon::rectangle(Point::new(1.0, 1.0), Point::new(2.0, 2.0)).unwrap();
+        let m = NineIntersection::of_polygons(&outer, &inner);
+        assert_eq!(m.to_rcc8(), Rcc8::Ntppi);
+        let m2 = NineIntersection::of_polygons(&inner, &outer);
+        assert_eq!(m2.to_rcc8(), Rcc8::Ntpp);
+        assert_eq!(m.transpose(), m2);
+    }
+
+    #[test]
+    fn display_is_pattern() {
+        let m = NineIntersection::from_rcc8(Rcc8::Ec);
+        assert_eq!(m.to_string(), m.pattern());
+    }
+}

@@ -1,0 +1,191 @@
+//! The eight RCC8 base relations.
+//!
+//! RCC8 (Region Connection Calculus) distinguishes, for two regular closed
+//! regions, the relations listed below. They are jointly exhaustive and
+//! pairwise disjoint: exactly one holds for any region pair.
+
+use sitm_geometry::SpatialRelation;
+
+/// An RCC8 base relation of region `A` to region `B`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Rcc8 {
+    /// Disconnected: no shared point.
+    Dc = 0,
+    /// Externally connected: boundaries touch, interiors disjoint.
+    Ec = 1,
+    /// Partial overlap.
+    Po = 2,
+    /// Tangential proper part: `A ⊂ B` with boundary contact.
+    Tpp = 3,
+    /// Non-tangential proper part: `A ⊂ int(B)`.
+    Ntpp = 4,
+    /// Inverse tangential proper part: `B ⊂ A` with boundary contact.
+    Tppi = 5,
+    /// Inverse non-tangential proper part: `B ⊂ int(A)`.
+    Ntppi = 6,
+    /// Equality.
+    Eq = 7,
+}
+
+impl Rcc8 {
+    /// All eight base relations in index order.
+    pub const ALL: [Rcc8; 8] = [
+        Rcc8::Dc,
+        Rcc8::Ec,
+        Rcc8::Po,
+        Rcc8::Tpp,
+        Rcc8::Ntpp,
+        Rcc8::Tppi,
+        Rcc8::Ntppi,
+        Rcc8::Eq,
+    ];
+
+    /// Index of this relation (0..8), matching the bit used by
+    /// [`crate::Rcc8Set`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Base relation from its index.
+    pub fn from_index(i: usize) -> Option<Rcc8> {
+        Rcc8::ALL.get(i).copied()
+    }
+
+    /// Converse relation: `A r B` iff `B r.converse() A`.
+    pub fn converse(self) -> Rcc8 {
+        match self {
+            Rcc8::Tpp => Rcc8::Tppi,
+            Rcc8::Tppi => Rcc8::Tpp,
+            Rcc8::Ntpp => Rcc8::Ntppi,
+            Rcc8::Ntppi => Rcc8::Ntpp,
+            sym => sym,
+        }
+    }
+
+    /// Canonical name ("DC", "EC", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rcc8::Dc => "DC",
+            Rcc8::Ec => "EC",
+            Rcc8::Po => "PO",
+            Rcc8::Tpp => "TPP",
+            Rcc8::Ntpp => "NTPP",
+            Rcc8::Tppi => "TPPi",
+            Rcc8::Ntppi => "NTPPi",
+            Rcc8::Eq => "EQ",
+        }
+    }
+
+    /// True when the relation implies the interiors share a point.
+    pub fn interiors_intersect(self) -> bool {
+        !matches!(self, Rcc8::Dc | Rcc8::Ec)
+    }
+
+    /// True for proper-part relations (either direction).
+    pub fn is_proper_part(self) -> bool {
+        matches!(self, Rcc8::Tpp | Rcc8::Ntpp | Rcc8::Tppi | Rcc8::Ntppi)
+    }
+
+    /// Maps the geometric classification of `sitm-geometry` onto RCC8.
+    /// The two vocabularies describe the same eight relations: the paper's
+    /// terms (Table 1 context) on one side, RCC8 mnemonics on the other.
+    pub fn from_spatial(rel: SpatialRelation) -> Rcc8 {
+        match rel {
+            SpatialRelation::Disjoint => Rcc8::Dc,
+            SpatialRelation::Meet => Rcc8::Ec,
+            SpatialRelation::Overlap => Rcc8::Po,
+            SpatialRelation::Equal => Rcc8::Eq,
+            SpatialRelation::CoveredBy => Rcc8::Tpp,
+            SpatialRelation::Inside => Rcc8::Ntpp,
+            SpatialRelation::Covers => Rcc8::Tppi,
+            SpatialRelation::Contains => Rcc8::Ntppi,
+        }
+    }
+
+    /// Inverse of [`Rcc8::from_spatial`].
+    pub fn to_spatial(self) -> SpatialRelation {
+        match self {
+            Rcc8::Dc => SpatialRelation::Disjoint,
+            Rcc8::Ec => SpatialRelation::Meet,
+            Rcc8::Po => SpatialRelation::Overlap,
+            Rcc8::Eq => SpatialRelation::Equal,
+            Rcc8::Tpp => SpatialRelation::CoveredBy,
+            Rcc8::Ntpp => SpatialRelation::Inside,
+            Rcc8::Tppi => SpatialRelation::Covers,
+            Rcc8::Ntppi => SpatialRelation::Contains,
+        }
+    }
+}
+
+impl std::fmt::Display for Rcc8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, r) in Rcc8::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Rcc8::from_index(i), Some(*r));
+        }
+        assert_eq!(Rcc8::from_index(8), None);
+    }
+
+    #[test]
+    fn converse_is_an_involution() {
+        for r in Rcc8::ALL {
+            assert_eq!(r.converse().converse(), r);
+        }
+    }
+
+    #[test]
+    fn converse_swaps_part_direction() {
+        assert_eq!(Rcc8::Tpp.converse(), Rcc8::Tppi);
+        assert_eq!(Rcc8::Ntpp.converse(), Rcc8::Ntppi);
+        assert_eq!(Rcc8::Dc.converse(), Rcc8::Dc);
+        assert_eq!(Rcc8::Eq.converse(), Rcc8::Eq);
+        assert_eq!(Rcc8::Po.converse(), Rcc8::Po);
+    }
+
+    #[test]
+    fn spatial_mapping_round_trips() {
+        for r in Rcc8::ALL {
+            assert_eq!(Rcc8::from_spatial(r.to_spatial()), r);
+        }
+    }
+
+    #[test]
+    fn spatial_mapping_respects_converse() {
+        // converse must commute with the vocabulary translation
+        for r in Rcc8::ALL {
+            assert_eq!(
+                Rcc8::from_spatial(r.to_spatial().converse()),
+                r.converse()
+            );
+        }
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(!Rcc8::Dc.interiors_intersect());
+        assert!(!Rcc8::Ec.interiors_intersect());
+        assert!(Rcc8::Po.interiors_intersect());
+        assert!(Rcc8::Eq.interiors_intersect());
+        assert!(Rcc8::Tpp.is_proper_part());
+        assert!(!Rcc8::Eq.is_proper_part());
+        assert!(!Rcc8::Po.is_proper_part());
+    }
+
+    #[test]
+    fn names_are_canonical() {
+        assert_eq!(Rcc8::Ntppi.to_string(), "NTPPi");
+        assert_eq!(Rcc8::Dc.to_string(), "DC");
+    }
+}

@@ -1,0 +1,247 @@
+//! Sets of RCC8 base relations as bitmasks.
+//!
+//! Disjunctive qualitative knowledge ("A is TPP or NTPP of B") is a set of
+//! base relations. An 8-bit mask represents any such set; set algebra is
+//! branch-free.
+
+use crate::rcc8::Rcc8;
+
+/// A set of RCC8 base relations. Bit `i` set means `Rcc8::from_index(i)` is
+/// possible.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rcc8Set(u8);
+
+impl Rcc8Set {
+    /// The empty set (an inconsistent constraint).
+    pub const EMPTY: Rcc8Set = Rcc8Set(0);
+    /// The universal set (no information).
+    pub const FULL: Rcc8Set = Rcc8Set(0xFF);
+
+    /// Set containing a single base relation.
+    #[inline]
+    pub fn single(r: Rcc8) -> Self {
+        Rcc8Set(1 << r.index())
+    }
+
+    /// Set from any iterator of base relations.
+    #[allow(clippy::should_implement_trait)] // set-builder convenience, mirrored by the trait impl below
+    pub fn from_iter<I: IntoIterator<Item = Rcc8>>(iter: I) -> Self {
+        let mut s = Rcc8Set::EMPTY;
+        for r in iter {
+            s = s.insert(r);
+        }
+        s
+    }
+
+    /// Raw bitmask.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Set from a raw bitmask.
+    #[inline]
+    pub fn from_bits(bits: u8) -> Self {
+        Rcc8Set(bits)
+    }
+
+    /// True if no relation is possible.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if every relation is possible.
+    #[inline]
+    pub fn is_full(self) -> bool {
+        self.0 == 0xFF
+    }
+
+    /// Number of possible base relations.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if `r` is in the set.
+    #[inline]
+    pub fn contains(self, r: Rcc8) -> bool {
+        self.0 & (1 << r.index()) != 0
+    }
+
+    /// Set with `r` added.
+    #[inline]
+    #[must_use]
+    pub fn insert(self, r: Rcc8) -> Self {
+        Rcc8Set(self.0 | (1 << r.index()))
+    }
+
+    /// Set with `r` removed.
+    #[inline]
+    #[must_use]
+    pub fn remove(self, r: Rcc8) -> Self {
+        Rcc8Set(self.0 & !(1 << r.index()))
+    }
+
+    /// Union.
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: Rcc8Set) -> Self {
+        Rcc8Set(self.0 | other.0)
+    }
+
+    /// Intersection.
+    #[inline]
+    #[must_use]
+    pub fn intersect(self, other: Rcc8Set) -> Self {
+        Rcc8Set(self.0 & other.0)
+    }
+
+    /// Complement.
+    #[inline]
+    #[must_use]
+    pub fn complement(self) -> Self {
+        Rcc8Set(!self.0)
+    }
+
+    /// Converse of every member.
+    #[must_use]
+    pub fn converse(self) -> Self {
+        let mut out = Rcc8Set::EMPTY;
+        for r in self.iter() {
+            out = out.insert(r.converse());
+        }
+        out
+    }
+
+    /// True if `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(self, other: Rcc8Set) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// The single member, if the set is a singleton.
+    pub fn as_single(self) -> Option<Rcc8> {
+        if self.len() == 1 {
+            Rcc8::from_index(self.0.trailing_zeros() as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over members in index order.
+    pub fn iter(self) -> impl Iterator<Item = Rcc8> {
+        Rcc8::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+}
+
+impl FromIterator<Rcc8> for Rcc8Set {
+    fn from_iter<T: IntoIterator<Item = Rcc8>>(iter: T) -> Self {
+        Rcc8Set::from_iter(iter)
+    }
+}
+
+impl From<Rcc8> for Rcc8Set {
+    fn from(r: Rcc8) -> Self {
+        Rcc8Set::single(r)
+    }
+}
+
+impl std::fmt::Debug for Rcc8Set {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl std::fmt::Display for Rcc8Set {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{r}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        assert!(Rcc8Set::EMPTY.is_empty());
+        assert!(Rcc8Set::FULL.is_full());
+        assert_eq!(Rcc8Set::EMPTY.len(), 0);
+        assert_eq!(Rcc8Set::FULL.len(), 8);
+        for r in Rcc8::ALL {
+            assert!(!Rcc8Set::EMPTY.contains(r));
+            assert!(Rcc8Set::FULL.contains(r));
+        }
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let s = Rcc8Set::EMPTY.insert(Rcc8::Tpp).insert(Rcc8::Ntpp);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Rcc8::Tpp));
+        assert!(!s.contains(Rcc8::Po));
+        let s2 = s.remove(Rcc8::Tpp);
+        assert_eq!(s2.len(), 1);
+        assert_eq!(s2.as_single(), Some(Rcc8::Ntpp));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = Rcc8Set::from_iter([Rcc8::Dc, Rcc8::Ec]);
+        let b = Rcc8Set::from_iter([Rcc8::Ec, Rcc8::Po]);
+        assert_eq!(a.union(b), Rcc8Set::from_iter([Rcc8::Dc, Rcc8::Ec, Rcc8::Po]));
+        assert_eq!(a.intersect(b), Rcc8Set::single(Rcc8::Ec));
+        assert!(a.intersect(b).is_subset(a));
+        assert!(!a.is_subset(b));
+        assert_eq!(a.complement().len(), 6);
+    }
+
+    #[test]
+    fn converse_distributes_over_members() {
+        let s = Rcc8Set::from_iter([Rcc8::Tpp, Rcc8::Dc, Rcc8::Ntppi]);
+        let c = s.converse();
+        assert!(c.contains(Rcc8::Tppi));
+        assert!(c.contains(Rcc8::Dc));
+        assert!(c.contains(Rcc8::Ntpp));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.converse(), s, "converse is an involution on sets");
+    }
+
+    #[test]
+    fn as_single_only_for_singletons() {
+        assert_eq!(Rcc8Set::single(Rcc8::Eq).as_single(), Some(Rcc8::Eq));
+        assert_eq!(Rcc8Set::EMPTY.as_single(), None);
+        assert_eq!(Rcc8Set::FULL.as_single(), None);
+    }
+
+    #[test]
+    fn display_lists_members_in_order() {
+        let s = Rcc8Set::from_iter([Rcc8::Po, Rcc8::Dc]);
+        assert_eq!(s.to_string(), "{DC,PO}");
+        assert_eq!(Rcc8Set::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn iterator_collect_round_trip() {
+        let members = [Rcc8::Dc, Rcc8::Tpp, Rcc8::Eq];
+        let s: Rcc8Set = members.into_iter().collect();
+        let back: Vec<Rcc8> = s.iter().collect();
+        assert_eq!(back, members.to_vec());
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let s = Rcc8Set::from_iter([Rcc8::Ec, Rcc8::Ntppi]);
+        assert_eq!(Rcc8Set::from_bits(s.bits()), s);
+    }
+}

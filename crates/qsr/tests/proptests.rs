@@ -1,0 +1,107 @@
+//! Property-based tests for the RCC8 calculus and constraint networks.
+
+use proptest::prelude::*;
+
+use sitm_qsr::{compose, compose_sets, ConstraintNetwork, NetworkStatus, Rcc8, Rcc8Set};
+
+fn arb_rcc8() -> impl Strategy<Value = Rcc8> {
+    (0usize..8).prop_map(|i| Rcc8::from_index(i).expect("in range"))
+}
+
+fn arb_set() -> impl Strategy<Value = Rcc8Set> {
+    // Non-empty subsets of the eight base relations.
+    (1u8..=255).prop_map(Rcc8Set::from_bits)
+}
+
+proptest! {
+    #[test]
+    fn converse_is_involution_on_sets(s in arb_set()) {
+        prop_assert_eq!(s.converse().converse(), s);
+        prop_assert_eq!(s.converse().len(), s.len());
+    }
+
+    #[test]
+    fn composition_is_monotone_in_both_arguments(
+        s1 in arb_set(), s2 in arb_set(), extra in arb_rcc8(),
+    ) {
+        // Adding possibilities never removes conclusions.
+        let base = compose_sets(s1, s2);
+        let wider = compose_sets(s1.insert(extra), s2);
+        prop_assert!(base.is_subset(wider));
+        let wider2 = compose_sets(s1, s2.insert(extra));
+        prop_assert!(base.is_subset(wider2));
+    }
+
+    #[test]
+    fn base_composition_is_never_empty(r1 in arb_rcc8(), r2 in arb_rcc8()) {
+        prop_assert!(!compose(r1, r2).is_empty());
+    }
+
+    #[test]
+    fn set_composition_respects_converse_law(s1 in arb_set(), s2 in arb_set()) {
+        prop_assert_eq!(
+            compose_sets(s1, s2).converse(),
+            compose_sets(s2.converse(), s1.converse())
+        );
+    }
+
+    #[test]
+    fn identity_element_for_sets(s in arb_set()) {
+        let eq = Rcc8Set::single(Rcc8::Eq);
+        prop_assert_eq!(compose_sets(eq, s), s);
+        prop_assert_eq!(compose_sets(s, eq), s);
+    }
+
+    #[test]
+    fn propagation_never_widens_constraints(
+        relations in proptest::collection::vec(arb_rcc8(), 3),
+    ) {
+        // Constrain a 3-variable network with arbitrary base relations and
+        // propagate: every refined constraint must be a subset of the input.
+        let mut net = ConstraintNetwork::new(3);
+        net.constrain_single(0, 1, relations[0]);
+        net.constrain_single(1, 2, relations[1]);
+        net.constrain_single(0, 2, relations[2]);
+        let before: Vec<Rcc8Set> = vec![net.get(0, 1), net.get(1, 2), net.get(0, 2)];
+        let status = net.propagate();
+        if status == NetworkStatus::PathConsistent {
+            prop_assert!(net.get(0, 1).is_subset(before[0]));
+            prop_assert!(net.get(1, 2).is_subset(before[1]));
+            prop_assert!(net.get(0, 2).is_subset(before[2]));
+            // Converse closure is maintained.
+            prop_assert_eq!(net.get(1, 0), net.get(0, 1).converse());
+            prop_assert_eq!(net.get(2, 0), net.get(0, 2).converse());
+        }
+    }
+
+    #[test]
+    fn propagation_is_idempotent(
+        relations in proptest::collection::vec(arb_rcc8(), 3),
+    ) {
+        let mut net = ConstraintNetwork::new(3);
+        net.constrain_single(0, 1, relations[0]);
+        net.constrain_single(1, 2, relations[1]);
+        net.constrain_single(0, 2, relations[2]);
+        if net.propagate() == NetworkStatus::PathConsistent {
+            let snapshot: Vec<Rcc8Set> =
+                vec![net.get(0, 1), net.get(1, 2), net.get(0, 2)];
+            prop_assert_eq!(net.propagate(), NetworkStatus::PathConsistent);
+            prop_assert_eq!(net.get(0, 1), snapshot[0]);
+            prop_assert_eq!(net.get(1, 2), snapshot[1]);
+            prop_assert_eq!(net.get(0, 2), snapshot[2]);
+        }
+    }
+
+    #[test]
+    fn consistent_triple_obeys_the_composition_table(
+        r1 in arb_rcc8(), r2 in arb_rcc8(),
+    ) {
+        // Constrain (0,1) and (1,2) only: propagation must leave (0,2)
+        // exactly compose(r1, r2) — the table itself.
+        let mut net = ConstraintNetwork::new(3);
+        net.constrain_single(0, 1, r1);
+        net.constrain_single(1, 2, r2);
+        prop_assert_eq!(net.propagate(), NetworkStatus::PathConsistent);
+        prop_assert_eq!(net.get(0, 2), compose(r1, r2));
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # sitm-query
+//!
+//! A query engine over collections of SITM semantic trajectories.
+//!
+//! The paper presents the SITM as the substrate for "context-aware
+//! mobility data mining and statistical analytics" (§1); this crate
+//! supplies the retrieval layer those applications sit on:
+//!
+//! * [`interval_tree`] — a static augmented interval tree (the temporal
+//!   access path);
+//! * [`index`] — [`TrajectoryDb`]: an indexed trajectory collection with
+//!   cell/annotation/moving-object postings, a span tree, and per-cell
+//!   stay trees;
+//! * [`predicate`] — [`Predicate`]: a boolean algebra over the "where"
+//!   (cells, paths), "when" (windows), and "what" (annotations) of a
+//!   trajectory;
+//! * [`query`] — [`Query`]: a fluent builder with index-backed execution,
+//!   `EXPLAIN`-style plans, ordering and paging;
+//! * [`aggregate`] — GROUP BY operators: dwell/detection/flow matrices,
+//!   occupancy series, annotation grouping.
+//!
+//! Index lookups return candidate *supersets* and the executor re-checks
+//! the predicate on every candidate, so results are always identical to a
+//! full scan (property-tested in `tests/proptests.rs`).
+
+pub mod aggregate;
+pub mod index;
+pub mod interval_tree;
+pub mod predicate;
+pub mod query;
+
+pub use aggregate::{
+    detection_counts_by_cell, dwell_by_cell, flow_matrix, group_by_annotation, occupancy, top_k,
+    trajectory_counts_by_cell, OccupancyPoint,
+};
+pub use index::{CandidateSet, TrajId, TrajectoryDb};
+pub use interval_tree::{Entry, IntervalTree};
+pub use predicate::Predicate;
+pub use query::{AccessPath, Match, Query, QueryPlan, SortKey};

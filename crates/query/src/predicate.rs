@@ -1,0 +1,296 @@
+//! A composable predicate algebra over semantic trajectories.
+//!
+//! The paper positions the SITM as the substrate for "mining and analysis
+//! applications using both statistical and reasoning approaches" (§3).
+//! Those applications select trajectories by *where* they went, *when*
+//! they were live, and *what* semantics they carry — the three fundamental
+//! sets of \[22\]/\[4,5\] the paper builds on. [`Predicate`] closes those
+//! selections under boolean combination, and doubles as the episode
+//! predicate language of Def. 3.4 when applied to subtrajectories.
+
+use std::fmt;
+
+use sitm_core::{Annotation, Duration, SemanticTrajectory, TimeInterval};
+use sitm_space::CellRef;
+
+/// A boolean predicate over a [`SemanticTrajectory`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true: the neutral element of [`Predicate::And`].
+    True,
+    /// The trajectory has at least one stay in the cell ("where").
+    VisitedCell(CellRef),
+    /// The trajectory visits the cells as a contiguous run of its
+    /// (consecutive-duplicate-collapsed) cell sequence — e.g. the Fig. 5
+    /// E→P→S→C exit path.
+    SequenceContains(Vec<CellRef>),
+    /// The trajectory span `[tstart, tend]` shares an instant with the
+    /// window ("when").
+    SpanOverlaps(TimeInterval),
+    /// Some stay in the given cell overlaps the window (e.g. "was in the
+    /// Salle des États between 14:00 and 15:00").
+    StayOverlaps(CellRef, TimeInterval),
+    /// `A_traj` contains the annotation ("what", Def. 3.1).
+    HasTrajAnnotation(Annotation),
+    /// Some per-stay set `A_i` contains the annotation (Def. 3.2).
+    HasStayAnnotation(Annotation),
+    /// Total dwell time (sum of stay durations) is at least the bound.
+    MinTotalDwell(Duration),
+    /// Some single stay in the cell lasts at least the bound — the
+    /// stop-detection criterion of Alvares et al. \[3\] transposed to
+    /// symbolic cells.
+    MinStayIn(CellRef, Duration),
+    /// The moving-object identifier equals the string.
+    MovingObject(String),
+    /// Logical negation.
+    Not(Box<Predicate>),
+    /// Conjunction (empty = true).
+    And(Vec<Predicate>),
+    /// Disjunction (empty = false).
+    Or(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluates the predicate against a trajectory.
+    pub fn matches(&self, t: &SemanticTrajectory) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::VisitedCell(cell) => {
+                t.trace().intervals().iter().any(|p| p.cell == *cell)
+            }
+            Predicate::SequenceContains(cells) => {
+                if cells.is_empty() {
+                    return true;
+                }
+                let seq = t.trace().cell_sequence();
+                seq.windows(cells.len()).any(|w| w == cells.as_slice())
+            }
+            Predicate::SpanOverlaps(window) => t.span().overlaps(*window),
+            Predicate::StayOverlaps(cell, window) => t
+                .trace()
+                .intervals()
+                .iter()
+                .any(|p| p.cell == *cell && p.time.overlaps(*window)),
+            Predicate::HasTrajAnnotation(a) => t.annotations().contains(a),
+            Predicate::HasStayAnnotation(a) => t
+                .trace()
+                .intervals()
+                .iter()
+                .any(|p| p.annotations.contains(a)),
+            Predicate::MinTotalDwell(bound) => t.trace().dwell_total() >= *bound,
+            Predicate::MinStayIn(cell, bound) => t
+                .trace()
+                .intervals()
+                .iter()
+                .any(|p| p.cell == *cell && p.duration() >= *bound),
+            Predicate::MovingObject(id) => t.moving_object == *id,
+            Predicate::Not(inner) => !inner.matches(t),
+            Predicate::And(parts) => parts.iter().all(|p| p.matches(t)),
+            Predicate::Or(parts) => parts.iter().any(|p| p.matches(t)),
+        }
+    }
+
+    /// `self AND other`, flattening nested conjunctions.
+    pub fn and(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (Predicate::And(mut a), Predicate::And(b)) => {
+                a.extend(b);
+                Predicate::And(a)
+            }
+            (Predicate::And(mut a), p) => {
+                a.push(p);
+                Predicate::And(a)
+            }
+            (p, Predicate::And(mut b)) => {
+                b.insert(0, p);
+                Predicate::And(b)
+            }
+            (a, b) => Predicate::And(vec![a, b]),
+        }
+    }
+
+    /// `self OR other`, flattening nested disjunctions.
+    pub fn or(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::Or(mut a), Predicate::Or(b)) => {
+                a.extend(b);
+                Predicate::Or(a)
+            }
+            (Predicate::Or(mut a), p) => {
+                a.push(p);
+                Predicate::Or(a)
+            }
+            (p, Predicate::Or(mut b)) => {
+                b.insert(0, p);
+                Predicate::Or(b)
+            }
+            (a, b) => Predicate::Or(vec![a, b]),
+        }
+    }
+
+    /// Logical negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        match self {
+            Predicate::Not(inner) => *inner,
+            p => Predicate::Not(Box::new(p)),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::VisitedCell(c) => write!(f, "visited({c})"),
+            Predicate::SequenceContains(cells) => {
+                write!(f, "seq(")?;
+                for (i, c) in cells.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "→")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::SpanOverlaps(w) => write!(f, "span∩{w}"),
+            Predicate::StayOverlaps(c, w) => write!(f, "stay({c})∩{w}"),
+            Predicate::HasTrajAnnotation(a) => write!(f, "A_traj∋{a}"),
+            Predicate::HasStayAnnotation(a) => write!(f, "A_i∋{a}"),
+            Predicate::MinTotalDwell(d) => write!(f, "dwell≥{d}"),
+            Predicate::MinStayIn(c, d) => write!(f, "stay({c})≥{d}"),
+            Predicate::MovingObject(id) => write!(f, "mo={id}"),
+            Predicate::Not(p) => write!(f, "¬({p})"),
+            Predicate::And(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Or(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_core::{AnnotationSet, PresenceInterval, Timestamp, Trace, TransitionTaken};
+    use sitm_graph::{LayerIdx, NodeId};
+
+    fn cell(n: usize) -> CellRef {
+        CellRef::new(LayerIdx::from_index(0), NodeId::from_index(n))
+    }
+
+    fn stay(c: usize, start: i64, end: i64) -> PresenceInterval {
+        PresenceInterval::new(TransitionTaken::Unknown, cell(c), Timestamp(start), Timestamp(end))
+    }
+
+    fn sample() -> SemanticTrajectory {
+        let mut s1 = stay(0, 0, 100);
+        s1.annotations.insert(Annotation::goal("visit"));
+        let trace = Trace::new(vec![s1, stay(1, 100, 400), stay(2, 400, 500)]).unwrap();
+        SemanticTrajectory::new(
+            "visitor-1",
+            trace,
+            AnnotationSet::from_iter([Annotation::goal("visit")]),
+        )
+        .unwrap()
+    }
+
+    fn iv(s: i64, e: i64) -> TimeInterval {
+        TimeInterval::new(Timestamp(s), Timestamp(e))
+    }
+
+    #[test]
+    fn where_when_what_primitives() {
+        let t = sample();
+        assert!(Predicate::VisitedCell(cell(1)).matches(&t));
+        assert!(!Predicate::VisitedCell(cell(9)).matches(&t));
+        assert!(Predicate::SpanOverlaps(iv(450, 600)).matches(&t));
+        assert!(!Predicate::SpanOverlaps(iv(501, 600)).matches(&t));
+        assert!(Predicate::HasTrajAnnotation(Annotation::goal("visit")).matches(&t));
+        assert!(!Predicate::HasTrajAnnotation(Annotation::goal("buy")).matches(&t));
+        assert!(Predicate::HasStayAnnotation(Annotation::goal("visit")).matches(&t));
+        assert!(Predicate::MovingObject("visitor-1".into()).matches(&t));
+        assert!(!Predicate::MovingObject("visitor-2".into()).matches(&t));
+    }
+
+    #[test]
+    fn stay_level_predicates() {
+        let t = sample();
+        assert!(Predicate::StayOverlaps(cell(1), iv(350, 360)).matches(&t));
+        assert!(!Predicate::StayOverlaps(cell(0), iv(350, 360)).matches(&t));
+        assert!(Predicate::MinStayIn(cell(1), Duration::seconds(300)).matches(&t));
+        assert!(!Predicate::MinStayIn(cell(1), Duration::seconds(301)).matches(&t));
+        assert!(Predicate::MinTotalDwell(Duration::seconds(500)).matches(&t));
+        assert!(!Predicate::MinTotalDwell(Duration::seconds(501)).matches(&t));
+    }
+
+    #[test]
+    fn sequence_containment_is_contiguous() {
+        let t = sample();
+        assert!(Predicate::SequenceContains(vec![cell(0), cell(1)]).matches(&t));
+        assert!(Predicate::SequenceContains(vec![cell(0), cell(1), cell(2)]).matches(&t));
+        // 0 → 2 is a subsequence but not contiguous.
+        assert!(!Predicate::SequenceContains(vec![cell(0), cell(2)]).matches(&t));
+        assert!(Predicate::SequenceContains(vec![]).matches(&t));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let t = sample();
+        let yes = Predicate::VisitedCell(cell(0));
+        let no = Predicate::VisitedCell(cell(9));
+        assert!(yes.clone().and(Predicate::True).matches(&t));
+        assert!(!yes.clone().and(no.clone()).matches(&t));
+        assert!(yes.clone().or(no.clone()).matches(&t));
+        assert!(no.clone().not().matches(&t));
+        assert!(!yes.clone().not().matches(&t));
+        // Double negation collapses structurally.
+        assert_eq!(yes.clone().not().not(), yes);
+        assert!(Predicate::And(vec![]).matches(&t));
+        assert!(!Predicate::Or(vec![]).matches(&t));
+    }
+
+    #[test]
+    fn and_or_flatten() {
+        let a = Predicate::VisitedCell(cell(0));
+        let b = Predicate::VisitedCell(cell(1));
+        let c = Predicate::VisitedCell(cell(2));
+        match a.clone().and(b.clone()).and(c.clone()) {
+            Predicate::And(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected flat And, got {other:?}"),
+        }
+        match a.or(b).or(c) {
+            Predicate::Or(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected flat Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Predicate::VisitedCell(cell(0))
+            .and(Predicate::MinTotalDwell(Duration::minutes(5)))
+            .or(Predicate::MovingObject("v".into()).not());
+        let text = p.to_string();
+        assert!(text.contains("visited"), "{text}");
+        assert!(text.contains("∧"), "{text}");
+        assert!(text.contains("∨"), "{text}");
+        assert!(text.contains("¬"), "{text}");
+    }
+}

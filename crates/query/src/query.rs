@@ -1,0 +1,465 @@
+//! The fluent query builder and its executor.
+//!
+//! ```
+//! use sitm_query::{Query, SortKey, TrajectoryDb};
+//! # use sitm_core::{Annotation, AnnotationSet, PresenceInterval, Timestamp,
+//! #     Trace, TransitionTaken, SemanticTrajectory};
+//! # use sitm_graph::{LayerIdx, NodeId};
+//! # use sitm_space::CellRef;
+//! # let cell = CellRef::new(LayerIdx::from_index(0), NodeId::from_index(0));
+//! # let stay = PresenceInterval::new(
+//! #     TransitionTaken::Unknown, cell, Timestamp(0), Timestamp(60));
+//! # let t = SemanticTrajectory::new(
+//! #     "v", Trace::new(vec![stay]).unwrap(),
+//! #     AnnotationSet::from_iter([Annotation::goal("visit")])).unwrap();
+//! let db = TrajectoryDb::build(vec![t]);
+//! let hits = Query::new()
+//!     .visited(cell)
+//!     .goal("visit")
+//!     .order_by(SortKey::Start, true)
+//!     .limit(10)
+//!     .execute(&db);
+//! assert_eq!(hits.len(), 1);
+//! ```
+//!
+//! Execution consults the database's indexes for a candidate superset
+//! ([`TrajectoryDb::candidates`]), re-checks the predicate on each
+//! candidate, then sorts and truncates. [`Query::explain`] reports the
+//! chosen access path without running the query.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use sitm_core::{Annotation, Duration, SemanticTrajectory, TimeInterval};
+use sitm_space::CellRef;
+
+use crate::index::{CandidateSet, TrajId, TrajectoryDb};
+use crate::predicate::Predicate;
+
+/// Sort dimension for query results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortKey {
+    /// Trajectory start time (`tstart`).
+    Start,
+    /// Trajectory end time (`tend`).
+    End,
+    /// Span length (`tend - tstart`).
+    SpanDuration,
+    /// Total dwell time (sum of stay durations).
+    TotalDwell,
+    /// Moving-object identifier, lexicographically.
+    MovingObject,
+    /// Number of trace tuples.
+    TraceLength,
+}
+
+impl SortKey {
+    fn compare(self, a: &SemanticTrajectory, b: &SemanticTrajectory) -> Ordering {
+        match self {
+            SortKey::Start => a.start().cmp(&b.start()),
+            SortKey::End => a.end().cmp(&b.end()),
+            SortKey::SpanDuration => a.span().duration().cmp(&b.span().duration()),
+            SortKey::TotalDwell => a.trace().dwell_total().cmp(&b.trace().dwell_total()),
+            SortKey::MovingObject => a.moving_object.cmp(&b.moving_object),
+            SortKey::TraceLength => a.trace().len().cmp(&b.trace().len()),
+        }
+    }
+}
+
+/// One query hit: the dense id plus a borrow of the trajectory.
+#[derive(Debug, Clone, Copy)]
+pub struct Match<'a> {
+    /// Dense id within the queried [`TrajectoryDb`].
+    pub id: TrajId,
+    /// The matching trajectory.
+    pub trajectory: &'a SemanticTrajectory,
+}
+
+/// How the executor will reach the rows (reported by [`Query::explain`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Scan every trajectory.
+    FullScan,
+    /// Visit an explicit candidate id list derived from the indexes.
+    IndexCandidates {
+        /// Candidate count.
+        candidates: usize,
+    },
+}
+
+/// The executor's plan for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// Access path.
+    pub access: AccessPath,
+    /// Predicate re-checked on each candidate.
+    pub residual: Predicate,
+    /// Collection size.
+    pub total: usize,
+}
+
+impl QueryPlan {
+    /// Candidate-to-collection ratio in `[0, 1]`; 1.0 for a full scan.
+    pub fn selectivity_bound(&self) -> f64 {
+        match (self.total, &self.access) {
+            (0, _) => 0.0,
+            (_, AccessPath::FullScan) => 1.0,
+            (total, AccessPath::IndexCandidates { candidates }) => {
+                *candidates as f64 / total as f64
+            }
+        }
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.access {
+            AccessPath::FullScan => write!(f, "FullScan({} rows)", self.total)?,
+            AccessPath::IndexCandidates { candidates } => {
+                write!(f, "IndexCandidates({candidates} of {} rows)", self.total)?
+            }
+        }
+        write!(f, " filter {}", self.residual)
+    }
+}
+
+/// A declarative trajectory query: predicate + ordering + truncation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    predicate: Predicate,
+    order: Option<(SortKey, bool)>,
+    offset: usize,
+    limit: Option<usize>,
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Query::new()
+    }
+}
+
+impl Query {
+    /// Matches everything until filters are added.
+    pub fn new() -> Query {
+        Query {
+            predicate: Predicate::True,
+            order: None,
+            offset: 0,
+            limit: None,
+        }
+    }
+
+    /// Adds an arbitrary predicate (AND-composed with existing filters).
+    #[must_use]
+    pub fn filter(mut self, p: Predicate) -> Query {
+        self.predicate = self.predicate.and(p);
+        self
+    }
+
+    /// Requires a stay in `cell`.
+    #[must_use]
+    pub fn visited(self, cell: CellRef) -> Query {
+        self.filter(Predicate::VisitedCell(cell))
+    }
+
+    /// Requires the cell sequence to contain the contiguous run `cells`.
+    #[must_use]
+    pub fn follows_path(self, cells: Vec<CellRef>) -> Query {
+        self.filter(Predicate::SequenceContains(cells))
+    }
+
+    /// Requires the trajectory span to overlap `window`.
+    #[must_use]
+    pub fn during(self, window: TimeInterval) -> Query {
+        self.filter(Predicate::SpanOverlaps(window))
+    }
+
+    /// Requires a goal annotation on `A_traj`.
+    #[must_use]
+    pub fn goal(self, value: &str) -> Query {
+        self.filter(Predicate::HasTrajAnnotation(Annotation::goal(value)))
+    }
+
+    /// Requires a whole-trajectory annotation.
+    #[must_use]
+    pub fn annotated(self, a: Annotation) -> Query {
+        self.filter(Predicate::HasTrajAnnotation(a))
+    }
+
+    /// Requires a single stay in `cell` of at least `d`.
+    #[must_use]
+    pub fn stayed_at_least(self, cell: CellRef, d: Duration) -> Query {
+        self.filter(Predicate::MinStayIn(cell, d))
+    }
+
+    /// Requires the moving-object id.
+    #[must_use]
+    pub fn moving_object(self, id: &str) -> Query {
+        self.filter(Predicate::MovingObject(id.to_string()))
+    }
+
+    /// Sorts results (`ascending = false` reverses). Ties keep id order.
+    #[must_use]
+    pub fn order_by(mut self, key: SortKey, ascending: bool) -> Query {
+        self.order = Some((key, ascending));
+        self
+    }
+
+    /// Skips the first `n` results (applied after sorting).
+    #[must_use]
+    pub fn offset(mut self, n: usize) -> Query {
+        self.offset = n;
+        self
+    }
+
+    /// Keeps at most `n` results (applied after sorting and offset).
+    #[must_use]
+    pub fn limit(mut self, n: usize) -> Query {
+        self.limit = Some(n);
+        self
+    }
+
+    /// The composed predicate.
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+
+    /// Plans the query against `db` without executing it.
+    pub fn explain(&self, db: &TrajectoryDb) -> QueryPlan {
+        let access = match db.candidates(&self.predicate) {
+            CandidateSet::All => AccessPath::FullScan,
+            CandidateSet::Ids(ids) => AccessPath::IndexCandidates {
+                candidates: ids.len(),
+            },
+        };
+        QueryPlan {
+            access,
+            residual: self.predicate.clone(),
+            total: db.len(),
+        }
+    }
+
+    /// Runs the query: candidates → residual filter → sort → page.
+    pub fn execute<'a>(&self, db: &'a TrajectoryDb) -> Vec<Match<'a>> {
+        let mut hits: Vec<Match<'a>> = match db.candidates(&self.predicate) {
+            CandidateSet::All => db
+                .trajectories()
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| self.predicate.matches(t))
+                .map(|(i, t)| Match {
+                    id: i as TrajId,
+                    trajectory: t,
+                })
+                .collect(),
+            CandidateSet::Ids(ids) => ids
+                .into_iter()
+                .filter_map(|id| db.get(id).map(|t| (id, t)))
+                .filter(|(_, t)| self.predicate.matches(t))
+                .map(|(id, t)| Match { id, trajectory: t })
+                .collect(),
+        };
+        if let Some((key, ascending)) = self.order {
+            hits.sort_by(|a, b| {
+                let ord = key
+                    .compare(a.trajectory, b.trajectory)
+                    .then(a.id.cmp(&b.id));
+                if ascending {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            });
+        }
+        let hits: Vec<Match<'a>> = hits.into_iter().skip(self.offset).collect();
+        match self.limit {
+            Some(n) => hits.into_iter().take(n).collect(),
+            None => hits,
+        }
+    }
+
+    /// Number of matches, skipping sort/paging work.
+    pub fn count(&self, db: &TrajectoryDb) -> usize {
+        match db.candidates(&self.predicate) {
+            CandidateSet::All => db
+                .trajectories()
+                .iter()
+                .filter(|t| self.predicate.matches(t))
+                .count(),
+            CandidateSet::Ids(ids) => ids
+                .into_iter()
+                .filter_map(|id| db.get(id))
+                .filter(|t| self.predicate.matches(t))
+                .count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_core::{AnnotationSet, PresenceInterval, Timestamp, Trace, TransitionTaken};
+    use sitm_graph::{LayerIdx, NodeId};
+
+    fn cell(n: usize) -> CellRef {
+        CellRef::new(LayerIdx::from_index(0), NodeId::from_index(n))
+    }
+
+    fn traj(mo: &str, stays: &[(usize, i64, i64)], goal: &str) -> SemanticTrajectory {
+        let intervals = stays
+            .iter()
+            .map(|&(c, s, e)| {
+                PresenceInterval::new(TransitionTaken::Unknown, cell(c), Timestamp(s), Timestamp(e))
+            })
+            .collect();
+        SemanticTrajectory::new(
+            mo,
+            Trace::new(intervals).unwrap(),
+            AnnotationSet::from_iter([Annotation::goal(goal)]),
+        )
+        .unwrap()
+    }
+
+    fn db() -> TrajectoryDb {
+        TrajectoryDb::build(vec![
+            traj("a", &[(0, 0, 10), (1, 10, 20)], "visit"),
+            traj("b", &[(1, 5, 15), (2, 15, 30)], "visit"),
+            traj("c", &[(2, 100, 200)], "buy"),
+            traj("d", &[(0, 50, 80), (1, 80, 90), (2, 90, 95)], "visit"),
+        ])
+    }
+
+    #[test]
+    fn filterless_query_returns_everything() {
+        let db = db();
+        assert_eq!(Query::new().execute(&db).len(), 4);
+        assert_eq!(Query::new().count(&db), 4);
+    }
+
+    #[test]
+    fn fluent_filters_compose_as_and() {
+        let db = db();
+        let hits = Query::new().visited(cell(1)).goal("visit").execute(&db);
+        let ids: Vec<TrajId> = hits.iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![0, 1, 3]);
+        let hits = Query::new()
+            .visited(cell(2))
+            .goal("buy")
+            .execute(&db);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].trajectory.moving_object, "c");
+    }
+
+    #[test]
+    fn path_query_matches_fig5_style_runs() {
+        let db = db();
+        let hits = Query::new()
+            .follows_path(vec![cell(0), cell(1), cell(2)])
+            .execute(&db);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].trajectory.moving_object, "d");
+    }
+
+    #[test]
+    fn during_uses_span_overlap() {
+        let db = db();
+        let w = TimeInterval::new(Timestamp(16), Timestamp(60));
+        let ids: Vec<TrajId> = Query::new().during(w).execute(&db).iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn ordering_and_paging() {
+        let db = db();
+        let hits = Query::new()
+            .order_by(SortKey::SpanDuration, false)
+            .execute(&db);
+        let mos: Vec<&str> = hits.iter().map(|m| m.trajectory.moving_object.as_str()).collect();
+        assert_eq!(mos, vec!["c", "d", "b", "a"]);
+        let page = Query::new()
+            .order_by(SortKey::SpanDuration, false)
+            .offset(1)
+            .limit(2)
+            .execute(&db);
+        let mos: Vec<&str> = page.iter().map(|m| m.trajectory.moving_object.as_str()).collect();
+        assert_eq!(mos, vec!["d", "b"]);
+    }
+
+    #[test]
+    fn all_sort_keys_are_total() {
+        let db = db();
+        for key in [
+            SortKey::Start,
+            SortKey::End,
+            SortKey::SpanDuration,
+            SortKey::TotalDwell,
+            SortKey::MovingObject,
+            SortKey::TraceLength,
+        ] {
+            let asc = Query::new().order_by(key, true).execute(&db);
+            let desc = Query::new().order_by(key, false).execute(&db);
+            assert_eq!(asc.len(), 4);
+            let mut rev: Vec<TrajId> = desc.iter().map(|m| m.id).collect();
+            rev.reverse();
+            let fwd: Vec<TrajId> = asc.iter().map(|m| m.id).collect();
+            assert_eq!(fwd, rev, "desc must be exact reverse of asc for {key:?}");
+        }
+    }
+
+    #[test]
+    fn explain_reports_index_usage() {
+        let db = db();
+        let plan = Query::new().visited(cell(2)).explain(&db);
+        assert_eq!(
+            plan.access,
+            AccessPath::IndexCandidates { candidates: 3 }
+        );
+        assert!((plan.selectivity_bound() - 0.75).abs() < 1e-9);
+        assert!(plan.to_string().contains("IndexCandidates"));
+
+        let scan = Query::new()
+            .filter(Predicate::MinTotalDwell(Duration::seconds(1)))
+            .explain(&db);
+        assert_eq!(scan.access, AccessPath::FullScan);
+        assert_eq!(scan.selectivity_bound(), 1.0);
+        assert!(scan.to_string().contains("FullScan"));
+    }
+
+    #[test]
+    fn index_path_equals_full_scan_results() {
+        let db = db();
+        let q = Query::new().visited(cell(1)).during(TimeInterval::new(
+            Timestamp(0),
+            Timestamp(90),
+        ));
+        let indexed: Vec<TrajId> = q.execute(&db).iter().map(|m| m.id).collect();
+        let scanned: Vec<TrajId> = db
+            .trajectories()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| q.predicate().matches(t))
+            .map(|(i, _)| i as TrajId)
+            .collect();
+        assert_eq!(indexed, scanned);
+    }
+
+    #[test]
+    fn empty_db_queries() {
+        let db = TrajectoryDb::build(vec![]);
+        assert!(Query::new().execute(&db).is_empty());
+        assert_eq!(Query::new().visited(cell(0)).count(&db), 0);
+        assert_eq!(Query::new().explain(&db).selectivity_bound(), 0.0);
+    }
+
+    #[test]
+    fn stayed_at_least_and_moving_object() {
+        let db = db();
+        let hits = Query::new()
+            .stayed_at_least(cell(2), Duration::seconds(100))
+            .execute(&db);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].trajectory.moving_object, "c");
+        assert_eq!(Query::new().moving_object("d").count(&db), 1);
+        assert_eq!(Query::new().moving_object("nobody").count(&db), 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Distribution samplers.
+//!
+//! Implemented from first principles (Box–Muller for the normal; inverse
+//! CDF for the exponential; CDF inversion over precomputed weights for
+//! Zipf/categorical) because `rand_distr` is outside the sanctioned
+//! dependency set.
+
+use crate::rng::SimRng;
+
+/// Gaussian distribution via the Box–Muller transform.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (≥ 0).
+    pub std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(std_dev >= 0.0, "std_dev must be non-negative");
+        Normal { mean, std_dev }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Box–Muller: u1 in (0,1] to avoid ln(0).
+        let u1 = 1.0 - rng.unit();
+        let u2 = rng.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    normal: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the *underlying* normal's parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        LogNormal {
+            normal: Normal::new(mu, sigma),
+        }
+    }
+
+    /// Creates a log-normal whose *own* mean and standard deviation match
+    /// the given values (solving for the underlying mu/sigma). Handy for
+    /// calibration: "dwell times average 4 minutes with 3 minutes spread".
+    pub fn from_mean_std(mean: f64, std_dev: f64) -> Self {
+        assert!(mean > 0.0, "log-normal mean must be positive");
+        let variance_ratio = (std_dev / mean).powi(2);
+        let sigma2 = (1.0 + variance_ratio).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        LogNormal::new(mu, sigma2.sqrt())
+    }
+
+    /// Draws one sample (always positive).
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda` (inverse CDF method).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    /// Rate parameter (> 0); mean is `1 / lambda`.
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "lambda must be positive");
+        Exponential { lambda }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = 1.0 - rng.unit(); // (0, 1]
+        -u.ln() / self.lambda
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`: popularity-skewed
+/// choices (a few zones attract most visits).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `1..=n` (rank 1 most likely).
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf has no NaN"))
+        {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+}
+
+/// Categorical distribution over arbitrary weights.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    weights: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical distribution; weights must be non-negative
+    /// with a positive sum.
+    pub fn new(weights: Vec<f64>) -> Self {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "categorical needs a positive weight sum");
+        assert!(weights.iter().all(|&w| w >= 0.0), "negative weight");
+        Categorical { weights }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when there are no categories (never: constructor forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Draws a category index.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        rng.weighted_index(&self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_and_std(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn normal_matches_moments() {
+        let mut rng = SimRng::seeded(10);
+        let dist = Normal::new(5.0, 2.0);
+        let samples: Vec<f64> = (0..50_000).map(|_| dist.sample(&mut rng)).collect();
+        let (mean, std) = mean_and_std(&samples);
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((std - 2.0).abs() < 0.05, "std {std}");
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut rng = SimRng::seeded(11);
+        let dist = Normal::new(3.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(dist.sample(&mut rng), 3.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_calibrated() {
+        let mut rng = SimRng::seeded(12);
+        let dist = LogNormal::from_mean_std(240.0, 180.0); // 4 min ± 3 min
+        let samples: Vec<f64> = (0..50_000).map(|_| dist.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let (mean, std) = mean_and_std(&samples);
+        assert!((mean - 240.0).abs() < 6.0, "mean {mean}");
+        assert!((std - 180.0).abs() < 10.0, "std {std}");
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut rng = SimRng::seeded(13);
+        let dist = Exponential::new(0.5);
+        let samples: Vec<f64> = (0..50_000).map(|_| dist.sample(&mut rng)).collect();
+        let (mean, _) = mean_and_std(&samples);
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let mut rng = SimRng::seeded(14);
+        let dist = Zipf::new(10, 1.0);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            let rank = dist.sample(&mut rng);
+            assert!((1..=10).contains(&rank));
+            counts[rank - 1] += 1;
+        }
+        assert!(counts[0] > counts[4], "rank 1 beats rank 5");
+        assert!(counts[0] > counts[9] * 5, "rank 1 ≫ rank 10");
+        // Monotone non-increasing apart from sampling noise at the tail.
+        assert!(counts[0] >= counts[1] && counts[1] >= counts[2]);
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let mut rng = SimRng::seeded(15);
+        let dist = Categorical::new(vec![0.2, 0.0, 0.8]);
+        assert_eq!(dist.len(), 3);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn exponential_rejects_bad_rate() {
+        Exponential::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight sum")]
+    fn categorical_rejects_zero_sum() {
+        Categorical::new(vec![0.0]);
+    }
+}

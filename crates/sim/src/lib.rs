@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # sitm-sim
+//!
+//! Seeded simulation substrate shared by the positioning pipeline and the
+//! Louvre dataset generator.
+//!
+//! The sanctioned offline dependency set includes `rand` but not
+//! `rand_distr`, so the distribution samplers the generators need —
+//! Gaussian (Box–Muller), log-normal, exponential, Zipf, categorical — are
+//! implemented here, together with a Poisson arrival process. Everything is
+//! deterministic under a fixed seed: the paper-reproduction harness relies
+//! on that for stable numbers.
+
+pub mod distributions;
+pub mod process;
+pub mod rng;
+
+pub use distributions::{Categorical, Exponential, LogNormal, Normal, Zipf};
+pub use process::PoissonProcess;
+pub use rng::SimRng;

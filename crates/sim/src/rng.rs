@@ -1,0 +1,200 @@
+//! Seeded random-number helper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded RNG with the sampling helpers the generators need. Thin wrapper
+/// over [`StdRng`] so all simulation code shares one entry point and one
+/// seeding convention.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seeded(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi)` over i64.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.random_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Uniform pick from a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.range_usize(0, items.len())]
+    }
+
+    /// Weighted pick: returns an index with probability proportional to its
+    /// weight. Weights must be non-negative with a positive sum.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weighted_index needs a positive weight sum");
+        let mut target = self.range_f64(0.0, total);
+        for (i, &w) in weights.iter().enumerate() {
+            debug_assert!(w >= 0.0);
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1 // numeric edge: fall back to the last index
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Access to the raw RNG for interop.
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SimRng::seeded(42);
+        let mut b = SimRng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.unit(), b.unit());
+        }
+        let mut c = SimRng::seeded(43);
+        assert_ne!(a.unit(), c.unit());
+    }
+
+    #[test]
+    fn unit_is_in_range() {
+        let mut rng = SimRng::seeded(1);
+        for _ in 0..1000 {
+            let x = rng.unit();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SimRng::seeded(2);
+        for _ in 0..1000 {
+            let x = rng.range_f64(-5.0, 5.0);
+            assert!((-5.0..5.0).contains(&x));
+            let n = rng.range_usize(3, 7);
+            assert!((3..7).contains(&n));
+            let i = rng.range_i64(-10, -2);
+            assert!((-10..-2).contains(&i));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seeded(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range probabilities are clamped, not panicking.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn chance_frequency_is_plausible() {
+        let mut rng = SimRng::seeded(4);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2700..3300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn pick_covers_all_items() {
+        let mut rng = SimRng::seeded(5);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*rng.pick(&items) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::seeded(6);
+        let weights = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight item never picked");
+        assert!(counts[2] > counts[0] * 5, "9:1 ratio approximately held");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seeded(7);
+        let mut items: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn pick_from_empty_panics() {
+        let mut rng = SimRng::seeded(8);
+        rng.pick::<u8>(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight sum")]
+    fn weighted_index_rejects_zero_sum() {
+        let mut rng = SimRng::seeded(9);
+        rng.weighted_index(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Joint edges: inter-layer topological relationships.
+//!
+//! "A joint edge represents any of the eight binary topological
+//! relationships derived by the n-intersection model, except for `disjoint`
+//! and `meet`" (§2.1) — two cells of different layers are joined exactly
+//! when a moving object can be in both at once. Joint edges are *directed*
+//! because "contains and covers can not" be thought of as symmetric (§3.2).
+
+use std::fmt;
+
+use sitm_geometry::SpatialRelation;
+use sitm_qsr::Rcc8;
+
+/// The six admissible joint-edge relations (relation of the edge's source
+/// cell to its target cell).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JointRelation {
+    /// Interiors intersect, neither contains the other.
+    Overlap,
+    /// Source strictly contains target.
+    Contains,
+    /// Source contains target with boundary contact.
+    Covers,
+    /// Source strictly inside target.
+    InsideOf,
+    /// Source inside target with boundary contact.
+    CoveredBy,
+    /// Source and target describe the same region.
+    Equal,
+}
+
+impl JointRelation {
+    /// All six joint relations.
+    pub const ALL: [JointRelation; 6] = [
+        JointRelation::Overlap,
+        JointRelation::Contains,
+        JointRelation::Covers,
+        JointRelation::InsideOf,
+        JointRelation::CoveredBy,
+        JointRelation::Equal,
+    ];
+
+    /// Converse relation.
+    pub fn converse(self) -> JointRelation {
+        match self {
+            JointRelation::Contains => JointRelation::InsideOf,
+            JointRelation::InsideOf => JointRelation::Contains,
+            JointRelation::Covers => JointRelation::CoveredBy,
+            JointRelation::CoveredBy => JointRelation::Covers,
+            sym => sym,
+        }
+    }
+
+    /// True for the two relations admitted *inside a layer hierarchy*:
+    /// the paper excludes `overlap` (like Kang & Li) and also `equal`
+    /// "to prohibit node repetition and instead favor a proper hierarchy",
+    /// keeping `contains` and `covers` with top→bottom direction (§3.2).
+    pub fn is_hierarchical(self) -> bool {
+        matches!(self, JointRelation::Contains | JointRelation::Covers)
+    }
+
+    /// Maps to the RCC8 base relation.
+    pub fn to_rcc8(self) -> Rcc8 {
+        match self {
+            JointRelation::Overlap => Rcc8::Po,
+            JointRelation::Contains => Rcc8::Ntppi,
+            JointRelation::Covers => Rcc8::Tppi,
+            JointRelation::InsideOf => Rcc8::Ntpp,
+            JointRelation::CoveredBy => Rcc8::Tpp,
+            JointRelation::Equal => Rcc8::Eq,
+        }
+    }
+
+    /// Maps from a geometric classification; `None` for `Disjoint`/`Meet`
+    /// (which are *not* valid joint edges — the cells then share no point
+    /// where an object could reside).
+    pub fn from_spatial(rel: SpatialRelation) -> Option<JointRelation> {
+        match rel {
+            SpatialRelation::Overlap => Some(JointRelation::Overlap),
+            SpatialRelation::Contains => Some(JointRelation::Contains),
+            SpatialRelation::Covers => Some(JointRelation::Covers),
+            SpatialRelation::Inside => Some(JointRelation::InsideOf),
+            SpatialRelation::CoveredBy => Some(JointRelation::CoveredBy),
+            SpatialRelation::Equal => Some(JointRelation::Equal),
+            SpatialRelation::Disjoint | SpatialRelation::Meet => None,
+        }
+    }
+
+    /// Canonical name (paper vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            JointRelation::Overlap => "overlap",
+            JointRelation::Contains => "contains",
+            JointRelation::Covers => "covers",
+            JointRelation::InsideOf => "insideOf",
+            JointRelation::CoveredBy => "coveredBy",
+            JointRelation::Equal => "equal",
+        }
+    }
+
+    /// Parses a canonical name.
+    pub fn parse(s: &str) -> Option<JointRelation> {
+        JointRelation::ALL.into_iter().find(|r| r.name() == s)
+    }
+}
+
+impl fmt::Display for JointRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converse_is_involution() {
+        for r in JointRelation::ALL {
+            assert_eq!(r.converse().converse(), r);
+        }
+        assert_eq!(JointRelation::Contains.converse(), JointRelation::InsideOf);
+        assert_eq!(JointRelation::Covers.converse(), JointRelation::CoveredBy);
+        assert_eq!(JointRelation::Overlap.converse(), JointRelation::Overlap);
+        assert_eq!(JointRelation::Equal.converse(), JointRelation::Equal);
+    }
+
+    #[test]
+    fn only_contains_and_covers_are_hierarchical() {
+        let hier: Vec<JointRelation> = JointRelation::ALL
+            .into_iter()
+            .filter(|r| r.is_hierarchical())
+            .collect();
+        assert_eq!(hier, vec![JointRelation::Contains, JointRelation::Covers]);
+    }
+
+    #[test]
+    fn rcc8_mapping_respects_converse() {
+        for r in JointRelation::ALL {
+            assert_eq!(r.converse().to_rcc8(), r.to_rcc8().converse());
+        }
+    }
+
+    #[test]
+    fn disjoint_and_meet_are_rejected() {
+        assert_eq!(JointRelation::from_spatial(SpatialRelation::Disjoint), None);
+        assert_eq!(JointRelation::from_spatial(SpatialRelation::Meet), None);
+        assert_eq!(
+            JointRelation::from_spatial(SpatialRelation::Covers),
+            Some(JointRelation::Covers)
+        );
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for r in JointRelation::ALL {
+            assert_eq!(JointRelation::parse(r.name()), Some(r));
+        }
+        assert_eq!(JointRelation::parse("disjoint"), None);
+    }
+}

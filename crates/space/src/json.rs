@@ -1,0 +1,539 @@
+//! A minimal self-contained JSON value model, emitter and parser.
+//!
+//! The exchange format of [`crate::io`] needs JSON, and the sanctioned
+//! offline dependency set does not include a JSON codec — so this module
+//! implements one: a [`JsonValue`] tree, a writer with correct string
+//! escaping and stable key order, and a strict recursive-descent parser.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64; integers round-trip up to 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with sorted keys (deterministic output).
+    Object(BTreeMap<String, JsonValue>),
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonValue {
+    /// Builds an object from key/value pairs.
+    pub fn object<I, K>(pairs: I) -> JsonValue
+    where
+        I: IntoIterator<Item = (K, JsonValue)>,
+        K: Into<String>,
+    {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn string(s: impl Into<String>) -> JsonValue {
+        JsonValue::String(s.into())
+    }
+
+    /// Object field access.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// As string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// As integer (fails on fractional values).
+    pub fn as_i64(&self) -> Option<i64> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && n.abs() < 9.0e15 {
+            Some(n as i64)
+        } else {
+            None
+        }
+    }
+
+    /// As bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As array slice.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a compact string.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Number(n) => write_number(out, *n),
+            JsonValue::String(s) => write_string(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (must consume all non-whitespace input).
+    pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                offset: pos,
+                message: "trailing characters after document".to_string(),
+            });
+        }
+        Ok(value)
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..(width * depth) {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn err(pos: usize, message: impl Into<String>) -> JsonError {
+    JsonError {
+        offset: pos,
+        message: message.into(),
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", JsonValue::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(err(*pos, format!("unexpected character {:?}", *c as char))),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    keyword: &str,
+    value: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    if bytes[*pos..].starts_with(keyword.as_bytes()) {
+        *pos += keyword.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, format!("expected {keyword}")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && (bytes[*pos].is_ascii_digit()
+            || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii slice");
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| err(start, format!("invalid number {text:?}")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0C}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex_str = std::str::from_utf8(hex)
+                            .map_err(|_| err(*pos, "non-ascii \\u escape"))?;
+                        let code = u32::from_str_radix(hex_str, 16)
+                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
+                        // Surrogate pairs: accept and combine.
+                        if (0xD800..0xDC00).contains(&code) {
+                            let next = bytes
+                                .get(*pos + 5..*pos + 11)
+                                .ok_or_else(|| err(*pos, "truncated surrogate pair"))?;
+                            if &next[0..2] != b"\\u" {
+                                return Err(err(*pos, "lone high surrogate"));
+                            }
+                            let low_str = std::str::from_utf8(&next[2..6])
+                                .map_err(|_| err(*pos, "non-ascii surrogate"))?;
+                            let low = u32::from_str_radix(low_str, 16)
+                                .map_err(|_| err(*pos, "invalid low surrogate"))?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(err(*pos, "invalid low surrogate value"));
+                            }
+                            let combined =
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            out.push(
+                                char::from_u32(combined)
+                                    .ok_or_else(|| err(*pos, "invalid surrogate pair"))?,
+                            );
+                            *pos += 6; // the extra \uXXXX
+                        } else {
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| err(*pos, "invalid code point"))?,
+                            );
+                        }
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| err(*pos, "invalid UTF-8"))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'[');
+    *pos += 1;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'{');
+    *pos += 1;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected object key string"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected ':'"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(map));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (text, value) in [
+            ("null", JsonValue::Null),
+            ("true", JsonValue::Bool(true)),
+            ("false", JsonValue::Bool(false)),
+            ("42", JsonValue::Number(42.0)),
+            ("-3.5", JsonValue::Number(-3.5)),
+            ("\"hi\"", JsonValue::string("hi")),
+        ] {
+            assert_eq!(JsonValue::parse(text).unwrap(), value, "{text}");
+            assert_eq!(JsonValue::parse(&value.to_compact()).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn nested_structure_round_trips() {
+        let doc = JsonValue::object([
+            ("name", JsonValue::string("Louvre")),
+            (
+                "zones",
+                JsonValue::Array(vec![
+                    JsonValue::Number(60887.0),
+                    JsonValue::Number(60888.0),
+                ]),
+            ),
+            (
+                "meta",
+                JsonValue::object([("open", JsonValue::Bool(true)), ("floor", JsonValue::Number(-2.0))]),
+            ),
+        ]);
+        for text in [doc.to_compact(), doc.to_pretty()] {
+            assert_eq!(JsonValue::parse(&text).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let tricky = "quote\" backslash\\ newline\n tab\t unicode é 中 control\u{01}";
+        let v = JsonValue::string(tricky);
+        let text = v.to_compact();
+        assert_eq!(JsonValue::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(
+            JsonValue::parse(r#""é""#).unwrap(),
+            JsonValue::string("é")
+        );
+        // Surrogate pair for U+1F600.
+        assert_eq!(
+            JsonValue::parse(r#""😀""#).unwrap(),
+            JsonValue::string("😀")
+        );
+    }
+
+    #[test]
+    fn object_keys_are_sorted_in_output() {
+        let v = JsonValue::object([("z", JsonValue::Null), ("a", JsonValue::Null)]);
+        assert_eq!(v.to_compact(), r#"{"a":null,"z":null}"#);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = JsonValue::object([
+            ("n", JsonValue::Number(3.0)),
+            ("s", JsonValue::string("x")),
+            ("b", JsonValue::Bool(true)),
+            ("arr", JsonValue::Array(vec![JsonValue::Null])),
+        ]);
+        assert_eq!(v.get("n").and_then(JsonValue::as_i64), Some(3));
+        assert_eq!(v.get("n").and_then(JsonValue::as_f64), Some(3.0));
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(v.get("arr").and_then(JsonValue::as_array).map(|a| a.len()), Some(1));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(JsonValue::Number(2.5).as_i64(), None, "fractional");
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let e = JsonValue::parse("[1,").unwrap_err();
+        assert!(e.offset >= 3);
+        assert!(JsonValue::parse("{\"a\" 1}").is_err());
+        assert!(JsonValue::parse("[1] trailing").is_err());
+        assert!(JsonValue::parse("nul").is_err());
+        assert!(JsonValue::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(JsonValue::parse("[]").unwrap(), JsonValue::Array(vec![]));
+        assert_eq!(
+            JsonValue::parse("{}").unwrap(),
+            JsonValue::Object(BTreeMap::new())
+        );
+        assert_eq!(JsonValue::Array(vec![]).to_pretty(), "[]");
+    }
+
+    #[test]
+    fn whitespace_tolerance() {
+        let v = JsonValue::parse(" \n\t{ \"a\" : [ 1 , 2 ] } \r\n").unwrap();
+        assert_eq!(
+            v.get("a").and_then(JsonValue::as_array).map(|a| a.len()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn large_integers_survive() {
+        let v = JsonValue::Number(20245.0);
+        assert_eq!(v.to_compact(), "20245");
+        assert_eq!(JsonValue::parse("20245").unwrap().as_i64(), Some(20245));
+    }
+}

@@ -1,0 +1,175 @@
+//! Layers: named cell decompositions of the same physical space.
+//!
+//! "IndoorGML's Multi-Layered Space Model (MLSM) is the description of
+//! multiple interpretations of the same physical indoor space, through the
+//! instantiation of multiple cell decompositions and corresponding NRGs.
+//! Each NRG is treated as a separate graph layer" (§2.1). The paper fixes a
+//! *static* core hierarchy of layer kinds; thematic layers (like the Louvre
+//! dataset's 52 zones) integrate alongside it.
+
+use std::fmt;
+
+/// Kind of a layer, determining its place (if any) in the core hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Optional root: a multi-building site.
+    BuildingComplex,
+    /// Required: buildings (or wings used as buildings).
+    Building,
+    /// Required: floor levels per building.
+    Floor,
+    /// Required: room-level navigable cells.
+    Room,
+    /// Optional leaf: sub-room regions of interest.
+    RegionOfInterest,
+    /// A semantic decomposition outside the core hierarchy (e.g. the
+    /// Louvre's thematic zones, which "happen to fall right between Layer 2
+    /// and Layer 1", §4.2).
+    Thematic,
+    /// Any other decomposition, named.
+    Custom(String),
+}
+
+impl LayerKind {
+    /// Rank in the core hierarchy, root = 0: BuildingComplex(0) →
+    /// Building(1) → Floor(2) → Room(3) → RoI(4). `None` for layers outside
+    /// the core hierarchy.
+    pub fn hierarchy_rank(&self) -> Option<u8> {
+        match self {
+            LayerKind::BuildingComplex => Some(0),
+            LayerKind::Building => Some(1),
+            LayerKind::Floor => Some(2),
+            LayerKind::Room => Some(3),
+            LayerKind::RegionOfInterest => Some(4),
+            LayerKind::Thematic | LayerKind::Custom(_) => None,
+        }
+    }
+
+    /// True for the three layers the paper makes mandatory ("virtually any
+    /// indoor environment is characterized by a basic three-layer hierarchy
+    /// consisting of: a Building layer, a Floor layer, and a Room layer").
+    pub fn is_core_required(&self) -> bool {
+        matches!(
+            self,
+            LayerKind::Building | LayerKind::Floor | LayerKind::Room
+        )
+    }
+
+    /// Canonical name.
+    pub fn name(&self) -> &str {
+        match self {
+            LayerKind::BuildingComplex => "buildingComplex",
+            LayerKind::Building => "building",
+            LayerKind::Floor => "floor",
+            LayerKind::Room => "room",
+            LayerKind::RegionOfInterest => "roi",
+            LayerKind::Thematic => "thematic",
+            LayerKind::Custom(s) => s,
+        }
+    }
+
+    /// Parses a canonical name.
+    pub fn parse(s: &str) -> LayerKind {
+        match s {
+            "buildingComplex" => LayerKind::BuildingComplex,
+            "building" => LayerKind::Building,
+            "floor" => LayerKind::Floor,
+            "room" => LayerKind::Room,
+            "roi" => LayerKind::RegionOfInterest,
+            "thematic" => LayerKind::Thematic,
+            other => LayerKind::Custom(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A layer: one decomposition of the indoor space into cells, with its own
+/// accessibility NRG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Layer name (e.g. `"rooms"`, `"thematic-zones"`).
+    pub name: String,
+    /// Kind, fixing the layer's role.
+    pub kind: LayerKind,
+}
+
+impl Layer {
+    /// Creates a layer.
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+        Layer {
+            name: name.into(),
+            kind,
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_ordered_root_to_leaf() {
+        let ranks: Vec<Option<u8>> = [
+            LayerKind::BuildingComplex,
+            LayerKind::Building,
+            LayerKind::Floor,
+            LayerKind::Room,
+            LayerKind::RegionOfInterest,
+        ]
+        .iter()
+        .map(|k| k.hierarchy_rank())
+        .collect();
+        assert_eq!(
+            ranks,
+            vec![Some(0), Some(1), Some(2), Some(3), Some(4)]
+        );
+    }
+
+    #[test]
+    fn non_core_layers_have_no_rank() {
+        assert_eq!(LayerKind::Thematic.hierarchy_rank(), None);
+        assert_eq!(LayerKind::Custom("sensors".into()).hierarchy_rank(), None);
+    }
+
+    #[test]
+    fn required_core_layers() {
+        assert!(LayerKind::Building.is_core_required());
+        assert!(LayerKind::Floor.is_core_required());
+        assert!(LayerKind::Room.is_core_required());
+        assert!(!LayerKind::BuildingComplex.is_core_required());
+        assert!(!LayerKind::RegionOfInterest.is_core_required());
+        assert!(!LayerKind::Thematic.is_core_required());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for k in [
+            LayerKind::BuildingComplex,
+            LayerKind::Building,
+            LayerKind::Floor,
+            LayerKind::Room,
+            LayerKind::RegionOfInterest,
+            LayerKind::Thematic,
+            LayerKind::Custom("nav".into()),
+        ] {
+            assert_eq!(LayerKind::parse(k.name()), k);
+        }
+    }
+
+    #[test]
+    fn layer_display() {
+        let l = Layer::new("thematic-zones", LayerKind::Thematic);
+        assert_eq!(l.to_string(), "thematic-zones (thematic)");
+    }
+}

@@ -1,0 +1,179 @@
+//! Transitions: intra-layer accessibility edges.
+//!
+//! "Given that each layer's NRG is a multigraph, it is generally useful to
+//! know the specific transition `e_i` (e.g. which door, staircase, or
+//! elevator was used)" (§3.3). A [`Transition`] is the payload of a directed
+//! accessibility edge: its kind, an optional name, and whether the physical
+//! boundary crossing can also be traversed in the opposite direction (kept
+//! as *metadata* — the graph stores one directed edge per allowed
+//! direction).
+
+use std::fmt;
+
+/// Kind of boundary crossing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TransitionKind {
+    /// A standard door.
+    Door,
+    /// A doorless opening in a shared wall.
+    Opening,
+    /// A staircase connecting floors.
+    Stair,
+    /// An elevator connecting floors.
+    Elevator,
+    /// A ramp.
+    Ramp,
+    /// An escalator (one-way by construction).
+    Escalator,
+    /// A controlled checkpoint (ticket gate, security).
+    Checkpoint,
+    /// A virtual boundary between conceptual subspaces with no physical
+    /// separation (e.g. two functional halves of one great hall).
+    Virtual,
+    /// Anything else, named.
+    Other(String),
+}
+
+impl TransitionKind {
+    /// Canonical kind name.
+    pub fn name(&self) -> &str {
+        match self {
+            TransitionKind::Door => "door",
+            TransitionKind::Opening => "opening",
+            TransitionKind::Stair => "stair",
+            TransitionKind::Elevator => "elevator",
+            TransitionKind::Ramp => "ramp",
+            TransitionKind::Escalator => "escalator",
+            TransitionKind::Checkpoint => "checkpoint",
+            TransitionKind::Virtual => "virtual",
+            TransitionKind::Other(s) => s,
+        }
+    }
+
+    /// Parses a canonical kind name.
+    pub fn parse(s: &str) -> TransitionKind {
+        match s {
+            "door" => TransitionKind::Door,
+            "opening" => TransitionKind::Opening,
+            "stair" => TransitionKind::Stair,
+            "elevator" => TransitionKind::Elevator,
+            "ramp" => TransitionKind::Ramp,
+            "escalator" => TransitionKind::Escalator,
+            "checkpoint" => TransitionKind::Checkpoint,
+            "virtual" => TransitionKind::Virtual,
+            other => TransitionKind::Other(other.to_string()),
+        }
+    }
+
+    /// True for transitions that change floor.
+    pub fn is_vertical(&self) -> bool {
+        matches!(
+            self,
+            TransitionKind::Stair | TransitionKind::Elevator | TransitionKind::Escalator
+        ) || matches!(self, TransitionKind::Ramp)
+    }
+}
+
+impl fmt::Display for TransitionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Payload of a directed accessibility edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Kind of crossing.
+    pub kind: TransitionKind,
+    /// Optional stable identifier (e.g. `"door012"`, `"checkpoint002"` in
+    /// the paper's trace examples).
+    pub name: Option<String>,
+    /// Traversal cost hint for routing (seconds); 0 means unknown.
+    pub cost_hint: f64,
+}
+
+impl Transition {
+    /// Creates an unnamed transition of the given kind.
+    pub fn new(kind: TransitionKind) -> Self {
+        Transition {
+            kind,
+            name: None,
+            cost_hint: 0.0,
+        }
+    }
+
+    /// Creates a named transition (the `e_i` identifiers of trace tuples).
+    pub fn named(kind: TransitionKind, name: impl Into<String>) -> Self {
+        Transition {
+            kind,
+            name: Some(name.into()),
+            cost_hint: 0.0,
+        }
+    }
+
+    /// Builder: attaches a traversal cost hint.
+    #[must_use]
+    pub fn with_cost(mut self, seconds: f64) -> Self {
+        self.cost_hint = seconds;
+        self
+    }
+
+    /// Display label: name if present, kind otherwise.
+    pub fn label(&self) -> &str {
+        self.name.as_deref().unwrap_or_else(|| self.kind.name())
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        let kinds = [
+            TransitionKind::Door,
+            TransitionKind::Opening,
+            TransitionKind::Stair,
+            TransitionKind::Elevator,
+            TransitionKind::Ramp,
+            TransitionKind::Escalator,
+            TransitionKind::Checkpoint,
+            TransitionKind::Virtual,
+            TransitionKind::Other("catwalk".into()),
+        ];
+        for k in kinds {
+            assert_eq!(TransitionKind::parse(k.name()), k);
+        }
+    }
+
+    #[test]
+    fn vertical_kinds() {
+        assert!(TransitionKind::Stair.is_vertical());
+        assert!(TransitionKind::Elevator.is_vertical());
+        assert!(TransitionKind::Escalator.is_vertical());
+        assert!(TransitionKind::Ramp.is_vertical());
+        assert!(!TransitionKind::Door.is_vertical());
+        assert!(!TransitionKind::Virtual.is_vertical());
+    }
+
+    #[test]
+    fn labels_prefer_names() {
+        let anon = Transition::new(TransitionKind::Door);
+        assert_eq!(anon.label(), "door");
+        let named = Transition::named(TransitionKind::Door, "door012");
+        assert_eq!(named.label(), "door012");
+        assert_eq!(named.to_string(), "door012");
+    }
+
+    #[test]
+    fn cost_hint_builder() {
+        let t = Transition::new(TransitionKind::Stair).with_cost(30.0);
+        assert_eq!(t.cost_hint, 30.0);
+    }
+}

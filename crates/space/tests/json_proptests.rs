@@ -1,0 +1,70 @@
+//! Property-based round-trip tests for the hand-rolled JSON codec.
+
+use proptest::prelude::*;
+
+use sitm_space::json::JsonValue;
+
+/// Strategy for arbitrary JSON trees (bounded depth/size).
+fn arb_json() -> impl Strategy<Value = JsonValue> {
+    let leaf = prop_oneof![
+        Just(JsonValue::Null),
+        any::<bool>().prop_map(JsonValue::Bool),
+        // Finite doubles that survive text round-trips exactly enough for
+        // PartialEq: use integers and dyadic fractions.
+        (-1_000_000i64..1_000_000).prop_map(|n| JsonValue::Number(n as f64)),
+        (-1_000i64..1_000, 1u32..8).prop_map(|(n, d)| {
+            JsonValue::Number(n as f64 / f64::from(1u32 << d))
+        }),
+        "[ -~]{0,20}".prop_map(JsonValue::string), // printable ASCII
+        "\\PC{0,8}".prop_map(JsonValue::string),   // arbitrary printable unicode
+    ];
+    leaf.prop_recursive(3, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(JsonValue::Array),
+            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..6)
+                .prop_map(JsonValue::Object),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_round_trips(v in arb_json()) {
+        let text = v.to_compact();
+        let back = JsonValue::parse(&text).expect("own output parses");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_round_trips(v in arb_json()) {
+        let text = v.to_pretty();
+        let back = JsonValue::parse(&text).expect("own output parses");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn serialization_is_deterministic(v in arb_json()) {
+        prop_assert_eq!(v.to_compact(), v.clone().to_compact());
+        prop_assert_eq!(v.to_pretty(), v.clone().to_pretty());
+    }
+
+    #[test]
+    fn arbitrary_strings_escape_safely(s in "\\PC{0,40}") {
+        let v = JsonValue::string(s.clone());
+        let back = JsonValue::parse(&v.to_compact()).expect("escaped output parses");
+        prop_assert_eq!(back.as_str(), Some(s.as_str()));
+    }
+
+    #[test]
+    fn garbage_never_panics(s in "\\PC{0,60}") {
+        // Parsing arbitrary text returns Ok or Err but never panics.
+        let _ = JsonValue::parse(&s);
+    }
+
+    #[test]
+    fn numbers_round_trip_as_values(n in -9_007_199_254_740i64..9_007_199_254_740) {
+        let v = JsonValue::Number(n as f64);
+        let back = JsonValue::parse(&v.to_compact()).expect("number parses");
+        prop_assert_eq!(back.as_i64(), Some(n));
+    }
+}

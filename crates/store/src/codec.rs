@@ -1,0 +1,498 @@
+//! Binary encoding of SITM values.
+//!
+//! The format is column-agnostic row encoding tuned for trajectory shapes:
+//!
+//! * all integers are LEB128 varints; timestamps are **delta-encoded**
+//!   along the trace (a stay starts where the previous one ended far more
+//!   often than not, so deltas are tiny);
+//! * strings are length-prefixed UTF-8;
+//! * enums carry a leading tag byte.
+//!
+//! Every `encode_*` has a matching `decode_*`; round-tripping is
+//! property-tested in `tests/proptests.rs`. Decoders validate everything
+//! they read (tags, UTF-8, interval ordering) and fail with a
+//! [`CodecError`] rather than producing an invalid in-memory value, so a
+//! corrupted frame that slips past the CRC still cannot materialize an
+//! inconsistent trajectory.
+
+use bytes::{Buf, BufMut};
+
+use sitm_core::{
+    Annotation, AnnotationKind, AnnotationSet, PresenceInterval, SemanticTrajectory, Timestamp,
+    Trace, TransitionTaken,
+};
+use sitm_graph::{EdgeId, LayerIdx, NodeId};
+use sitm_louvre::{Device, VisitRecord, ZoneDetectionRecord};
+use sitm_space::CellRef;
+
+use crate::varint::{self, VarintError};
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Varint-level failure.
+    Varint(VarintError),
+    /// The buffer ended before the value did.
+    UnexpectedEof,
+    /// A tag byte had no corresponding variant.
+    BadTag(u8),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// Decoded intervals violate trace ordering (Def. 3.2).
+    InvalidTrace(String),
+    /// A trajectory decoded without annotations or stays (Def. 3.1).
+    InvalidTrajectory(String),
+    /// A declared length exceeds the remaining buffer.
+    LengthOverrun {
+        /// Bytes declared.
+        declared: u64,
+        /// Bytes available.
+        available: usize,
+    },
+}
+
+impl From<VarintError> for CodecError {
+    fn from(e: VarintError) -> Self {
+        CodecError::Varint(e)
+    }
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Varint(e) => write!(f, "varint: {e}"),
+            CodecError::UnexpectedEof => write!(f, "buffer ended inside a value"),
+            CodecError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            CodecError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            CodecError::InvalidTrace(e) => write!(f, "decoded trace is invalid: {e}"),
+            CodecError::InvalidTrajectory(e) => write!(f, "decoded trajectory is invalid: {e}"),
+            CodecError::LengthOverrun {
+                declared,
+                available,
+            } => write!(f, "declared length {declared} exceeds remaining {available} bytes"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn encode_str(buf: &mut impl BufMut, s: &str) {
+    varint::encode_u64(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn decode_str(buf: &mut &[u8]) -> Result<String, CodecError> {
+    let len = varint::decode_u64(buf)?;
+    if len > buf.remaining() as u64 {
+        return Err(CodecError::LengthOverrun {
+            declared: len,
+            available: buf.remaining(),
+        });
+    }
+    let (head, tail) = buf.split_at(len as usize);
+    let s = std::str::from_utf8(head).map_err(|_| CodecError::BadUtf8)?.to_string();
+    *buf = tail;
+    Ok(s)
+}
+
+/// Encodes an annotation set as `count (kind value)*`.
+pub fn encode_annotations(buf: &mut impl BufMut, set: &AnnotationSet) {
+    varint::encode_u64(buf, set.len() as u64);
+    for a in set.iter() {
+        encode_str(buf, a.kind.name());
+        encode_str(buf, &a.value);
+    }
+}
+
+/// Decodes an annotation set.
+pub fn decode_annotations(buf: &mut &[u8]) -> Result<AnnotationSet, CodecError> {
+    let count = varint::decode_u64(buf)?;
+    if count > buf.remaining() as u64 {
+        // Each annotation needs at least two length bytes; a count larger
+        // than the buffer is certainly corrupt — reject before allocating.
+        return Err(CodecError::LengthOverrun {
+            declared: count,
+            available: buf.remaining(),
+        });
+    }
+    let mut set = AnnotationSet::new();
+    for _ in 0..count {
+        let kind = AnnotationKind::parse(&decode_str(buf)?);
+        let value = decode_str(buf)?;
+        set.insert(Annotation::new(kind, value));
+    }
+    Ok(set)
+}
+
+const TRANSITION_UNKNOWN: u8 = 0;
+const TRANSITION_EDGE: u8 = 1;
+const TRANSITION_NAMED: u8 = 2;
+
+/// Encodes a transition.
+pub fn encode_transition(buf: &mut impl BufMut, t: &TransitionTaken) {
+    match t {
+        TransitionTaken::Unknown => buf.put_u8(TRANSITION_UNKNOWN),
+        TransitionTaken::Edge { layer, edge } => {
+            buf.put_u8(TRANSITION_EDGE);
+            varint::encode_u64(buf, layer.index() as u64);
+            varint::encode_u64(buf, edge.index() as u64);
+        }
+        TransitionTaken::Named(name) => {
+            buf.put_u8(TRANSITION_NAMED);
+            encode_str(buf, name);
+        }
+    }
+}
+
+/// Decodes a transition.
+pub fn decode_transition(buf: &mut &[u8]) -> Result<TransitionTaken, CodecError> {
+    if !buf.has_remaining() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let tag = buf.get_u8();
+    match tag {
+        TRANSITION_UNKNOWN => Ok(TransitionTaken::Unknown),
+        TRANSITION_EDGE => {
+            let layer = varint::decode_u64(buf)? as usize;
+            let edge = varint::decode_u64(buf)? as usize;
+            Ok(TransitionTaken::Edge {
+                layer: LayerIdx::from_index(layer),
+                edge: EdgeId::from_index(edge),
+            })
+        }
+        TRANSITION_NAMED => Ok(TransitionTaken::Named(decode_str(buf)?)),
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+fn encode_cell(buf: &mut impl BufMut, cell: CellRef) {
+    varint::encode_u64(buf, cell.layer.index() as u64);
+    varint::encode_u64(buf, cell.node.index() as u64);
+}
+
+fn decode_cell(buf: &mut &[u8]) -> Result<CellRef, CodecError> {
+    let layer = varint::decode_u64(buf)? as usize;
+    let node = varint::decode_u64(buf)? as usize;
+    Ok(CellRef::new(
+        LayerIdx::from_index(layer),
+        NodeId::from_index(node),
+    ))
+}
+
+/// Encodes a trace: tuple count, then per tuple the transition, cell,
+/// start delta (ZigZag from the previous stay's end; the first delta is
+/// taken from `base`), duration, stay annotations, transition
+/// annotations.
+pub fn encode_trace(buf: &mut impl BufMut, base: Timestamp, trace: &Trace) {
+    varint::encode_u64(buf, trace.len() as u64);
+    let mut prev_end = base;
+    for stay in trace.intervals() {
+        encode_transition(buf, &stay.transition);
+        encode_cell(buf, stay.cell);
+        varint::encode_i64(buf, (stay.start() - prev_end).as_seconds());
+        varint::encode_u64(buf, stay.duration().as_seconds() as u64);
+        encode_annotations(buf, &stay.annotations);
+        encode_annotations(buf, &stay.transition_annotations);
+        prev_end = stay.end();
+    }
+}
+
+/// Decodes a trace encoded by [`encode_trace`] with the same `base`.
+pub fn decode_trace(buf: &mut &[u8], base: Timestamp) -> Result<Trace, CodecError> {
+    let count = varint::decode_u64(buf)?;
+    if count > buf.remaining() as u64 {
+        return Err(CodecError::LengthOverrun {
+            declared: count,
+            available: buf.remaining(),
+        });
+    }
+    let mut intervals = Vec::with_capacity(count as usize);
+    let mut prev_end = base;
+    for _ in 0..count {
+        let transition = decode_transition(buf)?;
+        let cell = decode_cell(buf)?;
+        let delta = varint::decode_i64(buf)?;
+        let duration = varint::decode_u64(buf)?;
+        let start = Timestamp(prev_end.as_seconds() + delta);
+        let end = Timestamp(start.as_seconds() + duration as i64);
+        if end < start {
+            return Err(CodecError::InvalidTrace("duration overflow".to_string()));
+        }
+        let annotations = decode_annotations(buf)?;
+        let transition_annotations = decode_annotations(buf)?;
+        intervals.push(
+            PresenceInterval::new(transition, cell, start, end)
+                .with_annotations(annotations)
+                .with_transition_annotations(transition_annotations),
+        );
+        prev_end = end;
+    }
+    Trace::new(intervals).map_err(|e| CodecError::InvalidTrace(e.to_string()))
+}
+
+/// Encodes a whole semantic trajectory.
+pub fn encode_trajectory(buf: &mut impl BufMut, t: &SemanticTrajectory) {
+    encode_str(buf, &t.moving_object);
+    let base = t.start();
+    varint::encode_i64(buf, base.as_seconds());
+    encode_trace(buf, base, t.trace());
+    encode_annotations(buf, t.annotations());
+}
+
+/// Decodes a semantic trajectory.
+pub fn decode_trajectory(buf: &mut &[u8]) -> Result<SemanticTrajectory, CodecError> {
+    let moving_object = decode_str(buf)?;
+    let base = Timestamp(varint::decode_i64(buf)?);
+    let trace = decode_trace(buf, base)?;
+    let annotations = decode_annotations(buf)?;
+    SemanticTrajectory::new(moving_object, trace, annotations)
+        .map_err(|e| CodecError::InvalidTrajectory(e.to_string()))
+}
+
+const DEVICE_IOS: u8 = 0;
+const DEVICE_ANDROID: u8 = 1;
+
+/// Encodes a raw Louvre-style visit record (the pre-model dataset shape).
+pub fn encode_visit(buf: &mut impl BufMut, v: &VisitRecord) {
+    varint::encode_u64(buf, v.visit_id as u64);
+    varint::encode_u64(buf, v.visitor_id as u64);
+    buf.put_u8(match v.device {
+        Device::Ios => DEVICE_IOS,
+        Device::Android => DEVICE_ANDROID,
+    });
+    varint::encode_u64(buf, v.detections.len() as u64);
+    let mut prev_end = v
+        .detections
+        .first()
+        .map(|d| d.start)
+        .unwrap_or(Timestamp(0));
+    varint::encode_i64(buf, prev_end.as_seconds());
+    for d in &v.detections {
+        varint::encode_u64(buf, d.zone_id as u64);
+        varint::encode_i64(buf, (d.start - prev_end).as_seconds());
+        varint::encode_u64(buf, (d.end - d.start).as_seconds() as u64);
+        prev_end = d.end;
+    }
+}
+
+/// Decodes a visit record.
+pub fn decode_visit(buf: &mut &[u8]) -> Result<VisitRecord, CodecError> {
+    let visit_id = varint::decode_u64(buf)? as u32;
+    let visitor_id = varint::decode_u64(buf)? as u32;
+    if !buf.has_remaining() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let device = match buf.get_u8() {
+        DEVICE_IOS => Device::Ios,
+        DEVICE_ANDROID => Device::Android,
+        other => return Err(CodecError::BadTag(other)),
+    };
+    let count = varint::decode_u64(buf)?;
+    if count > buf.remaining() as u64 {
+        return Err(CodecError::LengthOverrun {
+            declared: count,
+            available: buf.remaining(),
+        });
+    }
+    let mut prev_end = Timestamp(varint::decode_i64(buf)?);
+    let mut detections = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let zone_id = varint::decode_u64(buf)? as u32;
+        let delta = varint::decode_i64(buf)?;
+        let duration = varint::decode_u64(buf)?;
+        let start = Timestamp(prev_end.as_seconds() + delta);
+        let end = Timestamp(start.as_seconds() + duration as i64);
+        if end < start {
+            return Err(CodecError::InvalidTrace("detection duration overflow".into()));
+        }
+        detections.push(ZoneDetectionRecord {
+            zone_id,
+            start,
+            end,
+        });
+        prev_end = end;
+    }
+    Ok(VisitRecord {
+        visit_id,
+        visitor_id,
+        device,
+        detections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(n: usize) -> CellRef {
+        CellRef::new(LayerIdx::from_index(1), NodeId::from_index(n))
+    }
+
+    fn sample_trajectory() -> SemanticTrajectory {
+        let mut first = PresenceInterval::new(
+            TransitionTaken::Unknown,
+            cell(3),
+            Timestamp::from_ymd_hms(2017, 2, 1, 11, 30, 0),
+            Timestamp::from_ymd_hms(2017, 2, 1, 11, 32, 35),
+        );
+        first.annotations.insert(Annotation::goal("visit"));
+        let second = PresenceInterval::new(
+            TransitionTaken::Named("door012".into()),
+            cell(7),
+            Timestamp::from_ymd_hms(2017, 2, 1, 11, 32, 35),
+            Timestamp::from_ymd_hms(2017, 2, 1, 11, 40, 0),
+        )
+        .with_transition_annotations(AnnotationSet::from_iter([Annotation::new(
+            AnnotationKind::Custom("event".into()),
+            "alarm",
+        )]));
+        let third = PresenceInterval::new(
+            TransitionTaken::Edge {
+                layer: LayerIdx::from_index(2),
+                edge: EdgeId::from_index(19),
+            },
+            cell(3),
+            Timestamp::from_ymd_hms(2017, 2, 1, 11, 41, 0),
+            Timestamp::from_ymd_hms(2017, 2, 1, 12, 0, 0),
+        );
+        SemanticTrajectory::new(
+            "visitor-0042",
+            Trace::new(vec![first, second, third]).unwrap(),
+            AnnotationSet::from_iter([Annotation::goal("visit"), Annotation::behavior("browsing")]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trajectory_round_trip() {
+        let t = sample_trajectory();
+        let mut buf = Vec::new();
+        encode_trajectory(&mut buf, &t);
+        let decoded = decode_trajectory(&mut buf.as_slice()).unwrap();
+        assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // Three tuples with annotations should land well under the naive
+        // fixed-width footprint (3 tuples × 2 × 8-byte timestamps alone
+        // is 48 bytes; the whole record should beat 200).
+        let t = sample_trajectory();
+        let mut buf = Vec::new();
+        encode_trajectory(&mut buf, &t);
+        assert!(buf.len() < 200, "encoded {} bytes", buf.len());
+    }
+
+    #[test]
+    fn annotation_set_round_trip() {
+        let set = AnnotationSet::from_iter([
+            Annotation::goal("visit"),
+            Annotation::goal("buy"),
+            Annotation::new(AnnotationKind::Custom("device".into()), "ios"),
+        ]);
+        let mut buf = Vec::new();
+        encode_annotations(&mut buf, &set);
+        assert_eq!(decode_annotations(&mut buf.as_slice()).unwrap(), set);
+        // Empty set.
+        let mut buf = Vec::new();
+        encode_annotations(&mut buf, &AnnotationSet::new());
+        assert_eq!(decode_annotations(&mut buf.as_slice()).unwrap(), AnnotationSet::new());
+    }
+
+    #[test]
+    fn transition_variants_round_trip() {
+        for t in [
+            TransitionTaken::Unknown,
+            TransitionTaken::Named("checkpoint002".into()),
+            TransitionTaken::Edge {
+                layer: LayerIdx::from_index(4),
+                edge: EdgeId::from_index(1000),
+            },
+        ] {
+            let mut buf = Vec::new();
+            encode_transition(&mut buf, &t);
+            assert_eq!(decode_transition(&mut buf.as_slice()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn visit_record_round_trip() {
+        let v = VisitRecord {
+            visit_id: 17,
+            visitor_id: 942,
+            device: Device::Android,
+            detections: vec![
+                ZoneDetectionRecord {
+                    zone_id: 60887,
+                    start: Timestamp(1_485_000_000),
+                    end: Timestamp(1_485_003_600),
+                },
+                ZoneDetectionRecord {
+                    zone_id: 60888,
+                    start: Timestamp(1_485_003_660),
+                    end: Timestamp(1_485_003_660), // zero-duration error
+                },
+            ],
+        };
+        let mut buf = Vec::new();
+        encode_visit(&mut buf, &v);
+        assert_eq!(decode_visit(&mut buf.as_slice()).unwrap(), v);
+        // Empty visit.
+        let empty = VisitRecord {
+            visit_id: 0,
+            visitor_id: 0,
+            device: Device::Ios,
+            detections: vec![],
+        };
+        let mut buf = Vec::new();
+        encode_visit(&mut buf, &empty);
+        assert_eq!(decode_visit(&mut buf.as_slice()).unwrap(), empty);
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        assert_eq!(
+            decode_transition(&mut [9u8].as_slice()).unwrap_err(),
+            CodecError::BadTag(9)
+        );
+        let mut buf = Vec::new();
+        varint::encode_u64(&mut buf, 1); // visit_id
+        varint::encode_u64(&mut buf, 1); // visitor_id
+        buf.push(7); // bad device tag
+        assert_eq!(decode_visit(&mut buf.as_slice()).unwrap_err(), CodecError::BadTag(7));
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let t = sample_trajectory();
+        let mut buf = Vec::new();
+        encode_trajectory(&mut buf, &t);
+        for cut in 0..buf.len() {
+            let err = decode_trajectory(&mut &buf[..cut]);
+            assert!(err.is_err(), "cut at {cut} produced a value from a truncated buffer");
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_bounded() {
+        // A string claiming u64::MAX bytes must not allocate.
+        let mut buf = Vec::new();
+        varint::encode_u64(&mut buf, u64::MAX);
+        buf.extend_from_slice(b"xy");
+        match decode_trajectory(&mut buf.as_slice()).unwrap_err() {
+            CodecError::LengthOverrun { declared, .. } => assert_eq!(declared, u64::MAX),
+            other => panic!("expected LengthOverrun, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut buf = Vec::new();
+        varint::encode_u64(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(
+            decode_trajectory(&mut buf.as_slice()).unwrap_err(),
+            CodecError::BadUtf8
+        );
+    }
+}

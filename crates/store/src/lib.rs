@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # sitm-store
+//!
+//! Durable storage for SITM trajectory data: the persistence substrate a
+//! downstream deployment of the model needs (the paper's Louvre pipeline
+//! collected 4,945 visits over four months — something has to hold them).
+//!
+//! * [`varint`] — LEB128 varints and ZigZag signed mapping;
+//! * [`crc`] — CRC-32 (ISO-HDLC), one-shot and incremental;
+//! * [`codec`] — compact binary encoding of annotation sets, traces,
+//!   semantic trajectories, and raw visit records, with delta-encoded
+//!   timestamps and fully validated decoding;
+//! * [`segment`] — the CRC-framed segment format and its scanner, whose
+//!   `valid_len` is the torn-write truncation point;
+//! * [`log`] — [`LogStore`]: an append-only, crash-recoverable record
+//!   log with fsync durability and atomic compaction.
+//!
+//! Failure-injection property tests (`tests/proptests.rs`) drive random
+//! truncations and byte flips through recovery and assert the WAL
+//! contract: recovered records are always a clean prefix of what was
+//! appended, and a record never comes back altered.
+
+pub mod codec;
+pub mod crc;
+pub mod log;
+pub mod segment;
+pub mod varint;
+
+pub use codec::{decode_trajectory, decode_visit, encode_trajectory, encode_visit, CodecError};
+pub use crc::{crc32, Crc32};
+pub use log::{LogStore, Record, RecoveryReport, StoreError};
+pub use segment::{scan, write_frame, write_header, Corruption, ScanOutcome};
+pub use varint::{decode_u64, encode_u64, zigzag_decode, zigzag_encode, VarintError};

@@ -1,0 +1,160 @@
+//! LEB128 variable-length integers and ZigZag signed mapping.
+//!
+//! Timestamps inside a trace are delta-encoded; deltas are small positive
+//! numbers, so varints shrink a trace tuple from 16+ bytes of fixed-width
+//! time to 2–4 bytes in the common case. ZigZag maps signed deltas (a
+//! trajectory may be recorded out of order across visits) onto the
+//! unsigned varint space.
+
+use bytes::{Buf, BufMut};
+
+/// Decode failure conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarintError {
+    /// The buffer ended mid-varint.
+    UnexpectedEof,
+    /// More than 10 continuation bytes (a u64 never needs more).
+    Overflow,
+}
+
+impl std::fmt::Display for VarintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VarintError::UnexpectedEof => write!(f, "buffer ended inside a varint"),
+            VarintError::Overflow => write!(f, "varint longer than 10 bytes"),
+        }
+    }
+}
+
+impl std::error::Error for VarintError {}
+
+/// Appends `value` as a LEB128 varint (1–10 bytes).
+pub fn encode_u64(buf: &mut impl BufMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint from the front of `buf`.
+pub fn decode_u64(buf: &mut impl Buf) -> Result<u64, VarintError> {
+    let mut value: u64 = 0;
+    for shift in 0..10u32 {
+        if !buf.has_remaining() {
+            return Err(VarintError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        let payload = (byte & 0x7f) as u64;
+        // The 10th byte may only carry the final bit of a u64.
+        if shift == 9 && byte > 1 {
+            return Err(VarintError::Overflow);
+        }
+        value |= payload << (shift * 7);
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+    }
+    Err(VarintError::Overflow)
+}
+
+/// Maps a signed value onto the unsigned varint space
+/// (0 → 0, -1 → 1, 1 → 2, -2 → 3, …) so small magnitudes stay short.
+pub const fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub const fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Appends a signed value as a ZigZag varint.
+pub fn encode_i64(buf: &mut impl BufMut, value: i64) {
+    encode_u64(buf, zigzag_encode(value));
+}
+
+/// Reads a ZigZag varint.
+pub fn decode_i64(buf: &mut impl Buf) -> Result<i64, VarintError> {
+    decode_u64(buf).map(zigzag_decode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_u64(v: u64) -> usize {
+        let mut buf = Vec::new();
+        encode_u64(&mut buf, v);
+        let len = buf.len();
+        let mut slice = buf.as_slice();
+        assert_eq!(decode_u64(&mut slice).unwrap(), v);
+        assert!(slice.is_empty(), "decoder must consume exactly the varint");
+        len
+    }
+
+    #[test]
+    fn boundary_values_round_trip() {
+        assert_eq!(round_trip_u64(0), 1);
+        assert_eq!(round_trip_u64(127), 1);
+        assert_eq!(round_trip_u64(128), 2);
+        assert_eq!(round_trip_u64(16_383), 2);
+        assert_eq!(round_trip_u64(16_384), 3);
+        assert_eq!(round_trip_u64(u64::MAX), 10);
+    }
+
+    #[test]
+    fn zigzag_pairs() {
+        for (signed, unsigned) in [(0i64, 0u64), (-1, 1), (1, 2), (-2, 3), (2, 4)] {
+            assert_eq!(zigzag_encode(signed), unsigned);
+            assert_eq!(zigzag_decode(unsigned), signed);
+        }
+        assert_eq!(zigzag_decode(zigzag_encode(i64::MIN)), i64::MIN);
+        assert_eq!(zigzag_decode(zigzag_encode(i64::MAX)), i64::MAX);
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        for v in [0i64, -1, 1, -300, 300, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            encode_i64(&mut buf, v);
+            assert_eq!(decode_i64(&mut buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_eof() {
+        let mut buf = Vec::new();
+        encode_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            assert_eq!(decode_u64(&mut slice).unwrap_err(), VarintError::UnexpectedEof);
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_overflow() {
+        // Eleven continuation bytes.
+        let bad = [0x80u8; 11];
+        assert_eq!(decode_u64(&mut bad.as_slice()).unwrap_err(), VarintError::Overflow);
+        // Ten bytes whose last carries more than one bit.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x02);
+        assert_eq!(decode_u64(&mut buf.as_slice()).unwrap_err(), VarintError::Overflow);
+    }
+
+    #[test]
+    fn decoder_stops_at_varint_boundary() {
+        let mut buf = Vec::new();
+        encode_u64(&mut buf, 300);
+        encode_u64(&mut buf, 7);
+        let mut slice = buf.as_slice();
+        assert_eq!(decode_u64(&mut slice).unwrap(), 300);
+        assert_eq!(decode_u64(&mut slice).unwrap(), 7);
+        assert!(slice.is_empty());
+    }
+}

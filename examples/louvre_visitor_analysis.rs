@@ -1,0 +1,133 @@
+//! The Louvre case study end-to-end: generate the calibrated synthetic
+//! dataset, compute the paper's statistics, and run the mining stack on it
+//! (sequential patterns, next-zone prediction, visitor profiling).
+//!
+//! Run with: `cargo run --release --example louvre_visitor_analysis`
+//! (add `-- --full` for the full 4,945-visit calibration).
+
+use sitm::analytics::{bar_chart, quality_of_trace};
+use sitm::core::Duration;
+use sitm::louvre::{
+    build_louvre, generate_dataset, zone_catalog, GeneratorConfig, PaperCalibration,
+};
+use sitm::mining::{
+    edit_distance, k_medoids, mine_rules, mine_sequential_patterns, DistanceMatrix, MarkovModel,
+};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full {
+        GeneratorConfig::default()
+    } else {
+        GeneratorConfig {
+            seed: 7,
+            calibration: PaperCalibration {
+                visits: 620,
+                visitors: 400,
+                returning_visitors: 160,
+                revisits: 220,
+                detections: 2_600,
+                transitions: 2_600 - 620,
+                ..PaperCalibration::default()
+            },
+            ..GeneratorConfig::default()
+        }
+    };
+
+    // ---- Generate and summarize. ------------------------------------------
+    let dataset = generate_dataset(&config);
+    let stats = dataset.stats();
+    println!("generated {} visits by {} visitors", stats.visits, stats.visitors);
+    println!(
+        "  detections {} | transitions {} | zero-duration {:.1}% | zones {}",
+        stats.detections,
+        stats.transitions,
+        stats.zero_duration_rate * 100.0,
+        stats.distinct_zones
+    );
+    println!(
+        "  visit durations: {} .. {}",
+        stats.min_visit_duration, stats.max_visit_duration
+    );
+
+    // ---- Busiest zones (the Fig. 3 idea, all floors). ---------------------
+    let catalog = zone_catalog();
+    let counts = dataset.detections_per_zone();
+    let mut series: Vec<(String, f64)> = counts
+        .iter()
+        .map(|(&id, &c)| {
+            let theme = catalog
+                .iter()
+                .find(|z| z.id == id)
+                .map(|z| z.theme)
+                .unwrap_or("?");
+            (format!("{id} {theme}"), c as f64)
+        })
+        .collect();
+    series.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    series.truncate(8);
+    println!("\nbusiest zones:\n{}", bar_chart(&series, 36));
+
+    // ---- SITM conversion + data quality. -----------------------------------
+    let model = build_louvre();
+    let trajectories: Vec<_> = dataset
+        .visits
+        .iter()
+        .filter_map(|v| dataset.to_trajectory(&model, v))
+        .collect();
+    println!("converted {} visits into semantic trajectories", trajectories.len());
+    let sample = &trajectories[trajectories.len() / 2];
+    let quality = quality_of_trace(sample.trace(), Duration::seconds(30));
+    println!(
+        "sample visit quality: {} detections, {} gap(s), continuity {:.0}%",
+        quality.detections,
+        quality.gaps,
+        quality.continuity * 100.0
+    );
+
+    // ---- Sequential patterns and rules. ------------------------------------
+    let sequences: Vec<Vec<u32>> = dataset
+        .visits
+        .iter()
+        .map(|v| v.detections.iter().map(|d| d.zone_id).collect())
+        .collect();
+    let min_support = (sequences.len() / 20).max(2);
+    let patterns = mine_sequential_patterns(&sequences, min_support, 3);
+    println!("\nfrequent zone patterns (min support {min_support}):");
+    for p in patterns.iter().filter(|p| p.items.len() >= 2).take(5) {
+        println!("  {:?}  support {}", p.items, p.support);
+    }
+    let rules = mine_rules(&patterns, sequences.len(), 0.3);
+    println!("association rules (confidence >= 0.3):");
+    for r in rules.iter().take(5) {
+        println!(
+            "  {:?} => {}  conf {:.2} lift {:.2}",
+            r.antecedent, r.consequent, r.confidence, r.lift
+        );
+    }
+
+    // ---- Next-zone prediction. ---------------------------------------------
+    let split = sequences.len() * 4 / 5;
+    let model_markov = MarkovModel::fit(&sequences[..split]);
+    let accuracy = model_markov.accuracy(&sequences[split..]);
+    println!(
+        "\nnext-zone Markov model: {:.1}% held-out accuracy ({} transitions trained)",
+        accuracy * 100.0,
+        model_markov.transition_count()
+    );
+
+    // ---- Visitor profiling by trajectory similarity. ------------------------
+    let sample_size = sequences.len().min(80);
+    let matrix = DistanceMatrix::build(sample_size, |i, j| {
+        edit_distance(&sequences[i], &sequences[j]) as f64
+    });
+    let clusters = k_medoids(&matrix, 4, 40);
+    let mut sizes = vec![0usize; 4];
+    for &c in &clusters.assignment {
+        sizes[c] += 1;
+    }
+    println!(
+        "visitor profiling: k-medoids over {sample_size} visits -> cluster sizes {sizes:?} (cost {:.0})",
+        clusters.cost
+    );
+}

@@ -1,0 +1,102 @@
+//! Mining walk-through on the Fig. 6 floor −2 micro-world: sequential
+//! patterns, rules, a Markov predictor, floor-switch n-grams, and
+//! hierarchy-aware semantic similarity.
+//!
+//! Run with: `cargo run --example pattern_mining`
+
+use sitm::louvre::{build_louvre, generate_dataset, zone_catalog, GeneratorConfig, PaperCalibration};
+use sitm::mining::{
+    floor_switch_ngrams, mine_rules, mine_sequential_patterns, normalized_edit_similarity,
+    HierarchyDistance, MarkovModel,
+};
+
+fn main() {
+    // A modest synthetic dataset (identities preserved).
+    let config = GeneratorConfig {
+        seed: 13,
+        calibration: PaperCalibration {
+            visits: 310,
+            visitors: 200,
+            returning_visitors: 80,
+            revisits: 110,
+            detections: 1_300,
+            transitions: 1_300 - 310,
+            ..PaperCalibration::default()
+        },
+        ..GeneratorConfig::default()
+    };
+    let dataset = generate_dataset(&config);
+    let sequences: Vec<Vec<u32>> = dataset
+        .visits
+        .iter()
+        .map(|v| v.detections.iter().map(|d| d.zone_id).collect())
+        .collect();
+    println!("mining {} visit sequences", sequences.len());
+
+    // ---- Sequential patterns. ----------------------------------------------
+    let patterns = mine_sequential_patterns(&sequences, 20, 3);
+    println!("\ntop patterns (support >= 20):");
+    for p in patterns.iter().filter(|p| p.items.len() >= 2).take(6) {
+        println!("  {:?}  support {}", p.items, p.support);
+    }
+
+    // ---- Rules: where do visitors go next? ---------------------------------
+    let rules = mine_rules(&patterns, sequences.len(), 0.4);
+    println!("\nrules (confidence >= 0.4):");
+    for r in rules.iter().take(6) {
+        println!(
+            "  {:?} => {}  conf {:.2}  lift {:.2}",
+            r.antecedent, r.consequent, r.confidence, r.lift
+        );
+    }
+
+    // ---- Markov next-zone prediction. --------------------------------------
+    let markov = MarkovModel::fit(&sequences);
+    let entrance = 60886u32;
+    println!("\nfrom the Napoleon Hall ({entrance}), visitors go to:");
+    for (zone, p) in markov.top_k(&entrance, 3) {
+        let theme = zone_catalog()
+            .iter()
+            .find(|z| z.id == *zone)
+            .map(|z| z.theme)
+            .unwrap_or("?");
+        println!("  {zone} {theme}: {:.0}%", p * 100.0);
+    }
+
+    // ---- Floor switching (§5). ---------------------------------------------
+    let floor_of: std::collections::BTreeMap<u32, i8> =
+        zone_catalog().iter().map(|z| (z.id, z.floor)).collect();
+    let floor_visits: Vec<Vec<i8>> = dataset
+        .visits
+        .iter()
+        .map(|v| v.detections.iter().map(|d| floor_of[&d.zone_id]).collect())
+        .collect();
+    println!("\nfloor-switch bigrams:");
+    for (gram, count) in floor_switch_ngrams(&floor_visits, 2).iter().take(5) {
+        println!("  {gram:?}: {count}");
+    }
+
+    // ---- Semantic similarity over the room hierarchy. -----------------------
+    let model = build_louvre();
+    let dist = HierarchyDistance::new(&model.space, &model.hierarchy);
+    let room = |zone: u32, idx: usize| {
+        model
+            .space
+            .resolve(&sitm::louvre::building::room_key(zone, idx))
+            .expect("room")
+    };
+    let a = room(60861, 0); // Grande Galerie, room 1 (floor +1, Denon)
+    let b = room(60861, 1); // same zone, next room
+    let c = room(60840, 0); // Medieval Louvre (floor -1, Sully)
+    println!("\nWu-Palmer similarity over the layer hierarchy:");
+    println!("  same-zone rooms:        {:.2}", dist.wu_palmer(a, b));
+    println!("  cross-wing rooms:       {:.2}", dist.wu_palmer(a, c));
+
+    // Plain symbolic similarity between the two most active visits.
+    let mut by_len: Vec<&Vec<u32>> = sequences.iter().collect();
+    by_len.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    println!(
+        "  two longest visits (edit similarity): {:.2}",
+        normalized_edit_similarity(by_len[0], by_len[1])
+    );
+}

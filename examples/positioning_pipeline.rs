@@ -1,0 +1,87 @@
+//! The BLE positioning substrate end-to-end: beacons → RSSI → trilateration
+//! → EKF → zone detections → symbolic SITM trace (the §4.1 data path).
+//!
+//! Run with: `cargo run --release --example positioning_pipeline`
+
+use sitm::core::Timestamp;
+use sitm::geometry::{BBox, Point, Polygon};
+use sitm::positioning::{
+    BeaconDeployment, GroundTruthFix, Pipeline, RssiModel, ZoneMap,
+};
+use sitm::sim::SimRng;
+use sitm::space::{Cell, CellClass, IndoorSpace, LayerKind};
+
+fn main() {
+    // ---- Three exhibition zones in a row, 25 m each. ----------------------
+    let mut space = IndoorSpace::new();
+    let zones = space.add_layer("zones", LayerKind::Thematic);
+    for (i, name) in ["Antiquities", "Paintings", "Sculptures"].iter().enumerate() {
+        let x0 = i as f64 * 25.0;
+        space
+            .add_cell(
+                zones,
+                Cell::new(format!("zone-{i}"), *name, CellClass::Zone)
+                    .on_floor(0)
+                    .with_geometry(
+                        Polygon::rectangle(Point::new(x0, 0.0), Point::new(x0 + 25.0, 15.0))
+                            .expect("rect"),
+                    ),
+            )
+            .expect("unique");
+    }
+    let zone_map = ZoneMap::build(&space, zones, 10.0);
+
+    // ---- Beacon grid at 8 m pitch (the Louvre used ~1800 for 5 floors). ---
+    let mut deployment = BeaconDeployment::new();
+    let n = deployment.grid(
+        BBox::from_corners(Point::new(0.0, 0.0), Point::new(75.0, 15.0)),
+        0,
+        8.0,
+        -59.0,
+    );
+    println!("deployed {n} beacons");
+
+    // ---- A visitor strolls through all three zones. ------------------------
+    let path: Vec<GroundTruthFix> = (0..150)
+        .map(|i| GroundTruthFix {
+            at: Timestamp(i as i64),
+            position: Point::new(2.0 + i as f64 * 0.48, 7.5),
+            floor: 0,
+        })
+        .collect();
+
+    let pipeline = Pipeline::new(deployment, RssiModel::indoor_default());
+    let mut rng = SimRng::seeded(2026);
+    let report = pipeline.run(&space, &zone_map, &path, &mut rng);
+
+    println!(
+        "fixes: {} | solved: {} | raw error {:.2} m | EKF error {:.2} m",
+        report.fixes, report.solved_fixes, report.raw_error_mean, report.filtered_error_mean
+    );
+    println!("zone detections:");
+    for d in &report.detections {
+        let cell = space.cell(d.cell).expect("cell");
+        println!(
+            "  {:<12} {} .. {}",
+            cell.name,
+            d.start,
+            d.end
+        );
+    }
+
+    let trace = report.to_trace();
+    println!(
+        "\nsymbolic trace: {} tuples, {} zone transitions, span {}",
+        trace.len(),
+        trace.transition_count(),
+        trace.span().expect("non-empty").duration()
+    );
+    println!(
+        "cell sequence: {:?}",
+        trace
+            .cell_sequence()
+            .iter()
+            .map(|&c| space.cell(c).expect("cell").name.as_str())
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,119 @@
+//! Semantic enrichment from a CIDOC-CRM-flavoured knowledge base.
+//!
+//! The paper's §5 future work made runnable: build the Louvre exhibit KB,
+//! saturate it with the reasoner, enrich a visitor's trace with
+//! exhibit/theme/artist annotations, compare two visitors' theme dwell
+//! profiles, and derive the conceptual (focus-of-attention) trajectory.
+//!
+//! Run with: `cargo run --example semantic_enrichment`
+
+use sitm::core::{PresenceInterval, Timestamp, Trace, TransitionTaken};
+use sitm::louvre::{build_louvre, zone_key, AttentionConfig, AttentionModel, LouvreModel};
+use sitm::ontology::{
+    build_louvre_kb, enrich_trace, exhibits_in_zone, profile_similarity, saturate,
+    theme_dwell_profile, zone_semantics,
+};
+use sitm::space::CellRef;
+
+/// Maps a model cell back to its thematic zone id (cells carry their key
+/// `zone<id>`).
+fn zone_of(model: &LouvreModel) -> impl Fn(CellRef) -> Option<u32> + '_ {
+    move |cell| {
+        let key = &model.space.cell(cell)?.key;
+        key.strip_prefix("zone")?.parse().ok()
+    }
+}
+
+fn zone_trace(model: &LouvreModel, stops: &[(u32, i64, i64)]) -> Trace {
+    Trace::new(
+        stops
+            .iter()
+            .map(|&(zone, start, end)| {
+                PresenceInterval::new(
+                    TransitionTaken::Unknown,
+                    model.space.resolve(&zone_key(zone)).expect("zone modelled"),
+                    Timestamp(start),
+                    Timestamp(end),
+                )
+            })
+            .collect(),
+    )
+    .expect("ordered stays")
+}
+
+fn main() {
+    // ---- 1. Build and saturate the knowledge base. ------------------------
+    let mut kb = build_louvre_kb();
+    let base_facts = kb.len();
+    let inferred = saturate(&mut kb);
+    println!("knowledge base: {base_facts} asserted triples, {inferred} inferred");
+
+    // What does the KB know about the Salle des États zone?
+    let salle = zone_semantics(&kb, 60862);
+    println!(
+        "zone 60862 hosts {:?} by {:?} (themes: {})",
+        salle.exhibits,
+        salle.artists,
+        salle.themes.join(", ")
+    );
+    println!(
+        "exhibits located in zone 60852 (after location lifting): {:?}",
+        exhibits_in_zone(&kb, 60852)
+    );
+
+    // ---- 2. Enrich two visitors' traces. ----------------------------------
+    let model = build_louvre();
+    // A paintings-focused visitor: Salle des États, French large formats.
+    let painter_fan = zone_trace(&model, &[(60862, 0, 1800), (60863, 1900, 3600)]);
+    // An antiquities-focused visitor: Egyptian, Near Eastern, Greek rooms.
+    let antiquarian = zone_trace(&model, &[(60853, 0, 1500), (60854, 1600, 2800), (60852, 2900, 3600)]);
+
+    let (enriched, touched) = enrich_trace(&kb, painter_fan.clone(), zone_of(&model));
+    println!("\npainting-fan trace: {touched} stays enriched; first stay annotations:");
+    println!("  {}", enriched.get(0).expect("non-empty").annotations);
+
+    // ---- 3. Theme dwell profiles and visitor similarity. ------------------
+    let profile_a = theme_dwell_profile(&kb, &painter_fan, zone_of(&model));
+    let profile_b = theme_dwell_profile(&kb, &antiquarian, zone_of(&model));
+    println!("\npainting fan profile:");
+    for (theme, dwell) in &profile_a {
+        println!("  {theme:<42} {dwell}");
+    }
+    println!("antiquarian profile:");
+    for (theme, dwell) in &profile_b {
+        println!("  {theme:<42} {dwell}");
+    }
+    println!(
+        "cosine similarity(painting fan, antiquarian) = {:.3}",
+        profile_similarity(&profile_a, &profile_b)
+    );
+    println!(
+        "cosine similarity(painting fan, itself)      = {:.3}",
+        profile_similarity(&profile_a, &profile_a)
+    );
+
+    // ---- 4. Conceptual trajectory: what was the visit *about*? ------------
+    let attention = AttentionModel::new(&model, AttentionConfig::default());
+    let roi_visit = Trace::new(vec![
+        PresenceInterval::new(
+            TransitionTaken::Unknown,
+            model.space.resolve("roi-mona-lisa").expect("flagship RoI"),
+            Timestamp(0),
+            Timestamp(540),
+        ),
+        PresenceInterval::new(
+            TransitionTaken::Unknown,
+            model.space.resolve("roi-winged-victory").expect("flagship RoI"),
+            Timestamp(700),
+            Timestamp(760),
+        ),
+    ])
+    .expect("ordered stays");
+    let conceptual = attention.conceptual_trace(&roi_visit);
+    println!("\nconceptual trajectory (focus of attention):");
+    print!("{conceptual}");
+    println!(
+        "\ndominant concept: {}",
+        conceptual.dominant_concept().unwrap_or_default()
+    );
+}

@@ -1,0 +1,43 @@
+//! # sitm — Semantic Indoor Trajectory Model
+//!
+//! Facade crate re-exporting the full SITM toolkit, a Rust reproduction of
+//! *Kontarinis et al., "Towards a Semantic Indoor Trajectory Model"*
+//! (BMDA @ EDBT 2019).
+//!
+//! The toolkit decomposes into focused crates, all re-exported here:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`graph`] | `sitm-graph` | directed multigraphs, multilayer networks, path algorithms |
+//! | [`geometry`] | `sitm-geometry` | 2D points, polygons, topological predicates |
+//! | [`qsr`] | `sitm-qsr` | RCC8 calculus, 9-intersection, constraint networks |
+//! | [`space`] | `sitm-space` | IndoorGML-style multi-layered indoor space model |
+//! | [`core`] | `sitm-core` | semantic trajectories, episodes, segmentation, inference |
+//! | [`positioning`] | `sitm-positioning` | BLE RSSI models, trilateration, EKF, particle filter |
+//! | [`sim`] | `sitm-sim` | seeded samplers & stochastic processes |
+//! | [`louvre`] | `sitm-louvre` | the Louvre case study & calibrated synthetic dataset |
+//! | [`mining`] | `sitm-mining` | sequential patterns, Markov models, similarity, profiling |
+//! | [`analytics`] | `sitm-analytics` | descriptive statistics, choropleths, reports |
+//! | [`query`] | `sitm-query` | indexed trajectory retrieval: predicates, plans, aggregation |
+//! | [`store`] | `sitm-store` | binary codec, CRC-framed append-only log, crash recovery |
+//! | [`ontology`] | `sitm-ontology` | triple store + CIDOC-CRM-flavoured museum knowledge base |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete walk-through: build an indoor
+//! space, record a semantic trajectory, segment it into episodes, and lift
+//! it through the layer hierarchy.
+
+pub use sitm_analytics as analytics;
+pub use sitm_core as core;
+pub use sitm_geometry as geometry;
+pub use sitm_graph as graph;
+pub use sitm_louvre as louvre;
+pub use sitm_mining as mining;
+pub use sitm_ontology as ontology;
+pub use sitm_positioning as positioning;
+pub use sitm_query as query;
+pub use sitm_store as store;
+pub use sitm_qsr as qsr;
+pub use sitm_sim as sim;
+pub use sitm_space as space;

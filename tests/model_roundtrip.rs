@@ -1,0 +1,45 @@
+//! Serialization round-trips of the full Louvre model and hierarchy checks
+//! after decoding.
+
+use sitm::louvre::build_louvre;
+use sitm::space::io::{from_json_str, to_json_string};
+use sitm::space::{core_hierarchy, validate_hierarchy, IssueSeverity, SpaceQuery};
+
+#[test]
+fn louvre_model_survives_json_round_trip() {
+    let model = build_louvre();
+    let text = to_json_string(&model.space);
+    assert!(text.len() > 10_000, "a real document");
+    let decoded = from_json_str(&text).expect("valid document");
+    assert_eq!(decoded.stats(), model.space.stats());
+
+    // Semantic spot checks after decoding.
+    let e = decoded.resolve("zone60887").expect("E survives");
+    let s = decoded.resolve("zone60890").expect("S survives");
+    let p = decoded.resolve("zone60888").expect("P survives");
+    assert_eq!(decoded.unavoidable_between(e, s), Some(vec![p]));
+    let cell = decoded.cell(e).unwrap();
+    assert_eq!(cell.attribute("theme"), Some("Temporary Exhibition (E)"));
+    assert!(cell.geometry.is_some(), "zone geometry survives");
+}
+
+#[test]
+fn decoded_hierarchy_still_validates() {
+    let model = build_louvre();
+    let text = to_json_string(&model.space);
+    let decoded = from_json_str(&text).expect("valid document");
+    let hierarchy = core_hierarchy(&decoded).expect("layers survive");
+    assert_eq!(hierarchy.len(), 5);
+    let errors = validate_hierarchy(&decoded, &hierarchy)
+        .into_iter()
+        .filter(|i| i.severity() == IssueSeverity::Error)
+        .count();
+    assert_eq!(errors, 0);
+}
+
+#[test]
+fn serialization_is_deterministic() {
+    let a = to_json_string(&build_louvre().space);
+    let b = to_json_string(&build_louvre().space);
+    assert_eq!(a, b);
+}
