@@ -90,11 +90,7 @@ mod tests {
     use super::*;
 
     fn matrix() -> TransitionMatrix {
-        TransitionMatrix::fit(&[
-            vec!["a", "b", "c"],
-            vec!["a", "b", "b"],
-            vec!["c", "a"],
-        ])
+        TransitionMatrix::fit(&[vec!["a", "b", "c"], vec!["a", "b", "b"], vec!["c", "a"]])
     }
 
     #[test]

@@ -39,10 +39,7 @@ pub fn quality_of_trace(trace: &Trace, sampling_rate: Duration) -> QualityReport
         .iter()
         .fold(Duration::ZERO, |acc, g| acc + g.duration());
     let dwell = trace.dwell_total();
-    let span = trace
-        .span()
-        .map(|s| s.duration())
-        .unwrap_or(Duration::ZERO);
+    let span = trace.span().map(|s| s.duration()).unwrap_or(Duration::ZERO);
     QualityReport {
         detections,
         zero_duration: zero,

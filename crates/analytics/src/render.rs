@@ -106,10 +106,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_peak() {
-        let out = bar_chart(
-            &[("a".to_string(), 10.0), ("b".to_string(), 5.0)],
-            20,
-        );
+        let out = bar_chart(&[("a".to_string(), 10.0), ("b".to_string(), 5.0)], 20);
         let lines: Vec<&str> = out.lines().collect();
         let hashes = |s: &str| s.chars().filter(|&c| c == '#').count();
         assert_eq!(hashes(lines[0]), 20);

@@ -13,7 +13,8 @@ fn config_at_scale(divisor: usize) -> GeneratorConfig {
     let visitors = base.visitors / divisor;
     let returning = base.returning_visitors / divisor;
     let revisits = (returning * base.revisits / base.returning_visitors).max(returning);
-    let visits = (visitors - returning) + 2 * (2 * returning - revisits) + 3 * (revisits - returning);
+    let visits =
+        (visitors - returning) + 2 * (2 * returning - revisits) + 3 * (revisits - returning);
     let detections = visits * base.detections / base.visits;
     GeneratorConfig {
         seed: 99,
@@ -36,13 +37,9 @@ fn bench_generation(c: &mut Criterion) {
     for divisor in [20usize, 5] {
         let config = config_at_scale(divisor);
         let visits = config.calibration.visits;
-        group.bench_with_input(
-            BenchmarkId::new("visits", visits),
-            &config,
-            |b, config| {
-                b.iter(|| generate_dataset(black_box(config)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("visits", visits), &config, |b, config| {
+            b.iter(|| generate_dataset(black_box(config)));
+        });
     }
     group.finish();
 }

@@ -63,9 +63,7 @@ fn bench_similarity(c: &mut Criterion) {
 
 fn bench_clustering(c: &mut Criterion) {
     let db = sequence_db(60, 5, 30);
-    let matrix = DistanceMatrix::build(db.len(), |i, j| {
-        edit_distance(&db[i], &db[j]) as f64
-    });
+    let matrix = DistanceMatrix::build(db.len(), |i, j| edit_distance(&db[i], &db[j]) as f64);
     let mut group = c.benchmark_group("mining/k_medoids");
     group.sample_size(20);
     group.bench_function("60_visitors_k4", |b| {

@@ -96,5 +96,10 @@ fn bench_pipeline_vs_symbolic(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_trilateration, bench_filters, bench_pipeline_vs_symbolic);
+criterion_group!(
+    benches,
+    bench_trilateration,
+    bench_filters,
+    bench_pipeline_vs_symbolic
+);
 criterion_main!(benches);

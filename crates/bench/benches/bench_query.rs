@@ -64,7 +64,10 @@ fn bench_selection(c: &mut Criterion) {
     group.bench_function("stay_window_probe", |b| {
         b.iter(|| {
             Query::new()
-                .filter(Predicate::StayOverlaps(black_box(p_zone), black_box(window)))
+                .filter(Predicate::StayOverlaps(
+                    black_box(p_zone),
+                    black_box(window),
+                ))
                 .count(&db)
         });
     });

@@ -88,8 +88,7 @@ fn bench_log_round_trip(c: &mut Criterion) {
                 log.append_batch(trajs.iter()).expect("append");
                 log.sync().expect("sync");
             }
-            let (_, records, report) =
-                LogStore::<SemanticTrajectory>::open(&path).expect("reopen");
+            let (_, records, report) = LogStore::<SemanticTrajectory>::open(&path).expect("reopen");
             assert!(report.is_clean());
             std::fs::remove_file(&path).ok();
             records.len()
@@ -98,5 +97,10 @@ fn bench_log_round_trip(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_segment_scan, bench_log_round_trip);
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_segment_scan,
+    bench_log_round_trip
+);
 criterion_main!(benches);

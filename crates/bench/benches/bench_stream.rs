@@ -1,0 +1,123 @@
+//! Streaming-ingestion benchmarks: event throughput by shard count, and
+//! checkpoint/restore latency — the perf baseline for future scaling PRs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use sitm_core::{Annotation, AnnotationSet, Duration, IntervalPredicate};
+use sitm_louvre::{
+    build_louvre, generate_dataset, zone_key, GeneratorConfig, LouvreModel, PaperCalibration,
+};
+use sitm_store::{CheckpointFrame, LogStore};
+use sitm_stream::{dataset_events, resume_from_log, EngineConfig, ShardedEngine, StreamEvent};
+
+/// A mid-size day: ~500 visits, ~2500 detections.
+fn feed(model: &LouvreModel) -> Vec<StreamEvent> {
+    let cal = PaperCalibration {
+        visits: 500,
+        visitors: 400,
+        returning_visitors: 100,
+        revisits: 100,
+        detections: 2_500,
+        transitions: 2_000,
+        ..PaperCalibration::default()
+    };
+    let dataset = generate_dataset(&GeneratorConfig {
+        seed: 20_170_119,
+        calibration: cal,
+        ..GeneratorConfig::default()
+    });
+    dataset_events(model, &dataset)
+}
+
+fn label(s: &str) -> AnnotationSet {
+    AnnotationSet::from_iter([Annotation::goal(s)])
+}
+
+fn config(model: &LouvreModel, shards: usize) -> EngineConfig {
+    let exit_chain = [60887u32, 60888, 60890]
+        .map(|id| model.space.resolve(&zone_key(id)).expect("zone resolves"));
+    EngineConfig::new(vec![
+        (
+            IntervalPredicate::in_cells(exit_chain),
+            label("exit museum"),
+        ),
+        (
+            IntervalPredicate::min_duration(Duration::minutes(5)),
+            label("long stay"),
+        ),
+        (IntervalPredicate::any(), label("whole visit")),
+    ])
+    .with_shards(shards)
+}
+
+fn bench_ingest_throughput(c: &mut Criterion) {
+    let model = build_louvre();
+    let events = feed(&model);
+    let mut group = c.benchmark_group("stream/ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for shards in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut engine = ShardedEngine::new(config(&model, shards)).expect("engine");
+                    engine.ingest_all(black_box(events.iter().cloned()));
+                    engine.finish().len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_checkpoint_restore(c: &mut Criterion) {
+    let model = build_louvre();
+    let events = feed(&model);
+    let mut group = c.benchmark_group("stream/checkpoint");
+    group.sample_size(10);
+
+    // Engine loaded with the first half of the day: open visits, open
+    // runs, pending episodes — a representative snapshot.
+    let load = |shards: usize| {
+        let mut engine = ShardedEngine::new(config(&model, shards)).expect("engine");
+        engine.ingest_all(events[..events.len() / 2].iter().cloned());
+        engine.flush();
+        engine
+    };
+
+    let path = std::env::temp_dir().join(format!("sitm-bench-ckpt-{}.log", std::process::id()));
+    for shards in [1usize, 8] {
+        let mut engine = load(shards);
+        group.bench_with_input(BenchmarkId::new("checkpoint", shards), &shards, |b, _| {
+            b.iter(|| {
+                let _ = std::fs::remove_file(&path);
+                let (mut log, _, _) = LogStore::<CheckpointFrame>::open(&path).expect("log");
+                engine.checkpoint(&mut log).expect("checkpoint")
+            });
+        });
+        // One final checkpoint to restore from.
+        let _ = std::fs::remove_file(&path);
+        let (mut log, _, _) = LogStore::<CheckpointFrame>::open(&path).expect("log");
+        engine.checkpoint(&mut log).expect("checkpoint");
+        drop(log);
+        group.bench_with_input(
+            BenchmarkId::new("restore", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let (engine, _log, _report) =
+                        resume_from_log(config(&model, shards), &path).expect("restore");
+                    black_box(engine.stats().open_visits)
+                });
+            },
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_throughput, bench_checkpoint_restore);
+criterion_main!(benches);

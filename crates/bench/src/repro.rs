@@ -8,10 +8,10 @@ use std::fmt::Write as _;
 
 use sitm_analytics::{bar_chart, table, Choropleth, Summary, TableAlign};
 use sitm_core::{lift_trace, AnnotationKind, Duration};
+use sitm_louvre::scenarios;
 use sitm_louvre::{
     build_louvre, generate_dataset, zone_catalog, GeneratorConfig, PaperCalibration,
 };
-use sitm_louvre::scenarios;
 use sitm_qsr::{NineIntersection, Rcc8};
 use sitm_space::{validate_hierarchy, IssueSeverity, SpaceQuery};
 
@@ -56,7 +56,11 @@ fn comparison_table(rows: &[ComparisonRow]) -> String {
 /// that realize each concept.
 pub fn table1() -> String {
     let mut out = String::new();
-    writeln!(out, "== Table 1: closely related terms under indoor space modeling ==\n").unwrap();
+    writeln!(
+        out,
+        "== Table 1: closely related terms under indoor space modeling ==\n"
+    )
+    .unwrap();
     let rows = vec![
         vec![
             "(spatial) region".to_string(),
@@ -92,10 +96,21 @@ pub fn table1() -> String {
         &[],
     ));
     // The six joint relations and their 9-intersection matrices.
-    writeln!(out, "\njoint relations as 9-intersection patterns (regular closed regions):").unwrap();
+    writeln!(
+        out,
+        "\njoint relations as 9-intersection patterns (regular closed regions):"
+    )
+    .unwrap();
     for rel in sitm_space::JointRelation::ALL {
         let matrix = NineIntersection::from_rcc8(rel.to_rcc8());
-        writeln!(out, "  {:<10} RCC8 {:<6} 9IM {}", rel.name(), rel.to_rcc8().name(), matrix).unwrap();
+        writeln!(
+            out,
+            "  {:<10} RCC8 {:<6} 9IM {}",
+            rel.name(),
+            rel.to_rcc8().name(),
+            matrix
+        )
+        .unwrap();
     }
     // And the two excluded ones.
     for rcc in [Rcc8::Dc, Rcc8::Ec] {
@@ -194,7 +209,11 @@ pub fn dataset_stats(config: &GeneratorConfig) -> String {
         },
     ];
     let mut out = String::new();
-    writeln!(out, "== D1: dataset statistics (§4.1), paper vs synthetic ==\n").unwrap();
+    writeln!(
+        out,
+        "== D1: dataset statistics (§4.1), paper vs synthetic ==\n"
+    )
+    .unwrap();
     out.push_str(&comparison_table(&rows));
     writeln!(
         out,
@@ -209,7 +228,11 @@ pub fn dataset_stats(config: &GeneratorConfig) -> String {
 pub fn fig1() -> String {
     let fig = sitm_louvre::denon::denon_figure1();
     let mut out = String::new();
-    writeln!(out, "== F1: Fig. 1 — Denon wing, 1st floor, 2-level graph ==\n").unwrap();
+    writeln!(
+        out,
+        "== F1: Fig. 1 — Denon wing, 1st floor, 2-level graph ==\n"
+    )
+    .unwrap();
     for (idx, layer) in fig.space.layers() {
         writeln!(out, "layer {idx}: {layer}").unwrap();
         for (cref, cell) in fig.space.cells_in(idx) {
@@ -239,8 +262,12 @@ pub fn fig1() -> String {
     )
     .unwrap();
     let detour = fig.space.route(room2, salle).expect("detour exists");
-    writeln!(out, "entering room 4 from room 2 requires the detour of {} cells", detour.len())
-        .unwrap();
+    writeln!(
+        out,
+        "entering room 4 from room 2 requires the detour of {} cells",
+        detour.len()
+    )
+    .unwrap();
     out
 }
 
@@ -248,7 +275,11 @@ pub fn fig1() -> String {
 pub fn fig2() -> String {
     let model = build_louvre();
     let mut out = String::new();
-    writeln!(out, "== F2: Fig. 2 — core layer hierarchy with complex root and RoI leaf ==\n").unwrap();
+    writeln!(
+        out,
+        "== F2: Fig. 2 — core layer hierarchy with complex root and RoI leaf ==\n"
+    )
+    .unwrap();
     let mut rows = Vec::new();
     for &layer in model.hierarchy.layers() {
         let meta = model.space.layer(layer).expect("layer exists");
@@ -312,7 +343,11 @@ pub fn fig3(config: &GeneratorConfig) -> String {
     series.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     let choropleth = Choropleth::quantiles(series.clone(), 5);
     let mut out = String::new();
-    writeln!(out, "== F3: Fig. 3 — ground-floor zone detection choropleth ==\n").unwrap();
+    writeln!(
+        out,
+        "== F3: Fig. 3 — ground-floor zone detection choropleth ==\n"
+    )
+    .unwrap();
     out.push_str(&bar_chart(&series, 40));
     writeln!(out, "\nquantile classes (5 = darkest):").unwrap();
     for e in choropleth.entries() {
@@ -325,7 +360,11 @@ pub fn fig3(config: &GeneratorConfig) -> String {
 pub fn fig4() -> String {
     let model = build_louvre();
     let mut out = String::new();
-    writeln!(out, "== F4: Fig. 4 — RoIs inside zones 60854 and 60853 ==\n").unwrap();
+    writeln!(
+        out,
+        "== F4: Fig. 4 — RoIs inside zones 60854 and 60853 ==\n"
+    )
+    .unwrap();
     let mut rows = Vec::new();
     for zone_id in [60853u32, 60854] {
         let zone_ref = model.zone(zone_id).expect("catalog zone");
@@ -377,7 +416,11 @@ pub fn fig5() -> String {
     let traj = scenarios::fig5_trajectory(&model);
     let seg = scenarios::fig5_segmentation(&model, &traj).expect("annotations differ");
     let mut out = String::new();
-    writeln!(out, "== F5: Fig. 5 — overlapping goal episodes over E->P->S->C ==\n").unwrap();
+    writeln!(
+        out,
+        "== F5: Fig. 5 — overlapping goal episodes over E->P->S->C ==\n"
+    )
+    .unwrap();
     writeln!(out, "trajectory {}:", traj.moving_object).unwrap();
     for p in traj.trace().intervals() {
         let cell = model.space.cell(p.cell).expect("cell exists");
@@ -418,7 +461,11 @@ pub fn fig5() -> String {
 pub fn fig6(config: &GeneratorConfig) -> String {
     let model = build_louvre();
     let mut out = String::new();
-    writeln!(out, "== F6: Fig. 6 — topology-based inference of zone 60888 ==\n").unwrap();
+    writeln!(
+        out,
+        "== F6: Fig. 6 — topology-based inference of zone 60888 ==\n"
+    )
+    .unwrap();
     let observed = scenarios::fig6_observed_trace(&model);
     writeln!(out, "observed (sparse) trace:").unwrap();
     for p in observed.intervals() {
@@ -426,7 +473,12 @@ pub fn fig6(config: &GeneratorConfig) -> String {
         writeln!(out, "  {} [{}]", p, cell.key).unwrap();
     }
     let outcome = scenarios::fig6_inference(&model);
-    writeln!(out, "\nafter inference ({} tuple inserted):", outcome.inferred.len()).unwrap();
+    writeln!(
+        out,
+        "\nafter inference ({} tuple inserted):",
+        outcome.inferred.len()
+    )
+    .unwrap();
     for p in outcome.trace.intervals() {
         let cell = model.space.cell(p.cell).expect("cell exists");
         let marker = if p
@@ -507,7 +559,11 @@ pub fn positioning_demo() -> String {
     let mut rng = SimRng::seeded(99);
     let report = pipeline.run(&model.space, &zones, &path, &mut rng);
     let mut out = String::new();
-    writeln!(out, "== A6: geometric positioning pipeline over the Louvre floor 0 ==\n").unwrap();
+    writeln!(
+        out,
+        "== A6: geometric positioning pipeline over the Louvre floor 0 ==\n"
+    )
+    .unwrap();
     writeln!(
         out,
         "fixes {} | solved {} | raw err {:.2} m | filtered err {:.2} m | unmapped {}",
@@ -563,7 +619,11 @@ pub fn floor_patterns(config: &GeneratorConfig) -> String {
             ]
         })
         .collect();
-    out.push_str(&table(&["floor switch", "count"], &rows, &[TableAlign::Left, TableAlign::Right]));
+    out.push_str(&table(
+        &["floor switch", "count"],
+        &rows,
+        &[TableAlign::Left, TableAlign::Right],
+    ));
     out
 }
 
@@ -575,7 +635,11 @@ pub fn lifting_demo() -> String {
 
     let model = build_louvre();
     let mut out = String::new();
-    writeln!(out, "== granularity lifting (§3.2 transitivity of parthood) ==\n").unwrap();
+    writeln!(
+        out,
+        "== granularity lifting (§3.2 transitivity of parthood) ==\n"
+    )
+    .unwrap();
     // Build a room-level trace: rooms of zones 60886 (floor -2) then 60861,
     // 60862 (floor +1, Denon).
     let room = |zone: u32, idx: usize| {
@@ -585,10 +649,30 @@ pub fn lifting_demo() -> String {
             .expect("room exists")
     };
     let trace = Trace::new(vec![
-        PresenceInterval::new(TransitionTaken::Unknown, room(60886, 0), Timestamp(0), Timestamp(300)),
-        PresenceInterval::new(TransitionTaken::Unknown, room(60861, 0), Timestamp(300), Timestamp(900)),
-        PresenceInterval::new(TransitionTaken::Unknown, room(60861, 1), Timestamp(900), Timestamp(1200)),
-        PresenceInterval::new(TransitionTaken::Unknown, room(60862, 0), Timestamp(1200), Timestamp(2400)),
+        PresenceInterval::new(
+            TransitionTaken::Unknown,
+            room(60886, 0),
+            Timestamp(0),
+            Timestamp(300),
+        ),
+        PresenceInterval::new(
+            TransitionTaken::Unknown,
+            room(60861, 0),
+            Timestamp(300),
+            Timestamp(900),
+        ),
+        PresenceInterval::new(
+            TransitionTaken::Unknown,
+            room(60861, 1),
+            Timestamp(900),
+            Timestamp(1200),
+        ),
+        PresenceInterval::new(
+            TransitionTaken::Unknown,
+            room(60862, 0),
+            Timestamp(1200),
+            Timestamp(2400),
+        ),
     ])
     .expect("chronological");
     writeln!(out, "room-level trace: {} tuples", trace.len()).unwrap();
@@ -603,8 +687,13 @@ pub fn lifting_demo() -> String {
             .iter()
             .map(|p| model.space.cell(p.cell).expect("cell").key.clone())
             .collect();
-        writeln!(out, "  lifted to {label:<9} {} tuples: {}", lifted.len(), cells.join(" -> "))
-            .unwrap();
+        writeln!(
+            out,
+            "  lifted to {label:<9} {} tuples: {}",
+            lifted.len(),
+            cells.join(" -> ")
+        )
+        .unwrap();
     }
     out
 }
@@ -739,7 +828,10 @@ mod tests {
         assert!(out.contains("floor-napoleon-m2"));
         assert!(out.contains("floor-denon-p1"));
         assert!(out.contains("wing-napoleon -> wing-denon"));
-        assert!(out.contains("louvre"), "museum-level lift collapses to one cell");
+        assert!(
+            out.contains("louvre"),
+            "museum-level lift collapses to one cell"
+        );
     }
 
     #[test]

@@ -248,10 +248,7 @@ mod tests {
     #[test]
     fn display_groups_by_kind() {
         // The paper's example: {goals:["visit","buy"]}.
-        let set = AnnotationSet::from_iter([
-            Annotation::goal("visit"),
-            Annotation::goal("buy"),
-        ]);
+        let set = AnnotationSet::from_iter([Annotation::goal("visit"), Annotation::goal("buy")]);
         assert_eq!(set.to_string(), r#"{goals:["buy","visit"]}"#);
         assert_eq!(AnnotationSet::new().to_string(), "{}");
     }

@@ -135,11 +135,7 @@ pub fn derive_conceptual(
             let weight = weight.min(1.0);
             // Merge with the latest span on the same concept when
             // temporally contiguous.
-            if let Some(last) = spans
-                .iter_mut()
-                .rev()
-                .find(|s| s.concept == concept)
-            {
+            if let Some(last) = spans.iter_mut().rev().find(|s| s.concept == concept) {
                 if stay.start() <= last.time.end {
                     let old_secs = last.duration().as_secs_f64();
                     let add_secs = if stay.end() > last.time.end {
@@ -183,7 +179,12 @@ mod tests {
     }
 
     fn stay(c: usize, start: i64, end: i64) -> PresenceInterval {
-        PresenceInterval::new(TransitionTaken::Unknown, cell(c), Timestamp(start), Timestamp(end))
+        PresenceInterval::new(
+            TransitionTaken::Unknown,
+            cell(c),
+            Timestamp(start),
+            Timestamp(end),
+        )
     }
 
     /// Cell 0 attends the Mona Lisa fully; cell 1 attends two works
@@ -217,7 +218,10 @@ mod tests {
         let profile = conceptual.attention_profile();
         assert!((profile["Winged Victory"] - 70.0).abs() < 1e-9);
         assert!((profile["Dying Slave"] - 30.0).abs() < 1e-9);
-        assert_eq!(conceptual.dominant_concept().as_deref(), Some("Winged Victory"));
+        assert_eq!(
+            conceptual.dominant_concept().as_deref(),
+            Some("Winged Victory")
+        );
     }
 
     #[test]
@@ -235,13 +239,10 @@ mod tests {
         // Leaving and coming back produces two spans.
         let trace =
             Trace::new(vec![stay(0, 0, 100), stay(2, 100, 200), stay(0, 200, 300)]).unwrap();
-        let gapped = derive_conceptual(
-            &trace,
-            |p: &PresenceInterval| match p.cell.node.index() {
-                0 => vec![("Mona Lisa".to_string(), 1.0)],
-                _ => vec![],
-            },
-        );
+        let gapped = derive_conceptual(&trace, |p: &PresenceInterval| match p.cell.node.index() {
+            0 => vec![("Mona Lisa".to_string(), 1.0)],
+            _ => vec![],
+        });
         assert_eq!(gapped.len(), 2, "revisit after a gap is a new span");
     }
 

@@ -120,7 +120,10 @@ mod tests {
         let trace = room006_trace();
         let enriched = apply_annotation_events(
             &trace,
-            &[AnnotationEvent::new(t(14, 21, 45), goals(&["visit", "buy"]))],
+            &[AnnotationEvent::new(
+                t(14, 21, 45),
+                goals(&["visit", "buy"]),
+            )],
         );
         assert_eq!(enriched.len(), 2);
         let first = enriched.get(0).unwrap();
@@ -150,10 +153,8 @@ mod tests {
     fn event_at_tuple_end_ignored() {
         // Splitting at the very end would create an empty second half.
         let trace = room006_trace();
-        let enriched = apply_annotation_events(
-            &trace,
-            &[AnnotationEvent::new(t(14, 28, 0), goals(&["x"]))],
-        );
+        let enriched =
+            apply_annotation_events(&trace, &[AnnotationEvent::new(t(14, 28, 0), goals(&["x"]))]);
         assert_eq!(enriched, trace);
     }
 

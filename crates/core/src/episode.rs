@@ -15,7 +15,7 @@ use sitm_space::CellRef;
 
 use crate::annotation::{AnnotationKind, AnnotationSet};
 use crate::interval::PresenceInterval;
-use crate::time::{Duration, TimeInterval};
+use crate::time::{Duration, TimeInterval, Timestamp};
 use crate::trajectory::{SemanticTrajectory, TrajectoryError};
 
 /// A predicate over individual presence intervals, with combinators.
@@ -138,6 +138,90 @@ impl Episode {
     }
 }
 
+/// The in-flight state of one maximal run: enough to resume episode
+/// construction after a checkpoint without the intervals already consumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenRun {
+    /// Index of the first tuple of the run within the parent trace.
+    pub start: usize,
+    /// Start instant of that first tuple.
+    pub start_time: Timestamp,
+    /// Largest stay end seen inside the run so far (stays may nest, so
+    /// this is a running max, not the last end).
+    pub max_end: Timestamp,
+}
+
+/// Incremental construction of maximal episodes: the streaming-friendly
+/// core of [`maximal_episodes`], consuming one predicate verdict per trace
+/// tuple and yielding each episode the moment its run closes.
+///
+/// The batch extractor is implemented on top of this builder, so online
+/// consumers (`sitm-stream`) and offline ones provably share run
+/// semantics: same ranges, same time intervals, same maximality.
+#[derive(Debug, Clone)]
+pub struct RunBuilder {
+    annotations: AnnotationSet,
+    run: Option<OpenRun>,
+}
+
+impl RunBuilder {
+    /// A builder labelling every emitted episode with `annotations`.
+    pub fn new(annotations: AnnotationSet) -> Self {
+        RunBuilder {
+            annotations,
+            run: None,
+        }
+    }
+
+    /// The label applied to emitted episodes.
+    pub fn annotations(&self) -> &AnnotationSet {
+        &self.annotations
+    }
+
+    /// Feeds tuple `index` with its predicate verdict. A non-matching
+    /// tuple closes the open run (if any) and returns its episode; a
+    /// matching tuple extends or opens a run and returns `None`.
+    pub fn observe(
+        &mut self,
+        index: usize,
+        interval: &PresenceInterval,
+        matches: bool,
+    ) -> Option<Episode> {
+        if matches {
+            let run = self.run.get_or_insert(OpenRun {
+                start: index,
+                start_time: interval.start(),
+                max_end: interval.end(),
+            });
+            run.max_end = run.max_end.max(interval.end());
+            None
+        } else {
+            self.close(index)
+        }
+    }
+
+    /// Closes the open run (if any) as ending *before* tuple `next_index`
+    /// — call with the trace length at end-of-stream.
+    pub fn close(&mut self, next_index: usize) -> Option<Episode> {
+        self.run.take().map(|run| Episode {
+            range: run.start..next_index,
+            time: TimeInterval::new(run.start_time, run.max_end),
+            annotations: self.annotations.clone(),
+        })
+    }
+
+    /// The in-flight run, for checkpointing.
+    pub fn open_run(&self) -> Option<&OpenRun> {
+        self.run.as_ref()
+    }
+
+    /// Reinstates a checkpointed run (use with the same annotations the
+    /// original builder carried).
+    pub fn restore_run(&mut self, run: Option<OpenRun>) {
+        self.run = run;
+    }
+}
+
 /// Extracts all *maximal* runs of consecutive tuples satisfying `predicate`
 /// and labels each with `annotations`.
 ///
@@ -153,41 +237,17 @@ pub fn maximal_episodes(
         return Err(TrajectoryError::NotProper);
     }
     let intervals = trajectory.trace().intervals();
+    let mut builder = RunBuilder::new(annotations);
     let mut episodes = Vec::new();
-    let mut run_start: Option<usize> = None;
     for (i, p) in intervals.iter().enumerate() {
-        if predicate.eval(p) {
-            run_start.get_or_insert(i);
-        } else if let Some(start) = run_start.take() {
-            episodes.push(make_episode(intervals, start..i, annotations.clone()));
+        if let Some(episode) = builder.observe(i, p, predicate.eval(p)) {
+            episodes.push(episode);
         }
     }
-    if let Some(start) = run_start {
-        episodes.push(make_episode(
-            intervals,
-            start..intervals.len(),
-            annotations,
-        ));
+    if let Some(episode) = builder.close(intervals.len()) {
+        episodes.push(episode);
     }
     Ok(episodes)
-}
-
-fn make_episode(
-    intervals: &[PresenceInterval],
-    range: std::ops::Range<usize>,
-    annotations: AnnotationSet,
-) -> Episode {
-    let slice = &intervals[range.clone()];
-    let start = slice.first().expect("non-empty run").start();
-    let end = slice
-        .iter()
-        .map(|p| p.end())
-        .fold(slice.last().expect("non-empty run").end(), |a, b| a.max(b));
-    Episode {
-        range,
-        time: TimeInterval::new(start, end),
-        annotations,
-    }
 }
 
 #[cfg(test)]
@@ -241,7 +301,10 @@ mod tests {
         let eps = maximal_episodes(&t, &pred, label("browsing")).unwrap();
         assert_eq!(eps.len(), 1, "1,2,1 is one maximal run");
         assert_eq!(eps[0].range, 1..4);
-        assert_eq!(eps[0].time, TimeInterval::new(Timestamp(100), Timestamp(400)));
+        assert_eq!(
+            eps[0].time,
+            TimeInterval::new(Timestamp(100), Timestamp(400))
+        );
         assert_eq!(eps[0].duration().as_seconds(), 300);
     }
 
@@ -289,8 +352,7 @@ mod tests {
         let eps = maximal_episodes(&t, &p, label("x")).unwrap();
         assert_eq!(eps.len(), 2, "cell 1 visited twice, both long enough");
 
-        let p = IntervalPredicate::in_cells([cell(0)])
-            .or(IntervalPredicate::in_cells([cell(1)]));
+        let p = IntervalPredicate::in_cells([cell(0)]).or(IntervalPredicate::in_cells([cell(1)]));
         let eps = maximal_episodes(&t, &p, label("y")).unwrap();
         assert_eq!(eps.len(), 2, "0,1 then 1");
 
@@ -327,6 +389,56 @@ mod tests {
         assert_eq!(sub.trace().len(), 3);
         assert_eq!(sub.annotations(), &label("browsing"));
         assert!(t.is_proper_temporal_part(&sub));
+    }
+
+    #[test]
+    fn run_builder_agrees_with_batch_extraction() {
+        let t = trajectory();
+        let pred = IntervalPredicate::in_cells([cell(1), cell(2)]);
+        let batch = maximal_episodes(&t, &pred, label("browsing")).unwrap();
+
+        let mut builder = RunBuilder::new(label("browsing"));
+        let mut streamed = Vec::new();
+        let intervals = t.trace().intervals();
+        for (i, p) in intervals.iter().enumerate() {
+            streamed.extend(builder.observe(i, p, pred.eval(p)));
+        }
+        streamed.extend(builder.close(intervals.len()));
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn run_builder_restores_mid_run() {
+        let t = trajectory();
+        let pred = IntervalPredicate::in_cells([cell(1), cell(2)]);
+        let intervals = t.trace().intervals();
+
+        // Feed the first two tuples, snapshot mid-run, resume elsewhere.
+        let mut first = RunBuilder::new(label("x"));
+        assert!(first
+            .observe(0, &intervals[0], pred.eval(&intervals[0]))
+            .is_none());
+        assert!(first
+            .observe(1, &intervals[1], pred.eval(&intervals[1]))
+            .is_none());
+        let snapshot = first.open_run().cloned();
+        assert_eq!(
+            snapshot,
+            Some(OpenRun {
+                start: 1,
+                start_time: Timestamp(100),
+                max_end: Timestamp(200)
+            })
+        );
+
+        let mut resumed = RunBuilder::new(label("x"));
+        resumed.restore_run(snapshot);
+        let mut streamed = Vec::new();
+        for (i, p) in intervals.iter().enumerate().skip(2) {
+            streamed.extend(resumed.observe(i, p, pred.eval(p)));
+        }
+        streamed.extend(resumed.close(intervals.len()));
+        assert_eq!(streamed, maximal_episodes(&t, &pred, label("x")).unwrap());
     }
 
     #[test]

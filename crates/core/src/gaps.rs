@@ -89,14 +89,17 @@ mod tests {
     fn gaps_longer_than_sampling_rate_found() {
         let trace = Trace::new(vec![
             stay(0, 0, 100),
-            stay(1, 105, 200),  // 5 s gap: within sampling rate
-            stay(2, 500, 600),  // 300 s gap: a real gap
+            stay(1, 105, 200), // 5 s gap: within sampling rate
+            stay(2, 500, 600), // 300 s gap: a real gap
         ])
         .unwrap();
         let gaps = find_gaps(&trace, Duration::seconds(30));
         assert_eq!(gaps.len(), 1);
         assert_eq!(gaps[0].after_index, 1);
-        assert_eq!(gaps[0].time, TimeInterval::new(Timestamp(200), Timestamp(500)));
+        assert_eq!(
+            gaps[0].time,
+            TimeInterval::new(Timestamp(200), Timestamp(500))
+        );
         assert_eq!(gaps[0].duration().as_seconds(), 300);
         assert_eq!(gaps[0].kind, GapKind::Hole);
     }

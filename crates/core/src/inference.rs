@@ -107,9 +107,8 @@ pub fn infer_missing_cells(
                             let share_end = if j as i64 == k - 1 {
                                 gap_end
                             } else {
-                                gap_start + crate::time::Duration::seconds(
-                                    total * (j as i64 + 1) / k,
-                                )
+                                gap_start
+                                    + crate::time::Duration::seconds(total * (j as i64 + 1) / k)
                             };
                             let mut annotations = extra_annotations(*cell);
                             annotations.insert(inference_marker());
@@ -205,19 +204,36 @@ mod tests {
         let mut s = IndoorSpace::new();
         let zones = s.add_layer("zones", LayerKind::Thematic);
         let e = s
-            .add_cell(zones, Cell::new("zone60887", "Temporary exhibition (E)", CellClass::Exhibition))
+            .add_cell(
+                zones,
+                Cell::new(
+                    "zone60887",
+                    "Temporary exhibition (E)",
+                    CellClass::Exhibition,
+                ),
+            )
             .unwrap();
         let p = s
-            .add_cell(zones, Cell::new("zone60888", "Passage (P)", CellClass::Corridor))
+            .add_cell(
+                zones,
+                Cell::new("zone60888", "Passage (P)", CellClass::Corridor),
+            )
             .unwrap();
         let sv = s
             .add_cell(zones, Cell::new("zone60890", "Shops (S)", CellClass::Shop))
             .unwrap();
         let c = s
-            .add_cell(zones, Cell::new("carrousel", "Carrousel exit (C)", CellClass::Exit))
+            .add_cell(
+                zones,
+                Cell::new("carrousel", "Carrousel exit (C)", CellClass::Exit),
+            )
             .unwrap();
-        s.add_transition(e, p, Transition::named(TransitionKind::Checkpoint, "checkpoint002"))
-            .unwrap();
+        s.add_transition(
+            e,
+            p,
+            Transition::named(TransitionKind::Checkpoint, "checkpoint002"),
+        )
+        .unwrap();
         s.add_transition_pair(p, sv, Transition::new(TransitionKind::Opening))
             .unwrap();
         s.add_transition(sv, c, Transition::new(TransitionKind::Checkpoint))
@@ -325,13 +341,21 @@ mod tests {
         let mut s = IndoorSpace::new();
         let l = s.add_layer("zones", LayerKind::Thematic);
         let a = s.add_cell(l, Cell::new("a", "A", CellClass::Zone)).unwrap();
-        let b1 = s.add_cell(l, Cell::new("b1", "B1", CellClass::Zone)).unwrap();
-        let b2 = s.add_cell(l, Cell::new("b2", "B2", CellClass::Zone)).unwrap();
+        let b1 = s
+            .add_cell(l, Cell::new("b1", "B1", CellClass::Zone))
+            .unwrap();
+        let b2 = s
+            .add_cell(l, Cell::new("b2", "B2", CellClass::Zone))
+            .unwrap();
         let c = s.add_cell(l, Cell::new("c", "C", CellClass::Zone)).unwrap();
-        s.add_transition(a, b1, Transition::new(TransitionKind::Door)).unwrap();
-        s.add_transition(b1, c, Transition::new(TransitionKind::Door)).unwrap();
-        s.add_transition(a, b2, Transition::new(TransitionKind::Door)).unwrap();
-        s.add_transition(b2, c, Transition::new(TransitionKind::Door)).unwrap();
+        s.add_transition(a, b1, Transition::new(TransitionKind::Door))
+            .unwrap();
+        s.add_transition(b1, c, Transition::new(TransitionKind::Door))
+            .unwrap();
+        s.add_transition(a, b2, Transition::new(TransitionKind::Door))
+            .unwrap();
+        s.add_transition(b2, c, Transition::new(TransitionKind::Door))
+            .unwrap();
         let trace = Trace::new(vec![
             detection(a, Timestamp(0), Timestamp(10)),
             detection(c, Timestamp(20), Timestamp(30)),

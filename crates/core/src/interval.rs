@@ -227,7 +227,10 @@ mod tests {
         .with_transition_annotations(alarm.clone());
         assert_eq!(p.transition_annotations, alarm);
         let text = p.to_string();
-        assert!(text.starts_with("((emergency-door, {events:[\"alarm\"]}),"), "{text}");
+        assert!(
+            text.starts_with("((emergency-door, {events:[\"alarm\"]}),"),
+            "{text}"
+        );
         // Default construction keeps the extension empty and the display
         // in the base-tuple shape.
         let plain = PresenceInterval::new(

@@ -50,7 +50,7 @@ pub mod trajectory;
 pub use annotation::{Annotation, AnnotationKind, AnnotationSet};
 pub use conceptual::{derive_conceptual, AttentionSpan, ConceptualTrace};
 pub use enrich::{apply_annotation_events, AnnotationEvent};
-pub use episode::{maximal_episodes, Episode, IntervalPredicate};
+pub use episode::{maximal_episodes, Episode, IntervalPredicate, OpenRun, RunBuilder};
 pub use gaps::{find_gaps, Gap, GapKind};
 pub use inference::{infer_missing_cells, InferenceOutcome, InferredStay};
 pub use interval::{PresenceInterval, TransitionTaken};

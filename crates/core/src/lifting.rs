@@ -117,12 +117,24 @@ mod tests {
         let lb = s.add_layer("buildings", LayerKind::Building);
         let lf = s.add_layer("floors", LayerKind::Floor);
         let lr = s.add_layer("rooms", LayerKind::Room);
-        let b = s.add_cell(lb, Cell::new("b", "B", CellClass::Building)).unwrap();
-        let f0 = s.add_cell(lf, Cell::new("f0", "F0", CellClass::Floor)).unwrap();
-        let f1 = s.add_cell(lf, Cell::new("f1", "F1", CellClass::Floor)).unwrap();
-        let r0 = s.add_cell(lr, Cell::new("r0", "R0", CellClass::Room)).unwrap();
-        let r1 = s.add_cell(lr, Cell::new("r1", "R1", CellClass::Room)).unwrap();
-        let r2 = s.add_cell(lr, Cell::new("r2", "R2", CellClass::Room)).unwrap();
+        let b = s
+            .add_cell(lb, Cell::new("b", "B", CellClass::Building))
+            .unwrap();
+        let f0 = s
+            .add_cell(lf, Cell::new("f0", "F0", CellClass::Floor))
+            .unwrap();
+        let f1 = s
+            .add_cell(lf, Cell::new("f1", "F1", CellClass::Floor))
+            .unwrap();
+        let r0 = s
+            .add_cell(lr, Cell::new("r0", "R0", CellClass::Room))
+            .unwrap();
+        let r1 = s
+            .add_cell(lr, Cell::new("r1", "R1", CellClass::Room))
+            .unwrap();
+        let r2 = s
+            .add_cell(lr, Cell::new("r2", "R2", CellClass::Room))
+            .unwrap();
         s.add_joint(b, f0, JointRelation::Covers).unwrap();
         s.add_joint(b, f1, JointRelation::Covers).unwrap();
         s.add_joint(f0, r0, JointRelation::Contains).unwrap();

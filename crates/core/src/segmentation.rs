@@ -151,10 +151,10 @@ mod tests {
     /// The Fig. 5 trajectory: E(0) -> P(1) -> S(2) -> C(3).
     fn fig5_trajectory() -> SemanticTrajectory {
         let trace = Trace::new(vec![
-            stay(0, 0, 600),    // E: temporary exhibition, long stay
-            stay(1, 600, 680),  // P: passage
-            stay(2, 680, 900),  // S: souvenir shops
-            stay(3, 900, 960),  // C: Carrousel exit
+            stay(0, 0, 600),   // E: temporary exhibition, long stay
+            stay(1, 600, 680), // P: passage
+            stay(2, 680, 900), // S: souvenir shops
+            stay(3, 900, 960), // C: Carrousel exit
         ])
         .unwrap();
         SemanticTrajectory::new("visitor", trace, label("visit")).unwrap()
@@ -238,18 +238,10 @@ mod tests {
     fn push_keeps_episodes_sorted() {
         let t = fig5_trajectory();
         let mut seg = EpisodicSegmentation::new();
-        let late = maximal_episodes(
-            &t,
-            &IntervalPredicate::in_cells([cell(3)]),
-            label("late"),
-        )
-        .unwrap();
-        let early = maximal_episodes(
-            &t,
-            &IntervalPredicate::in_cells([cell(0)]),
-            label("early"),
-        )
-        .unwrap();
+        let late =
+            maximal_episodes(&t, &IntervalPredicate::in_cells([cell(3)]), label("late")).unwrap();
+        let early =
+            maximal_episodes(&t, &IntervalPredicate::in_cells([cell(0)]), label("early")).unwrap();
         seg.push(late[0].clone());
         seg.push(early[0].clone());
         assert!(seg.episodes()[0].time.start <= seg.episodes()[1].time.start);

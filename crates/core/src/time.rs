@@ -295,7 +295,10 @@ mod tests {
         assert_eq!(d.as_seconds(), 27_697);
         assert_eq!(d.to_string(), "7:41:37", "the paper's max visit duration");
         assert_eq!(Duration::ZERO.to_string(), "0:00:00");
-        assert_eq!((Duration::ZERO - Duration::seconds(61)).to_string(), "-0:01:01");
+        assert_eq!(
+            (Duration::ZERO - Duration::seconds(61)).to_string(),
+            "-0:01:01"
+        );
     }
 
     #[test]

@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 
-use sitm_core::{
-    derive_conceptual, PresenceInterval, Timestamp, Trace, TransitionTaken,
-};
+use sitm_core::{derive_conceptual, PresenceInterval, Timestamp, Trace, TransitionTaken};
 use sitm_graph::{LayerIdx, NodeId};
 use sitm_space::CellRef;
 
@@ -39,10 +37,7 @@ fn trace_strategy() -> impl Strategy<Value = Trace> {
 /// Deterministic attention tables: cell index → up to 2 (concept, weight)
 /// pairs drawn from a fixed concept alphabet.
 fn attention_table_strategy() -> impl Strategy<Value = Vec<Vec<(usize, f64)>>> {
-    prop::collection::vec(
-        prop::collection::vec((0usize..4, -0.5f64..1.5), 0..3),
-        5,
-    )
+    prop::collection::vec(prop::collection::vec((0usize..4, -0.5f64..1.5), 0..3), 5)
 }
 
 fn concept_name(i: usize) -> String {

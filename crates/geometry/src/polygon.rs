@@ -234,11 +234,7 @@ impl Polygon {
         let n = self.ring.len();
         let mut saw_turn = false;
         for i in 0..n {
-            let o = orientation(
-                self.ring[i],
-                self.ring[(i + 1) % n],
-                self.ring[(i + 2) % n],
-            );
+            let o = orientation(self.ring[i], self.ring[(i + 1) % n], self.ring[(i + 2) % n]);
             match o {
                 Orientation::Clockwise => return false, // ring is CCW
                 Orientation::CounterClockwise => saw_turn = true,

@@ -12,15 +12,9 @@ fn arb_point() -> impl Strategy<Value = Point> {
 }
 
 fn arb_rect() -> impl Strategy<Value = Polygon> {
-    (
-        -50.0f64..50.0,
-        -50.0f64..50.0,
-        0.5f64..30.0,
-        0.5f64..30.0,
-    )
-        .prop_map(|(x, y, w, h)| {
-            Polygon::rectangle(Point::new(x, y), Point::new(x + w, y + h)).expect("valid rect")
-        })
+    (-50.0f64..50.0, -50.0f64..50.0, 0.5f64..30.0, 0.5f64..30.0).prop_map(|(x, y, w, h)| {
+        Polygon::rectangle(Point::new(x, y), Point::new(x + w, y + h)).expect("valid rect")
+    })
 }
 
 fn arb_segment() -> impl Strategy<Value = Segment> {

@@ -199,8 +199,7 @@ impl<N, E> DiMultigraph<N, E> {
         if !self.contains_node(id) {
             return None;
         }
-        let incident: Vec<EdgeId> = self
-            .nodes[id.index()]
+        let incident: Vec<EdgeId> = self.nodes[id.index()]
             .out
             .iter()
             .chain(self.nodes[id.index()].inc.iter())

@@ -176,7 +176,10 @@ impl<L, N, E, C> LayeredGraph<L, N, E, C> {
     }
 
     /// Coupling edges whose source is `node`.
-    pub fn couplings_from(&self, node: LayeredNode) -> impl Iterator<Item = CouplingRef<'_, C>> + '_ {
+    pub fn couplings_from(
+        &self,
+        node: LayeredNode,
+    ) -> impl Iterator<Item = CouplingRef<'_, C>> + '_ {
         self.out_index[node.0.index()]
             .get(node.1.index())
             .map(|v| v.as_slice())

@@ -19,7 +19,11 @@ pub struct CycleError {
 
 impl std::fmt::Display for CycleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "graph contains a cycle through {} node(s)", self.cycle.len())
+        write!(
+            f,
+            "graph contains a cycle through {} node(s)",
+            self.cycle.len()
+        )
     }
 }
 
@@ -33,10 +37,7 @@ pub fn topological_sort<N, E>(g: &DiMultigraph<N, E>) -> Result<Vec<NodeId>, Cyc
     for n in g.node_ids() {
         indegree[n.index()] = g.in_degree(n);
     }
-    let mut queue: VecDeque<NodeId> = g
-        .node_ids()
-        .filter(|n| indegree[n.index()] == 0)
-        .collect();
+    let mut queue: VecDeque<NodeId> = g.node_ids().filter(|n| indegree[n.index()] == 0).collect();
     let mut order = Vec::with_capacity(g.node_count());
     while let Some(u) = queue.pop_front() {
         order.push(u);
@@ -52,10 +53,7 @@ pub fn topological_sort<N, E>(g: &DiMultigraph<N, E>) -> Result<Vec<NodeId>, Cyc
     }
     // Some nodes remain with positive in-degree: extract one witness cycle by
     // walking predecessors among the remaining nodes until a repeat.
-    let remaining: Vec<NodeId> = g
-        .node_ids()
-        .filter(|n| indegree[n.index()] > 0)
-        .collect();
+    let remaining: Vec<NodeId> = g.node_ids().filter(|n| indegree[n.index()] > 0).collect();
     let start = remaining[0];
     let mut seen_at: Vec<Option<usize>> = vec![None; bound];
     let mut walk = vec![start];
@@ -124,7 +122,10 @@ mod tests {
         for w in 0..err.cycle.len() {
             let from = err.cycle[w];
             let to = err.cycle[(w + 1) % err.cycle.len()];
-            assert!(g.has_edge(from, to), "witness edge {from:?}->{to:?} missing");
+            assert!(
+                g.has_edge(from, to),
+                "witness edge {from:?}->{to:?} missing"
+            );
         }
     }
 

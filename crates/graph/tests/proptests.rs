@@ -3,9 +3,8 @@
 use proptest::prelude::*;
 
 use sitm_graph::{
-    bfs_distances, bfs_order, dijkstra, is_reachable, shortest_path,
-    strongly_connected_components, topological_sort, weakly_connected_components, DiMultigraph,
-    NodeId,
+    bfs_distances, bfs_order, dijkstra, is_reachable, shortest_path, strongly_connected_components,
+    topological_sort, weakly_connected_components, DiMultigraph, NodeId,
 };
 
 /// Builds a digraph from `n` nodes and an arbitrary edge list (indices

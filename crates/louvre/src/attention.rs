@@ -121,7 +121,12 @@ mod tests {
     }
 
     fn stay(cell: CellRef, start: i64, end: i64) -> PresenceInterval {
-        PresenceInterval::new(TransitionTaken::Unknown, cell, Timestamp(start), Timestamp(end))
+        PresenceInterval::new(
+            TransitionTaken::Unknown,
+            cell,
+            Timestamp(start),
+            Timestamp(end),
+        )
     }
 
     #[test]

@@ -181,8 +181,12 @@ pub fn build_louvre() -> LouvreModel {
         }
     }
     floor_links.sort_by(|a, b| {
-        (a.0 .0.name(), a.0 .1, a.1 .0.name(), a.1 .1)
-            .cmp(&(b.0 .0.name(), b.0 .1, b.1 .0.name(), b.1 .1))
+        (a.0 .0.name(), a.0 .1, a.1 .0.name(), a.1 .1).cmp(&(
+            b.0 .0.name(),
+            b.0 .1,
+            b.1 .0.name(),
+            b.1 .1,
+        ))
     });
     floor_links.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
     for (fa, fb, kind) in floor_links {
@@ -210,7 +214,11 @@ pub fn build_louvre() -> LouvreModel {
         // its wing-floor, so declare Contains (the zone rectangles are
         // strictly inside the floor slab).
         space
-            .add_joint(floor_refs[&(spec.wing, spec.floor)], r, JointRelation::Contains)
+            .add_joint(
+                floor_refs[&(spec.wing, spec.floor)],
+                r,
+                JointRelation::Contains,
+            )
             .expect("cross-layer");
         zone_refs.insert(spec.id, r);
     }
@@ -262,13 +270,19 @@ pub fn build_louvre() -> LouvreModel {
             // Hierarchy joint: floor contains/covers the room (no floor
             // geometry, room strictly inside the slab: Contains).
             space
-                .add_joint(floor_refs[&(spec.wing, spec.floor)], r, JointRelation::Contains)
+                .add_joint(
+                    floor_refs[&(spec.wing, spec.floor)],
+                    r,
+                    JointRelation::Contains,
+                )
                 .expect("cross-layer");
             // Thematic coupling: zone ↔ room relation derived from geometry
             // (rooms tile the zone, so every room is covered, not
             // contained).
             let rel = derived_joint(&zone_poly, &room_poly);
-            space.add_joint(zone_refs[&spec.id], r, rel).expect("cross-layer");
+            space
+                .add_joint(zone_refs[&spec.id], r, rel)
+                .expect("cross-layer");
             refs.push(r);
         }
         // Enfilade doors between consecutive rooms of the zone.
@@ -335,7 +349,9 @@ pub fn build_louvre() -> LouvreModel {
                             .with_attribute("zone", spec.id.to_string()),
                     )
                     .expect("fresh key");
-                space.add_joint(*room_ref, roi_ref, rel).expect("cross-layer");
+                space
+                    .add_joint(*room_ref, roi_ref, rel)
+                    .expect("cross-layer");
             }
         }
     }
@@ -467,9 +483,10 @@ mod tests {
     fn famous_exhibits_are_present() {
         let m = build_louvre();
         for f in famous_exhibits() {
-            let r = m.space.resolve(f.key).unwrap_or_else(|| {
-                panic!("famous exhibit {} missing", f.key)
-            });
+            let r = m
+                .space
+                .resolve(f.key)
+                .unwrap_or_else(|| panic!("famous exhibit {} missing", f.key));
             let cell = m.space.cell(r).unwrap();
             assert_eq!(cell.class, CellClass::RegionOfInterest);
             assert_eq!(cell.attribute("zone"), Some(f.zone_id.to_string().as_str()));

@@ -91,9 +91,7 @@ impl PaperCalibration {
     /// Internal consistency of the reported numbers: visits, detections and
     /// transitions must satisfy the accounting identities.
     pub fn check_consistency(&self) -> Result<(), String> {
-        if self.revisits < self.returning_visitors
-            || self.revisits > 2 * self.returning_visitors
-        {
+        if self.revisits < self.returning_visitors || self.revisits > 2 * self.returning_visitors {
             return Err("revisit counts out of the second/third-visit range".to_string());
         }
         let total = self.single_visit_visitors()

@@ -214,9 +214,7 @@ impl Dataset {
                         let same_day = prev_end.to_ymd_hms().0 == next_start.to_ymd_hms().0
                             && prev_end.to_ymd_hms().1 == next_start.to_ymd_hms().1
                             && prev_end.to_ymd_hms().2 == next_start.to_ymd_hms().2;
-                        if same_day
-                            && next_start >= prev_end
-                            && (next_start - prev_end) <= max_gap
+                        if same_day && next_start >= prev_end && (next_start - prev_end) <= max_gap
                         {
                             acc.detections.extend(v.detections.iter().cloned());
                         } else {
@@ -239,7 +237,12 @@ impl Dataset {
                 merged.push(acc);
             }
         }
-        merged.sort_by_key(|v| v.detections.first().map(|d| d.start).unwrap_or(Timestamp(0)));
+        merged.sort_by_key(|v| {
+            v.detections
+                .first()
+                .map(|d| d.start)
+                .unwrap_or(Timestamp(0))
+        });
         for (i, v) in merged.iter_mut().enumerate() {
             v.visit_id = i as u32;
         }
@@ -294,8 +297,12 @@ impl Dataset {
                 },
             ),
         ]);
-        SemanticTrajectory::new(format!("visitor-{:04}", visit.visitor_id), trace, annotations)
-            .ok()
+        SemanticTrajectory::new(
+            format!("visitor-{:04}", visit.visitor_id),
+            trace,
+            annotations,
+        )
+        .ok()
     }
 }
 
@@ -318,7 +325,11 @@ mod tests {
                     visit_id: 0,
                     visitor_id: 1,
                     device: Device::Ios,
-                    detections: vec![det(60886, 0, 100), det(60888, 100, 100), det(60890, 110, 400)],
+                    detections: vec![
+                        det(60886, 0, 100),
+                        det(60888, 100, 100),
+                        det(60890, 110, 400),
+                    ],
                 },
                 VisitRecord {
                     visit_id: 1,
@@ -429,7 +440,10 @@ mod tests {
         let stitched = ds.restitch_same_day_visits(Duration::hours(1));
         assert_eq!(stitched.visits.len(), 2, "fragments merged, other day kept");
         assert_eq!(stitched.visits[0].detections.len(), 2);
-        assert_eq!(stitched.visits[0].duration(), Duration::hours(1) + Duration::minutes(20));
+        assert_eq!(
+            stitched.visits[0].duration(),
+            Duration::hours(1) + Duration::minutes(20)
+        );
         // Gap larger than the threshold: no merge.
         let strict = ds.restitch_same_day_visits(Duration::minutes(10));
         assert_eq!(strict.visits.len(), 3);

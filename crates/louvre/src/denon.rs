@@ -97,10 +97,18 @@ pub fn denon_figure1() -> DenonFigure1 {
 
     // Fine accessibility among the subdivided hall's parts.
     space
-        .add_transition_pair(subcells[0], subcells[1], Transition::new(TransitionKind::Virtual))
+        .add_transition_pair(
+            subcells[0],
+            subcells[1],
+            Transition::new(TransitionKind::Virtual),
+        )
         .expect("same layer");
     space
-        .add_transition_pair(subcells[1], subcells[2], Transition::new(TransitionKind::Virtual))
+        .add_transition_pair(
+            subcells[1],
+            subcells[2],
+            Transition::new(TransitionKind::Virtual),
+        )
         .expect("same layer");
 
     // Joint edges: room 5 covers its three sub-cells ("if a visitor is
@@ -182,10 +190,7 @@ mod tests {
         let fig = denon_figure1();
         assert!(fig.space.accessible(fig.subcells[0], fig.subcells[2]));
         assert!(fig.space.accessible(fig.subcells[2], fig.subcells[0]));
-        let route = fig
-            .space
-            .route(fig.subcells[0], fig.subcells[2])
-            .unwrap();
+        let route = fig.space.route(fig.subcells[0], fig.subcells[2]).unwrap();
         assert_eq!(route.len(), 3, "5a -> 5b -> 5c");
     }
 

@@ -133,7 +133,11 @@ impl WalkGraph {
             }
             _ => candidates.clone(),
         };
-        let pool = if filtered.is_empty() { &candidates } else { &filtered };
+        let pool = if filtered.is_empty() {
+            &candidates
+        } else {
+            &filtered
+        };
         let weights: Vec<f64> = pool
             .iter()
             .map(|id| (self.popularity[id].max(0.1)).powf(bias))
@@ -218,9 +222,8 @@ pub fn generate_dataset(config: &GeneratorConfig) -> Dataset {
         // Start instant: museum hours, any collection day.
         let day = rng.range_i64(0, days);
         let start_of_day = cal.collection_start + Duration::seconds(day * 86_400);
-        let start = start_of_day
-            + Duration::hours(9)
-            + Duration::seconds(rng.range_i64(0, 8 * 3600));
+        let start =
+            start_of_day + Duration::hours(9) + Duration::seconds(rng.range_i64(0, 8 * 3600));
 
         let mut detections = Vec::with_capacity(k);
         let mut zone = graph.entrance;
@@ -235,9 +238,7 @@ pub fn generate_dataset(config: &GeneratorConfig) -> Dataset {
                 let zone_factor = graph.dwell.get(&zone).copied().unwrap_or(1.0);
                 let secs = (dwell.sample(&mut rng) * profile.dwell_multiplier() * zone_factor)
                     .round() as i64;
-                Duration::seconds(
-                    secs.clamp(1, cal.max_detection_duration.as_seconds()),
-                )
+                Duration::seconds(secs.clamp(1, cal.max_detection_duration.as_seconds()))
             };
             let mut end = t + duration;
             if end > visit_deadline {
@@ -277,7 +278,12 @@ pub fn generate_dataset(config: &GeneratorConfig) -> Dataset {
     }
 
     // Chronological order, re-keyed visit ids.
-    visits.sort_by_key(|v| v.detections.first().map(|d| d.start).unwrap_or(Timestamp(0)));
+    visits.sort_by_key(|v| {
+        v.detections
+            .first()
+            .map(|d| d.start)
+            .unwrap_or(Timestamp(0))
+    });
     for (i, v) in visits.iter_mut().enumerate() {
         v.visit_id = i as u32;
     }

@@ -98,8 +98,7 @@ mod tests {
     #[test]
     fn rushers_are_fast_and_crowd_driven() {
         assert!(
-            VisitorProfile::Rusher.dwell_multiplier()
-                < VisitorProfile::Casual.dwell_multiplier()
+            VisitorProfile::Rusher.dwell_multiplier() < VisitorProfile::Casual.dwell_multiplier()
         );
         assert!(
             VisitorProfile::Rusher.popularity_bias()

@@ -96,8 +96,7 @@ mod tests {
 
     #[test]
     fn rois_are_strictly_inside_the_room() {
-        let room_poly =
-            Polygon::rectangle(Point::new(10.0, 20.0), Point::new(30.0, 40.0)).unwrap();
+        let room_poly = Polygon::rectangle(Point::new(10.0, 20.0), Point::new(30.0, 40.0)).unwrap();
         for count in 1..=4 {
             for roi in roi_rects_for_room(room(), count) {
                 assert_eq!(

@@ -26,15 +26,30 @@ fn goals(values: &[&str]) -> AnnotationSet {
 pub fn fig5_trajectory(model: &LouvreModel) -> SemanticTrajectory {
     let cell = |id: u32| model.zone(id).expect("catalog zone");
     let trace = Trace::new(vec![
-        PresenceInterval::new(TransitionTaken::Unknown, cell(60887), t(16, 40, 0), t(17, 30, 21)),
+        PresenceInterval::new(
+            TransitionTaken::Unknown,
+            cell(60887),
+            t(16, 40, 0),
+            t(17, 30, 21),
+        ),
         PresenceInterval::new(
             TransitionTaken::Named("checkpoint002".into()),
             cell(60888),
             t(17, 30, 21),
             t(17, 31, 42),
         ),
-        PresenceInterval::new(TransitionTaken::Unknown, cell(60890), t(17, 31, 42), t(17, 43, 0)),
-        PresenceInterval::new(TransitionTaken::Unknown, cell(60891), t(17, 43, 0), t(17, 45, 0)),
+        PresenceInterval::new(
+            TransitionTaken::Unknown,
+            cell(60890),
+            t(17, 31, 42),
+            t(17, 43, 0),
+        ),
+        PresenceInterval::new(
+            TransitionTaken::Unknown,
+            cell(60891),
+            t(17, 43, 0),
+            t(17, 45, 0),
+        ),
     ])
     .expect("chronological");
     SemanticTrajectory::new("fig5-visitor", trace, goals(&["visit"])).expect("annotated")
@@ -69,8 +84,18 @@ pub fn fig5_segmentation(
 pub fn fig6_observed_trace(model: &LouvreModel) -> Trace {
     let cell = |id: u32| model.zone(id).expect("catalog zone");
     Trace::new(vec![
-        PresenceInterval::new(TransitionTaken::Unknown, cell(60887), t(16, 40, 0), t(17, 30, 21)),
-        PresenceInterval::new(TransitionTaken::Unknown, cell(60890), t(17, 31, 42), t(17, 43, 0)),
+        PresenceInterval::new(
+            TransitionTaken::Unknown,
+            cell(60887),
+            t(16, 40, 0),
+            t(17, 30, 21),
+        ),
+        PresenceInterval::new(
+            TransitionTaken::Unknown,
+            cell(60890),
+            t(17, 31, 42),
+            t(17, 43, 0),
+        ),
     ])
     .expect("chronological")
 }
@@ -152,9 +177,15 @@ mod tests {
         assert_eq!(inferred.cell, model.zone(60888).unwrap());
         assert_eq!(inferred.start(), t(17, 30, 21));
         assert_eq!(inferred.end(), t(17, 31, 42));
-        assert!(inferred.annotations.has(&AnnotationKind::Goal, "cloakroomPickup"));
-        assert!(inferred.annotations.has(&AnnotationKind::Goal, "souvenirBuy"));
-        assert!(inferred.annotations.has(&AnnotationKind::Goal, "museumExit"));
+        assert!(inferred
+            .annotations
+            .has(&AnnotationKind::Goal, "cloakroomPickup"));
+        assert!(inferred
+            .annotations
+            .has(&AnnotationKind::Goal, "souvenirBuy"));
+        assert!(inferred
+            .annotations
+            .has(&AnnotationKind::Goal, "museumExit"));
     }
 
     #[test]

@@ -188,16 +188,19 @@ mod tests {
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].from, 60886);
         assert_eq!(entries[0].kind, TransitionKind::Checkpoint);
-        assert!(!entries[0].bidirectional, "no going back into the hall queue");
+        assert!(
+            !entries[0].bidirectional,
+            "no going back into the hall queue"
+        );
     }
 
     #[test]
     fn one_way_rules_of_the_exit_chain() {
         let edges = zone_edges();
         let has = |from: u32, to: u32| {
-            edges
-                .iter()
-                .any(|e| (e.from == from && e.to == to) || (e.bidirectional && e.from == to && e.to == from))
+            edges.iter().any(|e| {
+                (e.from == from && e.to == to) || (e.bidirectional && e.from == to && e.to == from)
+            })
         };
         assert!(has(60887, 60888), "E -> P");
         assert!(!has(60888, 60887), "P -> E forbidden");
@@ -233,7 +236,11 @@ mod tests {
         for e in zone_edges() {
             let crosses = floor_of(e.from) != floor_of(e.to);
             if e.kind.is_vertical() {
-                assert!(crosses, "vertical edge {}->{} stays on a floor", e.from, e.to);
+                assert!(
+                    crosses,
+                    "vertical edge {}->{} stays on a floor",
+                    e.from, e.to
+                );
             } else {
                 assert!(!crosses, "flat edge {}->{} crosses floors", e.from, e.to);
             }

@@ -33,7 +33,10 @@ impl DistanceMatrix {
         for i in 0..n {
             for j in (i + 1)..n {
                 let d = dist(i, j);
-                assert!(d >= 0.0 && d.is_finite(), "distances must be finite, non-negative");
+                assert!(
+                    d >= 0.0 && d.is_finite(),
+                    "distances must be finite, non-negative"
+                );
                 values[i * n + j] = d;
                 values[j * n + i] = d;
             }
@@ -72,8 +75,14 @@ pub fn k_medoids(matrix: &DistanceMatrix, k: usize, max_iterations: usize) -> Cl
         let next = (0..n)
             .filter(|i| !medoids.contains(i))
             .max_by(|&a, &b| {
-                let da = medoids.iter().map(|&m| matrix.get(a, m)).fold(f64::INFINITY, f64::min);
-                let db = medoids.iter().map(|&m| matrix.get(b, m)).fold(f64::INFINITY, f64::min);
+                let da = medoids
+                    .iter()
+                    .map(|&m| matrix.get(a, m))
+                    .fold(f64::INFINITY, f64::min);
+                let db = medoids
+                    .iter()
+                    .map(|&m| matrix.get(b, m))
+                    .fold(f64::INFINITY, f64::min);
                 da.partial_cmp(&db).expect("finite")
             })
             .expect("k <= n leaves candidates");

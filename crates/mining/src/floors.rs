@@ -61,9 +61,9 @@ mod tests {
     #[test]
     fn bigrams_counted_across_visits() {
         let visits = vec![
-            vec![-2, 0, 1],       // -2→0, 0→1
-            vec![-2, 0, 0, 1],    // same after collapsing
-            vec![0, 1, 0],        // 0→1, 1→0
+            vec![-2, 0, 1],    // -2→0, 0→1
+            vec![-2, 0, 0, 1], // same after collapsing
+            vec![0, 1, 0],     // 0→1, 1→0
         ];
         let grams = floor_switch_ngrams(&visits, 2);
         let get = |g: &[i8]| grams.iter().find(|(k, _)| k == g).map(|(_, c)| *c);

@@ -136,12 +136,7 @@ mod tests {
     use super::*;
 
     fn train() -> Vec<Vec<u32>> {
-        vec![
-            vec![1, 2, 3],
-            vec![1, 2, 4],
-            vec![1, 2, 3],
-            vec![5, 1, 2],
-        ]
+        vec![vec![1, 2, 3], vec![1, 2, 4], vec![1, 2, 3], vec![5, 1, 2]]
     }
 
     #[test]

@@ -139,15 +139,8 @@ mod tests {
             traces.push(Trace::new(stays).unwrap());
         }
         let layers = [model.zone_layer, model.floor_layer];
-        let mined = mine_at_layers(
-            space,
-            &model.zone_hierarchy(),
-            &traces,
-            &layers,
-            0.5,
-            4,
-        )
-        .expect("lifting must succeed for zone traces");
+        let mined = mine_at_layers(space, &model.zone_hierarchy(), &traces, &layers, 0.5, 4)
+            .expect("lifting must succeed for zone traces");
         assert_eq!(mined.len(), 2);
         let zone_level = &mined[0];
         assert_eq!(zone_level.sequences, 10);

@@ -206,7 +206,10 @@ mod tests {
                 .iter()
                 .map(|item| m.probability(&history, item))
                 .sum();
-            assert!((sum - 1.0).abs() < 1e-9, "context {history:?} sums to {sum}");
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "context {history:?} sums to {sum}"
+            );
         }
     }
 

@@ -56,11 +56,8 @@ impl<I: Ord + Clone> OdMatrix<I> {
 
     /// All `(origin, destination, count)` rows, descending by count.
     pub fn rows(&self) -> Vec<(&I, &I, usize)> {
-        let mut rows: Vec<(&I, &I, usize)> = self
-            .pairs
-            .iter()
-            .map(|((o, d), &c)| (o, d, c))
-            .collect();
+        let mut rows: Vec<(&I, &I, usize)> =
+            self.pairs.iter().map(|((o, d), &c)| (o, d, c)).collect();
         rows.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
         rows
     }
@@ -110,12 +107,12 @@ mod tests {
 
     fn db() -> Vec<Vec<u32>> {
         vec![
-            vec![1, 2, 3],    // 1 → 3
-            vec![1, 5, 3],    // 1 → 3
-            vec![1, 3],       // 1 → 3
-            vec![2, 4, 2],    // 2 → 2 (round trip)
-            vec![7],          // 7 → 7 (single stay, round trip)
-            vec![],           // skipped
+            vec![1, 2, 3], // 1 → 3
+            vec![1, 5, 3], // 1 → 3
+            vec![1, 3],    // 1 → 3
+            vec![2, 4, 2], // 2 → 2 (round trip)
+            vec![7],       // 7 → 7 (single stay, round trip)
+            vec![],        // skipped
         ]
     }
 

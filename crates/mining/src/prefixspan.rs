@@ -85,9 +85,7 @@ fn project<I: Clone + Ord>(
 
 /// Support of one explicit pattern in a database (subsequence containment).
 pub fn support_of<I: PartialEq>(db: &[Vec<I>], pattern: &[I]) -> usize {
-    db.iter()
-        .filter(|seq| is_subsequence(pattern, seq))
-        .count()
+    db.iter().filter(|seq| is_subsequence(pattern, seq)).count()
 }
 
 fn is_subsequence<I: PartialEq>(needle: &[I], haystack: &[I]) -> bool {

@@ -123,13 +123,7 @@ mod tests {
     #[test]
     fn lift_above_one_for_correlated_pairs() {
         // Sequences where 9 always follows 8 but 9 is rare globally.
-        let database = vec![
-            vec![8, 9],
-            vec![8, 9],
-            vec![1, 2],
-            vec![2, 1],
-            vec![1, 3],
-        ];
+        let database = vec![vec![8, 9], vec![8, 9], vec![1, 2], vec![2, 1], vec![1, 3]];
         let patterns = mine_sequential_patterns(&database, 1, 2);
         let rules = mine_rules(&patterns, 5, 0.0);
         let rule = rules

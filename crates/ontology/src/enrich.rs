@@ -134,13 +134,16 @@ pub fn enrich_trace(
             continue;
         }
         for label in &semantics.exhibits {
-            stay.annotations.insert(Annotation::new(kinds::exhibit(), label.clone()));
+            stay.annotations
+                .insert(Annotation::new(kinds::exhibit(), label.clone()));
         }
         for theme in &semantics.themes {
-            stay.annotations.insert(Annotation::new(kinds::theme(), theme.clone()));
+            stay.annotations
+                .insert(Annotation::new(kinds::theme(), theme.clone()));
         }
         for artist in &semantics.artists {
-            stay.annotations.insert(Annotation::new(kinds::artist(), artist.clone()));
+            stay.annotations
+                .insert(Annotation::new(kinds::artist(), artist.clone()));
         }
         touched += 1;
     }
@@ -190,16 +193,16 @@ pub fn theme_dwell_profile(
 /// Cosine similarity of two theme dwell profiles in `[0, 1]`
 /// (0 for orthogonal interests, 1 for proportional ones). Returns 0 when
 /// either profile is empty.
-pub fn profile_similarity(
-    a: &BTreeMap<String, Duration>,
-    b: &BTreeMap<String, Duration>,
-) -> f64 {
+pub fn profile_similarity(a: &BTreeMap<String, Duration>, b: &BTreeMap<String, Duration>) -> f64 {
     let dot: f64 = a
         .iter()
         .filter_map(|(theme, &da)| b.get(theme).map(|&db| da.as_secs_f64() * db.as_secs_f64()))
         .sum();
     let norm = |m: &BTreeMap<String, Duration>| -> f64 {
-        m.values().map(|d| d.as_secs_f64().powi(2)).sum::<f64>().sqrt()
+        m.values()
+            .map(|d| d.as_secs_f64().powi(2))
+            .sum::<f64>()
+            .sqrt()
     };
     let (na, nb) = (norm(a), norm(b));
     if na == 0.0 || nb == 0.0 {
@@ -239,9 +242,24 @@ mod tests {
 
     fn trace() -> Trace {
         Trace::new(vec![
-            PresenceInterval::new(TransitionTaken::Unknown, cell(0), Timestamp(0), Timestamp(600)),
-            PresenceInterval::new(TransitionTaken::Unknown, cell(1), Timestamp(600), Timestamp(900)),
-            PresenceInterval::new(TransitionTaken::Unknown, cell(9), Timestamp(900), Timestamp(1000)),
+            PresenceInterval::new(
+                TransitionTaken::Unknown,
+                cell(0),
+                Timestamp(0),
+                Timestamp(600),
+            ),
+            PresenceInterval::new(
+                TransitionTaken::Unknown,
+                cell(1),
+                Timestamp(600),
+                Timestamp(900),
+            ),
+            PresenceInterval::new(
+                TransitionTaken::Unknown,
+                cell(9),
+                Timestamp(900),
+                Timestamp(1000),
+            ),
         ])
         .unwrap()
     }
@@ -258,7 +276,9 @@ mod tests {
         let s = zone_semantics(&kb, 60862);
         assert!(s.exhibits.contains(&"Mona Lisa".to_string()));
         assert!(s.artists.contains(&"Leonardo da Vinci".to_string()));
-        assert!(s.themes.contains(&"theme:ItalianRenaissancePainting".to_string()));
+        assert!(s
+            .themes
+            .contains(&"theme:ItalianRenaissancePainting".to_string()));
         // Ancestors are pulled in.
         assert!(s.themes.contains(&"theme:Painting".to_string()));
         assert!(s.themes.contains(&"theme:FineArt".to_string()));
@@ -288,12 +308,8 @@ mod tests {
         let (enriched, touched) = enrich_trace(&kb, trace(), zone_of);
         assert_eq!(touched, 2, "two stays map to KB zones");
         let first = enriched.get(0).unwrap();
-        assert!(first
-            .annotations
-            .has(&kinds::exhibit(), "Mona Lisa"));
-        assert!(first
-            .annotations
-            .has(&kinds::artist(), "Leonardo da Vinci"));
+        assert!(first.annotations.has(&kinds::exhibit(), "Mona Lisa"));
+        assert!(first.annotations.has(&kinds::artist(), "Leonardo da Vinci"));
         let last = enriched.get(2).unwrap();
         assert!(last.annotations.is_empty(), "unknown zone untouched");
     }
@@ -321,11 +337,18 @@ mod tests {
         a.insert("theme:X".to_string(), Duration::seconds(100));
         let mut b = BTreeMap::new();
         b.insert("theme:X".to_string(), Duration::seconds(700));
-        assert!((profile_similarity(&a, &b) - 1.0).abs() < 1e-9, "proportional profiles");
+        assert!(
+            (profile_similarity(&a, &b) - 1.0).abs() < 1e-9,
+            "proportional profiles"
+        );
         let mut c = BTreeMap::new();
         c.insert("theme:Y".to_string(), Duration::seconds(50));
         assert_eq!(profile_similarity(&a, &c), 0.0, "disjoint profiles");
-        assert_eq!(profile_similarity(&a, &BTreeMap::new()), 0.0, "empty profile");
+        assert_eq!(
+            profile_similarity(&a, &BTreeMap::new()),
+            0.0,
+            "empty profile"
+        );
         // Symmetry.
         let mut d = BTreeMap::new();
         d.insert("theme:X".to_string(), Duration::seconds(10));

@@ -257,7 +257,12 @@ mod tests {
         // Every themed exhibit's theme is in the hierarchy.
         let themes: Vec<&str> = theme_hierarchy().iter().map(|&(n, _)| n).collect();
         for f in &cat {
-            assert!(themes.contains(&f.theme), "{} has unknown theme {}", f.iri, f.theme);
+            assert!(
+                themes.contains(&f.theme),
+                "{} has unknown theme {}",
+                f.iri,
+                f.theme
+            );
         }
     }
 
@@ -268,7 +273,10 @@ mod tests {
         for f in exhibit_catalogue() {
             if let Some(roi) = f.roi_key {
                 let matching = famous.iter().find(|e| e.key == roi);
-                assert!(matching.is_some(), "{roi} not in sitm-louvre famous exhibits");
+                assert!(
+                    matching.is_some(),
+                    "{roi} not in sitm-louvre famous exhibits"
+                );
                 assert_eq!(
                     matching.unwrap().zone_id,
                     f.zone_id,

@@ -33,11 +33,7 @@ pub fn saturate_transitive(store: &mut TripleStore, property: &str) -> usize {
         for &a in &edges {
             for &b in &edges {
                 if a.o == b.s {
-                    let t = Triple {
-                        s: a.s,
-                        p,
-                        o: b.o,
-                    };
+                    let t = Triple { s: a.s, p, o: b.o };
                     new_triples.push(t);
                 }
             }
@@ -191,12 +187,28 @@ mod tests {
     #[test]
     fn location_lifting_mirrors_hierarchy_lifting() {
         let mut s = TripleStore::new();
-        s.insert("louvre:MonaLisa", crm::P55_HAS_CURRENT_LOCATION, "place:SalleDesEtats");
-        s.insert("place:SalleDesEtats", crm::P89_FALLS_WITHIN, "place:DenonWing");
+        s.insert(
+            "louvre:MonaLisa",
+            crm::P55_HAS_CURRENT_LOCATION,
+            "place:SalleDesEtats",
+        );
+        s.insert(
+            "place:SalleDesEtats",
+            crm::P89_FALLS_WITHIN,
+            "place:DenonWing",
+        );
         s.insert("place:DenonWing", crm::P89_FALLS_WITHIN, "place:Louvre");
         saturate_locations(&mut s);
-        assert!(s.contains("louvre:MonaLisa", crm::P55_HAS_CURRENT_LOCATION, "place:DenonWing"));
-        assert!(s.contains("louvre:MonaLisa", crm::P55_HAS_CURRENT_LOCATION, "place:Louvre"));
+        assert!(s.contains(
+            "louvre:MonaLisa",
+            crm::P55_HAS_CURRENT_LOCATION,
+            "place:DenonWing"
+        ));
+        assert!(s.contains(
+            "louvre:MonaLisa",
+            crm::P55_HAS_CURRENT_LOCATION,
+            "place:Louvre"
+        ));
     }
 
     #[test]
@@ -204,7 +216,11 @@ mod tests {
         let mut s = TripleStore::new();
         install_schema(&mut s);
         s.insert("louvre:MonaLisa", rdf::TYPE, crm::E22_MAN_MADE_OBJECT);
-        s.insert("louvre:MonaLisa", crm::P55_HAS_CURRENT_LOCATION, "place:Room");
+        s.insert(
+            "louvre:MonaLisa",
+            crm::P55_HAS_CURRENT_LOCATION,
+            "place:Room",
+        );
         s.insert("place:Room", crm::P89_FALLS_WITHIN, "place:Museum");
         let first = saturate(&mut s);
         assert!(first > 0);

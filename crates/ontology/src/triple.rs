@@ -252,7 +252,14 @@ mod tests {
             1
         );
         // s??
-        assert_eq!(s.query(Pattern { s: Some(id("monalisa")), ..Pattern::ANY }).len(), 2);
+        assert_eq!(
+            s.query(Pattern {
+                s: Some(id("monalisa")),
+                ..Pattern::ANY
+            })
+            .len(),
+            2
+        );
         // sp?
         assert_eq!(
             s.query(Pattern {
@@ -274,7 +281,14 @@ mod tests {
             1
         );
         // ?p?
-        assert_eq!(s.query(Pattern { p: Some(id("type")), ..Pattern::ANY }).len(), 3);
+        assert_eq!(
+            s.query(Pattern {
+                p: Some(id("type")),
+                ..Pattern::ANY
+            })
+            .len(),
+            3
+        );
         // ?po
         assert_eq!(
             s.query(Pattern {
@@ -286,7 +300,14 @@ mod tests {
             1
         );
         // ??o
-        assert_eq!(s.query(Pattern { o: Some(id("leonardo")), ..Pattern::ANY }).len(), 1);
+        assert_eq!(
+            s.query(Pattern {
+                o: Some(id("leonardo")),
+                ..Pattern::ANY
+            })
+            .len(),
+            1
+        );
         // ???
         assert_eq!(s.query(Pattern::ANY).len(), 5);
     }
@@ -297,9 +318,18 @@ mod tests {
         let id = |t: &str| s.term(t).unwrap();
         let patterns = [
             Pattern::ANY,
-            Pattern { s: Some(id("venus")), ..Pattern::ANY },
-            Pattern { p: Some(id("type")), ..Pattern::ANY },
-            Pattern { o: Some(id("person")), ..Pattern::ANY },
+            Pattern {
+                s: Some(id("venus")),
+                ..Pattern::ANY
+            },
+            Pattern {
+                p: Some(id("type")),
+                ..Pattern::ANY
+            },
+            Pattern {
+                o: Some(id("person")),
+                ..Pattern::ANY
+            },
         ];
         for pat in patterns {
             for t in s.query(pat) {

@@ -54,7 +54,11 @@ pub mod crm {
 
 /// Installs the class hierarchy the museum KB relies on. Idempotent.
 pub fn install_schema(store: &mut crate::TripleStore) {
-    store.insert(crm::E22_MAN_MADE_OBJECT, rdf::SUB_CLASS_OF, crm::E18_PHYSICAL_THING);
+    store.insert(
+        crm::E22_MAN_MADE_OBJECT,
+        rdf::SUB_CLASS_OF,
+        crm::E18_PHYSICAL_THING,
+    );
     store.insert(crm::E21_PERSON, rdf::SUB_CLASS_OF, crm::E39_ACTOR);
 }
 

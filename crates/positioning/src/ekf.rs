@@ -212,7 +212,10 @@ mod tests {
         let n = 400;
         let tail = 100;
         for i in 0..n {
-            let z = Point::new(truth.x + noise.sample(&mut rng), truth.y + noise.sample(&mut rng));
+            let z = Point::new(
+                truth.x + noise.sample(&mut rng),
+                truth.y + noise.sample(&mut rng),
+            );
             f.step(1.0, z);
             if i >= n - tail {
                 tail_err += f.position().distance(truth);
@@ -221,8 +224,16 @@ mod tests {
             }
         }
         // Judged on trailing averages: single-step estimates are noisy.
-        assert!((tail_err / tail as f64) < 1.5, "mean error {}", tail_err / tail as f64);
-        assert!((tail_v / tail as f64) < 1.0, "mean speed {}", tail_v / tail as f64);
+        assert!(
+            (tail_err / tail as f64) < 1.5,
+            "mean error {}",
+            tail_err / tail as f64
+        );
+        assert!(
+            (tail_v / tail as f64) < 1.0,
+            "mean speed {}",
+            tail_v / tail as f64
+        );
     }
 
     #[test]
@@ -237,7 +248,10 @@ mod tests {
         for i in 0..n {
             // Constant walk at 1 m/s along x.
             let truth = Point::new(i as f64, 0.0);
-            let z = Point::new(truth.x + noise.sample(&mut rng), truth.y + noise.sample(&mut rng));
+            let z = Point::new(
+                truth.x + noise.sample(&mut rng),
+                truth.y + noise.sample(&mut rng),
+            );
             let est = f.step(1.0, z);
             if i > 20 {
                 raw_sq += z.distance(truth).powi(2);

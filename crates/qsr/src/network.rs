@@ -74,10 +74,7 @@ impl ConstraintNetwork {
     pub fn constrain(&mut self, i: usize, j: usize, set: Rcc8Set) {
         assert!(i < self.n && j < self.n, "variable out of range");
         if i == j {
-            assert!(
-                set.contains(Rcc8::Eq),
-                "diagonal constraint must allow EQ"
-            );
+            assert!(set.contains(Rcc8::Eq), "diagonal constraint must allow EQ");
             return;
         }
         let ij = self.get(i, j).intersect(set);
@@ -119,9 +116,7 @@ impl ConstraintNetwork {
                     continue;
                 }
                 // Refine R(i,k) using the path through j.
-                let refined_ik = self
-                    .get(i, k)
-                    .intersect(compose_sets(rij, self.get(j, k)));
+                let refined_ik = self.get(i, k).intersect(compose_sets(rij, self.get(j, k)));
                 if refined_ik != self.get(i, k) {
                     if refined_ik.is_empty() {
                         return NetworkStatus::Inconsistent { i, j: k };
@@ -136,9 +131,7 @@ impl ConstraintNetwork {
                     }
                 }
                 // Refine R(k,j) using the path through i.
-                let refined_kj = self
-                    .get(k, j)
-                    .intersect(compose_sets(self.get(k, i), rij));
+                let refined_kj = self.get(k, j).intersect(compose_sets(self.get(k, i), rij));
                 if refined_kj != self.get(k, j) {
                     if refined_kj.is_empty() {
                         return NetworkStatus::Inconsistent { i: k, j };
@@ -239,7 +232,9 @@ mod tests {
         net.constrain(0, 1, Rcc8Set::from_iter([Rcc8::Tpp, Rcc8::Ntpp]));
         net.constrain_single(1, 2, Rcc8::Ec);
         assert_eq!(net.propagate(), NetworkStatus::PathConsistent);
-        assert!(net.get(0, 2).is_subset(Rcc8Set::from_iter([Rcc8::Dc, Rcc8::Ec])));
+        assert!(net
+            .get(0, 2)
+            .is_subset(Rcc8Set::from_iter([Rcc8::Dc, Rcc8::Ec])));
     }
 
     #[test]

@@ -155,18 +155,9 @@ mod tests {
 
     #[test]
     fn known_patterns() {
-        assert_eq!(
-            NineIntersection::from_rcc8(Rcc8::Eq).pattern(),
-            "TFFFTFFFT"
-        );
-        assert_eq!(
-            NineIntersection::from_rcc8(Rcc8::Dc).pattern(),
-            "FFTFFTTTT"
-        );
-        assert_eq!(
-            NineIntersection::from_rcc8(Rcc8::Po).pattern(),
-            "TTTTTTTTT"
-        );
+        assert_eq!(NineIntersection::from_rcc8(Rcc8::Eq).pattern(), "TFFFTFFFT");
+        assert_eq!(NineIntersection::from_rcc8(Rcc8::Dc).pattern(), "FFTFFTTTT");
+        assert_eq!(NineIntersection::from_rcc8(Rcc8::Po).pattern(), "TTTTTTTTT");
     }
 
     #[test]

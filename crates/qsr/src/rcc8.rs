@@ -165,10 +165,7 @@ mod tests {
     fn spatial_mapping_respects_converse() {
         // converse must commute with the vocabulary translation
         for r in Rcc8::ALL {
-            assert_eq!(
-                Rcc8::from_spatial(r.to_spatial().converse()),
-                r.converse()
-            );
+            assert_eq!(Rcc8::from_spatial(r.to_spatial().converse()), r.converse());
         }
     }
 

@@ -199,7 +199,10 @@ mod tests {
     fn set_algebra() {
         let a = Rcc8Set::from_iter([Rcc8::Dc, Rcc8::Ec]);
         let b = Rcc8Set::from_iter([Rcc8::Ec, Rcc8::Po]);
-        assert_eq!(a.union(b), Rcc8Set::from_iter([Rcc8::Dc, Rcc8::Ec, Rcc8::Po]));
+        assert_eq!(
+            a.union(b),
+            Rcc8Set::from_iter([Rcc8::Dc, Rcc8::Ec, Rcc8::Po])
+        );
         assert_eq!(a.intersect(b), Rcc8Set::single(Rcc8::Ec));
         assert!(a.intersect(b).is_subset(a));
         assert!(!a.is_subset(b));

@@ -107,7 +107,10 @@ pub fn occupancy(db: &TrajectoryDb, bucket: Duration) -> Vec<OccupancyPoint> {
         // Windows are half-open by construction (the next bucket starts at
         // end+1s) so each instant is counted once.
         let window_end = Timestamp(
-            (cursor + bucket).as_seconds().saturating_sub(1).max(cursor.as_seconds()),
+            (cursor + bucket)
+                .as_seconds()
+                .saturating_sub(1)
+                .max(cursor.as_seconds()),
         );
         let window = TimeInterval::new(cursor, window_end.min(global_end));
         out.push(OccupancyPoint {
@@ -123,7 +126,10 @@ pub fn occupancy(db: &TrajectoryDb, bucket: Duration) -> Vec<OccupancyPoint> {
 /// kind (e.g. `Custom("device")` → `{"ios": [...], "android": [...]}`).
 /// Trajectories without that kind are omitted; a trajectory with several
 /// values of the kind appears in each group.
-pub fn group_by_annotation(db: &TrajectoryDb, kind: &AnnotationKind) -> BTreeMap<String, Vec<TrajId>> {
+pub fn group_by_annotation(
+    db: &TrajectoryDb,
+    kind: &AnnotationKind,
+) -> BTreeMap<String, Vec<TrajId>> {
     let mut out: BTreeMap<String, Vec<TrajId>> = BTreeMap::new();
     for (i, t) in db.iter().enumerate() {
         for value in t.annotations().values_of(kind) {
@@ -144,9 +150,7 @@ pub fn top_k<V: Copy + Ord>(map: &BTreeMap<CellRef, V>, k: usize) -> Vec<(CellRe
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sitm_core::{
-        Annotation, AnnotationSet, PresenceInterval, Trace, TransitionTaken,
-    };
+    use sitm_core::{Annotation, AnnotationSet, PresenceInterval, Trace, TransitionTaken};
     use sitm_graph::{LayerIdx, NodeId};
 
     fn cell(n: usize) -> CellRef {
@@ -157,7 +161,12 @@ mod tests {
         let intervals = stays
             .iter()
             .map(|&(c, s, e)| {
-                PresenceInterval::new(TransitionTaken::Unknown, cell(c), Timestamp(s), Timestamp(e))
+                PresenceInterval::new(
+                    TransitionTaken::Unknown,
+                    cell(c),
+                    Timestamp(s),
+                    Timestamp(e),
+                )
             })
             .collect();
         SemanticTrajectory::new(

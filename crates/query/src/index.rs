@@ -234,9 +234,7 @@ impl TrajectoryDb {
     /// engine re-filters.
     pub fn candidates(&self, p: &Predicate) -> CandidateSet {
         match p {
-            Predicate::True
-            | Predicate::MinTotalDwell(_)
-            | Predicate::Not(_) => CandidateSet::All,
+            Predicate::True | Predicate::MinTotalDwell(_) | Predicate::Not(_) => CandidateSet::All,
             Predicate::VisitedCell(cell) | Predicate::MinStayIn(cell, _) => {
                 CandidateSet::Ids(self.with_cell(*cell).to_vec())
             }
@@ -244,9 +242,7 @@ impl TrajectoryDb {
                 .iter()
                 .map(|c| CandidateSet::Ids(self.with_cell(*c).to_vec()))
                 .fold(CandidateSet::All, CandidateSet::intersect),
-            Predicate::SpanOverlaps(window) => {
-                CandidateSet::Ids(self.spans_overlapping(*window))
-            }
+            Predicate::SpanOverlaps(window) => CandidateSet::Ids(self.spans_overlapping(*window)),
             Predicate::StayOverlaps(cell, window) => match self.stay_trees.get(cell) {
                 None => CandidateSet::Ids(Vec::new()),
                 Some(tree) => {
@@ -256,15 +252,15 @@ impl TrajectoryDb {
                     CandidateSet::Ids(ids)
                 }
             },
-            Predicate::HasTrajAnnotation(a) => CandidateSet::Ids(
-                self.traj_ann_postings.get(a).cloned().unwrap_or_default(),
-            ),
-            Predicate::HasStayAnnotation(a) => CandidateSet::Ids(
-                self.stay_ann_postings.get(a).cloned().unwrap_or_default(),
-            ),
-            Predicate::MovingObject(id) => CandidateSet::Ids(
-                self.object_postings.get(id).cloned().unwrap_or_default(),
-            ),
+            Predicate::HasTrajAnnotation(a) => {
+                CandidateSet::Ids(self.traj_ann_postings.get(a).cloned().unwrap_or_default())
+            }
+            Predicate::HasStayAnnotation(a) => {
+                CandidateSet::Ids(self.stay_ann_postings.get(a).cloned().unwrap_or_default())
+            }
+            Predicate::MovingObject(id) => {
+                CandidateSet::Ids(self.object_postings.get(id).cloned().unwrap_or_default())
+            }
             Predicate::And(parts) => parts
                 .iter()
                 .map(|q| self.candidates(q))
@@ -300,7 +296,12 @@ mod tests {
         let intervals = stays
             .iter()
             .map(|&(c, s, e)| {
-                PresenceInterval::new(TransitionTaken::Unknown, cell(c), Timestamp(s), Timestamp(e))
+                PresenceInterval::new(
+                    TransitionTaken::Unknown,
+                    cell(c),
+                    Timestamp(s),
+                    Timestamp(e),
+                )
             })
             .collect();
         SemanticTrajectory::new(
@@ -387,14 +388,20 @@ mod tests {
         let r = Predicate::VisitedCell(cell(0)).or(Predicate::True);
         assert_eq!(db.candidates(&r), CandidateSet::All);
         // Empty Or matches nothing.
-        assert_eq!(db.candidates(&Predicate::Or(vec![])), CandidateSet::Ids(vec![]));
+        assert_eq!(
+            db.candidates(&Predicate::Or(vec![])),
+            CandidateSet::Ids(vec![])
+        );
     }
 
     #[test]
     fn candidate_set_algebra() {
         let a = CandidateSet::Ids(vec![1, 2, 3]);
         let b = CandidateSet::Ids(vec![2, 3, 4]);
-        assert_eq!(a.clone().intersect(b.clone()), CandidateSet::Ids(vec![2, 3]));
+        assert_eq!(
+            a.clone().intersect(b.clone()),
+            CandidateSet::Ids(vec![2, 3])
+        );
         assert_eq!(a.clone().union(b), CandidateSet::Ids(vec![1, 2, 3, 4]));
         assert_eq!(a.clone().intersect(CandidateSet::All), a);
         assert_eq!(a.clone().union(CandidateSet::All), CandidateSet::All);

@@ -55,9 +55,7 @@ impl Predicate {
     pub fn matches(&self, t: &SemanticTrajectory) -> bool {
         match self {
             Predicate::True => true,
-            Predicate::VisitedCell(cell) => {
-                t.trace().intervals().iter().any(|p| p.cell == *cell)
-            }
+            Predicate::VisitedCell(cell) => t.trace().intervals().iter().any(|p| p.cell == *cell),
             Predicate::SequenceContains(cells) => {
                 if cells.is_empty() {
                     return true;
@@ -197,7 +195,12 @@ mod tests {
     }
 
     fn stay(c: usize, start: i64, end: i64) -> PresenceInterval {
-        PresenceInterval::new(TransitionTaken::Unknown, cell(c), Timestamp(start), Timestamp(end))
+        PresenceInterval::new(
+            TransitionTaken::Unknown,
+            cell(c),
+            Timestamp(start),
+            Timestamp(end),
+        )
     }
 
     fn sample() -> SemanticTrajectory {

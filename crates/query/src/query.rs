@@ -309,7 +309,12 @@ mod tests {
         let intervals = stays
             .iter()
             .map(|&(c, s, e)| {
-                PresenceInterval::new(TransitionTaken::Unknown, cell(c), Timestamp(s), Timestamp(e))
+                PresenceInterval::new(
+                    TransitionTaken::Unknown,
+                    cell(c),
+                    Timestamp(s),
+                    Timestamp(e),
+                )
             })
             .collect();
         SemanticTrajectory::new(
@@ -342,10 +347,7 @@ mod tests {
         let hits = Query::new().visited(cell(1)).goal("visit").execute(&db);
         let ids: Vec<TrajId> = hits.iter().map(|m| m.id).collect();
         assert_eq!(ids, vec![0, 1, 3]);
-        let hits = Query::new()
-            .visited(cell(2))
-            .goal("buy")
-            .execute(&db);
+        let hits = Query::new().visited(cell(2)).goal("buy").execute(&db);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].trajectory.moving_object, "c");
     }
@@ -364,7 +366,12 @@ mod tests {
     fn during_uses_span_overlap() {
         let db = db();
         let w = TimeInterval::new(Timestamp(16), Timestamp(60));
-        let ids: Vec<TrajId> = Query::new().during(w).execute(&db).iter().map(|m| m.id).collect();
+        let ids: Vec<TrajId> = Query::new()
+            .during(w)
+            .execute(&db)
+            .iter()
+            .map(|m| m.id)
+            .collect();
         assert_eq!(ids, vec![0, 1, 3]);
     }
 
@@ -374,14 +381,20 @@ mod tests {
         let hits = Query::new()
             .order_by(SortKey::SpanDuration, false)
             .execute(&db);
-        let mos: Vec<&str> = hits.iter().map(|m| m.trajectory.moving_object.as_str()).collect();
+        let mos: Vec<&str> = hits
+            .iter()
+            .map(|m| m.trajectory.moving_object.as_str())
+            .collect();
         assert_eq!(mos, vec!["c", "d", "b", "a"]);
         let page = Query::new()
             .order_by(SortKey::SpanDuration, false)
             .offset(1)
             .limit(2)
             .execute(&db);
-        let mos: Vec<&str> = page.iter().map(|m| m.trajectory.moving_object.as_str()).collect();
+        let mos: Vec<&str> = page
+            .iter()
+            .map(|m| m.trajectory.moving_object.as_str())
+            .collect();
         assert_eq!(mos, vec!["d", "b"]);
     }
 
@@ -410,10 +423,7 @@ mod tests {
     fn explain_reports_index_usage() {
         let db = db();
         let plan = Query::new().visited(cell(2)).explain(&db);
-        assert_eq!(
-            plan.access,
-            AccessPath::IndexCandidates { candidates: 3 }
-        );
+        assert_eq!(plan.access, AccessPath::IndexCandidates { candidates: 3 });
         assert!((plan.selectivity_bound() - 0.75).abs() < 1e-9);
         assert!(plan.to_string().contains("IndexCandidates"));
 
@@ -428,10 +438,9 @@ mod tests {
     #[test]
     fn index_path_equals_full_scan_results() {
         let db = db();
-        let q = Query::new().visited(cell(1)).during(TimeInterval::new(
-            Timestamp(0),
-            Timestamp(90),
-        ));
+        let q = Query::new()
+            .visited(cell(1))
+            .during(TimeInterval::new(Timestamp(0), Timestamp(90)));
         let indexed: Vec<TrajId> = q.execute(&db).iter().map(|m| m.id).collect();
         let scanned: Vec<TrajId> = db
             .trajectories()

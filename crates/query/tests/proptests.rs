@@ -20,9 +20,9 @@ const GOALS: [&str; 3] = ["visit", "buy", "exit"];
 /// One synthetic trajectory: stays walk forward in time over cells 0..6.
 fn trajectory_strategy() -> impl Strategy<Value = SemanticTrajectory> {
     (
-        0u8..5,                                 // moving-object pool
-        0usize..GOALS.len(),                    // goal
-        0i64..500,                              // start time
+        0u8..5,              // moving-object pool
+        0usize..GOALS.len(), // goal
+        0i64..500,           // start time
         prop::collection::vec((0usize..6, 0i64..30, 0u8..3), 1..8),
     )
         .prop_map(|(mo, goal, start, stays)| {
@@ -67,8 +67,10 @@ fn predicate_strategy() -> impl Strategy<Value = Predicate> {
             cell(c),
             TimeInterval::new(Timestamp(s), Timestamp(s + d))
         )),
-        (0usize..GOALS.len()).prop_map(|g| Predicate::HasTrajAnnotation(Annotation::goal(GOALS[g]))),
-        (0usize..GOALS.len()).prop_map(|g| Predicate::HasStayAnnotation(Annotation::goal(GOALS[g]))),
+        (0usize..GOALS.len())
+            .prop_map(|g| Predicate::HasTrajAnnotation(Annotation::goal(GOALS[g]))),
+        (0usize..GOALS.len())
+            .prop_map(|g| Predicate::HasStayAnnotation(Annotation::goal(GOALS[g]))),
         (0i64..120).prop_map(|s| Predicate::MinTotalDwell(Duration::seconds(s))),
         (0usize..6, 0i64..40)
             .prop_map(|(c, s)| Predicate::MinStayIn(cell(c), Duration::seconds(s))),

@@ -253,11 +253,15 @@ mod tests {
     #[test]
     fn cell_builder_chains() {
         let poly = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(5.0, 5.0)).unwrap();
-        let cell = Cell::new("zone60887", "Temporary Exhibition (E)", CellClass::Exhibition)
-            .on_floor(-2)
-            .with_geometry(poly.clone())
-            .with_attribute("ticket", "separate")
-            .with_attribute("theme", "temporary");
+        let cell = Cell::new(
+            "zone60887",
+            "Temporary Exhibition (E)",
+            CellClass::Exhibition,
+        )
+        .on_floor(-2)
+        .with_geometry(poly.clone())
+        .with_attribute("ticket", "separate")
+        .with_attribute("theme", "temporary");
         assert_eq!(cell.key, "zone60887");
         assert_eq!(cell.floor, Some(-2));
         assert_eq!(cell.geometry, Some(poly));

@@ -130,10 +130,7 @@ mod tests {
 
     #[test]
     fn full_tiling_reports_full_coverage() {
-        let (s, h, f) = model_with_rooms(&[
-            (0.0, 0.0, 5.0, 10.0),
-            (5.0, 0.0, 10.0, 10.0),
-        ]);
+        let (s, h, f) = model_with_rooms(&[(0.0, 0.0, 5.0, 10.0), (5.0, 0.0, 10.0, 10.0)]);
         let report = coverage_of(&s, &h, f);
         assert_eq!(report.children, 2);
         assert_eq!(report.children_with_geometry, 2);
@@ -153,10 +150,7 @@ mod tests {
     #[test]
     fn rois_not_covering_room_fig4() {
         // The Fig. 4 situation: RoIs inside a zone cover it only partially.
-        let (s, h, f) = model_with_rooms(&[
-            (1.0, 1.0, 3.0, 3.0),
-            (6.0, 6.0, 8.0, 9.0),
-        ]);
+        let (s, h, f) = model_with_rooms(&[(1.0, 1.0, 3.0, 3.0), (6.0, 6.0, 8.0, 9.0)]);
         let report = coverage_of(&s, &h, f);
         let expected = (4.0 + 6.0) / 100.0;
         assert!((report.covered_fraction.unwrap() - expected).abs() < 1e-9);
@@ -177,8 +171,12 @@ mod tests {
         let lb = s.add_layer("buildings", LayerKind::Building);
         let lf = s.add_layer("floors", LayerKind::Floor);
         s.add_layer("rooms", LayerKind::Room);
-        let b = s.add_cell(lb, Cell::new("b", "B", CellClass::Building)).unwrap();
-        let f = s.add_cell(lf, Cell::new("f", "F", CellClass::Floor)).unwrap();
+        let b = s
+            .add_cell(lb, Cell::new("b", "B", CellClass::Building))
+            .unwrap();
+        let f = s
+            .add_cell(lf, Cell::new("f", "F", CellClass::Floor))
+            .unwrap();
         s.add_joint(b, f, JointRelation::Covers).unwrap();
         let h = core_hierarchy(&s).unwrap();
         let report = coverage_of(&s, &h, b);

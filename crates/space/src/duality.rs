@@ -177,7 +177,8 @@ mod tests {
     fn cells_without_geometry_are_skipped() {
         let mut s = IndoorSpace::new();
         let l = s.add_layer("rooms", LayerKind::Room);
-        s.add_cell(l, Cell::new("bare", "Bare", CellClass::Room)).unwrap();
+        s.add_cell(l, Cell::new("bare", "Bare", CellClass::Room))
+            .unwrap();
         s.add_cell(
             l,
             Cell::new("geo", "Geo", CellClass::Room)

@@ -112,7 +112,10 @@ impl std::fmt::Display for HierarchyIssue {
                 write!(f, "joint edge {from} -> {to} points bottom->top")
             }
             HierarchyIssue::MultipleParents { cell, count } => {
-                write!(f, "cell {cell} has {count} parents; proper hierarchies allow one")
+                write!(
+                    f,
+                    "cell {cell} has {count} parents; proper hierarchies allow one"
+                )
             }
             HierarchyIssue::OrphanCell { cell } => {
                 write!(f, "cell {cell} has no parent in the layer above")
@@ -234,7 +237,11 @@ impl LayerHierarchy {
             return Vec::new();
         };
         if target <= from {
-            return if target == from { vec![cell] } else { Vec::new() };
+            return if target == from {
+                vec![cell]
+            } else {
+                Vec::new()
+            };
         }
         let mut frontier = vec![cell];
         for _ in from..target {
@@ -353,12 +360,24 @@ mod tests {
         let lb = s.add_layer("buildings", LayerKind::Building);
         let lf = s.add_layer("floors", LayerKind::Floor);
         let lr = s.add_layer("rooms", LayerKind::Room);
-        let b = s.add_cell(lb, Cell::new("b", "Building", CellClass::Building)).unwrap();
-        let f0 = s.add_cell(lf, Cell::new("f0", "Floor 0", CellClass::Floor)).unwrap();
-        let f1 = s.add_cell(lf, Cell::new("f1", "Floor 1", CellClass::Floor)).unwrap();
-        let r0 = s.add_cell(lr, Cell::new("r0", "Room 0", CellClass::Room)).unwrap();
-        let r1 = s.add_cell(lr, Cell::new("r1", "Room 1", CellClass::Room)).unwrap();
-        let r2 = s.add_cell(lr, Cell::new("r2", "Room 2", CellClass::Room)).unwrap();
+        let b = s
+            .add_cell(lb, Cell::new("b", "Building", CellClass::Building))
+            .unwrap();
+        let f0 = s
+            .add_cell(lf, Cell::new("f0", "Floor 0", CellClass::Floor))
+            .unwrap();
+        let f1 = s
+            .add_cell(lf, Cell::new("f1", "Floor 1", CellClass::Floor))
+            .unwrap();
+        let r0 = s
+            .add_cell(lr, Cell::new("r0", "Room 0", CellClass::Room))
+            .unwrap();
+        let r1 = s
+            .add_cell(lr, Cell::new("r1", "Room 1", CellClass::Room))
+            .unwrap();
+        let r2 = s
+            .add_cell(lr, Cell::new("r2", "Room 2", CellClass::Room))
+            .unwrap();
         s.add_joint(b, f0, JointRelation::Covers).unwrap();
         s.add_joint(b, f1, JointRelation::Covers).unwrap();
         s.add_joint(f0, r0, JointRelation::Contains).unwrap();
@@ -395,9 +414,9 @@ mod tests {
         s.add_layer("buildings", LayerKind::Building);
         s.add_layer("rooms", LayerKind::Room);
         let issues = core_hierarchy(&s).unwrap_err();
-        assert!(issues
-            .iter()
-            .any(|i| matches!(i, HierarchyIssue::MissingCoreLayer { kind } if *kind == LayerKind::Floor)));
+        assert!(issues.iter().any(
+            |i| matches!(i, HierarchyIssue::MissingCoreLayer { kind } if *kind == LayerKind::Floor)
+        ));
     }
 
     #[test]
@@ -418,12 +437,17 @@ mod tests {
         let f0 = s.resolve("f0").unwrap();
         // Add an extra room with an overlap joint from its floor.
         let lr = s.find_layer(&LayerKind::Room).unwrap();
-        let rx = s.add_cell(lr, Cell::new("rx", "Odd", CellClass::Room)).unwrap();
+        let rx = s
+            .add_cell(lr, Cell::new("rx", "Odd", CellClass::Room))
+            .unwrap();
         s.add_joint(f0, rx, JointRelation::Overlap).unwrap();
         let issues = validate_hierarchy(&s, &h);
         assert!(issues.iter().any(|i| matches!(
             i,
-            HierarchyIssue::BadRelation { relation: JointRelation::Overlap, .. }
+            HierarchyIssue::BadRelation {
+                relation: JointRelation::Overlap,
+                ..
+            }
         )));
     }
 
@@ -432,7 +456,9 @@ mod tests {
         let (mut s, h) = small_building();
         let f0 = s.resolve("f0").unwrap();
         let lr = s.find_layer(&LayerKind::Room).unwrap();
-        let rx = s.add_cell(lr, Cell::new("rx", "Odd", CellClass::Room)).unwrap();
+        let rx = s
+            .add_cell(lr, Cell::new("rx", "Odd", CellClass::Room))
+            .unwrap();
         // Child -> parent "contains" is the wrong direction.
         s.add_joint(rx, f0, JointRelation::Contains).unwrap();
         let issues = validate_hierarchy(&s, &h);
@@ -460,10 +486,9 @@ mod tests {
         let r0 = s.resolve("r0").unwrap();
         s.add_joint(f1, r0, JointRelation::Contains).unwrap();
         let issues = validate_hierarchy(&s, &h);
-        assert!(issues.iter().any(|i| matches!(
-            i,
-            HierarchyIssue::MultipleParents { count: 2, .. }
-        )));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, HierarchyIssue::MultipleParents { count: 2, .. })));
     }
 
     #[test]
@@ -512,7 +537,10 @@ mod tests {
         let s = IndoorSpace::new();
         let h = LayerHierarchy::new(vec![]);
         let issues = validate_hierarchy(&s, &h);
-        assert!(matches!(issues[0], HierarchyIssue::TooFewLayers { found: 0 }));
+        assert!(matches!(
+            issues[0],
+            HierarchyIssue::TooFewLayers { found: 0 }
+        ));
     }
 
     #[test]
@@ -524,11 +552,21 @@ mod tests {
         let lf = s.add_layer("floors", LayerKind::Floor);
         let lr = s.add_layer("rooms", LayerKind::Room);
         let li = s.add_layer("rois", LayerKind::RegionOfInterest);
-        let c = s.add_cell(lc, Cell::new("site", "Site", CellClass::BuildingComplex)).unwrap();
-        let a = s.add_cell(lb, Cell::new("ba", "Building A", CellClass::Building)).unwrap();
-        let fa1 = s.add_cell(lf, Cell::new("fa1", "FloorA1", CellClass::Floor)).unwrap();
-        let r = s.add_cell(lr, Cell::new("r", "Room", CellClass::Room)).unwrap();
-        let roi = s.add_cell(li, Cell::new("roi", "Exhibit", CellClass::RegionOfInterest)).unwrap();
+        let c = s
+            .add_cell(lc, Cell::new("site", "Site", CellClass::BuildingComplex))
+            .unwrap();
+        let a = s
+            .add_cell(lb, Cell::new("ba", "Building A", CellClass::Building))
+            .unwrap();
+        let fa1 = s
+            .add_cell(lf, Cell::new("fa1", "FloorA1", CellClass::Floor))
+            .unwrap();
+        let r = s
+            .add_cell(lr, Cell::new("r", "Room", CellClass::Room))
+            .unwrap();
+        let roi = s
+            .add_cell(li, Cell::new("roi", "Exhibit", CellClass::RegionOfInterest))
+            .unwrap();
         s.add_joint(c, a, JointRelation::Covers).unwrap();
         s.add_joint(a, fa1, JointRelation::Covers).unwrap();
         s.add_joint(fa1, r, JointRelation::Contains).unwrap();

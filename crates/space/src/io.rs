@@ -71,10 +71,7 @@ pub fn to_json(space: &IndoorSpace) -> JsonValue {
                 let mut fields = vec![
                     ("from".to_string(), JsonValue::string(from_key)),
                     ("to".to_string(), JsonValue::string(to_key)),
-                    (
-                        "kind".to_string(),
-                        JsonValue::string(e.payload.kind.name()),
-                    ),
+                    ("kind".to_string(), JsonValue::string(e.payload.kind.name())),
                 ];
                 if let Some(name) = &e.payload.name {
                     fields.push(("name".to_string(), JsonValue::string(name.clone())));
@@ -342,7 +339,10 @@ mod tests {
             )
             .unwrap();
         let b = s
-            .add_cell(lr, Cell::new("room-b", "Room B", CellClass::Hall).on_floor(0))
+            .add_cell(
+                lr,
+                Cell::new("room-b", "Room B", CellClass::Hall).on_floor(0),
+            )
             .unwrap();
         s.add_transition(a, b, Transition::named(TransitionKind::Door, "door012"))
             .unwrap();
@@ -401,10 +401,8 @@ mod tests {
     fn missing_fields_are_schema_errors() {
         let err = from_json_str(r#"{"layers":[]}"#).unwrap_err();
         assert!(matches!(err, IoError::Schema(_)));
-        let err = from_json_str(
-            r#"{"format":"sitm-space/1","layers":[{"name":"x"}]}"#,
-        )
-        .unwrap_err();
+        let err =
+            from_json_str(r#"{"format":"sitm-space/1","layers":[{"name":"x"}]}"#).unwrap_err();
         assert!(matches!(err, IoError::Schema(_)));
     }
 

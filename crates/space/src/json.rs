@@ -269,8 +269,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
         *pos += 1;
     }
     while *pos < bytes.len()
-        && (bytes[*pos].is_ascii_digit()
-            || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+        && (bytes[*pos].is_ascii_digit() || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
     {
         *pos += 1;
     }
@@ -325,8 +324,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                             if !(0xDC00..0xE000).contains(&low) {
                                 return Err(err(*pos, "invalid low surrogate value"));
                             }
-                            let combined =
-                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                             out.push(
                                 char::from_u32(combined)
                                     .ok_or_else(|| err(*pos, "invalid surrogate pair"))?,
@@ -346,8 +344,8 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
             }
             Some(_) => {
                 // Consume one UTF-8 scalar.
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| err(*pos, "invalid UTF-8"))?;
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| err(*pos, "invalid UTF-8"))?;
                 let c = rest.chars().next().expect("non-empty");
                 out.push(c);
                 *pos += c.len_utf8();
@@ -442,14 +440,14 @@ mod tests {
             ("name", JsonValue::string("Louvre")),
             (
                 "zones",
-                JsonValue::Array(vec![
-                    JsonValue::Number(60887.0),
-                    JsonValue::Number(60888.0),
-                ]),
+                JsonValue::Array(vec![JsonValue::Number(60887.0), JsonValue::Number(60888.0)]),
             ),
             (
                 "meta",
-                JsonValue::object([("open", JsonValue::Bool(true)), ("floor", JsonValue::Number(-2.0))]),
+                JsonValue::object([
+                    ("open", JsonValue::Bool(true)),
+                    ("floor", JsonValue::Number(-2.0)),
+                ]),
             ),
         ]);
         for text in [doc.to_compact(), doc.to_pretty()] {
@@ -467,10 +465,7 @@ mod tests {
 
     #[test]
     fn unicode_escapes_parse() {
-        assert_eq!(
-            JsonValue::parse(r#""é""#).unwrap(),
-            JsonValue::string("é")
-        );
+        assert_eq!(JsonValue::parse(r#""é""#).unwrap(), JsonValue::string("é"));
         // Surrogate pair for U+1F600.
         assert_eq!(
             JsonValue::parse(r#""😀""#).unwrap(),
@@ -496,7 +491,10 @@ mod tests {
         assert_eq!(v.get("n").and_then(JsonValue::as_f64), Some(3.0));
         assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("x"));
         assert_eq!(v.get("b").and_then(JsonValue::as_bool), Some(true));
-        assert_eq!(v.get("arr").and_then(JsonValue::as_array).map(|a| a.len()), Some(1));
+        assert_eq!(
+            v.get("arr").and_then(JsonValue::as_array).map(|a| a.len()),
+            Some(1)
+        );
         assert_eq!(v.get("missing"), None);
         assert_eq!(JsonValue::Number(2.5).as_i64(), None, "fractional");
     }

@@ -130,10 +130,7 @@ mod tests {
         .iter()
         .map(|k| k.hierarchy_rank())
         .collect();
-        assert_eq!(
-            ranks,
-            vec![Some(0), Some(1), Some(2), Some(3), Some(4)]
-        );
+        assert_eq!(ranks, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
     }
 
     #[test]

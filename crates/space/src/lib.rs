@@ -34,7 +34,9 @@ pub mod transition;
 
 pub use cell::{Cell, CellClass, CellRef};
 pub use coverage::{coverage_of, CoverageReport};
-pub use duality::{derive_adjacency, derive_connectivity, shared_boundary_length, DerivedAdjacency};
+pub use duality::{
+    derive_adjacency, derive_connectivity, shared_boundary_length, DerivedAdjacency,
+};
 pub use hierarchy::{
     core_hierarchy, validate_hierarchy, HierarchyIssue, IssueSeverity, LayerHierarchy,
 };

@@ -227,8 +227,7 @@ impl IndoorSpace {
 
     /// Iterates all cells of all layers.
     pub fn cells(&self) -> impl Iterator<Item = (CellRef, &Cell)> + '_ {
-        self.layers()
-            .flat_map(move |(idx, _)| self.cells_in(idx))
+        self.layers().flat_map(move |(idx, _)| self.cells_in(idx))
     }
 
     /// The accessibility NRG of one layer.
@@ -241,10 +240,7 @@ impl IndoorSpace {
         &self,
         layer: LayerIdx,
     ) -> impl Iterator<Item = EdgeRef<'_, Transition>> + '_ {
-        self.graph
-            .graph(layer)
-            .into_iter()
-            .flat_map(|g| g.edges())
+        self.graph.graph(layer).into_iter().flat_map(|g| g.edges())
     }
 
     /// Transition payload by layer and edge id.
@@ -357,7 +353,11 @@ mod tests {
         // The Salle des États rule: exit allowed, entry forbidden.
         let (mut space, salle, room2) = two_room_model();
         space
-            .add_transition(salle, room2, Transition::named(TransitionKind::Door, "exit-door"))
+            .add_transition(
+                salle,
+                room2,
+                Transition::named(TransitionKind::Door, "exit-door"),
+            )
             .unwrap();
         let rooms = salle.layer;
         let nrg = space.nrg(rooms).unwrap();

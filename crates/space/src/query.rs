@@ -143,14 +143,28 @@ mod tests {
     fn chain_space() -> (IndoorSpace, CellRef, CellRef, CellRef, CellRef) {
         let mut s = IndoorSpace::new();
         let zones = s.add_layer("zones", LayerKind::Thematic);
-        let e = s.add_cell(zones, Cell::new("E", "Exhibition", CellClass::Exhibition)).unwrap();
-        let p = s.add_cell(zones, Cell::new("P", "Passage", CellClass::Corridor)).unwrap();
-        let sv = s.add_cell(zones, Cell::new("S", "Shops", CellClass::Shop)).unwrap();
-        let c = s.add_cell(zones, Cell::new("C", "Carrousel exit", CellClass::Exit)).unwrap();
-        s.add_transition(e, p, Transition::named(TransitionKind::Checkpoint, "checkpoint002"))
+        let e = s
+            .add_cell(zones, Cell::new("E", "Exhibition", CellClass::Exhibition))
             .unwrap();
-        s.add_transition_pair(p, sv, Transition::new(TransitionKind::Opening)).unwrap();
-        s.add_transition(sv, c, Transition::new(TransitionKind::Checkpoint)).unwrap();
+        let p = s
+            .add_cell(zones, Cell::new("P", "Passage", CellClass::Corridor))
+            .unwrap();
+        let sv = s
+            .add_cell(zones, Cell::new("S", "Shops", CellClass::Shop))
+            .unwrap();
+        let c = s
+            .add_cell(zones, Cell::new("C", "Carrousel exit", CellClass::Exit))
+            .unwrap();
+        s.add_transition(
+            e,
+            p,
+            Transition::named(TransitionKind::Checkpoint, "checkpoint002"),
+        )
+        .unwrap();
+        s.add_transition_pair(p, sv, Transition::new(TransitionKind::Opening))
+            .unwrap();
+        s.add_transition(sv, c, Transition::new(TransitionKind::Checkpoint))
+            .unwrap();
         (s, e, p, sv, c)
     }
 
@@ -216,7 +230,9 @@ mod tests {
     fn cross_layer_queries_are_none() {
         let (mut s, e, ..) = chain_space();
         let other = s.add_layer("rooms", LayerKind::Room);
-        let r = s.add_cell(other, Cell::new("r", "R", CellClass::Room)).unwrap();
+        let r = s
+            .add_cell(other, Cell::new("r", "R", CellClass::Room))
+            .unwrap();
         assert!(!s.accessible(e, r));
         assert_eq!(s.route(e, r), None);
         assert_eq!(s.unavoidable_between(e, r), None);

@@ -12,17 +12,15 @@ fn arb_json() -> impl Strategy<Value = JsonValue> {
         // Finite doubles that survive text round-trips exactly enough for
         // PartialEq: use integers and dyadic fractions.
         (-1_000_000i64..1_000_000).prop_map(|n| JsonValue::Number(n as f64)),
-        (-1_000i64..1_000, 1u32..8).prop_map(|(n, d)| {
-            JsonValue::Number(n as f64 / f64::from(1u32 << d))
-        }),
+        (-1_000i64..1_000, 1u32..8)
+            .prop_map(|(n, d)| { JsonValue::Number(n as f64 / f64::from(1u32 << d)) }),
         "[ -~]{0,20}".prop_map(JsonValue::string), // printable ASCII
         "\\PC{0,8}".prop_map(JsonValue::string),   // arbitrary printable unicode
     ];
     leaf.prop_recursive(3, 64, 8, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..6).prop_map(JsonValue::Array),
-            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..6)
-                .prop_map(JsonValue::Object),
+            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..6).prop_map(JsonValue::Object),
         ]
     })
 }

@@ -1,0 +1,175 @@
+//! Checkpoint frames: the durable record type streaming engines persist.
+//!
+//! A checkpoint is a *logical snapshot* split across shards: each shard
+//! serializes its state into an opaque payload, and the engine appends one
+//! [`CheckpointFrame`] per shard (sharing one `sequence`) followed by a
+//! [`LogStore::sync`](crate::LogStore::sync). Recovery scans the log,
+//! keeps the highest sequence for which **all** shard frames survived
+//! (a torn tail can lose the last few frames of an in-flight checkpoint),
+//! and hands each payload back to its shard.
+//!
+//! The payload stays opaque at this layer on purpose: the store crate
+//! knows how to frame, checksum, and recover records, while the engine
+//! (`sitm-stream`) owns the meaning of its own state. Payload encoding
+//! uses the same [`codec`](crate::codec) primitives as everything else.
+
+use crate::codec::CodecError;
+use crate::log::Record;
+use crate::varint;
+
+/// One shard's slice of a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointFrame {
+    /// Monotonically increasing checkpoint sequence number; all frames of
+    /// one logical checkpoint share it.
+    pub sequence: u64,
+    /// Which shard this payload belongs to.
+    pub shard: u32,
+    /// Total shards participating in this checkpoint (lets recovery tell
+    /// a complete snapshot from a torn one).
+    pub shard_count: u32,
+    /// Opaque shard state, encoded by the engine.
+    pub payload: Vec<u8>,
+}
+
+impl Record for CheckpointFrame {
+    fn encode_record(&self, buf: &mut Vec<u8>) {
+        varint::encode_u64(buf, self.sequence);
+        varint::encode_u64(buf, self.shard as u64);
+        varint::encode_u64(buf, self.shard_count as u64);
+        varint::encode_u64(buf, self.payload.len() as u64);
+        buf.extend_from_slice(&self.payload);
+    }
+
+    fn decode_record(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let sequence = varint::decode_u64(buf)?;
+        let shard = varint::decode_u64(buf)? as u32;
+        let shard_count = varint::decode_u64(buf)? as u32;
+        let len = varint::decode_u64(buf)?;
+        if len > buf.len() as u64 {
+            return Err(CodecError::LengthOverrun {
+                declared: len,
+                available: buf.len(),
+            });
+        }
+        let (payload, rest) = buf.split_at(len as usize);
+        let payload = payload.to_vec();
+        *buf = rest;
+        Ok(CheckpointFrame {
+            sequence,
+            shard,
+            shard_count,
+            payload,
+        })
+    }
+}
+
+/// Selects the newest *complete* checkpoint from recovered frames: the
+/// highest sequence where every shard `0..shard_count` is present exactly
+/// once with a consistent count. Returns frames ordered by shard.
+pub fn latest_complete_checkpoint(frames: &[CheckpointFrame]) -> Option<Vec<&CheckpointFrame>> {
+    let mut best: Option<Vec<&CheckpointFrame>> = None;
+    let mut sequences: Vec<u64> = frames.iter().map(|f| f.sequence).collect();
+    sequences.sort_unstable();
+    sequences.dedup();
+    for &seq in &sequences {
+        let members: Vec<&CheckpointFrame> = frames.iter().filter(|f| f.sequence == seq).collect();
+        let Some(first) = members.first() else {
+            continue;
+        };
+        let count = first.shard_count as usize;
+        if count == 0 || members.len() != count {
+            continue;
+        }
+        if members.iter().any(|f| f.shard_count != first.shard_count) {
+            continue;
+        }
+        let mut ordered: Vec<&CheckpointFrame> = members;
+        ordered.sort_by_key(|f| f.shard);
+        if ordered
+            .iter()
+            .enumerate()
+            .all(|(i, f)| f.shard as usize == i)
+        {
+            best = Some(ordered); // sequences ascend, so the last win is newest
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(sequence: u64, shard: u32, shard_count: u32) -> CheckpointFrame {
+        CheckpointFrame {
+            sequence,
+            shard,
+            shard_count,
+            payload: vec![shard as u8; 3],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_record_codec() {
+        let f = CheckpointFrame {
+            sequence: 42,
+            shard: 3,
+            shard_count: 8,
+            payload: vec![1, 2, 3, 255, 0],
+        };
+        let mut buf = Vec::new();
+        f.encode_record(&mut buf);
+        let mut cursor: &[u8] = &buf;
+        let back = CheckpointFrame::decode_record(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn hostile_payload_length_is_rejected() {
+        let mut buf = Vec::new();
+        varint::encode_u64(&mut buf, 1); // sequence
+        varint::encode_u64(&mut buf, 0); // shard
+        varint::encode_u64(&mut buf, 1); // shard_count
+        varint::encode_u64(&mut buf, u64::MAX); // payload length
+        let mut cursor: &[u8] = &buf;
+        assert!(matches!(
+            CheckpointFrame::decode_record(&mut cursor),
+            Err(CodecError::LengthOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn picks_newest_complete_sequence() {
+        // Sequence 2 is torn (one of two shards); sequence 1 is complete.
+        let frames = vec![frame(1, 0, 2), frame(1, 1, 2), frame(2, 0, 2)];
+        let chosen = latest_complete_checkpoint(&frames).unwrap();
+        assert_eq!(chosen.len(), 2);
+        assert!(chosen.iter().all(|f| f.sequence == 1));
+        assert_eq!(chosen[0].shard, 0);
+        assert_eq!(chosen[1].shard, 1);
+    }
+
+    #[test]
+    fn prefers_higher_complete_sequence() {
+        let frames = vec![
+            frame(1, 0, 1),
+            frame(5, 0, 2),
+            frame(5, 1, 2),
+            frame(9, 1, 2), // incomplete
+        ];
+        let chosen = latest_complete_checkpoint(&frames).unwrap();
+        assert!(chosen.iter().all(|f| f.sequence == 5));
+    }
+
+    #[test]
+    fn no_complete_checkpoint_yields_none() {
+        assert!(latest_complete_checkpoint(&[]).is_none());
+        let torn = vec![frame(3, 1, 2)];
+        assert!(latest_complete_checkpoint(&torn).is_none());
+        // Duplicate shard ids never qualify as complete.
+        let dup = vec![frame(4, 0, 2), frame(4, 0, 2)];
+        assert!(latest_complete_checkpoint(&dup).is_none());
+    }
+}

@@ -18,8 +18,8 @@
 use bytes::{Buf, BufMut};
 
 use sitm_core::{
-    Annotation, AnnotationKind, AnnotationSet, PresenceInterval, SemanticTrajectory, Timestamp,
-    Trace, TransitionTaken,
+    Annotation, AnnotationKind, AnnotationSet, Episode, PresenceInterval, SemanticTrajectory,
+    TimeInterval, Timestamp, Trace, TransitionTaken,
 };
 use sitm_graph::{EdgeId, LayerIdx, NodeId};
 use sitm_louvre::{Device, VisitRecord, ZoneDetectionRecord};
@@ -69,7 +69,10 @@ impl std::fmt::Display for CodecError {
             CodecError::LengthOverrun {
                 declared,
                 available,
-            } => write!(f, "declared length {declared} exceeds remaining {available} bytes"),
+            } => write!(
+                f,
+                "declared length {declared} exceeds remaining {available} bytes"
+            ),
         }
     }
 }
@@ -90,7 +93,9 @@ fn decode_str(buf: &mut &[u8]) -> Result<String, CodecError> {
         });
     }
     let (head, tail) = buf.split_at(len as usize);
-    let s = std::str::from_utf8(head).map_err(|_| CodecError::BadUtf8)?.to_string();
+    let s = std::str::from_utf8(head)
+        .map_err(|_| CodecError::BadUtf8)?
+        .to_string();
     *buf = tail;
     Ok(s)
 }
@@ -165,18 +170,82 @@ pub fn decode_transition(buf: &mut &[u8]) -> Result<TransitionTaken, CodecError>
     }
 }
 
-fn encode_cell(buf: &mut impl BufMut, cell: CellRef) {
+/// Encodes a cell reference as `layer node`.
+pub fn encode_cell(buf: &mut impl BufMut, cell: CellRef) {
     varint::encode_u64(buf, cell.layer.index() as u64);
     varint::encode_u64(buf, cell.node.index() as u64);
 }
 
-fn decode_cell(buf: &mut &[u8]) -> Result<CellRef, CodecError> {
+/// Decodes a cell reference.
+pub fn decode_cell(buf: &mut &[u8]) -> Result<CellRef, CodecError> {
     let layer = varint::decode_u64(buf)? as usize;
     let node = varint::decode_u64(buf)? as usize;
     Ok(CellRef::new(
         LayerIdx::from_index(layer),
         NodeId::from_index(node),
     ))
+}
+
+/// Encodes a standalone presence interval with absolute timestamps — the
+/// shape streaming checkpoints need, where no trace base is in hand.
+pub fn encode_presence(buf: &mut impl BufMut, p: &PresenceInterval) {
+    encode_transition(buf, &p.transition);
+    encode_cell(buf, p.cell);
+    varint::encode_i64(buf, p.start().as_seconds());
+    varint::encode_u64(buf, p.duration().as_seconds() as u64);
+    encode_annotations(buf, &p.annotations);
+    encode_annotations(buf, &p.transition_annotations);
+}
+
+/// Decodes a standalone presence interval.
+pub fn decode_presence(buf: &mut &[u8]) -> Result<PresenceInterval, CodecError> {
+    let transition = decode_transition(buf)?;
+    let cell = decode_cell(buf)?;
+    let start = Timestamp(varint::decode_i64(buf)?);
+    let duration = varint::decode_u64(buf)?;
+    let end = Timestamp(start.as_seconds() + duration as i64);
+    if end < start {
+        return Err(CodecError::InvalidTrace("duration overflow".to_string()));
+    }
+    let annotations = decode_annotations(buf)?;
+    let transition_annotations = decode_annotations(buf)?;
+    Ok(PresenceInterval::new(transition, cell, start, end)
+        .with_annotations(annotations)
+        .with_transition_annotations(transition_annotations))
+}
+
+/// Encodes an episode as `range.start range.len start duration labels`.
+pub fn encode_episode(buf: &mut impl BufMut, e: &Episode) {
+    varint::encode_u64(buf, e.range.start as u64);
+    varint::encode_u64(buf, e.range.len() as u64);
+    varint::encode_i64(buf, e.time.start.as_seconds());
+    varint::encode_u64(buf, e.time.duration().as_seconds() as u64);
+    encode_annotations(buf, &e.annotations);
+}
+
+/// Decodes an episode.
+pub fn decode_episode(buf: &mut &[u8]) -> Result<Episode, CodecError> {
+    let range_start = varint::decode_u64(buf)? as usize;
+    let range_len = varint::decode_u64(buf)? as usize;
+    let Some(range_end) = range_start.checked_add(range_len) else {
+        return Err(CodecError::InvalidTrace(
+            "episode range overflow".to_string(),
+        ));
+    };
+    let start = Timestamp(varint::decode_i64(buf)?);
+    let duration = varint::decode_u64(buf)?;
+    let end = Timestamp(start.as_seconds() + duration as i64);
+    if end < start {
+        return Err(CodecError::InvalidTrace(
+            "episode duration overflow".to_string(),
+        ));
+    }
+    let annotations = decode_annotations(buf)?;
+    Ok(Episode {
+        range: range_start..range_end,
+        time: TimeInterval::new(start, end),
+        annotations,
+    })
 }
 
 /// Encodes a trace: tuple count, then per tuple the transition, cell,
@@ -303,7 +372,9 @@ pub fn decode_visit(buf: &mut &[u8]) -> Result<VisitRecord, CodecError> {
         let start = Timestamp(prev_end.as_seconds() + delta);
         let end = Timestamp(start.as_seconds() + duration as i64);
         if end < start {
-            return Err(CodecError::InvalidTrace("detection duration overflow".into()));
+            return Err(CodecError::InvalidTrace(
+                "detection duration overflow".into(),
+            ));
         }
         detections.push(ZoneDetectionRecord {
             zone_id,
@@ -396,7 +467,10 @@ mod tests {
         // Empty set.
         let mut buf = Vec::new();
         encode_annotations(&mut buf, &AnnotationSet::new());
-        assert_eq!(decode_annotations(&mut buf.as_slice()).unwrap(), AnnotationSet::new());
+        assert_eq!(
+            decode_annotations(&mut buf.as_slice()).unwrap(),
+            AnnotationSet::new()
+        );
     }
 
     #[test]
@@ -459,7 +533,10 @@ mod tests {
         varint::encode_u64(&mut buf, 1); // visit_id
         varint::encode_u64(&mut buf, 1); // visitor_id
         buf.push(7); // bad device tag
-        assert_eq!(decode_visit(&mut buf.as_slice()).unwrap_err(), CodecError::BadTag(7));
+        assert_eq!(
+            decode_visit(&mut buf.as_slice()).unwrap_err(),
+            CodecError::BadTag(7)
+        );
     }
 
     #[test]
@@ -469,7 +546,10 @@ mod tests {
         encode_trajectory(&mut buf, &t);
         for cut in 0..buf.len() {
             let err = decode_trajectory(&mut &buf[..cut]);
-            assert!(err.is_err(), "cut at {cut} produced a value from a truncated buffer");
+            assert!(
+                err.is_err(),
+                "cut at {cut} produced a value from a truncated buffer"
+            );
         }
     }
 

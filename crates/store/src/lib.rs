@@ -9,8 +9,10 @@
 //! * [`varint`] — LEB128 varints and ZigZag signed mapping;
 //! * [`crc`] — CRC-32 (ISO-HDLC), one-shot and incremental;
 //! * [`codec`] — compact binary encoding of annotation sets, traces,
-//!   semantic trajectories, and raw visit records, with delta-encoded
-//!   timestamps and fully validated decoding;
+//!   semantic trajectories, episodes, and raw visit records, with
+//!   delta-encoded timestamps and fully validated decoding;
+//! * [`checkpoint`] — [`CheckpointFrame`]: the per-shard snapshot record
+//!   streaming engines persist, plus torn-checkpoint detection;
 //! * [`segment`] — the CRC-framed segment format and its scanner, whose
 //!   `valid_len` is the torn-write truncation point;
 //! * [`log`] — [`LogStore`]: an append-only, crash-recoverable record
@@ -21,12 +23,14 @@
 //! contract: recovered records are always a clean prefix of what was
 //! appended, and a record never comes back altered.
 
+pub mod checkpoint;
 pub mod codec;
 pub mod crc;
 pub mod log;
 pub mod segment;
 pub mod varint;
 
+pub use checkpoint::{latest_complete_checkpoint, CheckpointFrame};
 pub use codec::{decode_trajectory, decode_visit, encode_trajectory, encode_visit, CodecError};
 pub use crc::{crc32, Crc32};
 pub use log::{LogStore, Record, RecoveryReport, StoreError};

@@ -124,7 +124,9 @@ impl<R: Record> LogStore<R> {
     ///
     /// Returns the store positioned for append, the decoded records, and
     /// a report of any repair performed.
-    pub fn open(path: impl AsRef<Path>) -> Result<(LogStore<R>, Vec<R>, RecoveryReport), StoreError> {
+    pub fn open(
+        path: impl AsRef<Path>,
+    ) -> Result<(LogStore<R>, Vec<R>, RecoveryReport), StoreError> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
             .read(true)
@@ -305,10 +307,10 @@ mod tests {
     impl TempPath {
         fn new(tag: &str) -> TempPath {
             let n = NEXT.fetch_add(1, Ordering::Relaxed);
-            TempPath(std::env::temp_dir().join(format!(
-                "sitm-store-{tag}-{}-{n}.log",
-                std::process::id()
-            )))
+            TempPath(
+                std::env::temp_dir()
+                    .join(format!("sitm-store-{tag}-{}-{n}.log", std::process::id())),
+            )
         }
     }
 
@@ -338,8 +340,7 @@ mod tests {
     fn create_append_reopen() {
         let tmp = TempPath::new("basic");
         {
-            let (mut log, records, report) =
-                LogStore::<SemanticTrajectory>::open(&tmp.0).unwrap();
+            let (mut log, records, report) = LogStore::<SemanticTrajectory>::open(&tmp.0).unwrap();
             assert!(records.is_empty());
             assert!(report.is_clean());
             log.append(&traj("a", 0)).unwrap();
@@ -399,7 +400,10 @@ mod tests {
         std::fs::write(&tmp.0, &data).unwrap();
         let (_, records, report) = LogStore::<SemanticTrajectory>::open(&tmp.0).unwrap();
         assert_eq!(records.len(), 1);
-        assert!(matches!(report.corruption, Some(Corruption::BadChecksum { .. })));
+        assert!(matches!(
+            report.corruption,
+            Some(Corruption::BadChecksum { .. })
+        ));
     }
 
     #[test]
@@ -452,8 +456,14 @@ mod tests {
         };
         {
             let (mut log, _, _) = LogStore::<VisitRecord>::open(&tmp.0).unwrap();
-            log.append_batch([&visit, &visit].into_iter().cloned().collect::<Vec<_>>().iter())
-                .unwrap();
+            log.append_batch(
+                [&visit, &visit]
+                    .into_iter()
+                    .cloned()
+                    .collect::<Vec<_>>()
+                    .iter(),
+            )
+            .unwrap();
             log.sync().unwrap();
         }
         let (_, records, _) = LogStore::<VisitRecord>::open(&tmp.0).unwrap();

@@ -120,14 +120,18 @@ pub fn scan(data: &[u8]) -> ScanOutcome<'_> {
             return ScanOutcome {
                 payloads,
                 valid_len: frame_start,
-                corruption: Some(Corruption::BadMarker { offset: frame_start }),
+                corruption: Some(Corruption::BadMarker {
+                    offset: frame_start,
+                }),
             };
         }
         if data.len() - offset < FRAME_OVERHEAD {
             return ScanOutcome {
                 payloads,
                 valid_len: frame_start,
-                corruption: Some(Corruption::Torn { offset: frame_start }),
+                corruption: Some(Corruption::Torn {
+                    offset: frame_start,
+                }),
             };
         }
         let len = u32::from_le_bytes(data[offset + 1..offset + 5].try_into().expect("4 bytes"));
@@ -148,7 +152,9 @@ pub fn scan(data: &[u8]) -> ScanOutcome<'_> {
             return ScanOutcome {
                 payloads,
                 valid_len: frame_start,
-                corruption: Some(Corruption::Torn { offset: frame_start }),
+                corruption: Some(Corruption::Torn {
+                    offset: frame_start,
+                }),
             };
         }
         let payload = &data[body_start..body_end];
@@ -156,7 +162,9 @@ pub fn scan(data: &[u8]) -> ScanOutcome<'_> {
             return ScanOutcome {
                 payloads,
                 valid_len: frame_start,
-                corruption: Some(Corruption::BadChecksum { offset: frame_start }),
+                corruption: Some(Corruption::BadChecksum {
+                    offset: frame_start,
+                }),
             };
         }
         payloads.push(payload);
@@ -226,7 +234,10 @@ mod tests {
         buf[second_body] ^= 0x01;
         let out = scan(&buf);
         assert_eq!(out.payloads, vec![b"first".as_slice()]);
-        assert!(matches!(out.corruption, Some(Corruption::BadChecksum { .. })));
+        assert!(matches!(
+            out.corruption,
+            Some(Corruption::BadChecksum { .. })
+        ));
     }
 
     #[test]
@@ -251,7 +262,9 @@ mod tests {
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         buf.extend_from_slice(&0u32.to_le_bytes());
         let out = scan(&buf);
-        assert!(matches!(out.corruption, Some(Corruption::Oversized { declared, .. }) if declared == u32::MAX));
+        assert!(
+            matches!(out.corruption, Some(Corruption::Oversized { declared, .. }) if declared == u32::MAX)
+        );
         assert_eq!(out.valid_len, MAGIC.len());
     }
 

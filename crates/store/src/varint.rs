@@ -132,7 +132,10 @@ mod tests {
         encode_u64(&mut buf, u64::MAX);
         for cut in 0..buf.len() {
             let mut slice = &buf[..cut];
-            assert_eq!(decode_u64(&mut slice).unwrap_err(), VarintError::UnexpectedEof);
+            assert_eq!(
+                decode_u64(&mut slice).unwrap_err(),
+                VarintError::UnexpectedEof
+            );
         }
     }
 
@@ -140,11 +143,17 @@ mod tests {
     fn overlong_varint_is_overflow() {
         // Eleven continuation bytes.
         let bad = [0x80u8; 11];
-        assert_eq!(decode_u64(&mut bad.as_slice()).unwrap_err(), VarintError::Overflow);
+        assert_eq!(
+            decode_u64(&mut bad.as_slice()).unwrap_err(),
+            VarintError::Overflow
+        );
         // Ten bytes whose last carries more than one bit.
         let mut buf = vec![0x80u8; 9];
         buf.push(0x02);
-        assert_eq!(decode_u64(&mut buf.as_slice()).unwrap_err(), VarintError::Overflow);
+        assert_eq!(
+            decode_u64(&mut buf.as_slice()).unwrap_err(),
+            VarintError::Overflow
+        );
     }
 
     #[test]

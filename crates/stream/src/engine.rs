@@ -1,0 +1,480 @@
+//! The sharded ingestion engine.
+//!
+//! [`ShardedEngine`] hash-partitions visits across N independent shards.
+//! Because a visit's lifetime is confined to one shard and shards apply
+//! their events in arrival order, the shard count is invisible in the
+//! output: episodes are identical for 1, 2, or 8 shards (property-tested
+//! in `tests/equivalence.rs`), and [`ShardedEngine::drain`] returns them
+//! in one deterministic global order.
+
+use sitm_core::{AnnotationSet, Duration, IntervalPredicate, Timestamp};
+use sitm_store::{CheckpointFrame, LogStore, StoreError};
+
+use crate::checkpoint::{decode_shard, encode_shard, CheckpointError};
+use crate::event::{StreamEvent, VisitKey};
+use crate::shard::{Shard, ShardStats};
+
+pub use crate::shard::EmittedEpisode;
+pub use crate::visit::Anomalies;
+
+/// Engine construction and restore failures.
+#[derive(Debug)]
+pub enum EngineError {
+    /// At least one shard is required.
+    ZeroShards,
+    /// Restoring from frames recorded with a different shard count.
+    ShardCountMismatch {
+        /// Shards in the configuration.
+        configured: usize,
+        /// Shards recorded in the checkpoint.
+        recorded: usize,
+    },
+    /// Restoring from frames recorded with a different predicate table.
+    PredicateCountMismatch {
+        /// Predicates in the configuration.
+        configured: usize,
+        /// Predicates recorded in the checkpoint.
+        recorded: usize,
+    },
+    /// A checkpoint payload failed to decode.
+    Checkpoint(CheckpointError),
+    /// The backing log failed.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::ZeroShards => write!(f, "engine needs at least one shard"),
+            EngineError::ShardCountMismatch {
+                configured,
+                recorded,
+            } => write!(
+                f,
+                "checkpoint has {recorded} shard(s), configuration has {configured}"
+            ),
+            EngineError::PredicateCountMismatch {
+                configured,
+                recorded,
+            } => write!(
+                f,
+                "checkpoint has {recorded} predicate(s), configuration has {configured}"
+            ),
+            EngineError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            EngineError::Store(e) => write!(f, "store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<CheckpointError> for EngineError {
+    fn from(e: CheckpointError) -> Self {
+        EngineError::Checkpoint(e)
+    }
+}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Store(e)
+    }
+}
+
+/// Engine configuration. Predicates are code, so the config is built at
+/// startup and re-supplied identically on restore (only *state* is
+/// checkpointed).
+pub struct EngineConfig {
+    /// The episode detectors: `(P_ep, A'_traj)` pairs applied to every
+    /// visit (Def. 3.4).
+    pub predicates: Vec<(IntervalPredicate, AnnotationSet)>,
+    /// Hash partitions.
+    pub shards: usize,
+    /// Per-shard inbox size before events are applied in a batch.
+    pub batch_capacity: usize,
+    /// Drop zero-duration detections on arrival (§4.1's ~10% errors).
+    pub drop_instantaneous: bool,
+    /// How long after a visit closes its late events are still fenced.
+    /// Past `close + allowed_lateness` (by shard watermark) the fence
+    /// entry is retired, keeping per-shard memory bounded on an infinite
+    /// stream.
+    pub allowed_lateness: Duration,
+}
+
+impl EngineConfig {
+    /// A config with the given predicates and defaults for the rest
+    /// (8 shards, 128-event batches, no filtering).
+    pub fn new(predicates: Vec<(IntervalPredicate, AnnotationSet)>) -> Self {
+        EngineConfig {
+            predicates,
+            shards: 8,
+            batch_capacity: 128,
+            drop_instantaneous: false,
+            allowed_lateness: Duration::hours(24),
+        }
+    }
+
+    /// Overrides the shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Overrides the inbox capacity.
+    #[must_use]
+    pub fn with_batch_capacity(mut self, capacity: usize) -> Self {
+        self.batch_capacity = capacity;
+        self
+    }
+
+    /// Enables the zero-duration filter.
+    #[must_use]
+    pub fn dropping_instantaneous(mut self) -> Self {
+        self.drop_instantaneous = true;
+        self
+    }
+
+    /// Overrides how long closed visits fence their late events.
+    #[must_use]
+    pub fn with_allowed_lateness(mut self, lateness: Duration) -> Self {
+        self.allowed_lateness = lateness;
+        self
+    }
+}
+
+/// Aggregated engine counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Events applied across shards.
+    pub events: u64,
+    /// Presence intervals accepted.
+    pub presences: u64,
+    /// Raw fixes applied.
+    pub fixes: u64,
+    /// Visits opened.
+    pub visits_opened: u64,
+    /// Visits closed.
+    pub visits_closed: u64,
+    /// Episodes finalized.
+    pub episodes: u64,
+    /// Inbox flushes.
+    pub batches_flushed: u64,
+    /// Visits currently resident.
+    pub open_visits: u64,
+    /// Rejected/adapted events.
+    pub anomalies: Anomalies,
+}
+
+/// Hash-sharded online trajectory-ingestion engine.
+pub struct ShardedEngine {
+    config: EngineConfig,
+    shards: Vec<Shard>,
+    sequence: u64,
+}
+
+/// FNV-1a over the visit key: stable across runs and platforms, so a
+/// given visit always lands on the same shard.
+fn shard_of(visit: VisitKey, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in visit.0.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+impl ShardedEngine {
+    /// Builds an engine from a configuration.
+    pub fn new(config: EngineConfig) -> Result<Self, EngineError> {
+        if config.shards == 0 {
+            return Err(EngineError::ZeroShards);
+        }
+        let shards = (0..config.shards).map(|_| Shard::new()).collect();
+        Ok(ShardedEngine {
+            config,
+            shards,
+            sequence: 0,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Raises the checkpoint sequence counter to at least `sequence`.
+    ///
+    /// Recovery calls this with the highest sequence present in the log —
+    /// including torn checkpoints that were *not* restored — so the next
+    /// checkpoint never reuses a sequence number whose stale frames would
+    /// make it look incomplete (or duplicated) to a later recovery.
+    pub fn advance_sequence_to(&mut self, sequence: u64) {
+        self.sequence = self.sequence.max(sequence);
+    }
+
+    /// Routes one event to its shard.
+    pub fn ingest(&mut self, event: StreamEvent) {
+        let shard = shard_of(event.visit(), self.config.shards);
+        self.shards[shard].enqueue(
+            event,
+            &self.config.predicates,
+            self.config.drop_instantaneous,
+            self.config.batch_capacity,
+            self.config.allowed_lateness,
+        );
+    }
+
+    /// Ingests a whole feed.
+    pub fn ingest_all<I: IntoIterator<Item = StreamEvent>>(&mut self, events: I) {
+        for event in events {
+            self.ingest(event);
+        }
+    }
+
+    /// Applies every buffered event now.
+    pub fn flush(&mut self) {
+        for shard in &mut self.shards {
+            shard.flush(
+                &self.config.predicates,
+                self.config.drop_instantaneous,
+                self.config.allowed_lateness,
+            );
+        }
+    }
+
+    /// Flushes, then returns every episode finalized since the last drain,
+    /// in deterministic global order.
+    pub fn drain(&mut self) -> Vec<EmittedEpisode> {
+        self.flush();
+        let mut out: Vec<EmittedEpisode> = Vec::new();
+        for shard in &mut self.shards {
+            out.extend(shard.take_pending());
+        }
+        out.sort_by_key(|a| a.sort_key());
+        out
+    }
+
+    /// End-of-stream: closes every open visit, then drains.
+    pub fn finish(&mut self) -> Vec<EmittedEpisode> {
+        self.flush();
+        for shard in &mut self.shards {
+            shard.close_all(&self.config.predicates, self.config.drop_instantaneous);
+        }
+        self.drain()
+    }
+
+    /// The engine watermark: the *minimum* of the per-shard high-water
+    /// marks, i.e. the instant up to which every shard has seen its
+    /// events. A shard that has never received an event has trivially
+    /// seen all of them and does not hold the watermark back; `None`
+    /// only until the first event is applied anywhere.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.shards
+            .iter()
+            .filter_map(|shard| shard.watermark())
+            .min()
+    }
+
+    /// Aggregated counters.
+    pub fn stats(&self) -> EngineStats {
+        let mut stats = EngineStats::default();
+        for shard in &self.shards {
+            let s: &ShardStats = shard.stats();
+            stats.events += s.events;
+            stats.presences += s.presences;
+            stats.fixes += s.fixes;
+            stats.visits_opened += s.visits_opened;
+            stats.visits_closed += s.visits_closed;
+            stats.episodes += s.episodes;
+            stats.batches_flushed += s.batches_flushed;
+            stats.anomalies.absorb(&s.anomalies);
+            stats.open_visits += shard.open_visits() as u64;
+        }
+        stats
+    }
+
+    /// Persists a consistent snapshot of every shard into `log` (one
+    /// [`CheckpointFrame`] per shard sharing a fresh sequence number),
+    /// then fsyncs. Returns the sequence.
+    ///
+    /// Pending (finalized but undrained) episodes are included, so the
+    /// recovery contract is exactly-once relative to `drain`: episodes
+    /// drained before the checkpoint are never re-emitted, episodes not
+    /// yet drained reappear after restore.
+    pub fn checkpoint(&mut self, log: &mut LogStore<CheckpointFrame>) -> Result<u64, EngineError> {
+        self.flush();
+        self.sequence += 1;
+        let sequence = self.sequence;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let frame = CheckpointFrame {
+                sequence,
+                shard: i as u32,
+                shard_count: self.config.shards as u32,
+                payload: encode_shard(&shard.snapshot(), self.config.predicates.len()),
+            };
+            log.append(&frame)?;
+        }
+        log.sync()?;
+        Ok(sequence)
+    }
+
+    /// Rebuilds an engine from the frames of one complete checkpoint
+    /// (ordered by shard, as `latest_complete_checkpoint` returns them).
+    /// The configuration must match the one the checkpoint was taken
+    /// under.
+    pub fn restore(config: EngineConfig, frames: &[&CheckpointFrame]) -> Result<Self, EngineError> {
+        if config.shards == 0 {
+            return Err(EngineError::ZeroShards);
+        }
+        if frames.len() != config.shards {
+            return Err(EngineError::ShardCountMismatch {
+                configured: config.shards,
+                recorded: frames.len(),
+            });
+        }
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut sequence = 0;
+        for frame in frames {
+            sequence = frame.sequence;
+            let (snapshot, predicate_count) = decode_shard(&frame.payload)?;
+            if predicate_count != config.predicates.len() {
+                return Err(EngineError::PredicateCountMismatch {
+                    configured: config.predicates.len(),
+                    recorded: predicate_count,
+                });
+            }
+            shards.push(Shard::restore(snapshot, &config.predicates));
+        }
+        Ok(ShardedEngine {
+            config,
+            shards,
+            sequence,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_core::{Annotation, PresenceInterval, TransitionTaken};
+    use sitm_graph::{LayerIdx, NodeId};
+    use sitm_space::CellRef;
+
+    fn cell(n: usize) -> CellRef {
+        CellRef::new(LayerIdx::from_index(0), NodeId::from_index(n))
+    }
+
+    fn label(s: &str) -> AnnotationSet {
+        AnnotationSet::from_iter([Annotation::goal(s)])
+    }
+
+    fn config(shards: usize) -> EngineConfig {
+        EngineConfig::new(vec![
+            (IntervalPredicate::in_cells([cell(1)]), label("one")),
+            (IntervalPredicate::any(), label("whole")),
+        ])
+        .with_shards(shards)
+        .with_batch_capacity(4)
+    }
+
+    fn feed() -> Vec<StreamEvent> {
+        let mut events = Vec::new();
+        for v in 0..6u64 {
+            let base = v as i64 * 10;
+            events.push(StreamEvent::VisitOpened {
+                visit: VisitKey(v),
+                moving_object: format!("mo-{v}"),
+                annotations: label("visit"),
+                at: Timestamp(base),
+            });
+            for (i, c) in [1usize, 0, 1].iter().enumerate() {
+                events.push(StreamEvent::Presence {
+                    visit: VisitKey(v),
+                    interval: PresenceInterval::new(
+                        TransitionTaken::Unknown,
+                        cell(*c),
+                        Timestamp(base + i as i64 * 100),
+                        Timestamp(base + i as i64 * 100 + 50),
+                    ),
+                });
+            }
+            events.push(StreamEvent::VisitClosed {
+                visit: VisitKey(v),
+                at: Timestamp(base + 250),
+            });
+        }
+        crate::event::sort_feed(&mut events);
+        events
+    }
+
+    #[test]
+    fn shard_count_does_not_change_output() {
+        let mut reference: Option<Vec<EmittedEpisode>> = None;
+        for shards in [1usize, 2, 8] {
+            let mut engine = ShardedEngine::new(config(shards)).unwrap();
+            engine.ingest_all(feed());
+            let episodes = engine.finish();
+            match &reference {
+                None => reference = Some(episodes),
+                Some(expected) => assert_eq!(&episodes, expected, "{shards} shards"),
+            }
+        }
+        let reference = reference.unwrap();
+        // 6 visits × (2 'one' runs + 1 'whole' run) each.
+        assert_eq!(reference.len(), 18);
+    }
+
+    #[test]
+    fn drain_is_incremental_and_non_duplicating() {
+        let mut engine = ShardedEngine::new(config(2)).unwrap();
+        let events = feed();
+        let mid = events.len() / 2;
+        engine.ingest_all(events[..mid].to_vec());
+        let first = engine.drain();
+        engine.ingest_all(events[mid..].to_vec());
+        let mut rest = engine.finish();
+        let mut all = first;
+        all.append(&mut rest);
+        all.sort_by_key(|a| a.sort_key());
+
+        let mut oneshot = ShardedEngine::new(config(2)).unwrap();
+        oneshot.ingest_all(events);
+        assert_eq!(all, oneshot.finish());
+    }
+
+    #[test]
+    fn stats_and_watermark_track_the_stream() {
+        let mut engine = ShardedEngine::new(config(1)).unwrap();
+        engine.ingest_all(feed());
+        engine.flush();
+        let stats = engine.stats();
+        assert_eq!(stats.visits_opened, 6);
+        assert_eq!(stats.visits_closed, 6);
+        assert_eq!(stats.presences, 18);
+        assert_eq!(stats.anomalies.total(), 0);
+        assert_eq!(engine.watermark(), Some(Timestamp(300)));
+        assert_eq!(engine.stats().open_visits, 0);
+    }
+
+    #[test]
+    fn watermark_ignores_shards_with_no_events() {
+        // 6 visits over 8 shards: some shards never see an event, but the
+        // watermark must still advance.
+        let mut engine = ShardedEngine::new(config(8)).unwrap();
+        assert_eq!(engine.watermark(), None, "nothing ingested yet");
+        engine.ingest_all(feed());
+        engine.flush();
+        // The slowest *populated* shard has at least reached its own last
+        // visit close (v=0 closes at t=250); empty shards don't pin the
+        // watermark to None.
+        assert!(engine.watermark() >= Some(Timestamp(250)));
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        assert!(matches!(
+            ShardedEngine::new(config(0)),
+            Err(EngineError::ZeroShards)
+        ));
+    }
+}

@@ -1,0 +1,177 @@
+//! The ingestion vocabulary: events interleaved across concurrent visits.
+//!
+//! A producer (positioning pipeline, mobile app backend, the Louvre
+//! replay adapter) emits a single time-ordered stream of events keyed by
+//! visit. Two producer styles are supported and may be mixed:
+//!
+//! * **fix-level** — raw [`StreamEvent::Fix`]es; the engine coalesces
+//!   consecutive same-cell fixes into presence intervals online;
+//! * **detection-level** — pre-formed [`StreamEvent::Presence`]
+//!   intervals (the shape the Louvre dataset ships in).
+
+use sitm_core::{AnnotationSet, PresenceInterval, Timestamp};
+use sitm_space::CellRef;
+
+/// Stable identifier of one visit (one trajectory under construction).
+///
+/// Distinct from a *visitor* id: a returning visitor owns several visits,
+/// each its own trajectory (Def. 3.1 couples a trajectory to one
+/// `[tstart, tend]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VisitKey(pub u64);
+
+impl std::fmt::Display for VisitKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "visit#{}", self.0)
+    }
+}
+
+/// One element of the ingestion stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// A visit begins: declares the moving object and the trajectory-level
+    /// annotation set (`A_traj`, non-empty per Def. 3.1).
+    VisitOpened {
+        /// The visit.
+        visit: VisitKey,
+        /// Moving-object identifier (`IDmo`).
+        moving_object: String,
+        /// Whole-trajectory annotations.
+        annotations: AnnotationSet,
+        /// Open instant.
+        at: Timestamp,
+    },
+    /// A raw position fix: the visitor is observed inside `cell` at `at`.
+    Fix {
+        /// The visit.
+        visit: VisitKey,
+        /// Observed cell.
+        cell: CellRef,
+        /// Observation instant.
+        at: Timestamp,
+    },
+    /// A completed presence detection (Def. 3.2 tuple).
+    Presence {
+        /// The visit.
+        visit: VisitKey,
+        /// The detection, with transition and per-stay annotations.
+        interval: PresenceInterval,
+    },
+    /// The visit ended: flush open state, close remaining runs.
+    VisitClosed {
+        /// The visit.
+        visit: VisitKey,
+        /// Close instant.
+        at: Timestamp,
+    },
+}
+
+impl StreamEvent {
+    /// The visit this event belongs to.
+    pub fn visit(&self) -> VisitKey {
+        match self {
+            StreamEvent::VisitOpened { visit, .. }
+            | StreamEvent::Fix { visit, .. }
+            | StreamEvent::Presence { visit, .. }
+            | StreamEvent::VisitClosed { visit, .. } => *visit,
+        }
+    }
+
+    /// The event's timestamp (a presence is stamped by its start).
+    pub fn time(&self) -> Timestamp {
+        match self {
+            StreamEvent::VisitOpened { at, .. } | StreamEvent::VisitClosed { at, .. } => *at,
+            StreamEvent::Fix { at, .. } => *at,
+            StreamEvent::Presence { interval, .. } => interval.start(),
+        }
+    }
+
+    /// Ordering rank for same-instant events: opens before observations
+    /// before closes, so a sorted feed replays causally.
+    pub fn rank(&self) -> u8 {
+        match self {
+            StreamEvent::VisitOpened { .. } => 0,
+            StreamEvent::Fix { .. } | StreamEvent::Presence { .. } => 1,
+            StreamEvent::VisitClosed { .. } => 2,
+        }
+    }
+}
+
+/// Sorts a feed into replay order: by time, then causal rank, then visit.
+/// The sort is stable, so a producer's per-visit event order survives ties.
+pub fn sort_feed(events: &mut [StreamEvent]) {
+    events.sort_by_key(|e| (e.time(), e.rank(), e.visit()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_core::TransitionTaken;
+    use sitm_graph::{LayerIdx, NodeId};
+
+    fn cell(n: usize) -> CellRef {
+        CellRef::new(LayerIdx::from_index(0), NodeId::from_index(n))
+    }
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let v = VisitKey(7);
+        let open = StreamEvent::VisitOpened {
+            visit: v,
+            moving_object: "m".into(),
+            annotations: AnnotationSet::new(),
+            at: Timestamp(5),
+        };
+        let fix = StreamEvent::Fix {
+            visit: v,
+            cell: cell(1),
+            at: Timestamp(6),
+        };
+        let presence = StreamEvent::Presence {
+            visit: v,
+            interval: PresenceInterval::new(
+                TransitionTaken::Unknown,
+                cell(2),
+                Timestamp(7),
+                Timestamp(9),
+            ),
+        };
+        let close = StreamEvent::VisitClosed {
+            visit: v,
+            at: Timestamp(9),
+        };
+        assert!([&open, &fix, &presence, &close]
+            .iter()
+            .all(|e| e.visit() == v));
+        assert_eq!(open.time(), Timestamp(5));
+        assert_eq!(presence.time(), Timestamp(7));
+        assert!(open.rank() < fix.rank() && fix.rank() < close.rank());
+        assert_eq!(v.to_string(), "visit#7");
+    }
+
+    #[test]
+    fn sort_feed_orders_causally_at_ties() {
+        let v = VisitKey(1);
+        let mut feed = vec![
+            StreamEvent::VisitClosed {
+                visit: v,
+                at: Timestamp(10),
+            },
+            StreamEvent::Fix {
+                visit: v,
+                cell: cell(0),
+                at: Timestamp(10),
+            },
+            StreamEvent::VisitOpened {
+                visit: v,
+                moving_object: "m".into(),
+                annotations: AnnotationSet::new(),
+                at: Timestamp(10),
+            },
+        ];
+        sort_feed(&mut feed);
+        assert!(matches!(feed[0], StreamEvent::VisitOpened { .. }));
+        assert!(matches!(feed[1], StreamEvent::Fix { .. }));
+        assert!(matches!(feed[2], StreamEvent::VisitClosed { .. }));
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # sitm-stream
+//!
+//! Sharded **online** construction of the Semantic Indoor Trajectory
+//! Model: the batch pipeline (raw fixes → presence intervals → episodic
+//! segmentation) rebuilt as an incremental engine that serves live
+//! traffic, while provably producing the *exact same episodes* as
+//! `sitm_core::maximal_episodes` over the completed trajectory.
+//!
+//! * [`event`] — the ingestion vocabulary: per-visit [`StreamEvent`]s
+//!   (open / raw fix / presence / close), interleaved across visitors;
+//! * [`visit`] — the per-visit state machine: open fix-derived presence
+//!   interval, trace-order validation, one [`sitm_core::RunBuilder`] per
+//!   configured predicate;
+//! * [`segmenter`] — [`IncrementalSegmenter`]: predicate-driven episode
+//!   detection over one visit, emitting each [`sitm_core::Episode`] the
+//!   moment its maximal run closes;
+//! * [`shard`] — a hash partition of visits with a bounded event inbox,
+//!   per-shard watermark, and deterministic drain order;
+//! * [`engine`] — [`ShardedEngine`]: N shards behind one ingest/drain
+//!   façade, with aggregate statistics and anomaly accounting;
+//! * [`checkpoint`] — crash recovery: shard state serialized through
+//!   `sitm-store`'s CRC-framed [`sitm_store::LogStore`] as
+//!   [`sitm_store::CheckpointFrame`]s, restored without duplicating or
+//!   dropping episodes;
+//! * [`replay`] — a streaming source over the calibrated Louvre dataset:
+//!   replays `sitm_louvre::generate_dataset` output as one
+//!   timestamp-ordered event feed;
+//! * [`occupancy`] — live per-cell occupancy derived from the feed (the
+//!   "how many visitors are in the Denon wing *right now*" query).
+//!
+//! ## Batch equivalence
+//!
+//! The engine and the batch extractor share `sitm_core::RunBuilder`, and
+//! the property tests in `tests/equivalence.rs` replay whole generated
+//! Louvre days through 1, 2, and 8 shards, asserting the streamed episode
+//! sets equal the batch ones visit-for-visit — including across a
+//! checkpoint/restore crash in the middle of the stream.
+
+pub mod checkpoint;
+pub mod engine;
+pub mod event;
+pub mod occupancy;
+pub mod replay;
+pub mod segmenter;
+pub mod shard;
+pub mod visit;
+
+pub use checkpoint::{resume_from_log, CheckpointError};
+pub use engine::{
+    Anomalies, EmittedEpisode, EngineConfig, EngineError, EngineStats, ShardedEngine,
+};
+pub use event::{StreamEvent, VisitKey};
+pub use occupancy::OccupancyTracker;
+pub use replay::{dataset_events, visit_trajectories};
+pub use segmenter::IncrementalSegmenter;

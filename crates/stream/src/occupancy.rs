@@ -1,0 +1,215 @@
+//! Live occupancy derived from the event stream.
+//!
+//! Answers the operational question a streaming deployment exists for:
+//! *how many visitors are inside each cell right now?* The tracker
+//! consumes the same time-ordered feed the engine ingests, counting a
+//! visitor into a cell over the span of each presence interval (or open
+//! fix) and expiring them as the stream clock advances past the
+//! interval's end.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use sitm_core::Timestamp;
+use sitm_space::CellRef;
+
+use crate::event::StreamEvent;
+
+/// Streaming per-cell occupancy with peak tracking.
+#[derive(Debug, Default)]
+pub struct OccupancyTracker {
+    current: BTreeMap<CellRef, u64>,
+    peak: BTreeMap<CellRef, u64>,
+    /// Pending departures, ordered soonest-first.
+    departures: BinaryHeap<Reverse<(Timestamp, CellRef)>>,
+    /// Fix-level producers: which cell each visit currently occupies.
+    /// A visitor seen by a raw fix stays counted until their next fix in
+    /// another cell, a presence event, or their visit closing.
+    open_fixes: BTreeMap<u64, CellRef>,
+    clock: Option<Timestamp>,
+}
+
+impl OccupancyTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        OccupancyTracker::default()
+    }
+
+    /// Advances the clock to `now`, expiring every stay that ends at or
+    /// before it.
+    pub fn advance_to(&mut self, now: Timestamp) {
+        self.clock = Some(self.clock.map_or(now, |c| c.max(now)));
+        while let Some(Reverse((end, cell))) = self.departures.peek().copied() {
+            if end > now {
+                break;
+            }
+            self.departures.pop();
+            self.leave(cell);
+        }
+    }
+
+    /// Consumes one event from the time-ordered feed.
+    pub fn observe(&mut self, event: &StreamEvent) {
+        self.advance_to(event.time());
+        match event {
+            StreamEvent::Presence { visit, interval } => {
+                // A presence supersedes any fix-derived occupancy for the
+                // same visit (the engine coalesces the same way).
+                self.release_fix(visit.0);
+                if interval.is_instantaneous() {
+                    return; // zero-duration detection errors never occupy
+                }
+                self.enter(interval.cell);
+                self.departures
+                    .push(Reverse((interval.end(), interval.cell)));
+            }
+            StreamEvent::Fix { visit, cell, .. } => {
+                if self.open_fixes.get(&visit.0) == Some(cell) {
+                    return; // still in the same cell
+                }
+                self.release_fix(visit.0);
+                self.enter(*cell);
+                self.open_fixes.insert(visit.0, *cell);
+            }
+            StreamEvent::VisitClosed { visit, .. } => {
+                self.release_fix(visit.0);
+            }
+            StreamEvent::VisitOpened { .. } => {}
+        }
+    }
+
+    fn enter(&mut self, cell: CellRef) {
+        let n = self.current.entry(cell).or_insert(0);
+        *n += 1;
+        let peak = self.peak.entry(cell).or_insert(0);
+        *peak = (*peak).max(*n);
+    }
+
+    fn leave(&mut self, cell: CellRef) {
+        if let Some(n) = self.current.get_mut(&cell) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.current.remove(&cell);
+            }
+        }
+    }
+
+    fn release_fix(&mut self, visit: u64) {
+        if let Some(cell) = self.open_fixes.remove(&visit) {
+            self.leave(cell);
+        }
+    }
+
+    /// Visitors currently inside each occupied cell.
+    pub fn current(&self) -> &BTreeMap<CellRef, u64> {
+        &self.current
+    }
+
+    /// Total visitors currently inside the space.
+    pub fn total(&self) -> u64 {
+        self.current.values().sum()
+    }
+
+    /// The maximum simultaneous occupancy each cell has seen.
+    pub fn peak(&self) -> &BTreeMap<CellRef, u64> {
+        &self.peak
+    }
+
+    /// The stream clock (time of the latest observed event).
+    pub fn clock(&self) -> Option<Timestamp> {
+        self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::VisitKey;
+    use sitm_core::{PresenceInterval, TransitionTaken};
+    use sitm_graph::{LayerIdx, NodeId};
+
+    fn cell(n: usize) -> CellRef {
+        CellRef::new(LayerIdx::from_index(0), NodeId::from_index(n))
+    }
+
+    fn presence(v: u64, c: usize, start: i64, end: i64) -> StreamEvent {
+        StreamEvent::Presence {
+            visit: VisitKey(v),
+            interval: PresenceInterval::new(
+                TransitionTaken::Unknown,
+                cell(c),
+                Timestamp(start),
+                Timestamp(end),
+            ),
+        }
+    }
+
+    #[test]
+    fn counts_overlapping_stays_and_expires_them() {
+        let mut tracker = OccupancyTracker::new();
+        tracker.observe(&presence(1, 0, 0, 100));
+        tracker.observe(&presence(2, 0, 10, 50));
+        assert_eq!(tracker.current()[&cell(0)], 2);
+        assert_eq!(tracker.total(), 2);
+        // Visitor 2 leaves at 50; a later event advances the clock.
+        tracker.observe(&presence(3, 1, 60, 90));
+        assert_eq!(tracker.current()[&cell(0)], 1);
+        assert_eq!(tracker.current()[&cell(1)], 1);
+        assert_eq!(tracker.peak()[&cell(0)], 2);
+        tracker.advance_to(Timestamp(200));
+        assert_eq!(tracker.total(), 0);
+        assert!(tracker.current().is_empty());
+        assert_eq!(tracker.peak()[&cell(0)], 2, "peaks persist");
+        assert_eq!(tracker.clock(), Some(Timestamp(200)));
+    }
+
+    #[test]
+    fn fix_level_producers_are_counted() {
+        let mut tracker = OccupancyTracker::new();
+        let fix = |v: u64, c: usize, at: i64| StreamEvent::Fix {
+            visit: VisitKey(v),
+            cell: cell(c),
+            at: Timestamp(at),
+        };
+        tracker.observe(&fix(1, 0, 0));
+        tracker.observe(&fix(2, 0, 5));
+        assert_eq!(tracker.current()[&cell(0)], 2);
+        // Re-fix in the same cell: no double count.
+        tracker.observe(&fix(1, 0, 10));
+        assert_eq!(tracker.current()[&cell(0)], 2);
+        // Moving to another cell transfers the visitor.
+        tracker.observe(&fix(1, 1, 20));
+        assert_eq!(tracker.current()[&cell(0)], 1);
+        assert_eq!(tracker.current()[&cell(1)], 1);
+        assert_eq!(tracker.peak()[&cell(0)], 2);
+        // Closing the visit releases the fix-derived occupancy.
+        tracker.observe(&StreamEvent::VisitClosed {
+            visit: VisitKey(1),
+            at: Timestamp(30),
+        });
+        assert_eq!(tracker.total(), 1, "only visitor 2 remains");
+        tracker.observe(&StreamEvent::VisitClosed {
+            visit: VisitKey(2),
+            at: Timestamp(31),
+        });
+        assert_eq!(tracker.total(), 0);
+    }
+
+    #[test]
+    fn zero_duration_detections_never_occupy() {
+        let mut tracker = OccupancyTracker::new();
+        tracker.observe(&presence(1, 0, 5, 5));
+        assert_eq!(tracker.total(), 0);
+    }
+
+    #[test]
+    fn non_presence_events_only_advance_the_clock() {
+        let mut tracker = OccupancyTracker::new();
+        tracker.observe(&presence(1, 0, 0, 10));
+        tracker.observe(&StreamEvent::VisitClosed {
+            visit: VisitKey(1),
+            at: Timestamp(30),
+        });
+        assert_eq!(tracker.total(), 0, "close event expired the stay");
+    }
+}

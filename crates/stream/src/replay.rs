@@ -1,0 +1,140 @@
+//! Streaming source over the calibrated Louvre dataset.
+//!
+//! Turns `sitm_louvre::generate_dataset` output into the single
+//! timestamp-ordered event feed a live deployment would see: visits open,
+//! their detections arrive as presence events interleaved across every
+//! concurrent visitor in the museum, and visits close — thousands of
+//! overlapping trajectories multiplexed on one stream.
+//!
+//! Conversion reuses [`Dataset::to_trajectory`], so the intervals the
+//! engine ingests are byte-for-byte the intervals the batch pipeline
+//! segments — including NRG-resolved entering transitions. That makes
+//! replay the ground truth for the batch-equivalence property tests.
+
+use sitm_core::SemanticTrajectory;
+use sitm_louvre::{Dataset, LouvreModel};
+
+use crate::event::{sort_feed, StreamEvent, VisitKey};
+
+/// The batch-side view: every convertible visit as `(key, trajectory)`,
+/// keyed the same way [`dataset_events`] keys its events.
+pub fn visit_trajectories(
+    model: &LouvreModel,
+    dataset: &Dataset,
+) -> Vec<(VisitKey, SemanticTrajectory)> {
+    dataset
+        .visits
+        .iter()
+        .filter_map(|visit| {
+            let trajectory = dataset.to_trajectory(model, visit)?;
+            Some((VisitKey(visit.visit_id as u64), trajectory))
+        })
+        .collect()
+}
+
+/// The stream-side view: one event feed over the whole dataset, ordered
+/// by time (ties broken causally: opens, then observations, then closes).
+/// Visits that cannot be converted (unknown zone, empty detection list)
+/// are skipped, mirroring the batch path.
+pub fn dataset_events(model: &LouvreModel, dataset: &Dataset) -> Vec<StreamEvent> {
+    let mut events = Vec::new();
+    for (key, trajectory) in visit_trajectories(model, dataset) {
+        events.push(StreamEvent::VisitOpened {
+            visit: key,
+            moving_object: trajectory.moving_object.clone(),
+            annotations: trajectory.annotations().clone(),
+            at: trajectory.start(),
+        });
+        for interval in trajectory.trace().intervals() {
+            events.push(StreamEvent::Presence {
+                visit: key,
+                interval: interval.clone(),
+            });
+        }
+        events.push(StreamEvent::VisitClosed {
+            visit: key,
+            at: trajectory.end(),
+        });
+    }
+    sort_feed(&mut events);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_louvre::{build_louvre, generate_dataset, GeneratorConfig, PaperCalibration};
+
+    fn small_dataset() -> Dataset {
+        let cal = PaperCalibration {
+            visits: 40,
+            visitors: 30,
+            returning_visitors: 10,
+            revisits: 10,
+            detections: 160,
+            transitions: 120,
+            ..PaperCalibration::default()
+        };
+        generate_dataset(&GeneratorConfig {
+            seed: 11,
+            calibration: cal,
+            ..GeneratorConfig::default()
+        })
+    }
+
+    #[test]
+    fn feed_is_time_ordered_and_complete() {
+        let model = build_louvre();
+        let ds = small_dataset();
+        let events = dataset_events(&model, &ds);
+        let trajectories = visit_trajectories(&model, &ds);
+        let presences = events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Presence { .. }))
+            .count();
+        let total_intervals: usize = trajectories.iter().map(|(_, t)| t.trace().len()).sum();
+        assert_eq!(presences, total_intervals);
+        let opens = events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::VisitOpened { .. }))
+            .count();
+        assert_eq!(opens, trajectories.len());
+        for pair in events.windows(2) {
+            assert!(
+                (pair[0].time(), pair[0].rank(), pair[0].visit())
+                    <= (pair[1].time(), pair[1].rank(), pair[1].visit()),
+                "feed out of order"
+            );
+        }
+    }
+
+    #[test]
+    fn per_visit_event_order_is_open_observe_close() {
+        let model = build_louvre();
+        let ds = small_dataset();
+        let events = dataset_events(&model, &ds);
+        let some_key = events
+            .iter()
+            .find_map(|e| match e {
+                StreamEvent::VisitOpened { visit, .. } => Some(*visit),
+                _ => None,
+            })
+            .expect("at least one visit");
+        let of_visit: Vec<&StreamEvent> = events.iter().filter(|e| e.visit() == some_key).collect();
+        assert!(matches!(of_visit[0], StreamEvent::VisitOpened { .. }));
+        assert!(matches!(
+            of_visit[of_visit.len() - 1],
+            StreamEvent::VisitClosed { .. }
+        ));
+        assert!(of_visit[1..of_visit.len() - 1]
+            .iter()
+            .all(|e| matches!(e, StreamEvent::Presence { .. })));
+    }
+
+    #[test]
+    fn feed_is_deterministic() {
+        let model = build_louvre();
+        let ds = small_dataset();
+        assert_eq!(dataset_events(&model, &ds), dataset_events(&model, &ds));
+    }
+}

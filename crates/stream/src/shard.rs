@@ -1,0 +1,530 @@
+//! One shard: a hash partition of visits with bounded event batching.
+//!
+//! Shards are independent — a visit's whole lifetime lands on one shard,
+//! so no cross-shard coordination is needed and shard count cannot change
+//! results (the equivalence property tests pin this down for 1/2/8
+//! shards). Events are buffered in a bounded inbox and applied in arrival
+//! order when the inbox fills or the engine drains, amortizing per-event
+//! overhead without reordering anything.
+
+use std::collections::BTreeMap;
+
+use sitm_core::{AnnotationSet, Duration, Episode, IntervalPredicate, Timestamp};
+
+use crate::event::{StreamEvent, VisitKey};
+use crate::visit::{Anomalies, VisitSnapshot, VisitState};
+
+/// An episode the engine has finalized, tagged with its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmittedEpisode {
+    /// The visit the episode belongs to.
+    pub visit: VisitKey,
+    /// The visit's moving object (`IDmo`).
+    pub moving_object: String,
+    /// Index into the engine's predicate table.
+    pub predicate: usize,
+    /// The episode, identical to what the batch extractor produces.
+    pub episode: Episode,
+}
+
+impl EmittedEpisode {
+    /// Global deterministic ordering: by episode time, then visit, then
+    /// predicate, then range. Independent of shard count and drain timing.
+    pub fn sort_key(&self) -> (Timestamp, Timestamp, u64, usize, usize) {
+        (
+            self.episode.time.start,
+            self.episode.time.end,
+            self.visit.0,
+            self.predicate,
+            self.episode.range.start,
+        )
+    }
+}
+
+/// Per-shard counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Events applied.
+    pub events: u64,
+    /// Presence intervals accepted into segmenters.
+    pub presences: u64,
+    /// Raw fixes applied.
+    pub fixes: u64,
+    /// Visits opened (explicitly or implicitly).
+    pub visits_opened: u64,
+    /// Visits closed.
+    pub visits_closed: u64,
+    /// Episodes finalized.
+    pub episodes: u64,
+    /// Inbox flushes performed.
+    pub batches_flushed: u64,
+    /// Rejected/adapted events.
+    pub anomalies: Anomalies,
+}
+
+/// Serializable shard state (inbox must be empty — the engine flushes
+/// before snapshotting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// High-water mark of applied event times.
+    pub watermark: Option<Timestamp>,
+    /// Open visits, ordered by key.
+    pub visits: Vec<(u64, VisitSnapshot)>,
+    /// Visits that have closed, with their close instants (late-event
+    /// fencing; pruned once the watermark passes close + lateness).
+    pub closed: Vec<(u64, Timestamp)>,
+    /// Episodes finalized but not yet drained by the consumer.
+    pub pending: Vec<EmittedEpisode>,
+    /// Counters.
+    pub stats: ShardStats,
+}
+
+/// A hash partition of the visit space.
+#[derive(Debug)]
+pub struct Shard {
+    inbox: Vec<StreamEvent>,
+    visits: BTreeMap<u64, VisitState>,
+    /// Closed visits and when they closed. Bounded: entries are pruned
+    /// once the shard watermark passes `close + allowed_lateness`, so the
+    /// fence covers realistic stragglers without growing with the total
+    /// number of visits ever seen.
+    closed: BTreeMap<u64, Timestamp>,
+    pending: Vec<EmittedEpisode>,
+    watermark: Option<Timestamp>,
+    stats: ShardStats,
+    scratch: Vec<(usize, Episode)>,
+}
+
+impl Shard {
+    /// An empty shard.
+    pub fn new() -> Self {
+        Shard {
+            inbox: Vec::new(),
+            visits: BTreeMap::new(),
+            closed: BTreeMap::new(),
+            pending: Vec::new(),
+            watermark: None,
+            stats: ShardStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Buffers one event; applies the whole inbox when it reaches
+    /// `batch_capacity`.
+    pub fn enqueue(
+        &mut self,
+        event: StreamEvent,
+        predicates: &[(IntervalPredicate, AnnotationSet)],
+        drop_instantaneous: bool,
+        batch_capacity: usize,
+        allowed_lateness: Duration,
+    ) {
+        self.inbox.push(event);
+        if self.inbox.len() >= batch_capacity.max(1) {
+            self.flush(predicates, drop_instantaneous, allowed_lateness);
+        }
+    }
+
+    /// Applies every buffered event in arrival order.
+    pub fn flush(
+        &mut self,
+        predicates: &[(IntervalPredicate, AnnotationSet)],
+        drop_instantaneous: bool,
+        allowed_lateness: Duration,
+    ) {
+        if self.inbox.is_empty() {
+            return;
+        }
+        self.stats.batches_flushed += 1;
+        let events = std::mem::take(&mut self.inbox);
+        for event in events {
+            self.apply(event, predicates, drop_instantaneous);
+        }
+        // Retire fence entries no realistic straggler can still hit.
+        if let Some(watermark) = self.watermark {
+            self.closed
+                .retain(|_, &mut closed_at| closed_at + allowed_lateness >= watermark);
+        }
+    }
+
+    fn apply(
+        &mut self,
+        event: StreamEvent,
+        predicates: &[(IntervalPredicate, AnnotationSet)],
+        drop_instantaneous: bool,
+    ) {
+        self.stats.events += 1;
+        self.watermark = Some(match self.watermark {
+            Some(w) => w.max(event.time()),
+            None => event.time(),
+        });
+        let key = event.visit().0;
+        if self.closed.contains_key(&key) {
+            self.stats.anomalies.after_close += 1;
+            return;
+        }
+        match event {
+            StreamEvent::VisitOpened {
+                visit,
+                moving_object,
+                annotations,
+                ..
+            } => {
+                if self.visits.contains_key(&visit.0) {
+                    self.stats.anomalies.duplicate_opens += 1;
+                    return;
+                }
+                self.stats.visits_opened += 1;
+                self.visits.insert(
+                    visit.0,
+                    VisitState::new(
+                        moving_object,
+                        annotations,
+                        predicates,
+                        &mut self.stats.anomalies,
+                    ),
+                );
+            }
+            StreamEvent::Fix { visit, cell, at } => {
+                self.stats.fixes += 1;
+                self.ensure_visit(visit, predicates);
+                let state = self.visits.get_mut(&visit.0).expect("ensured above");
+                state.apply_fix(
+                    cell,
+                    at,
+                    predicates,
+                    drop_instantaneous,
+                    &mut self.scratch,
+                    &mut self.stats.anomalies,
+                );
+                self.collect(visit);
+            }
+            StreamEvent::Presence { visit, interval } => {
+                self.stats.presences += 1;
+                self.ensure_visit(visit, predicates);
+                let state = self.visits.get_mut(&visit.0).expect("ensured above");
+                state.apply_presence(
+                    interval,
+                    predicates,
+                    drop_instantaneous,
+                    &mut self.scratch,
+                    &mut self.stats.anomalies,
+                );
+                self.collect(visit);
+            }
+            StreamEvent::VisitClosed { visit, at } => {
+                let Some(mut state) = self.visits.remove(&visit.0) else {
+                    self.stats.anomalies.after_close += 1;
+                    return;
+                };
+                state.close(
+                    predicates,
+                    drop_instantaneous,
+                    &mut self.scratch,
+                    &mut self.stats.anomalies,
+                );
+                self.stats.visits_closed += 1;
+                self.closed.insert(visit.0, at);
+                let moving_object = state.moving_object.clone();
+                for (predicate, episode) in self.scratch.drain(..) {
+                    self.stats.episodes += 1;
+                    self.pending.push(EmittedEpisode {
+                        visit,
+                        moving_object: moving_object.clone(),
+                        predicate,
+                        episode,
+                    });
+                }
+            }
+        }
+    }
+
+    fn ensure_visit(&mut self, visit: VisitKey, predicates: &[(IntervalPredicate, AnnotationSet)]) {
+        if !self.visits.contains_key(&visit.0) {
+            // An observation for a visit never opened: open it implicitly
+            // with a synthetic identity rather than dropping data.
+            self.stats.anomalies.implicit_opens += 1;
+            self.stats.visits_opened += 1;
+            self.visits.insert(
+                visit.0,
+                VisitState::new(
+                    format!("implicit-{}", visit.0),
+                    AnnotationSet::from_iter([sitm_core::Annotation::goal("streamed")]),
+                    predicates,
+                    &mut self.stats.anomalies,
+                ),
+            );
+        }
+    }
+
+    fn collect(&mut self, visit: VisitKey) {
+        if self.scratch.is_empty() {
+            return;
+        }
+        let moving_object = self
+            .visits
+            .get(&visit.0)
+            .map(|s| s.moving_object.clone())
+            .unwrap_or_default();
+        for (predicate, episode) in self.scratch.drain(..) {
+            self.stats.episodes += 1;
+            self.pending.push(EmittedEpisode {
+                visit,
+                moving_object: moving_object.clone(),
+                predicate,
+                episode,
+            });
+        }
+    }
+
+    /// Takes every finalized-but-undrained episode.
+    pub fn take_pending(&mut self) -> Vec<EmittedEpisode> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Closes every open visit (end-of-stream).
+    pub fn close_all(
+        &mut self,
+        predicates: &[(IntervalPredicate, AnnotationSet)],
+        drop_instantaneous: bool,
+    ) {
+        let keys: Vec<u64> = self.visits.keys().copied().collect();
+        for key in keys {
+            let at = self.watermark.unwrap_or(Timestamp(0));
+            self.apply(
+                StreamEvent::VisitClosed {
+                    visit: VisitKey(key),
+                    at,
+                },
+                predicates,
+                drop_instantaneous,
+            );
+        }
+    }
+
+    /// High-water mark of applied event times.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.watermark
+    }
+
+    /// Open visits currently resident.
+    pub fn open_visits(&self) -> usize {
+        self.visits.len()
+    }
+
+    /// Events buffered but not yet applied.
+    pub fn inbox_len(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> &ShardStats {
+        &self.stats
+    }
+
+    /// Serializable state. The inbox must have been flushed.
+    pub fn snapshot(&self) -> ShardSnapshot {
+        debug_assert!(self.inbox.is_empty(), "flush before snapshot");
+        ShardSnapshot {
+            watermark: self.watermark,
+            visits: self
+                .visits
+                .iter()
+                .map(|(k, v)| (*k, v.snapshot()))
+                .collect(),
+            closed: self.closed.iter().map(|(k, t)| (*k, *t)).collect(),
+            pending: self.pending.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a shard from a snapshot taken against the same predicate
+    /// table.
+    pub fn restore(
+        snapshot: ShardSnapshot,
+        predicates: &[(IntervalPredicate, AnnotationSet)],
+    ) -> Self {
+        Shard {
+            inbox: Vec::new(),
+            visits: snapshot
+                .visits
+                .into_iter()
+                .map(|(k, v)| (k, VisitState::restore(v, predicates)))
+                .collect(),
+            closed: snapshot.closed.into_iter().collect(),
+            pending: snapshot.pending,
+            watermark: snapshot.watermark,
+            stats: snapshot.stats,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_core::{Annotation, PresenceInterval, TransitionTaken};
+    use sitm_graph::{LayerIdx, NodeId};
+    use sitm_space::CellRef;
+
+    fn cell(n: usize) -> CellRef {
+        CellRef::new(LayerIdx::from_index(0), NodeId::from_index(n))
+    }
+
+    fn label(s: &str) -> AnnotationSet {
+        AnnotationSet::from_iter([Annotation::goal(s)])
+    }
+
+    fn preds() -> Vec<(IntervalPredicate, AnnotationSet)> {
+        vec![(IntervalPredicate::in_cells([cell(1)]), label("one"))]
+    }
+
+    fn presence(v: u64, c: usize, start: i64, end: i64) -> StreamEvent {
+        StreamEvent::Presence {
+            visit: VisitKey(v),
+            interval: PresenceInterval::new(
+                TransitionTaken::Unknown,
+                cell(c),
+                Timestamp(start),
+                Timestamp(end),
+            ),
+        }
+    }
+
+    #[test]
+    fn inbox_batches_and_flushes_at_capacity() {
+        let preds = preds();
+        let mut shard = Shard::new();
+        let open = StreamEvent::VisitOpened {
+            visit: VisitKey(1),
+            moving_object: "m".into(),
+            annotations: label("visit"),
+            at: Timestamp(0),
+        };
+        shard.enqueue(open, &preds, false, 3, Duration::hours(1));
+        shard.enqueue(presence(1, 1, 0, 10), &preds, false, 3, Duration::hours(1));
+        assert_eq!(shard.inbox_len(), 2, "below capacity: buffered");
+        assert_eq!(shard.open_visits(), 0);
+        shard.enqueue(presence(1, 0, 10, 20), &preds, false, 3, Duration::hours(1));
+        assert_eq!(shard.inbox_len(), 0, "capacity reached: flushed");
+        assert_eq!(shard.open_visits(), 1);
+        assert_eq!(shard.stats().batches_flushed, 1);
+        let pending = shard.take_pending();
+        assert_eq!(pending.len(), 1, "cell-1 run closed by cell-0 stay");
+        assert_eq!(pending[0].moving_object, "m");
+        assert_eq!(pending[0].episode.range, 0..1);
+    }
+
+    #[test]
+    fn close_all_flushes_open_runs_and_fences_late_events() {
+        let preds = preds();
+        let mut shard = Shard::new();
+        shard.enqueue(
+            StreamEvent::VisitOpened {
+                visit: VisitKey(4),
+                moving_object: "m".into(),
+                annotations: label("visit"),
+                at: Timestamp(0),
+            },
+            &preds,
+            false,
+            1,
+            Duration::hours(1),
+        );
+        shard.enqueue(presence(4, 1, 0, 10), &preds, false, 1, Duration::hours(1));
+        shard.close_all(&preds, false);
+        assert_eq!(shard.open_visits(), 0);
+        let pending = shard.take_pending();
+        assert_eq!(pending.len(), 1, "open run closed at end-of-stream");
+        // A late event for the closed visit is fenced.
+        shard.enqueue(presence(4, 1, 20, 30), &preds, false, 1, Duration::hours(1));
+        assert_eq!(shard.stats().anomalies.after_close, 1);
+        assert!(shard.take_pending().is_empty());
+    }
+
+    #[test]
+    fn fence_entries_retire_past_allowed_lateness() {
+        let preds = preds();
+        let lateness = Duration::hours(1);
+        let mut shard = Shard::new();
+        shard.enqueue(
+            StreamEvent::VisitOpened {
+                visit: VisitKey(5),
+                moving_object: "m".into(),
+                annotations: label("visit"),
+                at: Timestamp(0),
+            },
+            &preds,
+            false,
+            1,
+            lateness,
+        );
+        shard.enqueue(
+            StreamEvent::VisitClosed {
+                visit: VisitKey(5),
+                at: Timestamp(10),
+            },
+            &preds,
+            false,
+            1,
+            lateness,
+        );
+        // Within the lateness horizon: still fenced.
+        shard.enqueue(presence(5, 1, 100, 110), &preds, false, 1, lateness);
+        assert_eq!(shard.stats().anomalies.after_close, 1);
+        // A different visit's event pushes the watermark past the horizon,
+        // retiring the fence entry; a straggler then re-opens implicitly
+        // instead of being fenced (documented trade-off of bounded state).
+        let far = 10 + lateness.as_seconds() + 1;
+        shard.enqueue(presence(6, 1, far, far + 5), &preds, false, 1, lateness);
+        shard.enqueue(presence(5, 1, far + 1, far + 2), &preds, false, 1, lateness);
+        assert_eq!(shard.stats().anomalies.after_close, 1, "no longer fenced");
+        assert_eq!(
+            shard.stats().anomalies.implicit_opens,
+            2,
+            "visit 6 and the revived visit 5 both opened implicitly"
+        );
+    }
+
+    #[test]
+    fn implicit_open_adopts_orphan_observations() {
+        let preds = preds();
+        let mut shard = Shard::new();
+        shard.enqueue(presence(9, 1, 5, 10), &preds, false, 1, Duration::hours(1));
+        assert_eq!(shard.stats().anomalies.implicit_opens, 1);
+        assert_eq!(shard.open_visits(), 1);
+        shard.close_all(&preds, false);
+        let pending = shard.take_pending();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].moving_object, "implicit-9");
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_everything() {
+        let preds = preds();
+        let mut shard = Shard::new();
+        shard.enqueue(
+            StreamEvent::VisitOpened {
+                visit: VisitKey(2),
+                moving_object: "m".into(),
+                annotations: label("visit"),
+                at: Timestamp(0),
+            },
+            &preds,
+            false,
+            1,
+            Duration::hours(1),
+        );
+        shard.enqueue(presence(2, 1, 0, 10), &preds, false, 1, Duration::hours(1));
+        let snap = shard.snapshot();
+        let restored = Shard::restore(snap.clone(), &preds);
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.watermark(), Some(Timestamp(0)));
+    }
+}

@@ -1,0 +1,711 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! implements the subset of the proptest API the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_filter` / `prop_recursive`, range and regex-literal strategies,
+//! tuple composition, `proptest::collection::{vec, btree_map}`,
+//! `any::<T>()`, `prop_oneof!`, and the `proptest!` test macro with
+//! `prop_assert*`.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its values via the assert
+//!   message but is not minimized;
+//! * **regex strategies** support the character-class subset the tests
+//!   use (`[a-z0-9-]{1,16}`, `\PC{0,40}`, literal runs), not full regex;
+//! * cases are generated from a per-test deterministic seed, so failures
+//!   reproduce across runs.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+pub mod test_runner;
+
+pub use test_runner::{TestCaseError, TestRng};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values. Unlike upstream there is no shrinking:
+/// a strategy is just a cloneable recipe for producing values.
+pub trait Strategy: Clone + 'static {
+    /// The value type produced.
+    type Value: 'static;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases the strategy (cheap: reference-counted).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| s.generate(rng))
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: 'static, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| f(s.generate(rng)))
+    }
+
+    /// Generates a value, then generates from the strategy `f` derives
+    /// from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> BoxedStrategy<S2::Value>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2 + 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| f(s.generate(rng)).generate(rng))
+    }
+
+    /// Rejects values failing `pred`, retrying (bounded) generation.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        let s = self;
+        let reason = reason.into();
+        BoxedStrategy::new(move |rng| {
+            for _ in 0..1_000 {
+                let v = s.generate(rng);
+                if pred(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({reason}): 1000 consecutive rejections");
+        })
+    }
+
+    /// Builds recursive values: `f` receives a strategy for the current
+    /// level and returns the strategy for one level up; levels are unrolled
+    /// `depth` times with a leaf/branch coin flip at each level.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        S2: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            let branch = f(level).boxed();
+            let leaf = leaf.clone();
+            level = BoxedStrategy::new(move |rng| {
+                if rng.random_bool(0.5) {
+                    leaf.generate(rng)
+                } else {
+                    branch.generate(rng)
+                }
+            });
+        }
+        level
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    generate: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            generate: Rc::clone(&self.generate),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generation closure.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy {
+            generate: Rc::new(f),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+/// Uniform choice among same-valued strategies (the `prop_oneof!` engine).
+pub fn union<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+    BoxedStrategy::new(move |rng| {
+        let i = rng.random_index(options.len());
+        options[i].generate(rng)
+    })
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges.
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples.
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+// ---------------------------------------------------------------------------
+// `any::<T>()`.
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + 'static {
+    /// Produces one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.random_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random_bool(0.5)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values spanning signs and magnitudes (no NaN/inf: the
+        // tests using `any::<f64>()` expect orderable values).
+        let mag = rng.random_range(-300.0f64..300.0);
+        let sign = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+        sign * mag.exp2()
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-literal string strategies (subset).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PatternAtom {
+    /// Choose uniformly among these chars.
+    Class(Vec<char>),
+    /// Any printable char (`\PC`).
+    Printable,
+    /// A fixed char.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct PatternPiece {
+    atom: PatternAtom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                for d in chars.by_ref() {
+                    match d {
+                        ']' => break,
+                        '-' => {
+                            // Range if a previous char exists and a next
+                            // char follows; a trailing '-' is literal. Peek
+                            // by deferring: push marker and resolve below.
+                            set.push('\u{0}'); // placeholder marker
+                            prev = Some('-');
+                            continue;
+                        }
+                        other => {
+                            if prev == Some('-') && set.len() >= 2 {
+                                // Resolve placeholder: a-b range.
+                                set.pop(); // marker
+                                let lo = set.pop().expect("range start");
+                                let (lo, hi) = (lo as u32, other as u32);
+                                for cp in lo..=hi {
+                                    if let Some(ch) = char::from_u32(cp) {
+                                        set.push(ch);
+                                    }
+                                }
+                            } else {
+                                set.push(other);
+                            }
+                            prev = Some(other);
+                        }
+                    }
+                }
+                // Unresolved trailing '-' marker means a literal dash.
+                if let Some(pos) = set.iter().position(|&ch| ch == '\u{0}') {
+                    set[pos] = '-';
+                }
+                PatternAtom::Class(set)
+            }
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // `\PC`: not-a-control character, i.e. printable.
+                    let class = chars.next();
+                    assert_eq!(class, Some('C'), "only \\PC is supported");
+                    PatternAtom::Printable
+                }
+                Some(escaped) => PatternAtom::Literal(escaped),
+                None => panic!("dangling backslash in pattern {pattern:?}"),
+            },
+            literal => PatternAtom::Literal(literal),
+        };
+        // Optional {n} / {m,n} quantifier.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(PatternPiece { atom, min, max });
+    }
+    pieces
+}
+
+/// Printable non-ASCII chars `\PC` mixes in beside printable ASCII.
+const PRINTABLE_EXTRA: &[char] = &[
+    'é', 'à', 'è', 'ü', 'ß', 'λ', 'Ω', 'Ж', '中', '日', '¡', '•', '🙂',
+];
+
+fn generate_from_pieces(pieces: &[PatternPiece], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in pieces {
+        let count = if piece.max > piece.min {
+            rng.random_range(piece.min..=piece.max)
+        } else {
+            piece.min
+        };
+        for _ in 0..count {
+            match &piece.atom {
+                PatternAtom::Literal(c) => out.push(*c),
+                PatternAtom::Class(set) => {
+                    assert!(!set.is_empty(), "empty character class");
+                    out.push(set[rng.random_index(set.len())]);
+                }
+                PatternAtom::Printable => {
+                    if rng.random_bool(0.85) {
+                        out.push(rng.random_range(0x20u32..0x7F).try_into().expect("ascii"));
+                    } else {
+                        out.push(PRINTABLE_EXTRA[rng.random_index(PRINTABLE_EXTRA.len())]);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Parsing per generation keeps the impl simple; patterns are tiny.
+        generate_from_pieces(&parse_pattern(self), rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections, bool, option modules.
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Length specification: the `Range<usize>` forms the tests use.
+    pub trait SizeRange: Clone + 'static {
+        /// Draws a length.
+        fn draw(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn draw(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// `Vec` of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> BoxedStrategy<Vec<S::Value>> {
+        BoxedStrategy::new(move |rng| {
+            let n = size.draw(rng);
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+
+    /// `BTreeMap` with keys/values from the given strategies. Duplicate
+    /// keys collapse, so the map may be smaller than the drawn size (same
+    /// as upstream).
+    pub fn btree_map<K, V>(
+        keys: K,
+        values: V,
+        size: impl SizeRange,
+    ) -> BoxedStrategy<BTreeMap<K::Value, V::Value>>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BoxedStrategy::new(move |rng| {
+            let n = size.draw(rng);
+            (0..n)
+                .map(|_| (keys.generate(rng), values.generate(rng)))
+                .collect()
+        })
+    }
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::*;
+
+    /// Strategy for either boolean.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.random_bool(0.5)
+        }
+    }
+
+    /// Uniform over `true`/`false`.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::*;
+
+    /// `None` a quarter of the time, otherwise `Some` of the inner value.
+    pub fn of<S: Strategy>(inner: S) -> BoxedStrategy<Option<S::Value>> {
+        BoxedStrategy::new(move |rng| {
+            if rng.random_bool(0.25) {
+                None
+            } else {
+                Some(inner.generate(rng))
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case when `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    (@run ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::deterministic(file!(), stringify!($name));
+            for case in 0..config.cases {
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!("proptest {} failed at case {case}: {e}", stringify!($name));
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// The `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_subset_generates_within_spec() {
+        let mut rng = crate::TestRng::deterministic("lib", "pattern");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z0-9-]{1,16}", &mut rng);
+            assert!((1..=16).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            let p = Strategy::generate(&"\\PC{0,8}", &mut rng);
+            assert!(p.chars().count() <= 8);
+            assert!(p.chars().all(|c| !c.is_control()));
+            let space = Strategy::generate(&"[ -~]{0,20}", &mut rng);
+            assert!(space.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, -5i64..5), v in prop::collection::vec(any::<u8>(), 0..8)) {
+            prop_assert!(a < 10);
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!(v.len() < 8);
+        }
+
+        #[test]
+        fn oneof_and_filter(x in prop_oneof![Just(1u8), Just(2u8)].prop_filter("keep", |v| *v > 0)) {
+            prop_assert_ne!(x, 0);
+            prop_assert!(x == 1 || x == 2);
+        }
+
+        #[test]
+        fn flat_map_nests(pair in (1usize..5).prop_flat_map(|n| (Just(n), prop::collection::vec(0u32..9, n..n + 1)))) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Test-case plumbing: deterministic RNG and the failure type the
+//! `prop_assert*` macros return.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SampleRange, SeedableRng};
+
+/// A failed property assertion.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG strategies draw from. Seeded per test (from file + test name)
+/// so failures reproduce run-to-run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG for the named test.
+    pub fn deterministic(file: &str, test: &str) -> Self {
+        // FNV-1a over the qualified test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in file.bytes().chain([b':']).chain(test.bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// RNG from an explicit seed.
+    pub fn seeded(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform draw from a range.
+    pub fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        self.inner.random_range(range)
+    }
+
+    /// Bernoulli draw.
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.inner.random_bool(p)
+    }
+
+    /// Uniform index in `0..len`.
+    pub fn random_index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "random_index over empty domain");
+        self.inner.random_range(0..len)
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

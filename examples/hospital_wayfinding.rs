@@ -31,36 +31,66 @@ fn build_hospital() -> Hospital {
     let rooms = space.add_layer("rooms", LayerKind::Room);
 
     let campus = space
-        .add_cell(complex, Cell::new("campus", "County Hospital", CellClass::BuildingComplex))
+        .add_cell(
+            complex,
+            Cell::new("campus", "County Hospital", CellClass::BuildingComplex),
+        )
         .expect("unique");
     let main = space
-        .add_cell(buildings, Cell::new("main", "Main building", CellClass::Building))
+        .add_cell(
+            buildings,
+            Cell::new("main", "Main building", CellClass::Building),
+        )
         .expect("unique");
     let surgery = space
-        .add_cell(buildings, Cell::new("surgery", "Surgery wing", CellClass::Building))
+        .add_cell(
+            buildings,
+            Cell::new("surgery", "Surgery wing", CellClass::Building),
+        )
         .expect("unique");
-    space.add_joint(campus, main, JointRelation::Covers).expect("layers");
-    space.add_joint(campus, surgery, JointRelation::Covers).expect("layers");
+    space
+        .add_joint(campus, main, JointRelation::Covers)
+        .expect("layers");
+    space
+        .add_joint(campus, surgery, JointRelation::Covers)
+        .expect("layers");
 
     let main_f0 = space
-        .add_cell(floors, Cell::new("main-f0", "Main ground", CellClass::Floor).on_floor(0))
+        .add_cell(
+            floors,
+            Cell::new("main-f0", "Main ground", CellClass::Floor).on_floor(0),
+        )
         .expect("unique");
     let surgery_f0 = space
-        .add_cell(floors, Cell::new("surgery-f0", "Surgery ground", CellClass::Floor).on_floor(0))
+        .add_cell(
+            floors,
+            Cell::new("surgery-f0", "Surgery ground", CellClass::Floor).on_floor(0),
+        )
         .expect("unique");
-    space.add_joint(main, main_f0, JointRelation::Covers).expect("layers");
-    space.add_joint(surgery, surgery_f0, JointRelation::Covers).expect("layers");
+    space
+        .add_joint(main, main_f0, JointRelation::Covers)
+        .expect("layers");
+    space
+        .add_joint(surgery, surgery_f0, JointRelation::Covers)
+        .expect("layers");
 
     let mut room = |key: &str, name: &str, class: CellClass, floor: CellRef| {
         let r = space
             .add_cell(rooms, Cell::new(key, name, class).on_floor(0))
             .expect("unique");
-        space.add_joint(floor, r, JointRelation::Contains).expect("layers");
+        space
+            .add_joint(floor, r, JointRelation::Contains)
+            .expect("layers");
         r
     };
     let reception = room("reception", "Reception", CellClass::Lobby, main_f0);
     let triage = room("triage", "Triage", CellClass::Room, main_f0);
-    let sterile_corridor = room("sterile", "Sterile corridor", CellClass::Corridor, surgery_f0);
+    let sterile_corridor = room(
+        "sterile",
+        "Sterile corridor",
+        CellClass::Corridor,
+        surgery_f0,
+    );
     let operating_room = room("or-1", "Operating room 1", CellClass::Room, surgery_f0);
     let recovery = room("recovery", "Recovery", CellClass::Room, surgery_f0);
     let ward = room("ward", "Ward A", CellClass::Room, main_f0);
@@ -71,16 +101,32 @@ fn build_hospital() -> Hospital {
         .add_transition_pair(reception, triage, Transition::new(TransitionKind::Door))
         .expect("layer");
     space
-        .add_transition(triage, sterile_corridor, Transition::named(TransitionKind::Checkpoint, "airlock-in"))
+        .add_transition(
+            triage,
+            sterile_corridor,
+            Transition::named(TransitionKind::Checkpoint, "airlock-in"),
+        )
         .expect("layer");
     space
-        .add_transition(sterile_corridor, operating_room, Transition::new(TransitionKind::Door))
+        .add_transition(
+            sterile_corridor,
+            operating_room,
+            Transition::new(TransitionKind::Door),
+        )
         .expect("layer");
     space
-        .add_transition(operating_room, recovery, Transition::new(TransitionKind::Door))
+        .add_transition(
+            operating_room,
+            recovery,
+            Transition::new(TransitionKind::Door),
+        )
         .expect("layer");
     space
-        .add_transition(recovery, ward, Transition::named(TransitionKind::Checkpoint, "airlock-out"))
+        .add_transition(
+            recovery,
+            ward,
+            Transition::named(TransitionKind::Checkpoint, "airlock-out"),
+        )
         .expect("layer");
     space
         .add_transition(ward, reception, Transition::new(TransitionKind::Door))
@@ -151,7 +197,10 @@ fn main() {
     ])
     .expect("chronological");
     let outcome = infer_missing_cells(&h.space, &sparse, |_| AnnotationSet::new());
-    println!("\nsparse tag trace densified: {} inferred stay(s):", outcome.inferred.len());
+    println!(
+        "\nsparse tag trace densified: {} inferred stay(s):",
+        outcome.inferred.len()
+    );
     for p in outcome.trace.intervals() {
         println!("  {} [{}]", p, h.space.cell(p.cell).expect("cell").key);
     }

@@ -37,7 +37,10 @@ fn main() {
     // ---- Generate and summarize. ------------------------------------------
     let dataset = generate_dataset(&config);
     let stats = dataset.stats();
-    println!("generated {} visits by {} visitors", stats.visits, stats.visitors);
+    println!(
+        "generated {} visits by {} visitors",
+        stats.visits, stats.visitors
+    );
     println!(
         "  detections {} | transitions {} | zero-duration {:.1}% | zones {}",
         stats.detections,
@@ -75,7 +78,10 @@ fn main() {
         .iter()
         .filter_map(|v| dataset.to_trajectory(&model, v))
         .collect();
-    println!("converted {} visits into semantic trajectories", trajectories.len());
+    println!(
+        "converted {} visits into semantic trajectories",
+        trajectories.len()
+    );
     let sample = &trajectories[trajectories.len() / 2];
     let quality = quality_of_trace(sample.trace(), Duration::seconds(30));
     println!(

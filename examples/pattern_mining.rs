@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --example pattern_mining`
 
-use sitm::louvre::{build_louvre, generate_dataset, zone_catalog, GeneratorConfig, PaperCalibration};
+use sitm::louvre::{
+    build_louvre, generate_dataset, zone_catalog, GeneratorConfig, PaperCalibration,
+};
 use sitm::mining::{
     floor_switch_ngrams, mine_rules, mine_sequential_patterns, normalized_edit_similarity,
     HierarchyDistance, MarkovModel,

@@ -5,9 +5,7 @@
 
 use sitm::core::Timestamp;
 use sitm::geometry::{BBox, Point, Polygon};
-use sitm::positioning::{
-    BeaconDeployment, GroundTruthFix, Pipeline, RssiModel, ZoneMap,
-};
+use sitm::positioning::{BeaconDeployment, GroundTruthFix, Pipeline, RssiModel, ZoneMap};
 use sitm::sim::SimRng;
 use sitm::space::{Cell, CellClass, IndoorSpace, LayerKind};
 
@@ -15,7 +13,10 @@ fn main() {
     // ---- Three exhibition zones in a row, 25 m each. ----------------------
     let mut space = IndoorSpace::new();
     let zones = space.add_layer("zones", LayerKind::Thematic);
-    for (i, name) in ["Antiquities", "Paintings", "Sculptures"].iter().enumerate() {
+    for (i, name) in ["Antiquities", "Paintings", "Sculptures"]
+        .iter()
+        .enumerate()
+    {
         let x0 = i as f64 * 25.0;
         space
             .add_cell(
@@ -61,12 +62,7 @@ fn main() {
     println!("zone detections:");
     for d in &report.detections {
         let cell = space.cell(d.cell).expect("cell");
-        println!(
-            "  {:<12} {} .. {}",
-            cell.name,
-            d.start,
-            d.end
-        );
+        println!("  {:<12} {} .. {}", cell.name, d.start, d.end);
     }
 
     let trace = report.to_trace();

@@ -20,41 +20,72 @@ fn main() {
     let rooms = space.add_layer("rooms", LayerKind::Room);
 
     let gallery = space
-        .add_cell(buildings, Cell::new("gallery", "City Gallery", CellClass::Building))
+        .add_cell(
+            buildings,
+            Cell::new("gallery", "City Gallery", CellClass::Building),
+        )
         .expect("unique key");
     let ground = space
-        .add_cell(floors, Cell::new("ground", "Ground floor", CellClass::Floor).on_floor(0))
+        .add_cell(
+            floors,
+            Cell::new("ground", "Ground floor", CellClass::Floor).on_floor(0),
+        )
         .expect("unique key");
     let lobby = space
-        .add_cell(rooms, Cell::new("lobby", "Lobby", CellClass::Lobby).on_floor(0))
+        .add_cell(
+            rooms,
+            Cell::new("lobby", "Lobby", CellClass::Lobby).on_floor(0),
+        )
         .expect("unique key");
     let hall = space
-        .add_cell(rooms, Cell::new("hall", "Main hall", CellClass::Hall).on_floor(0))
+        .add_cell(
+            rooms,
+            Cell::new("hall", "Main hall", CellClass::Hall).on_floor(0),
+        )
         .expect("unique key");
     let shop = space
-        .add_cell(rooms, Cell::new("shop", "Museum shop", CellClass::Shop).on_floor(0))
+        .add_cell(
+            rooms,
+            Cell::new("shop", "Museum shop", CellClass::Shop).on_floor(0),
+        )
         .expect("unique key");
 
     // Accessibility: lobby <-> hall <-> shop, shop -> lobby one-way exit.
     space
-        .add_transition_pair(lobby, hall, Transition::named(TransitionKind::Door, "main-door"))
+        .add_transition_pair(
+            lobby,
+            hall,
+            Transition::named(TransitionKind::Door, "main-door"),
+        )
         .expect("same layer");
     space
         .add_transition_pair(hall, shop, Transition::new(TransitionKind::Opening))
         .expect("same layer");
     space
-        .add_transition(shop, lobby, Transition::named(TransitionKind::Checkpoint, "exit-gate"))
+        .add_transition(
+            shop,
+            lobby,
+            Transition::named(TransitionKind::Checkpoint, "exit-gate"),
+        )
         .expect("same layer");
 
     // Hierarchy joints: building covers floor; floor contains the rooms.
-    space.add_joint(gallery, ground, JointRelation::Covers).expect("layers differ");
+    space
+        .add_joint(gallery, ground, JointRelation::Covers)
+        .expect("layers differ");
     for room in [lobby, hall, shop] {
-        space.add_joint(ground, room, JointRelation::Contains).expect("layers differ");
+        space
+            .add_joint(ground, room, JointRelation::Contains)
+            .expect("layers differ");
     }
 
     let hierarchy = core_hierarchy(&space).expect("building/floor/room present");
     let issues = validate_hierarchy(&space, &hierarchy);
-    println!("hierarchy layers: {}, validation issues: {}", hierarchy.len(), issues.len());
+    println!(
+        "hierarchy layers: {}, validation issues: {}",
+        hierarchy.len(),
+        issues.len()
+    );
 
     // ---- 2. Navigation queries over the accessibility NRG. ---------------
     println!(
@@ -70,9 +101,19 @@ fn main() {
     let t = |m: u32| Timestamp::from_ymd_hms(2026, 6, 11, 10, m, 0);
     let trace = Trace::new(vec![
         PresenceInterval::new(TransitionTaken::Unknown, lobby, t(0), t(5)),
-        PresenceInterval::new(TransitionTaken::Named("main-door".into()), hall, t(5), t(40)),
+        PresenceInterval::new(
+            TransitionTaken::Named("main-door".into()),
+            hall,
+            t(5),
+            t(40),
+        ),
         PresenceInterval::new(TransitionTaken::Unknown, shop, t(40), t(50)),
-        PresenceInterval::new(TransitionTaken::Named("exit-gate".into()), lobby, t(50), t(52)),
+        PresenceInterval::new(
+            TransitionTaken::Named("exit-gate".into()),
+            lobby,
+            t(50),
+            t(52),
+        ),
     ])
     .expect("chronological");
     let trajectory = SemanticTrajectory::new(
@@ -111,7 +152,8 @@ fn main() {
         lifted.len(),
         lifted.span().expect("non-empty").duration()
     );
-    let building_level = lift_trace(&space, &hierarchy, trajectory.trace(), buildings).expect("lifts");
+    let building_level =
+        lift_trace(&space, &hierarchy, trajectory.trace(), buildings).expect("lifts");
     println!(
         "lifted to the building layer: {} tuple(s) in cell '{}'",
         building_level.len(),

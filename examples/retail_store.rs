@@ -13,8 +13,8 @@ use sitm::core::{lift_trace, PresenceInterval, Timestamp, Trace, TransitionTaken
 use sitm::mining::{mine_at_layers, MarkovModel, NGramModel, OdMatrix};
 use sitm::sim::SimRng;
 use sitm::space::{
-    Cell, CellClass, CellRef, IndoorSpace, JointRelation, LayerHierarchy, LayerKind,
-    Transition, TransitionKind,
+    Cell, CellClass, CellRef, IndoorSpace, JointRelation, LayerHierarchy, LayerKind, Transition,
+    TransitionKind,
 };
 
 struct Store {
@@ -35,16 +35,29 @@ fn build_store() -> Store {
     let depts = space.add_layer("departments", LayerKind::Room);
 
     let store = space
-        .add_cell(buildings, Cell::new("store", "Departments & Co", CellClass::Building))
+        .add_cell(
+            buildings,
+            Cell::new("store", "Departments & Co", CellClass::Building),
+        )
         .expect("unique");
     let ground = space
-        .add_cell(floors, Cell::new("floor-0", "Ground floor", CellClass::Floor).on_floor(0))
+        .add_cell(
+            floors,
+            Cell::new("floor-0", "Ground floor", CellClass::Floor).on_floor(0),
+        )
         .expect("unique");
     let upper = space
-        .add_cell(floors, Cell::new("floor-1", "First floor", CellClass::Floor).on_floor(1))
+        .add_cell(
+            floors,
+            Cell::new("floor-1", "First floor", CellClass::Floor).on_floor(1),
+        )
         .expect("unique");
-    space.add_joint(store, ground, JointRelation::Covers).expect("cross-layer");
-    space.add_joint(store, upper, JointRelation::Covers).expect("cross-layer");
+    space
+        .add_joint(store, ground, JointRelation::Covers)
+        .expect("cross-layer");
+    space
+        .add_joint(store, upper, JointRelation::Covers)
+        .expect("cross-layer");
 
     let plan: &[(&str, &str, i8, CellClass)] = &[
         ("entrance", "Entrance atrium", 0, CellClass::Lobby),
@@ -59,10 +72,15 @@ fn build_store() -> Store {
     let mut cells = Vec::new();
     for (key, name, floor, class) in plan {
         let r = space
-            .add_cell(depts, Cell::new(*key, *name, class.clone()).on_floor(*floor))
+            .add_cell(
+                depts,
+                Cell::new(*key, *name, class.clone()).on_floor(*floor),
+            )
             .expect("unique");
         let parent = if *floor == 0 { ground } else { upper };
-        space.add_joint(parent, r, JointRelation::Contains).expect("cross-layer");
+        space
+            .add_joint(parent, r, JointRelation::Contains)
+            .expect("cross-layer");
         cells.push((*key, r));
     }
     let at = |key: &str| cells.iter().find(|(k, _)| *k == key).expect("present").1;
@@ -121,7 +139,14 @@ fn build_store() -> Store {
 /// accessibility NRG, pay, leave. Grocery shoppers mostly stay downstairs;
 /// fashion shoppers head upstairs first.
 fn shopper_trace(store: &Store, rng: &mut SimRng, start: i64) -> Trace {
-    let at = |key: &str| store.depts.iter().find(|(k, _)| *k == key).expect("present").1;
+    let at = |key: &str| {
+        store
+            .depts
+            .iter()
+            .find(|(k, _)| *k == key)
+            .expect("present")
+            .1
+    };
     let mut path: Vec<&str> = vec!["entrance"];
     if rng.unit() < 0.45 {
         // Upstairs mission first.
@@ -168,8 +193,20 @@ fn main() {
             .nrg(store.dept_layer)
             .expect("layer exists")
             .edges_between(
-                store.depts.iter().find(|(k, _)| *k == "entrance").expect("present").1.node,
-                store.depts.iter().find(|(k, _)| *k == "checkout").expect("present").1.node,
+                store
+                    .depts
+                    .iter()
+                    .find(|(k, _)| *k == "entrance")
+                    .expect("present")
+                    .1
+                    .node,
+                store
+                    .depts
+                    .iter()
+                    .find(|(k, _)| *k == "checkout")
+                    .expect("present")
+                    .1
+                    .node,
             )
             .next()
             .is_none()
@@ -193,8 +230,15 @@ fn main() {
     )
     .expect("store hierarchy lifts");
     for level in &mined {
-        let name = if level.layer == store.dept_layer { "department" } else { "floor" };
-        println!("\ntop {name}-level patterns ({} sequences):", level.sequences);
+        let name = if level.layer == store.dept_layer {
+            "department"
+        } else {
+            "floor"
+        };
+        println!(
+            "\ntop {name}-level patterns ({} sequences):",
+            level.sequences
+        );
         for p in level.patterns.iter().filter(|p| p.items.len() >= 2).take(5) {
             let labels: Vec<&str> = p
                 .items
@@ -221,14 +265,28 @@ fn main() {
     let od = OdMatrix::from_sequences(&sequences);
     println!("\norigin–destination rows:");
     for (o, d, count) in od.rows().into_iter().take(3) {
-        let name = |c: &CellRef| store.space.cell(*c).map(|x| x.key.clone()).unwrap_or_default();
+        let name = |c: &CellRef| {
+            store
+                .space
+                .cell(*c)
+                .map(|x| x.key.clone())
+                .unwrap_or_default()
+        };
         println!("  {:<10} → {:<10} ×{count}", name(o), name(d));
     }
-    println!("round-trip rate (exit where you entered): {:.2}", od.round_trip_rate());
+    println!(
+        "round-trip rate (exit where you entered): {:.2}",
+        od.round_trip_rate()
+    );
 
     // ---- 5. Floor lifting of one journey (the §3.2 inference). -----------
-    let lifted = lift_trace(&store.space, &store.hierarchy, &traces[0], store.floor_layer)
-        .expect("lifts to floors");
+    let lifted = lift_trace(
+        &store.space,
+        &store.hierarchy,
+        &traces[0],
+        store.floor_layer,
+    )
+    .expect("lifts to floors");
     println!(
         "\nfirst journey: {} department stays → {} floor stays after lifting",
         traces[0].len(),

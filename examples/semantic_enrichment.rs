@@ -66,7 +66,10 @@ fn main() {
     // A paintings-focused visitor: Salle des États, French large formats.
     let painter_fan = zone_trace(&model, &[(60862, 0, 1800), (60863, 1900, 3600)]);
     // An antiquities-focused visitor: Egyptian, Near Eastern, Greek rooms.
-    let antiquarian = zone_trace(&model, &[(60853, 0, 1500), (60854, 1600, 2800), (60852, 2900, 3600)]);
+    let antiquarian = zone_trace(
+        &model,
+        &[(60853, 0, 1500), (60854, 1600, 2800), (60852, 2900, 3600)],
+    );
 
     let (enriched, touched) = enrich_trace(&kb, painter_fan.clone(), zone_of(&model));
     println!("\npainting-fan trace: {touched} stays enriched; first stay annotations:");
@@ -103,7 +106,10 @@ fn main() {
         ),
         PresenceInterval::new(
             TransitionTaken::Unknown,
-            model.space.resolve("roi-winged-victory").expect("flagship RoI"),
+            model
+                .space
+                .resolve("roi-winged-victory")
+                .expect("flagship RoI"),
             Timestamp(700),
             Timestamp(760),
         ),

@@ -58,7 +58,11 @@ fn main() -> Result<(), StoreError> {
             .map(|c| c.to_string())
             .unwrap_or_else(|| "clean".to_string()),
     );
-    assert_eq!(recovered.len(), trajectories.len() - 1, "lost exactly the torn record");
+    assert_eq!(
+        recovered.len(),
+        trajectories.len() - 1,
+        "lost exactly the torn record"
+    );
     // The repaired log accepts the lost record again.
     log.append(trajectories.last().expect("non-empty"))?;
     log.sync()?;
@@ -67,7 +71,11 @@ fn main() -> Result<(), StoreError> {
     // ---- 4. Index the recovered collection and query it. -----------------
     let (_, records, _) = LogStore::<SemanticTrajectory>::open(&path)?;
     let db = TrajectoryDb::build(records);
-    println!("\nindexed {} trajectories over {} cells", db.len(), db.cells().count());
+    println!(
+        "\nindexed {} trajectories over {} cells",
+        db.len(),
+        db.cells().count()
+    );
 
     // Who passed through the Fig. 6 corridor zone P (60888)?
     let p_zone = model.zone(60888).expect("zone 60888 modelled");
@@ -101,7 +109,11 @@ fn main() -> Result<(), StoreError> {
     let dwell = dwell_by_cell(db.iter());
     println!("\ntop-5 zones by total dwell:");
     for (cell, total) in top_k(&dwell, 5) {
-        let key = model.space.cell(cell).map(|c| c.key.as_str()).unwrap_or("?");
+        let key = model
+            .space
+            .cell(cell)
+            .map(|c| c.key.as_str())
+            .unwrap_or("?");
         println!("  {key:<12} {total}");
     }
     let flows = flow_matrix(db.iter());
@@ -109,7 +121,13 @@ fn main() -> Result<(), StoreError> {
     flow_rows.sort_by(|a, b| b.1.cmp(a.1));
     println!("\ntop-5 zone-to-zone flows:");
     for (&(from, to), &count) in flow_rows.into_iter().take(5) {
-        let name = |c| model.space.cell(c).map(|x| x.key.clone()).unwrap_or_default();
+        let name = |c| {
+            model
+                .space
+                .cell(c)
+                .map(|x| x.key.clone())
+                .unwrap_or_default()
+        };
         println!("  {:<12} → {:<12} ×{count}", name(from), name(to));
     }
 

@@ -20,6 +20,7 @@
 //! | [`analytics`] | `sitm-analytics` | descriptive statistics, choropleths, reports |
 //! | [`query`] | `sitm-query` | indexed trajectory retrieval: predicates, plans, aggregation |
 //! | [`store`] | `sitm-store` | binary codec, CRC-framed append-only log, crash recovery |
+//! | [`stream`] | `sitm-stream` | sharded online ingestion with batch-equivalent episode detection |
 //! | [`ontology`] | `sitm-ontology` | triple store + CIDOC-CRM-flavoured museum knowledge base |
 //!
 //! ## Quickstart
@@ -36,8 +37,9 @@ pub use sitm_louvre as louvre;
 pub use sitm_mining as mining;
 pub use sitm_ontology as ontology;
 pub use sitm_positioning as positioning;
-pub use sitm_query as query;
-pub use sitm_store as store;
 pub use sitm_qsr as qsr;
+pub use sitm_query as query;
 pub use sitm_sim as sim;
 pub use sitm_space as space;
+pub use sitm_store as store;
+pub use sitm_stream as stream;

@@ -59,7 +59,10 @@ fn dataset_to_trajectories_to_mining() {
     // A Markov model fitted on the symbolic sequences predicts something.
     let markov = MarkovModel::fit(&db);
     assert!(markov.transition_count() > 500);
-    assert!(markov.accuracy(&db) > 0.2, "in-sample accuracy is non-trivial");
+    assert!(
+        markov.accuracy(&db) > 0.2,
+        "in-sample accuracy is non-trivial"
+    );
 }
 
 #[test]
@@ -119,12 +122,7 @@ fn zone_transition_matrix_respects_topology() {
     let sequences: Vec<Vec<String>> = dataset
         .visits
         .iter()
-        .map(|v| {
-            v.detections
-                .iter()
-                .map(|d| d.zone_id.to_string())
-                .collect()
-        })
+        .map(|v| v.detections.iter().map(|d| d.zone_id.to_string()).collect())
         .collect();
     let matrix = TransitionMatrix::fit(&sequences);
     assert_eq!(

@@ -15,15 +15,9 @@ use sitm::space::{core_hierarchy, Cell, CellClass, IndoorSpace, JointRelation, L
 // ---------------------------------------------------------------- geometry
 
 fn arb_rect() -> impl Strategy<Value = Polygon> {
-    (
-        -50.0f64..50.0,
-        -50.0f64..50.0,
-        0.5f64..40.0,
-        0.5f64..40.0,
-    )
-        .prop_map(|(x, y, w, h)| {
-            Polygon::rectangle(Point::new(x, y), Point::new(x + w, y + h)).expect("positive area")
-        })
+    (-50.0f64..50.0, -50.0f64..50.0, 0.5f64..40.0, 0.5f64..40.0).prop_map(|(x, y, w, h)| {
+        Polygon::rectangle(Point::new(x, y), Point::new(x + w, y + h)).expect("positive area")
+    })
 }
 
 proptest! {
@@ -131,7 +125,9 @@ fn lift_fixture(rooms_per_floor: usize) -> (IndoorSpace, Vec<sitm::space::CellRe
     let lb = s.add_layer("b", LayerKind::Building);
     let lf = s.add_layer("f", LayerKind::Floor);
     let lr = s.add_layer("r", LayerKind::Room);
-    let b = s.add_cell(lb, Cell::new("b", "B", CellClass::Building)).unwrap();
+    let b = s
+        .add_cell(lb, Cell::new("b", "B", CellClass::Building))
+        .unwrap();
     let mut rooms = Vec::new();
     for floor in 0..3i8 {
         let f = s

@@ -40,7 +40,10 @@ fn generate_store_crash_recover_query_mine() {
         .filter(|v| v.detections.len() >= 2)
         .filter_map(|v| dataset.to_trajectory(&model, v))
         .collect();
-    assert!(trajectories.len() > 300, "enough multi-zone visits to exercise the pipeline");
+    assert!(
+        trajectories.len() > 300,
+        "enough multi-zone visits to exercise the pipeline"
+    );
 
     // ---- Persist, tear the tail, recover. ---------------------------------
     let path = std::env::temp_dir().join(format!(
@@ -154,9 +157,15 @@ fn ngram_order_ablation_on_louvre_sequences() {
     let order1 = NGramModel::fit(train, 1);
     let order2 = NGramModel::fit(train, 2);
     let (a1, a2) = (order1.accuracy(test), order2.accuracy(test));
-    assert!(a1 > 0.2, "order-1 must beat chance on a 30-zone alphabet (got {a1})");
+    assert!(
+        a1 > 0.2,
+        "order-1 must beat chance on a 30-zone alphabet (got {a1})"
+    );
     // Order 2 must not collapse (it may tie or slightly lose on sparse data,
     // but must stay in the same band).
-    assert!(a2 > a1 * 0.7, "order-2 accuracy {a2} collapsed vs order-1 {a1}");
+    assert!(
+        a2 > a1 * 0.7,
+        "order-2 accuracy {a2} collapsed vs order-1 {a1}"
+    );
     assert!(order2.perplexity(test).is_finite());
 }
