@@ -1,5 +1,15 @@
-//! Streaming-ingestion benchmarks: event throughput by shard count, and
-//! checkpoint/restore latency — the perf baseline for future scaling PRs.
+//! Streaming-ingestion benchmarks: event throughput by shard count
+//! (sequential vs thread-per-shard parallel), live-query federation
+//! latency, and checkpoint/restore latency.
+//!
+//! **Parallel speedup caveat:** the ≥ 2× target for `parallel/4` over
+//! `sequential/1` only materializes with ≥ 2 physical cores. On a
+//! single-core host (`nproc == 1` — the CI container this repo grew up
+//! in) the workers time-slice one CPU, so parallel throughput lands at
+//! ~0.8–1.0× sequential (channel overhead, no concurrency to win);
+//! that is hardware-bound, not a runtime defect. The differential tests
+//! prove the output identical either way; run this bench on a
+//! multi-core box to see the scaling.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -8,8 +18,11 @@ use sitm_core::{Annotation, AnnotationSet, Duration, IntervalPredicate};
 use sitm_louvre::{
     build_louvre, generate_dataset, zone_key, GeneratorConfig, LouvreModel, PaperCalibration,
 };
+use sitm_query::Predicate;
 use sitm_store::{CheckpointFrame, LogStore};
-use sitm_stream::{dataset_events, resume_from_log, EngineConfig, ShardedEngine, StreamEvent};
+use sitm_stream::{
+    dataset_events, resume_from_log, EngineConfig, ParallelEngine, ShardedEngine, StreamEvent,
+};
 
 /// A mid-size day: ~500 visits, ~2500 detections.
 fn feed(model: &LouvreModel) -> Vec<StreamEvent> {
@@ -73,6 +86,65 @@ fn bench_ingest_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sequential vs parallel ingest on the same 500-visit workload. The
+/// parallel engine is constructed inside the timed body on purpose:
+/// worker spawn + join is part of what a deployment pays per engine, and
+/// excluding it would flatter small feeds.
+fn bench_parallel_ingest(c: &mut Criterion) {
+    let model = build_louvre();
+    let events = feed(&model);
+    let mut group = c.benchmark_group("stream/parallel_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("sequential/1", |b| {
+        b.iter(|| {
+            let mut engine = ShardedEngine::new(config(&model, 1)).expect("engine");
+            engine.ingest_all(black_box(events.iter().cloned()));
+            engine.finish().len()
+        });
+    });
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let mut engine = ParallelEngine::new(config(&model, workers)).expect("engine");
+                    engine.ingest_all(black_box(events.iter().cloned()));
+                    engine.finish().len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Live-query federation over a half-ingested day: snapshot cost and
+/// predicate evaluation over the union of live shard state.
+fn bench_live_query(c: &mut Criterion) {
+    let model = build_louvre();
+    let events = feed(&model);
+    let hall = model
+        .space
+        .resolve(&zone_key(60886))
+        .expect("zone resolves");
+    let mut engine = ParallelEngine::new(config(&model, 4).with_live_queries()).expect("engine");
+    engine.ingest_all(events[..events.len() / 2].iter().cloned());
+
+    let mut group = c.benchmark_group("stream/live_query");
+    group.sample_size(10);
+    group.bench_function("snapshot", |b| {
+        b.iter(|| black_box(engine.live_snapshot()).visits.len());
+    });
+    let snapshot = engine.live_snapshot();
+    let predicate =
+        Predicate::VisitedCell(hall).and(Predicate::MinTotalDwell(Duration::minutes(2)));
+    group.bench_function("predicate_over_live", |b| {
+        b.iter(|| snapshot.count_matching(black_box(&predicate)));
+    });
+    group.finish();
+}
+
 fn bench_checkpoint_restore(c: &mut Criterion) {
     let model = build_louvre();
     let events = feed(&model);
@@ -119,5 +191,11 @@ fn bench_checkpoint_restore(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingest_throughput, bench_checkpoint_restore);
+criterion_group!(
+    benches,
+    bench_ingest_throughput,
+    bench_parallel_ingest,
+    bench_live_query,
+    bench_checkpoint_restore
+);
 criterion_main!(benches);

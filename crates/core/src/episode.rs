@@ -19,8 +19,12 @@ use crate::time::{Duration, TimeInterval, Timestamp};
 use crate::trajectory::{SemanticTrajectory, TrajectoryError};
 
 /// A predicate over individual presence intervals, with combinators.
+///
+/// The closure is `Send + Sync` so predicate tables can be shared across
+/// the worker threads of a parallel ingestion engine (one immutable table
+/// behind an `Arc`, evaluated concurrently by every shard).
 pub struct IntervalPredicate {
-    test: Box<dyn Fn(&PresenceInterval) -> bool>,
+    test: Box<dyn Fn(&PresenceInterval) -> bool + Send + Sync>,
     /// Human-readable description, carried into diagnostics.
     pub description: String,
 }
@@ -35,7 +39,7 @@ impl IntervalPredicate {
     /// Builds a predicate from a closure and a description.
     pub fn custom(
         description: impl Into<String>,
-        test: impl Fn(&PresenceInterval) -> bool + 'static,
+        test: impl Fn(&PresenceInterval) -> bool + Send + Sync + 'static,
     ) -> Self {
         IntervalPredicate {
             test: Box::new(test),

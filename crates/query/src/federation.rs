@@ -1,0 +1,165 @@
+//! Cross-source query federation.
+//!
+//! The warehouse view of the SITM (Mireku Kwakye's trajectory-warehouse
+//! line in the related work) has trajectories living in *several places
+//! at once*: an indexed [`TrajectoryDb`](crate::TrajectoryDb) of
+//! completed visits, and the live shard state of one or more streaming
+//! engines. A query like "who is on the Fig. 5 exit path right now?"
+//! must see the union.
+//!
+//! [`TrajectorySource`] abstracts one such place: anything that can walk
+//! its trajectories. The `federated_*` entry points evaluate a
+//! [`Predicate`] over the union of many sources without materializing
+//! it — each source is scanned in place and matches stream through a
+//! callback, so a shard's live state is never copied wholesale into a
+//! central collection.
+//!
+//! Consistency is per-source: each source contributes a snapshot of its
+//! own state at scan time (streaming engines hand out snapshot-consistent
+//! live state; see `sitm-stream`'s `live_query` module). The federation
+//! layer adds no cross-source barrier, matching the usual federated-query
+//! contract: per-participant snapshot isolation, union of results.
+
+use sitm_core::SemanticTrajectory;
+
+use crate::index::TrajectoryDb;
+use crate::predicate::Predicate;
+
+/// One queryable collection of semantic trajectories (a warehouse, one
+/// engine's live state, one remote site's result cache, ...).
+pub trait TrajectorySource {
+    /// Walks every trajectory in the source, in the source's own order.
+    fn for_each_trajectory(&self, f: &mut dyn FnMut(&SemanticTrajectory));
+
+    /// Optional size hint (0 when unknown), used to pre-size result
+    /// buffers.
+    fn len_hint(&self) -> usize {
+        0
+    }
+}
+
+impl TrajectorySource for [SemanticTrajectory] {
+    fn for_each_trajectory(&self, f: &mut dyn FnMut(&SemanticTrajectory)) {
+        for t in self {
+            f(t);
+        }
+    }
+
+    fn len_hint(&self) -> usize {
+        self.len()
+    }
+}
+
+impl TrajectorySource for Vec<SemanticTrajectory> {
+    fn for_each_trajectory(&self, f: &mut dyn FnMut(&SemanticTrajectory)) {
+        self.as_slice().for_each_trajectory(f);
+    }
+
+    fn len_hint(&self) -> usize {
+        self.len()
+    }
+}
+
+impl TrajectorySource for TrajectoryDb {
+    fn for_each_trajectory(&self, f: &mut dyn FnMut(&SemanticTrajectory)) {
+        for t in self.iter() {
+            f(t);
+        }
+    }
+
+    fn len_hint(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Calls `f` for every trajectory across `sources` that satisfies
+/// `predicate`, tagged with the index of the source it came from.
+pub fn federated_for_each(
+    predicate: &Predicate,
+    sources: &[&dyn TrajectorySource],
+    mut f: impl FnMut(usize, &SemanticTrajectory),
+) {
+    for (i, source) in sources.iter().enumerate() {
+        source.for_each_trajectory(&mut |t| {
+            if predicate.matches(t) {
+                f(i, t);
+            }
+        });
+    }
+}
+
+/// Counts matches across every source.
+pub fn federated_count(predicate: &Predicate, sources: &[&dyn TrajectorySource]) -> usize {
+    let mut n = 0;
+    federated_for_each(predicate, sources, |_, _| n += 1);
+    n
+}
+
+/// Collects (cloned) matches across every source, in source order.
+pub fn federated_matching(
+    predicate: &Predicate,
+    sources: &[&dyn TrajectorySource],
+) -> Vec<SemanticTrajectory> {
+    // No up-front reserve: a selective predicate over large sources
+    // would otherwise allocate for every trajectory that exists.
+    let mut out = Vec::new();
+    federated_for_each(predicate, sources, |_, t| out.push(t.clone()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_core::{
+        Annotation, AnnotationSet, PresenceInterval, Timestamp, Trace, TransitionTaken,
+    };
+    use sitm_graph::{LayerIdx, NodeId};
+    use sitm_space::CellRef;
+
+    fn cell(n: usize) -> CellRef {
+        CellRef::new(LayerIdx::from_index(0), NodeId::from_index(n))
+    }
+
+    fn traj(mo: &str, c: usize) -> SemanticTrajectory {
+        let stay = PresenceInterval::new(
+            TransitionTaken::Unknown,
+            cell(c),
+            Timestamp(0),
+            Timestamp(60),
+        );
+        SemanticTrajectory::new(
+            mo,
+            Trace::new(vec![stay]).unwrap(),
+            AnnotationSet::from_iter([Annotation::goal("visit")]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn union_over_vec_and_db_sources() {
+        let live: Vec<SemanticTrajectory> = vec![traj("a", 1), traj("b", 2)];
+        let db = TrajectoryDb::build(vec![traj("c", 1), traj("d", 3)]);
+        let sources: Vec<&dyn TrajectorySource> = vec![&live, &db];
+        let p = Predicate::VisitedCell(cell(1));
+
+        assert_eq!(federated_count(&p, &sources), 2);
+        let matches = federated_matching(&p, &sources);
+        let names: Vec<&str> = matches.iter().map(|t| t.moving_object.as_str()).collect();
+        assert_eq!(names, vec!["a", "c"], "source order preserved");
+
+        let mut tagged = Vec::new();
+        federated_for_each(&p, &sources, |src, t| {
+            tagged.push((src, t.moving_object.clone()));
+        });
+        assert_eq!(tagged, vec![(0, "a".to_string()), (1, "c".to_string())]);
+    }
+
+    #[test]
+    fn empty_sources_contribute_nothing() {
+        let empty: Vec<SemanticTrajectory> = Vec::new();
+        let sources: Vec<&dyn TrajectorySource> = vec![&empty];
+        assert_eq!(federated_count(&Predicate::True, &sources), 0);
+        assert!(federated_matching(&Predicate::True, &[]).is_empty());
+        assert_eq!(empty.len_hint(), 0);
+    }
+}

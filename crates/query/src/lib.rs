@@ -19,17 +19,23 @@
 //! * [`query`] — [`Query`]: a fluent builder with index-backed execution,
 //!   `EXPLAIN`-style plans, ordering and paging;
 //! * [`aggregate`] — GROUP BY operators: dwell/detection/flow matrices,
-//!   occupancy series, annotation grouping.
+//!   occupancy series, annotation grouping;
+//! * [`federation`] — [`TrajectorySource`] and the `federated_*` entry
+//!   points: one predicate evaluated over the union of many trajectory
+//!   collections (warehouse + live streaming-engine state).
 //!
 //! Index lookups return candidate *supersets* and the executor re-checks
 //! the predicate on every candidate, so results are always identical to a
 //! full scan (property-tested in `tests/proptests.rs`).
 
 pub mod aggregate;
+pub mod federation;
 pub mod index;
 pub mod interval_tree;
 pub mod predicate;
 pub mod query;
+
+pub use federation::{federated_count, federated_for_each, federated_matching, TrajectorySource};
 
 pub use aggregate::{
     detection_counts_by_cell, dwell_by_cell, flow_matrix, group_by_annotation, occupancy, top_k,

@@ -97,6 +97,70 @@ pub fn latest_complete_checkpoint(frames: &[CheckpointFrame]) -> Option<Vec<&Che
     best
 }
 
+/// When and how much a checkpoint log compacts.
+///
+/// Only the newest complete checkpoint is ever read back, so without
+/// compaction the log grows by one full snapshot per checkpoint forever.
+/// A policy bounds it: every [`CompactionPolicy::every`] commits the log
+/// is atomically rewritten ([`LogStore::compact`](crate::LogStore::compact))
+/// to hold only the newest [`CompactionPolicy::keep`] complete
+/// checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Complete checkpoints a compaction retains (min 1). Keeping two
+    /// means a crash that tears the *newest* checkpoint — including a
+    /// crash during the compaction rewrite itself — still leaves a full
+    /// older snapshot to recover from.
+    pub keep: usize,
+    /// Compact after this many committed checkpoints (min 1; 1 compacts
+    /// on every commit, bounding the log at `keep` snapshots).
+    pub every: u64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy { keep: 2, every: 1 }
+    }
+}
+
+/// Groups recovered frames into complete checkpoints and returns the
+/// newest `keep` of them, oldest first, each with its frames ordered by
+/// shard. Incomplete (torn) sequences are skipped, exactly as
+/// [`latest_complete_checkpoint`] skips them.
+pub fn complete_checkpoint_groups(
+    frames: &[CheckpointFrame],
+    keep: usize,
+) -> Vec<Vec<CheckpointFrame>> {
+    let mut sequences: Vec<u64> = frames.iter().map(|f| f.sequence).collect();
+    sequences.sort_unstable();
+    sequences.dedup();
+    let mut groups: Vec<Vec<CheckpointFrame>> = Vec::new();
+    for &seq in &sequences {
+        let members: Vec<&CheckpointFrame> = frames.iter().filter(|f| f.sequence == seq).collect();
+        let Some(first) = members.first() else {
+            continue;
+        };
+        let count = first.shard_count as usize;
+        if count == 0 || members.len() != count {
+            continue;
+        }
+        if members.iter().any(|f| f.shard_count != first.shard_count) {
+            continue;
+        }
+        let mut ordered = members;
+        ordered.sort_by_key(|f| f.shard);
+        if ordered
+            .iter()
+            .enumerate()
+            .all(|(i, f)| f.shard as usize == i)
+        {
+            groups.push(ordered.into_iter().cloned().collect());
+        }
+    }
+    let excess = groups.len().saturating_sub(keep.max(1));
+    groups.split_off(excess)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +225,34 @@ mod tests {
         ];
         let chosen = latest_complete_checkpoint(&frames).unwrap();
         assert!(chosen.iter().all(|f| f.sequence == 5));
+    }
+
+    #[test]
+    fn groups_keep_newest_complete_and_skip_torn() {
+        let frames = vec![
+            frame(1, 0, 1),
+            frame(2, 0, 2), // torn: missing shard 1
+            frame(3, 1, 2),
+            frame(3, 0, 2),
+            frame(4, 0, 1),
+        ];
+        let groups = complete_checkpoint_groups(&frames, 2);
+        assert_eq!(groups.len(), 2);
+        assert!(groups[0].iter().all(|f| f.sequence == 3));
+        assert_eq!(groups[0][0].shard, 0, "frames ordered by shard");
+        assert_eq!(groups[0][1].shard, 1);
+        assert!(groups[1].iter().all(|f| f.sequence == 4));
+        // keep is clamped to at least one group.
+        let one = complete_checkpoint_groups(&frames, 0);
+        assert_eq!(one.len(), 1);
+        assert!(one[0].iter().all(|f| f.sequence == 4));
+        assert!(complete_checkpoint_groups(&[], 2).is_empty());
+    }
+
+    #[test]
+    fn default_policy_keeps_two_every_commit() {
+        let p = CompactionPolicy::default();
+        assert_eq!(p, CompactionPolicy { keep: 2, every: 1 });
     }
 
     #[test]

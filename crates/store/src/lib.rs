@@ -30,7 +30,9 @@ pub mod log;
 pub mod segment;
 pub mod varint;
 
-pub use checkpoint::{latest_complete_checkpoint, CheckpointFrame};
+pub use checkpoint::{
+    complete_checkpoint_groups, latest_complete_checkpoint, CheckpointFrame, CompactionPolicy,
+};
 pub use codec::{decode_trajectory, decode_visit, encode_trajectory, encode_visit, CodecError};
 pub use crc::{crc32, Crc32};
 pub use log::{LogStore, Record, RecoveryReport, StoreError};

@@ -277,11 +277,23 @@ impl<R: Record> LogStore<R> {
             tmp.sync_all()?;
         }
         std::fs::rename(&tmp_path, &self.path)?;
+        // Point the store at the new inode *before* anything else can
+        // fail, so an error below never leaves appends going to the
+        // replaced pre-compaction file.
         let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
         file.seek(SeekFrom::End(0))?;
         self.file = file;
         self.bytes = buf.len() as u64;
         self.records = records.len();
+        // The rename itself lives in the directory entry; without this
+        // fsync a power failure can resurrect the pre-compaction file
+        // even though compact() already returned success. (Unix only:
+        // directories cannot be opened as files elsewhere, and NTFS
+        // metadata updates don't use this idiom.)
+        #[cfg(unix)]
+        if let Some(parent) = self.path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            File::open(parent)?.sync_all()?;
+        }
         Ok(())
     }
 }

@@ -12,22 +12,31 @@
 //! a mismatched configuration is rejected instead of silently mislabeling
 //! runs.
 
+use std::collections::VecDeque;
+
 use sitm_core::{OpenRun, Timestamp};
 use sitm_graph::LayerIdx;
 use sitm_store::codec::{
-    decode_annotations, decode_cell, decode_episode, encode_annotations, encode_cell,
-    encode_episode, CodecError,
+    decode_annotations, decode_cell, decode_episode, decode_presence, encode_annotations,
+    encode_cell, encode_episode, encode_presence, CodecError,
 };
-use sitm_store::{latest_complete_checkpoint, varint, CheckpointFrame, LogStore, RecoveryReport};
+use sitm_store::{
+    complete_checkpoint_groups, latest_complete_checkpoint, varint, CheckpointFrame,
+    CompactionPolicy, LogStore, RecoveryReport, StoreError,
+};
 
 use crate::engine::{EngineConfig, EngineError, ShardedEngine};
 use crate::event::VisitKey;
+use crate::parallel::ParallelEngine;
 use crate::segmenter::SegmenterSnapshot;
 use crate::shard::{EmittedEpisode, ShardSnapshot, ShardStats};
 use crate::visit::{Anomalies, OpenFix, VisitSnapshot};
 
-/// Payload format version.
-const VERSION: u8 = 1;
+/// Payload format version. Version 2 added the retained live-query
+/// intervals to each visit's state; version-1 payloads (no retention
+/// byte section) are no longer produced, and rejecting them keeps the
+/// decoder honest.
+const VERSION: u8 = 2;
 
 /// Checkpoint payload failures.
 #[derive(Debug)]
@@ -239,6 +248,10 @@ fn encode_visit_state(buf: &mut Vec<u8>, v: &VisitSnapshot) {
             varint::encode_i64(buf, run.max_end.0);
         }
     }
+    varint::encode_u64(buf, v.intervals.len() as u64);
+    for interval in &v.intervals {
+        encode_presence(buf, interval);
+    }
 }
 
 fn decode_visit_state(
@@ -276,6 +289,16 @@ fn decode_visit_state(
             None
         });
     }
+    let interval_count = varint::decode_u64(buf)? as usize;
+    if interval_count > buf.len() {
+        return Err(CheckpointError::Malformed(
+            "interval count overruns payload",
+        ));
+    }
+    let mut intervals = Vec::with_capacity(interval_count);
+    for _ in 0..interval_count {
+        intervals.push(decode_presence(buf)?);
+    }
     Ok(VisitSnapshot {
         moving_object,
         annotations,
@@ -287,6 +310,7 @@ fn decode_visit_state(
             open_runs,
             suppressed,
         },
+        intervals,
     })
 }
 
@@ -333,7 +357,194 @@ fn decode_stats(buf: &mut &[u8]) -> Result<ShardStats, CheckpointError> {
     })
 }
 
+/// Decodes and validates one complete checkpoint against `config` —
+/// shard count, predicate arity, retention reconciliation — and
+/// restores the shards. The single restore body behind both
+/// [`ShardedEngine::restore`] and [`ParallelEngine::restore`], so a
+/// validation added for one engine cannot be forgotten for the other.
+/// Returns the shards in shard order plus the checkpoint's sequence.
+pub(crate) fn decode_checkpoint(
+    config: &EngineConfig,
+    frames: &[&CheckpointFrame],
+) -> Result<(Vec<crate::shard::Shard>, u64), EngineError> {
+    if frames.len() != config.shards {
+        return Err(EngineError::ShardCountMismatch {
+            configured: config.shards,
+            recorded: frames.len(),
+        });
+    }
+    let mut shards = Vec::with_capacity(frames.len());
+    let mut sequence = 0;
+    for frame in frames {
+        sequence = frame.sequence;
+        let (mut snapshot, predicate_count) = decode_shard(&frame.payload)?;
+        if predicate_count != config.predicates.len() {
+            return Err(EngineError::PredicateCountMismatch {
+                configured: config.predicates.len(),
+                recorded: predicate_count,
+            });
+        }
+        crate::engine::reconcile_retention(&mut snapshot, config);
+        shards.push(crate::shard::Shard::restore(snapshot, &config.predicates));
+    }
+    Ok((shards, sequence))
+}
+
+/// Appends one checkpoint's frames and fsyncs — the non-compacting
+/// commit path shared by both engines' `checkpoint` and the
+/// [`Checkpointer`]'s deferred-compaction commits.
+pub(crate) fn append_and_sync(
+    log: &mut LogStore<CheckpointFrame>,
+    frames: &[CheckpointFrame],
+) -> Result<(), StoreError> {
+    for frame in frames {
+        log.append(frame)?;
+    }
+    log.sync()
+}
+
+// --- compaction-aware checkpointing ----------------------------------------
+
+/// A checkpoint log that stays bounded.
+///
+/// Wraps a [`LogStore`] of [`CheckpointFrame`]s with a
+/// [`CompactionPolicy`]: every [`Checkpointer::commit`] either appends
+/// the new checkpoint's frames, or — when the policy says it is time —
+/// atomically rewrites the log ([`LogStore::compact`]) to hold only the
+/// newest `policy.keep` complete checkpoints. With the default policy
+/// (`keep: 2, every: 1`) the log never exceeds two snapshots, and a
+/// crash at *any* byte of a commit — including mid-rewrite — leaves a
+/// complete older checkpoint to recover from (torture-tested in
+/// `tests/compaction.rs`).
+///
+/// Retention mismatches are reconciled at restore: a checkpoint taken
+/// *without* interval retention restores into a retaining config with
+/// empty prefixes (live queries see only post-restore intervals for
+/// those visits), and a checkpoint taken *with* retention restoring
+/// into a non-retaining config drops the stored prefixes rather than
+/// serving them frozen — those visits read as unqueryable, never stale.
+pub struct Checkpointer {
+    log: LogStore<CheckpointFrame>,
+    policy: CompactionPolicy,
+    /// The newest `policy.keep` complete checkpoints, oldest first —
+    /// exactly what a compaction rewrites the log to.
+    history: VecDeque<Vec<CheckpointFrame>>,
+    commits_since_compact: u64,
+}
+
+impl Checkpointer {
+    /// Opens (or creates) the checkpoint log at `path`, seeding the
+    /// compaction history from the complete checkpoints already durable
+    /// in it. Returns the checkpointer, the recovered frames (feed them
+    /// to [`latest_complete_checkpoint`] / `restore`), and the store's
+    /// recovery report.
+    pub fn open(
+        path: impl AsRef<std::path::Path>,
+        policy: CompactionPolicy,
+    ) -> Result<(Checkpointer, Vec<CheckpointFrame>, RecoveryReport), StoreError> {
+        let (log, frames, report) = LogStore::<CheckpointFrame>::open(path)?;
+        let history: VecDeque<Vec<CheckpointFrame>> =
+            complete_checkpoint_groups(&frames, policy.keep).into();
+        Ok((
+            Checkpointer {
+                log,
+                policy,
+                history,
+                commits_since_compact: 0,
+            },
+            frames,
+            report,
+        ))
+    }
+
+    /// Commits one complete checkpoint (the frames share one sequence).
+    /// Appends and fsyncs, or compacts when the policy's interval is
+    /// reached; either way the checkpoint is durable on return.
+    pub fn commit(&mut self, frames: Vec<CheckpointFrame>) -> Result<(), StoreError> {
+        self.history.push_back(frames);
+        while self.history.len() > self.policy.keep.max(1) {
+            self.history.pop_front();
+        }
+        self.commits_since_compact += 1;
+        if self.commits_since_compact >= self.policy.every.max(1) {
+            let retained: Vec<CheckpointFrame> = self.history.iter().flatten().cloned().collect();
+            self.log.compact(&retained)?;
+            self.commits_since_compact = 0;
+        } else {
+            let newest = self.history.back().expect("just pushed");
+            append_and_sync(&mut self.log, newest)?;
+        }
+        Ok(())
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> CompactionPolicy {
+        self.policy
+    }
+
+    /// The underlying log (e.g. for size accounting).
+    pub fn log(&self) -> &LogStore<CheckpointFrame> {
+        &self.log
+    }
+}
+
 // --- recovery --------------------------------------------------------------
+
+/// The resume surface both engines share, so every `resume_*` entry
+/// point runs the same recovery body.
+trait ResumableEngine: Sized {
+    fn fresh(config: EngineConfig) -> Result<Self, EngineError>;
+    fn restore_from(config: EngineConfig, frames: &[&CheckpointFrame])
+        -> Result<Self, EngineError>;
+    fn advance(&mut self, sequence: u64);
+}
+
+impl ResumableEngine for ShardedEngine {
+    fn fresh(config: EngineConfig) -> Result<Self, EngineError> {
+        ShardedEngine::new(config)
+    }
+    fn restore_from(
+        config: EngineConfig,
+        frames: &[&CheckpointFrame],
+    ) -> Result<Self, EngineError> {
+        ShardedEngine::restore(config, frames)
+    }
+    fn advance(&mut self, sequence: u64) {
+        self.advance_sequence_to(sequence);
+    }
+}
+
+impl ResumableEngine for ParallelEngine {
+    fn fresh(config: EngineConfig) -> Result<Self, EngineError> {
+        ParallelEngine::new(config)
+    }
+    fn restore_from(
+        config: EngineConfig,
+        frames: &[&CheckpointFrame],
+    ) -> Result<Self, EngineError> {
+        ParallelEngine::restore(config, frames)
+    }
+    fn advance(&mut self, sequence: u64) {
+        self.advance_sequence_to(sequence);
+    }
+}
+
+/// The common recovery body: rebuild from the newest complete
+/// checkpoint (or fresh when none exists), then raise the sequence past
+/// every durable frame — torn checkpoints included, whose numbers must
+/// never be reused or the next checkpoint would collide with the stale
+/// frames and read as incomplete at the following recovery.
+fn resume_engine<E: ResumableEngine>(
+    config: EngineConfig,
+    frames: &[CheckpointFrame],
+) -> Result<E, EngineError> {
+    let mut engine = match latest_complete_checkpoint(frames) {
+        Some(chosen) => E::restore_from(config, &chosen)?,
+        None => E::fresh(config)?,
+    };
+    engine.advance(frames.iter().map(|f| f.sequence).max().unwrap_or(0));
+    Ok(engine)
+}
 
 /// Opens (or creates) the checkpoint log at `path` and rebuilds the
 /// engine from the newest complete checkpoint, or fresh from `config`
@@ -344,18 +555,37 @@ pub fn resume_from_log(
     path: impl AsRef<std::path::Path>,
 ) -> Result<(ShardedEngine, LogStore<CheckpointFrame>, RecoveryReport), EngineError> {
     let (log, frames, report) = LogStore::<CheckpointFrame>::open(path)?;
-    let mut engine = match latest_complete_checkpoint(&frames) {
-        Some(chosen) => ShardedEngine::restore(config, &chosen)?,
-        None => ShardedEngine::new(config)?,
-    };
-    // Torn checkpoints may have left durable frames with a *higher*
-    // sequence than the one restored; never reuse those numbers, or the
-    // next checkpoint would collide with the stale frames and read as
-    // incomplete at the following recovery.
-    if let Some(max_sequence) = frames.iter().map(|f| f.sequence).max() {
-        engine.advance_sequence_to(max_sequence);
-    }
-    Ok((engine, log, report))
+    Ok((resume_engine(config, &frames)?, log, report))
+}
+
+/// [`resume_from_log`] for the thread-per-shard [`ParallelEngine`].
+pub fn resume_parallel_from_log(
+    config: EngineConfig,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(ParallelEngine, LogStore<CheckpointFrame>, RecoveryReport), EngineError> {
+    let (log, frames, report) = LogStore::<CheckpointFrame>::open(path)?;
+    Ok((resume_engine(config, &frames)?, log, report))
+}
+
+/// [`resume_from_log`], but through a compacting [`Checkpointer`]
+/// instead of a raw log.
+pub fn resume_compacting(
+    config: EngineConfig,
+    path: impl AsRef<std::path::Path>,
+    policy: CompactionPolicy,
+) -> Result<(ShardedEngine, Checkpointer, RecoveryReport), EngineError> {
+    let (checkpointer, frames, report) = Checkpointer::open(path, policy)?;
+    Ok((resume_engine(config, &frames)?, checkpointer, report))
+}
+
+/// [`resume_compacting`] for the [`ParallelEngine`].
+pub fn resume_parallel_compacting(
+    config: EngineConfig,
+    path: impl AsRef<std::path::Path>,
+    policy: CompactionPolicy,
+) -> Result<(ParallelEngine, Checkpointer, RecoveryReport), EngineError> {
+    let (checkpointer, frames, report) = Checkpointer::open(path, policy)?;
+    Ok((resume_engine(config, &frames)?, checkpointer, report))
 }
 
 #[cfg(test)]

@@ -10,9 +10,10 @@
 use sitm_core::{AnnotationSet, Duration, IntervalPredicate, Timestamp};
 use sitm_store::{CheckpointFrame, LogStore, StoreError};
 
-use crate::checkpoint::{decode_shard, encode_shard, CheckpointError};
+use crate::checkpoint::{encode_shard, CheckpointError};
 use crate::event::{StreamEvent, VisitKey};
-use crate::shard::{Shard, ShardStats};
+use crate::live_query::LiveSnapshot;
+use crate::shard::{Shard, ShardCtx, ShardStats};
 
 pub use crate::shard::EmittedEpisode;
 pub use crate::visit::Anomalies;
@@ -98,6 +99,16 @@ pub struct EngineConfig {
     /// entry is retired, keeping per-shard memory bounded on an infinite
     /// stream.
     pub allowed_lateness: Duration,
+    /// Retain each open visit's accepted intervals (in memory and in
+    /// checkpoints) so live queries can see its trajectory prefix. Off by
+    /// default: retention costs memory proportional to open-visit trace
+    /// length.
+    pub retain_intervals: bool,
+    /// Bounded depth, in event batches, of each worker channel of the
+    /// parallel engine (`ParallelEngine`); producers block when a shard
+    /// falls this far behind (backpressure). Ignored by the sequential
+    /// engine.
+    pub channel_depth: usize,
 }
 
 impl EngineConfig {
@@ -110,6 +121,19 @@ impl EngineConfig {
             batch_capacity: 128,
             drop_instantaneous: false,
             allowed_lateness: Duration::hours(24),
+            retain_intervals: false,
+            channel_depth: 64,
+        }
+    }
+
+    /// The per-shard apply context this configuration induces.
+    pub(crate) fn ctx(&self) -> ShardCtx<'_> {
+        ShardCtx {
+            predicates: &self.predicates,
+            drop_instantaneous: self.drop_instantaneous,
+            batch_capacity: self.batch_capacity,
+            allowed_lateness: self.allowed_lateness,
+            retain_intervals: self.retain_intervals,
         }
     }
 
@@ -140,6 +164,21 @@ impl EngineConfig {
         self.allowed_lateness = lateness;
         self
     }
+
+    /// Enables live queries: open visits retain their accepted intervals
+    /// so `live_snapshot` can expose each one's trajectory prefix.
+    #[must_use]
+    pub fn with_live_queries(mut self) -> Self {
+        self.retain_intervals = true;
+        self
+    }
+
+    /// Overrides the parallel engine's per-worker channel depth.
+    #[must_use]
+    pub fn with_channel_depth(mut self, depth: usize) -> Self {
+        self.channel_depth = depth;
+        self
+    }
 }
 
 /// Aggregated engine counters.
@@ -165,6 +204,23 @@ pub struct EngineStats {
     pub anomalies: Anomalies,
 }
 
+impl EngineStats {
+    /// Folds one shard's counters (plus its open-visit census) in — the
+    /// single aggregation point for both engines, so a counter added to
+    /// [`ShardStats`] cannot silently diverge between them.
+    pub fn absorb_shard(&mut self, shard: &ShardStats, open_visits: u64) {
+        self.events += shard.events;
+        self.presences += shard.presences;
+        self.fixes += shard.fixes;
+        self.visits_opened += shard.visits_opened;
+        self.visits_closed += shard.visits_closed;
+        self.episodes += shard.episodes;
+        self.batches_flushed += shard.batches_flushed;
+        self.anomalies.absorb(&shard.anomalies);
+        self.open_visits += open_visits;
+    }
+}
+
 /// Hash-sharded online trajectory-ingestion engine.
 pub struct ShardedEngine {
     config: EngineConfig,
@@ -172,9 +228,25 @@ pub struct ShardedEngine {
     sequence: u64,
 }
 
+/// Reconciles a restored snapshot with the configuration's retention
+/// setting: with retention off, a prefix checkpointed by a retaining
+/// config would otherwise survive restore *frozen* — never extended by
+/// `feed`, yet served by `live_trajectory` as the visit's current
+/// state. Dropping it makes the visit honestly unqueryable instead.
+pub(crate) fn reconcile_retention(
+    snapshot: &mut crate::shard::ShardSnapshot,
+    config: &EngineConfig,
+) {
+    if !config.retain_intervals {
+        for (_, visit) in &mut snapshot.visits {
+            visit.intervals.clear();
+        }
+    }
+}
+
 /// FNV-1a over the visit key: stable across runs and platforms, so a
 /// given visit always lands on the same shard.
-fn shard_of(visit: VisitKey, shards: usize) -> usize {
+pub(crate) fn shard_of(visit: VisitKey, shards: usize) -> usize {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in visit.0.to_le_bytes() {
         h ^= u64::from(b);
@@ -215,13 +287,7 @@ impl ShardedEngine {
     /// Routes one event to its shard.
     pub fn ingest(&mut self, event: StreamEvent) {
         let shard = shard_of(event.visit(), self.config.shards);
-        self.shards[shard].enqueue(
-            event,
-            &self.config.predicates,
-            self.config.drop_instantaneous,
-            self.config.batch_capacity,
-            self.config.allowed_lateness,
-        );
+        self.shards[shard].enqueue(event, &self.config.ctx());
     }
 
     /// Ingests a whole feed.
@@ -233,12 +299,9 @@ impl ShardedEngine {
 
     /// Applies every buffered event now.
     pub fn flush(&mut self) {
+        let ctx = self.config.ctx();
         for shard in &mut self.shards {
-            shard.flush(
-                &self.config.predicates,
-                self.config.drop_instantaneous,
-                self.config.allowed_lateness,
-            );
+            shard.flush(&ctx);
         }
     }
 
@@ -257,10 +320,21 @@ impl ShardedEngine {
     /// End-of-stream: closes every open visit, then drains.
     pub fn finish(&mut self) -> Vec<EmittedEpisode> {
         self.flush();
+        let ctx = self.config.ctx();
         for shard in &mut self.shards {
-            shard.close_all(&self.config.predicates, self.config.drop_instantaneous);
+            shard.close_all(&ctx);
         }
         self.drain()
+    }
+
+    /// A snapshot-consistent cut of the live state: every open visit's
+    /// trajectory prefix (requires
+    /// [`EngineConfig::with_live_queries`]) plus the episodes finalized
+    /// but not yet drained. See [`crate::live_query`] for the
+    /// consistency model and the query surface.
+    pub fn live_snapshot(&mut self) -> LiveSnapshot {
+        self.flush();
+        LiveSnapshot::from_shards(self.shards.iter().map(Shard::live_state).collect())
     }
 
     /// The engine watermark: the *minimum* of the per-shard high-water
@@ -279,16 +353,7 @@ impl ShardedEngine {
     pub fn stats(&self) -> EngineStats {
         let mut stats = EngineStats::default();
         for shard in &self.shards {
-            let s: &ShardStats = shard.stats();
-            stats.events += s.events;
-            stats.presences += s.presences;
-            stats.fixes += s.fixes;
-            stats.visits_opened += s.visits_opened;
-            stats.visits_closed += s.visits_closed;
-            stats.episodes += s.episodes;
-            stats.batches_flushed += s.batches_flushed;
-            stats.anomalies.absorb(&s.anomalies);
-            stats.open_visits += shard.open_visits() as u64;
+            stats.absorb_shard(shard.stats(), shard.open_visits() as u64);
         }
         stats
     }
@@ -302,19 +367,42 @@ impl ShardedEngine {
     /// drained before the checkpoint are never re-emitted, episodes not
     /// yet drained reappear after restore.
     pub fn checkpoint(&mut self, log: &mut LogStore<CheckpointFrame>) -> Result<u64, EngineError> {
+        let frames = self.checkpoint_frames();
+        let sequence = frames[0].sequence;
+        crate::checkpoint::append_and_sync(log, &frames)?;
+        Ok(sequence)
+    }
+
+    /// Flushes and captures one complete checkpoint as frames (one per
+    /// shard, sharing a fresh sequence), without touching a log. The
+    /// building block behind [`ShardedEngine::checkpoint`] and
+    /// [`crate::Checkpointer::commit`]'s compacting commit path.
+    pub fn checkpoint_frames(&mut self) -> Vec<CheckpointFrame> {
         self.flush();
         self.sequence += 1;
         let sequence = self.sequence;
-        for (i, shard) in self.shards.iter().enumerate() {
-            let frame = CheckpointFrame {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| CheckpointFrame {
                 sequence,
                 shard: i as u32,
                 shard_count: self.config.shards as u32,
                 payload: encode_shard(&shard.snapshot(), self.config.predicates.len()),
-            };
-            log.append(&frame)?;
-        }
-        log.sync()?;
+            })
+            .collect()
+    }
+
+    /// Checkpoints through a [`crate::Checkpointer`], which appends or
+    /// compacts per its [`sitm_store::CompactionPolicy`] so the log stays
+    /// bounded. Returns the sequence.
+    pub fn checkpoint_into(
+        &mut self,
+        checkpointer: &mut crate::Checkpointer,
+    ) -> Result<u64, EngineError> {
+        let frames = self.checkpoint_frames();
+        let sequence = frames[0].sequence;
+        checkpointer.commit(frames)?;
         Ok(sequence)
     }
 
@@ -326,25 +414,7 @@ impl ShardedEngine {
         if config.shards == 0 {
             return Err(EngineError::ZeroShards);
         }
-        if frames.len() != config.shards {
-            return Err(EngineError::ShardCountMismatch {
-                configured: config.shards,
-                recorded: frames.len(),
-            });
-        }
-        let mut shards = Vec::with_capacity(config.shards);
-        let mut sequence = 0;
-        for frame in frames {
-            sequence = frame.sequence;
-            let (snapshot, predicate_count) = decode_shard(&frame.payload)?;
-            if predicate_count != config.predicates.len() {
-                return Err(EngineError::PredicateCountMismatch {
-                    configured: config.predicates.len(),
-                    recorded: predicate_count,
-                });
-            }
-            shards.push(Shard::restore(snapshot, &config.predicates));
-        }
+        let (shards, sequence) = crate::checkpoint::decode_checkpoint(&config, frames)?;
         Ok(ShardedEngine {
             config,
             shards,

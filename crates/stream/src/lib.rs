@@ -20,19 +20,58 @@
 //!   per-shard watermark, and deterministic drain order;
 //! * [`engine`] — [`ShardedEngine`]: N shards behind one ingest/drain
 //!   façade, with aggregate statistics and anomaly accounting;
+//! * [`parallel`] — [`ParallelEngine`]: the same N shards, each on its
+//!   own worker thread behind a bounded channel, with the identical
+//!   surface and (provably) identical output;
+//! * [`live_query`] — [`LiveSnapshot`]: snapshot-consistent cuts of the
+//!   live state (open-visit trajectory prefixes + undrained episodes),
+//!   queryable with `sitm_query::Predicate` and federated across engines
+//!   and warehouses via `sitm_query::TrajectorySource`;
 //! * [`checkpoint`] — crash recovery: shard state serialized through
 //!   `sitm-store`'s CRC-framed [`sitm_store::LogStore`] as
 //!   [`sitm_store::CheckpointFrame`]s, restored without duplicating or
-//!   dropping episodes;
+//!   dropping episodes; [`Checkpointer`] keeps the log bounded by
+//!   compacting per a [`sitm_store::CompactionPolicy`];
 //! * [`replay`] — a streaming source over the calibrated Louvre dataset:
 //!   replays `sitm_louvre::generate_dataset` output as one
 //!   timestamp-ordered event feed;
 //! * [`occupancy`] — live per-cell occupancy derived from the feed (the
 //!   "how many visitors are in the Denon wing *right now*" query).
 //!
+//! ## Sequential or parallel?
+//!
+//! [`ShardedEngine`] and [`ParallelEngine`] expose the same surface
+//! (`ingest`/`flush`/`drain`/`finish`/`watermark`/`checkpoint`/
+//! `restore`/`live_snapshot`) and produce the same episodes — the
+//! differential property tests in `tests/parallel_equivalence.rs` pin
+//! parallel == sequential == batch for 1/2/4/8 workers, under shuffled
+//! event interleavings, and across crash/checkpoint/restore. Choose by
+//! deployment shape:
+//!
+//! * **Sequential** — zero threads, zero channel overhead, deterministic
+//!   single-stack profiling; right for tests, embedded replays, and
+//!   small feeds where per-event cost dominates.
+//! * **Parallel** — one worker thread per shard; the caller's thread
+//!   only hashes and batches, so predicate evaluation and visit state
+//!   maintenance scale with cores. Bounded channels give backpressure
+//!   instead of unbounded queueing. Right for live multi-core ingest.
+//!
+//! Correctness does not depend on the choice: a visit lives entirely on
+//! one shard and each shard applies its events in arrival order, so
+//! thread interleavings cannot reorder any visit's history.
+//!
+//! ## Snapshot consistency
+//!
+//! Every barrier operation (`drain`, `live_snapshot`, `checkpoint`) cuts
+//! the stream at the call: events ingested before it are fully visible,
+//! later ones entirely absent — on the parallel engine the cut rides the
+//! per-shard command channels, after the outstanding event batches. See
+//! [`live_query`] for the model and [`checkpoint`] for the exactly-once
+//! recovery contract relative to `drain`.
+//!
 //! ## Batch equivalence
 //!
-//! The engine and the batch extractor share `sitm_core::RunBuilder`, and
+//! The engines and the batch extractor share `sitm_core::RunBuilder`, and
 //! the property tests in `tests/equivalence.rs` replay whole generated
 //! Louvre days through 1, 2, and 8 shards, asserting the streamed episode
 //! sets equal the batch ones visit-for-visit — including across a
@@ -41,17 +80,24 @@
 pub mod checkpoint;
 pub mod engine;
 pub mod event;
+pub mod live_query;
 pub mod occupancy;
+pub mod parallel;
 pub mod replay;
 pub mod segmenter;
 pub mod shard;
 pub mod visit;
 
-pub use checkpoint::{resume_from_log, CheckpointError};
+pub use checkpoint::{
+    resume_compacting, resume_from_log, resume_parallel_compacting, resume_parallel_from_log,
+    CheckpointError, Checkpointer,
+};
 pub use engine::{
     Anomalies, EmittedEpisode, EngineConfig, EngineError, EngineStats, ShardedEngine,
 };
 pub use event::{StreamEvent, VisitKey};
+pub use live_query::{LiveSnapshot, LiveVisit, ShardLive};
 pub use occupancy::OccupancyTracker;
+pub use parallel::ParallelEngine;
 pub use replay::{dataset_events, visit_trajectories};
 pub use segmenter::IncrementalSegmenter;

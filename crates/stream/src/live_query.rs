@@ -1,0 +1,270 @@
+//! Live queries over in-flight shard state.
+//!
+//! The batch query stack (`sitm-query`) sees trajectories only after
+//! their visits close and drain. This module makes the *live* state
+//! visible too: every open visit's trajectory prefix plus every episode
+//! that is finalized but not yet drained — the moving-object meta-model's
+//! "spatio-temporal predicates over live trajectories" served straight
+//! from the engine.
+//!
+//! ## Snapshot consistency
+//!
+//! A [`LiveSnapshot`] is a *consistent cut*: both engines produce it by
+//! flushing, then capturing every shard's state at one point in the
+//! command order, so an event is either entirely visible (its effects on
+//! the prefix, the open runs, and the pending episodes all present) or
+//! entirely absent. For [`crate::ParallelEngine`] the cut is the position
+//! of the snapshot request in each shard's channel: every event ingested
+//! before the request is included, everything after is excluded — the
+//! same contract the sequential engine gets from its in-line flush.
+//! Draining at the same cut (`drain` right after `live_snapshot`) yields
+//! exactly the snapshot's `pending` set.
+//!
+//! Prefix visibility requires interval retention
+//! ([`crate::EngineConfig::with_live_queries`]); without it, open visits
+//! are counted in [`LiveSnapshot::unqueryable`] rather than silently
+//! missing.
+//!
+//! Federation: [`LiveSnapshot`] implements
+//! [`sitm_query::TrajectorySource`], so one `sitm_query::Predicate` can
+//! be evaluated over the union of several engines' live state and any
+//! number of warehouse [`sitm_query::TrajectoryDb`]s via
+//! `sitm_query::federated_*`.
+
+use sitm_core::{SemanticTrajectory, TimeInterval, Timestamp};
+use sitm_query::{Predicate, TrajectorySource};
+
+use crate::event::VisitKey;
+use crate::shard::EmittedEpisode;
+
+/// One open visit's queryable prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveVisit {
+    /// The visit.
+    pub visit: VisitKey,
+    /// The trajectory observed so far (intervals accepted up to the
+    /// snapshot cut).
+    pub trajectory: SemanticTrajectory,
+}
+
+/// One shard's contribution to a live snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardLive {
+    /// Open visits with a queryable prefix, ordered by visit key.
+    pub visits: Vec<LiveVisit>,
+    /// Episodes finalized but not yet drained.
+    pub pending: Vec<EmittedEpisode>,
+    /// The shard's high-water mark.
+    pub watermark: Option<Timestamp>,
+    /// Open visits without a queryable prefix (retention off, no interval
+    /// accepted yet, or an empty annotation set).
+    pub unqueryable: usize,
+}
+
+/// A consistent cut of an engine's live state: the union of every
+/// shard's open-visit prefixes and undrained episodes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LiveSnapshot {
+    /// Open visits with queryable prefixes, ordered by visit key.
+    pub visits: Vec<LiveVisit>,
+    /// Episodes finalized but not yet drained, in the engine's
+    /// deterministic drain order.
+    pub pending: Vec<EmittedEpisode>,
+    /// The engine watermark at the cut (minimum across populated shards).
+    pub watermark: Option<Timestamp>,
+    /// Open visits that could not be queried (see [`ShardLive::unqueryable`]).
+    pub unqueryable: usize,
+}
+
+impl LiveSnapshot {
+    /// Assembles the engine-level snapshot from per-shard cuts.
+    pub fn from_shards(shards: Vec<ShardLive>) -> LiveSnapshot {
+        let mut visits = Vec::new();
+        let mut pending = Vec::new();
+        let mut unqueryable = 0;
+        let mut watermark: Option<Timestamp> = None;
+        for shard in shards {
+            visits.extend(shard.visits);
+            pending.extend(shard.pending);
+            unqueryable += shard.unqueryable;
+            watermark = match (watermark, shard.watermark) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        visits.sort_by_key(|v| v.visit);
+        pending.sort_by_key(|e| e.sort_key());
+        LiveSnapshot {
+            visits,
+            pending,
+            watermark,
+            unqueryable,
+        }
+    }
+
+    /// Merges snapshots from several engines (multi-site federation).
+    /// Each input keeps its own cut; the merge is the plain union.
+    pub fn merge(parts: impl IntoIterator<Item = LiveSnapshot>) -> LiveSnapshot {
+        let shards = parts
+            .into_iter()
+            .map(|p| ShardLive {
+                visits: p.visits,
+                pending: p.pending,
+                watermark: p.watermark,
+                unqueryable: p.unqueryable,
+            })
+            .collect();
+        LiveSnapshot::from_shards(shards)
+    }
+
+    /// Open visits whose prefix satisfies the predicate.
+    pub fn matching(&self, predicate: &Predicate) -> Vec<&LiveVisit> {
+        self.visits
+            .iter()
+            .filter(|v| predicate.matches(&v.trajectory))
+            .collect()
+    }
+
+    /// Number of open visits whose prefix satisfies the predicate.
+    pub fn count_matching(&self, predicate: &Predicate) -> usize {
+        self.visits
+            .iter()
+            .filter(|v| predicate.matches(&v.trajectory))
+            .count()
+    }
+
+    /// Undrained episodes whose time interval overlaps the window — the
+    /// interval-query face of the live state.
+    pub fn episodes_overlapping(&self, window: TimeInterval) -> Vec<&EmittedEpisode> {
+        self.pending
+            .iter()
+            .filter(|e| e.episode.time.overlaps(window))
+            .collect()
+    }
+}
+
+impl TrajectorySource for LiveSnapshot {
+    fn for_each_trajectory(&self, f: &mut dyn FnMut(&SemanticTrajectory)) {
+        for v in &self.visits {
+            f(&v.trajectory);
+        }
+    }
+
+    fn len_hint(&self) -> usize {
+        self.visits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_core::{Annotation, AnnotationSet, Episode, PresenceInterval, Trace, TransitionTaken};
+    use sitm_graph::{LayerIdx, NodeId};
+    use sitm_space::CellRef;
+
+    fn cell(n: usize) -> CellRef {
+        CellRef::new(LayerIdx::from_index(0), NodeId::from_index(n))
+    }
+
+    fn live(v: u64, c: usize, start: i64) -> LiveVisit {
+        let stay = PresenceInterval::new(
+            TransitionTaken::Unknown,
+            cell(c),
+            Timestamp(start),
+            Timestamp(start + 10),
+        );
+        LiveVisit {
+            visit: VisitKey(v),
+            trajectory: SemanticTrajectory::new(
+                format!("mo-{v}"),
+                Trace::new(vec![stay]).unwrap(),
+                AnnotationSet::from_iter([Annotation::goal("visit")]),
+            )
+            .unwrap(),
+        }
+    }
+
+    fn pending(v: u64, start: i64, end: i64) -> EmittedEpisode {
+        EmittedEpisode {
+            visit: VisitKey(v),
+            moving_object: format!("mo-{v}"),
+            predicate: 0,
+            episode: Episode {
+                range: 0..1,
+                time: TimeInterval::new(Timestamp(start), Timestamp(end)),
+                annotations: AnnotationSet::from_iter([Annotation::goal("ep")]),
+            },
+        }
+    }
+
+    #[test]
+    fn from_shards_merges_sorts_and_takes_min_watermark() {
+        let snapshot = LiveSnapshot::from_shards(vec![
+            ShardLive {
+                visits: vec![live(5, 1, 0)],
+                pending: vec![pending(5, 20, 30)],
+                watermark: Some(Timestamp(40)),
+                unqueryable: 1,
+            },
+            ShardLive {
+                visits: vec![live(2, 2, 0)],
+                pending: vec![pending(2, 0, 10)],
+                watermark: Some(Timestamp(25)),
+                unqueryable: 0,
+            },
+            ShardLive {
+                visits: vec![],
+                pending: vec![],
+                watermark: None,
+                unqueryable: 0,
+            },
+        ]);
+        assert_eq!(snapshot.visits.len(), 2);
+        assert_eq!(snapshot.visits[0].visit, VisitKey(2), "sorted by key");
+        assert_eq!(snapshot.pending[0].visit, VisitKey(2), "drain order");
+        assert_eq!(snapshot.watermark, Some(Timestamp(25)), "min across Some");
+        assert_eq!(snapshot.unqueryable, 1);
+    }
+
+    #[test]
+    fn predicate_and_interval_faces() {
+        let snapshot = LiveSnapshot::from_shards(vec![ShardLive {
+            visits: vec![live(1, 1, 0), live(2, 2, 0)],
+            pending: vec![pending(1, 0, 10), pending(2, 50, 60)],
+            watermark: Some(Timestamp(60)),
+            unqueryable: 0,
+        }]);
+        let p = Predicate::VisitedCell(cell(1));
+        assert_eq!(snapshot.count_matching(&p), 1);
+        assert_eq!(snapshot.matching(&p)[0].visit, VisitKey(1));
+        let window = TimeInterval::new(Timestamp(5), Timestamp(20));
+        let eps = snapshot.episodes_overlapping(window);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].visit, VisitKey(1));
+    }
+
+    #[test]
+    fn merge_unions_engine_snapshots_and_source_walks_all() {
+        let a = LiveSnapshot::from_shards(vec![ShardLive {
+            visits: vec![live(1, 1, 0)],
+            pending: vec![],
+            watermark: Some(Timestamp(10)),
+            unqueryable: 0,
+        }]);
+        let b = LiveSnapshot::from_shards(vec![ShardLive {
+            visits: vec![live(2, 1, 0)],
+            pending: vec![],
+            watermark: None,
+            unqueryable: 2,
+        }]);
+        let merged = LiveSnapshot::merge([a, b]);
+        assert_eq!(merged.visits.len(), 2);
+        assert_eq!(merged.unqueryable, 2);
+        assert_eq!(merged.watermark, Some(Timestamp(10)));
+        assert_eq!(
+            sitm_query::federated_count(&Predicate::VisitedCell(cell(1)), &[&merged]),
+            2
+        );
+        assert_eq!(merged.len_hint(), 2);
+    }
+}

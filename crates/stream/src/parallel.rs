@@ -1,0 +1,531 @@
+//! The thread-per-shard parallel runtime.
+//!
+//! [`ParallelEngine`] runs each hash partition on its own worker thread
+//! behind a bounded SPSC-style channel (std `mpsc::sync_channel`; the
+//! engine is the only producer per channel). Because a visit's whole
+//! lifetime lands on one shard and each channel preserves send order,
+//! the interleaving of *threads* cannot change the per-visit event
+//! order — so the parallel engine produces byte-identical episodes to
+//! [`ShardedEngine`] and to the batch extractor (property-tested in
+//! `tests/parallel_equivalence.rs` for 1/2/4/8 workers, shuffled feeds,
+//! and crash/restore mid-stream).
+//!
+//! ## Design
+//!
+//! * **Routing** — the caller's thread hashes each event to its shard
+//!   ([FNV-1a], identical to the sequential engine) and buffers it in a
+//!   per-shard router batch; a full batch is one channel send, amortizing
+//!   synchronization to `1/batch_capacity` per event.
+//! * **Backpressure** — channels are bounded at
+//!   [`EngineConfig::channel_depth`] batches; a producer outrunning a
+//!   shard blocks instead of ballooning memory.
+//! * **Barriers** — `flush`/`drain`/`finish`/`checkpoint`/`live_snapshot`
+//!   fan a control command (carrying a reply channel) to every worker
+//!   *after* the outstanding batches, then await all replies. A shard's
+//!   reply therefore reflects exactly the events ingested before the
+//!   call: the same consistent cut the sequential engine gets from its
+//!   in-line flush, which is what makes drains and live snapshots
+//!   snapshot-consistent (see [`crate::live_query`]).
+//! * **Shared predicate table** — one `Arc<EngineConfig>` serves every
+//!   worker; `IntervalPredicate: Send + Sync` makes that sound.
+//!
+//! A worker that panics poisons its channel; subsequent engine calls
+//! panic with the shard index rather than silently dropping data.
+//!
+//! [FNV-1a]: crate::engine
+
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use sitm_core::Timestamp;
+use sitm_store::{CheckpointFrame, LogStore};
+
+use crate::checkpoint::{encode_shard, Checkpointer};
+use crate::engine::{shard_of, EngineConfig, EngineError, EngineStats};
+use crate::event::StreamEvent;
+use crate::live_query::{LiveSnapshot, ShardLive};
+use crate::shard::{EmittedEpisode, Shard, ShardSnapshot, ShardStats};
+
+/// What a worker can be asked to do. Every control variant carries its
+/// reply channel, so barriers are just "send, then receive".
+enum Command {
+    /// Apply a batch of routed events.
+    Batch(Vec<StreamEvent>),
+    /// Apply everything buffered, then acknowledge.
+    Flush(Sender<()>),
+    /// Flush, then hand over the finalized-but-undrained episodes.
+    Drain(Sender<Vec<EmittedEpisode>>),
+    /// Flush, close every open visit, then hand over the episodes.
+    Finish(Sender<Vec<EmittedEpisode>>),
+    /// Flush, then hand over a checkpointable snapshot.
+    Snapshot(Sender<ShardSnapshot>),
+    /// Flush, then hand over the live-query state.
+    Live(Sender<ShardLive>),
+    /// Report counters (without flushing, mirroring the sequential
+    /// engine's non-flushing `stats`/`watermark`).
+    Report(Sender<ShardReport>),
+}
+
+/// One shard's counter reply.
+struct ShardReport {
+    stats: ShardStats,
+    open_visits: usize,
+    watermark: Option<Timestamp>,
+}
+
+/// One worker thread and its command channel.
+struct Worker {
+    tx: Option<SyncSender<Command>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Worker {
+    fn spawn(index: usize, shard: Shard, config: Arc<EngineConfig>) -> Worker {
+        let (tx, rx) = mpsc::sync_channel(config.channel_depth.max(1));
+        let handle = std::thread::Builder::new()
+            .name(format!("sitm-shard-{index}"))
+            .spawn(move || worker_loop(rx, shard, &config))
+            .expect("spawn shard worker thread");
+        Worker {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    fn send(&self, index: usize, command: Command) {
+        if self
+            .tx
+            .as_ref()
+            .expect("worker channel open")
+            .send(command)
+            .is_err()
+        {
+            panic!("shard worker {index} died (panicked); engine state is lost");
+        }
+    }
+}
+
+/// The worker body: apply commands in channel order until the engine
+/// drops the sender.
+fn worker_loop(rx: Receiver<Command>, mut shard: Shard, config: &EngineConfig) {
+    let ctx = config.ctx();
+    while let Ok(command) = rx.recv() {
+        match command {
+            Command::Batch(events) => {
+                for event in events {
+                    shard.enqueue(event, &ctx);
+                }
+            }
+            Command::Flush(reply) => {
+                shard.flush(&ctx);
+                let _ = reply.send(());
+            }
+            Command::Drain(reply) => {
+                shard.flush(&ctx);
+                let _ = reply.send(shard.take_pending());
+            }
+            Command::Finish(reply) => {
+                shard.flush(&ctx);
+                shard.close_all(&ctx);
+                let _ = reply.send(shard.take_pending());
+            }
+            Command::Snapshot(reply) => {
+                shard.flush(&ctx);
+                let _ = reply.send(shard.snapshot());
+            }
+            Command::Live(reply) => {
+                shard.flush(&ctx);
+                let _ = reply.send(shard.live_state());
+            }
+            Command::Report(reply) => {
+                let _ = reply.send(ShardReport {
+                    stats: *shard.stats(),
+                    open_visits: shard.open_visits(),
+                    watermark: shard.watermark(),
+                });
+            }
+        }
+    }
+}
+
+/// Thread-per-shard online trajectory-ingestion engine: the same
+/// surface and the same output as [`crate::ShardedEngine`], with shards
+/// applied concurrently.
+pub struct ParallelEngine {
+    config: Arc<EngineConfig>,
+    workers: Vec<Worker>,
+    routers: Vec<Vec<StreamEvent>>,
+    sequence: u64,
+}
+
+impl ParallelEngine {
+    /// Builds an engine, spawning one worker thread per shard.
+    pub fn new(config: EngineConfig) -> Result<Self, EngineError> {
+        if config.shards == 0 {
+            return Err(EngineError::ZeroShards);
+        }
+        let shards = (0..config.shards).map(|_| Shard::new()).collect();
+        Ok(Self::from_shards(config, shards))
+    }
+
+    /// Rebuilds an engine from the frames of one complete checkpoint
+    /// (ordered by shard). The configuration must match the one the
+    /// checkpoint was taken under — including interval retention, which
+    /// is the operator's contract just like the predicate table.
+    pub fn restore(config: EngineConfig, frames: &[&CheckpointFrame]) -> Result<Self, EngineError> {
+        if config.shards == 0 {
+            return Err(EngineError::ZeroShards);
+        }
+        let (shards, sequence) = crate::checkpoint::decode_checkpoint(&config, frames)?;
+        let mut engine = Self::from_shards(config, shards);
+        engine.sequence = sequence;
+        Ok(engine)
+    }
+
+    fn from_shards(config: EngineConfig, shards: Vec<Shard>) -> Self {
+        let config = Arc::new(config);
+        let workers = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| Worker::spawn(i, shard, Arc::clone(&config)))
+            .collect();
+        let routers = (0..config.shards).map(|_| Vec::new()).collect();
+        ParallelEngine {
+            config,
+            workers,
+            routers,
+            sequence: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Worker threads running (one per shard).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Raises the checkpoint sequence counter to at least `sequence`
+    /// (see [`crate::ShardedEngine::advance_sequence_to`]).
+    pub fn advance_sequence_to(&mut self, sequence: u64) {
+        self.sequence = self.sequence.max(sequence);
+    }
+
+    /// Routes one event toward its shard's worker. The event is handed
+    /// to the channel once the shard's router batch fills (or at the
+    /// next barrier), so per-event cost on the caller's thread is one
+    /// hash and one push.
+    pub fn ingest(&mut self, event: StreamEvent) {
+        let shard = shard_of(event.visit(), self.config.shards);
+        self.routers[shard].push(event);
+        if self.routers[shard].len() >= self.config.batch_capacity.max(1) {
+            let batch = std::mem::take(&mut self.routers[shard]);
+            self.workers[shard].send(shard, Command::Batch(batch));
+        }
+    }
+
+    /// Ingests a whole feed.
+    pub fn ingest_all<I: IntoIterator<Item = StreamEvent>>(&mut self, events: I) {
+        for event in events {
+            self.ingest(event);
+        }
+    }
+
+    /// Sends every non-empty router batch to its worker.
+    fn dispatch(&mut self) {
+        for (i, buffer) in self.routers.iter_mut().enumerate() {
+            if !buffer.is_empty() {
+                let batch = std::mem::take(buffer);
+                self.workers[i].send(i, Command::Batch(batch));
+            }
+        }
+    }
+
+    /// Fans `make`'s command to every worker, then collects the replies
+    /// in shard order. This is the barrier primitive: a reply reflects
+    /// everything sent to that worker before the command.
+    fn barrier<T>(&self, make: impl Fn(Sender<T>) -> Command) -> Vec<T> {
+        let pending: Vec<Receiver<T>> = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, worker)| {
+                let (tx, rx) = mpsc::channel();
+                worker.send(i, make(tx));
+                rx
+            })
+            .collect();
+        pending
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| {
+                rx.recv()
+                    .unwrap_or_else(|_| panic!("shard worker {i} died before replying"))
+            })
+            .collect()
+    }
+
+    /// Applies every buffered event now (a full barrier).
+    pub fn flush(&mut self) {
+        self.dispatch();
+        self.barrier(Command::Flush);
+    }
+
+    /// Flushes, then returns every episode finalized since the last
+    /// drain, in the same deterministic global order as
+    /// [`crate::ShardedEngine::drain`].
+    pub fn drain(&mut self) -> Vec<EmittedEpisode> {
+        self.dispatch();
+        let mut out: Vec<EmittedEpisode> =
+            self.barrier(Command::Drain).into_iter().flatten().collect();
+        out.sort_by_key(|a| a.sort_key());
+        out
+    }
+
+    /// End-of-stream: closes every open visit, then drains.
+    pub fn finish(&mut self) -> Vec<EmittedEpisode> {
+        self.dispatch();
+        let mut out: Vec<EmittedEpisode> = self
+            .barrier(Command::Finish)
+            .into_iter()
+            .flatten()
+            .collect();
+        out.sort_by_key(|a| a.sort_key());
+        out
+    }
+
+    /// A snapshot-consistent cut of the live state across every worker
+    /// (see [`crate::live_query`] for the consistency model).
+    pub fn live_snapshot(&mut self) -> LiveSnapshot {
+        self.dispatch();
+        LiveSnapshot::from_shards(self.barrier(Command::Live))
+    }
+
+    /// The engine watermark (minimum across populated shards), counting
+    /// only applied events — the exact semantics of
+    /// [`crate::ShardedEngine::watermark`].
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.barrier(Command::Report)
+            .into_iter()
+            .filter_map(|r| r.watermark)
+            .min()
+    }
+
+    /// Aggregated counters across every worker.
+    pub fn stats(&self) -> EngineStats {
+        let mut stats = EngineStats::default();
+        for report in self.barrier(Command::Report) {
+            stats.absorb_shard(&report.stats, report.open_visits as u64);
+        }
+        stats
+    }
+
+    /// Flushes and captures one complete checkpoint as frames (one per
+    /// shard, sharing a fresh sequence).
+    pub fn checkpoint_frames(&mut self) -> Vec<CheckpointFrame> {
+        self.dispatch();
+        self.sequence += 1;
+        let sequence = self.sequence;
+        self.barrier(Command::Snapshot)
+            .into_iter()
+            .enumerate()
+            .map(|(i, snapshot)| CheckpointFrame {
+                sequence,
+                shard: i as u32,
+                shard_count: self.config.shards as u32,
+                payload: encode_shard(&snapshot, self.config.predicates.len()),
+            })
+            .collect()
+    }
+
+    /// Persists a consistent snapshot of every shard into `log`, then
+    /// fsyncs. Same recovery contract as
+    /// [`crate::ShardedEngine::checkpoint`]: exactly-once relative to
+    /// `drain`.
+    pub fn checkpoint(&mut self, log: &mut LogStore<CheckpointFrame>) -> Result<u64, EngineError> {
+        let frames = self.checkpoint_frames();
+        let sequence = frames[0].sequence;
+        crate::checkpoint::append_and_sync(log, &frames)?;
+        Ok(sequence)
+    }
+
+    /// Checkpoints through a compacting [`Checkpointer`], keeping the
+    /// log bounded. Returns the sequence.
+    pub fn checkpoint_into(&mut self, checkpointer: &mut Checkpointer) -> Result<u64, EngineError> {
+        let frames = self.checkpoint_frames();
+        let sequence = frames[0].sequence;
+        checkpointer.commit(frames)?;
+        Ok(sequence)
+    }
+}
+
+impl Drop for ParallelEngine {
+    /// Closes every command channel and joins the workers. Events still
+    /// sitting in router batches are dropped — like the sequential
+    /// engine, dropping without `drain`/`finish`/`checkpoint` abandons
+    /// unflushed work. A worker that panicked is joined and ignored
+    /// (its panic already surfaced on the engine thread if any call
+    /// touched it); double panics during unwinding are avoided.
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            drop(worker.tx.take());
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                // Keep drop infallible: a worker that panicked already
+                // printed its panic; joining just reclaims the thread.
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{sort_feed, VisitKey};
+    use crate::ShardedEngine;
+    use sitm_core::{
+        Annotation, AnnotationSet, IntervalPredicate, PresenceInterval, TransitionTaken,
+    };
+    use sitm_graph::{LayerIdx, NodeId};
+    use sitm_space::CellRef;
+
+    fn cell(n: usize) -> CellRef {
+        CellRef::new(LayerIdx::from_index(0), NodeId::from_index(n))
+    }
+
+    fn label(s: &str) -> AnnotationSet {
+        AnnotationSet::from_iter([Annotation::goal(s)])
+    }
+
+    fn config(shards: usize) -> EngineConfig {
+        EngineConfig::new(vec![
+            (IntervalPredicate::in_cells([cell(1)]), label("one")),
+            (IntervalPredicate::any(), label("whole")),
+        ])
+        .with_shards(shards)
+        .with_batch_capacity(4)
+        .with_channel_depth(2)
+    }
+
+    fn feed() -> Vec<StreamEvent> {
+        let mut events = Vec::new();
+        for v in 0..12u64 {
+            let base = v as i64 * 10;
+            events.push(StreamEvent::VisitOpened {
+                visit: VisitKey(v),
+                moving_object: format!("mo-{v}"),
+                annotations: label("visit"),
+                at: Timestamp(base),
+            });
+            for (i, c) in [1usize, 0, 1].iter().enumerate() {
+                events.push(StreamEvent::Presence {
+                    visit: VisitKey(v),
+                    interval: PresenceInterval::new(
+                        TransitionTaken::Unknown,
+                        cell(*c),
+                        Timestamp(base + i as i64 * 100),
+                        Timestamp(base + i as i64 * 100 + 50),
+                    ),
+                });
+            }
+            events.push(StreamEvent::VisitClosed {
+                visit: VisitKey(v),
+                at: Timestamp(base + 250),
+            });
+        }
+        sort_feed(&mut events);
+        events
+    }
+
+    #[test]
+    fn matches_sequential_engine_for_every_worker_count() {
+        let mut reference = ShardedEngine::new(config(2)).unwrap();
+        reference.ingest_all(feed());
+        let expected = reference.finish();
+        for workers in [1usize, 2, 4, 8] {
+            let mut engine = ParallelEngine::new(config(workers)).unwrap();
+            assert_eq!(engine.workers(), workers);
+            engine.ingest_all(feed());
+            assert_eq!(engine.finish(), expected, "{workers} workers");
+            let stats = engine.stats();
+            assert_eq!(stats.visits_opened, 12);
+            assert_eq!(stats.open_visits, 0);
+        }
+    }
+
+    #[test]
+    fn incremental_drains_are_consistent_cuts() {
+        let events = feed();
+        let mid = events.len() / 2;
+        let mut engine = ParallelEngine::new(config(4)).unwrap();
+        engine.ingest_all(events[..mid].to_vec());
+        let mut delivered = engine.drain();
+        engine.ingest_all(events[mid..].to_vec());
+        delivered.extend(engine.finish());
+        delivered.sort_by_key(|a| a.sort_key());
+
+        let mut oneshot = ParallelEngine::new(config(4)).unwrap();
+        oneshot.ingest_all(events);
+        assert_eq!(delivered, oneshot.finish());
+    }
+
+    #[test]
+    fn watermark_and_stats_are_aggregated() {
+        let mut engine = ParallelEngine::new(config(3)).unwrap();
+        assert_eq!(engine.watermark(), None);
+        engine.ingest_all(feed());
+        engine.flush();
+        assert!(engine.watermark() >= Some(Timestamp(250)));
+        let stats = engine.stats();
+        assert_eq!(stats.visits_opened, 12);
+        assert_eq!(stats.presences, 36);
+        assert_eq!(stats.anomalies.total(), 0);
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        assert!(matches!(
+            ParallelEngine::new(config(0)),
+            Err(EngineError::ZeroShards)
+        ));
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_across_threads() {
+        let events = feed();
+        let mid = events.len() / 2;
+        let path = std::env::temp_dir().join(format!(
+            "sitm-parallel-ckpt-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let mut reference = ParallelEngine::new(config(4)).unwrap();
+        reference.ingest_all(events.iter().cloned());
+        let expected = reference.finish();
+
+        let mut delivered;
+        {
+            let mut engine = ParallelEngine::new(config(4)).unwrap();
+            engine.ingest_all(events[..mid].iter().cloned());
+            delivered = engine.drain();
+            let (mut log, _, _) = LogStore::<CheckpointFrame>::open(&path).unwrap();
+            engine.checkpoint(&mut log).unwrap();
+        }
+        let (mut restored, _log, report) =
+            crate::checkpoint::resume_parallel_from_log(config(4), &path).unwrap();
+        assert!(report.is_clean());
+        restored.ingest_all(events[mid..].iter().cloned());
+        delivered.extend(restored.finish());
+        delivered.sort_by_key(|a| a.sort_key());
+        assert_eq!(delivered, expected);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -12,7 +12,28 @@ use std::collections::BTreeMap;
 use sitm_core::{AnnotationSet, Duration, Episode, IntervalPredicate, Timestamp};
 
 use crate::event::{StreamEvent, VisitKey};
+use crate::live_query::{LiveVisit, ShardLive};
 use crate::visit::{Anomalies, VisitSnapshot, VisitState};
+
+/// The engine settings a shard needs to apply events, bundled so engine
+/// and worker call sites stay stable as knobs are added. Borrowed from
+/// the [`EngineConfig`](crate::EngineConfig) in force (predicates are
+/// shared, not cloned — with `IntervalPredicate: Send + Sync` one table
+/// serves every worker thread).
+#[derive(Clone, Copy)]
+pub struct ShardCtx<'a> {
+    /// The episode detectors: `(P_ep, A'_traj)` pairs.
+    pub predicates: &'a [(IntervalPredicate, AnnotationSet)],
+    /// Drop zero-duration detections on arrival.
+    pub drop_instantaneous: bool,
+    /// Inbox size before buffered events are applied in a batch.
+    pub batch_capacity: usize,
+    /// How long after a visit closes its late events are still fenced.
+    pub allowed_lateness: Duration,
+    /// Keep accepted intervals in memory (and in checkpoints) so live
+    /// queries can see each open visit's trajectory prefix.
+    pub retain_intervals: bool,
+}
 
 /// An episode the engine has finalized, tagged with its provenance.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,49 +131,32 @@ impl Shard {
     }
 
     /// Buffers one event; applies the whole inbox when it reaches
-    /// `batch_capacity`.
-    pub fn enqueue(
-        &mut self,
-        event: StreamEvent,
-        predicates: &[(IntervalPredicate, AnnotationSet)],
-        drop_instantaneous: bool,
-        batch_capacity: usize,
-        allowed_lateness: Duration,
-    ) {
+    /// [`ShardCtx::batch_capacity`].
+    pub fn enqueue(&mut self, event: StreamEvent, ctx: &ShardCtx<'_>) {
         self.inbox.push(event);
-        if self.inbox.len() >= batch_capacity.max(1) {
-            self.flush(predicates, drop_instantaneous, allowed_lateness);
+        if self.inbox.len() >= ctx.batch_capacity.max(1) {
+            self.flush(ctx);
         }
     }
 
     /// Applies every buffered event in arrival order.
-    pub fn flush(
-        &mut self,
-        predicates: &[(IntervalPredicate, AnnotationSet)],
-        drop_instantaneous: bool,
-        allowed_lateness: Duration,
-    ) {
+    pub fn flush(&mut self, ctx: &ShardCtx<'_>) {
         if self.inbox.is_empty() {
             return;
         }
         self.stats.batches_flushed += 1;
         let events = std::mem::take(&mut self.inbox);
         for event in events {
-            self.apply(event, predicates, drop_instantaneous);
+            self.apply(event, ctx);
         }
         // Retire fence entries no realistic straggler can still hit.
         if let Some(watermark) = self.watermark {
             self.closed
-                .retain(|_, &mut closed_at| closed_at + allowed_lateness >= watermark);
+                .retain(|_, &mut closed_at| closed_at + ctx.allowed_lateness >= watermark);
         }
     }
 
-    fn apply(
-        &mut self,
-        event: StreamEvent,
-        predicates: &[(IntervalPredicate, AnnotationSet)],
-        drop_instantaneous: bool,
-    ) {
+    fn apply(&mut self, event: StreamEvent, ctx: &ShardCtx<'_>) {
         self.stats.events += 1;
         self.watermark = Some(match self.watermark {
             Some(w) => w.max(event.time()),
@@ -177,39 +181,21 @@ impl Shard {
                 self.stats.visits_opened += 1;
                 self.visits.insert(
                     visit.0,
-                    VisitState::new(
-                        moving_object,
-                        annotations,
-                        predicates,
-                        &mut self.stats.anomalies,
-                    ),
+                    VisitState::new(moving_object, annotations, ctx, &mut self.stats.anomalies),
                 );
             }
             StreamEvent::Fix { visit, cell, at } => {
                 self.stats.fixes += 1;
-                self.ensure_visit(visit, predicates);
+                self.ensure_visit(visit, ctx);
                 let state = self.visits.get_mut(&visit.0).expect("ensured above");
-                state.apply_fix(
-                    cell,
-                    at,
-                    predicates,
-                    drop_instantaneous,
-                    &mut self.scratch,
-                    &mut self.stats.anomalies,
-                );
+                state.apply_fix(cell, at, ctx, &mut self.scratch, &mut self.stats.anomalies);
                 self.collect(visit);
             }
             StreamEvent::Presence { visit, interval } => {
                 self.stats.presences += 1;
-                self.ensure_visit(visit, predicates);
+                self.ensure_visit(visit, ctx);
                 let state = self.visits.get_mut(&visit.0).expect("ensured above");
-                state.apply_presence(
-                    interval,
-                    predicates,
-                    drop_instantaneous,
-                    &mut self.scratch,
-                    &mut self.stats.anomalies,
-                );
+                state.apply_presence(interval, ctx, &mut self.scratch, &mut self.stats.anomalies);
                 self.collect(visit);
             }
             StreamEvent::VisitClosed { visit, at } => {
@@ -217,12 +203,7 @@ impl Shard {
                     self.stats.anomalies.after_close += 1;
                     return;
                 };
-                state.close(
-                    predicates,
-                    drop_instantaneous,
-                    &mut self.scratch,
-                    &mut self.stats.anomalies,
-                );
+                state.close(ctx, &mut self.scratch, &mut self.stats.anomalies);
                 self.stats.visits_closed += 1;
                 self.closed.insert(visit.0, at);
                 let moving_object = state.moving_object.clone();
@@ -239,7 +220,7 @@ impl Shard {
         }
     }
 
-    fn ensure_visit(&mut self, visit: VisitKey, predicates: &[(IntervalPredicate, AnnotationSet)]) {
+    fn ensure_visit(&mut self, visit: VisitKey, ctx: &ShardCtx<'_>) {
         if !self.visits.contains_key(&visit.0) {
             // An observation for a visit never opened: open it implicitly
             // with a synthetic identity rather than dropping data.
@@ -250,7 +231,7 @@ impl Shard {
                 VisitState::new(
                     format!("implicit-{}", visit.0),
                     AnnotationSet::from_iter([sitm_core::Annotation::goal("streamed")]),
-                    predicates,
+                    ctx,
                     &mut self.stats.anomalies,
                 ),
             );
@@ -283,11 +264,7 @@ impl Shard {
     }
 
     /// Closes every open visit (end-of-stream).
-    pub fn close_all(
-        &mut self,
-        predicates: &[(IntervalPredicate, AnnotationSet)],
-        drop_instantaneous: bool,
-    ) {
+    pub fn close_all(&mut self, ctx: &ShardCtx<'_>) {
         let keys: Vec<u64> = self.visits.keys().copied().collect();
         for key in keys {
             let at = self.watermark.unwrap_or(Timestamp(0));
@@ -296,9 +273,32 @@ impl Shard {
                     visit: VisitKey(key),
                     at,
                 },
-                predicates,
-                drop_instantaneous,
+                ctx,
             );
+        }
+    }
+
+    /// The shard's contribution to a live-query snapshot: every open
+    /// visit's trajectory prefix (when intervals are retained), plus a
+    /// copy of the finalized-but-undrained episodes. Visits without a
+    /// queryable prefix yet are counted, not silently dropped.
+    pub fn live_state(&self) -> ShardLive {
+        let mut visits = Vec::new();
+        let mut unqueryable = 0usize;
+        for (key, state) in &self.visits {
+            match state.live_trajectory() {
+                Some(trajectory) => visits.push(LiveVisit {
+                    visit: VisitKey(*key),
+                    trajectory,
+                }),
+                None => unqueryable += 1,
+            }
+        }
+        ShardLive {
+            visits,
+            pending: self.pending.clone(),
+            watermark: self.watermark,
+            unqueryable,
         }
     }
 
@@ -385,6 +385,20 @@ mod tests {
         vec![(IntervalPredicate::in_cells([cell(1)]), label("one"))]
     }
 
+    fn ctx<'a>(
+        predicates: &'a [(IntervalPredicate, AnnotationSet)],
+        batch_capacity: usize,
+        allowed_lateness: Duration,
+    ) -> ShardCtx<'a> {
+        ShardCtx {
+            predicates,
+            drop_instantaneous: false,
+            batch_capacity,
+            allowed_lateness,
+            retain_intervals: false,
+        }
+    }
+
     fn presence(v: u64, c: usize, start: i64, end: i64) -> StreamEvent {
         StreamEvent::Presence {
             visit: VisitKey(v),
@@ -400,6 +414,7 @@ mod tests {
     #[test]
     fn inbox_batches_and_flushes_at_capacity() {
         let preds = preds();
+        let ctx = ctx(&preds, 3, Duration::hours(1));
         let mut shard = Shard::new();
         let open = StreamEvent::VisitOpened {
             visit: VisitKey(1),
@@ -407,11 +422,11 @@ mod tests {
             annotations: label("visit"),
             at: Timestamp(0),
         };
-        shard.enqueue(open, &preds, false, 3, Duration::hours(1));
-        shard.enqueue(presence(1, 1, 0, 10), &preds, false, 3, Duration::hours(1));
+        shard.enqueue(open, &ctx);
+        shard.enqueue(presence(1, 1, 0, 10), &ctx);
         assert_eq!(shard.inbox_len(), 2, "below capacity: buffered");
         assert_eq!(shard.open_visits(), 0);
-        shard.enqueue(presence(1, 0, 10, 20), &preds, false, 3, Duration::hours(1));
+        shard.enqueue(presence(1, 0, 10, 20), &ctx);
         assert_eq!(shard.inbox_len(), 0, "capacity reached: flushed");
         assert_eq!(shard.open_visits(), 1);
         assert_eq!(shard.stats().batches_flushed, 1);
@@ -424,6 +439,7 @@ mod tests {
     #[test]
     fn close_all_flushes_open_runs_and_fences_late_events() {
         let preds = preds();
+        let ctx = ctx(&preds, 1, Duration::hours(1));
         let mut shard = Shard::new();
         shard.enqueue(
             StreamEvent::VisitOpened {
@@ -432,18 +448,15 @@ mod tests {
                 annotations: label("visit"),
                 at: Timestamp(0),
             },
-            &preds,
-            false,
-            1,
-            Duration::hours(1),
+            &ctx,
         );
-        shard.enqueue(presence(4, 1, 0, 10), &preds, false, 1, Duration::hours(1));
-        shard.close_all(&preds, false);
+        shard.enqueue(presence(4, 1, 0, 10), &ctx);
+        shard.close_all(&ctx);
         assert_eq!(shard.open_visits(), 0);
         let pending = shard.take_pending();
         assert_eq!(pending.len(), 1, "open run closed at end-of-stream");
         // A late event for the closed visit is fenced.
-        shard.enqueue(presence(4, 1, 20, 30), &preds, false, 1, Duration::hours(1));
+        shard.enqueue(presence(4, 1, 20, 30), &ctx);
         assert_eq!(shard.stats().anomalies.after_close, 1);
         assert!(shard.take_pending().is_empty());
     }
@@ -452,6 +465,7 @@ mod tests {
     fn fence_entries_retire_past_allowed_lateness() {
         let preds = preds();
         let lateness = Duration::hours(1);
+        let ctx = ctx(&preds, 1, lateness);
         let mut shard = Shard::new();
         shard.enqueue(
             StreamEvent::VisitOpened {
@@ -460,30 +474,24 @@ mod tests {
                 annotations: label("visit"),
                 at: Timestamp(0),
             },
-            &preds,
-            false,
-            1,
-            lateness,
+            &ctx,
         );
         shard.enqueue(
             StreamEvent::VisitClosed {
                 visit: VisitKey(5),
                 at: Timestamp(10),
             },
-            &preds,
-            false,
-            1,
-            lateness,
+            &ctx,
         );
         // Within the lateness horizon: still fenced.
-        shard.enqueue(presence(5, 1, 100, 110), &preds, false, 1, lateness);
+        shard.enqueue(presence(5, 1, 100, 110), &ctx);
         assert_eq!(shard.stats().anomalies.after_close, 1);
         // A different visit's event pushes the watermark past the horizon,
         // retiring the fence entry; a straggler then re-opens implicitly
         // instead of being fenced (documented trade-off of bounded state).
         let far = 10 + lateness.as_seconds() + 1;
-        shard.enqueue(presence(6, 1, far, far + 5), &preds, false, 1, lateness);
-        shard.enqueue(presence(5, 1, far + 1, far + 2), &preds, false, 1, lateness);
+        shard.enqueue(presence(6, 1, far, far + 5), &ctx);
+        shard.enqueue(presence(5, 1, far + 1, far + 2), &ctx);
         assert_eq!(shard.stats().anomalies.after_close, 1, "no longer fenced");
         assert_eq!(
             shard.stats().anomalies.implicit_opens,
@@ -495,11 +503,12 @@ mod tests {
     #[test]
     fn implicit_open_adopts_orphan_observations() {
         let preds = preds();
+        let ctx = ctx(&preds, 1, Duration::hours(1));
         let mut shard = Shard::new();
-        shard.enqueue(presence(9, 1, 5, 10), &preds, false, 1, Duration::hours(1));
+        shard.enqueue(presence(9, 1, 5, 10), &ctx);
         assert_eq!(shard.stats().anomalies.implicit_opens, 1);
         assert_eq!(shard.open_visits(), 1);
-        shard.close_all(&preds, false);
+        shard.close_all(&ctx);
         let pending = shard.take_pending();
         assert_eq!(pending.len(), 1);
         assert_eq!(pending[0].moving_object, "implicit-9");
@@ -508,6 +517,7 @@ mod tests {
     #[test]
     fn snapshot_restore_preserves_everything() {
         let preds = preds();
+        let ctx = ctx(&preds, 1, Duration::hours(1));
         let mut shard = Shard::new();
         shard.enqueue(
             StreamEvent::VisitOpened {
@@ -516,15 +526,47 @@ mod tests {
                 annotations: label("visit"),
                 at: Timestamp(0),
             },
-            &preds,
-            false,
-            1,
-            Duration::hours(1),
+            &ctx,
         );
-        shard.enqueue(presence(2, 1, 0, 10), &preds, false, 1, Duration::hours(1));
+        shard.enqueue(presence(2, 1, 0, 10), &ctx);
         let snap = shard.snapshot();
         let restored = Shard::restore(snap.clone(), &preds);
         assert_eq!(restored.snapshot(), snap);
         assert_eq!(restored.watermark(), Some(Timestamp(0)));
+    }
+
+    #[test]
+    fn live_state_exposes_prefixes_and_pending() {
+        let preds = preds();
+        let retaining = ShardCtx {
+            retain_intervals: true,
+            ..ctx(&preds, 1, Duration::hours(1))
+        };
+        let mut shard = Shard::new();
+        shard.enqueue(
+            StreamEvent::VisitOpened {
+                visit: VisitKey(3),
+                moving_object: "m".into(),
+                annotations: label("visit"),
+                at: Timestamp(0),
+            },
+            &retaining,
+        );
+        shard.enqueue(presence(3, 1, 0, 10), &retaining);
+        shard.enqueue(presence(3, 0, 10, 20), &retaining);
+        let live = shard.live_state();
+        assert_eq!(live.visits.len(), 1);
+        assert_eq!(live.visits[0].visit, VisitKey(3));
+        assert_eq!(live.visits[0].trajectory.trace().len(), 2);
+        assert_eq!(live.pending.len(), 1, "cell-1 run closed by cell-0 stay");
+        assert_eq!(live.unqueryable, 0);
+        assert_eq!(live.watermark, Some(Timestamp(10)));
+        // Without retention the visit is counted as unqueryable instead.
+        let plain = ctx(&preds, 1, Duration::hours(1));
+        let mut bare = Shard::new();
+        bare.enqueue(presence(7, 1, 0, 10), &plain);
+        let live = bare.live_state();
+        assert!(live.visits.is_empty());
+        assert_eq!(live.unqueryable, 1);
     }
 }

@@ -7,12 +7,14 @@
 //! trace, because a live stream has no way to reject history.
 
 use sitm_core::{
-    AnnotationSet, Episode, IntervalPredicate, PresenceInterval, Timestamp, TransitionTaken,
+    AnnotationSet, Episode, IntervalPredicate, PresenceInterval, SemanticTrajectory, Timestamp,
+    Trace, TransitionTaken,
 };
 use sitm_graph::LayerIdx;
 use sitm_space::CellRef;
 
 use crate::segmenter::{IncrementalSegmenter, SegmenterSnapshot};
+use crate::shard::ShardCtx;
 
 /// Counters for events the engine had to reject or adapt. Mirrors the
 /// failure modes of the batch validators (`TraceError`,
@@ -90,6 +92,9 @@ pub struct VisitSnapshot {
     pub open_fix: Option<OpenFix>,
     /// Segmenter state.
     pub segmenter: SegmenterSnapshot,
+    /// Accepted intervals, retained only under
+    /// [`ShardCtx::retain_intervals`] (live-query support).
+    pub intervals: Vec<PresenceInterval>,
 }
 
 /// One visit's full online state.
@@ -103,6 +108,7 @@ pub struct VisitState {
     layer: Option<LayerIdx>,
     last_start: Option<Timestamp>,
     open_fix: Option<OpenFix>,
+    intervals: Vec<PresenceInterval>,
 }
 
 impl VisitState {
@@ -110,10 +116,10 @@ impl VisitState {
     pub fn new(
         moving_object: String,
         annotations: AnnotationSet,
-        predicates: &[(IntervalPredicate, AnnotationSet)],
+        ctx: &ShardCtx<'_>,
         anomalies: &mut Anomalies,
     ) -> Self {
-        let segmenter = IncrementalSegmenter::new(predicates, &annotations);
+        let segmenter = IncrementalSegmenter::new(ctx.predicates, &annotations);
         anomalies.not_proper += segmenter.suppressed_count() as u64;
         VisitState {
             moving_object,
@@ -122,6 +128,7 @@ impl VisitState {
             layer: None,
             last_start: None,
             open_fix: None,
+            intervals: Vec::new(),
         }
     }
 
@@ -130,13 +137,25 @@ impl VisitState {
         self.segmenter.index()
     }
 
+    /// The trajectory prefix observed so far, when intervals are retained
+    /// ([`ShardCtx::retain_intervals`]) and at least one was accepted.
+    /// `None` with retention off, before the first accepted interval, or
+    /// when the visit's annotation set is empty (Def. 3.1 requires a
+    /// non-empty `A_traj`).
+    pub fn live_trajectory(&self) -> Option<SemanticTrajectory> {
+        if self.intervals.is_empty() {
+            return None;
+        }
+        let trace = Trace::new(self.intervals.clone()).ok()?;
+        SemanticTrajectory::new(self.moving_object.clone(), trace, self.annotations.clone()).ok()
+    }
+
     /// Ingests a raw fix, possibly closing a coalesced presence interval.
     pub fn apply_fix(
         &mut self,
         cell: CellRef,
         at: Timestamp,
-        predicates: &[(IntervalPredicate, AnnotationSet)],
-        drop_instantaneous: bool,
+        ctx: &ShardCtx<'_>,
         out: &mut Vec<(usize, Episode)>,
         anomalies: &mut Anomalies,
     ) {
@@ -150,7 +169,7 @@ impl VisitState {
             }
             _ => {
                 if let Some(interval) = self.close_open_fix() {
-                    self.feed(interval, predicates, drop_instantaneous, out, anomalies);
+                    self.feed(interval, ctx, out, anomalies);
                 }
                 if self.last_start.is_some_and(|last| at < last) {
                     anomalies.out_of_order += 1;
@@ -169,27 +188,25 @@ impl VisitState {
     pub fn apply_presence(
         &mut self,
         interval: PresenceInterval,
-        predicates: &[(IntervalPredicate, AnnotationSet)],
-        drop_instantaneous: bool,
+        ctx: &ShardCtx<'_>,
         out: &mut Vec<(usize, Episode)>,
         anomalies: &mut Anomalies,
     ) {
         if let Some(coalesced) = self.close_open_fix() {
-            self.feed(coalesced, predicates, drop_instantaneous, out, anomalies);
+            self.feed(coalesced, ctx, out, anomalies);
         }
-        self.feed(interval, predicates, drop_instantaneous, out, anomalies);
+        self.feed(interval, ctx, out, anomalies);
     }
 
     /// Ends the visit: closes the open fix and every open run.
     pub fn close(
         &mut self,
-        predicates: &[(IntervalPredicate, AnnotationSet)],
-        drop_instantaneous: bool,
+        ctx: &ShardCtx<'_>,
         out: &mut Vec<(usize, Episode)>,
         anomalies: &mut Anomalies,
     ) {
         if let Some(interval) = self.close_open_fix() {
-            self.feed(interval, predicates, drop_instantaneous, out, anomalies);
+            self.feed(interval, ctx, out, anomalies);
         }
         self.segmenter.finish(out);
     }
@@ -210,12 +227,11 @@ impl VisitState {
     fn feed(
         &mut self,
         interval: PresenceInterval,
-        predicates: &[(IntervalPredicate, AnnotationSet)],
-        drop_instantaneous: bool,
+        ctx: &ShardCtx<'_>,
         out: &mut Vec<(usize, Episode)>,
         anomalies: &mut Anomalies,
     ) {
-        if drop_instantaneous && interval.is_instantaneous() {
+        if ctx.drop_instantaneous && interval.is_instantaneous() {
             anomalies.instantaneous_dropped += 1;
             return;
         }
@@ -229,7 +245,10 @@ impl VisitState {
         }
         self.layer.get_or_insert(interval.cell.layer);
         self.last_start = Some(interval.start());
-        self.segmenter.observe(predicates, &interval, out);
+        if ctx.retain_intervals {
+            self.intervals.push(interval.clone());
+        }
+        self.segmenter.observe(ctx.predicates, &interval, out);
     }
 
     /// Captures checkpointable state.
@@ -241,6 +260,7 @@ impl VisitState {
             last_start: self.last_start,
             open_fix: self.open_fix.clone(),
             segmenter: self.segmenter.snapshot(),
+            intervals: self.intervals.clone(),
         }
     }
 
@@ -256,6 +276,7 @@ impl VisitState {
             layer: snapshot.layer,
             last_start: snapshot.last_start,
             open_fix: snapshot.open_fix,
+            intervals: snapshot.intervals,
         }
     }
 }
@@ -263,7 +284,7 @@ impl VisitState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sitm_core::Annotation;
+    use sitm_core::{Annotation, Duration};
     use sitm_graph::NodeId;
 
     fn cell(n: usize) -> CellRef {
@@ -278,25 +299,39 @@ mod tests {
         vec![(IntervalPredicate::in_cells([cell(1)]), label("one"))]
     }
 
+    fn ctx<'a>(
+        predicates: &'a [(IntervalPredicate, AnnotationSet)],
+        drop_instantaneous: bool,
+    ) -> ShardCtx<'a> {
+        ShardCtx {
+            predicates,
+            drop_instantaneous,
+            batch_capacity: 1,
+            allowed_lateness: Duration::hours(1),
+            retain_intervals: false,
+        }
+    }
+
     fn new_state(anoms: &mut Anomalies) -> VisitState {
-        VisitState::new("mo".into(), label("visit"), &preds(), anoms)
+        VisitState::new("mo".into(), label("visit"), &ctx(&preds(), false), anoms)
     }
 
     #[test]
     fn fixes_coalesce_into_presence_intervals() {
         let preds = preds();
+        let ctx = ctx(&preds, false);
         let mut anoms = Anomalies::default();
         let mut state = new_state(&mut anoms);
         let mut out = Vec::new();
         // Three fixes in cell 1, one in cell 0: one interval [0, 20] in
         // cell 1 closed by the cell change, then [20, 20] open in cell 0.
-        state.apply_fix(cell(1), Timestamp(0), &preds, false, &mut out, &mut anoms);
-        state.apply_fix(cell(1), Timestamp(10), &preds, false, &mut out, &mut anoms);
-        state.apply_fix(cell(1), Timestamp(20), &preds, false, &mut out, &mut anoms);
+        state.apply_fix(cell(1), Timestamp(0), &ctx, &mut out, &mut anoms);
+        state.apply_fix(cell(1), Timestamp(10), &ctx, &mut out, &mut anoms);
+        state.apply_fix(cell(1), Timestamp(20), &ctx, &mut out, &mut anoms);
         assert!(out.is_empty());
-        state.apply_fix(cell(0), Timestamp(25), &preds, false, &mut out, &mut anoms);
+        state.apply_fix(cell(0), Timestamp(25), &ctx, &mut out, &mut anoms);
         assert_eq!(state.intervals_seen(), 1);
-        state.close(&preds, false, &mut out, &mut anoms);
+        state.close(&ctx, &mut out, &mut anoms);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].1.time.start, Timestamp(0));
         assert_eq!(out[0].1.time.end, Timestamp(20));
@@ -306,6 +341,7 @@ mod tests {
     #[test]
     fn out_of_order_and_mixed_layer_are_dropped_and_counted() {
         let preds = preds();
+        let ctx = ctx(&preds, false);
         let mut anoms = Anomalies::default();
         let mut state = new_state(&mut anoms);
         let mut out = Vec::new();
@@ -315,14 +351,14 @@ mod tests {
             Timestamp(100),
             Timestamp(200),
         );
-        state.apply_presence(ok, &preds, false, &mut out, &mut anoms);
+        state.apply_presence(ok, &ctx, &mut out, &mut anoms);
         let stale = PresenceInterval::new(
             TransitionTaken::Unknown,
             cell(1),
             Timestamp(50),
             Timestamp(60),
         );
-        state.apply_presence(stale, &preds, false, &mut out, &mut anoms);
+        state.apply_presence(stale, &ctx, &mut out, &mut anoms);
         assert_eq!(anoms.out_of_order, 1);
         let other_layer = PresenceInterval::new(
             TransitionTaken::Unknown,
@@ -330,7 +366,7 @@ mod tests {
             Timestamp(200),
             Timestamp(300),
         );
-        state.apply_presence(other_layer, &preds, false, &mut out, &mut anoms);
+        state.apply_presence(other_layer, &ctx, &mut out, &mut anoms);
         assert_eq!(anoms.mixed_layer, 1);
         assert_eq!(state.intervals_seen(), 1, "both rejects left no trace");
     }
@@ -338,6 +374,8 @@ mod tests {
     #[test]
     fn instantaneous_filter_honours_config() {
         let preds = preds();
+        let keep = ctx(&preds, false);
+        let drop = ctx(&preds, true);
         let mut anoms = Anomalies::default();
         let mut state = new_state(&mut anoms);
         let mut out = Vec::new();
@@ -347,23 +385,57 @@ mod tests {
             Timestamp(5),
             Timestamp(5),
         );
-        state.apply_presence(zero.clone(), &preds, true, &mut out, &mut anoms);
+        state.apply_presence(zero.clone(), &drop, &mut out, &mut anoms);
         assert_eq!(state.intervals_seen(), 0);
         assert_eq!(anoms.instantaneous_dropped, 1);
-        state.apply_presence(zero, &preds, false, &mut out, &mut anoms);
+        state.apply_presence(zero, &keep, &mut out, &mut anoms);
         assert_eq!(state.intervals_seen(), 1, "kept when the filter is off");
     }
 
     #[test]
     fn snapshot_round_trips_through_restore() {
         let preds = preds();
+        let ctx = ctx(&preds, false);
         let mut anoms = Anomalies::default();
         let mut state = new_state(&mut anoms);
         let mut out = Vec::new();
-        state.apply_fix(cell(1), Timestamp(0), &preds, false, &mut out, &mut anoms);
+        state.apply_fix(cell(1), Timestamp(0), &ctx, &mut out, &mut anoms);
         let snap = state.snapshot();
         assert_eq!(snap.open_fix.as_ref().unwrap().cell, cell(1));
         let restored = VisitState::restore(snap.clone(), &preds);
         assert_eq!(restored.snapshot(), snap);
+    }
+
+    #[test]
+    fn retention_exposes_the_live_trajectory_prefix() {
+        let preds = preds();
+        let retaining = ShardCtx {
+            retain_intervals: true,
+            ..ctx(&preds, false)
+        };
+        let mut anoms = Anomalies::default();
+        let mut state = VisitState::new("mo".into(), label("visit"), &retaining, &mut anoms);
+        let mut out = Vec::new();
+        assert!(state.live_trajectory().is_none(), "nothing accepted yet");
+        let stay = |c: usize, s: i64, e: i64| {
+            PresenceInterval::new(
+                TransitionTaken::Unknown,
+                cell(c),
+                Timestamp(s),
+                Timestamp(e),
+            )
+        };
+        state.apply_presence(stay(1, 0, 10), &retaining, &mut out, &mut anoms);
+        state.apply_presence(stay(0, 10, 30), &retaining, &mut out, &mut anoms);
+        let live = state.live_trajectory().expect("prefix available");
+        assert_eq!(live.trace().len(), 2);
+        assert_eq!(live.span().end, Timestamp(30));
+        // The prefix survives a checkpoint round-trip.
+        let restored = VisitState::restore(state.snapshot(), &preds);
+        assert_eq!(restored.live_trajectory().expect("restored prefix"), live);
+        // Without retention the prefix is simply absent.
+        let mut plain = new_state(&mut anoms);
+        plain.apply_presence(stay(1, 0, 10), &ctx(&preds, false), &mut out, &mut anoms);
+        assert!(plain.live_trajectory().is_none());
     }
 }

@@ -1,0 +1,306 @@
+//! The differential contract of the parallel runtime, property-tested.
+//!
+//! For arbitrary generated Louvre days, three independent implementations
+//! must agree per visit and per predicate, episodes compared
+//! order-insensitively within each (visit, predicate) group:
+//!
+//! * `ParallelEngine` (thread-per-shard, for 1/2/4/8 workers),
+//! * `ShardedEngine` (the sequential reference),
+//! * batch `maximal_episodes` over each completed trajectory.
+//!
+//! Randomized event interleavings (seeded Fisher–Yates shuffles that
+//! break global time order but not per-visit causality, plus fully
+//! arbitrary shuffles) must leave parallel == sequential, anomalies
+//! included. A crash/checkpoint/restore mid-stream — including restoring
+//! a sequential checkpoint into a parallel engine and vice versa — must
+//! lose and duplicate nothing.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sitm_core::{
+    maximal_episodes, Annotation, AnnotationSet, Duration, Episode, IntervalPredicate,
+    SemanticTrajectory,
+};
+use sitm_louvre::{
+    build_louvre, generate_dataset, zone_key, Dataset, GeneratorConfig, LouvreModel,
+    PaperCalibration,
+};
+use sitm_space::CellRef;
+use sitm_store::{CheckpointFrame, LogStore};
+use sitm_stream::{
+    dataset_events, resume_from_log, resume_parallel_from_log, visit_trajectories, EmittedEpisode,
+    EngineConfig, ParallelEngine, ShardedEngine, StreamEvent, VisitKey,
+};
+
+fn calibration(singles: usize, doubles: usize, mean_dets: usize) -> PaperCalibration {
+    let visitors = singles + doubles;
+    let revisits = doubles;
+    let visits = visitors + revisits;
+    let detections = visits * mean_dets;
+    PaperCalibration {
+        visits,
+        visitors,
+        returning_visitors: doubles,
+        revisits,
+        detections,
+        transitions: detections - visits,
+        ..PaperCalibration::default()
+    }
+}
+
+fn generated(seed: u64, singles: usize, doubles: usize, k: usize) -> Dataset {
+    generate_dataset(&GeneratorConfig {
+        seed,
+        calibration: calibration(singles, doubles, k),
+        ..GeneratorConfig::default()
+    })
+}
+
+fn zone_cell(model: &LouvreModel, id: u32) -> CellRef {
+    model
+        .space
+        .resolve(&zone_key(id))
+        .expect("paper zone resolves")
+}
+
+fn label(s: &str) -> AnnotationSet {
+    AnnotationSet::from_iter([Annotation::goal(s)])
+}
+
+fn predicates(model: &LouvreModel) -> Vec<(IntervalPredicate, AnnotationSet)> {
+    let exit_chain = [
+        zone_cell(model, 60887),
+        zone_cell(model, 60888),
+        zone_cell(model, 60890),
+    ];
+    let hall = zone_cell(model, 60886);
+    vec![
+        (
+            IntervalPredicate::in_cells(exit_chain),
+            label("exit museum"),
+        ),
+        (
+            IntervalPredicate::min_duration(Duration::minutes(5)),
+            label("long stay"),
+        ),
+        (IntervalPredicate::any(), label("whole visit")),
+        (IntervalPredicate::in_cells([hall]), label("in hall")),
+    ]
+}
+
+fn config(model: &LouvreModel, shards: usize, batch_capacity: usize) -> EngineConfig {
+    EngineConfig::new(predicates(model))
+        .with_shards(shards)
+        .with_batch_capacity(batch_capacity)
+        .with_channel_depth(4)
+}
+
+/// Order-insensitive grouping: per (visit, predicate), episodes sorted by
+/// their stable content key rather than emission order.
+fn grouped(emitted: &[EmittedEpisode]) -> BTreeMap<(u64, usize), Vec<Episode>> {
+    let mut map: BTreeMap<(u64, usize), Vec<Episode>> = BTreeMap::new();
+    for e in emitted {
+        map.entry((e.visit.0, e.predicate))
+            .or_default()
+            .push(e.episode.clone());
+    }
+    for episodes in map.values_mut() {
+        episodes.sort_by_key(|e| (e.range.start, e.range.end, e.time.start, e.time.end));
+    }
+    map
+}
+
+fn batch_reference(
+    trajectories: &[(VisitKey, SemanticTrajectory)],
+    predicates: &[(IntervalPredicate, AnnotationSet)],
+) -> BTreeMap<(u64, usize), Vec<Episode>> {
+    let mut reference = BTreeMap::new();
+    for (key, trajectory) in trajectories {
+        for (p, (predicate, annotations)) in predicates.iter().enumerate() {
+            let mut episodes = maximal_episodes(trajectory, predicate, annotations.clone())
+                .expect("labels differ from A_traj");
+            episodes.sort_by_key(|e| (e.range.start, e.range.end, e.time.start, e.time.end));
+            if !episodes.is_empty() {
+                reference.insert((key.0, p), episodes);
+            }
+        }
+    }
+    reference
+}
+
+/// Seeded Fisher–Yates.
+fn shuffle(events: &mut [StreamEvent], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..events.len()).rev() {
+        let j = rng.random_range(0..i + 1);
+        events.swap(i, j);
+    }
+}
+
+struct TempLog(std::path::PathBuf);
+
+impl TempLog {
+    fn new(tag: u64) -> TempLog {
+        TempLog(
+            std::env::temp_dir().join(format!("sitm-par-equiv-{}-{tag}.log", std::process::id())),
+        )
+    }
+}
+
+impl Drop for TempLog {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline differential: parallel == sequential == batch for
+    /// every worker count, on a well-formed feed.
+    #[test]
+    fn parallel_equals_sequential_equals_batch(
+        seed in 0u64..1_000_000,
+        singles in 6usize..18,
+        doubles in 0usize..5,
+        k in 2usize..6,
+        batch_capacity in 1usize..48,
+    ) {
+        let model = build_louvre();
+        let dataset = generated(seed, singles, doubles, k);
+        let trajectories = visit_trajectories(&model, &dataset);
+        let events = dataset_events(&model, &dataset);
+        prop_assert!(!trajectories.is_empty());
+
+        let reference = batch_reference(&trajectories, &predicates(&model));
+
+        let mut sequential = ShardedEngine::new(config(&model, 4, batch_capacity))
+            .expect("engine");
+        sequential.ingest_all(events.iter().cloned());
+        let sequential_out = grouped(&sequential.finish());
+        prop_assert_eq!(&sequential_out, &reference, "sequential diverged from batch");
+
+        for workers in [1usize, 2, 4, 8] {
+            let mut parallel = ParallelEngine::new(config(&model, workers, batch_capacity))
+                .expect("engine");
+            parallel.ingest_all(events.iter().cloned());
+            let parallel_out = grouped(&parallel.finish());
+            prop_assert_eq!(
+                &parallel_out, &reference,
+                "{} workers diverged from batch", workers
+            );
+            let stats = parallel.stats();
+            prop_assert_eq!(stats.anomalies.total(), 0, "well-formed feed");
+            prop_assert_eq!(stats.open_visits, 0, "finish closed everything");
+            prop_assert_eq!(stats.visits_opened, trajectories.len() as u64);
+        }
+    }
+
+    /// Arbitrary interleavings — including causality-breaking ones that
+    /// trigger the anomaly paths — leave the two engines byte-identical
+    /// (same episodes, same anomaly counters, same incremental drains).
+    #[test]
+    fn shuffled_feeds_keep_parallel_and_sequential_identical(
+        seed in 0u64..1_000_000,
+        shuffle_seed in 0u64..1_000_000,
+        singles in 5usize..14,
+        k in 2usize..6,
+        workers in 1usize..9,
+        cut_permille in 0usize..1000,
+    ) {
+        let model = build_louvre();
+        let dataset = generated(seed, singles, 1, k);
+        let mut events = dataset_events(&model, &dataset);
+        shuffle(&mut events, shuffle_seed);
+        let cut = events.len() * cut_permille / 1000;
+
+        let mut sequential = ShardedEngine::new(config(&model, workers, 8)).expect("engine");
+        let mut parallel = ParallelEngine::new(config(&model, workers, 8)).expect("engine");
+
+        sequential.ingest_all(events[..cut].iter().cloned());
+        parallel.ingest_all(events[..cut].iter().cloned());
+        prop_assert_eq!(sequential.drain(), parallel.drain(), "mid-stream drain");
+
+        sequential.ingest_all(events[cut..].iter().cloned());
+        parallel.ingest_all(events[cut..].iter().cloned());
+        prop_assert_eq!(sequential.finish(), parallel.finish(), "final drain");
+
+        let s = sequential.stats();
+        let p = parallel.stats();
+        prop_assert_eq!(s.anomalies, p.anomalies, "anomaly accounting diverged");
+        prop_assert_eq!(s.events, p.events);
+        prop_assert_eq!(s.visits_opened, p.visits_opened);
+        prop_assert_eq!(s.visits_closed, p.visits_closed);
+        prop_assert_eq!(s.episodes, p.episodes);
+        prop_assert_eq!(sequential.watermark(), parallel.watermark());
+    }
+
+    /// Crash/checkpoint/restore mid-stream loses and duplicates nothing,
+    /// and checkpoints are portable across runtimes: a parallel engine's
+    /// checkpoint restores into a sequential engine and vice versa.
+    #[test]
+    fn crash_restore_is_exact_and_runtime_portable(
+        seed in 0u64..1_000_000,
+        singles in 5usize..14,
+        k in 2usize..6,
+        cut_permille in 0usize..1000,
+        workers in 1usize..9,
+        cross in proptest::bool::ANY,
+    ) {
+        let model = build_louvre();
+        let dataset = generated(seed, singles, 1, k);
+        let events = dataset_events(&model, &dataset);
+        let cut = events.len() * cut_permille / 1000;
+
+        // Reference: one uninterrupted parallel run.
+        let mut oneshot = ParallelEngine::new(config(&model, workers, 8)).expect("engine");
+        oneshot.ingest_all(events.iter().cloned());
+        let expected = oneshot.finish();
+
+        let log_path = TempLog::new(seed ^ ((cut as u64) << 20) ^ ((workers as u64) << 40));
+        let mut delivered;
+        {
+            let mut engine = ParallelEngine::new(config(&model, workers, 8)).expect("engine");
+            engine.ingest_all(events[..cut].iter().cloned());
+            delivered = engine.drain();
+            let (mut log, _, _) = LogStore::<CheckpointFrame>::open(&log_path.0).expect("log");
+            engine.checkpoint(&mut log).expect("checkpoint");
+            // Engine dropped here without seeing events[cut..]: the crash.
+        }
+        // Restore into the *other* runtime half the time.
+        let rest = if cross {
+            let (mut restored, _log, report) = resume_from_log(
+                config(&model, workers, 8), &log_path.0,
+            ).expect("sequential restore of parallel checkpoint");
+            prop_assert!(report.is_clean());
+            restored.ingest_all(events[cut..].iter().cloned());
+            restored.finish()
+        } else {
+            let (mut restored, _log, report) = resume_parallel_from_log(
+                config(&model, workers, 8), &log_path.0,
+            ).expect("parallel restore");
+            prop_assert!(report.is_clean());
+            restored.ingest_all(events[cut..].iter().cloned());
+            restored.finish()
+        };
+        delivered.extend(rest);
+        delivered.sort_by_key(|a| a.sort_key());
+        prop_assert_eq!(delivered, expected);
+    }
+}
+
+/// Non-proptest smoke check that the worker-count sweep really exercises
+/// multiple threads (guards against a refactor quietly collapsing the
+/// parallel path onto the caller's thread).
+#[test]
+fn parallel_engine_spawns_one_worker_per_shard() {
+    let model = build_louvre();
+    for workers in [1usize, 2, 4, 8] {
+        let engine = ParallelEngine::new(config(&model, workers, 8)).expect("engine");
+        assert_eq!(engine.workers(), workers);
+    }
+}

@@ -18,9 +18,9 @@
 //! | [`louvre`] | `sitm-louvre` | the Louvre case study & calibrated synthetic dataset |
 //! | [`mining`] | `sitm-mining` | sequential patterns, Markov models, similarity, profiling |
 //! | [`analytics`] | `sitm-analytics` | descriptive statistics, choropleths, reports |
-//! | [`query`] | `sitm-query` | indexed trajectory retrieval: predicates, plans, aggregation |
-//! | [`store`] | `sitm-store` | binary codec, CRC-framed append-only log, crash recovery |
-//! | [`stream`] | `sitm-stream` | sharded online ingestion with batch-equivalent episode detection |
+//! | [`query`] | `sitm-query` | indexed trajectory retrieval: predicates, plans, aggregation, federation |
+//! | [`store`] | `sitm-store` | binary codec, CRC-framed append-only log, crash recovery, compaction |
+//! | [`stream`] | `sitm-stream` | sequential & thread-per-shard online ingestion, live queries, batch-equivalent episodes |
 //! | [`ontology`] | `sitm-ontology` | triple store + CIDOC-CRM-flavoured museum knowledge base |
 //!
 //! ## Quickstart
