@@ -1,0 +1,147 @@
+//! Machine-readable performance snapshot: times the hot paths this
+//! repo's perf work targets and writes `BENCH_3.json` (group → ns/op)
+//! — the seed of the cross-PR perf trajectory, uploaded as a CI
+//! artifact so regressions are diffable without parsing criterion
+//! output.
+//!
+//! Usage: `cargo run --release -p sitm-bench --bin bench_json [path]`
+//! (default output path: `BENCH_3.json` in the working directory).
+//!
+//! The wall-clock numbers carry the same caveat as `bench_stream`: on a
+//! single-core container the parallel groups measure scheduler overhead
+//! with no cores to win, so compare `skewed_ingest/parallel_4` against
+//! `skewed_ingest/sequential_1` only on multi-core hosts. The
+//! `live_query/indexed_count` vs `live_query/scan_count` ratio (the
+//! ≥ 5× acceptance target) is core-count independent.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sitm_bench::stream_feeds::{louvre_feed, skewed_feed, stream_config as config};
+use sitm_louvre::build_louvre;
+use sitm_query::Predicate;
+use sitm_stream::{ParallelEngine, ShardedEngine, StreamEvent};
+
+/// Median-of-runs wall-clock timer: ns per invocation of `body`.
+fn time_ns<T>(runs: usize, mut body: impl FnMut() -> T) -> u64 {
+    // One warmup outside the measurement.
+    let _ = body();
+    let mut samples: Vec<u64> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            let result = body();
+            let ns = start.elapsed().as_nanos() as u64;
+            std::hint::black_box(result);
+            ns
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
+    let model = build_louvre();
+    let louvre = louvre_feed(&model);
+    let skewed = skewed_feed(400, 20_000, 1.2);
+    let mut results: Vec<(String, u64)> = Vec::new();
+
+    // Uniform ingest, sequential vs work-stealing parallel.
+    results.push((
+        "stream/ingest/sequential_8".into(),
+        time_ns(5, || {
+            let mut engine = ShardedEngine::new(config(&model, 8)).expect("engine");
+            engine.ingest_all(louvre.iter().cloned());
+            engine.finish().len()
+        }),
+    ));
+    for workers in [1usize, 4] {
+        results.push((
+            format!("stream/parallel_ingest/parallel_{workers}"),
+            time_ns(5, || {
+                let mut engine = ParallelEngine::new(config(&model, workers)).expect("engine");
+                engine.ingest_all(louvre.iter().cloned());
+                engine.finish().len()
+            }),
+        ));
+    }
+
+    // Zipf-skewed ingest: the work-stealing router's target case.
+    results.push((
+        "stream/skewed_ingest/sequential_1".into(),
+        time_ns(5, || {
+            let mut engine = ShardedEngine::new(config(&model, 1)).expect("engine");
+            engine.ingest_all(skewed.iter().cloned());
+            engine.finish().len()
+        }),
+    ));
+    for workers in [1usize, 4] {
+        results.push((
+            format!("stream/skewed_ingest/parallel_{workers}"),
+            time_ns(5, || {
+                let mut engine = ParallelEngine::new(config(&model, workers)).expect("engine");
+                engine.ingest_all(skewed.iter().cloned());
+                engine.finish().len()
+            }),
+        ));
+    }
+
+    // Live queries at 500-visit scale: all visits held open (closes
+    // stripped) so the live population is the full day, indexed vs scan.
+    let no_closes: Vec<StreamEvent> = louvre
+        .iter()
+        .filter(|e| !matches!(e, StreamEvent::VisitClosed { .. }))
+        .cloned()
+        .collect();
+    let mut engine = ParallelEngine::new(config(&model, 4).with_live_queries()).expect("engine");
+    engine.ingest_all(no_closes);
+    let snapshot = engine.live_snapshot();
+    // The flagship selective live query — "where is this visitor right
+    // now" — answered by the moving-object postings vs a scan of every
+    // open prefix.
+    let target = snapshot.visits[snapshot.visits.len() / 2]
+        .trajectory
+        .moving_object
+        .clone();
+    let selective = Predicate::MovingObject(target);
+    results.push((
+        "stream/live_query/snapshot".into(),
+        time_ns(9, || engine.live_snapshot().visits.len()),
+    ));
+    results.push((
+        "stream/live_query/indexed_count".into(),
+        time_ns(199, || snapshot.count_matching(&selective)),
+    ));
+    results.push((
+        "stream/live_query/scan_count".into(),
+        time_ns(199, || snapshot.count_matching_scan(&selective)),
+    ));
+
+    let mut json = String::from("{\n");
+    for (i, (group, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        writeln!(json, "  \"{group}\": {ns}{comma}").expect("write json");
+    }
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_3.json");
+    print!("{json}");
+    eprintln!("wrote {out_path} ({} groups, ns/op, median)", results.len());
+
+    let indexed = results
+        .iter()
+        .find(|(g, _)| g.ends_with("indexed_count"))
+        .expect("indexed group")
+        .1
+        .max(1);
+    let scan = results
+        .iter()
+        .find(|(g, _)| g.ends_with("scan_count"))
+        .expect("scan group")
+        .1;
+    eprintln!(
+        "live-query speedup (scan/indexed): {:.1}x",
+        scan as f64 / indexed as f64
+    );
+}

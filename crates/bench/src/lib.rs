@@ -8,5 +8,6 @@
 //! paper-vs-measured records.
 
 pub mod repro;
+pub mod stream_feeds;
 
 pub use repro::*;

@@ -2,7 +2,7 @@
 //!
 //! The warehouse view of the SITM (Mireku Kwakye's trajectory-warehouse
 //! line in the related work) has trajectories living in *several places
-//! at once*: an indexed [`TrajectoryDb`](crate::TrajectoryDb) of
+//! at once*: an indexed [`TrajectoryDb`] of
 //! completed visits, and the live shard state of one or more streaming
 //! engines. A query like "who is on the Fig. 5 exit path right now?"
 //! must see the union.
@@ -10,9 +10,24 @@
 //! [`TrajectorySource`] abstracts one such place: anything that can walk
 //! its trajectories. The `federated_*` entry points evaluate a
 //! [`Predicate`] over the union of many sources without materializing
-//! it — each source is scanned in place and matches stream through a
+//! it — each source is visited in place and matches stream through a
 //! callback, so a shard's live state is never copied wholesale into a
 //! central collection.
+//!
+//! ## Index-served selection
+//!
+//! A source that owns secondary indexes overrides
+//! [`TrajectorySource::candidates`] /
+//! [`TrajectorySource::for_each_candidate`] to narrow a predicate to a
+//! *sound candidate superset* before any trajectory is touched —
+//! [`TrajectoryDb`] answers from its cell/annotation/moving-object
+//! postings and interval trees, and `sitm-stream`'s `LiveSnapshot`
+//! answers from its incrementally maintained live postings. The
+//! federation layer always re-checks the full predicate on every
+//! candidate, so an indexed source and a scanning source are
+//! indistinguishable in their results (only in their cost —
+//! [`federated_explain`] reports each source's access path). Sources
+//! without indexes inherit the default full-scan behaviour.
 //!
 //! Consistency is per-source: each source contributes a snapshot of its
 //! own state at scan time (streaming engines hand out snapshot-consistent
@@ -22,8 +37,9 @@
 
 use sitm_core::SemanticTrajectory;
 
-use crate::index::TrajectoryDb;
+use crate::index::{CandidateSet, TrajectoryDb};
 use crate::predicate::Predicate;
+use crate::query::{AccessPath, QueryPlan};
 
 /// One queryable collection of semantic trajectories (a warehouse, one
 /// engine's live state, one remote site's result cache, ...).
@@ -35,6 +51,23 @@ pub trait TrajectorySource {
     /// buffers.
     fn len_hint(&self) -> usize {
         0
+    }
+
+    /// Index consultation: a sound candidate superset for `predicate`,
+    /// as positions in this source's iteration order. The default —
+    /// [`CandidateSet::All`] — declares the source unindexed; override
+    /// it (together with [`TrajectorySource::for_each_candidate`]) when
+    /// the source can narrow selections without scanning.
+    fn candidates(&self, _predicate: &Predicate) -> CandidateSet {
+        CandidateSet::All
+    }
+
+    /// Walks a sound superset of the trajectories matching `predicate`,
+    /// in the source's own order. Callers must still re-check the
+    /// predicate on every yielded trajectory. The default scans;
+    /// indexed sources override it to visit only their candidates.
+    fn for_each_candidate(&self, _predicate: &Predicate, f: &mut dyn FnMut(&SemanticTrajectory)) {
+        self.for_each_trajectory(f);
     }
 }
 
@@ -70,17 +103,38 @@ impl TrajectorySource for TrajectoryDb {
     fn len_hint(&self) -> usize {
         self.len()
     }
+
+    fn candidates(&self, predicate: &Predicate) -> CandidateSet {
+        TrajectoryDb::candidates(self, predicate)
+    }
+
+    fn for_each_candidate(&self, predicate: &Predicate, f: &mut dyn FnMut(&SemanticTrajectory)) {
+        match TrajectoryDb::candidates(self, predicate) {
+            CandidateSet::All => self.for_each_trajectory(f),
+            CandidateSet::Ids(ids) => {
+                for id in ids {
+                    if let Some(t) = self.get(id) {
+                        f(t);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Calls `f` for every trajectory across `sources` that satisfies
-/// `predicate`, tagged with the index of the source it came from.
+/// `predicate`, tagged with the index of the source it came from. Each
+/// source is narrowed through its own indexes when it has any
+/// ([`TrajectorySource::for_each_candidate`]); the predicate is
+/// re-checked on every candidate, so results are identical to a full
+/// scan of every source.
 pub fn federated_for_each(
     predicate: &Predicate,
     sources: &[&dyn TrajectorySource],
     mut f: impl FnMut(usize, &SemanticTrajectory),
 ) {
     for (i, source) in sources.iter().enumerate() {
-        source.for_each_trajectory(&mut |t| {
+        source.for_each_candidate(predicate, &mut |t| {
             if predicate.matches(t) {
                 f(i, t);
             }
@@ -105,6 +159,31 @@ pub fn federated_matching(
     let mut out = Vec::new();
     federated_for_each(predicate, sources, |_, t| out.push(t.clone()));
     out
+}
+
+/// Plans (without executing) the predicate against every source: one
+/// [`QueryPlan`] per source, in source order, reporting whether that
+/// participant will be index-narrowed or scanned.
+pub fn federated_explain(
+    predicate: &Predicate,
+    sources: &[&dyn TrajectorySource],
+) -> Vec<QueryPlan> {
+    sources
+        .iter()
+        .map(|source| {
+            let access = match source.candidates(predicate) {
+                CandidateSet::All => AccessPath::FullScan,
+                CandidateSet::Ids(ids) => AccessPath::IndexCandidates {
+                    candidates: ids.len(),
+                },
+            };
+            QueryPlan {
+                access,
+                residual: predicate.clone(),
+                total: source.len_hint(),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -161,5 +240,49 @@ mod tests {
         assert_eq!(federated_count(&Predicate::True, &sources), 0);
         assert!(federated_matching(&Predicate::True, &[]).is_empty());
         assert_eq!(empty.len_hint(), 0);
+    }
+
+    #[test]
+    fn explain_reports_per_source_access_paths() {
+        let live: Vec<SemanticTrajectory> = vec![traj("a", 1), traj("b", 2)];
+        let db = TrajectoryDb::build(vec![traj("c", 1), traj("d", 3)]);
+        let sources: Vec<&dyn TrajectorySource> = vec![&live, &db];
+        let p = Predicate::VisitedCell(cell(1));
+        let plans = federated_explain(&p, &sources);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(
+            plans[0].access,
+            AccessPath::FullScan,
+            "plain Vec has no indexes"
+        );
+        assert_eq!(
+            plans[1].access,
+            AccessPath::IndexCandidates { candidates: 1 },
+            "the warehouse narrows through its postings"
+        );
+        assert_eq!(plans[1].total, 2);
+    }
+
+    #[test]
+    fn indexed_and_scanned_sources_agree_under_federation() {
+        let db = TrajectoryDb::build(vec![traj("a", 1), traj("b", 2), traj("c", 1)]);
+        let plain: Vec<SemanticTrajectory> = db.trajectories().to_vec();
+        for p in [
+            Predicate::VisitedCell(cell(1)),
+            Predicate::MovingObject("b".into()),
+            Predicate::VisitedCell(cell(2)).or(Predicate::MovingObject("a".into())),
+            Predicate::VisitedCell(cell(9)),
+            Predicate::True,
+        ] {
+            let from_db: Vec<String> = federated_matching(&p, &[&db])
+                .into_iter()
+                .map(|t| t.moving_object)
+                .collect();
+            let from_scan: Vec<String> = federated_matching(&p, &[&plain])
+                .into_iter()
+                .map(|t| t.moving_object)
+                .collect();
+            assert_eq!(from_db, from_scan, "index path diverged for {p}");
+        }
     }
 }

@@ -27,6 +27,22 @@
 //! Index lookups return candidate *supersets* and the executor re-checks
 //! the predicate on every candidate, so results are always identical to a
 //! full scan (property-tested in `tests/proptests.rs`).
+//!
+//! ## Index-served selection on both sides of the federation
+//!
+//! Selection is index-served on *every* participant that has indexes,
+//! not just the warehouse: [`TrajectorySource::candidates`] lets a
+//! source narrow a predicate to a sound candidate superset before any
+//! trajectory is materialized. [`TrajectoryDb`] answers from its
+//! postings and interval trees; `sitm-stream`'s `LiveSnapshot` answers
+//! from the live postings its shards maintain incrementally per event.
+//! `federated_*` and [`Query::execute_federated`] route through those
+//! candidates and re-check the predicate, so indexed and scanned paths
+//! are result-identical by construction; [`Query::explain_source`] and
+//! [`federation::federated_explain`] report which path each source will
+//! take. Consistency of a live source is the snapshot's: the index
+//! rides the same consistent cut as the visible trajectory prefixes
+//! (see `sitm_stream::live_query` for the model).
 
 pub mod aggregate;
 pub mod federation;
@@ -35,7 +51,9 @@ pub mod interval_tree;
 pub mod predicate;
 pub mod query;
 
-pub use federation::{federated_count, federated_for_each, federated_matching, TrajectorySource};
+pub use federation::{
+    federated_count, federated_explain, federated_for_each, federated_matching, TrajectorySource,
+};
 
 pub use aggregate::{
     detection_counts_by_cell, dwell_by_cell, flow_matrix, group_by_annotation, occupancy, top_k,

@@ -33,6 +33,7 @@ use std::fmt;
 use sitm_core::{Annotation, Duration, SemanticTrajectory, TimeInterval};
 use sitm_space::CellRef;
 
+use crate::federation::{federated_for_each, TrajectorySource};
 use crate::index::{CandidateSet, TrajId, TrajectoryDb};
 use crate::predicate::Predicate;
 
@@ -236,6 +237,54 @@ impl Query {
             access,
             residual: self.predicate.clone(),
             total: db.len(),
+        }
+    }
+
+    /// Plans the query against any [`TrajectorySource`] — the warehouse
+    /// *or* a streaming engine's live snapshot. Reports
+    /// [`AccessPath::IndexCandidates`] when the source's own indexes can
+    /// narrow the predicate (for `sitm-stream`'s `LiveSnapshot` that is
+    /// the incrementally maintained live index; see its `live_query`
+    /// module for exactly when the live path is indexable) and
+    /// [`AccessPath::FullScan`] otherwise.
+    pub fn explain_source(&self, source: &dyn TrajectorySource) -> QueryPlan {
+        let access = match source.candidates(&self.predicate) {
+            CandidateSet::All => AccessPath::FullScan,
+            CandidateSet::Ids(ids) => AccessPath::IndexCandidates {
+                candidates: ids.len(),
+            },
+        };
+        QueryPlan {
+            access,
+            residual: self.predicate.clone(),
+            total: source.len_hint(),
+        }
+    }
+
+    /// Runs the full query — predicate, ordering, paging — over the
+    /// union of many sources, narrowing each source through its own
+    /// indexes. Results are cloned out (sources may be ephemeral
+    /// snapshots). Without an `order_by`, results keep source order;
+    /// with one, ties keep source order (the sort is stable), unlike
+    /// [`Query::execute`]'s id tiebreak which has no cross-source
+    /// meaning.
+    pub fn execute_federated(&self, sources: &[&dyn TrajectorySource]) -> Vec<SemanticTrajectory> {
+        let mut hits: Vec<SemanticTrajectory> = Vec::new();
+        federated_for_each(&self.predicate, sources, |_, t| hits.push(t.clone()));
+        if let Some((key, ascending)) = self.order {
+            hits.sort_by(|a, b| {
+                let ord = key.compare(a, b);
+                if ascending {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            });
+        }
+        let hits: Vec<SemanticTrajectory> = hits.into_iter().skip(self.offset).collect();
+        match self.limit {
+            Some(n) => hits.into_iter().take(n).collect(),
+            None => hits,
         }
     }
 

@@ -1,0 +1,194 @@
+//! Federated execution with full query semantics: sorted and limited
+//! queries over unions of indexed and unindexed sources must equal the
+//! hand-computed union — and the index path must never change results.
+
+use sitm_core::{
+    Annotation, AnnotationSet, Duration, PresenceInterval, SemanticTrajectory, TimeInterval,
+    Timestamp, Trace, TransitionTaken,
+};
+use sitm_graph::{LayerIdx, NodeId};
+use sitm_query::{
+    federated_count, federated_explain, federated_matching, AccessPath, Predicate, Query, SortKey,
+    TrajectoryDb, TrajectorySource,
+};
+use sitm_space::CellRef;
+
+fn cell(n: usize) -> CellRef {
+    CellRef::new(LayerIdx::from_index(0), NodeId::from_index(n))
+}
+
+fn traj(mo: &str, stays: &[(usize, i64, i64)], goal: &str) -> SemanticTrajectory {
+    let intervals = stays
+        .iter()
+        .map(|&(c, s, e)| {
+            PresenceInterval::new(
+                TransitionTaken::Unknown,
+                cell(c),
+                Timestamp(s),
+                Timestamp(e),
+            )
+        })
+        .collect();
+    SemanticTrajectory::new(
+        mo,
+        Trace::new(intervals).unwrap(),
+        AnnotationSet::from_iter([Annotation::goal(goal)]),
+    )
+    .unwrap()
+}
+
+fn warehouse() -> TrajectoryDb {
+    TrajectoryDb::build(vec![
+        traj("w-a", &[(0, 0, 10), (1, 10, 20)], "visit"),
+        traj("w-b", &[(1, 5, 15), (2, 15, 30)], "visit"),
+        traj("w-c", &[(2, 100, 200)], "buy"),
+        traj("w-d", &[(0, 50, 80), (1, 80, 90), (2, 90, 95)], "visit"),
+    ])
+}
+
+fn live() -> Vec<SemanticTrajectory> {
+    vec![
+        traj("l-a", &[(1, 40, 70)], "visit"),
+        traj("l-b", &[(3, 0, 5)], "visit"),
+        traj("l-c", &[(1, 8, 95), (2, 95, 99)], "buy"),
+    ]
+}
+
+/// Reference implementation: scan the union, filter, stable-sort, page.
+fn naive(
+    q: &Query,
+    sources: &[&dyn TrajectorySource],
+    key: Option<(SortKey, bool)>,
+    offset: usize,
+    limit: Option<usize>,
+) -> Vec<String> {
+    let mut hits: Vec<SemanticTrajectory> = Vec::new();
+    for source in sources {
+        source.for_each_trajectory(&mut |t| {
+            if q.predicate().matches(t) {
+                hits.push(t.clone());
+            }
+        });
+    }
+    if let Some((key, ascending)) = key {
+        // Mirror the executor's tie rule: stable sort, reversed
+        // comparison for descending.
+        hits.sort_by(|a, b| {
+            let ord = match key {
+                SortKey::Start => a.start().cmp(&b.start()),
+                SortKey::End => a.end().cmp(&b.end()),
+                SortKey::SpanDuration => a.span().duration().cmp(&b.span().duration()),
+                SortKey::TotalDwell => a.trace().dwell_total().cmp(&b.trace().dwell_total()),
+                SortKey::MovingObject => a.moving_object.cmp(&b.moving_object),
+                SortKey::TraceLength => a.trace().len().cmp(&b.trace().len()),
+            };
+            if ascending {
+                ord
+            } else {
+                ord.reverse()
+            }
+        });
+    }
+    let page: Vec<SemanticTrajectory> = match limit {
+        Some(n) => hits.into_iter().skip(offset).take(n).collect(),
+        None => hits.into_iter().skip(offset).collect(),
+    };
+    page.into_iter().map(|t| t.moving_object).collect()
+}
+
+/// One case: the query, plus the ordering/paging to mirror by hand.
+type Case = (Query, Option<(SortKey, bool)>, usize, Option<usize>);
+
+#[test]
+fn sorted_and_limited_federated_queries_match_the_naive_union() {
+    let db = warehouse();
+    let live = live();
+    let sources: Vec<&dyn TrajectorySource> = vec![&live, &db];
+
+    let cases: Vec<Case> = vec![
+        (
+            Query::new().visited(cell(1)).order_by(SortKey::Start, true),
+            Some((SortKey::Start, true)),
+            0,
+            None,
+        ),
+        (
+            Query::new()
+                .visited(cell(1))
+                .order_by(SortKey::SpanDuration, false)
+                .limit(2),
+            Some((SortKey::SpanDuration, false)),
+            0,
+            Some(2),
+        ),
+        (
+            Query::new()
+                .goal("visit")
+                .order_by(SortKey::MovingObject, true)
+                .offset(2)
+                .limit(3),
+            Some((SortKey::MovingObject, true)),
+            2,
+            Some(3),
+        ),
+        (
+            Query::new()
+                .during(TimeInterval::new(Timestamp(0), Timestamp(45)))
+                .order_by(SortKey::End, false),
+            Some((SortKey::End, false)),
+            0,
+            None,
+        ),
+        // Unsorted with a limit: first-k in source order.
+        (Query::new().visited(cell(2)).limit(2), None, 0, Some(2)),
+    ];
+    for (q, key, offset, limit) in cases {
+        let got: Vec<String> = q
+            .execute_federated(&sources)
+            .into_iter()
+            .map(|t| t.moving_object)
+            .collect();
+        let want = naive(&q, &sources, key, offset, limit);
+        assert_eq!(got, want, "query {:?} diverged", q);
+    }
+}
+
+#[test]
+fn federated_primitives_agree_with_execute_federated() {
+    let db = warehouse();
+    let live = live();
+    let sources: Vec<&dyn TrajectorySource> = vec![&live, &db];
+    for p in [
+        Predicate::VisitedCell(cell(1)),
+        Predicate::HasTrajAnnotation(Annotation::goal("buy")),
+        Predicate::MinStayIn(cell(1), Duration::seconds(30)),
+        Predicate::MovingObject("l-b".into()),
+        Predicate::VisitedCell(cell(3)).or(Predicate::VisitedCell(cell(0))),
+    ] {
+        let q = Query::new().filter(p.clone());
+        let executed = q.execute_federated(&sources).len();
+        assert_eq!(executed, federated_count(&p, &sources), "{p}");
+        assert_eq!(executed, federated_matching(&p, &sources).len(), "{p}");
+    }
+}
+
+#[test]
+fn explain_source_and_federated_explain_report_both_paths() {
+    let db = warehouse();
+    let live = live();
+    let sources: Vec<&dyn TrajectorySource> = vec![&live, &db];
+    let q = Query::new().visited(cell(2));
+    let live_plan = q.explain_source(sources[0]);
+    assert_eq!(live_plan.access, AccessPath::FullScan);
+    assert_eq!(live_plan.total, 3);
+    let db_plan = q.explain_source(sources[1]);
+    assert_eq!(
+        db_plan.access,
+        AccessPath::IndexCandidates { candidates: 3 }
+    );
+    let plans = federated_explain(q.predicate(), &sources);
+    assert_eq!(plans.len(), 2);
+    assert_eq!(plans[0].access, live_plan.access);
+    assert_eq!(plans[1].access, db_plan.access);
+    assert!(plans[1].selectivity_bound() < 1.0);
+}

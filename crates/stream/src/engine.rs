@@ -95,19 +95,36 @@ pub struct EngineConfig {
     /// Drop zero-duration detections on arrival (§4.1's ~10% errors).
     pub drop_instantaneous: bool,
     /// How long after a visit closes its late events are still fenced.
-    /// Past `close + allowed_lateness` (by shard watermark) the fence
-    /// entry is retired, keeping per-shard memory bounded on an infinite
-    /// stream.
+    /// The fence is *event-time deterministic*: an event timestamped at
+    /// or before `close + allowed_lateness` is rejected (`after_close`),
+    /// one beyond it retires the fence and re-opens the visit
+    /// implicitly — a pure function of the visit's own history, so the
+    /// decision cannot depend on shard batching or worker scheduling
+    /// (what keeps the work-stealing runtime bit-identical to the
+    /// sequential one under arbitrary interleavings).
     pub allowed_lateness: Duration,
+    /// Per-shard cap on remembered close fences — a memory-protection
+    /// valve, not a semantic knob. Past it, fences with the smallest
+    /// close instants are evicted; stragglers for an evicted visit
+    /// re-open implicitly, the same outcome an expired fence produces.
+    /// Below the cap, fencing is exactly identical across runtimes
+    /// (the differential tests' regime). Above it, the *surviving set*
+    /// still agrees at every barrier (both engines keep the
+    /// cap-largest close instants), but eviction *timing* differs —
+    /// the sequential engine evicts at each close, the work-stealing
+    /// engine at its sweep points — so a straggler racing an eviction
+    /// may be judged fenced by one runtime and re-opened by the other.
+    /// Size the cap above the realistic straggler horizon.
+    pub fence_capacity: usize,
     /// Retain each open visit's accepted intervals (in memory and in
     /// checkpoints) so live queries can see its trajectory prefix. Off by
     /// default: retention costs memory proportional to open-visit trace
     /// length.
     pub retain_intervals: bool,
-    /// Bounded depth, in event batches, of each worker channel of the
-    /// parallel engine (`ParallelEngine`); producers block when a shard
-    /// falls this far behind (backpressure). Ignored by the sequential
-    /// engine.
+    /// Backpressure depth of the parallel engine (`ParallelEngine`), in
+    /// batches per worker: producers block once
+    /// `channel_depth × batch_capacity × workers` events are queued in
+    /// the work-stealing scheduler. Ignored by the sequential engine.
     pub channel_depth: usize,
 }
 
@@ -121,6 +138,7 @@ impl EngineConfig {
             batch_capacity: 128,
             drop_instantaneous: false,
             allowed_lateness: Duration::hours(24),
+            fence_capacity: 65_536,
             retain_intervals: false,
             channel_depth: 64,
         }
@@ -133,6 +151,7 @@ impl EngineConfig {
             drop_instantaneous: self.drop_instantaneous,
             batch_capacity: self.batch_capacity,
             allowed_lateness: self.allowed_lateness,
+            fence_capacity: self.fence_capacity,
             retain_intervals: self.retain_intervals,
         }
     }
@@ -165,6 +184,13 @@ impl EngineConfig {
         self
     }
 
+    /// Overrides the per-shard cap on remembered close fences.
+    #[must_use]
+    pub fn with_fence_capacity(mut self, capacity: usize) -> Self {
+        self.fence_capacity = capacity;
+        self
+    }
+
     /// Enables live queries: open visits retain their accepted intervals
     /// so `live_snapshot` can expose each one's trajectory prefix.
     #[must_use]
@@ -173,7 +199,8 @@ impl EngineConfig {
         self
     }
 
-    /// Overrides the parallel engine's per-worker channel depth.
+    /// Overrides the parallel engine's backpressure depth (batches per
+    /// worker).
     #[must_use]
     pub fn with_channel_depth(mut self, depth: usize) -> Self {
         self.channel_depth = depth;

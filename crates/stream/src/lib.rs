@@ -20,13 +20,19 @@
 //!   per-shard watermark, and deterministic drain order;
 //! * [`engine`] — [`ShardedEngine`]: N shards behind one ingest/drain
 //!   façade, with aggregate statistics and anomaly accounting;
-//! * [`parallel`] — [`ParallelEngine`]: the same N shards, each on its
-//!   own worker thread behind a bounded channel, with the identical
-//!   surface and (provably) identical output;
+//! * [`parallel`] — [`ParallelEngine`]: N worker threads over a
+//!   work-stealing scheduler of visits (per-worker deques,
+//!   visit-affinity pinning, steal-on-idle of whole cold visits), with
+//!   the identical surface and (provably) identical output;
+//! * [`live_index`] — [`LiveIndex`]: incrementally maintained postings
+//!   over the open-visit population (cell → visits, moving object →
+//!   visits, span-start order), updated per accepted event;
 //! * [`live_query`] — [`LiveSnapshot`]: snapshot-consistent cuts of the
 //!   live state (open-visit trajectory prefixes + undrained episodes),
-//!   queryable with `sitm_query::Predicate` and federated across engines
-//!   and warehouses via `sitm_query::TrajectorySource`;
+//!   queryable with `sitm_query::Predicate` through the live index —
+//!   candidate narrowing with a full re-check, exactly like the
+//!   warehouse — and federated across engines and warehouses via
+//!   `sitm_query::TrajectorySource`;
 //! * [`checkpoint`] — crash recovery: shard state serialized through
 //!   `sitm-store`'s CRC-framed [`sitm_store::LogStore`] as
 //!   [`sitm_store::CheckpointFrame`]s, restored without duplicating or
@@ -45,20 +51,32 @@
 //! `restore`/`live_snapshot`) and produce the same episodes — the
 //! differential property tests in `tests/parallel_equivalence.rs` pin
 //! parallel == sequential == batch for 1/2/4/8 workers, under shuffled
-//! event interleavings, and across crash/checkpoint/restore. Choose by
-//! deployment shape:
+//! event interleavings, under single-hot-shard skew, and across
+//! crash/checkpoint/restore (checkpoints are runtime-portable in both
+//! directions). Choose by deployment shape:
 //!
-//! * **Sequential** — zero threads, zero channel overhead, deterministic
-//!   single-stack profiling; right for tests, embedded replays, and
-//!   small feeds where per-event cost dominates.
-//! * **Parallel** — one worker thread per shard; the caller's thread
-//!   only hashes and batches, so predicate evaluation and visit state
-//!   maintenance scale with cores. Bounded channels give backpressure
-//!   instead of unbounded queueing. Right for live multi-core ingest.
+//! * **Sequential** — zero threads, zero scheduler overhead,
+//!   deterministic single-stack profiling; right for tests, embedded
+//!   replays, and small feeds where per-event cost dominates.
+//! * **Parallel** — N worker threads over a **work-stealing router**:
+//!   events queue per visit, ready visits ride bounded per-worker
+//!   deques, and an idle worker steals whole *cold* visits (queued,
+//!   not mid-application) from the back of the busiest deque. Uniform
+//!   loads scale with cores like the old thread-per-shard router did;
+//!   *skewed* loads no longer collapse — a single hot visit serializes
+//!   only itself while every cold visit drains through the idle
+//!   workers, instead of the hot visit's whole hash shard pinning one
+//!   worker and starving its neighbours. Backpressure bounds queued
+//!   events at `channel_depth × batch_capacity × workers`. Right for
+//!   live multi-core ingest, especially under Zipf-shaped visit
+//!   popularity (`bench_stream`'s `skewed_ingest` group measures it).
 //!
-//! Correctness does not depend on the choice: a visit lives entirely on
-//! one shard and each shard applies its events in arrival order, so
-//! thread interleavings cannot reorder any visit's history.
+//! Correctness does not depend on the choice: a visit's events are
+//! applied in arrival order by at most one worker at a time
+//! (visit-affinity pinning), and every per-visit decision — including
+//! the late-event fence, which is event-time deterministic — is a pure
+//! function of the visit's own history, so thread interleavings cannot
+//! reorder or re-judge any visit's history.
 //!
 //! ## Snapshot consistency
 //!
@@ -80,6 +98,7 @@
 pub mod checkpoint;
 pub mod engine;
 pub mod event;
+pub mod live_index;
 pub mod live_query;
 pub mod occupancy;
 pub mod parallel;
@@ -96,6 +115,7 @@ pub use engine::{
     Anomalies, EmittedEpisode, EngineConfig, EngineError, EngineStats, ShardedEngine,
 };
 pub use event::{StreamEvent, VisitKey};
+pub use live_index::LiveIndex;
 pub use live_query::{LiveSnapshot, LiveVisit, ShardLive};
 pub use occupancy::OccupancyTracker;
 pub use parallel::ParallelEngine;

@@ -1,200 +1,593 @@
-//! The thread-per-shard parallel runtime.
+//! The work-stealing parallel runtime.
 //!
-//! [`ParallelEngine`] runs each hash partition on its own worker thread
-//! behind a bounded SPSC-style channel (std `mpsc::sync_channel`; the
-//! engine is the only producer per channel). Because a visit's whole
-//! lifetime lands on one shard and each channel preserves send order,
-//! the interleaving of *threads* cannot change the per-visit event
-//! order — so the parallel engine produces byte-identical episodes to
-//! [`ShardedEngine`] and to the batch extractor (property-tested in
+//! [`ParallelEngine`] runs N worker threads over a shared scheduler of
+//! **visits**, not static hash partitions. Events queue per visit;
+//! ready visits sit in bounded per-worker deques; a worker that runs
+//! dry *steals a whole cold visit* from the back of the busiest other
+//! deque. This replaces the previous thread-per-shard channel router,
+//! whose static `hash(visit) → worker` placement collapsed to
+//! single-worker throughput whenever one shard went hot (the
+//! single-hot-shard skew case the differential tests pin down).
+//!
+//! ## Why stealing cannot reorder anything
+//!
+//! Correctness rests on **visit-affinity pinning**: a visit's events
+//! live in that visit's own FIFO queue, the visit appears in at most
+//! one deque at a time, and it is *held* by at most one worker while
+//! its queued events are applied. Stealing moves whole **cold** visits
+//! — visits that are queued but not held, so none of their events are
+//! mid-application anywhere. A visit's history is therefore applied in
+//! arrival order by a single worker at a time, which is exactly the
+//! per-visit ordering guarantee the sequential engine provides; thread
+//! interleavings remain invisible in the output (property-tested in
 //! `tests/parallel_equivalence.rs` for 1/2/4/8 workers, shuffled feeds,
-//! and crash/restore mid-stream).
+//! skewed feeds, and crash/restore mid-stream).
 //!
 //! ## Design
 //!
-//! * **Routing** — the caller's thread hashes each event to its shard
-//!   ([FNV-1a], identical to the sequential engine) and buffers it in a
-//!   per-shard router batch; a full batch is one channel send, amortizing
-//!   synchronization to `1/batch_capacity` per event.
-//! * **Backpressure** — channels are bounded at
-//!   [`EngineConfig::channel_depth`] batches; a producer outrunning a
-//!   shard blocks instead of ballooning memory.
-//! * **Barriers** — `flush`/`drain`/`finish`/`checkpoint`/`live_snapshot`
-//!   fan a control command (carrying a reply channel) to every worker
-//!   *after* the outstanding batches, then await all replies. A shard's
-//!   reply therefore reflects exactly the events ingested before the
-//!   call: the same consistent cut the sequential engine gets from its
-//!   in-line flush, which is what makes drains and live snapshots
-//!   snapshot-consistent (see [`crate::live_query`]).
-//! * **Shared predicate table** — one `Arc<EngineConfig>` serves every
-//!   worker; `IntervalPredicate: Send + Sync` makes that sound.
+//! * **Routing** — the caller's thread buffers events and pushes them
+//!   to the scheduler one batch ([`EngineConfig::batch_capacity`]) per
+//!   lock acquisition; a newly ready visit lands on its *home* worker's
+//!   deque (initially `hash(visit)`, migrating with each steal).
+//! * **Backpressure** — total queued events are bounded at
+//!   `channel_depth × batch_capacity × workers`; a producer outrunning
+//!   the workers blocks instead of ballooning memory.
+//! * **Barriers** — `flush`/`drain`/`finish`/`checkpoint`/
+//!   `live_snapshot`/`stats` quiesce: they push the router buffer, then
+//!   wait until every queued event is applied and deposited. A barrier
+//!   therefore reflects exactly the events ingested before the call —
+//!   the same consistent cut the sequential engine gets from its
+//!   in-line flush (see [`crate::live_query`]).
+//! * **Sequential-equivalent accounting** — watermarks are still kept
+//!   per *hash shard* (the `config.shards` partitions the sequential
+//!   engine would use), so `watermark()` and checkpoint frames are
+//!   byte-compatible with [`ShardedEngine`]: checkpoints written by
+//!   either engine restore into the other.
+//! * **Live index** — with retention on, workers feed the shared
+//!   [`crate::LiveIndex`] as part of each deposit, so `live_snapshot()`
+//!   carries postings from the same cut as the visible prefixes.
 //!
-//! A worker that panics poisons its channel; subsequent engine calls
-//! panic with the shard index rather than silently dropping data.
+//! A worker that panics marks the scheduler; subsequent engine calls
+//! panic with a clear message rather than silently dropping data.
 //!
-//! [FNV-1a]: crate::engine
+//! [`ShardedEngine`]: crate::ShardedEngine
 
-use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
-use std::sync::Arc;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
-use sitm_core::Timestamp;
+use sitm_core::{Episode, Timestamp};
 use sitm_store::{CheckpointFrame, LogStore};
 
 use crate::checkpoint::{encode_shard, Checkpointer};
 use crate::engine::{shard_of, EngineConfig, EngineError, EngineStats};
-use crate::event::StreamEvent;
-use crate::live_query::{LiveSnapshot, ShardLive};
-use crate::shard::{EmittedEpisode, Shard, ShardSnapshot, ShardStats};
+use crate::event::{StreamEvent, VisitKey};
+use crate::live_index::LiveIndex;
+use crate::live_query::{LiveSnapshot, LiveVisit, ShardLive};
+use crate::shard::{EmittedEpisode, ShardSnapshot, ShardStats};
+use crate::visit::VisitState;
 
-/// What a worker can be asked to do. Every control variant carries its
-/// reply channel, so barriers are just "send, then receive".
-enum Command {
-    /// Apply a batch of routed events.
-    Batch(Vec<StreamEvent>),
-    /// Apply everything buffered, then acknowledge.
-    Flush(Sender<()>),
-    /// Flush, then hand over the finalized-but-undrained episodes.
-    Drain(Sender<Vec<EmittedEpisode>>),
-    /// Flush, close every open visit, then hand over the episodes.
-    Finish(Sender<Vec<EmittedEpisode>>),
-    /// Flush, then hand over a checkpointable snapshot.
-    Snapshot(Sender<ShardSnapshot>),
-    /// Flush, then hand over the live-query state.
-    Live(Sender<ShardLive>),
-    /// Report counters (without flushing, mirroring the sequential
-    /// engine's non-flushing `stats`/`watermark`).
-    Report(Sender<ShardReport>),
+/// One visit's slot in the scheduler.
+struct VisitCell {
+    /// Events pushed but not yet applied, in arrival order.
+    queue: VecDeque<StreamEvent>,
+    /// Open-visit state (`None` before open / after close).
+    state: Option<VisitState>,
+    /// Close instant, while the late-event fence is alive.
+    closed_at: Option<Timestamp>,
+    /// The worker whose deque this visit rides — `hash(visit)` at
+    /// birth, then wherever it was last stolen to (affinity pinning).
+    home: usize,
+    /// Present in `home`'s deque.
+    queued: bool,
+    /// Currently being applied by a worker.
+    held: bool,
 }
 
-/// One shard's counter reply.
-struct ShardReport {
+impl VisitCell {
+    fn new(home: usize) -> VisitCell {
+        VisitCell {
+            queue: VecDeque::new(),
+            state: None,
+            closed_at: None,
+            home,
+            queued: false,
+            held: false,
+        }
+    }
+}
+
+/// The shared scheduler: visit cells, per-worker ready deques, and the
+/// engine-wide accumulators workers deposit into.
+struct Scheduler {
+    visits: HashMap<u64, VisitCell>,
+    /// Ready visits per worker; stealing pops the back of a victim.
+    deques: Vec<VecDeque<u64>>,
+    /// Events sitting in visit queues (backpressure + quiesce).
+    queued_events: usize,
+    /// Visits currently held by workers (quiesce).
+    held_visits: usize,
+    shutdown: bool,
+    /// A worker died mid-slice; engine state is no longer trustworthy.
+    panicked: bool,
+    /// Episodes finalized but not yet drained.
+    pending: Vec<EmittedEpisode>,
+    /// Engine-wide counters (one shared total instead of per-shard).
     stats: ShardStats,
-    open_visits: usize,
-    watermark: Option<Timestamp>,
+    /// High-water mark per *hash shard* — the partition the sequential
+    /// engine would use — keeping `watermark()` and checkpoints
+    /// byte-compatible with [`crate::ShardedEngine`].
+    shard_watermarks: Vec<Option<Timestamp>>,
+    /// Online postings over open visits (retention on only).
+    index: LiveIndex,
+    /// Live close fences per hash shard, ordered by close instant —
+    /// the incremental twin of the sequential shard's `closed_order`,
+    /// so capacity eviction is O(log n) per close, never a sweep.
+    fences: Vec<BTreeSet<(Timestamp, u64)>>,
 }
 
-/// One worker thread and its command channel.
-struct Worker {
-    tx: Option<SyncSender<Command>>,
-    handle: Option<JoinHandle<()>>,
-}
-
-impl Worker {
-    fn spawn(index: usize, shard: Shard, config: Arc<EngineConfig>) -> Worker {
-        let (tx, rx) = mpsc::sync_channel(config.channel_depth.max(1));
-        let handle = std::thread::Builder::new()
-            .name(format!("sitm-shard-{index}"))
-            .spawn(move || worker_loop(rx, shard, &config))
-            .expect("spawn shard worker thread");
-        Worker {
-            tx: Some(tx),
-            handle: Some(handle),
+impl Scheduler {
+    fn new(workers: usize, shards: usize) -> Scheduler {
+        Scheduler {
+            visits: HashMap::new(),
+            deques: (0..workers).map(|_| VecDeque::new()).collect(),
+            queued_events: 0,
+            held_visits: 0,
+            shutdown: false,
+            panicked: false,
+            pending: Vec::new(),
+            stats: ShardStats::default(),
+            shard_watermarks: vec![None; shards],
+            index: LiveIndex::new(),
+            fences: vec![BTreeSet::new(); shards],
         }
     }
 
-    fn send(&self, index: usize, command: Command) {
-        if self
-            .tx
-            .as_ref()
-            .expect("worker channel open")
-            .send(command)
-            .is_err()
-        {
-            panic!("shard worker {index} died (panicked); engine state is lost");
-        }
+    /// All pushed events applied and deposited?
+    fn quiesced(&self) -> bool {
+        self.queued_events == 0 && self.held_visits == 0
     }
-}
 
-/// The worker body: apply commands in channel order until the engine
-/// drops the sender.
-fn worker_loop(rx: Receiver<Command>, mut shard: Shard, config: &EngineConfig) {
-    let ctx = config.ctx();
-    while let Ok(command) = rx.recv() {
-        match command {
-            Command::Batch(events) => {
-                for event in events {
-                    shard.enqueue(event, &ctx);
+    /// Next visit for `worker`: its own deque front, else a whole cold
+    /// visit stolen from the back of the longest other deque.
+    fn next_for(&mut self, worker: usize) -> Option<u64> {
+        if let Some(key) = self.deques[worker].pop_front() {
+            return Some(key);
+        }
+        let victim = (0..self.deques.len())
+            .filter(|&i| i != worker && !self.deques[i].is_empty())
+            .max_by_key(|&i| self.deques[i].len())?;
+        self.deques[victim].pop_back()
+    }
+
+    /// Settles one visit cell's bookkeeping after a slice (or a
+    /// synthesized close): records fence transitions in the per-shard
+    /// ordered set, drops dead cells on the spot, and enforces the
+    /// fence capacity by evicting the smallest close instants — O(log
+    /// n) per close like the sequential shard's `closed_order` bound,
+    /// never a stop-the-world sweep. Fencing itself is event-time
+    /// deterministic, so reclamation below the cap is behaviorally
+    /// invisible; above it, eviction timing is the documented
+    /// divergence window of [`EngineConfig::fence_capacity`].
+    fn settle_cell(
+        &mut self,
+        key: u64,
+        shard: usize,
+        was_fence: Option<Timestamp>,
+        capacity: usize,
+    ) {
+        let Some(cell) = self.visits.get(&key) else {
+            return;
+        };
+        let now_fence = cell.closed_at;
+        let active = cell.held || cell.queued || !cell.queue.is_empty() || cell.state.is_some();
+        if was_fence != now_fence {
+            if let Some(at) = was_fence {
+                self.fences[shard].remove(&(at, key));
+            }
+            if let Some(at) = now_fence {
+                self.fences[shard].insert((at, key));
+            }
+        }
+        if !active && now_fence.is_none() {
+            // Dead cell: a close for a never-opened visit, or a fence
+            // retired with nothing queued behind it.
+            self.visits.remove(&key);
+            return;
+        }
+        // Capacity eviction, oldest close first. A held cell's fence is
+        // skipped (its value is mid-application); the overshoot is
+        // bounded by the worker count.
+        while self.fences[shard].len() > capacity {
+            let victim = self.fences[shard]
+                .iter()
+                .copied()
+                .find(|&(_, k)| self.visits.get(&k).is_none_or(|c| !c.held));
+            let Some((at, k)) = victim else {
+                break;
+            };
+            self.fences[shard].remove(&(at, k));
+            if let Some(cell) = self.visits.get_mut(&k) {
+                // Evicted: stragglers will re-open implicitly, the same
+                // outcome an expired fence produces.
+                cell.closed_at = None;
+                if cell.state.is_none() && !cell.queued && cell.queue.is_empty() {
+                    self.visits.remove(&k);
                 }
             }
-            Command::Flush(reply) => {
-                shard.flush(&ctx);
-                let _ = reply.send(());
-            }
-            Command::Drain(reply) => {
-                shard.flush(&ctx);
-                let _ = reply.send(shard.take_pending());
-            }
-            Command::Finish(reply) => {
-                shard.flush(&ctx);
-                shard.close_all(&ctx);
-                let _ = reply.send(shard.take_pending());
-            }
-            Command::Snapshot(reply) => {
-                shard.flush(&ctx);
-                let _ = reply.send(shard.snapshot());
-            }
-            Command::Live(reply) => {
-                shard.flush(&ctx);
-                let _ = reply.send(shard.live_state());
-            }
-            Command::Report(reply) => {
-                let _ = reply.send(ShardReport {
-                    stats: *shard.stats(),
-                    open_visits: shard.open_visits(),
-                    watermark: shard.watermark(),
-                });
-            }
         }
     }
 }
 
-/// Thread-per-shard online trajectory-ingestion engine: the same
-/// surface and the same output as [`crate::ShardedEngine`], with shards
-/// applied concurrently.
+/// The scheduler plus its condition variables.
+struct Shared {
+    state: Mutex<Scheduler>,
+    /// Workers park here when no visit is ready.
+    work: Condvar,
+    /// The engine thread parks here (quiesce, backpressure).
+    quiet: Condvar,
+}
+
+/// Locks the scheduler, recovering from poison so `Drop` can always
+/// shut the workers down (a panicked worker is surfaced via the
+/// `panicked` flag instead).
+fn lock(shared: &Shared) -> MutexGuard<'_, Scheduler> {
+    shared
+        .state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A visit's state while a worker (or a barrier) applies events to it
+/// outside the scheduler lock.
+struct Resident {
+    state: Option<VisitState>,
+    closed_at: Option<Timestamp>,
+}
+
+/// Index maintenance recorded during a slice, applied to the shared
+/// [`LiveIndex`] at deposit time (same cut as the state it indexes).
+enum IndexOp {
+    Observe {
+        object: String,
+        interval: sitm_core::PresenceInterval,
+    },
+    Remove,
+}
+
+/// Everything one application slice produced.
+#[derive(Default)]
+struct SliceOutput {
+    stats: ShardStats,
+    watermark: Option<Timestamp>,
+    pending: Vec<EmittedEpisode>,
+    index_ops: Vec<IndexOp>,
+}
+
+impl SliceOutput {
+    fn new() -> SliceOutput {
+        SliceOutput::default()
+    }
+}
+
+/// Applies one event to one visit — the per-visit core of
+/// `Shard::apply`, kept behaviorally identical (the differential
+/// property tests compare the two engines event for event): same
+/// anomaly accounting, same implicit-open identity, same fence
+/// semantics, same episode provenance.
+fn apply_visit_event(
+    key: u64,
+    event: StreamEvent,
+    resident: &mut Resident,
+    ctx: &crate::shard::ShardCtx<'_>,
+    scratch: &mut Vec<(usize, Episode)>,
+    out: &mut SliceOutput,
+) {
+    out.stats.events += 1;
+    let t = event.time();
+    out.watermark = Some(out.watermark.map_or(t, |w| w.max(t)));
+    if let Some(closed_at) = resident.closed_at {
+        if t <= closed_at + ctx.allowed_lateness {
+            out.stats.anomalies.after_close += 1;
+            return;
+        }
+        // Past the lateness horizon of the close: retire the fence
+        // (mirror of `Shard::apply`; the event falls through to the
+        // normal open / implicit-open handling).
+        resident.closed_at = None;
+    }
+    match event {
+        StreamEvent::VisitOpened {
+            moving_object,
+            annotations,
+            ..
+        } => {
+            if resident.state.is_some() {
+                out.stats.anomalies.duplicate_opens += 1;
+                return;
+            }
+            out.stats.visits_opened += 1;
+            resident.state = Some(VisitState::new(
+                moving_object,
+                annotations,
+                ctx,
+                &mut out.stats.anomalies,
+            ));
+        }
+        StreamEvent::Fix { cell, at, .. } => {
+            out.stats.fixes += 1;
+            ensure_open(key, resident, ctx, out);
+            let state = resident.state.as_mut().expect("ensured above");
+            let before = state.retained_intervals().len();
+            state.apply_fix(cell, at, ctx, scratch, &mut out.stats.anomalies);
+            record_accepted(state, before, ctx, out);
+            collect_episodes(key, state, scratch, out);
+        }
+        StreamEvent::Presence { interval, .. } => {
+            out.stats.presences += 1;
+            ensure_open(key, resident, ctx, out);
+            let state = resident.state.as_mut().expect("ensured above");
+            let before = state.retained_intervals().len();
+            state.apply_presence(interval, ctx, scratch, &mut out.stats.anomalies);
+            record_accepted(state, before, ctx, out);
+            collect_episodes(key, state, scratch, out);
+        }
+        StreamEvent::VisitClosed { at, .. } => {
+            let Some(mut state) = resident.state.take() else {
+                out.stats.anomalies.after_close += 1;
+                return;
+            };
+            state.close(ctx, scratch, &mut out.stats.anomalies);
+            out.stats.visits_closed += 1;
+            resident.closed_at = Some(at);
+            if ctx.retain_intervals {
+                out.index_ops.push(IndexOp::Remove);
+            }
+            collect_episodes(key, &state, scratch, out);
+        }
+    }
+}
+
+/// Mirror of `Shard::ensure_visit`: an observation for a visit never
+/// opened adopts it with the same synthetic identity.
+fn ensure_open(
+    key: u64,
+    resident: &mut Resident,
+    ctx: &crate::shard::ShardCtx<'_>,
+    out: &mut SliceOutput,
+) {
+    if resident.state.is_none() {
+        out.stats.anomalies.implicit_opens += 1;
+        out.stats.visits_opened += 1;
+        resident.state = Some(VisitState::new(
+            format!("implicit-{key}"),
+            sitm_core::AnnotationSet::from_iter([sitm_core::Annotation::goal("streamed")]),
+            ctx,
+            &mut out.stats.anomalies,
+        ));
+    }
+}
+
+/// Queues live-index observations for the intervals this apply accepted
+/// (visible as growth of the retained slice).
+fn record_accepted(
+    state: &VisitState,
+    before: usize,
+    ctx: &crate::shard::ShardCtx<'_>,
+    out: &mut SliceOutput,
+) {
+    if !ctx.retain_intervals {
+        return;
+    }
+    for interval in &state.retained_intervals()[before..] {
+        out.index_ops.push(IndexOp::Observe {
+            object: state.moving_object.clone(),
+            interval: interval.clone(),
+        });
+    }
+}
+
+/// Mirror of `Shard::collect`.
+fn collect_episodes(
+    key: u64,
+    state: &VisitState,
+    scratch: &mut Vec<(usize, Episode)>,
+    out: &mut SliceOutput,
+) {
+    if scratch.is_empty() {
+        return;
+    }
+    let moving_object = state.moving_object.clone();
+    for (predicate, episode) in scratch.drain(..) {
+        out.stats.episodes += 1;
+        out.pending.push(EmittedEpisode {
+            visit: VisitKey(key),
+            moving_object: moving_object.clone(),
+            predicate,
+            episode,
+        });
+    }
+}
+
+/// Folds a slice's output into the scheduler accumulators.
+fn absorb_output(s: &mut Scheduler, key: u64, out: SliceOutput, shards: usize) {
+    s.stats.absorb(&out.stats);
+    s.pending.extend(out.pending);
+    if let Some(t) = out.watermark {
+        let slot = &mut s.shard_watermarks[shard_of(VisitKey(key), shards)];
+        *slot = Some(slot.map_or(t, |w| w.max(t)));
+    }
+    for op in out.index_ops {
+        match op {
+            IndexOp::Observe { object, interval } => s.index.observe(key, &object, &interval),
+            IndexOp::Remove => s.index.remove(key),
+        }
+    }
+}
+
+/// The worker body: take a ready visit (own deque first, then steal a
+/// cold one), apply its queued events outside the lock, deposit, repeat.
+fn worker_loop(worker: usize, shared: &Shared, config: &EngineConfig) {
+    let ctx = config.ctx();
+    let mut scratch: Vec<(usize, Episode)> = Vec::new();
+    let mut guard = lock(shared);
+    loop {
+        if let Some(key) = guard.next_for(worker) {
+            let events = {
+                let cell = guard.visits.get_mut(&key).expect("queued visit has a cell");
+                cell.queued = false;
+                cell.held = true;
+                cell.home = worker;
+                std::mem::take(&mut cell.queue)
+            };
+            let mut resident = {
+                let cell = guard.visits.get_mut(&key).expect("cell");
+                Resident {
+                    state: cell.state.take(),
+                    closed_at: cell.closed_at,
+                }
+            };
+            guard.queued_events -= events.len();
+            guard.held_visits += 1;
+            drop(guard);
+
+            let mut out = SliceOutput::new();
+            out.stats.batches_flushed = 1;
+            for event in events {
+                apply_visit_event(key, event, &mut resident, &ctx, &mut scratch, &mut out);
+            }
+
+            guard = lock(shared);
+            let (requeue, was_fence) = {
+                let cell = guard.visits.get_mut(&key).expect("held cell persists");
+                let was_fence = cell.closed_at;
+                cell.state = resident.state;
+                cell.closed_at = resident.closed_at;
+                cell.held = false;
+                // Events that arrived while we held the visit: it is
+                // cold again — back onto our own deque.
+                let requeue = !cell.queue.is_empty() && {
+                    cell.queued = true;
+                    true
+                };
+                (requeue, was_fence)
+            };
+            if requeue {
+                guard.deques[worker].push_back(key);
+            }
+            guard.held_visits -= 1;
+            let shard = shard_of(VisitKey(key), config.shards);
+            absorb_output(&mut guard, key, out, config.shards);
+            guard.settle_cell(key, shard, was_fence, config.fence_capacity.max(1));
+            shared.quiet.notify_all();
+        } else if guard.shutdown {
+            break;
+        } else {
+            guard = shared
+                .work
+                .wait(guard)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// Work-stealing online trajectory-ingestion engine: the same surface
+/// and the same output as [`crate::ShardedEngine`], with visits applied
+/// concurrently and rebalanced across workers under skew.
 pub struct ParallelEngine {
     config: Arc<EngineConfig>,
-    workers: Vec<Worker>,
-    routers: Vec<Vec<StreamEvent>>,
+    shared: Arc<Shared>,
+    buffer: Vec<StreamEvent>,
+    handles: Vec<JoinHandle<()>>,
     sequence: u64,
 }
 
 impl ParallelEngine {
-    /// Builds an engine, spawning one worker thread per shard.
+    /// Builds an engine, spawning one worker thread per configured
+    /// shard (`config.shards` doubles as the worker count, as it did
+    /// for the channel router).
     pub fn new(config: EngineConfig) -> Result<Self, EngineError> {
         if config.shards == 0 {
             return Err(EngineError::ZeroShards);
         }
-        let shards = (0..config.shards).map(|_| Shard::new()).collect();
-        Ok(Self::from_shards(config, shards))
+        Ok(Self::create(config))
     }
 
     /// Rebuilds an engine from the frames of one complete checkpoint
     /// (ordered by shard). The configuration must match the one the
     /// checkpoint was taken under — including interval retention, which
     /// is the operator's contract just like the predicate table.
+    /// Checkpoints are runtime-portable: frames written by either
+    /// engine restore into either (restored visits are seeded onto
+    /// their hash shard's worker and rebalance from there).
     pub fn restore(config: EngineConfig, frames: &[&CheckpointFrame]) -> Result<Self, EngineError> {
         if config.shards == 0 {
             return Err(EngineError::ZeroShards);
         }
         let (shards, sequence) = crate::checkpoint::decode_checkpoint(&config, frames)?;
-        let mut engine = Self::from_shards(config, shards);
+        let engine = Self::create(config);
+        {
+            let mut guard = lock(&engine.shared);
+            for (i, shard) in shards.into_iter().enumerate() {
+                let parts = shard.into_parts();
+                guard.shard_watermarks[i] = parts.watermark;
+                guard.stats.absorb(&parts.stats);
+                guard.pending.extend(parts.pending);
+                for (key, state) in parts.visits {
+                    for interval in state.retained_intervals() {
+                        guard.index.observe(key, &state.moving_object, interval);
+                    }
+                    let mut cell = VisitCell::new(i);
+                    cell.state = Some(state);
+                    guard.visits.insert(key, cell);
+                }
+                for (key, at) in parts.closed {
+                    let mut cell = VisitCell::new(i);
+                    cell.closed_at = Some(at);
+                    guard.visits.insert(key, cell);
+                    guard.fences[i].insert((at, key));
+                }
+            }
+        }
+        let mut engine = engine;
         engine.sequence = sequence;
         Ok(engine)
     }
 
-    fn from_shards(config: EngineConfig, shards: Vec<Shard>) -> Self {
+    fn create(config: EngineConfig) -> Self {
+        let workers = config.shards;
         let config = Arc::new(config);
-        let workers = shards
-            .into_iter()
-            .enumerate()
-            .map(|(i, shard)| Worker::spawn(i, shard, Arc::clone(&config)))
+        let shared = Arc::new(Shared {
+            state: Mutex::new(Scheduler::new(workers, config.shards)),
+            work: Condvar::new(),
+            quiet: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                let config = Arc::clone(&config);
+                std::thread::Builder::new()
+                    .name(format!("sitm-worker-{worker}"))
+                    .spawn(move || {
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            worker_loop(worker, &shared, &config);
+                        }));
+                        if run.is_err() {
+                            let mut guard = lock(&shared);
+                            guard.panicked = true;
+                            drop(guard);
+                            shared.work.notify_all();
+                            shared.quiet.notify_all();
+                        }
+                    })
+                    .expect("spawn shard worker thread")
+            })
             .collect();
-        let routers = (0..config.shards).map(|_| Vec::new()).collect();
         ParallelEngine {
             config,
-            workers,
-            routers,
+            shared,
+            buffer: Vec::new(),
+            handles,
             sequence: 0,
         }
     }
@@ -206,7 +599,7 @@ impl ParallelEngine {
 
     /// Worker threads running (one per shard).
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.handles.len()
     }
 
     /// Raises the checkpoint sequence counter to at least `sequence`
@@ -215,16 +608,19 @@ impl ParallelEngine {
         self.sequence = self.sequence.max(sequence);
     }
 
-    /// Routes one event toward its shard's worker. The event is handed
-    /// to the channel once the shard's router batch fills (or at the
-    /// next barrier), so per-event cost on the caller's thread is one
-    /// hash and one push.
+    fn panic_if_worker_died(s: &Scheduler) {
+        if s.panicked {
+            panic!("shard worker died (panicked); engine state is lost");
+        }
+    }
+
+    /// Routes one event toward the scheduler. Events are buffered on
+    /// the caller's thread and handed over one batch per lock
+    /// acquisition, so per-event cost here is one push.
     pub fn ingest(&mut self, event: StreamEvent) {
-        let shard = shard_of(event.visit(), self.config.shards);
-        self.routers[shard].push(event);
-        if self.routers[shard].len() >= self.config.batch_capacity.max(1) {
-            let batch = std::mem::take(&mut self.routers[shard]);
-            self.workers[shard].send(shard, Command::Batch(batch));
+        self.buffer.push(event);
+        if self.buffer.len() >= self.config.batch_capacity.max(1) {
+            self.dispatch();
         }
     }
 
@@ -235,44 +631,71 @@ impl ParallelEngine {
         }
     }
 
-    /// Sends every non-empty router batch to its worker.
+    /// Pushes the router buffer into the scheduler, blocking while the
+    /// queued-event bound (`channel_depth × batch_capacity × workers`)
+    /// is exceeded (backpressure).
     fn dispatch(&mut self) {
-        for (i, buffer) in self.routers.iter_mut().enumerate() {
-            if !buffer.is_empty() {
-                let batch = std::mem::take(buffer);
-                self.workers[i].send(i, Command::Batch(batch));
-            }
+        if self.buffer.is_empty() {
+            return;
         }
+        let events = std::mem::take(&mut self.buffer);
+        let workers = self.handles.len();
+        let bound = self
+            .config
+            .channel_depth
+            .max(1)
+            .saturating_mul(self.config.batch_capacity.max(1))
+            .saturating_mul(workers.max(1));
+        let shards = self.config.shards;
+        let mut guard = lock(&self.shared);
+        while guard.queued_events >= bound {
+            Self::panic_if_worker_died(&guard);
+            guard = self
+                .shared
+                .quiet
+                .wait(guard)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        Self::panic_if_worker_died(&guard);
+        for event in events {
+            let key = event.visit().0;
+            let cell = guard
+                .visits
+                .entry(key)
+                .or_insert_with(|| VisitCell::new(shard_of(VisitKey(key), shards) % workers));
+            cell.queue.push_back(event);
+            let ready = !cell.queued && !cell.held;
+            let home = cell.home;
+            if ready {
+                cell.queued = true;
+                guard.deques[home].push_back(key);
+            }
+            guard.queued_events += 1;
+        }
+        drop(guard);
+        self.shared.work.notify_all();
     }
 
-    /// Fans `make`'s command to every worker, then collects the replies
-    /// in shard order. This is the barrier primitive: a reply reflects
-    /// everything sent to that worker before the command.
-    fn barrier<T>(&self, make: impl Fn(Sender<T>) -> Command) -> Vec<T> {
-        let pending: Vec<Receiver<T>> = self
-            .workers
-            .iter()
-            .enumerate()
-            .map(|(i, worker)| {
-                let (tx, rx) = mpsc::channel();
-                worker.send(i, make(tx));
-                rx
-            })
-            .collect();
-        pending
-            .into_iter()
-            .enumerate()
-            .map(|(i, rx)| {
-                rx.recv()
-                    .unwrap_or_else(|_| panic!("shard worker {i} died before replying"))
-            })
-            .collect()
+    /// Waits until every pushed event is applied and deposited.
+    fn quiesce(&self) -> MutexGuard<'_, Scheduler> {
+        let mut guard = lock(&self.shared);
+        loop {
+            Self::panic_if_worker_died(&guard);
+            if guard.quiesced() {
+                return guard;
+            }
+            guard = self
+                .shared
+                .quiet
+                .wait(guard)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
     }
 
     /// Applies every buffered event now (a full barrier).
     pub fn flush(&mut self) {
         self.dispatch();
-        self.barrier(Command::Flush);
+        drop(self.quiesce());
     }
 
     /// Flushes, then returns every episode finalized since the last
@@ -280,72 +703,186 @@ impl ParallelEngine {
     /// [`crate::ShardedEngine::drain`].
     pub fn drain(&mut self) -> Vec<EmittedEpisode> {
         self.dispatch();
-        let mut out: Vec<EmittedEpisode> =
-            self.barrier(Command::Drain).into_iter().flatten().collect();
+        let mut guard = self.quiesce();
+        let mut out = std::mem::take(&mut guard.pending);
+        drop(guard);
         out.sort_by_key(|a| a.sort_key());
         out
     }
 
-    /// End-of-stream: closes every open visit, then drains.
+    /// End-of-stream: closes every open visit (at its hash shard's
+    /// watermark, exactly like the sequential `close_all`), then
+    /// drains.
     pub fn finish(&mut self) -> Vec<EmittedEpisode> {
         self.dispatch();
-        let mut out: Vec<EmittedEpisode> = self
-            .barrier(Command::Finish)
-            .into_iter()
-            .flatten()
+        let mut guard = self.quiesce();
+        let ctx = self.config.ctx();
+        let shards = self.config.shards;
+        let mut keys: Vec<u64> = guard
+            .visits
+            .iter()
+            .filter(|(_, cell)| cell.state.is_some())
+            .map(|(key, _)| *key)
             .collect();
+        keys.sort_unstable();
+        let mut scratch = Vec::new();
+        for key in keys {
+            let at =
+                guard.shard_watermarks[shard_of(VisitKey(key), shards)].unwrap_or(Timestamp(0));
+            let mut resident = {
+                let cell = guard.visits.get_mut(&key).expect("open visit");
+                Resident {
+                    state: cell.state.take(),
+                    closed_at: cell.closed_at,
+                }
+            };
+            let mut out = SliceOutput::new();
+            apply_visit_event(
+                key,
+                StreamEvent::VisitClosed {
+                    visit: VisitKey(key),
+                    at,
+                },
+                &mut resident,
+                &ctx,
+                &mut scratch,
+                &mut out,
+            );
+            let was_fence = {
+                let cell = guard.visits.get_mut(&key).expect("open visit");
+                let was_fence = cell.closed_at;
+                cell.state = resident.state;
+                cell.closed_at = resident.closed_at;
+                was_fence
+            };
+            let shard = shard_of(VisitKey(key), shards);
+            absorb_output(&mut guard, key, out, shards);
+            guard.settle_cell(key, shard, was_fence, self.config.fence_capacity.max(1));
+        }
+        let mut out = std::mem::take(&mut guard.pending);
+        drop(guard);
         out.sort_by_key(|a| a.sort_key());
         out
     }
 
     /// A snapshot-consistent cut of the live state across every worker
-    /// (see [`crate::live_query`] for the consistency model).
+    /// (see [`crate::live_query`] for the consistency model). The
+    /// snapshot carries the scheduler's live index from the same cut.
     pub fn live_snapshot(&mut self) -> LiveSnapshot {
         self.dispatch();
-        LiveSnapshot::from_shards(self.barrier(Command::Live))
-    }
-
-    /// The engine watermark (minimum across populated shards), counting
-    /// only applied events — the exact semantics of
-    /// [`crate::ShardedEngine::watermark`].
-    pub fn watermark(&self) -> Option<Timestamp> {
-        self.barrier(Command::Report)
-            .into_iter()
-            .filter_map(|r| r.watermark)
-            .min()
-    }
-
-    /// Aggregated counters across every worker.
-    pub fn stats(&self) -> EngineStats {
-        let mut stats = EngineStats::default();
-        for report in self.barrier(Command::Report) {
-            stats.absorb_shard(&report.stats, report.open_visits as u64);
+        let guard = self.quiesce();
+        let shards = self.config.shards;
+        let mut per_shard: Vec<ShardLive> = (0..shards)
+            .map(|i| ShardLive {
+                visits: Vec::new(),
+                pending: Vec::new(),
+                watermark: guard.shard_watermarks[i],
+                unqueryable: 0,
+                index: LiveIndex::new(),
+            })
+            .collect();
+        for (key, cell) in &guard.visits {
+            let Some(state) = &cell.state else { continue };
+            let shard = shard_of(VisitKey(*key), shards);
+            match state.live_trajectory() {
+                Some(trajectory) => per_shard[shard].visits.push(LiveVisit {
+                    visit: VisitKey(*key),
+                    trajectory,
+                }),
+                None => per_shard[shard].unqueryable += 1,
+            }
         }
+        per_shard[0].pending = guard.pending.clone();
+        per_shard[0].index = guard.index.clone();
+        drop(guard);
+        LiveSnapshot::from_shards(per_shard)
+    }
+
+    /// The engine watermark (minimum across populated hash shards).
+    /// Quiesces first, so every event already handed to the scheduler
+    /// is counted — the behaviour of the old channel router, whose
+    /// report command queued behind outstanding batches. Events still
+    /// sitting in the caller-side router buffer are not counted,
+    /// matching [`crate::ShardedEngine::watermark`]'s only-applied
+    /// semantics (it does not flush shard inboxes either).
+    pub fn watermark(&self) -> Option<Timestamp> {
+        let guard = self.quiesce();
+        guard.shard_watermarks.iter().filter_map(|w| *w).min()
+    }
+
+    /// Aggregated counters. This is a barrier: the router buffer is
+    /// pushed and every outstanding event applied first, so the counts
+    /// are exact as of the call — unlike the old channel router, which
+    /// reported around events still sitting in its batches.
+    pub fn stats(&mut self) -> EngineStats {
+        self.dispatch();
+        let guard = self.quiesce();
+        let open_visits = guard
+            .visits
+            .values()
+            .filter(|cell| cell.state.is_some())
+            .count() as u64;
+        let mut stats = EngineStats::default();
+        stats.absorb_shard(&guard.stats, open_visits);
         stats
     }
 
     /// Flushes and captures one complete checkpoint as frames (one per
-    /// shard, sharing a fresh sequence).
+    /// hash shard, sharing a fresh sequence) — byte-compatible with the
+    /// sequential engine's frames, so checkpoints stay runtime-portable.
     pub fn checkpoint_frames(&mut self) -> Vec<CheckpointFrame> {
         self.dispatch();
         self.sequence += 1;
         let sequence = self.sequence;
-        self.barrier(Command::Snapshot)
+        let shards = self.config.shards;
+        let guard = self.quiesce();
+        let mut snapshots: Vec<ShardSnapshot> = (0..shards)
+            .map(|i| ShardSnapshot {
+                watermark: guard.shard_watermarks[i],
+                visits: Vec::new(),
+                closed: Vec::new(),
+                pending: Vec::new(),
+                stats: ShardStats::default(),
+            })
+            .collect();
+        // Counters are engine-global here; recorded on shard 0 so the
+        // aggregate (the only cross-engine observable) round-trips.
+        snapshots[0].stats = guard.stats;
+        let mut keys: Vec<u64> = guard.visits.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let cell = &guard.visits[&key];
+            let shard = shard_of(VisitKey(key), shards);
+            if let Some(state) = &cell.state {
+                snapshots[shard].visits.push((key, state.snapshot()));
+            } else if let Some(at) = cell.closed_at {
+                snapshots[shard].closed.push((key, at));
+            }
+        }
+        for episode in &guard.pending {
+            snapshots[shard_of(episode.visit, shards)]
+                .pending
+                .push(episode.clone());
+        }
+        drop(guard);
+        for snapshot in &mut snapshots {
+            snapshot.pending.sort_by_key(|e| e.sort_key());
+        }
+        snapshots
             .into_iter()
             .enumerate()
             .map(|(i, snapshot)| CheckpointFrame {
                 sequence,
                 shard: i as u32,
-                shard_count: self.config.shards as u32,
+                shard_count: shards as u32,
                 payload: encode_shard(&snapshot, self.config.predicates.len()),
             })
             .collect()
     }
 
-    /// Persists a consistent snapshot of every shard into `log`, then
-    /// fsyncs. Same recovery contract as
-    /// [`crate::ShardedEngine::checkpoint`]: exactly-once relative to
-    /// `drain`.
+    /// Persists a consistent snapshot into `log`, then fsyncs. Same
+    /// recovery contract as [`crate::ShardedEngine::checkpoint`]:
+    /// exactly-once relative to `drain`.
     pub fn checkpoint(&mut self, log: &mut LogStore<CheckpointFrame>) -> Result<u64, EngineError> {
         let frames = self.checkpoint_frames();
         let sequence = frames[0].sequence;
@@ -364,22 +901,21 @@ impl ParallelEngine {
 }
 
 impl Drop for ParallelEngine {
-    /// Closes every command channel and joins the workers. Events still
-    /// sitting in router batches are dropped — like the sequential
-    /// engine, dropping without `drain`/`finish`/`checkpoint` abandons
-    /// unflushed work. A worker that panicked is joined and ignored
-    /// (its panic already surfaced on the engine thread if any call
-    /// touched it); double panics during unwinding are avoided.
+    /// Signals shutdown and joins the workers, which drain every
+    /// already-pushed event first. Events still sitting in the router
+    /// buffer are dropped — like the sequential engine, dropping
+    /// without `drain`/`finish`/`checkpoint` abandons unflushed work. A
+    /// worker that panicked is joined and ignored (its panic already
+    /// surfaced on the engine thread if any call touched it).
     fn drop(&mut self) {
-        for worker in &mut self.workers {
-            drop(worker.tx.take());
+        {
+            let mut guard = lock(&self.shared);
+            guard.shutdown = true;
         }
-        for worker in &mut self.workers {
-            if let Some(handle) = worker.handle.take() {
-                // Keep drop infallible: a worker that panicked already
-                // printed its panic; joining just reclaims the thread.
-                let _ = handle.join();
-            }
+        self.shared.work.notify_all();
+        self.shared.quiet.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
         }
     }
 }
@@ -486,6 +1022,23 @@ mod tests {
         assert_eq!(stats.visits_opened, 12);
         assert_eq!(stats.presences, 36);
         assert_eq!(stats.anomalies.total(), 0);
+    }
+
+    /// Regression for the ROADMAP item this PR closes: `stats()` must
+    /// flush the router buffer first, so counts reflect every ingested
+    /// event — the old channel router reported around buffered batches.
+    #[test]
+    fn stats_barrier_flushes_the_router_buffer() {
+        // Batch capacity far above the feed size: every event sits in
+        // the caller-side buffer until something barriers.
+        let mut engine = ParallelEngine::new(config(2).with_batch_capacity(10_000)).unwrap();
+        let events = feed();
+        let total = events.len() as u64;
+        engine.ingest_all(events);
+        let stats = engine.stats();
+        assert_eq!(stats.events, total, "stats() must observe buffered events");
+        assert_eq!(stats.visits_opened, 12);
+        assert_eq!(stats.visits_closed, 12);
     }
 
     #[test]

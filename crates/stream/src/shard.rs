@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 use sitm_core::{AnnotationSet, Duration, Episode, IntervalPredicate, Timestamp};
 
 use crate::event::{StreamEvent, VisitKey};
+use crate::live_index::LiveIndex;
 use crate::live_query::{LiveVisit, ShardLive};
 use crate::visit::{Anomalies, VisitSnapshot, VisitState};
 
@@ -28,8 +29,13 @@ pub struct ShardCtx<'a> {
     pub drop_instantaneous: bool,
     /// Inbox size before buffered events are applied in a batch.
     pub batch_capacity: usize,
-    /// How long after a visit closes its late events are still fenced.
+    /// How long after a visit closes its late events are still fenced
+    /// (event-time deterministic; see
+    /// [`EngineConfig::allowed_lateness`](crate::EngineConfig)).
     pub allowed_lateness: Duration,
+    /// Cap on remembered close fences (smallest close instant evicted
+    /// first).
+    pub fence_capacity: usize,
     /// Keep accepted intervals in memory (and in checkpoints) so live
     /// queries can see each open visit's trajectory prefix.
     pub retain_intervals: bool,
@@ -83,6 +89,21 @@ pub struct ShardStats {
     pub anomalies: Anomalies,
 }
 
+impl ShardStats {
+    /// Adds another counter set in (used by the work-stealing runtime,
+    /// whose workers deposit per-slice deltas into one shared total).
+    pub fn absorb(&mut self, other: &ShardStats) {
+        self.events += other.events;
+        self.presences += other.presences;
+        self.fixes += other.fixes;
+        self.visits_opened += other.visits_opened;
+        self.visits_closed += other.visits_closed;
+        self.episodes += other.episodes;
+        self.batches_flushed += other.batches_flushed;
+        self.anomalies.absorb(&other.anomalies);
+    }
+}
+
 /// Serializable shard state (inbox must be empty — the engine flushes
 /// before snapshotting).
 #[derive(Debug, Clone, PartialEq)]
@@ -105,15 +126,36 @@ pub struct ShardSnapshot {
 pub struct Shard {
     inbox: Vec<StreamEvent>,
     visits: BTreeMap<u64, VisitState>,
-    /// Closed visits and when they closed. Bounded: entries are pruned
-    /// once the shard watermark passes `close + allowed_lateness`, so the
-    /// fence covers realistic stragglers without growing with the total
-    /// number of visits ever seen.
+    /// Closed visits and when they closed. An entry fences events
+    /// timestamped within `close + allowed_lateness` of the close
+    /// (event-time deterministic — no dependence on batch boundaries or
+    /// worker scheduling); a later-stamped straggler retires the entry
+    /// and re-opens the visit implicitly. Bounded at
+    /// [`ShardCtx::fence_capacity`] by evicting the smallest close
+    /// instant, so the map cannot grow with the total number of visits
+    /// ever seen.
     closed: BTreeMap<u64, Timestamp>,
+    /// `closed` ordered by close instant, for O(log n) capacity
+    /// eviction.
+    closed_order: std::collections::BTreeSet<(Timestamp, u64)>,
     pending: Vec<EmittedEpisode>,
     watermark: Option<Timestamp>,
     stats: ShardStats,
     scratch: Vec<(usize, Episode)>,
+    /// Online postings over this shard's open visits (maintained only
+    /// under [`ShardCtx::retain_intervals`]; empty otherwise). Not
+    /// checkpointed — rebuilt from the retained intervals on restore.
+    live_index: LiveIndex,
+}
+
+/// A shard dismantled into its state, for engines that keep visit state
+/// in a different container (the work-stealing scheduler).
+pub(crate) struct ShardParts {
+    pub watermark: Option<Timestamp>,
+    pub visits: BTreeMap<u64, VisitState>,
+    pub closed: BTreeMap<u64, Timestamp>,
+    pub pending: Vec<EmittedEpisode>,
+    pub stats: ShardStats,
 }
 
 impl Shard {
@@ -123,10 +165,12 @@ impl Shard {
             inbox: Vec::new(),
             visits: BTreeMap::new(),
             closed: BTreeMap::new(),
+            closed_order: std::collections::BTreeSet::new(),
             pending: Vec::new(),
             watermark: None,
             stats: ShardStats::default(),
             scratch: Vec::new(),
+            live_index: LiveIndex::new(),
         }
     }
 
@@ -149,11 +193,6 @@ impl Shard {
         for event in events {
             self.apply(event, ctx);
         }
-        // Retire fence entries no realistic straggler can still hit.
-        if let Some(watermark) = self.watermark {
-            self.closed
-                .retain(|_, &mut closed_at| closed_at + ctx.allowed_lateness >= watermark);
-        }
     }
 
     fn apply(&mut self, event: StreamEvent, ctx: &ShardCtx<'_>) {
@@ -163,9 +202,16 @@ impl Shard {
             None => event.time(),
         });
         let key = event.visit().0;
-        if self.closed.contains_key(&key) {
-            self.stats.anomalies.after_close += 1;
-            return;
+        if let Some(&closed_at) = self.closed.get(&key) {
+            if event.time() <= closed_at + ctx.allowed_lateness {
+                self.stats.anomalies.after_close += 1;
+                return;
+            }
+            // The straggler is past the lateness horizon of the close:
+            // retire the fence and treat the visit as new (it re-opens
+            // implicitly below, or explicitly if this is an open).
+            self.closed.remove(&key);
+            self.closed_order.remove(&(closed_at, key));
         }
         match event {
             StreamEvent::VisitOpened {
@@ -188,14 +234,18 @@ impl Shard {
                 self.stats.fixes += 1;
                 self.ensure_visit(visit, ctx);
                 let state = self.visits.get_mut(&visit.0).expect("ensured above");
+                let before = state.retained_intervals().len();
                 state.apply_fix(cell, at, ctx, &mut self.scratch, &mut self.stats.anomalies);
+                self.index_accepted(visit, before);
                 self.collect(visit);
             }
             StreamEvent::Presence { visit, interval } => {
                 self.stats.presences += 1;
                 self.ensure_visit(visit, ctx);
                 let state = self.visits.get_mut(&visit.0).expect("ensured above");
+                let before = state.retained_intervals().len();
                 state.apply_presence(interval, ctx, &mut self.scratch, &mut self.stats.anomalies);
+                self.index_accepted(visit, before);
                 self.collect(visit);
             }
             StreamEvent::VisitClosed { visit, at } => {
@@ -206,6 +256,19 @@ impl Shard {
                 state.close(ctx, &mut self.scratch, &mut self.stats.anomalies);
                 self.stats.visits_closed += 1;
                 self.closed.insert(visit.0, at);
+                self.closed_order.insert((at, visit.0));
+                // Capacity eviction: drop the oldest fence (possibly
+                // this one). At any quiesce point both runtimes retain
+                // the same cap-largest close instants; see
+                // `EngineConfig::fence_capacity` for the (documented)
+                // mid-stream divergence window above the cap.
+                while self.closed.len() > ctx.fence_capacity.max(1) {
+                    let &(evict_at, evict_key) =
+                        self.closed_order.iter().next().expect("non-empty");
+                    self.closed_order.remove(&(evict_at, evict_key));
+                    self.closed.remove(&evict_key);
+                }
+                self.live_index.remove(visit.0);
                 let moving_object = state.moving_object.clone();
                 for (predicate, episode) in self.scratch.drain(..) {
                     self.stats.episodes += 1;
@@ -235,6 +298,22 @@ impl Shard {
                     &mut self.stats.anomalies,
                 ),
             );
+        }
+    }
+
+    /// Feeds the intervals a visit accepted during the last apply into
+    /// the live index (retention on makes acceptance observable as
+    /// growth of the retained slice; retention off retains nothing and
+    /// the index intentionally stays empty).
+    fn index_accepted(&mut self, visit: VisitKey, before: usize) {
+        let Shard {
+            visits, live_index, ..
+        } = self;
+        let Some(state) = visits.get(&visit.0) else {
+            return;
+        };
+        for interval in &state.retained_intervals()[before..] {
+            live_index.observe(visit.0, &state.moving_object, interval);
         }
     }
 
@@ -299,7 +378,14 @@ impl Shard {
             pending: self.pending.clone(),
             watermark: self.watermark,
             unqueryable,
+            index: self.live_index.clone(),
         }
+    }
+
+    /// The shard's incremental live index (empty unless intervals are
+    /// retained).
+    pub fn live_index(&self) -> &LiveIndex {
+        &self.live_index
     }
 
     /// High-water mark of applied event times.
@@ -344,18 +430,44 @@ impl Shard {
         snapshot: ShardSnapshot,
         predicates: &[(IntervalPredicate, AnnotationSet)],
     ) -> Self {
+        let visits: BTreeMap<u64, VisitState> = snapshot
+            .visits
+            .into_iter()
+            .map(|(k, v)| (k, VisitState::restore(v, predicates)))
+            .collect();
+        // The index is not serialized; rebuild it from the retained
+        // intervals (empty after retention reconciliation, matching the
+        // unqueryable accounting).
+        let mut live_index = LiveIndex::new();
+        for (key, state) in &visits {
+            for interval in state.retained_intervals() {
+                live_index.observe(*key, &state.moving_object, interval);
+            }
+        }
+        let closed: BTreeMap<u64, Timestamp> = snapshot.closed.into_iter().collect();
         Shard {
             inbox: Vec::new(),
-            visits: snapshot
-                .visits
-                .into_iter()
-                .map(|(k, v)| (k, VisitState::restore(v, predicates)))
-                .collect(),
-            closed: snapshot.closed.into_iter().collect(),
+            visits,
+            closed_order: closed.iter().map(|(k, t)| (*t, *k)).collect(),
+            closed,
             pending: snapshot.pending,
             watermark: snapshot.watermark,
             stats: snapshot.stats,
             scratch: Vec::new(),
+            live_index,
+        }
+    }
+
+    /// Dismantles the shard (inbox must be empty — restore-time shards
+    /// always are) so another runtime can adopt its state.
+    pub(crate) fn into_parts(self) -> ShardParts {
+        debug_assert!(self.inbox.is_empty(), "flush before dismantling");
+        ShardParts {
+            watermark: self.watermark,
+            visits: self.visits,
+            closed: self.closed,
+            pending: self.pending,
+            stats: self.stats,
         }
     }
 }
@@ -395,6 +507,7 @@ mod tests {
             drop_instantaneous: false,
             batch_capacity,
             allowed_lateness,
+            fence_capacity: 65_536,
             retain_intervals: false,
         }
     }
@@ -486,9 +599,9 @@ mod tests {
         // Within the lateness horizon: still fenced.
         shard.enqueue(presence(5, 1, 100, 110), &ctx);
         assert_eq!(shard.stats().anomalies.after_close, 1);
-        // A different visit's event pushes the watermark past the horizon,
-        // retiring the fence entry; a straggler then re-opens implicitly
-        // instead of being fenced (documented trade-off of bounded state).
+        // A straggler stamped beyond `close + lateness` retires the
+        // fence and re-opens the visit implicitly — the event-time
+        // deterministic rule both runtimes share.
         let far = 10 + lateness.as_seconds() + 1;
         shard.enqueue(presence(6, 1, far, far + 5), &ctx);
         shard.enqueue(presence(5, 1, far + 1, far + 2), &ctx);

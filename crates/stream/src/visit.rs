@@ -137,6 +137,14 @@ impl VisitState {
         self.segmenter.index()
     }
 
+    /// The intervals retained for live queries (empty unless
+    /// [`ShardCtx::retain_intervals`] is set). The engines diff this
+    /// slice around each event to feed the incremental
+    /// [`crate::LiveIndex`] without widening the apply signatures.
+    pub fn retained_intervals(&self) -> &[PresenceInterval] {
+        &self.intervals
+    }
+
     /// The trajectory prefix observed so far, when intervals are retained
     /// ([`ShardCtx::retain_intervals`]) and at least one was accepted.
     /// `None` with retention off, before the first accepted interval, or
@@ -308,6 +316,7 @@ mod tests {
             drop_instantaneous,
             batch_capacity: 1,
             allowed_lateness: Duration::hours(1),
+            fence_capacity: 65_536,
             retain_intervals: false,
         }
     }

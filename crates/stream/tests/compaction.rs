@@ -157,7 +157,7 @@ fn compacted_log_stays_bounded_and_every_tear_recovers() {
     let torn = TempLog::new("torn");
     for cut in tail_start..data.len() {
         std::fs::write(&torn.0, &data[..cut]).expect("write torn copy");
-        let (engine, _ckpt, _report) =
+        let (mut engine, _ckpt, _report) =
             resume_parallel_compacting(config(), &torn.0, CompactionPolicy::default())
                 .unwrap_or_else(|e| panic!("cut at {cut}: recovery failed: {e}"));
         assert_eq!(
@@ -167,7 +167,7 @@ fn compacted_log_stays_bounded_and_every_tear_recovers() {
         );
     }
     // The intact file lands on the newest checkpoint.
-    let (engine, _ckpt, report) =
+    let (mut engine, _ckpt, report) =
         resume_parallel_compacting(config(), &compacted.0, CompactionPolicy::default())
             .expect("intact recovery");
     assert!(report.is_clean());
@@ -204,7 +204,7 @@ fn torn_compaction_sequence_is_never_reused() {
     assert_eq!(seq, 3, "torn sequence 2 is burned, not reused");
     drop((engine, ckpt));
 
-    let (restored, _, _) =
+    let (mut restored, _, _) =
         resume_parallel_compacting(config(), &log.0, CompactionPolicy::default())
             .expect("final resume");
     assert!(restored.stats().events > before.events, "newest state won");
@@ -233,7 +233,7 @@ fn deferred_compaction_appends_then_rewrites() {
     assert_eq!(frame_counts, vec![2, 4, 4, 6, 8, 4]);
     // Recovery still lands on the newest checkpoint.
     drop((engine, ckpt));
-    let (restored, _, report) =
+    let (mut restored, _, report) =
         resume_parallel_compacting(config(), &log.0, policy).expect("resume");
     assert!(report.is_clean());
     assert_eq!(restored.stats().visits_opened, 18);

@@ -162,7 +162,30 @@ fn check_cut(
             batch_count,
             "cut {cut}: predicate {predicate} diverged"
         );
-        // The federation entry point sees the same union.
+        // Drain-point index consistency: the incrementally maintained
+        // live index, captured mid-stream between drains, must answer
+        // exactly like the index-free scan — ids and counts.
+        assert_eq!(
+            snapshot.count_matching_scan(&predicate),
+            batch_count,
+            "cut {cut}: scan path diverged for {predicate}"
+        );
+        let indexed: Vec<u64> = snapshot
+            .matching(&predicate)
+            .iter()
+            .map(|v| v.visit.0)
+            .collect();
+        let scanned: Vec<u64> = snapshot
+            .matching_scan(&predicate)
+            .iter()
+            .map(|v| v.visit.0)
+            .collect();
+        assert_eq!(
+            indexed, scanned,
+            "cut {cut}: indexed matches diverged for {predicate}"
+        );
+        // The federation entry point sees the same union (and routes
+        // through the same candidates).
         assert_eq!(
             federated_count(&predicate, &[snapshot as &dyn TrajectorySource]),
             batch_count,
@@ -317,6 +340,81 @@ fn single_hot_shard_skew_stays_consistent() {
         "only the hot visit (4000s dwell) clears 450s; cold visits dwell 99s"
     );
     assert_eq!(drained, snapshot.pending);
+}
+
+#[test]
+fn explain_reports_the_live_index_path_and_federated_queries_page_the_union() {
+    use sitm_query::{AccessPath, Query, SortKey, TrajectoryDb, TrajectorySource};
+
+    let model = build_louvre();
+    let dataset = small_dataset(42, 10, 4);
+    let events = dataset_events(&model, &dataset);
+    let mut engine = ParallelEngine::new(config(&model, 4)).unwrap();
+    // Ingest everything but the tail closes so several visits stay open.
+    let open_cut = events
+        .iter()
+        .position(|e| matches!(e, StreamEvent::VisitClosed { .. }))
+        .expect("some visit closes");
+    engine.ingest_all(events[..open_cut].iter().cloned());
+    let snapshot = engine.live_snapshot();
+    assert!(!snapshot.visits.is_empty());
+
+    // The engine-produced snapshot's index covers every visit, so an
+    // indexable predicate explains as IndexCandidates over the live
+    // side — and the candidate count bounds the population.
+    let hall = zone_cell(&model, 60886);
+    let query = Query::new().visited(hall);
+    let plan = query.explain_source(&snapshot as &dyn TrajectorySource);
+    match plan.access {
+        AccessPath::IndexCandidates { candidates } => {
+            assert!(candidates <= snapshot.visits.len());
+            assert_eq!(
+                candidates,
+                snapshot
+                    .matching(&sitm_query::Predicate::VisitedCell(hall))
+                    .len(),
+                "cell postings are exact for VisitedCell"
+            );
+        }
+        AccessPath::FullScan => panic!("live snapshot must expose an index path"),
+    }
+    // An unindexable predicate explains as a scan of the live side.
+    let scan_plan = Query::new()
+        .filter(sitm_query::Predicate::MinTotalDwell(
+            sitm_core::Duration::minutes(1),
+        ))
+        .explain_source(&snapshot as &dyn TrajectorySource);
+    assert_eq!(scan_plan.access, AccessPath::FullScan);
+
+    // Sorted + limited federated execution over live state ∪ warehouse:
+    // results equal the naive union filtered, sorted, and paged by hand.
+    let warehouse: Vec<sitm_core::SemanticTrajectory> = snapshot
+        .visits
+        .iter()
+        .map(|v| v.trajectory.clone())
+        .collect();
+    let db = TrajectoryDb::build(warehouse);
+    let sources: Vec<&dyn TrajectorySource> = vec![&snapshot, &db];
+    let q = Query::new()
+        .visited(hall)
+        .order_by(SortKey::Start, true)
+        .offset(1)
+        .limit(3);
+    let fed = q.execute_federated(&sources);
+    let mut naive: Vec<sitm_core::SemanticTrajectory> = Vec::new();
+    for source in &sources {
+        source.for_each_trajectory(&mut |t| {
+            if q.predicate().matches(t) {
+                naive.push(t.clone());
+            }
+        });
+    }
+    naive.sort_by_key(|t| t.start());
+    let naive: Vec<sitm_core::SemanticTrajectory> = naive.into_iter().skip(1).take(3).collect();
+    assert_eq!(
+        fed, naive,
+        "federated sort/offset/limit must match the naive union"
+    );
 }
 
 #[test]

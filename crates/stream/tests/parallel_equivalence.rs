@@ -304,3 +304,101 @@ fn parallel_engine_spawns_one_worker_per_shard() {
         assert_eq!(engine.workers(), workers);
     }
 }
+
+/// A single-hot-visit feed: one visit receives ~97% of all events (the
+/// case that saturated one worker under the old static hash router),
+/// plus a handful of cold visits.
+fn hot_shard_feed() -> Vec<StreamEvent> {
+    let hall = CellRef::new(
+        sitm_graph::LayerIdx::from_index(0),
+        sitm_graph::NodeId::from_index(3),
+    );
+    let other = CellRef::new(
+        sitm_graph::LayerIdx::from_index(0),
+        sitm_graph::NodeId::from_index(4),
+    );
+    let mut events = Vec::new();
+    events.push(StreamEvent::VisitOpened {
+        visit: VisitKey(0),
+        moving_object: "hot".into(),
+        annotations: label("visit"),
+        at: sitm_core::Timestamp(0),
+    });
+    for i in 0..600i64 {
+        events.push(StreamEvent::Presence {
+            visit: VisitKey(0),
+            interval: sitm_core::PresenceInterval::new(
+                sitm_core::TransitionTaken::Unknown,
+                if i % 2 == 0 { hall } else { other },
+                sitm_core::Timestamp(i * 10),
+                sitm_core::Timestamp(i * 10 + 10),
+            ),
+        });
+    }
+    events.push(StreamEvent::VisitClosed {
+        visit: VisitKey(0),
+        at: sitm_core::Timestamp(6_000),
+    });
+    for v in 1..8u64 {
+        events.push(StreamEvent::VisitOpened {
+            visit: VisitKey(v),
+            moving_object: format!("cold-{v}"),
+            annotations: label("visit"),
+            at: sitm_core::Timestamp(v as i64),
+        });
+        for i in 0..3i64 {
+            events.push(StreamEvent::Presence {
+                visit: VisitKey(v),
+                interval: sitm_core::PresenceInterval::new(
+                    sitm_core::TransitionTaken::Unknown,
+                    if i % 2 == 0 { other } else { hall },
+                    sitm_core::Timestamp(v as i64 + i * 50),
+                    sitm_core::Timestamp(v as i64 + i * 50 + 40),
+                ),
+            });
+        }
+        events.push(StreamEvent::VisitClosed {
+            visit: VisitKey(v),
+            at: sitm_core::Timestamp(v as i64 + 200),
+        });
+    }
+    sitm_stream::event::sort_feed(&mut events);
+    events
+}
+
+/// The acceptance differential for the work-stealing router: under
+/// single-hot-shard skew, every worker count produces byte-identical
+/// episodes, stats, and watermarks to the sequential engine — while
+/// cold visits are free to be stolen by idle workers.
+#[test]
+fn single_hot_shard_skew_is_byte_identical_for_all_worker_counts() {
+    let model = build_louvre();
+    let events = hot_shard_feed();
+    for workers in [1usize, 2, 4, 8] {
+        let mut sequential = ShardedEngine::new(config(&model, workers, 8)).expect("engine");
+        let mut parallel = ParallelEngine::new(config(&model, workers, 8)).expect("engine");
+        // Mid-stream drain in the middle of the hot visit's burst, then
+        // the rest: both cuts must agree.
+        let cut = events.len() / 3;
+        sequential.ingest_all(events[..cut].iter().cloned());
+        parallel.ingest_all(events[..cut].iter().cloned());
+        assert_eq!(
+            sequential.drain(),
+            parallel.drain(),
+            "{workers} workers: mid-skew drain"
+        );
+        sequential.ingest_all(events[cut..].iter().cloned());
+        parallel.ingest_all(events[cut..].iter().cloned());
+        assert_eq!(
+            sequential.finish(),
+            parallel.finish(),
+            "{workers} workers: final drain"
+        );
+        let s = sequential.stats();
+        let p = parallel.stats();
+        assert_eq!(s.events, p.events, "{workers} workers");
+        assert_eq!(s.episodes, p.episodes, "{workers} workers");
+        assert_eq!(s.anomalies, p.anomalies, "{workers} workers");
+        assert_eq!(sequential.watermark(), parallel.watermark());
+    }
+}
