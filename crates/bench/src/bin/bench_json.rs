@@ -1,26 +1,30 @@
 //! Machine-readable performance snapshot: times the hot paths this
-//! repo's perf work targets and writes `BENCH_3.json` (group → ns/op)
-//! — the seed of the cross-PR perf trajectory, uploaded as a CI
-//! artifact so regressions are diffable without parsing criterion
-//! output.
+//! repo's perf work targets and writes `BENCH_4.json` (group → ns/op)
+//! — the cross-PR perf trajectory, uploaded as a CI artifact so
+//! regressions are diffable without parsing criterion output.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin bench_json [path]`
-//! (default output path: `BENCH_3.json` in the working directory).
+//! (default output path: `BENCH_4.json` in the working directory).
 //!
 //! The wall-clock numbers carry the same caveat as `bench_stream`: on a
 //! single-core container the parallel groups measure scheduler overhead
 //! with no cores to win, so compare `skewed_ingest/parallel_4` against
 //! `skewed_ingest/sequential_1` only on multi-core hosts. The
-//! `live_query/indexed_count` vs `live_query/scan_count` ratio (the
-//! ≥ 5× acceptance target) is core-count independent.
+//! `live_query/indexed_count` vs `live_query/scan_count` ratio (≥ 5×
+//! acceptance target) and the `warehouse/pruned_count` vs
+//! `warehouse/scan_count` ratio (pruned must win on the selective
+//! predicate) are core-count independent.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use sitm_bench::stream_feeds::{louvre_feed, skewed_feed, stream_config as config};
+use sitm_core::SemanticTrajectory;
 use sitm_louvre::build_louvre;
-use sitm_query::Predicate;
-use sitm_stream::{ParallelEngine, ShardedEngine, StreamEvent};
+use sitm_query::{Predicate, SegmentedDb};
+use sitm_store::warehouse::WarehouseConfig;
+use sitm_stream::{Flusher, ParallelEngine, ShardedEngine, StreamEvent};
 
 /// Median-of-runs wall-clock timer: ns per invocation of `body`.
 fn time_ns<T>(runs: usize, mut body: impl FnMut() -> T) -> u64 {
@@ -39,10 +43,40 @@ fn time_ns<T>(runs: usize, mut body: impl FnMut() -> T) -> u64 {
     samples[samples.len() / 2]
 }
 
+/// A fresh throwaway warehouse directory per invocation.
+struct TempWarehouse {
+    dir: PathBuf,
+    counter: u64,
+}
+
+impl TempWarehouse {
+    fn new() -> TempWarehouse {
+        TempWarehouse {
+            dir: std::env::temp_dir().join(format!("sitm-bench-warehouse-{}", std::process::id())),
+            counter: 0,
+        }
+    }
+
+    fn fresh(&mut self) -> SegmentedDb {
+        self.counter += 1;
+        let dir = self.dir.join(format!("run-{}", self.counter));
+        let _ = std::fs::remove_dir_all(&dir);
+        SegmentedDb::open(&dir, WarehouseConfig::default())
+            .expect("open bench warehouse")
+            .0
+    }
+}
+
+impl Drop for TempWarehouse {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_3.json".to_string());
+        .unwrap_or_else(|| "BENCH_4.json".to_string());
     let model = build_louvre();
     let louvre = louvre_feed(&model);
     let skewed = skewed_feed(400, 20_000, 1.2);
@@ -118,6 +152,69 @@ fn main() {
         "stream/live_query/scan_count".into(),
         time_ns(199, || snapshot.count_matching_scan(&selective)),
     ));
+    drop(engine);
+
+    // ---- Warehouse tier -------------------------------------------------
+    // The spilled history: every closed Louvre visit as a trajectory.
+    let mut source = ShardedEngine::new(config(&model, 4).with_warehouse()).expect("engine");
+    source.ingest_all(louvre.iter().cloned());
+    source.finish();
+    let history: Vec<SemanticTrajectory> = source.take_finished();
+    assert!(history.len() > 300, "bench corpus is a real day");
+    let mut warehouses = TempWarehouse::new();
+
+    // Segment build: one immutable sorted segment (sort + zone map +
+    // encode + fsync + manifest commit) over the full day. Inputs are
+    // prepared outside the timed body (fresh warehouse + corpus copy
+    // per run) so the group times flush() alone, not clone/setup.
+    let mut prepared: std::collections::VecDeque<(SegmentedDb, Vec<SemanticTrajectory>)> = (0..6)
+        .map(|_| (warehouses.fresh(), history.clone()))
+        .collect();
+    results.push((
+        "warehouse/segment_build".into(),
+        time_ns(5, || {
+            let (mut db, batch) = prepared.pop_front().expect("prepared run");
+            db.flush(batch).expect("flush");
+            db.len()
+        }),
+    ));
+
+    // Flush throughput: the streaming spill pipeline — engine-side
+    // take_finished batches through a Flusher, incl. the size-tiered
+    // compactions the small segments trigger.
+    results.push((
+        "warehouse/flush_throughput".into(),
+        time_ns(3, || {
+            let mut engine =
+                ShardedEngine::new(config(&model, 4).with_warehouse()).expect("engine");
+            let mut flusher = Flusher::new(warehouses.fresh()).with_min_batch(64);
+            for chunk in louvre.chunks(louvre.len() / 8) {
+                engine.ingest_all(chunk.iter().cloned());
+                flusher.poll(&mut engine).expect("poll");
+            }
+            engine.finish();
+            flusher.force(&mut engine).expect("force");
+            flusher.db().len()
+        }),
+    ));
+
+    // Zone-map pruning: time-partitioned flushes give span/object
+    // disjoint segments; the selective point query ("this visitor's
+    // history") must beat the full segment scan.
+    let mut pruned_db = warehouses.fresh();
+    for chunk in history.chunks(history.len() / 8) {
+        pruned_db.flush(chunk.to_vec()).expect("flush");
+    }
+    let target = history[history.len() / 2].moving_object.clone();
+    let point = Predicate::MovingObject(target);
+    results.push((
+        "warehouse/pruned_count".into(),
+        time_ns(199, || pruned_db.count_matching(&point)),
+    ));
+    results.push((
+        "warehouse/scan_count".into(),
+        time_ns(199, || pruned_db.count_matching_scan(&point)),
+    ));
 
     let mut json = String::from("{\n");
     for (i, (group, ns)) in results.iter().enumerate() {
@@ -125,23 +222,30 @@ fn main() {
         writeln!(json, "  \"{group}\": {ns}{comma}").expect("write json");
     }
     json.push_str("}\n");
-    std::fs::write(&out_path, &json).expect("write BENCH_3.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_4.json");
     print!("{json}");
     eprintln!("wrote {out_path} ({} groups, ns/op, median)", results.len());
 
-    let indexed = results
-        .iter()
-        .find(|(g, _)| g.ends_with("indexed_count"))
-        .expect("indexed group")
-        .1
-        .max(1);
-    let scan = results
-        .iter()
-        .find(|(g, _)| g.ends_with("scan_count"))
-        .expect("scan group")
-        .1;
+    let ratio = |indexed: &str, scan: &str| {
+        let i = results
+            .iter()
+            .find(|(g, _)| g.ends_with(indexed))
+            .expect("indexed group")
+            .1
+            .max(1);
+        let s = results
+            .iter()
+            .find(|(g, _)| g.ends_with(scan))
+            .expect("scan group")
+            .1;
+        s as f64 / i as f64
+    };
     eprintln!(
         "live-query speedup (scan/indexed): {:.1}x",
-        scan as f64 / indexed as f64
+        ratio("live_query/indexed_count", "live_query/scan_count")
+    );
+    eprintln!(
+        "warehouse pruning speedup (scan/pruned): {:.1}x",
+        ratio("warehouse/pruned_count", "warehouse/scan_count")
     );
 }

@@ -22,7 +22,11 @@
 //!   occupancy series, annotation grouping;
 //! * [`federation`] — [`TrajectorySource`] and the `federated_*` entry
 //!   points: one predicate evaluated over the union of many trajectory
-//!   collections (warehouse + live streaming-engine state).
+//!   collections (warehouse + live streaming-engine state);
+//! * [`segmented`] — [`SegmentedDb`]: the warehouse rewritten around
+//!   `sitm-store`'s immutable on-disk segment tier — zone-map pruning
+//!   plus per-segment postings behind the same query surface and the
+//!   same [`TrajectorySource`] federation face.
 //!
 //! Index lookups return candidate *supersets* and the executor re-checks
 //! the predicate on every candidate, so results are always identical to a
@@ -50,6 +54,7 @@ pub mod index;
 pub mod interval_tree;
 pub mod predicate;
 pub mod query;
+pub mod segmented;
 
 pub use federation::{
     federated_count, federated_explain, federated_for_each, federated_matching, TrajectorySource,
@@ -63,3 +68,4 @@ pub use index::{CandidateSet, TrajId, TrajectoryDb};
 pub use interval_tree::{Entry, IntervalTree};
 pub use predicate::Predicate;
 pub use query::{AccessPath, Match, Query, QueryPlan, SortKey};
+pub use segmented::{zone_may_match, SegmentedDb, SegmentedPlan};

@@ -16,7 +16,11 @@
 //! * [`segment`] — the CRC-framed segment format and its scanner, whose
 //!   `valid_len` is the torn-write truncation point;
 //! * [`log`] — [`LogStore`]: an append-only, crash-recoverable record
-//!   log with fsync durability and atomic compaction.
+//!   log with fsync durability and atomic compaction;
+//! * [`warehouse`] — the warehouse tier: immutable sorted segment files
+//!   of encoded trajectories with per-segment [`ZoneMap`]s, made visible
+//!   through a compacting manifest log ([`SegmentStore`]), with
+//!   size-tiered segment compaction.
 //!
 //! Failure-injection property tests (`tests/proptests.rs`) drive random
 //! truncations and byte flips through recovery and assert the WAL
@@ -29,6 +33,7 @@ pub mod crc;
 pub mod log;
 pub mod segment;
 pub mod varint;
+pub mod warehouse;
 
 pub use checkpoint::{
     complete_checkpoint_groups, latest_complete_checkpoint, CheckpointFrame, CompactionPolicy,
@@ -38,3 +43,7 @@ pub use crc::{crc32, Crc32};
 pub use log::{LogStore, Record, RecoveryReport, StoreError};
 pub use segment::{scan, write_frame, write_header, Corruption, ScanOutcome};
 pub use varint::{decode_u64, encode_u64, zigzag_decode, zigzag_encode, VarintError};
+pub use warehouse::{
+    sort_run, ManifestRecord, Segment, SegmentRef, SegmentStore, WarehouseConfig, WarehouseError,
+    ZoneMap,
+};

@@ -1,0 +1,1008 @@
+//! The warehouse tier: immutable trajectory segments and their manifest.
+//!
+//! The live engines (`sitm-stream`) hold *open* visits; once a visit
+//! closes, its trajectory belongs in a durable, indexed warehouse the
+//! query stack can federate with live state. This module supplies the
+//! storage half of that tier (Mireku Kwakye's trajectory-warehouse line
+//! in the related work); `sitm_query::SegmentedDb` supplies the query
+//! half on top of it.
+//!
+//! ## Segment files
+//!
+//! A segment is an **immutable sorted run** of encoded
+//! [`SemanticTrajectory`]s, framed exactly like every other durable
+//! artifact in this repo ([`crate::segment`]: magic, then
+//! marker/length/CRC frames):
+//!
+//! ```text
+//! seg-NNNNNNNN.seg := magic "SITMSEG1"
+//!                   | frame(zone map)
+//!                   | frame(trajectory)*
+//! ```
+//!
+//! Frame 0 is the segment's [`ZoneMap`] — span min/max, cell set,
+//! moving-object set, trajectory/stay annotation sets, record count —
+//! the per-segment pruning metadata a query consults *before* touching
+//! any trajectory. Trajectories are sorted by [`sort_run`]'s canonical
+//! total order (span start, span end, encoded bytes), so every segment
+//! is one sorted run and compaction is a merge of runs.
+//!
+//! ## The manifest log
+//!
+//! Segment files become visible only through `manifest.log`, a
+//! [`LogStore`] of [`ManifestRecord`]s. Each record is a *complete*
+//! snapshot of the live segment set, so the newest intact record *is*
+//! the newest complete manifest — a torn tail (crash mid-append) simply
+//! truncates back to the previous record, and a segment file written but
+//! never referenced (crash between file write and manifest append) is
+//! garbage-collected at the next open. The log stays bounded by the
+//! [`CompactionPolicy`] idiom the checkpoint log already uses: every
+//! `every` commits the log is atomically rewritten to the newest `keep`
+//! records (`keep ≥ 2` keeps a fallback manifest for the torn-newest
+//! case, mirroring the checkpoint contract).
+//!
+//! ## Crash-safety protocol
+//!
+//! 1. write the new segment file, fsync it (and its directory);
+//! 2. append a manifest record referencing it, fsync the log;
+//! 3. (compaction only) delete the replaced segment files, best-effort.
+//!
+//! A crash at any byte of any step recovers to a complete earlier state:
+//! before 2 the new segment is invisible garbage; after 2 it is durable.
+//! Deletion in 3 is **deferred past the retention window**: a victim
+//! file is removed only once *no record still in the manifest log*
+//! references it — the torn-newest fallback record must be able to
+//! serve its full segment set, so files it names stay on disk until its
+//! record rotates out. A crash anywhere in between only leaves orphans
+//! for the next open's GC. `tests/warehouse.rs` tortures both the
+//! manifest and the newest segment file at every byte offset.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use sitm_core::{AnnotationSet, SemanticTrajectory, TimeInterval, Timestamp};
+use sitm_space::CellRef;
+
+use crate::checkpoint::CompactionPolicy;
+use crate::codec::{
+    decode_annotations, decode_cell, decode_trajectory, encode_annotations, encode_cell,
+    encode_trajectory, CodecError,
+};
+use crate::log::{LogStore, Record, RecoveryReport, StoreError};
+use crate::segment::{self, Corruption};
+use crate::varint;
+
+/// Warehouse-tier failures.
+#[derive(Debug)]
+pub enum WarehouseError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Manifest-log failure.
+    Store(StoreError),
+    /// A payload failed to decode.
+    Codec(CodecError),
+    /// A *referenced* segment file is corrupt (bitrot or tampering —
+    /// never a torn write, which can only hit unreferenced files).
+    CorruptSegment {
+        /// The segment id.
+        id: u64,
+        /// What the scanner found.
+        corruption: Corruption,
+    },
+    /// A referenced segment file is missing or inconsistent with its
+    /// manifest entry.
+    Inconsistent {
+        /// The segment id.
+        id: u64,
+        /// What went wrong.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for WarehouseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WarehouseError::Io(e) => write!(f, "io: {e}"),
+            WarehouseError::Store(e) => write!(f, "manifest: {e}"),
+            WarehouseError::Codec(e) => write!(f, "codec: {e}"),
+            WarehouseError::CorruptSegment { id, corruption } => {
+                write!(f, "segment {id} is corrupt: {corruption}")
+            }
+            WarehouseError::Inconsistent { id, what } => {
+                write!(f, "segment {id} inconsistent with manifest: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WarehouseError {}
+
+impl From<std::io::Error> for WarehouseError {
+    fn from(e: std::io::Error) -> Self {
+        WarehouseError::Io(e)
+    }
+}
+
+impl From<StoreError> for WarehouseError {
+    fn from(e: StoreError) -> Self {
+        WarehouseError::Store(e)
+    }
+}
+
+impl From<CodecError> for WarehouseError {
+    fn from(e: CodecError) -> Self {
+        WarehouseError::Codec(e)
+    }
+}
+
+// --- zone maps -------------------------------------------------------------
+
+/// Per-segment pruning metadata: the aggregate "where / when / what / who"
+/// of every trajectory in the segment. A query layer consults it to skip
+/// whole segments a predicate provably cannot match (soundness lives in
+/// the consumer: pruning may only say *no* when no trajectory in the
+/// segment can match).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ZoneMap {
+    /// Trajectories in the segment.
+    pub len: u64,
+    /// Minimum span start and maximum span end across the segment
+    /// (`None` only for an empty map).
+    pub span: Option<TimeInterval>,
+    /// Every cell any trajectory stays in.
+    pub cells: BTreeSet<CellRef>,
+    /// Every moving-object identifier.
+    pub objects: BTreeSet<String>,
+    /// Union of the whole-trajectory annotation sets (`A_traj`).
+    pub traj_annotations: AnnotationSet,
+    /// Union of the per-stay annotation sets (`A_i`).
+    pub stay_annotations: AnnotationSet,
+}
+
+impl ZoneMap {
+    /// Builds the map over a run of trajectories.
+    pub fn build(trajectories: &[SemanticTrajectory]) -> ZoneMap {
+        let mut map = ZoneMap {
+            len: trajectories.len() as u64,
+            ..ZoneMap::default()
+        };
+        for t in trajectories {
+            let span = t.span();
+            map.span = Some(match map.span {
+                None => span,
+                Some(s) => TimeInterval::new(s.start.min(span.start), s.end.max(span.end)),
+            });
+            map.objects.insert(t.moving_object.clone());
+            for a in t.annotations().iter() {
+                map.traj_annotations.insert(a.clone());
+            }
+            for stay in t.trace().intervals() {
+                map.cells.insert(stay.cell);
+                for a in stay.annotations.iter() {
+                    map.stay_annotations.insert(a.clone());
+                }
+            }
+        }
+        map
+    }
+
+    /// Encodes the map (segment frame 0).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        varint::encode_u64(buf, self.len);
+        match self.span {
+            None => buf.push(0),
+            Some(span) => {
+                buf.push(1);
+                varint::encode_i64(buf, span.start.as_seconds());
+                varint::encode_u64(buf, span.duration().as_seconds() as u64);
+            }
+        }
+        varint::encode_u64(buf, self.cells.len() as u64);
+        for cell in &self.cells {
+            encode_cell(buf, *cell);
+        }
+        varint::encode_u64(buf, self.objects.len() as u64);
+        for o in &self.objects {
+            varint::encode_u64(buf, o.len() as u64);
+            buf.extend_from_slice(o.as_bytes());
+        }
+        encode_annotations(buf, &self.traj_annotations);
+        encode_annotations(buf, &self.stay_annotations);
+    }
+
+    /// Decodes a map encoded by [`ZoneMap::encode`].
+    pub fn decode(buf: &mut &[u8]) -> Result<ZoneMap, CodecError> {
+        let len = varint::decode_u64(buf)?;
+        let Some((&span_flag, rest)) = buf.split_first() else {
+            return Err(CodecError::UnexpectedEof);
+        };
+        *buf = rest;
+        let span = match span_flag {
+            0 => None,
+            1 => {
+                let start = Timestamp(varint::decode_i64(buf)?);
+                let duration = varint::decode_u64(buf)?;
+                let end = Timestamp(start.as_seconds() + duration as i64);
+                if end < start {
+                    return Err(CodecError::InvalidTrace("zone-map span overflow".into()));
+                }
+                Some(TimeInterval::new(start, end))
+            }
+            other => return Err(CodecError::BadTag(other)),
+        };
+        let cell_count = varint::decode_u64(buf)?;
+        if cell_count > buf.len() as u64 {
+            return Err(CodecError::LengthOverrun {
+                declared: cell_count,
+                available: buf.len(),
+            });
+        }
+        let mut cells = BTreeSet::new();
+        for _ in 0..cell_count {
+            cells.insert(decode_cell(buf)?);
+        }
+        let object_count = varint::decode_u64(buf)?;
+        if object_count > buf.len() as u64 {
+            return Err(CodecError::LengthOverrun {
+                declared: object_count,
+                available: buf.len(),
+            });
+        }
+        let mut objects = BTreeSet::new();
+        for _ in 0..object_count {
+            let olen = varint::decode_u64(buf)?;
+            if olen > buf.len() as u64 {
+                return Err(CodecError::LengthOverrun {
+                    declared: olen,
+                    available: buf.len(),
+                });
+            }
+            let (head, tail) = buf.split_at(olen as usize);
+            objects.insert(
+                std::str::from_utf8(head)
+                    .map_err(|_| CodecError::BadUtf8)?
+                    .to_string(),
+            );
+            *buf = tail;
+        }
+        let traj_annotations = decode_annotations(buf)?;
+        let stay_annotations = decode_annotations(buf)?;
+        Ok(ZoneMap {
+            len,
+            span,
+            cells,
+            objects,
+            traj_annotations,
+            stay_annotations,
+        })
+    }
+}
+
+/// Sorts trajectories into the canonical in-segment order: span start,
+/// span end, then encoded bytes as a total tiebreak. Every segment is
+/// one such sorted run, which makes segment order (and therefore every
+/// differential comparison against an in-memory [`sitm_query`-style]
+/// collection) deterministic regardless of flush timing or merge order.
+///
+/// [`sitm_query`-style]: self
+pub fn sort_run(trajectories: &mut [SemanticTrajectory]) {
+    trajectories.sort_by_cached_key(|t| {
+        let mut bytes = Vec::new();
+        encode_trajectory(&mut bytes, t);
+        (t.start(), t.end(), bytes)
+    });
+}
+
+// --- the manifest ----------------------------------------------------------
+
+/// One live segment, as the manifest records it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentRef {
+    /// Segment id (names the file via [`segment_file_name`]).
+    pub id: u64,
+    /// Trajectories in the segment (validated against the file at open).
+    pub records: u64,
+}
+
+/// One complete snapshot of the live segment set. The newest intact
+/// record in the manifest log is the warehouse's authoritative state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestRecord {
+    /// Monotonically increasing manifest sequence.
+    pub sequence: u64,
+    /// Live segments, in warehouse iteration order.
+    pub segments: Vec<SegmentRef>,
+}
+
+impl Record for ManifestRecord {
+    fn encode_record(&self, buf: &mut Vec<u8>) {
+        varint::encode_u64(buf, self.sequence);
+        varint::encode_u64(buf, self.segments.len() as u64);
+        for s in &self.segments {
+            varint::encode_u64(buf, s.id);
+            varint::encode_u64(buf, s.records);
+        }
+    }
+
+    fn decode_record(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let sequence = varint::decode_u64(buf)?;
+        let count = varint::decode_u64(buf)?;
+        if count > buf.len() as u64 {
+            return Err(CodecError::LengthOverrun {
+                declared: count,
+                available: buf.len(),
+            });
+        }
+        let mut segments = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let id = varint::decode_u64(buf)?;
+            let records = varint::decode_u64(buf)?;
+            segments.push(SegmentRef { id, records });
+        }
+        Ok(ManifestRecord { sequence, segments })
+    }
+}
+
+/// The file name a segment id maps to.
+pub fn segment_file_name(id: u64) -> String {
+    format!("seg-{id:08}.seg")
+}
+
+/// Parses a segment id back out of a file name (GC uses this to spot
+/// orphans).
+pub fn parse_segment_file_name(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+// --- segment file i/o ------------------------------------------------------
+
+/// Serializes one segment (zone map + trajectories) into a buffer.
+fn encode_segment_file(zone_map: &ZoneMap, trajectories: &[SemanticTrajectory]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    segment::write_header(&mut buf);
+    let mut scratch = Vec::new();
+    zone_map.encode(&mut scratch);
+    segment::write_frame(&mut buf, &scratch);
+    for t in trajectories {
+        scratch.clear();
+        encode_trajectory(&mut scratch, t);
+        segment::write_frame(&mut buf, &scratch);
+    }
+    buf
+}
+
+/// Reads and fully validates one segment file.
+pub fn read_segment_file(
+    path: &Path,
+    id: u64,
+) -> Result<(ZoneMap, Vec<SemanticTrajectory>), WarehouseError> {
+    let data = std::fs::read(path)?;
+    let outcome = segment::scan(&data);
+    if let Some(corruption) = outcome.corruption {
+        return Err(WarehouseError::CorruptSegment { id, corruption });
+    }
+    let Some((first, rest)) = outcome.payloads.split_first() else {
+        return Err(WarehouseError::Inconsistent {
+            id,
+            what: "segment has no zone-map frame",
+        });
+    };
+    let mut cursor: &[u8] = first;
+    let zone_map = ZoneMap::decode(&mut cursor)?;
+    if !cursor.is_empty() {
+        return Err(WarehouseError::Inconsistent {
+            id,
+            what: "trailing bytes after zone map",
+        });
+    }
+    let mut trajectories = Vec::with_capacity(rest.len());
+    for payload in rest {
+        let mut cursor: &[u8] = payload;
+        let t = decode_trajectory(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(WarehouseError::Inconsistent {
+                id,
+                what: "trailing bytes after trajectory",
+            });
+        }
+        trajectories.push(t);
+    }
+    if zone_map.len != trajectories.len() as u64 {
+        return Err(WarehouseError::Inconsistent {
+            id,
+            what: "zone-map count disagrees with frame count",
+        });
+    }
+    Ok((zone_map, trajectories))
+}
+
+#[cfg(unix)]
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+#[cfg(not(unix))]
+fn sync_dir(_dir: &Path) -> std::io::Result<()> {
+    Ok(())
+}
+
+// --- the segment store -----------------------------------------------------
+
+/// Warehouse-tier configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarehouseConfig {
+    /// Manifest-log compaction (the checkpoint-log idiom: `keep ≥ 2`
+    /// retains a fallback manifest for a torn newest record).
+    pub manifest: CompactionPolicy,
+    /// Size-tiered compaction fanout: when `fanout` segments share a
+    /// size tier (log₂ bucket of record count), they merge into one.
+    pub fanout: usize,
+}
+
+impl Default for WarehouseConfig {
+    fn default() -> Self {
+        WarehouseConfig {
+            manifest: CompactionPolicy::default(),
+            fanout: 4,
+        }
+    }
+}
+
+/// One live, fully loaded segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Segment id.
+    pub id: u64,
+    /// Pruning metadata.
+    pub zone_map: ZoneMap,
+    /// The sorted run.
+    pub trajectories: Vec<SemanticTrajectory>,
+}
+
+/// The durable warehouse tier: immutable segment files behind a
+/// manifest log, with atomic (manifest-mediated) append and replace.
+pub struct SegmentStore {
+    dir: PathBuf,
+    manifest: LogStore<ManifestRecord>,
+    policy: WarehouseConfig,
+    segments: Vec<Segment>,
+    /// Newest `policy.manifest.keep` records, oldest first — what a
+    /// manifest compaction rewrites the log to.
+    history: VecDeque<ManifestRecord>,
+    /// Replaced segments whose files must outlive the manifest records
+    /// that still reference them (torn-newest recovery serves the
+    /// previous record's full set). Swept after every commit.
+    garbage: BTreeSet<u64>,
+    commits_since_compact: u64,
+    sequence: u64,
+    next_id: u64,
+}
+
+impl SegmentStore {
+    /// Opens (or creates) the warehouse at `dir`: recovers the newest
+    /// complete manifest, loads every referenced segment, and
+    /// garbage-collects unreferenced segment files (the residue of a
+    /// crash between segment write and manifest append, or of a
+    /// compaction that never got to delete its victims).
+    pub fn open(
+        dir: impl AsRef<Path>,
+        policy: WarehouseConfig,
+    ) -> Result<(SegmentStore, RecoveryReport), WarehouseError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let (manifest, records, report) =
+            LogStore::<ManifestRecord>::open(dir.join("manifest.log"))?;
+        let current = records.last().cloned();
+        let history: VecDeque<ManifestRecord> = records
+            .iter()
+            .rev()
+            .take(policy.manifest.keep.max(1))
+            .rev()
+            .cloned()
+            .collect();
+        let mut segments = Vec::new();
+        let mut current_ids = BTreeSet::new();
+        // Every record still in the (truncation-repaired) log can be
+        // the one a future torn-tail recovery lands on; protect every
+        // file any of them references.
+        let referenced: BTreeSet<u64> = records
+            .iter()
+            .flat_map(|r| r.segments.iter().map(|s| s.id))
+            .collect();
+        let mut next_id = 0;
+        let mut sequence = 0;
+        if let Some(record) = &current {
+            sequence = record.sequence;
+            for r in &record.segments {
+                current_ids.insert(r.id);
+                next_id = next_id.max(r.id + 1);
+                let path = dir.join(segment_file_name(r.id));
+                let (zone_map, trajectories) = read_segment_file(&path, r.id)?;
+                if trajectories.len() as u64 != r.records {
+                    return Err(WarehouseError::Inconsistent {
+                        id: r.id,
+                        what: "manifest record count disagrees with segment",
+                    });
+                }
+                segments.push(Segment {
+                    id: r.id,
+                    zone_map,
+                    trajectories,
+                });
+            }
+        }
+        // Older manifest records in the retained history may reference
+        // ids above the current set; never reuse those either.
+        for record in &history {
+            for r in &record.segments {
+                next_id = next_id.max(r.id + 1);
+            }
+        }
+        // GC: a segment file *no record in the log* references is
+        // garbage from an interrupted append/compaction; one a
+        // non-current record still references is deferred garbage the
+        // commit sweep will collect once that record rotates out. (Ids
+        // climb past stray files too, so a failed delete can never
+        // collide.)
+        let mut garbage = BTreeSet::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(id) = parse_segment_file_name(name) else {
+                continue;
+            };
+            next_id = next_id.max(id + 1);
+            if !referenced.contains(&id) {
+                let _ = std::fs::remove_file(entry.path());
+            } else if !current_ids.contains(&id) {
+                garbage.insert(id);
+            }
+        }
+        Ok((
+            SegmentStore {
+                dir,
+                manifest,
+                policy,
+                segments,
+                history,
+                garbage,
+                commits_since_compact: 0,
+                sequence,
+                next_id,
+            },
+            report,
+        ))
+    }
+
+    /// The warehouse directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configuration in force.
+    pub fn policy(&self) -> WarehouseConfig {
+        self.policy
+    }
+
+    /// Live segments, in warehouse iteration order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total trajectories across every live segment.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|s| s.trajectories.len()).sum()
+    }
+
+    /// True when no segment is live.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The newest manifest sequence.
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// Writes one segment file (sorted, zone-mapped, fsynced) without
+    /// touching the manifest. Returns the loaded segment.
+    fn write_segment(
+        &mut self,
+        mut trajectories: Vec<SemanticTrajectory>,
+    ) -> Result<Segment, WarehouseError> {
+        sort_run(&mut trajectories);
+        let zone_map = ZoneMap::build(&trajectories);
+        let id = self.next_id;
+        self.next_id += 1;
+        let buf = encode_segment_file(&zone_map, &trajectories);
+        let path = self.dir.join(segment_file_name(id));
+        {
+            let mut file = File::create(&path)?;
+            file.write_all(&buf)?;
+            file.sync_all()?;
+        }
+        sync_dir(&self.dir)?;
+        Ok(Segment {
+            id,
+            zone_map,
+            trajectories,
+        })
+    }
+
+    /// Commits the current segment set as a new manifest record,
+    /// appending or compacting per the manifest policy. Durable on
+    /// return.
+    fn commit_manifest(&mut self) -> Result<(), WarehouseError> {
+        self.sequence += 1;
+        let record = ManifestRecord {
+            sequence: self.sequence,
+            segments: self
+                .segments
+                .iter()
+                .map(|s| SegmentRef {
+                    id: s.id,
+                    records: s.trajectories.len() as u64,
+                })
+                .collect(),
+        };
+        self.history.push_back(record);
+        while self.history.len() > self.policy.manifest.keep.max(1) {
+            self.history.pop_front();
+        }
+        self.commits_since_compact += 1;
+        if self.commits_since_compact >= self.policy.manifest.every.max(1) {
+            let retained: Vec<ManifestRecord> = self.history.iter().cloned().collect();
+            self.manifest.compact(&retained)?;
+            self.commits_since_compact = 0;
+        } else {
+            let newest = self.history.back().expect("just pushed").clone();
+            self.manifest.append(&newest)?;
+            self.manifest.sync()?;
+        }
+        self.sweep_garbage();
+        Ok(())
+    }
+
+    /// Deletes deferred-victim files whose last referencing manifest
+    /// record has rotated out of the retained history (torn-newest
+    /// recovery can no longer land on them).
+    fn sweep_garbage(&mut self) {
+        let protected: BTreeSet<u64> = self
+            .history
+            .iter()
+            .flat_map(|r| r.segments.iter().map(|s| s.id))
+            .collect();
+        let mut kept = BTreeSet::new();
+        for id in std::mem::take(&mut self.garbage) {
+            if protected.contains(&id) {
+                kept.insert(id);
+            } else {
+                let _ = std::fs::remove_file(self.dir.join(segment_file_name(id)));
+            }
+        }
+        self.garbage = kept;
+    }
+
+    /// Appends one immutable segment holding `trajectories` (sorted into
+    /// the canonical run order) and commits the manifest. An empty batch
+    /// is a no-op.
+    pub fn append_segment(
+        &mut self,
+        trajectories: Vec<SemanticTrajectory>,
+    ) -> Result<(), WarehouseError> {
+        if trajectories.is_empty() {
+            return Ok(());
+        }
+        let segment = self.write_segment(trajectories)?;
+        self.segments.push(segment);
+        self.commit_manifest()
+    }
+
+    /// Replaces the segments named in `victims` with one merged segment
+    /// holding their union, re-sorted into a single run. The merged
+    /// segment takes the position of the first victim. Victim files are
+    /// deleted only once **no retained manifest record** references
+    /// them (the garbage sweep run on every commit), so a torn newest
+    /// record always recovers to a manifest whose files are all on
+    /// disk.
+    pub fn replace_segments(&mut self, victims: &[u64]) -> Result<(), WarehouseError> {
+        if victims.len() < 2 {
+            return Ok(());
+        }
+        let victim_set: BTreeSet<u64> = victims.iter().copied().collect();
+        let mut merged = Vec::new();
+        for s in &self.segments {
+            if victim_set.contains(&s.id) {
+                merged.extend(s.trajectories.iter().cloned());
+            }
+        }
+        let position = self
+            .segments
+            .iter()
+            .position(|s| victim_set.contains(&s.id))
+            .unwrap_or(self.segments.len());
+        let segment = self.write_segment(merged)?;
+        self.segments.retain(|s| !victim_set.contains(&s.id));
+        self.segments
+            .insert(position.min(self.segments.len()), segment);
+        self.garbage.extend(victim_set);
+        self.commit_manifest()
+    }
+
+    /// Size-tiered compaction plan: the ids of one tier's segments that
+    /// should merge now (`None` when every tier is under the fanout).
+    /// Tiers are log₂ buckets of record count; the lowest over-full tier
+    /// merges first, so small flush segments coalesce before anything
+    /// large is rewritten.
+    pub fn plan_size_tiered(&self) -> Option<Vec<u64>> {
+        let fanout = self.policy.fanout.max(2);
+        let mut tiers: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        for s in &self.segments {
+            let len = s.trajectories.len().max(1) as u64;
+            let tier = 63 - len.leading_zeros(); // log2 bucket
+            tiers.entry(tier).or_default().push(s.id);
+        }
+        tiers
+            .into_iter()
+            .find(|(_, ids)| ids.len() >= fanout)
+            .map(|(_, ids)| ids)
+    }
+
+    /// Runs size-tiered compaction to a fixed point: while any tier holds
+    /// at least `fanout` segments, merge it. Returns the number of merges
+    /// performed.
+    pub fn compact_size_tiered(&mut self) -> Result<usize, WarehouseError> {
+        let mut merges = 0;
+        while let Some(victims) = self.plan_size_tiered() {
+            self.replace_segments(&victims)?;
+            merges += 1;
+        }
+        Ok(merges)
+    }
+}
+
+impl std::fmt::Debug for SegmentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentStore")
+            .field("dir", &self.dir)
+            .field("segments", &self.segments.len())
+            .field("records", &self.len())
+            .field("sequence", &self.sequence)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_core::{
+        Annotation, AnnotationSet, PresenceInterval, Timestamp, Trace, TransitionTaken,
+    };
+    use sitm_graph::{LayerIdx, NodeId};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let n = NEXT.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir()
+                .join(format!("sitm-warehouse-{tag}-{}-{n}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn cell(n: usize) -> CellRef {
+        CellRef::new(LayerIdx::from_index(0), NodeId::from_index(n))
+    }
+
+    fn traj(mo: &str, c: usize, start: i64) -> SemanticTrajectory {
+        let mut stay = PresenceInterval::new(
+            TransitionTaken::Unknown,
+            cell(c),
+            Timestamp(start),
+            Timestamp(start + 60),
+        );
+        stay.annotations.insert(Annotation::goal("browsing"));
+        SemanticTrajectory::new(
+            mo,
+            Trace::new(vec![stay]).unwrap(),
+            AnnotationSet::from_iter([Annotation::goal("visit")]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zone_map_round_trips_and_aggregates() {
+        let trajs = vec![traj("a", 1, 0), traj("b", 2, 100)];
+        let map = ZoneMap::build(&trajs);
+        assert_eq!(map.len, 2);
+        assert_eq!(
+            map.span,
+            Some(TimeInterval::new(Timestamp(0), Timestamp(160)))
+        );
+        assert!(map.cells.contains(&cell(1)) && map.cells.contains(&cell(2)));
+        assert!(map.objects.contains("a") && map.objects.contains("b"));
+        assert!(map.traj_annotations.contains(&Annotation::goal("visit")));
+        assert!(map.stay_annotations.contains(&Annotation::goal("browsing")));
+        let mut buf = Vec::new();
+        map.encode(&mut buf);
+        let mut cursor: &[u8] = &buf;
+        let back = ZoneMap::decode(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back, map);
+        // Truncations never panic and never produce a value.
+        for cut in 0..buf.len() {
+            assert!(ZoneMap::decode(&mut &buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_zone_map_round_trips() {
+        let map = ZoneMap::build(&[]);
+        assert_eq!(map.len, 0);
+        assert_eq!(map.span, None);
+        let mut buf = Vec::new();
+        map.encode(&mut buf);
+        assert_eq!(ZoneMap::decode(&mut buf.as_slice()).unwrap(), map);
+    }
+
+    #[test]
+    fn sort_run_is_canonical_and_total() {
+        let mut a = vec![traj("b", 2, 100), traj("a", 1, 0), traj("c", 1, 0)];
+        let mut b = vec![traj("c", 1, 0), traj("b", 2, 100), traj("a", 1, 0)];
+        sort_run(&mut a);
+        sort_run(&mut b);
+        assert_eq!(a, b, "order is independent of input permutation");
+        assert_eq!(a[0].start(), Timestamp(0));
+        assert_eq!(a[2].start(), Timestamp(100));
+    }
+
+    #[test]
+    fn manifest_record_round_trips() {
+        let r = ManifestRecord {
+            sequence: 9,
+            segments: vec![
+                SegmentRef { id: 0, records: 5 },
+                SegmentRef { id: 3, records: 1 },
+            ],
+        };
+        let mut buf = Vec::new();
+        r.encode_record(&mut buf);
+        let mut cursor: &[u8] = &buf;
+        assert_eq!(ManifestRecord::decode_record(&mut cursor).unwrap(), r);
+        assert!(cursor.is_empty());
+        assert_eq!(segment_file_name(3), "seg-00000003.seg");
+        assert_eq!(parse_segment_file_name("seg-00000003.seg"), Some(3));
+        assert_eq!(parse_segment_file_name("manifest.log"), None);
+    }
+
+    #[test]
+    fn append_reopen_preserves_segments() {
+        let tmp = TempDir::new("append");
+        {
+            let (mut store, report) =
+                SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
+            assert!(report.is_clean());
+            store
+                .append_segment(vec![traj("a", 1, 0), traj("b", 2, 100)])
+                .unwrap();
+            store.append_segment(vec![traj("c", 3, 200)]).unwrap();
+            assert_eq!(store.segments().len(), 2);
+            assert_eq!(store.len(), 3);
+        }
+        let (store, report) = SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(store.segments().len(), 2);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.segments()[0].trajectories[0].moving_object, "a");
+        assert_eq!(store.segments()[1].trajectories[0].moving_object, "c");
+    }
+
+    #[test]
+    fn empty_append_is_a_noop() {
+        let tmp = TempDir::new("empty");
+        let (mut store, _) = SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
+        let seq = store.sequence();
+        store.append_segment(Vec::new()).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.sequence(), seq);
+    }
+
+    #[test]
+    fn unreferenced_segment_files_are_garbage_collected() {
+        let tmp = TempDir::new("gc");
+        {
+            let (mut store, _) = SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
+            store.append_segment(vec![traj("a", 1, 0)]).unwrap();
+        }
+        // A stray file from a crash between segment write and manifest
+        // append.
+        let orphan = tmp.0.join(segment_file_name(99));
+        std::fs::write(&orphan, b"SITMSEG1").unwrap();
+        let (store, _) = SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
+        assert!(!orphan.exists(), "orphan collected");
+        assert_eq!(store.len(), 1, "referenced segment survives");
+        // And the orphan's id is burned, never reused.
+        assert!(store.next_id > 99);
+    }
+
+    #[test]
+    fn size_tiered_compaction_merges_small_runs() {
+        let tmp = TempDir::new("tiered");
+        let config = WarehouseConfig {
+            fanout: 3,
+            ..WarehouseConfig::default()
+        };
+        let (mut store, _) = SegmentStore::open(&tmp.0, config).unwrap();
+        for i in 0..3 {
+            store
+                .append_segment(vec![traj(&format!("mo-{i}"), 1, i * 100)])
+                .unwrap();
+        }
+        assert_eq!(store.segments().len(), 3);
+        let merges = store.compact_size_tiered().unwrap();
+        assert_eq!(merges, 1);
+        assert_eq!(store.segments().len(), 1);
+        assert_eq!(store.len(), 3);
+        let run = &store.segments()[0].trajectories;
+        assert!(run.windows(2).all(|w| w[0].start() <= w[1].start()));
+        // The victims' files are gone; the merged one survives reopen.
+        drop(store);
+        let (store, report) = SegmentStore::open(&tmp.0, config).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(store.segments().len(), 1);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn manifest_log_stays_bounded() {
+        let tmp = TempDir::new("bounded");
+        let (mut store, _) = SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
+        for i in 0..8 {
+            store
+                .append_segment(vec![traj(&format!("mo-{i}"), 1, i * 100)])
+                .unwrap();
+        }
+        // With keep=2/every=1 the log holds exactly two records; record
+        // size grows with the segment count, but the *count* of records
+        // is pinned at 2 (vs 8 for an append-only log).
+        assert_eq!(store.manifest.len(), 2);
+        drop(store);
+        let (store, _) = SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
+        assert_eq!(store.segments().len(), 8);
+    }
+
+    #[test]
+    fn corrupt_referenced_segment_is_refused() {
+        let tmp = TempDir::new("corrupt");
+        {
+            let (mut store, _) = SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
+            store.append_segment(vec![traj("a", 1, 0)]).unwrap();
+        }
+        let path = tmp.0.join(segment_file_name(0));
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 2] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        match SegmentStore::open(&tmp.0, WarehouseConfig::default()) {
+            Err(WarehouseError::CorruptSegment { id: 0, .. }) => {}
+            other => panic!("expected CorruptSegment, got {other:?}"),
+        }
+    }
+}

@@ -33,10 +33,11 @@ use crate::shard::{EmittedEpisode, ShardSnapshot, ShardStats};
 use crate::visit::{Anomalies, OpenFix, VisitSnapshot};
 
 /// Payload format version. Version 2 added the retained live-query
-/// intervals to each visit's state; version-1 payloads (no retention
-/// byte section) are no longer produced, and rejecting them keeps the
-/// decoder honest.
-const VERSION: u8 = 2;
+/// intervals to each visit's state; version 3 added the
+/// finished-but-unflushed trajectory backlog (the warehouse drain's
+/// exactly-once buffer). Older payloads are no longer produced, and
+/// rejecting them keeps the decoder honest.
+const VERSION: u8 = 3;
 
 /// Checkpoint payload failures.
 #[derive(Debug)]
@@ -154,6 +155,12 @@ pub fn encode_shard(snapshot: &ShardSnapshot, predicate_count: usize) -> Vec<u8>
         encode_episode(&mut buf, &e.episode);
     }
 
+    varint::encode_u64(&mut buf, snapshot.finished.len() as u64);
+    for (key, trajectory) in &snapshot.finished {
+        varint::encode_u64(&mut buf, *key);
+        sitm_store::codec::encode_trajectory(&mut buf, trajectory);
+    }
+
     encode_stats(&mut buf, &snapshot.stats);
     buf
 }
@@ -211,6 +218,19 @@ pub fn decode_shard(payload: &[u8]) -> Result<(ShardSnapshot, usize), Checkpoint
         });
     }
 
+    let finished_count = varint::decode_u64(&mut buf)? as usize;
+    if finished_count > payload.len() {
+        return Err(CheckpointError::Malformed(
+            "finished count overruns payload",
+        ));
+    }
+    let mut finished = Vec::with_capacity(finished_count);
+    for _ in 0..finished_count {
+        let key = varint::decode_u64(&mut buf)?;
+        let trajectory = sitm_store::codec::decode_trajectory(&mut buf)?;
+        finished.push((key, trajectory));
+    }
+
     let stats = decode_stats(&mut buf)?;
     if !buf.is_empty() {
         return Err(CheckpointError::Malformed("trailing bytes"));
@@ -221,6 +241,7 @@ pub fn decode_shard(payload: &[u8]) -> Result<(ShardSnapshot, usize), Checkpoint
             visits,
             closed,
             pending,
+            finished,
             stats,
         },
         predicate_count,
@@ -729,6 +750,7 @@ mod tests {
                         visits: Vec::new(),
                         closed: Vec::new(),
                         pending: Vec::new(),
+                        finished: Vec::new(),
                         stats: ShardStats::default(),
                     },
                     1,
@@ -772,6 +794,7 @@ mod tests {
             visits: Vec::new(),
             closed: vec![(1, Timestamp(3)), (2, Timestamp(4))],
             pending: Vec::new(),
+            finished: Vec::new(),
             stats: ShardStats::default(),
         };
         let payload = encode_shard(&snapshot, 1);

@@ -121,6 +121,13 @@ pub struct EngineConfig {
     /// default: retention costs memory proportional to open-visit trace
     /// length.
     pub retain_intervals: bool,
+    /// Retain each *closed* visit's completed trajectory (in memory and
+    /// in checkpoints) until a warehouse flush takes it
+    /// (`take_finished`). Implies interval retention — the trajectory is
+    /// assembled from the retained intervals at close. Off by default;
+    /// the memory a retained backlog costs is exactly what
+    /// [`crate::Flusher`] exists to bound.
+    pub retain_finished: bool,
     /// Backpressure depth of the parallel engine (`ParallelEngine`), in
     /// batches per worker: producers block once
     /// `channel_depth × batch_capacity × workers` events are queued in
@@ -140,6 +147,7 @@ impl EngineConfig {
             allowed_lateness: Duration::hours(24),
             fence_capacity: 65_536,
             retain_intervals: false,
+            retain_finished: false,
             channel_depth: 64,
         }
     }
@@ -152,7 +160,8 @@ impl EngineConfig {
             batch_capacity: self.batch_capacity,
             allowed_lateness: self.allowed_lateness,
             fence_capacity: self.fence_capacity,
-            retain_intervals: self.retain_intervals,
+            retain_intervals: self.retain_intervals || self.retain_finished,
+            retain_finished: self.retain_finished,
         }
     }
 
@@ -196,6 +205,17 @@ impl EngineConfig {
     #[must_use]
     pub fn with_live_queries(mut self) -> Self {
         self.retain_intervals = true;
+        self
+    }
+
+    /// Enables the warehouse drain: closed visits retain their completed
+    /// trajectory until `take_finished` (normally driven by a
+    /// [`crate::Flusher`]) spills them into the segment tier. Implies
+    /// live-query interval retention.
+    #[must_use]
+    pub fn with_warehouse(mut self) -> Self {
+        self.retain_intervals = true;
+        self.retain_finished = true;
         self
     }
 
@@ -264,10 +284,16 @@ pub(crate) fn reconcile_retention(
     snapshot: &mut crate::shard::ShardSnapshot,
     config: &EngineConfig,
 ) {
-    if !config.retain_intervals {
+    if !config.retain_intervals && !config.retain_finished {
         for (_, visit) in &mut snapshot.visits {
             visit.intervals.clear();
         }
+    }
+    // A finished backlog checkpointed by a warehouse-draining config
+    // restoring into a non-draining one: nothing will ever take it, so
+    // drop it rather than hold it forever.
+    if !config.retain_finished {
+        snapshot.finished.clear();
     }
 }
 
@@ -352,6 +378,25 @@ impl ShardedEngine {
             shard.close_all(&ctx);
         }
         self.drain()
+    }
+
+    /// Flushes, then takes every visit trajectory completed since the
+    /// last take, in deterministic global order (span start, span end,
+    /// encoded bytes — [`sitm_store::sort_run`]'s canonical order, so
+    /// both runtimes and any shard count hand a warehouse flusher the
+    /// identical batch). Empty unless
+    /// [`EngineConfig::with_warehouse`] is on. The exactly-once
+    /// contract mirrors `drain`'s: trajectories taken before a
+    /// checkpoint are never re-emitted after restore, untaken ones
+    /// reappear.
+    pub fn take_finished(&mut self) -> Vec<sitm_core::SemanticTrajectory> {
+        self.flush();
+        let mut out: Vec<sitm_core::SemanticTrajectory> = Vec::new();
+        for shard in &mut self.shards {
+            out.extend(shard.take_finished().into_iter().map(|(_, t)| t));
+        }
+        sitm_store::sort_run(&mut out);
+        out
     }
 
     /// A snapshot-consistent cut of the live state: every open visit's

@@ -38,6 +38,11 @@
 //!   [`sitm_store::CheckpointFrame`]s, restored without duplicating or
 //!   dropping episodes; [`Checkpointer`] keeps the log bounded by
 //!   compacting per a [`sitm_store::CompactionPolicy`];
+//! * [`flusher`] — [`Flusher`]: the live → warehouse spill pipeline —
+//!   drains finished visits (`take_finished`, retained under
+//!   [`EngineConfig::with_warehouse`]) out of either engine into
+//!   `sitm_query::SegmentedDb`'s immutable segment tier, bounding
+//!   engine memory while history accumulates on disk;
 //! * [`replay`] — a streaming source over the calibrated Louvre dataset:
 //!   replays `sitm_louvre::generate_dataset` output as one
 //!   timestamp-ordered event feed;
@@ -98,6 +103,7 @@
 pub mod checkpoint;
 pub mod engine;
 pub mod event;
+pub mod flusher;
 pub mod live_index;
 pub mod live_query;
 pub mod occupancy;
@@ -115,6 +121,7 @@ pub use engine::{
     Anomalies, EmittedEpisode, EngineConfig, EngineError, EngineStats, ShardedEngine,
 };
 pub use event::{StreamEvent, VisitKey};
+pub use flusher::{FinishedSource, Flusher};
 pub use live_index::LiveIndex;
 pub use live_query::{LiveSnapshot, LiveVisit, ShardLive};
 pub use occupancy::OccupancyTracker;

@@ -115,6 +115,12 @@ pub struct LiveSnapshot {
     /// what makes candidate narrowing sound. Hand-assembled snapshots
     /// without postings fall back to scanning.
     index_complete: bool,
+    /// The persistent id map (ROADMAP follow-on): visit key → position
+    /// in the sorted `visits` vector, built **once** at snapshot
+    /// assembly. Candidate translation used to binary-search `visits`
+    /// for every posting entry of every query; now each lookup is one
+    /// O(1) probe of a map that persists for the snapshot's lifetime.
+    positions: std::collections::HashMap<u64, TrajId>,
 }
 
 impl LiveSnapshot {
@@ -144,6 +150,11 @@ impl LiveSnapshot {
         // merges keep the scan path.
         let duplicated = visits.windows(2).any(|w| w[0].visit == w[1].visit);
         let index_complete = !duplicated && visits.iter().all(|v| index.contains(v.visit.0));
+        let positions = visits
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.visit.0, i as TrajId))
+            .collect();
         LiveSnapshot {
             visits,
             pending,
@@ -151,6 +162,7 @@ impl LiveSnapshot {
             unqueryable,
             index,
             index_complete,
+            positions,
         }
     }
 
@@ -170,12 +182,12 @@ impl LiveSnapshot {
         LiveSnapshot::from_shards(shards)
     }
 
-    /// Position of a visit key in the sorted `visits` vector.
+    /// Position of a visit key in the sorted `visits` vector — one
+    /// probe of the persistent id map built at snapshot assembly (the
+    /// per-query binary search this replaces was the last repeated
+    /// translation cost on the live query path).
     fn position(&self, key: u64) -> Option<TrajId> {
-        self.visits
-            .binary_search_by_key(&VisitKey(key), |v| v.visit)
-            .ok()
-            .map(|i| i as TrajId)
+        self.positions.get(&key).copied()
     }
 
     /// Translates a posting (visit keys) into snapshot positions.

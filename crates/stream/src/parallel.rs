@@ -32,20 +32,39 @@
 //! * **Backpressure** — total queued events are bounded at
 //!   `channel_depth × batch_capacity × workers`; a producer outrunning
 //!   the workers blocks instead of ballooning memory.
-//! * **Barriers** — `flush`/`drain`/`finish`/`checkpoint`/
-//!   `live_snapshot`/`stats` quiesce: they push the router buffer, then
-//!   wait until every queued event is applied and deposited. A barrier
-//!   therefore reflects exactly the events ingested before the call —
-//!   the same consistent cut the sequential engine gets from its
-//!   in-line flush (see [`crate::live_query`]).
+//! * **Sharded deposits** — what a slice *produces* (counters, drained
+//!   episodes, finished trajectories, watermark advances) lands in the
+//!   depositing worker's own `Deposit` behind its own lock, and
+//!   live-index maintenance rides a dedicated index lock; the scheduler
+//!   mutex guards only *routing* state (visit cells, deques, fences).
+//!   Workers therefore contend on the scheduler lock only to acquire
+//!   and release visits, never to record results — the deposit path
+//!   that used to serialize every worker through the one big mutex
+//!   (ROADMAP perf follow-on from the work-stealing rewrite). Barriers
+//!   merge the per-worker deposits after quiescing; merge order is
+//!   worker index, and every consumer sorts by a deterministic global
+//!   key, so the sharding is invisible in the output.
+//! * **Barriers** — `flush`/`drain`/`take_finished`/`finish`/
+//!   `checkpoint`/`live_snapshot`/`stats` quiesce: they push the router
+//!   buffer, then wait until every queued event is applied and
+//!   deposited. A barrier therefore reflects exactly the events
+//!   ingested before the call — the same consistent cut the sequential
+//!   engine gets from its in-line flush (see [`crate::live_query`]).
 //! * **Sequential-equivalent accounting** — watermarks are still kept
 //!   per *hash shard* (the `config.shards` partitions the sequential
 //!   engine would use), so `watermark()` and checkpoint frames are
 //!   byte-compatible with [`ShardedEngine`]: checkpoints written by
 //!   either engine restore into the other.
 //! * **Live index** — with retention on, workers feed the shared
-//!   [`crate::LiveIndex`] as part of each deposit, so `live_snapshot()`
-//!   carries postings from the same cut as the visible prefixes.
+//!   [`crate::LiveIndex`] (its own lock, taken while the visit is still
+//!   held so per-visit op order is preserved) as part of each deposit,
+//!   so `live_snapshot()` carries postings from the same cut as the
+//!   visible prefixes.
+//!
+//! Lock order: a worker never holds two of {scheduler, index, deposit}
+//! at once; the engine thread may take index or a deposit *while*
+//! holding the scheduler (barriers and `finish`), which cannot cycle
+//! because workers only ever block on the scheduler empty-handed.
 //!
 //! A worker that panics marks the scheduler; subsequent engine calls
 //! panic with a clear message rather than silently dropping data.
@@ -56,7 +75,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
-use sitm_core::{Episode, Timestamp};
+use sitm_core::{Episode, SemanticTrajectory, Timestamp};
 use sitm_store::{CheckpointFrame, LogStore};
 
 use crate::checkpoint::{encode_shard, Checkpointer};
@@ -98,7 +117,8 @@ impl VisitCell {
 }
 
 /// The shared scheduler: visit cells, per-worker ready deques, and the
-/// engine-wide accumulators workers deposit into.
+/// fence bookkeeping — *routing* state only. What slices produce goes
+/// to the per-worker [`Deposit`]s instead.
 struct Scheduler {
     visits: HashMap<u64, VisitCell>,
     /// Ready visits per worker; stealing pops the back of a victim.
@@ -110,16 +130,6 @@ struct Scheduler {
     shutdown: bool,
     /// A worker died mid-slice; engine state is no longer trustworthy.
     panicked: bool,
-    /// Episodes finalized but not yet drained.
-    pending: Vec<EmittedEpisode>,
-    /// Engine-wide counters (one shared total instead of per-shard).
-    stats: ShardStats,
-    /// High-water mark per *hash shard* — the partition the sequential
-    /// engine would use — keeping `watermark()` and checkpoints
-    /// byte-compatible with [`crate::ShardedEngine`].
-    shard_watermarks: Vec<Option<Timestamp>>,
-    /// Online postings over open visits (retention on only).
-    index: LiveIndex,
     /// Live close fences per hash shard, ordered by close instant —
     /// the incremental twin of the sequential shard's `closed_order`,
     /// so capacity eviction is O(log n) per close, never a sweep.
@@ -135,10 +145,6 @@ impl Scheduler {
             held_visits: 0,
             shutdown: false,
             panicked: false,
-            pending: Vec::new(),
-            stats: ShardStats::default(),
-            shard_watermarks: vec![None; shards],
-            index: LiveIndex::new(),
             fences: vec![BTreeSet::new(); shards],
         }
     }
@@ -219,21 +225,54 @@ impl Scheduler {
     }
 }
 
-/// The scheduler plus its condition variables.
+/// One worker's private accumulator: everything its slices produce.
+/// Merged (in worker order, then deterministically sorted by every
+/// consumer) at barriers.
+#[derive(Default)]
+struct Deposit {
+    /// Per-slice counter deltas, summed.
+    stats: ShardStats,
+    /// Episodes finalized but not yet drained.
+    pending: Vec<EmittedEpisode>,
+    /// Completed trajectories not yet taken by the warehouse drain.
+    finished: Vec<(u64, SemanticTrajectory)>,
+    /// Running high-water mark per *hash shard* (monotonic; merged by
+    /// per-slot max across deposits).
+    shard_watermarks: Vec<Option<Timestamp>>,
+}
+
+impl Deposit {
+    fn new(shards: usize) -> Deposit {
+        Deposit {
+            shard_watermarks: vec![None; shards],
+            ..Deposit::default()
+        }
+    }
+}
+
+/// The scheduler plus the sharded deposit tier and its condition
+/// variables.
 struct Shared {
     state: Mutex<Scheduler>,
+    /// One deposit per worker — slice output lands here, off the
+    /// scheduler lock.
+    deposits: Vec<Mutex<Deposit>>,
+    /// Online postings over open visits (retention on only). A
+    /// dedicated lock: updated while the producing worker still holds
+    /// the visit, so per-visit op order is preserved without riding the
+    /// scheduler mutex.
+    index: Mutex<LiveIndex>,
     /// Workers park here when no visit is ready.
     work: Condvar,
     /// The engine thread parks here (quiesce, backpressure).
     quiet: Condvar,
 }
 
-/// Locks the scheduler, recovering from poison so `Drop` can always
-/// shut the workers down (a panicked worker is surfaced via the
-/// `panicked` flag instead).
-fn lock(shared: &Shared) -> MutexGuard<'_, Scheduler> {
-    shared
-        .state
+/// Locks a mutex, recovering from poison so `Drop` can always shut the
+/// workers down (a panicked worker is surfaced via the `panicked` flag
+/// instead).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
@@ -246,7 +285,8 @@ struct Resident {
 }
 
 /// Index maintenance recorded during a slice, applied to the shared
-/// [`LiveIndex`] at deposit time (same cut as the state it indexes).
+/// [`LiveIndex`] before the visit is released (same cut as the state it
+/// indexes).
 enum IndexOp {
     Observe {
         object: String,
@@ -261,6 +301,7 @@ struct SliceOutput {
     stats: ShardStats,
     watermark: Option<Timestamp>,
     pending: Vec<EmittedEpisode>,
+    finished: Vec<(u64, SemanticTrajectory)>,
     index_ops: Vec<IndexOp>,
 }
 
@@ -274,7 +315,8 @@ impl SliceOutput {
 /// `Shard::apply`, kept behaviorally identical (the differential
 /// property tests compare the two engines event for event): same
 /// anomaly accounting, same implicit-open identity, same fence
-/// semantics, same episode provenance.
+/// semantics, same episode provenance, same finished-trajectory
+/// retention.
 fn apply_visit_event(
     key: u64,
     event: StreamEvent,
@@ -338,6 +380,13 @@ fn apply_visit_event(
                 return;
             };
             state.close(ctx, scratch, &mut out.stats.anomalies);
+            if ctx.retain_finished {
+                // Mirror of `Shard::apply`: the completed trajectory
+                // heads for the warehouse tier.
+                if let Some(trajectory) = state.live_trajectory() {
+                    out.finished.push((key, trajectory));
+                }
+            }
             out.stats.visits_closed += 1;
             resident.closed_at = Some(at);
             if ctx.retain_intervals {
@@ -409,28 +458,41 @@ fn collect_episodes(
     }
 }
 
-/// Folds a slice's output into the scheduler accumulators.
-fn absorb_output(s: &mut Scheduler, key: u64, out: SliceOutput, shards: usize) {
-    s.stats.absorb(&out.stats);
-    s.pending.extend(out.pending);
-    if let Some(t) = out.watermark {
-        let slot = &mut s.shard_watermarks[shard_of(VisitKey(key), shards)];
-        *slot = Some(slot.map_or(t, |w| w.max(t)));
+/// Applies a slice's index ops to the shared index. Must run while the
+/// producing thread still holds the visit, so per-visit op order is
+/// preserved across worker migrations.
+fn apply_index_ops(index: &Mutex<LiveIndex>, key: u64, ops: Vec<IndexOp>) {
+    if ops.is_empty() {
+        return;
     }
-    for op in out.index_ops {
+    let mut index = lock(index);
+    for op in ops {
         match op {
-            IndexOp::Observe { object, interval } => s.index.observe(key, &object, &interval),
-            IndexOp::Remove => s.index.remove(key),
+            IndexOp::Observe { object, interval } => index.observe(key, &object, &interval),
+            IndexOp::Remove => index.remove(key),
         }
     }
 }
 
+/// Folds a slice's remaining output into a deposit.
+fn absorb_into_deposit(deposit: &mut Deposit, key: u64, out: SliceOutput, shards: usize) {
+    deposit.stats.absorb(&out.stats);
+    deposit.pending.extend(out.pending);
+    deposit.finished.extend(out.finished);
+    if let Some(t) = out.watermark {
+        let slot = &mut deposit.shard_watermarks[shard_of(VisitKey(key), shards)];
+        *slot = Some(slot.map_or(t, |w| w.max(t)));
+    }
+}
+
 /// The worker body: take a ready visit (own deque first, then steal a
-/// cold one), apply its queued events outside the lock, deposit, repeat.
+/// cold one), apply its queued events outside every lock, publish the
+/// results (index under the index lock, the rest into this worker's own
+/// deposit), then re-enter the scheduler only for cell bookkeeping.
 fn worker_loop(worker: usize, shared: &Shared, config: &EngineConfig) {
     let ctx = config.ctx();
     let mut scratch: Vec<(usize, Episode)> = Vec::new();
-    let mut guard = lock(shared);
+    let mut guard = lock(&shared.state);
     loop {
         if let Some(key) = guard.next_for(worker) {
             let events = {
@@ -457,7 +519,13 @@ fn worker_loop(worker: usize, shared: &Shared, config: &EngineConfig) {
                 apply_visit_event(key, event, &mut resident, &ctx, &mut scratch, &mut out);
             }
 
-            guard = lock(shared);
+            // Publish while the visit is still held (it cannot be
+            // re-acquired until `held` clears below): index first, then
+            // this worker's deposit — neither touches the scheduler.
+            apply_index_ops(&shared.index, key, std::mem::take(&mut out.index_ops));
+            absorb_into_deposit(&mut lock(&shared.deposits[worker]), key, out, config.shards);
+
+            guard = lock(&shared.state);
             let (requeue, was_fence) = {
                 let cell = guard.visits.get_mut(&key).expect("held cell persists");
                 let was_fence = cell.closed_at;
@@ -477,7 +545,6 @@ fn worker_loop(worker: usize, shared: &Shared, config: &EngineConfig) {
             }
             guard.held_visits -= 1;
             let shard = shard_of(VisitKey(key), config.shards);
-            absorb_output(&mut guard, key, out, config.shards);
             guard.settle_cell(key, shard, was_fence, config.fence_capacity.max(1));
             shared.quiet.notify_all();
         } else if guard.shutdown {
@@ -493,7 +560,9 @@ fn worker_loop(worker: usize, shared: &Shared, config: &EngineConfig) {
 
 /// Work-stealing online trajectory-ingestion engine: the same surface
 /// and the same output as [`crate::ShardedEngine`], with visits applied
-/// concurrently and rebalanced across workers under skew.
+/// concurrently, rebalanced across workers under skew, and results
+/// deposited through per-worker accumulators instead of one shared
+/// mutex.
 pub struct ParallelEngine {
     config: Arc<EngineConfig>,
     shared: Arc<Shared>,
@@ -527,15 +596,18 @@ impl ParallelEngine {
         let (shards, sequence) = crate::checkpoint::decode_checkpoint(&config, frames)?;
         let engine = Self::create(config);
         {
-            let mut guard = lock(&engine.shared);
+            let mut guard = lock(&engine.shared.state);
+            let mut seed = lock(&engine.shared.deposits[0]);
+            let mut index = lock(&engine.shared.index);
             for (i, shard) in shards.into_iter().enumerate() {
                 let parts = shard.into_parts();
-                guard.shard_watermarks[i] = parts.watermark;
-                guard.stats.absorb(&parts.stats);
-                guard.pending.extend(parts.pending);
+                seed.shard_watermarks[i] = parts.watermark;
+                seed.stats.absorb(&parts.stats);
+                seed.pending.extend(parts.pending);
+                seed.finished.extend(parts.finished);
                 for (key, state) in parts.visits {
                     for interval in state.retained_intervals() {
-                        guard.index.observe(key, &state.moving_object, interval);
+                        index.observe(key, &state.moving_object, interval);
                     }
                     let mut cell = VisitCell::new(i);
                     cell.state = Some(state);
@@ -559,6 +631,10 @@ impl ParallelEngine {
         let config = Arc::new(config);
         let shared = Arc::new(Shared {
             state: Mutex::new(Scheduler::new(workers, config.shards)),
+            deposits: (0..workers)
+                .map(|_| Mutex::new(Deposit::new(config.shards)))
+                .collect(),
+            index: Mutex::new(LiveIndex::new()),
             work: Condvar::new(),
             quiet: Condvar::new(),
         });
@@ -573,7 +649,7 @@ impl ParallelEngine {
                             worker_loop(worker, &shared, &config);
                         }));
                         if run.is_err() {
-                            let mut guard = lock(&shared);
+                            let mut guard = lock(&shared.state);
                             guard.panicked = true;
                             drop(guard);
                             shared.work.notify_all();
@@ -647,7 +723,7 @@ impl ParallelEngine {
             .saturating_mul(self.config.batch_capacity.max(1))
             .saturating_mul(workers.max(1));
         let shards = self.config.shards;
-        let mut guard = lock(&self.shared);
+        let mut guard = lock(&self.shared.state);
         while guard.queued_events >= bound {
             Self::panic_if_worker_died(&guard);
             guard = self
@@ -678,7 +754,7 @@ impl ParallelEngine {
 
     /// Waits until every pushed event is applied and deposited.
     fn quiesce(&self) -> MutexGuard<'_, Scheduler> {
-        let mut guard = lock(&self.shared);
+        let mut guard = lock(&self.shared.state);
         loop {
             Self::panic_if_worker_died(&guard);
             if guard.quiesced() {
@@ -703,10 +779,33 @@ impl ParallelEngine {
     /// [`crate::ShardedEngine::drain`].
     pub fn drain(&mut self) -> Vec<EmittedEpisode> {
         self.dispatch();
-        let mut guard = self.quiesce();
-        let mut out = std::mem::take(&mut guard.pending);
+        let guard = self.quiesce();
+        let mut out = Vec::new();
+        for deposit in &self.shared.deposits {
+            out.append(&mut lock(deposit).pending);
+        }
         drop(guard);
         out.sort_by_key(|a| a.sort_key());
+        out
+    }
+
+    /// Flushes, then takes every visit trajectory completed since the
+    /// last take, in the same deterministic global order as
+    /// [`crate::ShardedEngine::take_finished`]. Empty unless
+    /// [`EngineConfig::with_warehouse`] is on.
+    pub fn take_finished(&mut self) -> Vec<SemanticTrajectory> {
+        self.dispatch();
+        let guard = self.quiesce();
+        let mut out: Vec<SemanticTrajectory> = Vec::new();
+        for deposit in &self.shared.deposits {
+            out.extend(
+                std::mem::take(&mut lock(deposit).finished)
+                    .into_iter()
+                    .map(|(_, t)| t),
+            );
+        }
+        drop(guard);
+        sitm_store::sort_run(&mut out);
         out
     }
 
@@ -726,9 +825,13 @@ impl ParallelEngine {
             .collect();
         keys.sort_unstable();
         let mut scratch = Vec::new();
+        // One deposit sweep up front: the synthesized closes stamp each
+        // shard's merged high-water mark, which they cannot raise, so
+        // the merge stays valid for the whole loop.
+        let watermarks = self.merged_watermarks();
         for key in keys {
-            let at =
-                guard.shard_watermarks[shard_of(VisitKey(key), shards)].unwrap_or(Timestamp(0));
+            let shard = shard_of(VisitKey(key), shards);
+            let at = watermarks[shard].unwrap_or(Timestamp(0));
             let mut resident = {
                 let cell = guard.visits.get_mut(&key).expect("open visit");
                 Resident {
@@ -755,14 +858,36 @@ impl ParallelEngine {
                 cell.closed_at = resident.closed_at;
                 was_fence
             };
-            let shard = shard_of(VisitKey(key), shards);
-            absorb_output(&mut guard, key, out, shards);
+            // Engine-thread deposit: index first (workers are
+            // quiescent, but the order mirrors the worker path), then
+            // deposit 0 — safe while holding the scheduler because
+            // workers never block on the scheduler holding either lock.
+            apply_index_ops(&self.shared.index, key, std::mem::take(&mut out.index_ops));
+            absorb_into_deposit(&mut lock(&self.shared.deposits[0]), key, out, shards);
             guard.settle_cell(key, shard, was_fence, self.config.fence_capacity.max(1));
         }
-        let mut out = std::mem::take(&mut guard.pending);
         drop(guard);
+        let mut out = Vec::new();
+        for deposit in &self.shared.deposits {
+            out.append(&mut lock(deposit).pending);
+        }
         out.sort_by_key(|a| a.sort_key());
         out
+    }
+
+    /// Per-shard watermark vector merged across deposits (slot-wise
+    /// max — each deposit's slots are monotonic).
+    fn merged_watermarks(&self) -> Vec<Option<Timestamp>> {
+        let mut merged = vec![None; self.config.shards];
+        for deposit in &self.shared.deposits {
+            let deposit = lock(deposit);
+            for (slot, w) in merged.iter_mut().zip(&deposit.shard_watermarks) {
+                if let Some(t) = w {
+                    *slot = Some(slot.map_or(*t, |m: Timestamp| m.max(*t)));
+                }
+            }
+        }
+        merged
     }
 
     /// A snapshot-consistent cut of the live state across every worker
@@ -772,11 +897,12 @@ impl ParallelEngine {
         self.dispatch();
         let guard = self.quiesce();
         let shards = self.config.shards;
+        let watermarks = self.merged_watermarks();
         let mut per_shard: Vec<ShardLive> = (0..shards)
             .map(|i| ShardLive {
                 visits: Vec::new(),
                 pending: Vec::new(),
-                watermark: guard.shard_watermarks[i],
+                watermark: watermarks[i],
                 unqueryable: 0,
                 index: LiveIndex::new(),
             })
@@ -792,8 +918,12 @@ impl ParallelEngine {
                 None => per_shard[shard].unqueryable += 1,
             }
         }
-        per_shard[0].pending = guard.pending.clone();
-        per_shard[0].index = guard.index.clone();
+        for deposit in &self.shared.deposits {
+            per_shard[0]
+                .pending
+                .extend(lock(deposit).pending.iter().cloned());
+        }
+        per_shard[0].index = lock(&self.shared.index).clone();
         drop(guard);
         LiveSnapshot::from_shards(per_shard)
     }
@@ -807,7 +937,9 @@ impl ParallelEngine {
     /// semantics (it does not flush shard inboxes either).
     pub fn watermark(&self) -> Option<Timestamp> {
         let guard = self.quiesce();
-        guard.shard_watermarks.iter().filter_map(|w| *w).min()
+        let min = self.merged_watermarks().into_iter().flatten().min();
+        drop(guard);
+        min
     }
 
     /// Aggregated counters. This is a barrier: the router buffer is
@@ -822,8 +954,13 @@ impl ParallelEngine {
             .values()
             .filter(|cell| cell.state.is_some())
             .count() as u64;
+        let mut total = ShardStats::default();
+        for deposit in &self.shared.deposits {
+            total.absorb(&lock(deposit).stats);
+        }
+        drop(guard);
         let mut stats = EngineStats::default();
-        stats.absorb_shard(&guard.stats, open_visits);
+        stats.absorb_shard(&total, open_visits);
         stats
     }
 
@@ -836,18 +973,22 @@ impl ParallelEngine {
         let sequence = self.sequence;
         let shards = self.config.shards;
         let guard = self.quiesce();
+        let watermarks = self.merged_watermarks();
         let mut snapshots: Vec<ShardSnapshot> = (0..shards)
             .map(|i| ShardSnapshot {
-                watermark: guard.shard_watermarks[i],
+                watermark: watermarks[i],
                 visits: Vec::new(),
                 closed: Vec::new(),
                 pending: Vec::new(),
+                finished: Vec::new(),
                 stats: ShardStats::default(),
             })
             .collect();
         // Counters are engine-global here; recorded on shard 0 so the
         // aggregate (the only cross-engine observable) round-trips.
-        snapshots[0].stats = guard.stats;
+        for deposit in &self.shared.deposits {
+            snapshots[0].stats.absorb(&lock(deposit).stats);
+        }
         let mut keys: Vec<u64> = guard.visits.keys().copied().collect();
         keys.sort_unstable();
         for key in keys {
@@ -859,14 +1000,25 @@ impl ParallelEngine {
                 snapshots[shard].closed.push((key, at));
             }
         }
-        for episode in &guard.pending {
-            snapshots[shard_of(episode.visit, shards)]
-                .pending
-                .push(episode.clone());
+        for deposit in &self.shared.deposits {
+            let deposit = lock(deposit);
+            for episode in &deposit.pending {
+                snapshots[shard_of(episode.visit, shards)]
+                    .pending
+                    .push(episode.clone());
+            }
+            for (key, trajectory) in &deposit.finished {
+                snapshots[shard_of(VisitKey(*key), shards)]
+                    .finished
+                    .push((*key, trajectory.clone()));
+            }
         }
         drop(guard);
         for snapshot in &mut snapshots {
             snapshot.pending.sort_by_key(|e| e.sort_key());
+            snapshot
+                .finished
+                .sort_by_key(|(key, t)| (t.start(), t.end(), *key));
         }
         snapshots
             .into_iter()
@@ -909,7 +1061,7 @@ impl Drop for ParallelEngine {
     /// surfaced on the engine thread if any call touched it).
     fn drop(&mut self) {
         {
-            let mut guard = lock(&self.shared);
+            let mut guard = lock(&self.shared.state);
             guard.shutdown = true;
         }
         self.shared.work.notify_all();
@@ -1041,6 +1193,55 @@ mod tests {
         assert_eq!(stats.visits_closed, 12);
     }
 
+    /// Regression for the sharded-deposit rework: deposits accumulate
+    /// per worker and merge only at barriers, so counters and drained
+    /// episodes must still agree with the sequential engine when work
+    /// is spread across many workers (each with its own accumulator).
+    #[test]
+    fn sharded_deposits_merge_to_sequential_totals() {
+        let mut reference = ShardedEngine::new(config(2)).unwrap();
+        reference.ingest_all(feed());
+        reference.flush();
+        let expected_stats = reference.stats();
+        let expected_episodes = reference.finish();
+
+        let mut engine = ParallelEngine::new(config(8)).unwrap();
+        engine.ingest_all(feed());
+        engine.flush();
+        let stats = engine.stats();
+        assert_eq!(stats.events, expected_stats.events);
+        assert_eq!(stats.episodes, expected_stats.episodes);
+        assert_eq!(stats.presences, expected_stats.presences);
+        // Multiple workers really deposited (batches_flushed counts
+        // slices, which exist regardless of which worker ran them).
+        assert!(stats.batches_flushed > 0);
+        assert_eq!(engine.finish(), expected_episodes);
+    }
+
+    #[test]
+    fn take_finished_matches_sequential_and_is_exactly_once() {
+        let mut reference = ShardedEngine::new(config(2).with_warehouse()).unwrap();
+        reference.ingest_all(feed());
+        reference.flush();
+        let expected = reference.take_finished();
+        assert_eq!(expected.len(), 12, "every closed visit produced a record");
+        assert!(
+            reference.take_finished().is_empty(),
+            "drain is exactly-once"
+        );
+
+        for workers in [1usize, 4] {
+            let mut engine = ParallelEngine::new(config(workers).with_warehouse()).unwrap();
+            engine.ingest_all(feed());
+            assert_eq!(engine.take_finished(), expected, "{workers} workers");
+            assert!(engine.take_finished().is_empty());
+        }
+        // Without the warehouse drain nothing is retained.
+        let mut plain = ParallelEngine::new(config(2)).unwrap();
+        plain.ingest_all(feed());
+        assert!(plain.take_finished().is_empty());
+    }
+
     #[test]
     fn zero_shards_is_rejected() {
         assert!(matches!(
@@ -1079,6 +1280,37 @@ mod tests {
         delivered.extend(restored.finish());
         delivered.sort_by_key(|a| a.sort_key());
         assert_eq!(delivered, expected);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn finished_backlog_survives_checkpoint_restore() {
+        let events = feed();
+        let path = std::env::temp_dir().join(format!(
+            "sitm-parallel-finished-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let mut reference = ParallelEngine::new(config(4).with_warehouse()).unwrap();
+        reference.ingest_all(events.iter().cloned());
+        reference.flush();
+        let expected = reference.take_finished();
+
+        {
+            let mut engine = ParallelEngine::new(config(4).with_warehouse()).unwrap();
+            engine.ingest_all(events.iter().cloned());
+            // Checkpoint *without* taking the finished backlog: it must
+            // reappear after restore (exactly-once relative to take).
+            let (mut log, _, _) = LogStore::<CheckpointFrame>::open(&path).unwrap();
+            engine.checkpoint(&mut log).unwrap();
+        }
+        let (mut restored, _log, report) =
+            crate::checkpoint::resume_parallel_from_log(config(4).with_warehouse(), &path).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(restored.take_finished(), expected);
+        assert!(restored.take_finished().is_empty());
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -39,6 +39,11 @@ pub struct ShardCtx<'a> {
     /// Keep accepted intervals in memory (and in checkpoints) so live
     /// queries can see each open visit's trajectory prefix.
     pub retain_intervals: bool,
+    /// Keep each closed visit's completed trajectory until the
+    /// warehouse drain (`take_finished`) collects it. Only meaningful
+    /// with `retain_intervals` (the trajectory is assembled from the
+    /// retained prefix at close); the engine config couples them.
+    pub retain_finished: bool,
 }
 
 /// An episode the engine has finalized, tagged with its provenance.
@@ -117,6 +122,9 @@ pub struct ShardSnapshot {
     pub closed: Vec<(u64, Timestamp)>,
     /// Episodes finalized but not yet drained by the consumer.
     pub pending: Vec<EmittedEpisode>,
+    /// Completed trajectories not yet taken by the warehouse drain
+    /// (retained only under [`ShardCtx::retain_finished`]).
+    pub finished: Vec<(u64, sitm_core::SemanticTrajectory)>,
     /// Counters.
     pub stats: ShardStats,
 }
@@ -139,6 +147,9 @@ pub struct Shard {
     /// eviction.
     closed_order: std::collections::BTreeSet<(Timestamp, u64)>,
     pending: Vec<EmittedEpisode>,
+    /// Completed trajectories awaiting the warehouse drain (see
+    /// [`ShardCtx::retain_finished`]).
+    finished: Vec<(u64, sitm_core::SemanticTrajectory)>,
     watermark: Option<Timestamp>,
     stats: ShardStats,
     scratch: Vec<(usize, Episode)>,
@@ -155,6 +166,7 @@ pub(crate) struct ShardParts {
     pub visits: BTreeMap<u64, VisitState>,
     pub closed: BTreeMap<u64, Timestamp>,
     pub pending: Vec<EmittedEpisode>,
+    pub finished: Vec<(u64, sitm_core::SemanticTrajectory)>,
     pub stats: ShardStats,
 }
 
@@ -167,6 +179,7 @@ impl Shard {
             closed: BTreeMap::new(),
             closed_order: std::collections::BTreeSet::new(),
             pending: Vec::new(),
+            finished: Vec::new(),
             watermark: None,
             stats: ShardStats::default(),
             scratch: Vec::new(),
@@ -254,6 +267,14 @@ impl Shard {
                     return;
                 };
                 state.close(ctx, &mut self.scratch, &mut self.stats.anomalies);
+                if ctx.retain_finished {
+                    // The completed trajectory heads for the warehouse
+                    // tier. A visit that accepted nothing has no trace
+                    // (Def. 3.1) and produces no record.
+                    if let Some(trajectory) = state.live_trajectory() {
+                        self.finished.push((visit.0, trajectory));
+                    }
+                }
                 self.stats.visits_closed += 1;
                 self.closed.insert(visit.0, at);
                 self.closed_order.insert((at, visit.0));
@@ -342,6 +363,17 @@ impl Shard {
         std::mem::take(&mut self.pending)
     }
 
+    /// Takes every completed-but-unflushed trajectory (the warehouse
+    /// drain; empty unless [`ShardCtx::retain_finished`]).
+    pub fn take_finished(&mut self) -> Vec<(u64, sitm_core::SemanticTrajectory)> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Completed trajectories currently awaiting the warehouse drain.
+    pub fn finished_backlog(&self) -> usize {
+        self.finished.len()
+    }
+
     /// Closes every open visit (end-of-stream).
     pub fn close_all(&mut self, ctx: &ShardCtx<'_>) {
         let keys: Vec<u64> = self.visits.keys().copied().collect();
@@ -420,6 +452,7 @@ impl Shard {
                 .collect(),
             closed: self.closed.iter().map(|(k, t)| (*k, *t)).collect(),
             pending: self.pending.clone(),
+            finished: self.finished.clone(),
             stats: self.stats,
         }
     }
@@ -451,6 +484,7 @@ impl Shard {
             closed_order: closed.iter().map(|(k, t)| (*t, *k)).collect(),
             closed,
             pending: snapshot.pending,
+            finished: snapshot.finished,
             watermark: snapshot.watermark,
             stats: snapshot.stats,
             scratch: Vec::new(),
@@ -467,6 +501,7 @@ impl Shard {
             visits: self.visits,
             closed: self.closed,
             pending: self.pending,
+            finished: self.finished,
             stats: self.stats,
         }
     }
@@ -509,6 +544,7 @@ mod tests {
             allowed_lateness,
             fence_capacity: 65_536,
             retain_intervals: false,
+            retain_finished: false,
         }
     }
 

@@ -318,6 +318,7 @@ mod tests {
             allowed_lateness: Duration::hours(1),
             fence_capacity: 65_536,
             retain_intervals: false,
+            retain_finished: false,
         }
     }
 

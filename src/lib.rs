@@ -18,16 +18,63 @@
 //! | [`louvre`] | `sitm-louvre` | the Louvre case study & calibrated synthetic dataset |
 //! | [`mining`] | `sitm-mining` | sequential patterns, Markov models, similarity, profiling |
 //! | [`analytics`] | `sitm-analytics` | descriptive statistics, choropleths, reports |
-//! | [`query`] | `sitm-query` | indexed trajectory retrieval: predicates, plans, aggregation, federation |
-//! | [`store`] | `sitm-store` | binary codec, CRC-framed append-only log, crash recovery, compaction |
-//! | [`stream`] | `sitm-stream` | sequential & thread-per-shard online ingestion, live queries, batch-equivalent episodes |
+//! | [`query`] | `sitm-query` | indexed trajectory retrieval: predicates, plans, aggregation, federation, the segmented warehouse |
+//! | [`store`] | `sitm-store` | binary codec, CRC-framed append-only log, crash recovery, compaction, the segment tier |
+//! | [`stream`] | `sitm-stream` | sequential & work-stealing online ingestion, live queries, batch-equivalent episodes, warehouse spill |
 //! | [`ontology`] | `sitm-ontology` | triple store + CIDOC-CRM-flavoured museum knowledge base |
+//!
+//! ## Architecture: the live → warehouse data path
+//!
+//! The system is tiered: a **live tier** (streaming engines) owns open
+//! visits, a **warehouse tier** (immutable on-disk segments) owns
+//! history, and one query surface federates both. A trajectory's life:
+//!
+//! ```text
+//!   ingest ─▶ live state ─▶ close ─▶ finished backlog ─▶ Flusher ─▶ segment ─▶ compaction
+//!            (open visits,  (late     (take_finished,     (spill)    (sorted    (size-tiered
+//!             LiveSnapshot   events    exactly-once vs                run, zone   merge, manifest
+//!             + LiveIndex)   fenced)   checkpoints)                   map, fsync) rewrite)
+//! ```
+//!
+//! * **Live** — [`stream`]'s `ShardedEngine` / `ParallelEngine` apply
+//!   events per visit in arrival order; `live_snapshot()` cuts a
+//!   snapshot-consistent view (open-visit prefixes + incremental
+//!   postings) queryable with [`query`]'s predicates.
+//! * **Fence** — a closed visit fences its stragglers for
+//!   `allowed_lateness` (event-time deterministic, identical across
+//!   runtimes); at close, with `EngineConfig::with_warehouse()`, the
+//!   completed trajectory enters the finished backlog.
+//! * **Flush** — `stream::Flusher` drains the backlog (`take_finished`,
+//!   a barrier) and spills batches into `query::SegmentedDb`, bounding
+//!   engine memory. The backlog rides checkpoint payloads until taken,
+//!   so a crash replays exactly what was never made durable.
+//! * **Segment** — each spill becomes one immutable CRC-framed file
+//!   ([`store`]'s `warehouse` module): a canonical sorted run of
+//!   encoded trajectories behind a zone map (span min/max, cell /
+//!   object / annotation sets), made visible atomically by a manifest
+//!   record; the newest intact record is the recovery point (torn
+//!   writes torture-tested at every byte offset).
+//! * **Compaction** — small segments merge size-tiered into larger
+//!   sorted runs; the manifest log itself stays bounded by the same
+//!   `CompactionPolicy` idiom the checkpoint log uses, and replaced
+//!   files outlive every manifest record that still references them.
+//!
+//! **Consistency guarantees.** Queries see per-source snapshots:
+//! `SegmentedDb` answers from the newest committed manifest,
+//! `LiveSnapshot` from a quiesce cut; both narrow predicates through
+//! sound candidate supersets (zone maps + per-segment postings, live
+//! postings) and re-check every candidate, so indexed, pruned, and
+//! scanned paths are result-identical — differentially tested against
+//! an in-memory `TrajectoryDb` at every flush/compaction point,
+//! including sorted/limited `Query::execute_federated` over the
+//! live ∪ warehouse union.
 //!
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs` for a complete walk-through: build an indoor
 //! space, record a semantic trajectory, segment it into episodes, and lift
-//! it through the layer hierarchy.
+//! it through the layer hierarchy. `examples/tiered_warehouse.rs` walks
+//! the full live → warehouse pipeline above.
 
 pub use sitm_analytics as analytics;
 pub use sitm_core as core;

@@ -1,0 +1,311 @@
+//! The tiered-warehouse differential guarantee, end to end:
+//!
+//! live engine → close fence → `take_finished` → `Flusher` → immutable
+//! segments (+ size-tiered compaction) must be **query-invisible**: at
+//! every flush/compaction point, the on-disk [`SegmentedDb`] answers
+//! every `Predicate` and every `Query` — including sorted/limited
+//! `execute_federated` over the union of live state and warehouse —
+//! identically to an in-memory [`TrajectoryDb`] holding the same
+//! trajectories, and identically across both runtimes and a
+//! crash/reopen.
+
+use sitm::core::{
+    Annotation, AnnotationSet, Duration, IntervalPredicate, PresenceInterval, SemanticTrajectory,
+    TimeInterval, Timestamp, TransitionTaken,
+};
+use sitm::graph::{LayerIdx, NodeId};
+use sitm::query::{
+    federated_count, federated_matching, Predicate, Query, SegmentedDb, SortKey, TrajectoryDb,
+    TrajectorySource,
+};
+use sitm::space::CellRef;
+use sitm::store::warehouse::WarehouseConfig;
+use sitm::store::CompactionPolicy;
+use sitm::stream::{EngineConfig, Flusher, ParallelEngine, ShardedEngine, StreamEvent, VisitKey};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("sitm-tiered-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn cell(n: usize) -> CellRef {
+    CellRef::new(LayerIdx::from_index(0), NodeId::from_index(n))
+}
+
+fn label(s: &str) -> AnnotationSet {
+    AnnotationSet::from_iter([Annotation::goal(s)])
+}
+
+fn config() -> EngineConfig {
+    EngineConfig::new(vec![
+        (IntervalPredicate::in_cells([cell(1)]), label("one")),
+        (IntervalPredicate::any(), label("whole")),
+    ])
+    .with_shards(4)
+    .with_batch_capacity(4)
+    .with_warehouse()
+}
+
+/// A feed of `visits` visits with varied traces; every third visit
+/// stays open (no close event) so the live tier is always populated.
+fn feed(visits: u64) -> Vec<StreamEvent> {
+    let goals = ["visit", "buy", "exit"];
+    let mut events = Vec::new();
+    for v in 0..visits {
+        let base = v as i64 * 20;
+        events.push(StreamEvent::VisitOpened {
+            visit: VisitKey(v),
+            moving_object: format!("mo-{}", v % 7),
+            annotations: label(goals[(v % 3) as usize]),
+            at: Timestamp(base),
+        });
+        let stays = 1 + (v % 4) as usize;
+        for i in 0..stays {
+            let c = ((v as usize) + i) % 5;
+            events.push(StreamEvent::Presence {
+                visit: VisitKey(v),
+                interval: PresenceInterval::new(
+                    TransitionTaken::Unknown,
+                    cell(c),
+                    Timestamp(base + i as i64 * 30),
+                    Timestamp(base + i as i64 * 30 + 25),
+                ),
+            });
+        }
+        if v % 3 != 2 {
+            events.push(StreamEvent::VisitClosed {
+                visit: VisitKey(v),
+                at: Timestamp(base + stays as i64 * 30 + 10),
+            });
+        }
+    }
+    sitm::stream::event::sort_feed(&mut events);
+    events
+}
+
+/// The predicate suite every comparison runs over (all three axes plus
+/// boolean structure).
+fn predicates() -> Vec<Predicate> {
+    vec![
+        Predicate::True,
+        Predicate::VisitedCell(cell(1)),
+        Predicate::VisitedCell(cell(9)),
+        Predicate::MovingObject("mo-3".into()),
+        Predicate::SpanOverlaps(TimeInterval::new(Timestamp(0), Timestamp(100))),
+        Predicate::StayOverlaps(cell(2), TimeInterval::new(Timestamp(50), Timestamp(400))),
+        Predicate::HasTrajAnnotation(Annotation::goal("buy")),
+        Predicate::HasStayAnnotation(Annotation::goal("buy")),
+        Predicate::SequenceContains(vec![cell(1), cell(2)]),
+        Predicate::MinTotalDwell(Duration::seconds(60)),
+        Predicate::MinStayIn(cell(0), Duration::seconds(20)),
+        Predicate::VisitedCell(cell(1))
+            .and(Predicate::HasTrajAnnotation(Annotation::goal("visit"))),
+        Predicate::VisitedCell(cell(3)).or(Predicate::MovingObject("mo-0".into())),
+        Predicate::VisitedCell(cell(2)).not(),
+    ]
+}
+
+/// Asserts the warehouse is indistinguishable from an in-memory
+/// `TrajectoryDb` over the same trajectories, standalone and federated
+/// with the given live source.
+fn assert_differential(seg: &SegmentedDb, live: &dyn TrajectorySource, context: &str) {
+    let reference = TrajectoryDb::build(seg.iter().cloned().collect());
+    for p in predicates() {
+        // Standalone: federated evaluation over just the warehouse.
+        let from_seg: Vec<SemanticTrajectory> = federated_matching(&p, &[seg]);
+        let from_ref: Vec<SemanticTrajectory> = federated_matching(&p, &[&reference]);
+        assert_eq!(from_seg, from_ref, "{context}: warehouse diverged for {p}");
+        assert_eq!(
+            federated_count(&p, &[seg]),
+            federated_count(&p, &[&reference]),
+            "{context}: counts diverged for {p}"
+        );
+
+        // Federated: live + warehouse union, sorted and limited — the
+        // same query with the warehouse implementation swapped must be
+        // byte-identical (the sort is stable, ties keep source order,
+        // and both warehouses iterate identically).
+        let query = Query::new()
+            .filter(p.clone())
+            .order_by(SortKey::Start, true)
+            .limit(8);
+        let federated_seg = query.execute_federated(&[live, seg]);
+        let federated_ref = query.execute_federated(&[live, &reference]);
+        assert_eq!(
+            federated_seg, federated_ref,
+            "{context}: sorted/limited federation diverged for {p}"
+        );
+        let paged = Query::new()
+            .filter(p.clone())
+            .order_by(SortKey::MovingObject, false)
+            .offset(2)
+            .limit(5);
+        assert_eq!(
+            paged.execute_federated(&[live, seg]),
+            paged.execute_federated(&[live, &reference]),
+            "{context}: paged federation diverged for {p}"
+        );
+    }
+}
+
+#[test]
+fn warehouse_is_differentially_invisible_at_every_flush_point() {
+    let tmp = TempDir::new("differential");
+    let mut engine = ShardedEngine::new(config()).unwrap();
+    let (db, _) = SegmentedDb::open(
+        &tmp.0,
+        WarehouseConfig {
+            fanout: 3, // small fanout: compactions actually happen mid-test
+            manifest: CompactionPolicy::default(),
+        },
+    )
+    .unwrap();
+    let mut flusher = Flusher::new(db);
+
+    let events = feed(30);
+    let chunks: Vec<&[StreamEvent]> = events.chunks(events.len() / 6).collect();
+    for (i, chunk) in chunks.iter().enumerate() {
+        engine.ingest_all(chunk.to_vec());
+        flusher.poll(&mut engine).unwrap();
+        let snapshot = engine.live_snapshot();
+        assert_differential(flusher.db(), &snapshot, &format!("chunk {i}"));
+    }
+    // End of stream: close everything, spill the rest, check again.
+    engine.finish();
+    flusher.force(&mut engine).unwrap();
+    let snapshot = engine.live_snapshot();
+    assert!(snapshot.visits.is_empty(), "finish closed every open visit");
+    assert_differential(flusher.db(), &snapshot, "after finish");
+    // The stream really exercised the tiers.
+    let db = flusher.into_db().unwrap();
+    assert_eq!(db.len(), 30, "every visit reached the warehouse");
+    assert!(
+        db.segments().len() < 7,
+        "size-tiered compaction merged small flush segments (got {})",
+        db.segments().len()
+    );
+
+    // Crash/reopen: the recovered warehouse answers identically.
+    drop(db);
+    let (reopened, report) = SegmentedDb::open(
+        &tmp.0,
+        WarehouseConfig {
+            fanout: 3,
+            manifest: CompactionPolicy::default(),
+        },
+    )
+    .unwrap();
+    assert!(report.is_clean());
+    assert_eq!(reopened.len(), 30);
+    let empty: Vec<SemanticTrajectory> = Vec::new();
+    assert_differential(&reopened, &empty, "after reopen");
+}
+
+#[test]
+fn both_runtimes_build_identical_warehouses_live_included() {
+    let events = feed(24);
+    let tmp_seq = TempDir::new("seq");
+    let tmp_par = TempDir::new("par");
+
+    let mut seq = ShardedEngine::new(config()).unwrap();
+    seq.ingest_all(events.iter().cloned());
+    let mut seq_flusher = Flusher::new(
+        SegmentedDb::open(&tmp_seq.0, WarehouseConfig::default())
+            .unwrap()
+            .0,
+    );
+    seq_flusher.poll(&mut seq).unwrap();
+    let seq_snapshot = seq.live_snapshot();
+
+    let mut par = ParallelEngine::new(config()).unwrap();
+    par.ingest_all(events.iter().cloned());
+    let mut par_flusher = Flusher::new(
+        SegmentedDb::open(&tmp_par.0, WarehouseConfig::default())
+            .unwrap()
+            .0,
+    );
+    par_flusher.poll(&mut par).unwrap();
+    let par_snapshot = par.live_snapshot();
+
+    let seq_db = seq_flusher.into_db().unwrap();
+    let par_db = par_flusher.into_db().unwrap();
+    let seq_all: Vec<SemanticTrajectory> = seq_db.iter().cloned().collect();
+    let par_all: Vec<SemanticTrajectory> = par_db.iter().cloned().collect();
+    assert_eq!(seq_all, par_all, "identical spilled history");
+
+    for p in predicates() {
+        let q = Query::new()
+            .filter(p.clone())
+            .order_by(SortKey::Start, true);
+        assert_eq!(
+            q.execute_federated(&[&seq_snapshot, &seq_db]),
+            q.execute_federated(&[&par_snapshot, &par_db]),
+            "runtimes diverged under federation for {p}"
+        );
+    }
+}
+
+#[test]
+fn zone_map_pruning_skips_segments_without_losing_matches() {
+    // Time-partitioned flushes give disjoint span zone maps: a narrow
+    // window query must prune most segments yet count identically.
+    let tmp = TempDir::new("pruning");
+    let (mut db, _) = SegmentedDb::open(
+        &tmp.0,
+        WarehouseConfig {
+            fanout: 64, // keep flush segments distinct
+            manifest: CompactionPolicy::default(),
+        },
+    )
+    .unwrap();
+    for batch in 0..6i64 {
+        let base = batch * 10_000;
+        let trajs: Vec<SemanticTrajectory> = (0..20)
+            .map(|i| {
+                let start = base + i * 100;
+                let stay = PresenceInterval::new(
+                    TransitionTaken::Unknown,
+                    cell((i % 5) as usize),
+                    Timestamp(start),
+                    Timestamp(start + 50),
+                );
+                SemanticTrajectory::new(
+                    format!("mo-{batch}-{i}"),
+                    sitm::core::Trace::new(vec![stay]).unwrap(),
+                    label("visit"),
+                )
+                .unwrap()
+            })
+            .collect();
+        db.flush(trajs).unwrap();
+    }
+    assert_eq!(db.segments().len(), 6);
+    let window = Predicate::SpanOverlaps(TimeInterval::new(Timestamp(20_000), Timestamp(21_000)));
+    let plan = db.explain(&window);
+    assert_eq!(plan.pruned, 5, "five of six segments are span-disjoint");
+    assert_eq!(db.count_matching(&window), db.count_matching_scan(&window));
+    assert!(db.count_matching(&window) > 0);
+    // A moving-object point query prunes by the object zone set.
+    let object = Predicate::MovingObject("mo-3-7".into());
+    let plan = db.explain(&object);
+    assert_eq!(plan.pruned, 5);
+    assert_eq!(plan.candidates, Some(1));
+    assert_eq!(db.count_matching(&object), 1);
+}
