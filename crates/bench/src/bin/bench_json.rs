@@ -1,10 +1,10 @@
 //! Machine-readable performance snapshot: times the hot paths this
-//! repo's perf work targets and writes `BENCH_4.json` (group → ns/op)
+//! repo's perf work targets and writes `BENCH_5.json` (group → ns/op)
 //! — the cross-PR perf trajectory, uploaded as a CI artifact so
 //! regressions are diffable without parsing criterion output.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin bench_json [path]`
-//! (default output path: `BENCH_4.json` in the working directory).
+//! (default output path: `BENCH_5.json` in the working directory).
 //!
 //! The wall-clock numbers carry the same caveat as `bench_stream`: on a
 //! single-core container the parallel groups measure scheduler overhead
@@ -13,7 +13,10 @@
 //! `live_query/indexed_count` vs `live_query/scan_count` ratio (≥ 5×
 //! acceptance target) and the `warehouse/pruned_count` vs
 //! `warehouse/scan_count` ratio (pruned must win on the selective
-//! predicate) are core-count independent.
+//! predicate) are core-count independent. The `serve/*` groups time
+//! whole client→server round trips over loopback TCP (framing, codec,
+//! engine, warehouse), so they bound the per-request protocol cost;
+//! `bench_serve` is the multi-client throughput companion.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -76,7 +79,7 @@ impl Drop for TempWarehouse {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".to_string());
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
     let model = build_louvre();
     let louvre = louvre_feed(&model);
     let skewed = skewed_feed(400, 20_000, 1.2);
@@ -215,6 +218,116 @@ fn main() {
         "warehouse/scan_count".into(),
         time_ns(199, || pruned_db.count_matching_scan(&point)),
     ));
+    drop(pruned_db);
+
+    // ---- Network tier ---------------------------------------------------
+    // One server over loopback TCP; each group is a full client round
+    // trip (encode → frame → TCP → decode → engine/warehouse → back).
+    {
+        use sitm_query::wire::WireQuery;
+        use sitm_query::SortKey;
+        use sitm_serve::{Client, Server, ServerConfig};
+
+        let serve_dir =
+            std::env::temp_dir().join(format!("sitm-bench-json-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&serve_dir);
+        let server = Server::start(
+            ServerConfig::new(config(&model, 2), &serve_dir)
+                .with_sessions(5)
+                .with_flush_batch(128),
+        )
+        .expect("start bench server");
+        let addr = server.addr();
+
+        // Ingest round trip: one 256-event batch per op (amortized
+        // per-batch cost; divide by 256 for per-event).
+        let batch: Vec<StreamEvent> = louvre.iter().take(256).cloned().collect();
+        let mut client = Client::connect(addr).expect("connect");
+        results.push((
+            "serve/ingest_batch_256".into(),
+            time_ns(19, || {
+                client
+                    .ingest_batch(batch.clone())
+                    .expect("ingest round trip")
+            }),
+        ));
+        // Load the warehouse with the day's history, then time the
+        // query paths against real segments.
+        client.ingest_batch(louvre.clone()).expect("ingest day");
+        client.checkpoint().expect("spill");
+        let target = {
+            let probe = client
+                .query_federated(&WireQuery {
+                    predicate: Predicate::True,
+                    order: Some((SortKey::MovingObject, true)),
+                    offset: 0,
+                    limit: Some(1),
+                })
+                .expect("probe");
+            probe[0].moving_object.clone()
+        };
+        let point_query = WireQuery {
+            predicate: Predicate::MovingObject(target.clone()),
+            order: Some((SortKey::Start, true)),
+            offset: 0,
+            limit: Some(10),
+        };
+        results.push((
+            "serve/query_federated_point".into(),
+            time_ns(49, || {
+                client
+                    .query_federated(&point_query)
+                    .expect("federated query")
+                    .len()
+            }),
+        ));
+        results.push((
+            "serve/query_warehouse_point".into(),
+            time_ns(49, || {
+                client.query(&point_query).expect("warehouse query").len()
+            }),
+        ));
+        results.push((
+            "serve/explain".into(),
+            time_ns(49, || {
+                client
+                    .explain(&Predicate::MovingObject(target.clone()))
+                    .expect("explain")
+                    .segments
+            }),
+        ));
+        results.push((
+            "serve/stats".into(),
+            time_ns(49, || client.stats().expect("stats").events),
+        ));
+
+        // Multi-client burst: 4 concurrent sessions each ingesting a
+        // fixed slice — the whole burst is one op (wall-clock ns).
+        let slice: Vec<StreamEvent> = louvre.iter().take(2_000).cloned().collect();
+        results.push((
+            "serve/concurrent_ingest_4x2000".into(),
+            time_ns(3, || {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let slice = slice.clone();
+                        std::thread::spawn(move || {
+                            let mut c = Client::connect(addr).expect("connect");
+                            for chunk in slice.chunks(500) {
+                                c.ingest_batch(chunk.to_vec()).expect("ingest");
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("burst client");
+                }
+            }),
+        ));
+
+        client.shutdown().expect("shutdown bench server");
+        server.join().expect("join bench server");
+        let _ = std::fs::remove_dir_all(&serve_dir);
+    }
 
     let mut json = String::from("{\n");
     for (i, (group, ns)) in results.iter().enumerate() {

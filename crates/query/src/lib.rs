@@ -24,9 +24,13 @@
 //!   points: one predicate evaluated over the union of many trajectory
 //!   collections (warehouse + live streaming-engine state);
 //! * [`segmented`] — [`SegmentedDb`]: the warehouse rewritten around
-//!   `sitm-store`'s immutable on-disk segment tier — zone-map pruning
-//!   plus per-segment postings behind the same query surface and the
-//!   same [`TrajectorySource`] federation face.
+//!   `sitm-store`'s immutable on-disk segment tier — Bloom-fronted
+//!   zone-map pruning plus per-segment postings behind the same query
+//!   surface and the same [`TrajectorySource`] federation face;
+//! * [`wire`] — the network codec for queries: [`Predicate`],
+//!   [`SortKey`] and [`WireQuery`] (predicate + ordering + paging)
+//!   encoded with `sitm-store`'s varint primitives, fully validated on
+//!   decode — what `sitm-serve` puts on the wire.
 //!
 //! Index lookups return candidate *supersets* and the executor re-checks
 //! the predicate on every candidate, so results are always identical to a
@@ -55,6 +59,7 @@ pub mod interval_tree;
 pub mod predicate;
 pub mod query;
 pub mod segmented;
+pub mod wire;
 
 pub use federation::{
     federated_count, federated_explain, federated_for_each, federated_matching, TrajectorySource,
@@ -68,4 +73,7 @@ pub use index::{CandidateSet, TrajId, TrajectoryDb};
 pub use interval_tree::{Entry, IntervalTree};
 pub use predicate::Predicate;
 pub use query::{AccessPath, Match, Query, QueryPlan, SortKey};
-pub use segmented::{zone_may_match, SegmentedDb, SegmentedPlan};
+pub use segmented::{zone_bloom_rejects, zone_may_match, SegmentedDb, SegmentedPlan};
+pub use wire::{
+    decode_predicate, decode_wire_query, encode_predicate, encode_wire_query, WireQuery,
+};

@@ -15,7 +15,13 @@
 //! 1. **zone-map pruning** — each segment's [`ZoneMap`] (span min/max,
 //!    cell set, object set, annotation sets) is tested with
 //!    [`zone_may_match`]; a segment the predicate provably cannot match
-//!    contributes nothing and its trajectories are never touched;
+//!    contributes nothing and its trajectories are never touched.
+//!    Point-equality leaves (cell / moving-object membership) consult
+//!    the zone map's **Bloom filters first**: a bloom *no* rejects the
+//!    segment from one probe sequence without touching the exact
+//!    ordered sets (no false negatives, so the prune stays sound), and
+//!    [`SegmentedPlan::bloom_pruned`] reports how many segments the
+//!    blooms alone eliminated;
 //! 2. **per-segment postings** — surviving segments answer through
 //!    their own [`TrajectoryDb`] indexes (cell/annotation/object
 //!    postings, span and stay interval trees), translated into global
@@ -74,18 +80,40 @@ pub fn zone_may_match(zone: &ZoneMap, p: &Predicate) -> bool {
         .unwrap_or_else(|| sitm_core::Duration::seconds(0));
     match p {
         Predicate::True => true,
-        Predicate::VisitedCell(cell) => zone.cells.contains(cell),
-        Predicate::SequenceContains(cells) => cells.iter().all(|c| zone.cells.contains(c)),
+        Predicate::VisitedCell(cell) => zone.may_contain_cell(cell),
+        Predicate::SequenceContains(cells) => cells.iter().all(|c| zone.may_contain_cell(c)),
         Predicate::SpanOverlaps(window) => span_allows(window),
-        Predicate::StayOverlaps(cell, window) => zone.cells.contains(cell) && span_allows(window),
+        Predicate::StayOverlaps(cell, window) => zone.may_contain_cell(cell) && span_allows(window),
         Predicate::HasTrajAnnotation(a) => zone.traj_annotations.contains(a),
         Predicate::HasStayAnnotation(a) => zone.stay_annotations.contains(a),
         Predicate::MinTotalDwell(_) => true,
-        Predicate::MinStayIn(cell, d) => zone.cells.contains(cell) && *d <= max_span,
-        Predicate::MovingObject(id) => zone.objects.contains(id),
+        Predicate::MinStayIn(cell, d) => zone.may_contain_cell(cell) && *d <= max_span,
+        Predicate::MovingObject(id) => zone.may_contain_object(id),
         Predicate::Not(_) => true,
         Predicate::And(parts) => parts.iter().all(|q| zone_may_match(zone, q)),
         Predicate::Or(parts) => parts.iter().any(|q| zone_may_match(zone, q)),
+    }
+}
+
+/// Would the zone's *Bloom filters alone* prove `p` unmatchable? A
+/// strict subset of the segments [`zone_may_match`] prunes (a bloom
+/// *no* has no false negatives), reported separately in
+/// [`SegmentedPlan::bloom_pruned`] so the fast-rejection tier's
+/// contribution is visible in plans. Point-equality leaves (cell /
+/// moving-object membership) are the only ones blooms can answer.
+pub fn zone_bloom_rejects(zone: &ZoneMap, p: &Predicate) -> bool {
+    match p {
+        Predicate::VisitedCell(cell)
+        | Predicate::StayOverlaps(cell, _)
+        | Predicate::MinStayIn(cell, _) => zone.bloom_rejects_cell(cell),
+        // Every listed cell must be present for a contiguous run.
+        Predicate::SequenceContains(cells) => cells.iter().any(|c| zone.bloom_rejects_cell(c)),
+        Predicate::MovingObject(id) => zone.bloom_rejects_object(id),
+        Predicate::And(parts) => parts.iter().any(|q| zone_bloom_rejects(zone, q)),
+        Predicate::Or(parts) => {
+            !parts.is_empty() && parts.iter().all(|q| zone_bloom_rejects(zone, q))
+        }
+        _ => false,
     }
 }
 
@@ -110,6 +138,10 @@ pub struct SegmentedPlan {
     pub segments: usize,
     /// Segments skipped entirely by zone-map pruning.
     pub pruned: usize,
+    /// Of the pruned segments, how many the Bloom filters alone
+    /// rejected (point predicates answered before the exact sets were
+    /// touched) — always `≤ pruned`.
+    pub bloom_pruned: usize,
     /// Candidate positions surviving both stages (`None` when the
     /// surviving segments cannot narrow and the query degrades to a
     /// scan of the unpruned segments).
@@ -276,6 +308,11 @@ impl SegmentedDb {
             .iter()
             .filter(|part| !zone_may_match(&part.zone_map, p))
             .count();
+        let bloom_pruned = self
+            .parts
+            .iter()
+            .filter(|part| zone_bloom_rejects(&part.zone_map, p))
+            .count();
         let candidates = match self.candidates(p) {
             CandidateSet::All => None,
             CandidateSet::Ids(ids) => Some(ids.len()),
@@ -283,6 +320,7 @@ impl SegmentedDb {
         SegmentedPlan {
             segments: self.parts.len(),
             pruned,
+            bloom_pruned,
             candidates,
             total: self.total,
         }
@@ -491,6 +529,61 @@ mod tests {
     }
 
     #[test]
+    fn bloom_rejection_is_sound_and_visible_in_plans() {
+        let tmp = TempDir::new("bloom");
+        let mut db = open(&tmp);
+        // Two object/cell-disjoint segments.
+        db.flush(vec![traj("a", &[(1, 0, 100)], "visit")]).unwrap();
+        db.flush(vec![traj("b", &[(2, 1000, 1100)], "visit")])
+            .unwrap();
+        assert_eq!(db.segments().len(), 2);
+        // A point predicate matching nothing anywhere: blooms (no
+        // false negatives) must reject every segment, and the indexed
+        // path must agree with the scan.
+        for p in [
+            Predicate::MovingObject("nobody".into()),
+            Predicate::VisitedCell(cell(9)),
+            Predicate::MovingObject("a".into()).and(Predicate::VisitedCell(cell(2))),
+        ] {
+            let plan = db.explain(&p);
+            assert!(plan.bloom_pruned <= plan.pruned, "for {p}");
+            assert_eq!(db.matching(&p).len(), db.matching_scan(&p).len(), "{p}");
+        }
+        // Fully absent point values are bloom-rejected in every segment.
+        let absent = Predicate::MovingObject("nobody".into());
+        let plan = db.explain(&absent);
+        assert_eq!(plan.pruned, 2);
+        assert_eq!(
+            plan.bloom_pruned, 2,
+            "blooms alone reject a wholly absent object"
+        );
+        // A present value is never bloom-rejected in its home segment.
+        for s in db.segments() {
+            for t in &s.trajectories {
+                assert!(!zone_bloom_rejects(
+                    &s.zone_map,
+                    &Predicate::MovingObject(t.moving_object.clone())
+                ));
+                for stay in t.trace().intervals() {
+                    assert!(!zone_bloom_rejects(
+                        &s.zone_map,
+                        &Predicate::VisitedCell(stay.cell)
+                    ));
+                }
+            }
+        }
+        // Structural cases blooms cannot answer.
+        assert!(!zone_bloom_rejects(
+            &db.segments()[0].zone_map,
+            &Predicate::Or(vec![])
+        ));
+        assert!(!zone_bloom_rejects(
+            &db.segments()[0].zone_map,
+            &Predicate::VisitedCell(cell(9)).not()
+        ));
+    }
+
+    #[test]
     fn flush_builds_segments_and_ids_follow_warehouse_order() {
         let tmp = TempDir::new("order");
         let mut db = open(&tmp);
@@ -530,6 +623,10 @@ mod tests {
         let plan = db.explain(&p);
         assert_eq!(plan.segments, 2);
         assert_eq!(plan.pruned, 1, "the buy segment has no cell 1");
+        assert!(
+            plan.bloom_pruned <= plan.pruned,
+            "bloom rejections are a subset of zone-map prunes"
+        );
         assert_eq!(plan.candidates, Some(1));
         for p in [
             Predicate::VisitedCell(cell(1)),

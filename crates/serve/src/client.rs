@@ -1,0 +1,178 @@
+//! The blocking client.
+//!
+//! [`Client`] speaks the framed request/response protocol over one TCP
+//! connection, lazily (re)established. It is **reconnect-safe on the
+//! send side**: a request that fails while connecting or while writing
+//! the frame is retried once on a fresh connection — at that point the
+//! server cannot have observed it, so the retry is exact-once. A
+//! failure while *reading the response* is **not** retried: the server
+//! may already have applied the request (an ingest batch, a checkpoint),
+//! and a blind replay would double it. Callers that want at-least-once
+//! ingest semantics retry explicitly and deduplicate by visit key.
+//!
+//! One client drives one session; concurrency comes from running one
+//! client per thread (`bench_serve` drives N of them against one
+//! server).
+
+use std::net::{SocketAddr, TcpStream};
+
+use sitm_core::SemanticTrajectory;
+use sitm_query::wire::WireQuery;
+use sitm_query::Predicate;
+use sitm_stream::StreamEvent;
+
+use crate::proto::{
+    decode_response, encode_request, ExplainReport, Request, Response, ServerStats,
+};
+use crate::wire::{read_frame, write_frame};
+use crate::ServeError;
+
+/// A blocking, reconnect-safe connection to a [`crate::Server`].
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    /// Connects eagerly (fails fast when the server is down).
+    pub fn connect(addr: SocketAddr) -> Result<Client, ServeError> {
+        let mut client = Client { addr, stream: None };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// The server address this client targets.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut TcpStream, ServeError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// One request/response round trip (see the module docs for the
+    /// retry contract).
+    pub fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
+        let mut payload = Vec::new();
+        encode_request(&mut payload, request);
+        if payload.len() > sitm_store::segment::MAX_PAYLOAD as usize {
+            return Err(ServeError::Protocol(format!(
+                "request of {} bytes exceeds the frame bound; split the batch",
+                payload.len()
+            )));
+        }
+        // Send side: a connect *or* write failure is retried once on a
+        // fresh connection — in either case the server cannot have
+        // observed the request yet.
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let sent = match self.ensure_connected() {
+                Ok(stream) => write_frame(stream, &payload).map_err(ServeError::Io),
+                Err(err) => Err(err),
+            };
+            match sent {
+                Ok(()) => break,
+                Err(err) => {
+                    self.stream = None;
+                    if attempt >= 2 {
+                        return Err(err);
+                    }
+                }
+            }
+        }
+        // Receive side: never retried (the request may have applied).
+        let stream = self.stream.as_mut().expect("connected above");
+        let frame = match read_frame(stream) {
+            Ok(frame) => frame,
+            Err(err) => {
+                self.stream = None;
+                return Err(ServeError::Wire(err));
+            }
+        };
+        let response = decode_response(&mut frame.as_slice())?;
+        Ok(response)
+    }
+
+    fn expect_error(response: Response) -> ServeError {
+        match response {
+            Response::Error(message) => ServeError::Remote(message),
+            other => ServeError::Protocol(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Sends a batch of events into the server's engine. Returns the
+    /// number of events routed.
+    pub fn ingest_batch(&mut self, events: Vec<StreamEvent>) -> Result<u64, ServeError> {
+        match self.call(&Request::IngestBatch(events))? {
+            Response::Ingested { events } => Ok(events),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// Executes a query over the warehouse tier only.
+    pub fn query(&mut self, query: &WireQuery) -> Result<Vec<SemanticTrajectory>, ServeError> {
+        match self.call(&Request::Query(query.clone()))? {
+            Response::Trajectories(rows) => Ok(rows),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// Executes a query over live ∪ warehouse (sorted/limited paging
+    /// per the spec).
+    pub fn query_federated(
+        &mut self,
+        query: &WireQuery,
+    ) -> Result<Vec<SemanticTrajectory>, ServeError> {
+        match self.call(&Request::QueryFederated(query.clone()))? {
+            Response::Trajectories(rows) => Ok(rows),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// Plans a predicate server-side without executing it.
+    pub fn explain(&mut self, predicate: &Predicate) -> Result<ExplainReport, ServeError> {
+        match self.call(&Request::Explain(predicate.clone()))? {
+            Response::Explained(report) => Ok(report),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// Fetches engine + warehouse counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// Spills the engine's finished backlog into the warehouse.
+    /// Returns `(spilled, warehouse_trajectories, manifest_sequence)`.
+    pub fn checkpoint(&mut self) -> Result<(u64, u64, u64), ServeError> {
+        match self.call(&Request::Checkpoint)? {
+            Response::Checkpointed {
+                spilled,
+                warehouse_trajectories,
+                manifest_sequence,
+            } => Ok((spilled, warehouse_trajectories, manifest_sequence)),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// Requests a graceful server shutdown (warehouse flushed before
+    /// the acknowledgement). The connection is closed afterwards.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => {
+                self.stream = None;
+                Ok(())
+            }
+            other => Err(Self::expect_error(other)),
+        }
+    }
+}

@@ -1,0 +1,596 @@
+//! The request/response vocabulary and its payload codec.
+//!
+//! One frame ([`crate::wire`]) carries one message. Requests and
+//! responses are tagged unions encoded with the same `sitm-store`
+//! primitives as every durable artifact — stream events reuse the
+//! presence/annotation/cell codecs, trajectories ship as
+//! [`sitm_store::codec::encode_trajectory`] rows, and query specs ride
+//! [`sitm_query::wire`]. Decoding validates everything (tags, lengths,
+//! UTF-8, interval ordering) and fails with a [`CodecError`] instead of
+//! materializing an invalid value, so a corrupted frame that somehow
+//! cleared the CRC still cannot reach the engine.
+
+use sitm_core::{SemanticTrajectory, Timestamp};
+use sitm_query::wire::{decode_wire_query, encode_wire_query, WireQuery};
+use sitm_query::{decode_predicate, encode_predicate, Predicate};
+use sitm_store::codec::{
+    decode_annotations, decode_cell, decode_count, decode_presence, decode_str, decode_trajectory,
+    encode_annotations, encode_cell, encode_presence, encode_str, encode_trajectory, take_tag,
+};
+use sitm_store::{varint, CodecError};
+use sitm_stream::{StreamEvent, VisitKey};
+
+// --- stream events ---------------------------------------------------------
+
+const EV_OPENED: u8 = 0;
+const EV_FIX: u8 = 1;
+const EV_PRESENCE: u8 = 2;
+const EV_CLOSED: u8 = 3;
+
+/// Encodes one ingestion event.
+pub fn encode_event(buf: &mut Vec<u8>, event: &StreamEvent) {
+    match event {
+        StreamEvent::VisitOpened {
+            visit,
+            moving_object,
+            annotations,
+            at,
+        } => {
+            buf.push(EV_OPENED);
+            varint::encode_u64(buf, visit.0);
+            encode_str(buf, moving_object);
+            encode_annotations(buf, annotations);
+            varint::encode_i64(buf, at.0);
+        }
+        StreamEvent::Fix { visit, cell, at } => {
+            buf.push(EV_FIX);
+            varint::encode_u64(buf, visit.0);
+            encode_cell(buf, *cell);
+            varint::encode_i64(buf, at.0);
+        }
+        StreamEvent::Presence { visit, interval } => {
+            buf.push(EV_PRESENCE);
+            varint::encode_u64(buf, visit.0);
+            encode_presence(buf, interval);
+        }
+        StreamEvent::VisitClosed { visit, at } => {
+            buf.push(EV_CLOSED);
+            varint::encode_u64(buf, visit.0);
+            varint::encode_i64(buf, at.0);
+        }
+    }
+}
+
+/// Decodes one ingestion event.
+pub fn decode_event(buf: &mut &[u8]) -> Result<StreamEvent, CodecError> {
+    match take_tag(buf)? {
+        EV_OPENED => {
+            let visit = VisitKey(varint::decode_u64(buf)?);
+            let moving_object = decode_str(buf)?;
+            let annotations = decode_annotations(buf)?;
+            let at = Timestamp(varint::decode_i64(buf)?);
+            Ok(StreamEvent::VisitOpened {
+                visit,
+                moving_object,
+                annotations,
+                at,
+            })
+        }
+        EV_FIX => {
+            let visit = VisitKey(varint::decode_u64(buf)?);
+            let cell = decode_cell(buf)?;
+            let at = Timestamp(varint::decode_i64(buf)?);
+            Ok(StreamEvent::Fix { visit, cell, at })
+        }
+        EV_PRESENCE => {
+            let visit = VisitKey(varint::decode_u64(buf)?);
+            let interval = decode_presence(buf)?;
+            Ok(StreamEvent::Presence { visit, interval })
+        }
+        EV_CLOSED => {
+            let visit = VisitKey(varint::decode_u64(buf)?);
+            let at = Timestamp(varint::decode_i64(buf)?);
+            Ok(StreamEvent::VisitClosed { visit, at })
+        }
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+// --- requests --------------------------------------------------------------
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Route a batch of events into the shared engine.
+    IngestBatch(Vec<StreamEvent>),
+    /// Execute a query over the **warehouse tier only** (spilled
+    /// history; sorted/limited paging applies).
+    Query(WireQuery),
+    /// Execute a query over **live ∪ warehouse** — the engine's
+    /// snapshot-consistent live cut federated with the segment tier via
+    /// `Query::execute_federated`.
+    QueryFederated(WireQuery),
+    /// Plan a predicate without executing it: per-source access paths
+    /// plus the warehouse's zone-map / Bloom pruning counts.
+    Explain(Predicate),
+    /// Engine counters plus warehouse shape.
+    Stats,
+    /// Spill the engine's finished backlog into the warehouse now
+    /// (durable on response).
+    Checkpoint,
+    /// Graceful shutdown: flush the warehouse, stop accepting, drain
+    /// sessions.
+    Shutdown,
+}
+
+const REQ_INGEST: u8 = 0;
+const REQ_QUERY: u8 = 1;
+const REQ_QUERY_FEDERATED: u8 = 2;
+const REQ_EXPLAIN: u8 = 3;
+const REQ_STATS: u8 = 4;
+const REQ_CHECKPOINT: u8 = 5;
+const REQ_SHUTDOWN: u8 = 6;
+
+/// Encodes a request into a frame payload.
+pub fn encode_request(buf: &mut Vec<u8>, req: &Request) {
+    match req {
+        Request::IngestBatch(events) => {
+            buf.push(REQ_INGEST);
+            varint::encode_u64(buf, events.len() as u64);
+            for e in events {
+                encode_event(buf, e);
+            }
+        }
+        Request::Query(q) => {
+            buf.push(REQ_QUERY);
+            encode_wire_query(buf, q);
+        }
+        Request::QueryFederated(q) => {
+            buf.push(REQ_QUERY_FEDERATED);
+            encode_wire_query(buf, q);
+        }
+        Request::Explain(p) => {
+            buf.push(REQ_EXPLAIN);
+            encode_predicate(buf, p);
+        }
+        Request::Stats => buf.push(REQ_STATS),
+        Request::Checkpoint => buf.push(REQ_CHECKPOINT),
+        Request::Shutdown => buf.push(REQ_SHUTDOWN),
+    }
+}
+
+/// Decodes a request frame payload.
+pub fn decode_request(buf: &mut &[u8]) -> Result<Request, CodecError> {
+    let req = match take_tag(buf)? {
+        REQ_INGEST => {
+            let count = decode_count(buf)?;
+            let mut events = Vec::with_capacity(count);
+            for _ in 0..count {
+                events.push(decode_event(buf)?);
+            }
+            Request::IngestBatch(events)
+        }
+        REQ_QUERY => Request::Query(decode_wire_query(buf)?),
+        REQ_QUERY_FEDERATED => Request::QueryFederated(decode_wire_query(buf)?),
+        REQ_EXPLAIN => Request::Explain(decode_predicate(buf)?),
+        REQ_STATS => Request::Stats,
+        REQ_CHECKPOINT => Request::Checkpoint,
+        REQ_SHUTDOWN => Request::Shutdown,
+        other => return Err(CodecError::BadTag(other)),
+    };
+    if !buf.is_empty() {
+        return Err(CodecError::InvalidTrace(
+            "trailing bytes after request".into(),
+        ));
+    }
+    Ok(req)
+}
+
+// --- responses -------------------------------------------------------------
+
+/// One federation participant's plan, as reported over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePlan {
+    /// Candidates the source's indexes narrowed to (`None` = full scan).
+    pub candidates: Option<u64>,
+    /// Trajectories in the source.
+    pub total: u64,
+}
+
+/// The server-side plan for a predicate: one [`WirePlan`] per federated
+/// source (live snapshot first, then the warehouse) plus the warehouse
+/// pruning counters surfaced from `SegmentedDb::explain`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainReport {
+    /// Per-source access paths, in federation order (live, warehouse).
+    pub plans: Vec<WirePlan>,
+    /// Live warehouse segments consulted.
+    pub segments: u64,
+    /// Segments zone-map pruning skipped entirely.
+    pub zone_pruned: u64,
+    /// Of those, segments the Bloom filters alone rejected.
+    pub bloom_pruned: u64,
+}
+
+/// Engine + warehouse counters, as served by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Events applied by the engine.
+    pub events: u64,
+    /// Presence intervals accepted.
+    pub presences: u64,
+    /// Visits opened.
+    pub visits_opened: u64,
+    /// Visits closed.
+    pub visits_closed: u64,
+    /// Episodes finalized.
+    pub episodes: u64,
+    /// Rejected/adapted events (all anomaly classes summed).
+    pub anomalies: u64,
+    /// Visits currently open (live tier population).
+    pub open_visits: u64,
+    /// Trajectories in the warehouse tier.
+    pub warehouse_trajectories: u64,
+    /// Live warehouse segments.
+    pub warehouse_segments: u64,
+    /// Sessions the server has accepted so far.
+    pub sessions: u64,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The batch was routed into the engine.
+    Ingested {
+        /// Events accepted into the router.
+        events: u64,
+    },
+    /// Query results, cloned out of the server's snapshot.
+    Trajectories(Vec<SemanticTrajectory>),
+    /// The plan for an [`Request::Explain`].
+    Explained(ExplainReport),
+    /// Current counters.
+    Stats(ServerStats),
+    /// The finished backlog was spilled and committed.
+    Checkpointed {
+        /// Trajectories made durable by this checkpoint.
+        spilled: u64,
+        /// Warehouse population after the spill.
+        warehouse_trajectories: u64,
+        /// The warehouse manifest sequence now current.
+        manifest_sequence: u64,
+    },
+    /// Shutdown acknowledged; the connection closes after this frame.
+    ShuttingDown,
+    /// The request could not be served (bad payload, engine error...).
+    /// The session survives: the client may send further requests.
+    Error(String),
+}
+
+const RESP_INGESTED: u8 = 0;
+const RESP_TRAJECTORIES: u8 = 1;
+const RESP_EXPLAINED: u8 = 2;
+const RESP_STATS: u8 = 3;
+const RESP_CHECKPOINTED: u8 = 4;
+const RESP_SHUTTING_DOWN: u8 = 5;
+const RESP_ERROR: u8 = 6;
+
+/// Encodes a response into a frame payload.
+pub fn encode_response(buf: &mut Vec<u8>, resp: &Response) {
+    match resp {
+        Response::Ingested { events } => {
+            buf.push(RESP_INGESTED);
+            varint::encode_u64(buf, *events);
+        }
+        Response::Trajectories(rows) => {
+            buf.push(RESP_TRAJECTORIES);
+            varint::encode_u64(buf, rows.len() as u64);
+            for t in rows {
+                encode_trajectory(buf, t);
+            }
+        }
+        Response::Explained(report) => {
+            buf.push(RESP_EXPLAINED);
+            varint::encode_u64(buf, report.plans.len() as u64);
+            for plan in &report.plans {
+                match plan.candidates {
+                    None => buf.push(0),
+                    Some(n) => {
+                        buf.push(1);
+                        varint::encode_u64(buf, n);
+                    }
+                }
+                varint::encode_u64(buf, plan.total);
+            }
+            varint::encode_u64(buf, report.segments);
+            varint::encode_u64(buf, report.zone_pruned);
+            varint::encode_u64(buf, report.bloom_pruned);
+        }
+        Response::Stats(s) => {
+            buf.push(RESP_STATS);
+            for n in [
+                s.events,
+                s.presences,
+                s.visits_opened,
+                s.visits_closed,
+                s.episodes,
+                s.anomalies,
+                s.open_visits,
+                s.warehouse_trajectories,
+                s.warehouse_segments,
+                s.sessions,
+            ] {
+                varint::encode_u64(buf, n);
+            }
+        }
+        Response::Checkpointed {
+            spilled,
+            warehouse_trajectories,
+            manifest_sequence,
+        } => {
+            buf.push(RESP_CHECKPOINTED);
+            varint::encode_u64(buf, *spilled);
+            varint::encode_u64(buf, *warehouse_trajectories);
+            varint::encode_u64(buf, *manifest_sequence);
+        }
+        Response::ShuttingDown => buf.push(RESP_SHUTTING_DOWN),
+        Response::Error(message) => {
+            buf.push(RESP_ERROR);
+            encode_str(buf, message);
+        }
+    }
+}
+
+/// Decodes a response frame payload.
+pub fn decode_response(buf: &mut &[u8]) -> Result<Response, CodecError> {
+    let resp = match take_tag(buf)? {
+        RESP_INGESTED => Response::Ingested {
+            events: varint::decode_u64(buf)?,
+        },
+        RESP_TRAJECTORIES => {
+            let count = decode_count(buf)?;
+            let mut rows = Vec::with_capacity(count);
+            for _ in 0..count {
+                rows.push(decode_trajectory(buf)?);
+            }
+            Response::Trajectories(rows)
+        }
+        RESP_EXPLAINED => {
+            let count = decode_count(buf)?;
+            let mut plans = Vec::with_capacity(count);
+            for _ in 0..count {
+                let candidates = match take_tag(buf)? {
+                    0 => None,
+                    1 => Some(varint::decode_u64(buf)?),
+                    other => return Err(CodecError::BadTag(other)),
+                };
+                let total = varint::decode_u64(buf)?;
+                plans.push(WirePlan { candidates, total });
+            }
+            let segments = varint::decode_u64(buf)?;
+            let zone_pruned = varint::decode_u64(buf)?;
+            let bloom_pruned = varint::decode_u64(buf)?;
+            Response::Explained(ExplainReport {
+                plans,
+                segments,
+                zone_pruned,
+                bloom_pruned,
+            })
+        }
+        RESP_STATS => {
+            let mut fields = [0u64; 10];
+            for slot in &mut fields {
+                *slot = varint::decode_u64(buf)?;
+            }
+            Response::Stats(ServerStats {
+                events: fields[0],
+                presences: fields[1],
+                visits_opened: fields[2],
+                visits_closed: fields[3],
+                episodes: fields[4],
+                anomalies: fields[5],
+                open_visits: fields[6],
+                warehouse_trajectories: fields[7],
+                warehouse_segments: fields[8],
+                sessions: fields[9],
+            })
+        }
+        RESP_CHECKPOINTED => Response::Checkpointed {
+            spilled: varint::decode_u64(buf)?,
+            warehouse_trajectories: varint::decode_u64(buf)?,
+            manifest_sequence: varint::decode_u64(buf)?,
+        },
+        RESP_SHUTTING_DOWN => Response::ShuttingDown,
+        RESP_ERROR => Response::Error(decode_str(buf)?),
+        other => return Err(CodecError::BadTag(other)),
+    };
+    if !buf.is_empty() {
+        return Err(CodecError::InvalidTrace(
+            "trailing bytes after response".into(),
+        ));
+    }
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_core::{Annotation, AnnotationSet, PresenceInterval, Trace, TransitionTaken};
+    use sitm_graph::{LayerIdx, NodeId};
+    use sitm_query::SortKey;
+    use sitm_space::CellRef;
+
+    fn cell(n: usize) -> CellRef {
+        CellRef::new(LayerIdx::from_index(0), NodeId::from_index(n))
+    }
+
+    fn sample_events() -> Vec<StreamEvent> {
+        vec![
+            StreamEvent::VisitOpened {
+                visit: VisitKey(7),
+                moving_object: "mo-7".into(),
+                annotations: AnnotationSet::from_iter([Annotation::goal("visit")]),
+                at: Timestamp(-12),
+            },
+            StreamEvent::Fix {
+                visit: VisitKey(7),
+                cell: cell(3),
+                at: Timestamp(5),
+            },
+            StreamEvent::Presence {
+                visit: VisitKey(8),
+                interval: PresenceInterval::new(
+                    TransitionTaken::Unknown,
+                    cell(1),
+                    Timestamp(0),
+                    Timestamp(50),
+                ),
+            },
+            StreamEvent::VisitClosed {
+                visit: VisitKey(7),
+                at: Timestamp(100),
+            },
+        ]
+    }
+
+    fn sample_trajectory() -> SemanticTrajectory {
+        let stay = PresenceInterval::new(
+            TransitionTaken::Unknown,
+            cell(2),
+            Timestamp(10),
+            Timestamp(60),
+        );
+        SemanticTrajectory::new(
+            "mo",
+            Trace::new(vec![stay]).unwrap(),
+            AnnotationSet::from_iter([Annotation::goal("visit")]),
+        )
+        .unwrap()
+    }
+
+    fn requests() -> Vec<Request> {
+        vec![
+            Request::IngestBatch(sample_events()),
+            Request::IngestBatch(vec![]),
+            Request::Query(WireQuery::filtered(Predicate::VisitedCell(cell(1)))),
+            Request::QueryFederated(WireQuery {
+                predicate: Predicate::MovingObject("mo".into()),
+                order: Some((SortKey::Start, true)),
+                offset: 1,
+                limit: Some(5),
+            }),
+            Request::Explain(Predicate::VisitedCell(cell(1)).not()),
+            Request::Stats,
+            Request::Checkpoint,
+            Request::Shutdown,
+        ]
+    }
+
+    fn responses() -> Vec<Response> {
+        vec![
+            Response::Ingested { events: 42 },
+            Response::Trajectories(vec![sample_trajectory()]),
+            Response::Trajectories(vec![]),
+            Response::Explained(ExplainReport {
+                plans: vec![
+                    WirePlan {
+                        candidates: None,
+                        total: 10,
+                    },
+                    WirePlan {
+                        candidates: Some(3),
+                        total: 100,
+                    },
+                ],
+                segments: 4,
+                zone_pruned: 2,
+                bloom_pruned: 1,
+            }),
+            Response::Stats(ServerStats {
+                events: 1,
+                presences: 2,
+                visits_opened: 3,
+                visits_closed: 4,
+                episodes: 5,
+                anomalies: 6,
+                open_visits: 7,
+                warehouse_trajectories: 8,
+                warehouse_segments: 9,
+                sessions: 10,
+            }),
+            Response::Checkpointed {
+                spilled: 12,
+                warehouse_trajectories: 99,
+                manifest_sequence: 7,
+            },
+            Response::ShuttingDown,
+            Response::Error("bad payload".into()),
+        ]
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        for req in requests() {
+            let mut buf = Vec::new();
+            encode_request(&mut buf, &req);
+            let back = decode_request(&mut buf.as_slice()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        for resp in responses() {
+            let mut buf = Vec::new();
+            encode_response(&mut buf, &resp);
+            let back = decode_response(&mut buf.as_slice()).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn truncated_messages_error_and_never_panic() {
+        for req in requests() {
+            let mut buf = Vec::new();
+            encode_request(&mut buf, &req);
+            for cut in 0..buf.len() {
+                assert!(decode_request(&mut &buf[..cut]).is_err(), "cut {cut}");
+            }
+        }
+        for resp in responses() {
+            let mut buf = Vec::new();
+            encode_response(&mut buf, &resp);
+            for cut in 0..buf.len() {
+                assert!(decode_response(&mut &buf[..cut]).is_err(), "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, &Request::Stats);
+        buf.push(0);
+        assert!(decode_request(&mut buf.as_slice()).is_err());
+        let mut buf = Vec::new();
+        encode_response(&mut buf, &Response::ShuttingDown);
+        buf.push(0);
+        assert!(decode_response(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(matches!(
+            decode_request(&mut [0xEEu8].as_slice()),
+            Err(CodecError::BadTag(0xEE))
+        ));
+        assert!(matches!(
+            decode_response(&mut [0xEEu8].as_slice()),
+            Err(CodecError::BadTag(0xEE))
+        ));
+        assert!(matches!(
+            decode_event(&mut [0xEEu8].as_slice()),
+            Err(CodecError::BadTag(0xEE))
+        ));
+    }
+}

@@ -1,0 +1,473 @@
+//! The concurrent ingest + query server.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   clients ──TCP──▶ listener thread ──bounded queue──▶ session workers
+//!                                                          │ (pool of N)
+//!                                          frame ⇄ request │
+//!                                                          ▼
+//!                                              ┌─────── Core (Mutex) ───────┐
+//!                                              │ ParallelEngine   (ingest,  │
+//!                                              │   live_snapshot, stats)    │
+//!                                              │ Flusher → SegmentedDb      │
+//!                                              │   (checkpoint, queries)    │
+//!                                              └────────────────────────────┘
+//! ```
+//!
+//! * **Listener** — one thread accepting connections and handing each
+//!   socket to a **bounded** session queue (`std::sync::mpsc::sync_channel`,
+//!   the same bounded-channel backpressure idiom the parallel engine's
+//!   router uses): when every session worker is busy and the backlog is
+//!   full, `accept`ed clients wait in the queue send rather than
+//!   ballooning threads.
+//! * **Session workers** — a fixed pool. Each worker serves one
+//!   connection at a time: read frame → decode → execute against the
+//!   shared core → encode → write frame, until the client closes
+//!   (or a graceful shutdown drains it). A malformed or torn frame is a
+//!   **per-session** failure: the worker answers with
+//!   [`Response::Error`] when the transport still works, closes that
+//!   one connection, and moves on — the listener and every other
+//!   session stay up (`tests/wire_torture.rs` tears frames at every
+//!   byte offset to pin this).
+//! * **Core** — the shared pipeline state: one work-stealing
+//!   [`ParallelEngine`] (itself internally concurrent) and the
+//!   [`Flusher`]-fed [`sitm_query::SegmentedDb`] warehouse. Sessions
+//!   serialize on the core mutex per *request*; the engine's own worker
+//!   pool runs event application in parallel underneath it.
+//! * **Shutdown** — a [`Request::Shutdown`] spills the finished backlog
+//!   into the warehouse (durable), acknowledges, then flips the shared
+//!   flag and nudges the listener awake with a loop-back connection.
+//!   The listener stops accepting; sessions notice the flag at their
+//!   next idle poll (sockets carry a read timeout) or after their
+//!   in-flight request and close; [`Server::join`] returns once every
+//!   thread is down.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration as StdDuration;
+
+use sitm_query::{Predicate, SegmentedDb, TrajectorySource};
+use sitm_store::warehouse::WarehouseConfig;
+use sitm_stream::{EngineConfig, Flusher, ParallelEngine};
+
+use crate::proto::{
+    decode_request, encode_response, ExplainReport, Request, Response, ServerStats, WirePlan,
+};
+use crate::wire::{read_frame_or_idle, write_frame, WireError};
+use crate::ServeError;
+
+/// Server construction parameters.
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port — the
+    /// test/bench default).
+    pub bind: SocketAddr,
+    /// Engine configuration for the shared [`ParallelEngine`]. The
+    /// server forces `with_warehouse()` on it (live queries + finished
+    /// retention) — the full pipeline is the point of serving.
+    pub engine: EngineConfig,
+    /// Directory of the warehouse tier ([`SegmentedDb`]).
+    pub warehouse_dir: PathBuf,
+    /// Warehouse configuration (manifest policy, compaction fanout).
+    pub warehouse: WarehouseConfig,
+    /// Session worker threads (concurrent connections served; min 1).
+    pub sessions: usize,
+    /// Accepted connections queued beyond the busy workers before the
+    /// listener itself blocks (min 1).
+    pub backlog: usize,
+    /// Finished visits to accumulate before a `Checkpoint` spill
+    /// produces a segment (the [`Flusher::with_min_batch`] knob).
+    pub flush_batch: usize,
+    /// How often an idle session polls the shutdown flag (doubles as
+    /// the per-read socket timeout).
+    pub idle_poll: StdDuration,
+}
+
+impl ServerConfig {
+    /// A config with the given engine and warehouse directory, an
+    /// ephemeral loopback port, and moderate defaults (4 session
+    /// workers, 16-connection backlog, spill every non-empty
+    /// checkpoint, 25 ms idle poll).
+    pub fn new(engine: EngineConfig, warehouse_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            bind: SocketAddr::from(([127, 0, 0, 1], 0)),
+            engine,
+            warehouse_dir: warehouse_dir.into(),
+            warehouse: WarehouseConfig::default(),
+            sessions: 4,
+            backlog: 16,
+            flush_batch: 1,
+            idle_poll: StdDuration::from_millis(25),
+        }
+    }
+
+    /// Overrides the session worker count.
+    #[must_use]
+    pub fn with_sessions(mut self, sessions: usize) -> ServerConfig {
+        self.sessions = sessions;
+        self
+    }
+
+    /// Overrides the accept backlog bound.
+    #[must_use]
+    pub fn with_backlog(mut self, backlog: usize) -> ServerConfig {
+        self.backlog = backlog;
+        self
+    }
+
+    /// Overrides the checkpoint spill batch threshold.
+    #[must_use]
+    pub fn with_flush_batch(mut self, n: usize) -> ServerConfig {
+        self.flush_batch = n;
+        self
+    }
+}
+
+/// The shared pipeline state every session executes against.
+struct Core {
+    engine: ParallelEngine,
+    flusher: Flusher,
+}
+
+/// State shared by the listener, the workers, and the handle.
+struct Shared {
+    core: Mutex<Core>,
+    shutdown: AtomicBool,
+    sessions_accepted: AtomicU64,
+    /// The bound address, kept so any thread can nudge a blocked
+    /// `accept` awake after flipping the shutdown flag.
+    addr: SocketAddr,
+}
+
+/// A running server: listener + session-worker pool around one shared
+/// ingest→query pipeline. Dropping without [`Server::join`] still shuts
+/// the threads down (best-effort); the graceful path is a client
+/// [`Request::Shutdown`] followed by `join`.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, opens (or recovers) the warehouse, spawns the engine and
+    /// the thread pool, and starts accepting.
+    pub fn start(config: ServerConfig) -> Result<Server, ServeError> {
+        let engine_config = config.engine.with_warehouse();
+        let engine = ParallelEngine::new(engine_config)?;
+        let (db, _report) = SegmentedDb::open(&config.warehouse_dir, config.warehouse)?;
+        let flusher = Flusher::new(db).with_min_batch(config.flush_batch);
+
+        let listener = TcpListener::bind(config.bind)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            core: Mutex::new(Core { engine, flusher }),
+            shutdown: AtomicBool::new(false),
+            sessions_accepted: AtomicU64::new(0),
+            addr,
+        });
+
+        let (tx, rx) = sync_channel::<TcpStream>(config.backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let idle_poll = config.idle_poll;
+        let workers = (0..config.sessions.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("sitm-session-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx, idle_poll))
+                    .expect("spawn session worker")
+            })
+            .collect();
+
+        let listener_shared = Arc::clone(&shared);
+        let listener_handle = std::thread::Builder::new()
+            .name("sitm-listener".into())
+            .spawn(move || listener_loop(listener, listener_shared, tx))
+            .expect("spawn listener");
+
+        Ok(Server {
+            addr,
+            shared,
+            listener: Some(listener_handle),
+            workers,
+        })
+    }
+
+    /// The bound address (with the real port when `bind` used port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown from the server side (the in-process twin of a
+    /// client's [`Request::Shutdown`]): flushes the warehouse, stops
+    /// the listener, lets sessions drain.
+    pub fn shutdown(&self) {
+        {
+            let mut core = self.shared.core.lock().unwrap_or_else(|p| p.into_inner());
+            let Core { engine, flusher } = &mut *core;
+            let _ = flusher.force(engine);
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        wake_listener(self.addr);
+    }
+
+    /// Waits for the listener and every session worker to finish (i.e.
+    /// for a shutdown to complete and the sessions to drain), then
+    /// runs one final warehouse flush: ingest batches acknowledged
+    /// during the drain window (a session finishing its in-flight
+    /// request *after* the shutdown handler's flush) land after the
+    /// workers are down, so the post-drain flush is what makes every
+    /// acknowledged closed visit durable.
+    pub fn join(mut self) -> Result<(), ServeError> {
+        if let Some(handle) = self.listener.take() {
+            handle.join().map_err(|_| ServeError::WorkerPanicked)?;
+        }
+        for handle in self.workers.drain(..) {
+            handle.join().map_err(|_| ServeError::WorkerPanicked)?;
+        }
+        flush_final(&self.shared);
+        Ok(())
+    }
+}
+
+/// The post-drain flush shared by [`Server::join`] and `Drop`: with
+/// every session worker stopped, nothing can ingest concurrently, so
+/// this cut is the server's final durable state.
+fn flush_final(shared: &Shared) {
+    let mut core = shared.core.lock().unwrap_or_else(|p| p.into_inner());
+    let Core { engine, flusher } = &mut *core;
+    let _ = flusher.force(engine);
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.listener.is_none() && self.workers.is_empty() {
+            return; // joined already
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        wake_listener(self.addr);
+        if let Some(handle) = self.listener.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        flush_final(&self.shared);
+    }
+}
+
+/// Nudges a blocked `accept` so the listener re-checks the shutdown
+/// flag (the standard std-net trick — there is no poll/select in std).
+fn wake_listener(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+fn listener_loop(listener: TcpListener, shared: Arc<Shared>, tx: SyncSender<TcpStream>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // The wake-up connection (or a late client): refuse.
+                    drop(stream);
+                    break;
+                }
+                shared.sessions_accepted.fetch_add(1, Ordering::Relaxed);
+                // Bounded hand-off: blocks when workers + backlog are
+                // saturated (backpressure on accept, not on memory).
+                if tx.send(stream).is_err() {
+                    break; // workers are gone
+                }
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failure (EMFILE etc.): keep serving.
+            }
+        }
+    }
+    // Dropping `tx` lets the workers drain the queue and exit.
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>, idle_poll: StdDuration) {
+    loop {
+        let stream = {
+            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => run_session(shared, stream, idle_poll),
+            Err(_) => break, // listener closed the queue and it's drained
+        }
+    }
+}
+
+/// Serves one connection until the client closes, a fatal transport
+/// error occurs, or shutdown drains it. Malformed input never panics
+/// and never takes the server down — worst case, this one session ends.
+fn run_session(shared: &Shared, mut stream: TcpStream, idle_poll: StdDuration) {
+    let _ = stream.set_read_timeout(Some(idle_poll));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let payload = match read_frame_or_idle(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => {
+                // Idle: between frames is the safe drain point.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(WireError::Closed) => return,
+            Err(err) => {
+                // Torn or corrupt frame: answer if the transport still
+                // works, then drop this session only.
+                let _ = respond(&mut stream, &Response::Error(format!("bad frame: {err}")));
+                return;
+            }
+        };
+        let request = match decode_request(&mut payload.as_slice()) {
+            Ok(request) => request,
+            Err(err) => {
+                // A well-framed but undecodable payload: the stream is
+                // still in sync (framing is self-delimiting), so the
+                // session survives the error response.
+                if respond(&mut stream, &Response::Error(format!("bad request: {err}"))).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
+        let response = handle_request(shared, request);
+        if respond(&mut stream, &response).is_err() {
+            return;
+        }
+        if is_shutdown {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            wake_listener(shared.addr);
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // drain: finish the in-flight request, then close
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut buf = Vec::new();
+    encode_response(&mut buf, response);
+    if buf.len() > sitm_store::segment::MAX_PAYLOAD as usize {
+        // A result set too large for one frame must not kill the
+        // session (or, worse, panic the worker): downgrade to an
+        // in-band error telling the caller to page.
+        buf.clear();
+        encode_response(
+            &mut buf,
+            &Response::Error(
+                "response exceeds the frame bound; narrow the query or add a limit/offset page"
+                    .into(),
+            ),
+        );
+    }
+    write_frame(stream, &buf)?;
+    stream.flush()
+}
+
+/// Executes one request against the shared core. Every failure becomes
+/// a [`Response::Error`]; nothing here may panic on bad input.
+fn handle_request(shared: &Shared, request: Request) -> Response {
+    let mut core = shared.core.lock().unwrap_or_else(|p| p.into_inner());
+    let Core { engine, flusher } = &mut *core;
+    match request {
+        Request::IngestBatch(events) => {
+            let n = events.len() as u64;
+            engine.ingest_all(events);
+            Response::Ingested { events: n }
+        }
+        Request::Query(wire_query) => {
+            let query = wire_query.to_query();
+            Response::Trajectories(
+                query.execute_federated(&[flusher.db() as &dyn TrajectorySource]),
+            )
+        }
+        Request::QueryFederated(wire_query) => {
+            let query = wire_query.to_query();
+            let snapshot = engine.live_snapshot();
+            Response::Trajectories(query.execute_federated(&[
+                &snapshot as &dyn TrajectorySource,
+                flusher.db() as &dyn TrajectorySource,
+            ]))
+        }
+        Request::Explain(predicate) => {
+            Response::Explained(explain(engine, flusher.db(), &predicate))
+        }
+        Request::Stats => {
+            let stats = engine.stats();
+            Response::Stats(ServerStats {
+                events: stats.events,
+                presences: stats.presences,
+                visits_opened: stats.visits_opened,
+                visits_closed: stats.visits_closed,
+                episodes: stats.episodes,
+                anomalies: stats.anomalies.total(),
+                open_visits: stats.open_visits,
+                warehouse_trajectories: flusher.db().len() as u64,
+                warehouse_segments: flusher.db().segments().len() as u64,
+                sessions: shared.sessions_accepted.load(Ordering::Relaxed),
+            })
+        }
+        Request::Checkpoint => match flusher.force(engine) {
+            Ok(spilled) => Response::Checkpointed {
+                spilled: spilled as u64,
+                warehouse_trajectories: flusher.db().len() as u64,
+                manifest_sequence: flusher.db().store().sequence(),
+            },
+            Err(err) => Response::Error(format!("checkpoint failed: {err}")),
+        },
+        Request::Shutdown => match flusher.force(engine) {
+            // The session loop flips the flag *after* this response is
+            // on the wire, so the acknowledgement always arrives.
+            Ok(_) => Response::ShuttingDown,
+            Err(err) => Response::Error(format!("shutdown flush failed: {err}")),
+        },
+    }
+}
+
+/// Plans `predicate` over live ∪ warehouse: per-source access paths
+/// (the federation's `federated_explain`) plus the warehouse's
+/// zone-map / Bloom pruning counters ([`SegmentedDb::explain`]).
+fn explain(engine: &mut ParallelEngine, db: &SegmentedDb, predicate: &Predicate) -> ExplainReport {
+    let snapshot = engine.live_snapshot();
+    let sources: [&dyn TrajectorySource; 2] = [&snapshot, db];
+    let plans: Vec<WirePlan> = sitm_query::federated_explain(predicate, &sources)
+        .into_iter()
+        .map(|plan| WirePlan {
+            candidates: match plan.access {
+                sitm_query::AccessPath::FullScan => None,
+                sitm_query::AccessPath::IndexCandidates { candidates } => Some(candidates as u64),
+            },
+            total: plan.total as u64,
+        })
+        .collect();
+    let segmented = db.explain(predicate);
+    ExplainReport {
+        plans,
+        segments: segmented.segments as u64,
+        zone_pruned: segmented.pruned as u64,
+        bloom_pruned: segmented.bloom_pruned as u64,
+    }
+}

@@ -1,0 +1,257 @@
+//! Stream framing: the CRC-framed, length-prefixed envelope every
+//! request and response travels in.
+//!
+//! The frame layout is byte-identical to the segment/log frame the
+//! storage tier already torture-tests ([`sitm_store::segment`]):
+//!
+//! ```text
+//! frame := marker 0x5A | payload_len u32 LE | crc32(payload) u32 LE | payload
+//! ```
+//!
+//! Reusing the durable format on the wire buys the same properties the
+//! WAL gets from it: a torn or bit-flipped frame is detected *before*
+//! any payload decoding runs, the oversize bound rejects hostile
+//! lengths before allocation, and the torture tests
+//! (`tests/wire_torture.rs`) can reuse the every-byte-offset idiom from
+//! `crates/store/tests/warehouse.rs` wholesale.
+//!
+//! Unlike a file, a socket has liveness concerns, so the reader is
+//! split: [`read_frame`] blocks until a full frame (or a definite
+//! error) arrives, while [`read_frame_or_idle`] treats a read timeout
+//! *before the first byte* as "no request yet" — the hook the server's
+//! session loop uses to poll its shutdown flag without dropping
+//! long-lived idle connections. A timeout *mid-frame* is a real error
+//! (the peer stalled inside an envelope), bounded by the socket's
+//! configured read timeout per read call.
+
+use std::io::{ErrorKind, Read, Write};
+
+use sitm_store::crc32;
+use sitm_store::segment::{FRAME_MARKER, FRAME_OVERHEAD, MAX_PAYLOAD};
+
+/// Framing-level failures. Payload decoding has its own error type
+/// ([`sitm_store::CodecError`], surfaced via [`crate::ServeError`]).
+#[derive(Debug)]
+pub enum WireError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// An I/O failure (including mid-frame EOF and mid-frame timeouts).
+    Io(std::io::Error),
+    /// The frame did not start with [`FRAME_MARKER`].
+    BadMarker(u8),
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The payload checksum did not match: corruption in flight.
+    BadChecksum,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "peer closed the connection"),
+            WireError::Io(e) => write!(f, "io: {e}"),
+            WireError::BadMarker(b) => write!(f, "bad frame marker {b:#04x}"),
+            WireError::Oversized(n) => write!(f, "frame declares {n} bytes (over the bound)"),
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one frame (marker, length, CRC, payload) and flushes. A
+/// payload over [`MAX_PAYLOAD`] is an `InvalidInput` error, not a
+/// panic — on a network path the caller substitutes a smaller message
+/// (the server downgrades an oversized response to an `Error` reply;
+/// the client tells the caller to split the batch).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_PAYLOAD as usize {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidInput,
+            format!("payload of {} bytes exceeds the frame bound", payload.len()),
+        ));
+    }
+    let mut header = [0u8; FRAME_OVERHEAD];
+    header[0] = FRAME_MARKER;
+    header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[5..9].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Mid-frame read timeouts tolerated before a stalled peer is declared
+/// dead. The server's session sockets carry a short `read_timeout` so
+/// *idle* connections can poll the shutdown flag; once a frame has
+/// started, that knob must not double as the stall threshold — a slow
+/// client legitimately pauses between packets of a large frame. With
+/// the default 25 ms poll this allows ~10 s of mid-frame silence.
+const MIDFRAME_TIMEOUT_PATIENCE: u32 = 400;
+
+/// Reads exactly `buf.len()` bytes, retrying interrupted reads and up
+/// to [`MIDFRAME_TIMEOUT_PATIENCE`] read timeouts (socket-level
+/// `read_timeout` firings while the peer refills its send buffer).
+/// Distinguishes a clean close *before any byte* (`Ok(false)`) from a
+/// mid-buffer EOF (error) when `clean_close_ok` is set.
+fn read_exact_or_close(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    clean_close_ok: bool,
+) -> Result<bool, WireError> {
+    let mut filled = 0;
+    let mut timeouts = 0u32;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && clean_close_ok {
+                    return Ok(false);
+                }
+                return Err(WireError::Io(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                )));
+            }
+            Ok(n) => {
+                filled += n;
+                // Progress resets the stall clock: the patience bounds
+                // one continuous silence, not the frame's total
+                // transfer time (a 16 MiB frame in slow bursts is a
+                // legitimate peer, not a stalled one).
+                timeouts = 0;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                timeouts += 1;
+                if timeouts > MIDFRAME_TIMEOUT_PATIENCE {
+                    return Err(WireError::Io(e));
+                }
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Parses a frame whose marker byte has already been consumed.
+fn read_frame_body(r: &mut impl Read, marker: u8) -> Result<Vec<u8>, WireError> {
+    if marker != FRAME_MARKER {
+        return Err(WireError::BadMarker(marker));
+    }
+    let mut header = [0u8; FRAME_OVERHEAD - 1];
+    read_exact_or_close(r, &mut header, false)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or_close(r, &mut payload, false)?;
+    if crc32(&payload) != crc {
+        return Err(WireError::BadChecksum);
+    }
+    Ok(payload)
+}
+
+/// Reads one full frame, blocking until it arrives. A clean peer close
+/// between frames yields [`WireError::Closed`].
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut marker = [0u8; 1];
+    if !read_exact_or_close(r, &mut marker, true)? {
+        return Err(WireError::Closed);
+    }
+    read_frame_body(r, marker[0])
+}
+
+/// Like [`read_frame`], but a read timeout *before the first byte*
+/// (the socket's `read_timeout` firing on an idle connection) returns
+/// `Ok(None)` instead of an error, so a session loop can interleave
+/// shutdown checks with waiting for the next request.
+pub fn read_frame_or_idle(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut marker = [0u8; 1];
+    loop {
+        return match r.read(&mut marker) {
+            Ok(0) => Err(WireError::Closed),
+            Ok(_) => Ok(Some(read_frame_body(r, marker[0])?)),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                Ok(None)
+            }
+            Err(e) => Err(WireError::Io(e)),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn framed(payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trips_through_a_byte_stream() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"alpha").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        write_frame(&mut stream, &[0xAB; 1000]).unwrap();
+        let mut cursor: &[u8] = &stream;
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"alpha");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap(), vec![0xAB; 1000]);
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn every_truncation_is_a_clean_error() {
+        let buf = framed(b"payload-bytes");
+        for cut in 1..buf.len() {
+            let mut cursor = &buf[..cut];
+            assert!(read_frame(&mut cursor).is_err(), "cut {cut}");
+        }
+        // Cut 0 is the clean-close case.
+        assert!(matches!(read_frame(&mut &buf[..0]), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn every_byte_flip_is_detected() {
+        let buf = framed(b"payload-bytes");
+        for i in 0..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[i] ^= 0x01;
+            let mut cursor: &[u8] = &corrupt;
+            match read_frame(&mut cursor) {
+                Err(_) => {}
+                // A flip in the length field can also *shorten* the
+                // declared payload so the frame still checks out only
+                // if the CRC happens to match — CRC32 makes that
+                // impossible for a 1-bit flip.
+                Ok(payload) => panic!("flip at {i} slipped through: {payload:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_and_bad_marker_are_rejected() {
+        let mut buf = vec![FRAME_MARKER];
+        buf.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::Oversized(_))
+        ));
+        let buf = [0x00u8; 16];
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::BadMarker(0))
+        ));
+    }
+}

@@ -1,0 +1,236 @@
+//! Wire-protocol torture: a request and a response frame truncated and
+//! corrupted at **every byte offset**, asserting the peer errors
+//! cleanly — no panic, no deadlock, and (server side) no casualty
+//! beyond the one session. The every-offset idiom is the same one
+//! `crates/store/tests/warehouse.rs` drives through the manifest and
+//! segment files; here the "file" is the socket.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration as StdDuration;
+
+use sitm_core::{Annotation, AnnotationSet, IntervalPredicate, Timestamp};
+use sitm_graph::{LayerIdx, NodeId};
+use sitm_query::wire::WireQuery;
+use sitm_query::Predicate;
+use sitm_serve::{
+    decode_response, encode_request, encode_response, read_frame, write_frame, Client, Request,
+    Response, Server, ServerConfig,
+};
+use sitm_space::CellRef;
+use sitm_stream::{EngineConfig, StreamEvent, VisitKey};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("sitm-torture-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn cell(n: usize) -> CellRef {
+    CellRef::new(LayerIdx::from_index(0), NodeId::from_index(n))
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig::new(vec![(
+        IntervalPredicate::in_cells([cell(1)]),
+        AnnotationSet::from_iter([Annotation::goal("one")]),
+    )])
+    .with_shards(1)
+}
+
+/// A small but representative request frame (an ingest batch).
+fn request_frame() -> Vec<u8> {
+    let request = Request::IngestBatch(vec![
+        StreamEvent::VisitOpened {
+            visit: VisitKey(1),
+            moving_object: "mo-1".into(),
+            annotations: AnnotationSet::from_iter([Annotation::goal("visit")]),
+            at: Timestamp(0),
+        },
+        StreamEvent::VisitClosed {
+            visit: VisitKey(1),
+            at: Timestamp(10),
+        },
+    ]);
+    let mut payload = Vec::new();
+    encode_request(&mut payload, &request);
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &payload).expect("frame");
+    frame
+}
+
+/// A representative response frame (a stats reply).
+fn response_frame() -> Vec<u8> {
+    let mut payload = Vec::new();
+    encode_response(&mut payload, &Response::Stats(Default::default()));
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &payload).expect("frame");
+    frame
+}
+
+/// Sends `bytes` raw, shuts down the write half, and drains whatever
+/// the server answers until it closes the connection. Returns the
+/// decoded responses (a truncated request should produce at most one
+/// `Error`, possibly none when the tear looks like a clean close).
+fn send_raw(addr: std::net::SocketAddr, bytes: &[u8]) -> Vec<Response> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(StdDuration::from_secs(10)))
+        .expect("timeout");
+    // The send and the half-close may race the server tearing the
+    // session down (it answers and closes as soon as it sees a bad
+    // frame) — a reset here is part of the scenario, not a test bug.
+    let _ = stream.write_all(bytes);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut responses = Vec::new();
+    while let Ok(frame) = read_frame(&mut stream) {
+        responses.push(decode_response(&mut frame.as_slice()).expect("well-framed response"));
+    }
+    responses
+}
+
+/// Truncate a request frame at every byte offset against a **live**
+/// server: every tear is a per-session error (an `Error` response or a
+/// silent close), the listener survives all of them, and a healthy
+/// client still gets full service afterwards.
+#[test]
+fn torn_request_at_every_offset_never_kills_the_server() {
+    let tmp = TempDir::new("torn-request");
+    let server = Server::start(ServerConfig::new(engine_config(), &tmp.0).with_sessions(2))
+        .expect("start server");
+    let frame = request_frame();
+
+    for cut in 0..frame.len() {
+        let responses = send_raw(server.addr(), &frame[..cut]);
+        for response in &responses {
+            assert!(
+                matches!(response, Response::Error(_)),
+                "cut {cut}: torn frame must only ever produce an error, got {response:?}"
+            );
+        }
+    }
+    // Corrupt (bit-flip) every byte of the frame too: the CRC (or the
+    // payload validation behind it) must reject each one cleanly.
+    for i in 0..frame.len() {
+        let mut corrupt = frame.clone();
+        corrupt[i] ^= 0x01;
+        let responses = send_raw(server.addr(), &corrupt);
+        for response in &responses {
+            assert!(
+                matches!(response, Response::Error(_)),
+                "flip {i}: corrupt frame must only ever produce an error, got {response:?}"
+            );
+        }
+    }
+
+    // The server took frame.len() tears + frame.len() corruptions and
+    // must still serve a healthy session end-to-end.
+    let mut client = Client::connect(server.addr()).expect("connect after torture");
+    let stats = client.stats().expect("stats after torture");
+    assert_eq!(
+        stats.visits_opened, 0,
+        "no torn ingest may have half-applied"
+    );
+    client
+        .ingest_batch(vec![
+            StreamEvent::VisitOpened {
+                visit: VisitKey(9),
+                moving_object: "mo-9".into(),
+                annotations: AnnotationSet::from_iter([Annotation::goal("visit")]),
+                at: Timestamp(0),
+            },
+            StreamEvent::Presence {
+                visit: VisitKey(9),
+                interval: sitm_core::PresenceInterval::new(
+                    sitm_core::TransitionTaken::Unknown,
+                    cell(1),
+                    Timestamp(0),
+                    Timestamp(4),
+                ),
+            },
+            StreamEvent::VisitClosed {
+                visit: VisitKey(9),
+                at: Timestamp(5),
+            },
+        ])
+        .expect("ingest after torture");
+    let (spilled, total, _) = client.checkpoint().expect("checkpoint after torture");
+    assert_eq!((spilled, total), (1, 1));
+    client.shutdown().expect("shutdown");
+    server.join().expect("join");
+}
+
+/// The client-side mirror: a response frame truncated or corrupted at
+/// every byte offset decodes to a clean error — never a panic, never a
+/// partial value.
+#[test]
+fn torn_response_at_every_offset_errors_cleanly() {
+    let frame = response_frame();
+    for cut in 0..frame.len() {
+        let mut cursor = &frame[..cut];
+        assert!(read_frame(&mut cursor).is_err(), "cut {cut}");
+    }
+    for i in 0..frame.len() {
+        let mut corrupt = frame.clone();
+        corrupt[i] ^= 0x01;
+        let mut cursor: &[u8] = &corrupt;
+        match read_frame(&mut cursor) {
+            Err(_) => {}
+            Ok(payload) => panic!("flip {i} slipped through framing: {payload:?}"),
+        }
+    }
+    // And a framed-but-corrupt payload fails in the codec, not the
+    // framing: flip payload bytes and re-frame with a fresh CRC.
+    let mut payload = Vec::new();
+    encode_response(&mut payload, &Response::Stats(Default::default()));
+    for i in 0..payload.len() {
+        let mut corrupt = payload.clone();
+        corrupt[i] ^= 0xFF;
+        let mut reframed = Vec::new();
+        write_frame(&mut reframed, &corrupt).expect("frame");
+        let mut cursor: &[u8] = &reframed;
+        let recovered = read_frame(&mut cursor).expect("framing is intact");
+        // Decoding either errors or yields *some* stats value — it must
+        // never panic. (A flipped varint can still be a valid varint.)
+        let _ = decode_response(&mut recovered.as_slice());
+    }
+}
+
+/// End-of-exchange sanity for the full loop: a live server answers a
+/// well-formed raw frame with a well-formed response frame.
+#[test]
+fn raw_roundtrip_against_a_live_server() {
+    let tmp = TempDir::new("raw");
+    let server = Server::start(ServerConfig::new(engine_config(), &tmp.0)).expect("start");
+    let mut payload = Vec::new();
+    encode_request(
+        &mut payload,
+        &Request::Query(WireQuery::filtered(Predicate::VisitedCell(cell(1)))),
+    );
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    write_frame(&mut stream, &payload).expect("send");
+    let frame = read_frame(&mut stream).expect("response");
+    match decode_response(&mut frame.as_slice()).expect("decodes") {
+        Response::Trajectories(rows) => assert!(rows.is_empty()),
+        other => panic!("expected trajectories, got {other:?}"),
+    }
+    drop(stream);
+    server.shutdown();
+    server.join().expect("join");
+}

@@ -79,12 +79,16 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-fn encode_str(buf: &mut impl BufMut, s: &str) {
+/// Encodes a length-prefixed UTF-8 string — the string primitive every
+/// codec in the stack (storage and wire alike) shares.
+pub fn encode_str(buf: &mut impl BufMut, s: &str) {
     varint::encode_u64(buf, s.len() as u64);
     buf.put_slice(s.as_bytes());
 }
 
-fn decode_str(buf: &mut &[u8]) -> Result<String, CodecError> {
+/// Decodes a string written by [`encode_str`], validating the declared
+/// length against the remaining buffer and the bytes as UTF-8.
+pub fn decode_str(buf: &mut &[u8]) -> Result<String, CodecError> {
     let len = varint::decode_u64(buf)?;
     if len > buf.remaining() as u64 {
         return Err(CodecError::LengthOverrun {
@@ -98,6 +102,30 @@ fn decode_str(buf: &mut &[u8]) -> Result<String, CodecError> {
         .to_string();
     *buf = tail;
     Ok(s)
+}
+
+/// Consumes one tag byte — the discriminant every tagged union in the
+/// stack (storage payloads and wire messages alike) leads with.
+pub fn take_tag(buf: &mut &[u8]) -> Result<u8, CodecError> {
+    let Some((&tag, rest)) = buf.split_first() else {
+        return Err(CodecError::UnexpectedEof);
+    };
+    *buf = rest;
+    Ok(tag)
+}
+
+/// Decodes an element count, bounding it by the remaining buffer
+/// (every element needs at least one byte) so a hostile count is
+/// rejected before any allocation.
+pub fn decode_count(buf: &mut &[u8]) -> Result<usize, CodecError> {
+    let count = varint::decode_u64(buf)?;
+    if count > buf.len() as u64 {
+        return Err(CodecError::LengthOverrun {
+            declared: count,
+            available: buf.len(),
+        });
+    }
+    Ok(count as usize)
 }
 
 /// Encodes an annotation set as `count (kind value)*`.

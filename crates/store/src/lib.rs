@@ -8,6 +8,8 @@
 //!
 //! * [`varint`] — LEB128 varints and ZigZag signed mapping;
 //! * [`crc`] — CRC-32 (ISO-HDLC), one-shot and incremental;
+//! * [`bloom`] — [`Bloom`]: a compact double-hashed Bloom filter, the
+//!   fast-*no* membership tier in front of each zone map's exact sets;
 //! * [`codec`] — compact binary encoding of annotation sets, traces,
 //!   semantic trajectories, episodes, and raw visit records, with
 //!   delta-encoded timestamps and fully validated decoding;
@@ -27,6 +29,7 @@
 //! contract: recovered records are always a clean prefix of what was
 //! appended, and a record never comes back altered.
 
+pub mod bloom;
 pub mod checkpoint;
 pub mod codec;
 pub mod crc;
@@ -35,6 +38,7 @@ pub mod segment;
 pub mod varint;
 pub mod warehouse;
 
+pub use bloom::{fnv1a, Bloom};
 pub use checkpoint::{
     complete_checkpoint_groups, latest_complete_checkpoint, CheckpointFrame, CompactionPolicy,
 };

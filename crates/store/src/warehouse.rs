@@ -65,6 +65,7 @@ use std::path::{Path, PathBuf};
 use sitm_core::{AnnotationSet, SemanticTrajectory, TimeInterval, Timestamp};
 use sitm_space::CellRef;
 
+use crate::bloom::{fnv1a, Bloom};
 use crate::checkpoint::CompactionPolicy;
 use crate::codec::{
     decode_annotations, decode_cell, decode_trajectory, encode_annotations, encode_cell,
@@ -159,6 +160,24 @@ pub struct ZoneMap {
     pub traj_annotations: AnnotationSet,
     /// Union of the per-stay annotation sets (`A_i`).
     pub stay_annotations: AnnotationSet,
+    /// Bloom filter over [`ZoneMap::cells`]: a one-probe-sequence fast
+    /// *no* for cell point predicates before the exact set is touched.
+    pub cell_bloom: Bloom,
+    /// Bloom filter over [`ZoneMap::objects`] (same contract).
+    pub object_bloom: Bloom,
+}
+
+/// The stable hash a [`ZoneMap`] bloom probes for a cell.
+pub fn cell_bloom_hash(cell: &CellRef) -> u64 {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&(cell.layer.index() as u64).to_le_bytes());
+    bytes[8..].copy_from_slice(&(cell.node.index() as u64).to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// The stable hash a [`ZoneMap`] bloom probes for a moving-object id.
+pub fn object_bloom_hash(id: &str) -> u64 {
+    fnv1a(id.as_bytes())
 }
 
 impl ZoneMap {
@@ -185,7 +204,34 @@ impl ZoneMap {
                 }
             }
         }
+        map.cell_bloom = Bloom::build(map.cells.iter().map(cell_bloom_hash));
+        map.object_bloom = Bloom::build(map.objects.iter().map(|o| object_bloom_hash(o)));
         map
+    }
+
+    /// Membership test for cell point predicates: the bloom answers a
+    /// definite *no* from one probe sequence; only a *maybe* falls
+    /// through to the exact ordered set. No false negatives, so a
+    /// `false` here is as sound a prune as the set's.
+    pub fn may_contain_cell(&self, cell: &CellRef) -> bool {
+        self.cell_bloom.may_contain(cell_bloom_hash(cell)) && self.cells.contains(cell)
+    }
+
+    /// Membership test for moving-object point predicates (see
+    /// [`ZoneMap::may_contain_cell`]).
+    pub fn may_contain_object(&self, id: &str) -> bool {
+        self.object_bloom.may_contain(object_bloom_hash(id)) && self.objects.contains(id)
+    }
+
+    /// Bloom-only fast rejection for a cell (query planners use this to
+    /// report how much work the blooms alone saved).
+    pub fn bloom_rejects_cell(&self, cell: &CellRef) -> bool {
+        !self.cell_bloom.may_contain(cell_bloom_hash(cell))
+    }
+
+    /// Bloom-only fast rejection for a moving-object id.
+    pub fn bloom_rejects_object(&self, id: &str) -> bool {
+        !self.object_bloom.may_contain(object_bloom_hash(id))
     }
 
     /// Encodes the map (segment frame 0).
@@ -210,6 +256,8 @@ impl ZoneMap {
         }
         encode_annotations(buf, &self.traj_annotations);
         encode_annotations(buf, &self.stay_annotations);
+        self.cell_bloom.encode(buf);
+        self.object_bloom.encode(buf);
     }
 
     /// Decodes a map encoded by [`ZoneMap::encode`].
@@ -269,6 +317,19 @@ impl ZoneMap {
         }
         let traj_annotations = decode_annotations(buf)?;
         let stay_annotations = decode_annotations(buf)?;
+        // The bloom frames were appended to the zone-map encoding after
+        // the first segment format shipped; a segment written before
+        // then simply ends here. Rebuild the filters from the exact
+        // sets instead of refusing the file — the blooms are derived
+        // data, so the rebuilt map is behaviorally identical.
+        let (cell_bloom, object_bloom) = if buf.is_empty() {
+            (
+                Bloom::build(cells.iter().map(cell_bloom_hash)),
+                Bloom::build(objects.iter().map(|o| object_bloom_hash(o))),
+            )
+        } else {
+            (Bloom::decode(buf)?, Bloom::decode(buf)?)
+        };
         Ok(ZoneMap {
             len,
             span,
@@ -276,6 +337,8 @@ impl ZoneMap {
             objects,
             traj_annotations,
             stay_annotations,
+            cell_bloom,
+            object_bloom,
         })
     }
 }
@@ -840,16 +903,50 @@ mod tests {
         assert!(map.objects.contains("a") && map.objects.contains("b"));
         assert!(map.traj_annotations.contains(&Annotation::goal("visit")));
         assert!(map.stay_annotations.contains(&Annotation::goal("browsing")));
+        // Blooms agree with the exact sets (no false negatives) and
+        // reject what the sets don't hold.
+        assert!(map.may_contain_cell(&cell(1)) && map.may_contain_object("a"));
+        assert!(!map.may_contain_cell(&cell(9)) && !map.may_contain_object("z"));
+        assert!(!map.bloom_rejects_cell(&cell(2)));
+        assert!(!map.bloom_rejects_object("b"));
         let mut buf = Vec::new();
         map.encode(&mut buf);
         let mut cursor: &[u8] = &buf;
         let back = ZoneMap::decode(&mut cursor).unwrap();
         assert!(cursor.is_empty());
         assert_eq!(back, map);
-        // Truncations never panic and never produce a value.
+        // Truncations never panic, and never produce a *wrong* value:
+        // every cut either errors or — at exactly the pre-bloom format
+        // boundary, kept decodable for segments written before the
+        // bloom frames existed — yields the identical map (the blooms
+        // are rebuilt from the exact sets).
         for cut in 0..buf.len() {
-            assert!(ZoneMap::decode(&mut &buf[..cut]).is_err(), "cut {cut}");
+            match ZoneMap::decode(&mut &buf[..cut]) {
+                Err(_) => {}
+                Ok(legacy) => assert_eq!(legacy, map, "cut {cut} produced a different map"),
+            }
         }
+        // And the legacy boundary really is decodable: strip the bloom
+        // bytes and the map round-trips with rebuilt filters.
+        let mut legacy_buf = Vec::new();
+        varint::encode_u64(&mut legacy_buf, map.len);
+        legacy_buf.push(1);
+        let span = map.span.unwrap();
+        varint::encode_i64(&mut legacy_buf, span.start.as_seconds());
+        varint::encode_u64(&mut legacy_buf, span.duration().as_seconds() as u64);
+        varint::encode_u64(&mut legacy_buf, map.cells.len() as u64);
+        for cell in &map.cells {
+            encode_cell(&mut legacy_buf, *cell);
+        }
+        varint::encode_u64(&mut legacy_buf, map.objects.len() as u64);
+        for o in &map.objects {
+            varint::encode_u64(&mut legacy_buf, o.len() as u64);
+            legacy_buf.extend_from_slice(o.as_bytes());
+        }
+        encode_annotations(&mut legacy_buf, &map.traj_annotations);
+        encode_annotations(&mut legacy_buf, &map.stay_annotations);
+        let legacy = ZoneMap::decode(&mut legacy_buf.as_slice()).unwrap();
+        assert_eq!(legacy, map, "pre-bloom segments decode with rebuilt blooms");
     }
 
     #[test]

@@ -298,14 +298,12 @@ pub(crate) fn reconcile_retention(
 }
 
 /// FNV-1a over the visit key: stable across runs and platforms, so a
-/// given visit always lands on the same shard.
+/// given visit always lands on the same shard. The hash is the shared
+/// [`sitm_store::fnv1a`] — the same function the warehouse Bloom
+/// filters probe with — so the routing constants cannot drift from the
+/// rest of the stack.
 pub(crate) fn shard_of(visit: VisitKey, shards: usize) -> usize {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in visit.0.to_le_bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    (h % shards as u64) as usize
+    (sitm_store::fnv1a(&visit.0.to_le_bytes()) % shards as u64) as usize
 }
 
 impl ShardedEngine {

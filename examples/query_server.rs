@@ -1,0 +1,155 @@
+//! The network tier end to end: start a `sitm::serve` server, drive it
+//! with a client — batched ingest, a mid-stream checkpoint into the
+//! warehouse, federated queries over live ∪ warehouse, an EXPLAIN with
+//! zone-map/Bloom pruning counts — then shut it down gracefully.
+//!
+//! This doubles as the CI smoke test for the server (`cargo run
+//! --example query_server`): everything runs in-process on an
+//! ephemeral loopback port and asserts its own results.
+
+use sitm::core::{
+    Annotation, AnnotationSet, Duration, IntervalPredicate, PresenceInterval, Timestamp,
+    TransitionTaken,
+};
+use sitm::graph::{LayerIdx, NodeId};
+use sitm::query::wire::WireQuery;
+use sitm::query::{Predicate, SortKey};
+use sitm::serve::{Client, Server, ServerConfig};
+use sitm::space::CellRef;
+use sitm::stream::{EngineConfig, StreamEvent, VisitKey};
+
+fn cell(n: usize) -> CellRef {
+    CellRef::new(LayerIdx::from_index(0), NodeId::from_index(n))
+}
+
+fn label(s: &str) -> AnnotationSet {
+    AnnotationSet::from_iter([Annotation::goal(s)])
+}
+
+/// A tiny museum day: `closed` finished visits plus `open` still in
+/// the building.
+fn feed(closed: u64, open: u64) -> Vec<StreamEvent> {
+    let mut events = Vec::new();
+    for v in 0..closed + open {
+        let t0 = v as i64 * 60;
+        events.push(StreamEvent::VisitOpened {
+            visit: VisitKey(v),
+            moving_object: format!("visitor-{v}"),
+            annotations: label("visit"),
+            at: Timestamp(t0),
+        });
+        for (i, c) in [0usize, 1, (v % 3) as usize + 2].iter().enumerate() {
+            events.push(StreamEvent::Presence {
+                visit: VisitKey(v),
+                interval: PresenceInterval::new(
+                    TransitionTaken::Unknown,
+                    cell(*c),
+                    Timestamp(t0 + i as i64 * 120),
+                    Timestamp(t0 + i as i64 * 120 + 90),
+                ),
+            });
+        }
+        if v < closed {
+            events.push(StreamEvent::VisitClosed {
+                visit: VisitKey(v),
+                at: Timestamp(t0 + 500),
+            });
+        }
+    }
+    events
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let warehouse_dir =
+        std::env::temp_dir().join(format!("sitm-example-query-server-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&warehouse_dir);
+
+    // One episode detector ("gallery 1 stays") plus the whole-visit run.
+    let engine = EngineConfig::new(vec![
+        (IntervalPredicate::in_cells([cell(1)]), label("gallery-1")),
+        (IntervalPredicate::any(), label("whole")),
+    ])
+    .with_shards(2);
+
+    let server = Server::start(ServerConfig::new(engine, &warehouse_dir).with_sessions(2))?;
+    println!("serving on {}", server.addr());
+
+    let mut client = Client::connect(server.addr())?;
+
+    // Ingest a day in two batches with a checkpoint in between, so
+    // history lands in the warehouse tier while three visitors are
+    // still walking around (live tier).
+    let events = feed(12, 3);
+    let mid = events.len() / 2;
+    client.ingest_batch(events[..mid].to_vec())?;
+    let (spilled_early, _, _) = client.checkpoint()?;
+    client.ingest_batch(events[mid..].to_vec())?;
+    let (spilled_late, warehouse_total, manifest) = client.checkpoint()?;
+    println!(
+        "checkpoints spilled {spilled_early} + {spilled_late} visits \
+         → warehouse holds {warehouse_total} (manifest #{manifest})"
+    );
+    assert_eq!(spilled_early + spilled_late, 12);
+
+    // Who is (or was) in gallery 1, longest dwellers first?
+    let q = WireQuery {
+        predicate: Predicate::VisitedCell(cell(1)),
+        order: Some((SortKey::TotalDwell, false)),
+        offset: 0,
+        limit: Some(5),
+    };
+    let live_and_history = client.query_federated(&q)?;
+    println!(
+        "federated (live ∪ warehouse) gallery-1 page: {:?}",
+        live_and_history
+            .iter()
+            .map(|t| t.moving_object.as_str())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(live_and_history.len(), 5);
+
+    // The same page over history only.
+    let history_only = client.query(&q)?;
+    assert!(history_only.len() <= live_and_history.len() + 12);
+
+    // EXPLAIN a selective point query: the warehouse answers from its
+    // indexes, and zone maps + Bloom filters prune disjoint segments.
+    let report = client.explain(&Predicate::MovingObject("visitor-3".into()))?;
+    println!(
+        "explain visitor-3: {} segments, {} zone-pruned ({} by Bloom alone), plans {:?}",
+        report.segments, report.zone_pruned, report.bloom_pruned, report.plans
+    );
+    assert_eq!(report.plans.len(), 2, "live + warehouse participants");
+
+    // A dwell query the engine predicates annotated on the way in.
+    let long_stays = client.query_federated(&WireQuery {
+        predicate: Predicate::MinTotalDwell(Duration::seconds(200)),
+        order: Some((SortKey::MovingObject, true)),
+        offset: 0,
+        limit: None,
+    })?;
+    println!("{} visits dwelt ≥ 200s", long_stays.len());
+
+    let stats = client.stats()?;
+    println!(
+        "stats: {} events, {} opened / {} closed, {} open now, \
+         {} warehouse trajectories in {} segments, {} sessions served",
+        stats.events,
+        stats.visits_opened,
+        stats.visits_closed,
+        stats.open_visits,
+        stats.warehouse_trajectories,
+        stats.warehouse_segments,
+        stats.sessions
+    );
+    assert_eq!(stats.open_visits, 3);
+    assert_eq!(stats.warehouse_trajectories, 12);
+
+    // Graceful shutdown: flushes the warehouse, drains sessions.
+    client.shutdown()?;
+    server.join()?;
+    println!("server drained and stopped");
+
+    let _ = std::fs::remove_dir_all(&warehouse_dir);
+    Ok(())
+}

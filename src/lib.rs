@@ -19,21 +19,27 @@
 //! | [`mining`] | `sitm-mining` | sequential patterns, Markov models, similarity, profiling |
 //! | [`analytics`] | `sitm-analytics` | descriptive statistics, choropleths, reports |
 //! | [`query`] | `sitm-query` | indexed trajectory retrieval: predicates, plans, aggregation, federation, the segmented warehouse |
-//! | [`store`] | `sitm-store` | binary codec, CRC-framed append-only log, crash recovery, compaction, the segment tier |
+//! | [`store`] | `sitm-store` | binary codec, CRC-framed append-only log, crash recovery, compaction, the segment tier, Bloom filters |
 //! | [`stream`] | `sitm-stream` | sequential & work-stealing online ingestion, live queries, batch-equivalent episodes, warehouse spill |
+//! | [`serve`] | `sitm-serve` | the network tier: concurrent TCP server + client for remote ingest and federated semantic queries |
 //! | [`ontology`] | `sitm-ontology` | triple store + CIDOC-CRM-flavoured museum knowledge base |
 //!
-//! ## Architecture: the live → warehouse data path
+//! ## Architecture: the live → warehouse → serve data path
 //!
 //! The system is tiered: a **live tier** (streaming engines) owns open
 //! visits, a **warehouse tier** (immutable on-disk segments) owns
-//! history, and one query surface federates both. A trajectory's life:
+//! history, a **network tier** ([`serve`]) exposes both to remote
+//! clients, and one query surface federates it all. A trajectory's life:
 //!
 //! ```text
 //!   ingest ─▶ live state ─▶ close ─▶ finished backlog ─▶ Flusher ─▶ segment ─▶ compaction
 //!            (open visits,  (late     (take_finished,     (spill)    (sorted    (size-tiered
 //!             LiveSnapshot   events    exactly-once vs                run, zone   merge, manifest
-//!             + LiveIndex)   fenced)   checkpoints)                   map, fsync) rewrite)
+//!             + LiveIndex)   fenced)   checkpoints)                   map+Bloom,  rewrite)
+//!                                                                    fsync)
+//!   ──────────────────────────────── serve ────────────────────────────────▶ clients
+//!            (TCP sessions: IngestBatch in; Query / QueryFederated /
+//!             Explain / Stats / Checkpoint / Shutdown out — PROTOCOL.md)
 //! ```
 //!
 //! * **Live** — [`stream`]'s `ShardedEngine` / `ParallelEngine` apply
@@ -58,6 +64,15 @@
 //!   sorted runs; the manifest log itself stays bounded by the same
 //!   `CompactionPolicy` idiom the checkpoint log uses, and replaced
 //!   files outlive every manifest record that still references them.
+//! * **Serve** — [`serve`]'s `Server` wraps one engine + one warehouse
+//!   behind a CRC-framed TCP protocol (a listener plus a bounded
+//!   session-worker pool): clients ingest event batches, run
+//!   sorted/paged federated queries over live ∪ warehouse, inspect
+//!   plans (including zone-map/Bloom pruning counts), trigger
+//!   checkpoints, and shut the pipeline down gracefully — served
+//!   results are differentially pinned equal to the in-process
+//!   `Query::execute_federated` on identical input. See `PROTOCOL.md`
+//!   for the wire format.
 //!
 //! **Consistency guarantees.** Queries see per-source snapshots:
 //! `SegmentedDb` answers from the newest committed manifest,
@@ -86,6 +101,7 @@ pub use sitm_ontology as ontology;
 pub use sitm_positioning as positioning;
 pub use sitm_qsr as qsr;
 pub use sitm_query as query;
+pub use sitm_serve as serve;
 pub use sitm_sim as sim;
 pub use sitm_space as space;
 pub use sitm_store as store;
