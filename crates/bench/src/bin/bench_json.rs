@@ -1,10 +1,18 @@
 //! Machine-readable performance snapshot: times the hot paths this
-//! repo's perf work targets and writes `BENCH_5.json` (group → ns/op)
+//! repo's perf work targets and writes `BENCH_6.json` (group → ns/op)
 //! — the cross-PR perf trajectory, uploaded as a CI artifact so
 //! regressions are diffable without parsing criterion output.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin bench_json [path]`
-//! (default output path: `BENCH_5.json` in the working directory).
+//! (default output path: `BENCH_6.json` in the working directory).
+//!
+//! New in BENCH_6: the server's own metrics snapshot is embedded
+//! alongside the wall-clock groups — `serve/rtt/*` decomposes the
+//! federated point-query round trip into server handle time (further
+//! split snapshot-build vs evaluate) and wire remainder, measured by
+//! metrics-snapshot deltas around the timed block; `metrics/*` carries
+//! the pipeline counters (events ingested, spills, segments built,
+//! zone/Bloom pruning) the run accumulated.
 //!
 //! The wall-clock numbers carry the same caveat as `bench_stream`: on a
 //! single-core container the parallel groups measure scheduler overhead
@@ -79,7 +87,7 @@ impl Drop for TempWarehouse {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
     let model = build_louvre();
     let louvre = louvre_feed(&model);
     let skewed = skewed_feed(400, 20_000, 1.2);
@@ -272,6 +280,17 @@ fn main() {
             offset: 0,
             limit: Some(10),
         };
+        // Metrics-snapshot deltas around the timed block turn the
+        // client-observed RTT into a server-side decomposition:
+        // handle = time inside handle_request, split into cutting the
+        // live snapshot vs evaluating live ∪ warehouse; wire = RTT
+        // minus handle (framing, TCP, codec on both sides).
+        let hist = |snap: &sitm_obs::MetricsSnapshot, name: &str| {
+            snap.histogram(name)
+                .map(|h| (h.count, h.sum))
+                .unwrap_or((0, 0))
+        };
+        let before = client.metrics().expect("metrics before federated");
         results.push((
             "serve/query_federated_point".into(),
             time_ns(49, || {
@@ -280,6 +299,33 @@ fn main() {
                     .expect("federated query")
                     .len()
             }),
+        ));
+        let after = client.metrics().expect("metrics after federated");
+        let delta_mean = |name: &str| {
+            let (c0, s0) = hist(&before, name);
+            let (c1, s1) = hist(&after, name);
+            (s1 - s0) / (c1 - c0).max(1)
+        };
+        let rtt_ns = results.last().expect("federated group").1;
+        let handle_ns = delta_mean("serve.handle_ns.query_federated");
+        let snapshot_build_ns = delta_mean("serve.snapshot_build_ns");
+        let evaluate_ns = delta_mean("serve.evaluate_ns");
+        results.push(("serve/rtt/query_federated_point/total_ns".into(), rtt_ns));
+        results.push((
+            "serve/rtt/query_federated_point/handle_ns".into(),
+            handle_ns,
+        ));
+        results.push((
+            "serve/rtt/query_federated_point/snapshot_build_ns".into(),
+            snapshot_build_ns,
+        ));
+        results.push((
+            "serve/rtt/query_federated_point/evaluate_ns".into(),
+            evaluate_ns,
+        ));
+        results.push((
+            "serve/rtt/query_federated_point/wire_ns".into(),
+            rtt_ns.saturating_sub(handle_ns),
         ));
         results.push((
             "serve/query_warehouse_point".into(),
@@ -298,7 +344,7 @@ fn main() {
         ));
         results.push((
             "serve/stats".into(),
-            time_ns(49, || client.stats().expect("stats").events),
+            time_ns(49, || client.server_stats().expect("stats").events),
         ));
 
         // Multi-client burst: 4 concurrent sessions each ingesting a
@@ -324,6 +370,26 @@ fn main() {
             }),
         ));
 
+        // The run's accumulated pipeline counters, embedded so pruning
+        // effectiveness rides the same artifact as the timings.
+        let final_metrics = client.metrics().expect("final metrics");
+        for name in [
+            "engine.events_ingested",
+            "engine.visits_routed",
+            "engine.visits_stolen",
+            "flush.spills",
+            "store.segments_built",
+            "store.segments_compacted",
+            "query.segments_scanned",
+            "query.zone_pruned",
+            "query.bloom_pruned",
+        ] {
+            results.push((
+                format!("metrics/{}", name.replace('.', "/")),
+                final_metrics.counter(name).unwrap_or(0),
+            ));
+        }
+
         client.shutdown().expect("shutdown bench server");
         server.join().expect("join bench server");
         let _ = std::fs::remove_dir_all(&serve_dir);
@@ -335,7 +401,7 @@ fn main() {
         writeln!(json, "  \"{group}\": {ns}{comma}").expect("write json");
     }
     json.push_str("}\n");
-    std::fs::write(&out_path, &json).expect("write BENCH_4.json");
+    std::fs::write(&out_path, &json).expect("write bench json");
     print!("{json}");
     eprintln!("wrote {out_path} ({} groups, ns/op, median)", results.len());
 
@@ -360,5 +426,23 @@ fn main() {
     eprintln!(
         "warehouse pruning speedup (scan/pruned): {:.1}x",
         ratio("warehouse/pruned_count", "warehouse/scan_count")
+    );
+    let find = |key: &str| {
+        results
+            .iter()
+            .find(|(g, _)| g == key)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    let rtt = find("serve/rtt/query_federated_point/total_ns");
+    let handle = find("serve/rtt/query_federated_point/handle_ns");
+    let build = find("serve/rtt/query_federated_point/snapshot_build_ns");
+    let eval = find("serve/rtt/query_federated_point/evaluate_ns");
+    eprintln!(
+        "federated point RTT {rtt}ns = handle {handle}ns (snapshot-build {build}ns + \
+         evaluate {eval}ns + dispatch {}ns) + wire {}ns — split covers {:.0}% of handle",
+        handle.saturating_sub(build + eval),
+        rtt.saturating_sub(handle),
+        100.0 * (build + eval) as f64 / handle.max(1) as f64,
     );
 }

@@ -126,7 +126,7 @@ fn main() {
     // Spill everything closed so the query phase hits a real warehouse.
     let mut control = Client::connect(addr).expect("connect control");
     let (spilled, warehouse_total, _) = control.checkpoint().expect("checkpoint");
-    let stats = control.stats().expect("stats");
+    let stats = control.server_stats().expect("stats");
     assert_eq!(
         stats.events, total_events,
         "server applied every event the clients sent"

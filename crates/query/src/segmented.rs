@@ -44,8 +44,10 @@
 //! [`TrajectoryDb`] built from the same iteration.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use sitm_core::SemanticTrajectory;
+use sitm_obs::{Counter, Histogram, MetricsRegistry};
 use sitm_store::warehouse::{Segment, SegmentStore, WarehouseConfig, WarehouseError, ZoneMap};
 use sitm_store::RecoveryReport;
 
@@ -150,6 +152,27 @@ pub struct SegmentedPlan {
     pub total: usize,
 }
 
+/// Per-query pruning instruments (`query.*` metric names), resolved
+/// once so [`SegmentedDb::candidates`] — a `&self` hot path — pays
+/// relaxed atomic adds only.
+struct QueryMetrics {
+    segments_scanned: Arc<Counter>,
+    zone_pruned: Arc<Counter>,
+    bloom_pruned: Arc<Counter>,
+    candidates: Arc<Histogram>,
+}
+
+impl QueryMetrics {
+    fn bind(registry: &MetricsRegistry) -> QueryMetrics {
+        QueryMetrics {
+            segments_scanned: registry.counter("query.segments_scanned"),
+            zone_pruned: registry.counter("query.zone_pruned"),
+            bloom_pruned: registry.counter("query.bloom_pruned"),
+            candidates: registry.histogram("query.candidates"),
+        }
+    }
+}
+
 /// A durable, segment-backed trajectory warehouse with the
 /// [`TrajectoryDb`] query surface and the [`TrajectorySource`]
 /// federation face.
@@ -157,6 +180,7 @@ pub struct SegmentedDb {
     store: SegmentStore,
     parts: Vec<SegmentPart>,
     total: usize,
+    metrics: QueryMetrics,
 }
 
 impl SegmentedDb {
@@ -171,9 +195,20 @@ impl SegmentedDb {
             store,
             parts: Vec::new(),
             total: 0,
+            metrics: QueryMetrics::bind(MetricsRegistry::global()),
         };
         db.rebuild_parts();
         Ok((db, report))
+    }
+
+    /// Points this warehouse's `query.*` instruments (and the
+    /// underlying store's `store.*` instruments) at `registry` instead
+    /// of the process-global default.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> SegmentedDb {
+        self.metrics = QueryMetrics::bind(registry);
+        self.store.set_metrics(registry);
+        self
     }
 
     /// Rebuilds the query-side structures from the store's live
@@ -277,11 +312,21 @@ impl SegmentedDb {
     pub fn candidates(&self, p: &Predicate) -> CandidateSet {
         let mut ids: Vec<TrajId> = Vec::new();
         let mut narrowed = false;
+        let mut scanned = 0u64;
+        let mut zone_pruned = 0u64;
+        let mut bloom_pruned = 0u64;
         for part in &self.parts {
             if !zone_may_match(&part.zone_map, p) {
                 narrowed = true;
+                zone_pruned += 1;
+                // Only already-pruned segments are re-probed, so the
+                // bloom attribution costs nothing on survivors.
+                if zone_bloom_rejects(&part.zone_map, p) {
+                    bloom_pruned += 1;
+                }
                 continue;
             }
+            scanned += 1;
             match part.db.candidates(p) {
                 CandidateSet::All => {
                     ids.extend(part.base..part.base + part.db.len() as TrajId);
@@ -292,6 +337,10 @@ impl SegmentedDb {
                 }
             }
         }
+        self.metrics.segments_scanned.add(scanned);
+        self.metrics.zone_pruned.add(zone_pruned);
+        self.metrics.bloom_pruned.add(bloom_pruned);
+        self.metrics.candidates.record(ids.len() as u64);
         if narrowed {
             CandidateSet::Ids(ids)
         } else {

@@ -17,6 +17,7 @@
 use std::net::{SocketAddr, TcpStream};
 
 use sitm_core::SemanticTrajectory;
+use sitm_obs::MetricsSnapshot;
 use sitm_query::wire::WireQuery;
 use sitm_query::Predicate;
 use sitm_stream::StreamEvent;
@@ -27,17 +28,42 @@ use crate::proto::{
 use crate::wire::{read_frame, write_frame};
 use crate::ServeError;
 
+/// Client-side transport counters (see [`Client::stats`]). These count
+/// what the *client* observed — complementary to the server-side
+/// `serve.*` metrics fetched via [`Client::metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests attempted (each [`Client::call`], counted once even
+    /// when the send is retried on a fresh connection).
+    pub requests: u64,
+    /// Fresh connections established after the initial one — send-side
+    /// retries plus reads that tore the connection down.
+    pub reconnects: u64,
+    /// Requests refused locally for exceeding the frame bound (never
+    /// reached the wire).
+    pub oversized_refused: u64,
+    /// Response frames received but not decodable.
+    pub decode_errors: u64,
+}
+
 /// A blocking, reconnect-safe connection to a [`crate::Server`].
 pub struct Client {
     addr: SocketAddr,
     stream: Option<TcpStream>,
+    stats: ClientStats,
 }
 
 impl Client {
     /// Connects eagerly (fails fast when the server is down).
     pub fn connect(addr: SocketAddr) -> Result<Client, ServeError> {
-        let mut client = Client { addr, stream: None };
+        let mut client = Client {
+            addr,
+            stream: None,
+            stats: ClientStats::default(),
+        };
         client.ensure_connected()?;
+        // The eager connect is the baseline, not a reconnect.
+        client.stats.reconnects = 0;
         Ok(client)
     }
 
@@ -46,11 +72,17 @@ impl Client {
         self.addr
     }
 
+    /// This client's transport counters so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
     fn ensure_connected(&mut self) -> Result<&mut TcpStream, ServeError> {
         if self.stream.is_none() {
             let stream = TcpStream::connect(self.addr)?;
             stream.set_nodelay(true)?;
             self.stream = Some(stream);
+            self.stats.reconnects += 1;
         }
         Ok(self.stream.as_mut().expect("just connected"))
     }
@@ -58,9 +90,11 @@ impl Client {
     /// One request/response round trip (see the module docs for the
     /// retry contract).
     pub fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
+        self.stats.requests += 1;
         let mut payload = Vec::new();
         encode_request(&mut payload, request);
         if payload.len() > sitm_store::segment::MAX_PAYLOAD as usize {
+            self.stats.oversized_refused += 1;
             return Err(ServeError::Protocol(format!(
                 "request of {} bytes exceeds the frame bound; split the batch",
                 payload.len()
@@ -95,7 +129,13 @@ impl Client {
                 return Err(ServeError::Wire(err));
             }
         };
-        let response = decode_response(&mut frame.as_slice())?;
+        let response = match decode_response(&mut frame.as_slice()) {
+            Ok(response) => response,
+            Err(err) => {
+                self.stats.decode_errors += 1;
+                return Err(err.into());
+            }
+        };
         Ok(response)
     }
 
@@ -143,10 +183,21 @@ impl Client {
         }
     }
 
-    /// Fetches engine + warehouse counters.
-    pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
+    /// Fetches engine + warehouse counters (server-side totals; for
+    /// this client's own transport counters see [`Client::stats`]).
+    pub fn server_stats(&mut self) -> Result<ServerStats, ServeError> {
         match self.call(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// Fetches the server's full metrics snapshot — every `engine.*`,
+    /// `flush.*`, `store.*`, `query.*`, and `serve.*` instrument plus
+    /// the slow-query log.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ServeError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
             other => Err(Self::expect_error(other)),
         }
     }

@@ -49,6 +49,20 @@
 //! serving. `tests/wire_torture.rs` tears a request at every byte
 //! offset against a live server to pin this down.
 //!
+//! ## Observability
+//!
+//! Every server owns a fresh [`sitm_obs::MetricsRegistry`] (injectable
+//! via [`ServerConfig::with_metrics`]) threaded through the engine, the
+//! flusher, and the warehouse, plus the serve tier's own instruments:
+//! per-op `serve.requests.{op}` counters and `serve.handle_ns.{op}`
+//! histograms, `serve.bytes_in`/`serve.bytes_out`,
+//! `serve.errors`/`serve.frame_errors`/`serve.bad_requests`, a
+//! `serve.sessions_active` gauge, and the federated-latency split
+//! `serve.snapshot_build_ns`/`serve.evaluate_ns`. [`Request::Metrics`]
+//! returns the whole registry as a versioned snapshot
+//! ([`Client::metrics`]); [`ServerConfig::with_slow_query_threshold`]
+//! arms the slow-query ring buffer carried in the same snapshot.
+//!
 //! Consistency over the wire is exactly the in-process contract:
 //! `QueryFederated` evaluates over a snapshot-consistent live cut
 //! unioned with the newest committed warehouse manifest, via the same
@@ -61,7 +75,7 @@ pub mod proto;
 pub mod server;
 pub mod wire;
 
-pub use client::Client;
+pub use client::{Client, ClientStats};
 pub use proto::{
     decode_request, decode_response, encode_request, encode_response, ExplainReport, Request,
     Response, ServerStats, WirePlan,

@@ -11,6 +11,8 @@
 //! cleared the CRC still cannot reach the engine.
 
 use sitm_core::{SemanticTrajectory, Timestamp};
+use sitm_obs::codec::{decode_snapshot, snapshot_to_bytes};
+use sitm_obs::MetricsSnapshot;
 use sitm_query::wire::{decode_wire_query, encode_wire_query, WireQuery};
 use sitm_query::{decode_predicate, encode_predicate, Predicate};
 use sitm_store::codec::{
@@ -121,6 +123,10 @@ pub enum Request {
     /// Graceful shutdown: flush the warehouse, stop accepting, drain
     /// sessions.
     Shutdown,
+    /// A versioned snapshot of the server's `MetricsRegistry`: every
+    /// counter/gauge/histogram across the ingest → warehouse → serve
+    /// path, plus the slow-query ring buffer.
+    Metrics,
 }
 
 const REQ_INGEST: u8 = 0;
@@ -130,6 +136,7 @@ const REQ_EXPLAIN: u8 = 3;
 const REQ_STATS: u8 = 4;
 const REQ_CHECKPOINT: u8 = 5;
 const REQ_SHUTDOWN: u8 = 6;
+const REQ_METRICS: u8 = 7;
 
 /// Encodes a request into a frame payload.
 pub fn encode_request(buf: &mut Vec<u8>, req: &Request) {
@@ -156,6 +163,7 @@ pub fn encode_request(buf: &mut Vec<u8>, req: &Request) {
         Request::Stats => buf.push(REQ_STATS),
         Request::Checkpoint => buf.push(REQ_CHECKPOINT),
         Request::Shutdown => buf.push(REQ_SHUTDOWN),
+        Request::Metrics => buf.push(REQ_METRICS),
     }
 }
 
@@ -176,6 +184,7 @@ pub fn decode_request(buf: &mut &[u8]) -> Result<Request, CodecError> {
         REQ_STATS => Request::Stats,
         REQ_CHECKPOINT => Request::Checkpoint,
         REQ_SHUTDOWN => Request::Shutdown,
+        REQ_METRICS => Request::Metrics,
         other => return Err(CodecError::BadTag(other)),
     };
     if !buf.is_empty() {
@@ -210,6 +219,13 @@ pub struct ExplainReport {
     pub zone_pruned: u64,
     /// Of those, segments the Bloom filters alone rejected.
     pub bloom_pruned: u64,
+    /// Nanoseconds the server spent cutting the live snapshot for this
+    /// plan (quiesce + open-visit clone) — the per-stage timing that
+    /// decomposes a federated query's latency.
+    pub snapshot_build_ns: u64,
+    /// Nanoseconds spent planning/evaluating against the snapshot and
+    /// the warehouse after the snapshot was cut.
+    pub evaluate_ns: u64,
 }
 
 /// Engine + warehouse counters, as served by [`Request::Stats`].
@@ -265,6 +281,9 @@ pub enum Response {
     /// The request could not be served (bad payload, engine error...).
     /// The session survives: the client may send further requests.
     Error(String),
+    /// The server's metrics snapshot (versioned payload, see
+    /// `sitm_obs::codec`).
+    Metrics(MetricsSnapshot),
 }
 
 const RESP_INGESTED: u8 = 0;
@@ -274,6 +293,7 @@ const RESP_STATS: u8 = 3;
 const RESP_CHECKPOINTED: u8 = 4;
 const RESP_SHUTTING_DOWN: u8 = 5;
 const RESP_ERROR: u8 = 6;
+const RESP_METRICS: u8 = 7;
 
 /// Encodes a response into a frame payload.
 pub fn encode_response(buf: &mut Vec<u8>, resp: &Response) {
@@ -305,6 +325,8 @@ pub fn encode_response(buf: &mut Vec<u8>, resp: &Response) {
             varint::encode_u64(buf, report.segments);
             varint::encode_u64(buf, report.zone_pruned);
             varint::encode_u64(buf, report.bloom_pruned);
+            varint::encode_u64(buf, report.snapshot_build_ns);
+            varint::encode_u64(buf, report.evaluate_ns);
         }
         Response::Stats(s) => {
             buf.push(RESP_STATS);
@@ -338,6 +360,15 @@ pub fn encode_response(buf: &mut Vec<u8>, resp: &Response) {
             buf.push(RESP_ERROR);
             encode_str(buf, message);
         }
+        Response::Metrics(snapshot) => {
+            buf.push(RESP_METRICS);
+            // The snapshot codec is versioned and self-delimiting; it
+            // rides the response as a length-prefixed blob so the
+            // trailing-bytes check below still covers the whole frame.
+            let bytes = snapshot_to_bytes(snapshot);
+            varint::encode_u64(buf, bytes.len() as u64);
+            buf.extend_from_slice(&bytes);
+        }
     }
 }
 
@@ -370,11 +401,15 @@ pub fn decode_response(buf: &mut &[u8]) -> Result<Response, CodecError> {
             let segments = varint::decode_u64(buf)?;
             let zone_pruned = varint::decode_u64(buf)?;
             let bloom_pruned = varint::decode_u64(buf)?;
+            let snapshot_build_ns = varint::decode_u64(buf)?;
+            let evaluate_ns = varint::decode_u64(buf)?;
             Response::Explained(ExplainReport {
                 plans,
                 segments,
                 zone_pruned,
                 bloom_pruned,
+                snapshot_build_ns,
+                evaluate_ns,
             })
         }
         RESP_STATS => {
@@ -402,6 +437,15 @@ pub fn decode_response(buf: &mut &[u8]) -> Result<Response, CodecError> {
         },
         RESP_SHUTTING_DOWN => Response::ShuttingDown,
         RESP_ERROR => Response::Error(decode_str(buf)?),
+        RESP_METRICS => {
+            // `decode_count` already rejects a length past the frame.
+            let len = decode_count(buf)?;
+            let (blob, rest) = buf.split_at(len);
+            *buf = rest;
+            let snapshot = decode_snapshot(blob)
+                .map_err(|e| CodecError::InvalidTrace(format!("metrics snapshot: {e}")))?;
+            Response::Metrics(snapshot)
+        }
         other => return Err(CodecError::BadTag(other)),
     };
     if !buf.is_empty() {
@@ -483,7 +527,18 @@ mod tests {
             Request::Stats,
             Request::Checkpoint,
             Request::Shutdown,
+            Request::Metrics,
         ]
+    }
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let registry = sitm_obs::MetricsRegistry::new();
+        registry.counter("serve.requests.query").add(3);
+        registry.gauge("serve.sessions_active").set(2);
+        registry.histogram("serve.handle_ns.query").record(12_000);
+        registry.set_slow_threshold_ns(1);
+        registry.record_slow_with("query", 271_000, || "limit=5".into());
+        registry.snapshot()
     }
 
     fn responses() -> Vec<Response> {
@@ -505,6 +560,8 @@ mod tests {
                 segments: 4,
                 zone_pruned: 2,
                 bloom_pruned: 1,
+                snapshot_build_ns: 48_000,
+                evaluate_ns: 31_000,
             }),
             Response::Stats(ServerStats {
                 events: 1,
@@ -525,6 +582,8 @@ mod tests {
             },
             Response::ShuttingDown,
             Response::Error("bad payload".into()),
+            Response::Metrics(sample_snapshot()),
+            Response::Metrics(MetricsSnapshot::default()),
         ]
     }
 

@@ -50,9 +50,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration as StdDuration;
+use std::time::{Duration as StdDuration, Instant};
 
+use sitm_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use sitm_query::{Predicate, SegmentedDb, TrajectorySource};
+use sitm_store::segment::FRAME_OVERHEAD;
 use sitm_store::warehouse::WarehouseConfig;
 use sitm_stream::{EngineConfig, Flusher, ParallelEngine};
 
@@ -86,6 +88,14 @@ pub struct ServerConfig {
     /// How often an idle session polls the shutdown flag (doubles as
     /// the per-read socket timeout).
     pub idle_poll: StdDuration,
+    /// The registry the whole pipeline records into (engine, flusher,
+    /// warehouse, sessions) and the `Metrics` op snapshots. `None` (the
+    /// default) gives each server a **fresh** registry, so concurrent
+    /// servers in one process never cross-contaminate counters.
+    pub metrics: Option<MetricsRegistry>,
+    /// Requests at or above this duration enter the slow-query ring
+    /// buffer (queryable via the `Metrics` op). `None` disables it.
+    pub slow_query_threshold: Option<StdDuration>,
 }
 
 impl ServerConfig {
@@ -103,6 +113,8 @@ impl ServerConfig {
             backlog: 16,
             flush_batch: 1,
             idle_poll: StdDuration::from_millis(25),
+            metrics: None,
+            slow_query_threshold: None,
         }
     }
 
@@ -126,6 +138,104 @@ impl ServerConfig {
         self.flush_batch = n;
         self
     }
+
+    /// Records the pipeline's instruments into `registry` instead of a
+    /// fresh per-server one (e.g. to share a registry with in-process
+    /// components, or to inspect it without the wire op).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> ServerConfig {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Enables the slow-query log: requests taking at least `threshold`
+    /// are retained (op, duration, request rendering) in a bounded ring
+    /// buffer served by the `Metrics` op.
+    #[must_use]
+    pub fn with_slow_query_threshold(mut self, threshold: StdDuration) -> ServerConfig {
+        self.slow_query_threshold = Some(threshold);
+        self
+    }
+}
+
+/// Wire-op names, indexed by [`op_index`] — the suffixes of the
+/// `serve.requests.{op}` counters and `serve.handle_ns.{op}` histograms.
+const OP_NAMES: [&str; 8] = [
+    "ingest",
+    "query",
+    "query_federated",
+    "explain",
+    "stats",
+    "checkpoint",
+    "shutdown",
+    "metrics",
+];
+
+fn op_index(request: &Request) -> usize {
+    match request {
+        Request::IngestBatch(_) => 0,
+        Request::Query(_) => 1,
+        Request::QueryFederated(_) => 2,
+        Request::Explain(_) => 3,
+        Request::Stats => 4,
+        Request::Checkpoint => 5,
+        Request::Shutdown => 6,
+        Request::Metrics => 7,
+    }
+}
+
+/// Per-op instrument pair: request count + handle-time distribution.
+struct OpMetrics {
+    requests: Arc<Counter>,
+    handle_ns: Arc<Histogram>,
+}
+
+/// Serve-tier instrument handles (`serve.*` metric names), resolved
+/// once at startup so the per-request path pays atomics and two
+/// `Instant::now()` reads.
+struct ServeMetrics {
+    /// The registry the whole pipeline shares — what `Metrics` serves.
+    registry: MetricsRegistry,
+    ops: Vec<OpMetrics>,
+    /// `Response::Error`s sent (any op).
+    errors: Arc<Counter>,
+    /// Torn/corrupt frames that ended a session (per-session failure
+    /// containment: exactly one per torn connection).
+    frame_errors: Arc<Counter>,
+    /// Well-framed payloads that failed request decoding (the session
+    /// survives these).
+    bad_requests: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    sessions_active: Arc<Gauge>,
+    /// Federated-query latency decomposition: cutting the live
+    /// snapshot vs evaluating against it + the warehouse.
+    snapshot_build_ns: Arc<Histogram>,
+    evaluate_ns: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn bind(registry: MetricsRegistry) -> ServeMetrics {
+        let ops = OP_NAMES
+            .iter()
+            .map(|name| OpMetrics {
+                requests: registry.counter(&format!("serve.requests.{name}")),
+                handle_ns: registry.histogram(&format!("serve.handle_ns.{name}")),
+            })
+            .collect();
+        ServeMetrics {
+            ops,
+            errors: registry.counter("serve.errors"),
+            frame_errors: registry.counter("serve.frame_errors"),
+            bad_requests: registry.counter("serve.bad_requests"),
+            bytes_in: registry.counter("serve.bytes_in"),
+            bytes_out: registry.counter("serve.bytes_out"),
+            sessions_active: registry.gauge("serve.sessions_active"),
+            snapshot_build_ns: registry.histogram("serve.snapshot_build_ns"),
+            evaluate_ns: registry.histogram("serve.evaluate_ns"),
+            registry,
+        }
+    }
 }
 
 /// The shared pipeline state every session executes against.
@@ -142,6 +252,7 @@ struct Shared {
     /// The bound address, kept so any thread can nudge a blocked
     /// `accept` awake after flipping the shutdown flag.
     addr: SocketAddr,
+    metrics: ServeMetrics,
 }
 
 /// A running server: listener + session-worker pool around one shared
@@ -159,10 +270,20 @@ impl Server {
     /// Binds, opens (or recovers) the warehouse, spawns the engine and
     /// the thread pool, and starts accepting.
     pub fn start(config: ServerConfig) -> Result<Server, ServeError> {
-        let engine_config = config.engine.with_warehouse();
+        let registry = config.metrics.clone().unwrap_or_default();
+        if let Some(threshold) = config.slow_query_threshold {
+            registry.set_slow_threshold_ns(threshold.as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+        let engine_config = config
+            .engine
+            .with_warehouse()
+            .with_metrics(registry.clone());
         let engine = ParallelEngine::new(engine_config)?;
         let (db, _report) = SegmentedDb::open(&config.warehouse_dir, config.warehouse)?;
-        let flusher = Flusher::new(db).with_min_batch(config.flush_batch);
+        let db = db.with_metrics(&registry);
+        let flusher = Flusher::new(db)
+            .with_min_batch(config.flush_batch)
+            .with_metrics(&registry);
 
         let listener = TcpListener::bind(config.bind)?;
         let addr = listener.local_addr()?;
@@ -171,6 +292,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             sessions_accepted: AtomicU64::new(0),
             addr,
+            metrics: ServeMetrics::bind(registry),
         });
 
         let (tx, rx) = sync_channel::<TcpStream>(config.backlog.max(1));
@@ -319,6 +441,16 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>, idle_poll: StdD
 /// error occurs, or shutdown drains it. Malformed input never panics
 /// and never takes the server down — worst case, this one session ends.
 fn run_session(shared: &Shared, mut stream: TcpStream, idle_poll: StdDuration) {
+    let metrics = &shared.metrics;
+    metrics.sessions_active.add(1);
+    // Decrement on *every* exit path (early returns included).
+    struct ActiveGuard<'a>(&'a Gauge);
+    impl Drop for ActiveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.add(-1);
+        }
+    }
+    let _active = ActiveGuard(&metrics.sessions_active);
     let _ = stream.set_read_timeout(Some(idle_poll));
     let _ = stream.set_nodelay(true);
     loop {
@@ -334,26 +466,60 @@ fn run_session(shared: &Shared, mut stream: TcpStream, idle_poll: StdDuration) {
             Err(WireError::Closed) => return,
             Err(err) => {
                 // Torn or corrupt frame: answer if the transport still
-                // works, then drop this session only.
-                let _ = respond(&mut stream, &Response::Error(format!("bad frame: {err}")));
+                // works, then drop this session only. Exactly one
+                // frame-error count per torn connection.
+                metrics.frame_errors.inc();
+                let _ = respond(
+                    &mut stream,
+                    &Response::Error(format!("bad frame: {err}")),
+                    metrics,
+                );
                 return;
             }
         };
+        metrics
+            .bytes_in
+            .add((payload.len() + FRAME_OVERHEAD) as u64);
         let request = match decode_request(&mut payload.as_slice()) {
             Ok(request) => request,
             Err(err) => {
                 // A well-framed but undecodable payload: the stream is
                 // still in sync (framing is self-delimiting), so the
                 // session survives the error response.
-                if respond(&mut stream, &Response::Error(format!("bad request: {err}"))).is_err() {
+                metrics.bad_requests.inc();
+                if respond(
+                    &mut stream,
+                    &Response::Error(format!("bad request: {err}")),
+                    metrics,
+                )
+                .is_err()
+                {
                     return;
                 }
                 continue;
             }
         };
         let is_shutdown = matches!(request, Request::Shutdown);
+        let op = op_index(&request);
+        metrics.ops[op].requests.inc();
+        // Render slow-log detail only when the log is armed — the
+        // rendering (Debug of the request) is not hot-path free.
+        let slow_armed = metrics.registry.slow_threshold_ns() < u64::MAX;
+        let detail = slow_armed.then(|| {
+            let mut s = format!("{request:?}");
+            s.truncate(160);
+            s
+        });
+        let started = Instant::now();
         let response = handle_request(shared, request);
-        if respond(&mut stream, &response).is_err() {
+        let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        metrics.ops[op].handle_ns.record(elapsed_ns);
+        if slow_armed {
+            metrics
+                .registry
+                .record_slow_with(OP_NAMES[op], elapsed_ns, || detail.unwrap_or_default());
+        }
+        if respond(&mut stream, &response, metrics).is_err() {
             return;
         }
         if is_shutdown {
@@ -367,9 +533,14 @@ fn run_session(shared: &Shared, mut stream: TcpStream, idle_poll: StdDuration) {
     }
 }
 
-fn respond(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+fn respond(
+    stream: &mut TcpStream,
+    response: &Response,
+    metrics: &ServeMetrics,
+) -> std::io::Result<()> {
     let mut buf = Vec::new();
     encode_response(&mut buf, response);
+    let mut is_error = matches!(response, Response::Error(_));
     if buf.len() > sitm_store::segment::MAX_PAYLOAD as usize {
         // A result set too large for one frame must not kill the
         // session (or, worse, panic the worker): downgrade to an
@@ -382,7 +553,12 @@ fn respond(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
                     .into(),
             ),
         );
+        is_error = true;
     }
+    if is_error {
+        metrics.errors.inc();
+    }
+    metrics.bytes_out.add((buf.len() + FRAME_OVERHEAD) as u64);
     write_frame(stream, &buf)?;
     stream.flush()
 }
@@ -406,14 +582,28 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
         }
         Request::QueryFederated(wire_query) => {
             let query = wire_query.to_query();
+            // The federated RTT decomposition: cutting the live
+            // snapshot vs evaluating over live ∪ warehouse. The
+            // remainder of the client-observed RTT is wire + framing.
+            let build = Instant::now();
             let snapshot = engine.live_snapshot();
-            Response::Trajectories(query.execute_federated(&[
+            let build_ns = u64::try_from(build.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            shared.metrics.snapshot_build_ns.record(build_ns);
+            let eval = Instant::now();
+            let trajectories = query.execute_federated(&[
                 &snapshot as &dyn TrajectorySource,
                 flusher.db() as &dyn TrajectorySource,
-            ]))
+            ]);
+            // Releasing the cut is part of evaluation's cost — without
+            // this the build + evaluate split undercounts the handle
+            // time by the (large) snapshot free.
+            drop(snapshot);
+            let eval_ns = u64::try_from(eval.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            shared.metrics.evaluate_ns.record(eval_ns);
+            Response::Trajectories(trajectories)
         }
         Request::Explain(predicate) => {
-            Response::Explained(explain(engine, flusher.db(), &predicate))
+            Response::Explained(explain(engine, flusher.db(), &predicate, &shared.metrics))
         }
         Request::Stats => {
             let stats = engine.stats();
@@ -444,30 +634,51 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
             Ok(_) => Response::ShuttingDown,
             Err(err) => Response::Error(format!("shutdown flush failed: {err}")),
         },
+        Request::Metrics => Response::Metrics(shared.metrics.registry.snapshot()),
     }
 }
 
 /// Plans `predicate` over live ∪ warehouse: per-source access paths
 /// (the federation's `federated_explain`) plus the warehouse's
 /// zone-map / Bloom pruning counters ([`SegmentedDb::explain`]).
-fn explain(engine: &mut ParallelEngine, db: &SegmentedDb, predicate: &Predicate) -> ExplainReport {
+fn explain(
+    engine: &mut ParallelEngine,
+    db: &SegmentedDb,
+    predicate: &Predicate,
+    metrics: &ServeMetrics,
+) -> ExplainReport {
+    let build = Instant::now();
     let snapshot = engine.live_snapshot();
-    let sources: [&dyn TrajectorySource; 2] = [&snapshot, db];
-    let plans: Vec<WirePlan> = sitm_query::federated_explain(predicate, &sources)
-        .into_iter()
-        .map(|plan| WirePlan {
-            candidates: match plan.access {
-                sitm_query::AccessPath::FullScan => None,
-                sitm_query::AccessPath::IndexCandidates { candidates } => Some(candidates as u64),
-            },
-            total: plan.total as u64,
-        })
-        .collect();
+    let snapshot_build_ns = u64::try_from(build.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    metrics.snapshot_build_ns.record(snapshot_build_ns);
+    let eval = Instant::now();
+    let plans: Vec<WirePlan> = {
+        let sources: [&dyn TrajectorySource; 2] = [&snapshot, db];
+        sitm_query::federated_explain(predicate, &sources)
+            .into_iter()
+            .map(|plan| WirePlan {
+                candidates: match plan.access {
+                    sitm_query::AccessPath::FullScan => None,
+                    sitm_query::AccessPath::IndexCandidates { candidates } => {
+                        Some(candidates as u64)
+                    }
+                },
+                total: plan.total as u64,
+            })
+            .collect()
+    };
     let segmented = db.explain(predicate);
+    // Releasing the cut is attributed to evaluation (see the federated
+    // query arm).
+    drop(snapshot);
+    let evaluate_ns = u64::try_from(eval.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    metrics.evaluate_ns.record(evaluate_ns);
     ExplainReport {
         plans,
         segments: segmented.segments as u64,
         zone_pruned: segmented.pruned as u64,
         bloom_pruned: segmented.bloom_pruned as u64,
+        snapshot_build_ns,
+        evaluate_ns,
     }
 }

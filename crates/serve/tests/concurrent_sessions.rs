@@ -184,7 +184,7 @@ fn concurrent_writers_and_readers_equal_single_threaded_replay() {
     let snapshot = reference.live_snapshot();
     let local_db = ref_flusher.db();
 
-    let stats = client.stats().expect("stats");
+    let stats = client.server_stats().expect("stats");
     assert_eq!(stats.visits_opened, WRITERS * (PER_WRITER + 1));
     assert_eq!(stats.visits_closed, WRITERS * PER_WRITER);
     assert_eq!(stats.open_visits, WRITERS, "one open visit per writer");

@@ -161,7 +161,7 @@ fn served_results_equal_in_process_federation() {
         assert_eq!(spilled, locally as u64, "same spill at the same cut");
     }
 
-    let stats = client.stats().expect("stats");
+    let stats = client.server_stats().expect("stats");
     assert_eq!(stats.visits_opened, 13);
     assert_eq!(stats.visits_closed, 10);
     assert_eq!(stats.open_visits, 3);
@@ -255,7 +255,7 @@ fn sessions_survive_bad_payloads_and_servers_survive_bad_sessions() {
     }
 
     // The server is still fine: the good session keeps working.
-    let stats = good.stats().expect("stats after bad session");
+    let stats = good.server_stats().expect("stats after bad session");
     assert_eq!(stats.visits_opened, 2);
     assert!(stats.sessions >= 2);
 
@@ -295,7 +295,7 @@ fn client_reconnects_after_connection_loss() {
     // recover on a fresh connection within a retry or two.
     let mut served = None;
     for _ in 0..5 {
-        match client.stats() {
+        match client.server_stats() {
             Ok(stats) => {
                 served = Some(stats);
                 break;
@@ -304,5 +304,18 @@ fn client_reconnects_after_connection_loss() {
         }
     }
     assert_eq!(served, Some(Default::default()), "reconnect served stats");
+    // The client's own transport counters must tell the same story:
+    // exactly one reconnect (session 1 severed → session 2 served), no
+    // oversized refusals, no decode errors, and one request per
+    // server_stats attempt.
+    let client_stats = client.stats();
+    assert_eq!(client_stats.reconnects, 1, "exactly one reconnect");
+    assert_eq!(client_stats.oversized_refused, 0);
+    assert_eq!(client_stats.decode_errors, 0);
+    assert!(
+        client_stats.requests >= 1 && client_stats.requests <= 5,
+        "one request per attempt, got {}",
+        client_stats.requests
+    );
     peer.join().expect("peer thread");
 }

@@ -142,10 +142,27 @@ fn torn_request_at_every_offset_never_kills_the_server() {
     // The server took frame.len() tears + frame.len() corruptions and
     // must still serve a healthy session end-to-end.
     let mut client = Client::connect(server.addr()).expect("connect after torture");
-    let stats = client.stats().expect("stats after torture");
+    let stats = client.server_stats().expect("stats after torture");
     assert_eq!(
         stats.visits_opened, 0,
         "no torn ingest may have half-applied"
+    );
+    // Failure containment is *countable*: exactly one frame error per
+    // torn connection. Cut 0 is a clean close (no frame on the wire, no
+    // error); cuts 1..len are one tear each; every single-bit flip of a
+    // full frame is one CRC/marker/length rejection (CRC-32 catches all
+    // single-bit errors, and the session ends on its first bad frame,
+    // so a tear can never double-count).
+    let snapshot = client.metrics().expect("metrics after torture");
+    assert_eq!(
+        snapshot.counter("serve.frame_errors"),
+        Some((2 * frame.len() - 1) as u64),
+        "exactly one serve.frame_errors count per torn/corrupt connection"
+    );
+    assert_eq!(
+        snapshot.counter("serve.bad_requests").unwrap_or(0),
+        0,
+        "framing (not request decoding) must absorb every tear"
     );
     client
         .ingest_batch(vec![

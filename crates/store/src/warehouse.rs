@@ -61,6 +61,9 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use sitm_obs::{Counter, MetricsRegistry};
 
 use sitm_core::{AnnotationSet, SemanticTrajectory, TimeInterval, Timestamp};
 use sitm_space::CellRef;
@@ -527,12 +530,36 @@ pub struct Segment {
     pub trajectories: Vec<SemanticTrajectory>,
 }
 
+/// Warehouse-tier instrument handles, resolved once per registry so the
+/// write path pays atomics only (`store.*` metric names).
+#[derive(Debug, Clone)]
+struct StoreMetrics {
+    segments_built: Arc<Counter>,
+    segments_compacted: Arc<Counter>,
+    segment_bytes_written: Arc<Counter>,
+    manifest_records: Arc<Counter>,
+    gc_sweeps: Arc<Counter>,
+}
+
+impl StoreMetrics {
+    fn bind(registry: &MetricsRegistry) -> StoreMetrics {
+        StoreMetrics {
+            segments_built: registry.counter("store.segments_built"),
+            segments_compacted: registry.counter("store.segments_compacted"),
+            segment_bytes_written: registry.counter("store.segment_bytes_written"),
+            manifest_records: registry.counter("store.manifest_records"),
+            gc_sweeps: registry.counter("store.gc_sweeps"),
+        }
+    }
+}
+
 /// The durable warehouse tier: immutable segment files behind a
 /// manifest log, with atomic (manifest-mediated) append and replace.
 pub struct SegmentStore {
     dir: PathBuf,
     manifest: LogStore<ManifestRecord>,
     policy: WarehouseConfig,
+    metrics: StoreMetrics,
     segments: Vec<Segment>,
     /// Newest `policy.manifest.keep` records, oldest first — what a
     /// manifest compaction rewrites the log to.
@@ -632,6 +659,7 @@ impl SegmentStore {
                 dir,
                 manifest,
                 policy,
+                metrics: StoreMetrics::bind(MetricsRegistry::global()),
                 segments,
                 history,
                 garbage,
@@ -641,6 +669,13 @@ impl SegmentStore {
             },
             report,
         ))
+    }
+
+    /// Re-points the `store.*` instruments at `registry` (stores
+    /// default to [`MetricsRegistry::global`]; a server injects its
+    /// own so its `Metrics` op reflects this pipeline alone).
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = StoreMetrics::bind(registry);
     }
 
     /// The warehouse directory.
@@ -691,6 +726,8 @@ impl SegmentStore {
             file.sync_all()?;
         }
         sync_dir(&self.dir)?;
+        self.metrics.segments_built.inc();
+        self.metrics.segment_bytes_written.add(buf.len() as u64);
         Ok(Segment {
             id,
             zone_map,
@@ -728,6 +765,7 @@ impl SegmentStore {
             self.manifest.append(&newest)?;
             self.manifest.sync()?;
         }
+        self.metrics.manifest_records.inc();
         self.sweep_garbage();
         Ok(())
     }
@@ -750,6 +788,7 @@ impl SegmentStore {
             }
         }
         self.garbage = kept;
+        self.metrics.gc_sweeps.inc();
     }
 
     /// Appends one immutable segment holding `trajectories` (sorted into
@@ -795,6 +834,7 @@ impl SegmentStore {
         self.segments
             .insert(position.min(self.segments.len()), segment);
         self.garbage.extend(victim_set);
+        self.metrics.segments_compacted.inc();
         self.commit_manifest()
     }
 

@@ -7,7 +7,10 @@
 //! in `tests/equivalence.rs`), and [`ShardedEngine::drain`] returns them
 //! in one deterministic global order.
 
+use std::sync::Arc;
+
 use sitm_core::{AnnotationSet, Duration, IntervalPredicate, Timestamp};
+use sitm_obs::{Counter, MetricsRegistry};
 use sitm_store::{CheckpointFrame, LogStore, StoreError};
 
 use crate::checkpoint::{encode_shard, CheckpointError};
@@ -133,6 +136,11 @@ pub struct EngineConfig {
     /// `channel_depth × batch_capacity × workers` events are queued in
     /// the work-stealing scheduler. Ignored by the sequential engine.
     pub channel_depth: usize,
+    /// Where the engine's `engine.*` instruments live (events
+    /// ingested/fenced, route-vs-steal counts, queue-depth gauges).
+    /// Defaults to the process-global registry; a server injects its
+    /// own so one pipeline's counters stay isolated.
+    pub metrics: MetricsRegistry,
 }
 
 impl EngineConfig {
@@ -149,6 +157,7 @@ impl EngineConfig {
             retain_intervals: false,
             retain_finished: false,
             channel_depth: 64,
+            metrics: MetricsRegistry::global().clone(),
         }
     }
 
@@ -226,6 +235,35 @@ impl EngineConfig {
         self.channel_depth = depth;
         self
     }
+
+    /// Points the engine's `engine.*` instruments at `registry` instead
+    /// of the process-global default.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = registry;
+        self
+    }
+}
+
+/// Sequential-engine instrument handles, resolved once at construction
+/// so the per-event path pays a single relaxed atomic add.
+struct EngineMetrics {
+    events_ingested: Arc<Counter>,
+    events_fenced: Arc<Counter>,
+    /// Fence rejections already published to the counter — deltas are
+    /// published at each flush, so a restore (whose shard stats carry
+    /// history) never double-counts.
+    published_fenced: u64,
+}
+
+impl EngineMetrics {
+    fn bind(registry: &MetricsRegistry, published_fenced: u64) -> EngineMetrics {
+        EngineMetrics {
+            events_ingested: registry.counter("engine.events_ingested"),
+            events_fenced: registry.counter("engine.events_fenced"),
+            published_fenced,
+        }
+    }
 }
 
 /// Aggregated engine counters.
@@ -273,6 +311,7 @@ pub struct ShardedEngine {
     config: EngineConfig,
     shards: Vec<Shard>,
     sequence: u64,
+    metrics: EngineMetrics,
 }
 
 /// Reconciles a restored snapshot with the configuration's retention
@@ -313,10 +352,12 @@ impl ShardedEngine {
             return Err(EngineError::ZeroShards);
         }
         let shards = (0..config.shards).map(|_| Shard::new()).collect();
+        let metrics = EngineMetrics::bind(&config.metrics, 0);
         Ok(ShardedEngine {
             config,
             shards,
             sequence: 0,
+            metrics,
         })
     }
 
@@ -339,6 +380,7 @@ impl ShardedEngine {
     pub fn ingest(&mut self, event: StreamEvent) {
         let shard = shard_of(event.visit(), self.config.shards);
         self.shards[shard].enqueue(event, &self.config.ctx());
+        self.metrics.events_ingested.inc();
     }
 
     /// Ingests a whole feed.
@@ -353,6 +395,17 @@ impl ShardedEngine {
         let ctx = self.config.ctx();
         for shard in &mut self.shards {
             shard.flush(&ctx);
+        }
+        // Publish the fence-rejection delta since the last flush.
+        let fenced: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.stats().anomalies.after_close)
+            .sum();
+        let delta = fenced.saturating_sub(self.metrics.published_fenced);
+        if delta > 0 {
+            self.metrics.events_fenced.add(delta);
+            self.metrics.published_fenced = fenced;
         }
     }
 
@@ -485,10 +538,18 @@ impl ShardedEngine {
             return Err(EngineError::ZeroShards);
         }
         let (shards, sequence) = crate::checkpoint::decode_checkpoint(&config, frames)?;
+        // Restored shard stats carry pre-checkpoint history; start the
+        // published watermark there so restore never re-counts it.
+        let published_fenced = shards
+            .iter()
+            .map(|s: &Shard| s.stats().anomalies.after_close)
+            .sum();
+        let metrics = EngineMetrics::bind(&config.metrics, published_fenced);
         Ok(ShardedEngine {
             config,
             shards,
             sequence,
+            metrics,
         })
     }
 }

@@ -39,7 +39,11 @@
 //! visits accumulate (carried in the flusher between polls), and
 //! [`Flusher::force`] spills the remainder at end-of-stream.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use sitm_core::SemanticTrajectory;
+use sitm_obs::{Counter, Histogram, MetricsRegistry};
 use sitm_query::SegmentedDb;
 use sitm_store::warehouse::WarehouseError;
 
@@ -76,6 +80,11 @@ pub struct Flusher {
     min_batch: usize,
     /// Taken from the engine but below the batch threshold.
     carry: Vec<SemanticTrajectory>,
+    /// `flush.*` instruments: spills, trajectories spilled, spill
+    /// duration (ns).
+    spills: Arc<Counter>,
+    trajectories: Arc<Counter>,
+    duration_ns: Arc<Histogram>,
 }
 
 impl Flusher {
@@ -85,7 +94,21 @@ impl Flusher {
             db,
             min_batch: 1,
             carry: Vec::new(),
+            spills: MetricsRegistry::global().counter("flush.spills"),
+            trajectories: MetricsRegistry::global().counter("flush.trajectories"),
+            duration_ns: MetricsRegistry::global().histogram("flush.duration_ns"),
         }
+    }
+
+    /// Points the `flush.*` instruments at `registry` (and the wrapped
+    /// warehouse's `store.*`/`query.*` instruments along with them).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Flusher {
+        self.spills = registry.counter("flush.spills");
+        self.trajectories = registry.counter("flush.trajectories");
+        self.duration_ns = registry.histogram("flush.duration_ns");
+        self.db = self.db.with_metrics(registry);
+        self
     }
 
     /// Holds spills until at least `n` finished visits accumulate
@@ -122,7 +145,12 @@ impl Flusher {
         }
         let batch = std::mem::take(&mut self.carry);
         let n = batch.len();
+        let start = Instant::now();
         self.db.flush(batch)?;
+        self.duration_ns
+            .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        self.spills.inc();
+        self.trajectories.add(n as u64);
         Ok(n)
     }
 

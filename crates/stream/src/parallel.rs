@@ -155,15 +155,17 @@ impl Scheduler {
     }
 
     /// Next visit for `worker`: its own deque front, else a whole cold
-    /// visit stolen from the back of the longest other deque.
-    fn next_for(&mut self, worker: usize) -> Option<u64> {
+    /// visit stolen from the back of the longest other deque. Returns
+    /// the deque the visit came from so the caller can attribute
+    /// route-vs-steal and refresh that queue's depth gauge.
+    fn next_for(&mut self, worker: usize) -> Option<(u64, usize)> {
         if let Some(key) = self.deques[worker].pop_front() {
-            return Some(key);
+            return Some((key, worker));
         }
         let victim = (0..self.deques.len())
             .filter(|&i| i != worker && !self.deques[i].is_empty())
             .max_by_key(|&i| self.deques[i].len())?;
-        self.deques[victim].pop_back()
+        self.deques[victim].pop_back().map(|key| (key, victim))
     }
 
     /// Settles one visit cell's bookkeeping after a slice (or a
@@ -250,10 +252,37 @@ impl Deposit {
     }
 }
 
+/// Work-stealing-engine instrument handles (`engine.*` metric names),
+/// resolved once at spawn so workers pay relaxed atomics only.
+struct ParallelMetrics {
+    events_ingested: Arc<sitm_obs::Counter>,
+    events_fenced: Arc<sitm_obs::Counter>,
+    visits_routed: Arc<sitm_obs::Counter>,
+    visits_stolen: Arc<sitm_obs::Counter>,
+    /// Ready-deque depth per worker.
+    queue_depth: Vec<Arc<sitm_obs::Gauge>>,
+}
+
+impl ParallelMetrics {
+    fn bind(registry: &sitm_obs::MetricsRegistry, workers: usize) -> ParallelMetrics {
+        ParallelMetrics {
+            events_ingested: registry.counter("engine.events_ingested"),
+            events_fenced: registry.counter("engine.events_fenced"),
+            visits_routed: registry.counter("engine.visits_routed"),
+            visits_stolen: registry.counter("engine.visits_stolen"),
+            queue_depth: (0..workers)
+                .map(|i| registry.gauge(&format!("engine.queue_depth.w{i}")))
+                .collect(),
+        }
+    }
+}
+
 /// The scheduler plus the sharded deposit tier and its condition
 /// variables.
 struct Shared {
     state: Mutex<Scheduler>,
+    /// Instrument handles shared by workers and the engine thread.
+    metrics: ParallelMetrics,
     /// One deposit per worker — slice output lands here, off the
     /// scheduler lock.
     deposits: Vec<Mutex<Deposit>>,
@@ -494,7 +523,11 @@ fn worker_loop(worker: usize, shared: &Shared, config: &EngineConfig) {
     let mut scratch: Vec<(usize, Episode)> = Vec::new();
     let mut guard = lock(&shared.state);
     loop {
-        if let Some(key) = guard.next_for(worker) {
+        if let Some((key, source)) = guard.next_for(worker) {
+            shared.metrics.queue_depth[source].set(guard.deques[source].len() as i64);
+            if source != worker {
+                shared.metrics.visits_stolen.inc();
+            }
             let events = {
                 let cell = guard.visits.get_mut(&key).expect("queued visit has a cell");
                 cell.queued = false;
@@ -517,6 +550,14 @@ fn worker_loop(worker: usize, shared: &Shared, config: &EngineConfig) {
             out.stats.batches_flushed = 1;
             for event in events {
                 apply_visit_event(key, event, &mut resident, &ctx, &mut scratch, &mut out);
+            }
+            // Per-slice fence-rejection delta (slice outputs are fresh,
+            // so this can never double-count restored history).
+            if out.stats.anomalies.after_close > 0 {
+                shared
+                    .metrics
+                    .events_fenced
+                    .add(out.stats.anomalies.after_close);
             }
 
             // Publish while the visit is still held (it cannot be
@@ -631,6 +672,7 @@ impl ParallelEngine {
         let config = Arc::new(config);
         let shared = Arc::new(Shared {
             state: Mutex::new(Scheduler::new(workers, config.shards)),
+            metrics: ParallelMetrics::bind(&config.metrics, workers),
             deposits: (0..workers)
                 .map(|_| Mutex::new(Deposit::new(config.shards)))
                 .collect(),
@@ -733,6 +775,8 @@ impl ParallelEngine {
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
         Self::panic_if_worker_died(&guard);
+        let batch = events.len() as u64;
+        let mut routed = 0u64;
         for event in events {
             let key = event.visit().0;
             let cell = guard
@@ -745,8 +789,15 @@ impl ParallelEngine {
             if ready {
                 cell.queued = true;
                 guard.deques[home].push_back(key);
+                routed += 1;
             }
             guard.queued_events += 1;
+        }
+        let metrics = &self.shared.metrics;
+        metrics.events_ingested.add(batch);
+        metrics.visits_routed.add(routed);
+        for (gauge, deque) in metrics.queue_depth.iter().zip(&guard.deques) {
+            gauge.set(deque.len() as i64);
         }
         drop(guard);
         self.shared.work.notify_all();
@@ -858,6 +909,12 @@ impl ParallelEngine {
                 cell.closed_at = resident.closed_at;
                 was_fence
             };
+            if out.stats.anomalies.after_close > 0 {
+                self.shared
+                    .metrics
+                    .events_fenced
+                    .add(out.stats.anomalies.after_close);
+            }
             // Engine-thread deposit: index first (workers are
             // quiescent, but the order mirrors the worker path), then
             // deposit 0 — safe while holding the scheduler because

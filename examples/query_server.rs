@@ -71,7 +71,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])
     .with_shards(2);
 
-    let server = Server::start(ServerConfig::new(engine, &warehouse_dir).with_sessions(2))?;
+    let server = Server::start(
+        ServerConfig::new(engine, &warehouse_dir)
+            .with_sessions(2)
+            // Everything qualifies as "slow" so the smoke test also
+            // exercises the slow-query ring buffer.
+            .with_slow_query_threshold(std::time::Duration::ZERO),
+    )?;
     println!("serving on {}", server.addr());
 
     let mut client = Client::connect(server.addr())?;
@@ -130,7 +136,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     println!("{} visits dwelt ≥ 200s", long_stays.len());
 
-    let stats = client.stats()?;
+    let stats = client.server_stats()?;
     println!(
         "stats: {} events, {} opened / {} closed, {} open now, \
          {} warehouse trajectories in {} segments, {} sessions served",
@@ -144,6 +150,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(stats.open_visits, 3);
     assert_eq!(stats.warehouse_trajectories, 12);
+
+    // The observability plane: one snapshot carries every tier's
+    // instruments — ingest counts from the engine, flush/segment counts
+    // from the warehouse, pruning counts from the query layer, and the
+    // serve tier's per-op latency histograms.
+    let metrics = client.metrics()?;
+    let ingested = metrics.counter("engine.events_ingested").unwrap_or(0);
+    let ingest_requests = metrics.counter("serve.requests.ingest").unwrap_or(0);
+    let federated = metrics
+        .histogram("serve.handle_ns.query_federated")
+        .map(|h| h.count)
+        .unwrap_or(0);
+    println!(
+        "metrics: {ingested} events ingested over {ingest_requests} ingest requests, \
+         {federated} federated queries (p95 {}ns), {} spills, {} segments built, \
+         {} slow-log entries",
+        metrics
+            .histogram("serve.handle_ns.query_federated")
+            .map(|h| h.quantile(0.95))
+            .unwrap_or(0),
+        metrics.counter("flush.spills").unwrap_or(0),
+        metrics.counter("store.segments_built").unwrap_or(0),
+        metrics.slow_queries.len(),
+    );
+    assert!(ingested > 0, "ingest counters must be live");
+    assert_eq!(ingest_requests, 2, "two ingest batches");
+    assert_eq!(federated, 2, "two federated queries");
+    assert!(
+        metrics.counter("store.segments_built").unwrap_or(0) > 0,
+        "checkpoints must have built segments"
+    );
+    assert!(
+        metrics
+            .histogram("serve.snapshot_build_ns")
+            .map(|h| h.count)
+            .unwrap_or(0)
+            > 0,
+        "federated queries must record the snapshot-build/evaluate split"
+    );
+    assert!(
+        !metrics.slow_queries.is_empty(),
+        "a zero threshold must populate the slow-query log"
+    );
 
     // Graceful shutdown: flushes the warehouse, drains sessions.
     client.shutdown()?;

@@ -17,6 +17,7 @@
 //! | [`sim`] | `sitm-sim` | seeded samplers & stochastic processes |
 //! | [`louvre`] | `sitm-louvre` | the Louvre case study & calibrated synthetic dataset |
 //! | [`mining`] | `sitm-mining` | sequential patterns, Markov models, similarity, profiling |
+//! | [`obs`] | `sitm-obs` | lock-cheap observability: counters, gauges, log₂ histograms, spans, slow-query log, snapshot codec |
 //! | [`analytics`] | `sitm-analytics` | descriptive statistics, choropleths, reports |
 //! | [`query`] | `sitm-query` | indexed trajectory retrieval: predicates, plans, aggregation, federation, the segmented warehouse |
 //! | [`store`] | `sitm-store` | binary codec, CRC-framed append-only log, crash recovery, compaction, the segment tier, Bloom filters |
@@ -39,7 +40,8 @@
 //!                                                                    fsync)
 //!   ──────────────────────────────── serve ────────────────────────────────▶ clients
 //!            (TCP sessions: IngestBatch in; Query / QueryFederated /
-//!             Explain / Stats / Checkpoint / Shutdown out — PROTOCOL.md)
+//!             Explain / Stats / Metrics / Checkpoint / Shutdown out —
+//!             PROTOCOL.md)
 //! ```
 //!
 //! * **Live** — [`stream`]'s `ShardedEngine` / `ParallelEngine` apply
@@ -74,6 +76,32 @@
 //!   `Query::execute_federated` on identical input. See `PROTOCOL.md`
 //!   for the wire format.
 //!
+//! ## Observability: metrics across the whole path
+//!
+//! Every stage above is instrumented through [`obs`]'s
+//! `MetricsRegistry` — a name → instrument map of atomic counters,
+//! gauges, and log₂-bucketed histograms (p50/p95/p99/max derivable
+//! from any snapshot) that components bind `Arc` handles to at
+//! construction, so the hot paths pay relaxed atomics only. Components
+//! default to the process-global registry; a [`serve`] `Server` gives
+//! its whole pipeline a fresh one and exposes it over the wire via the
+//! `Metrics` op (a versioned, torture-tested snapshot codec — see
+//! `PROTOCOL.md`). The stable names, per tier:
+//!
+//! | Prefix | Tier | Instruments |
+//! |---|---|---|
+//! | `engine.*` | live | `events_ingested`, `events_fenced`, `visits_routed` vs `visits_stolen` (work-stealing attribution), `queue_depth.w{i}` per-worker gauges |
+//! | `flush.*` | spill | `spills`, `trajectories`, `duration_ns` histogram |
+//! | `store.*` | warehouse | `segments_built`, `segments_compacted`, `segment_bytes_written`, `manifest_records`, `gc_sweeps` |
+//! | `query.*` | retrieval | `segments_scanned` vs `zone_pruned` vs `bloom_pruned`, `candidates` set-size histogram |
+//! | `serve.*` | network | `requests.{op}` / `handle_ns.{op}` per op, `bytes_in`/`bytes_out`, `errors`/`frame_errors`/`bad_requests`, `sessions_active` gauge, `snapshot_build_ns`/`evaluate_ns` federated split |
+//!
+//! The serve tier also keeps a bounded **slow-query log** (threshold
+//! set via `ServerConfig::with_slow_query_threshold`, carried in the
+//! same snapshot) and reports per-request stage timing in `Explain`
+//! responses; `bench_json` embeds a snapshot into `BENCH_6.json` so
+//! pruning ratios and the RTT decomposition ride the perf artifact.
+//!
 //! **Consistency guarantees.** Queries see per-source snapshots:
 //! `SegmentedDb` answers from the newest committed manifest,
 //! `LiveSnapshot` from a quiesce cut; both narrow predicates through
@@ -97,6 +125,7 @@ pub use sitm_geometry as geometry;
 pub use sitm_graph as graph;
 pub use sitm_louvre as louvre;
 pub use sitm_mining as mining;
+pub use sitm_obs as obs;
 pub use sitm_ontology as ontology;
 pub use sitm_positioning as positioning;
 pub use sitm_qsr as qsr;
