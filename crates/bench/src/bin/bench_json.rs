@@ -1,12 +1,21 @@
 //! Machine-readable performance snapshot: times the hot paths this
-//! repo's perf work targets and writes `BENCH_6.json` (group → ns/op)
+//! repo's perf work targets and writes `BENCH_7.json` (group → ns/op)
 //! — the cross-PR perf trajectory, uploaded as a CI artifact so
 //! regressions are diffable without parsing criterion output.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin bench_json [path]`
-//! (default output path: `BENCH_6.json` in the working directory).
+//! (default output path: `BENCH_7.json` in the working directory).
 //!
-//! New in BENCH_6: the server's own metrics snapshot is embedded
+//! New in BENCH_7: the served warehouse is loaded through chunked
+//! checkpoints (time-partitioned segments, like the in-process
+//! `warehouse/pruned_count` group), so the wire-side query groups
+//! exercise real zone-map + Bloom pruning — the run aborts if either
+//! pruning counter stays zero. The `stream/live_query/snapshot` group
+//! now measures the epoch-cached read path (`Arc` clone on a clean
+//! engine, not a rebuild), and `metrics/serve/snapshot_cache_*` embed
+//! the server-side hit/miss counts for the federated groups.
+//!
+//! From BENCH_6: the server's own metrics snapshot is embedded
 //! alongside the wall-clock groups — `serve/rtt/*` decomposes the
 //! federated point-query round trip into server handle time (further
 //! split snapshot-build vs evaluate) and wire remainder, measured by
@@ -87,7 +96,7 @@ impl Drop for TempWarehouse {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_6.json".to_string());
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
     let model = build_louvre();
     let louvre = louvre_feed(&model);
     let skewed = skewed_feed(400, 20_000, 1.2);
@@ -151,6 +160,9 @@ fn main() {
         .moving_object
         .clone();
     let selective = Predicate::MovingObject(target);
+    // With the epoch cache and no ingest between reads, this group
+    // times the *cached* cut — an `Arc` clone, the serving hot path —
+    // not a per-call rebuild.
     results.push((
         "stream/live_query/snapshot".into(),
         time_ns(9, || engine.live_snapshot().visits.len()),
@@ -259,10 +271,24 @@ fn main() {
                     .expect("ingest round trip")
             }),
         ));
-        // Load the warehouse with the day's history, then time the
-        // query paths against real segments.
-        client.ingest_batch(louvre.clone()).expect("ingest day");
-        client.checkpoint().expect("spill");
+        // Load the warehouse with the day's history through *chunked*
+        // checkpoints: each chunk closes a time-slice of the day, so
+        // each checkpoint cuts a span/object-disjoint segment —
+        // mirroring the in-process `warehouse/pruned_count` setup so
+        // the wire-side point queries below exercise real zone-map +
+        // Bloom pruning instead of scanning one monolithic segment.
+        for chunk in louvre.chunks(louvre.len() / 8) {
+            client.ingest_batch(chunk.to_vec()).expect("ingest chunk");
+            client.checkpoint().expect("spill chunk");
+        }
+        let segments = client
+            .explain(&Predicate::True)
+            .expect("segment probe")
+            .segments;
+        assert!(
+            segments >= 4,
+            "serve bench needs >= 4 segments to exercise pruning, got {segments}"
+        );
         let target = {
             let probe = client
                 .query_federated(&WireQuery {
@@ -383,12 +409,30 @@ fn main() {
             "query.segments_scanned",
             "query.zone_pruned",
             "query.bloom_pruned",
+            "serve.snapshot_cache_hits",
+            "serve.snapshot_cache_misses",
         ] {
             results.push((
                 format!("metrics/{}", name.replace('.', "/")),
                 final_metrics.counter(name).unwrap_or(0),
             ));
         }
+        // The chunked-checkpoint load exists to make pruning real over
+        // the wire; a zero here means the serve workload regressed to
+        // a shape the zone maps / Bloom filters cannot prune.
+        for name in ["query.zone_pruned", "query.bloom_pruned"] {
+            assert!(
+                final_metrics.counter(name).unwrap_or(0) > 0,
+                "served point queries must prune segments ({name} is zero)"
+            );
+        }
+        assert!(
+            final_metrics
+                .counter("serve.snapshot_cache_hits")
+                .unwrap_or(0)
+                > 0,
+            "repeated federated reads between barriers must hit the snapshot cache"
+        );
 
         client.shutdown().expect("shutdown bench server");
         server.join().expect("join bench server");

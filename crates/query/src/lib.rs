@@ -71,7 +71,7 @@ pub use aggregate::{
 };
 pub use index::{CandidateSet, TrajId, TrajectoryDb};
 pub use interval_tree::{Entry, IntervalTree};
-pub use predicate::Predicate;
+pub use predicate::{DeltaVerdict, Predicate};
 pub use query::{AccessPath, Match, Query, QueryPlan, SortKey};
 pub use segmented::{zone_bloom_rejects, zone_may_match, SegmentedDb, SegmentedPlan};
 pub use wire::{

@@ -10,8 +10,34 @@
 
 use std::fmt;
 
-use sitm_core::{Annotation, Duration, SemanticTrajectory, TimeInterval};
+use sitm_core::{Annotation, AnnotationSet, Duration, SemanticTrajectory, TimeInterval};
 use sitm_space::CellRef;
+
+/// What a predicate can conclude from an episode *delta* — the
+/// attributes an emitted episode carries (moving object, its own
+/// annotation set, its time span) without the parent trajectory's
+/// intervals. The third value makes negation sound: a clause the delta
+/// cannot decide stays [`DeltaVerdict::Unknown`] under `Not` instead of
+/// flipping a guess.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaVerdict {
+    /// The delta alone proves the predicate holds.
+    Match,
+    /// The delta alone proves the predicate cannot hold.
+    NoMatch,
+    /// The delta cannot decide (the clause needs the full trajectory).
+    Unknown,
+}
+
+impl DeltaVerdict {
+    fn not(self) -> DeltaVerdict {
+        match self {
+            DeltaVerdict::Match => DeltaVerdict::NoMatch,
+            DeltaVerdict::NoMatch => DeltaVerdict::Match,
+            DeltaVerdict::Unknown => DeltaVerdict::Unknown,
+        }
+    }
+}
 
 /// A boolean predicate over a [`SemanticTrajectory`].
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +112,102 @@ impl Predicate {
             Predicate::And(parts) => parts.iter().all(|p| p.matches(t)),
             Predicate::Or(parts) => parts.iter().any(|p| p.matches(t)),
         }
+    }
+
+    /// Evaluates the predicate against an episode **delta**: the
+    /// moving object, the episode's own annotation set (`A'_traj`), and
+    /// its time span — what a streaming engine's drained episode
+    /// carries without the parent trajectory. Three-valued: clauses the
+    /// delta cannot decide (cell membership, stay-level tests, dwell
+    /// sums) come back [`DeltaVerdict::Unknown`], and the combinators
+    /// propagate unknowns Kleene-style so `Not`/`And`/`Or` stay sound.
+    ///
+    /// This is the standing-query filter for push subscriptions: a
+    /// subscriber is handed every episode whose verdict is *not*
+    /// [`DeltaVerdict::NoMatch`] — a sound superset, exactly the
+    /// candidates-then-recheck contract the pull-side indexes use.
+    pub fn eval_delta(
+        &self,
+        moving_object: &str,
+        annotations: &AnnotationSet,
+        span: TimeInterval,
+    ) -> DeltaVerdict {
+        use DeltaVerdict::{Match, NoMatch, Unknown};
+        match self {
+            Predicate::True => Match,
+            // The episode's span is exact: its stays all lie inside it,
+            // so a disjoint window can never match — and an overlapping
+            // window provably does (the span is covered by stays
+            // end-to-end per the episode construction).
+            Predicate::SpanOverlaps(window) => {
+                if span.overlaps(*window) {
+                    Match
+                } else {
+                    NoMatch
+                }
+            }
+            Predicate::MovingObject(id) => {
+                if moving_object == id {
+                    Match
+                } else {
+                    NoMatch
+                }
+            }
+            // The episode annotation set is `A'_traj`, not the parent's
+            // `A_traj`: containment here proves nothing either way
+            // beyond presence in the episode itself, except that the
+            // subscription notion of "this episode is about ⟨a⟩" is the
+            // episode's own set — treat presence as a match and absence
+            // as undecidable (the parent may still carry it).
+            Predicate::HasTrajAnnotation(a) | Predicate::HasStayAnnotation(a) => {
+                if annotations.contains(a) {
+                    Match
+                } else {
+                    Unknown
+                }
+            }
+            // Everything interval-shaped needs the parent trace.
+            Predicate::VisitedCell(_)
+            | Predicate::SequenceContains(_)
+            | Predicate::StayOverlaps(_, _)
+            | Predicate::MinTotalDwell(_)
+            | Predicate::MinStayIn(_, _) => Unknown,
+            Predicate::Not(inner) => inner.eval_delta(moving_object, annotations, span).not(),
+            Predicate::And(parts) => {
+                let mut verdict = Match;
+                for p in parts {
+                    match p.eval_delta(moving_object, annotations, span) {
+                        NoMatch => return NoMatch,
+                        Unknown => verdict = Unknown,
+                        Match => {}
+                    }
+                }
+                verdict
+            }
+            Predicate::Or(parts) => {
+                let mut verdict = NoMatch;
+                for p in parts {
+                    match p.eval_delta(moving_object, annotations, span) {
+                        Match => return Match,
+                        Unknown => verdict = Unknown,
+                        NoMatch => {}
+                    }
+                }
+                verdict
+            }
+        }
+    }
+
+    /// True unless the episode delta *disproves* the predicate — the
+    /// sound-superset filter push subscriptions deliver through (see
+    /// [`Predicate::eval_delta`]).
+    pub fn delta_may_match(
+        &self,
+        moving_object: &str,
+        annotations: &AnnotationSet,
+        span: TimeInterval,
+    ) -> bool {
+        self.eval_delta(moving_object, annotations, span) != DeltaVerdict::NoMatch
     }
 
     /// `self AND other`, flattening nested conjunctions.
@@ -282,6 +404,88 @@ mod tests {
         match a.or(b).or(c) {
             Predicate::Or(parts) => assert_eq!(parts.len(), 3),
             other => panic!("expected flat Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delta_eval_decides_what_the_episode_carries() {
+        use DeltaVerdict::{Match, NoMatch, Unknown};
+        let anns = AnnotationSet::from_iter([Annotation::goal("gallery-1")]);
+        let span = iv(100, 200);
+        let eval = |p: &Predicate| p.eval_delta("visitor-1", &anns, span);
+
+        assert_eq!(eval(&Predicate::True), Match);
+        assert_eq!(eval(&Predicate::MovingObject("visitor-1".into())), Match);
+        assert_eq!(eval(&Predicate::MovingObject("visitor-2".into())), NoMatch);
+        assert_eq!(eval(&Predicate::SpanOverlaps(iv(150, 300))), Match);
+        assert_eq!(eval(&Predicate::SpanOverlaps(iv(201, 300))), NoMatch);
+        assert_eq!(
+            eval(&Predicate::HasTrajAnnotation(Annotation::goal("gallery-1"))),
+            Match
+        );
+        assert_eq!(
+            eval(&Predicate::HasTrajAnnotation(Annotation::goal("other"))),
+            Unknown
+        );
+        assert_eq!(eval(&Predicate::VisitedCell(cell(1))), Unknown);
+        assert_eq!(
+            eval(&Predicate::MinTotalDwell(Duration::seconds(10))),
+            Unknown
+        );
+    }
+
+    #[test]
+    fn delta_eval_combinators_are_kleene() {
+        use DeltaVerdict::{Match, NoMatch, Unknown};
+        let anns = AnnotationSet::from_iter([Annotation::goal("g")]);
+        let span = iv(0, 10);
+        let eval = |p: &Predicate| p.eval_delta("mo", &anns, span);
+        let yes = Predicate::MovingObject("mo".into());
+        let no = Predicate::MovingObject("other".into());
+        let unknown = Predicate::VisitedCell(cell(3));
+
+        // Negation flips decided verdicts, never guesses on unknowns.
+        assert_eq!(eval(&yes.clone().not()), NoMatch);
+        assert_eq!(eval(&no.clone().not()), Match);
+        assert_eq!(eval(&unknown.clone().not()), Unknown);
+        // NoMatch dominates And; Match dominates Or; Unknown otherwise.
+        assert_eq!(eval(&yes.clone().and(no.clone())), NoMatch);
+        assert_eq!(eval(&yes.clone().and(unknown.clone())), Unknown);
+        assert_eq!(eval(&no.clone().or(yes.clone())), Match);
+        assert_eq!(eval(&no.clone().or(unknown.clone())), Unknown);
+        assert_eq!(eval(&Predicate::And(vec![])), Match);
+        assert_eq!(eval(&Predicate::Or(vec![])), NoMatch);
+
+        // The push filter delivers everything except a proven NoMatch.
+        assert!(yes.delta_may_match("mo", &anns, span));
+        assert!(unknown.delta_may_match("mo", &anns, span));
+        assert!(!no.delta_may_match("mo", &anns, span));
+    }
+
+    #[test]
+    fn delta_verdicts_never_contradict_full_evaluation() {
+        // Soundness: for a real trajectory, a decided delta verdict on
+        // (moving object, A_traj-as-episode-set, span) must agree with
+        // full evaluation whenever the delta attributes mirror the
+        // trajectory's own.
+        let t = sample();
+        let span = t.span();
+        let predicates = vec![
+            Predicate::True,
+            Predicate::MovingObject("visitor-1".into()),
+            Predicate::MovingObject("nobody".into()),
+            Predicate::SpanOverlaps(iv(450, 600)),
+            Predicate::SpanOverlaps(iv(501, 600)),
+            Predicate::VisitedCell(cell(1)),
+            Predicate::MovingObject("visitor-1".into()).not(),
+            Predicate::MovingObject("nobody".into()).or(Predicate::SpanOverlaps(iv(0, 1))),
+        ];
+        for p in predicates {
+            match p.eval_delta(&t.moving_object, t.annotations(), span) {
+                DeltaVerdict::Match => assert!(p.matches(&t), "{p}"),
+                DeltaVerdict::NoMatch => assert!(!p.matches(&t), "{p}"),
+                DeltaVerdict::Unknown => {}
+            }
         }
     }
 

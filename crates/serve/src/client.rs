@@ -15,17 +15,18 @@
 //! server).
 
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration as StdDuration;
 
 use sitm_core::SemanticTrajectory;
 use sitm_obs::MetricsSnapshot;
 use sitm_query::wire::WireQuery;
 use sitm_query::Predicate;
-use sitm_stream::StreamEvent;
+use sitm_stream::{EmittedEpisode, StreamEvent};
 
 use crate::proto::{
     decode_response, encode_request, ExplainReport, Request, Response, ServerStats,
 };
-use crate::wire::{read_frame, write_frame};
+use crate::wire::{read_frame, read_frame_or_idle, write_frame};
 use crate::ServeError;
 
 /// Client-side transport counters (see [`Client::stats`]). These count
@@ -224,6 +225,97 @@ impl Client {
                 Ok(())
             }
             other => Err(Self::expect_error(other)),
+        }
+    }
+}
+
+/// One pushed notification: the epoch whose ingest barrier drained the
+/// episodes, and the episodes the subscription's predicate did not
+/// provably reject.
+pub type Notification = (u64, Vec<EmittedEpisode>);
+
+/// A continuous-query subscription on its own dedicated connection.
+///
+/// Unlike [`Client`], a `Subscriber` receives **unsolicited**
+/// [`Response::Notification`] frames, so it never shares a connection
+/// with request/response traffic: create it alongside a `Client`, not
+/// from one. Dropping a `Subscriber` without [`Subscriber::unsubscribe`]
+/// closes the connection; the server then re-injects any undelivered
+/// episodes into its pending pool, so nothing is lost — the next
+/// subscriber (or this one, reconnecting) sees them in its first
+/// barriers. The one loss path is falling behind the server's bounded
+/// per-subscriber queue, which surfaces here as [`ServeError::Remote`]
+/// from [`Subscriber::poll`] ("subscription lagged…").
+pub struct Subscriber {
+    stream: TcpStream,
+    epoch: u64,
+}
+
+impl Subscriber {
+    /// Connects and registers `query` as this connection's continuous
+    /// query. On success, every notification this subscription ever
+    /// receives carries an epoch strictly greater than
+    /// [`Subscriber::epoch`].
+    pub fn subscribe(addr: SocketAddr, query: &WireQuery) -> Result<Subscriber, ServeError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut payload = Vec::new();
+        encode_request(&mut payload, &Request::Subscribe(query.clone()));
+        write_frame(&mut stream, &payload)?;
+        let frame = read_frame(&mut stream).map_err(ServeError::Wire)?;
+        match decode_response(&mut frame.as_slice())? {
+            Response::Subscribed { epoch } => Ok(Subscriber { stream, epoch }),
+            Response::Error(message) => Err(ServeError::Remote(message)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected response to subscribe: {other:?}"
+            ))),
+        }
+    }
+
+    /// The engine epoch at registration.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Waits up to `timeout` for one pushed notification. `Ok(None)`
+    /// means no notification arrived in time (the subscription is still
+    /// live); a lagged-and-dropped subscription surfaces as
+    /// [`ServeError::Remote`].
+    pub fn poll(&mut self, timeout: StdDuration) -> Result<Option<Notification>, ServeError> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        match read_frame_or_idle(&mut self.stream) {
+            Ok(None) => Ok(None),
+            Ok(Some(frame)) => match decode_response(&mut frame.as_slice())? {
+                Response::Notification { epoch, episodes } => Ok(Some((epoch, episodes))),
+                Response::Error(message) => Err(ServeError::Remote(message)),
+                other => Err(ServeError::Protocol(format!(
+                    "unexpected frame on subscription: {other:?}"
+                ))),
+            },
+            Err(err) => Err(ServeError::Wire(err)),
+        }
+    }
+
+    /// Deregisters the continuous query, draining notifications still
+    /// queued server-side (returned in order) until the acknowledgement.
+    pub fn unsubscribe(mut self) -> Result<Vec<Notification>, ServeError> {
+        let mut payload = Vec::new();
+        encode_request(&mut payload, &Request::Unsubscribe);
+        write_frame(&mut self.stream, &payload)?;
+        self.stream.set_read_timeout(None)?;
+        let mut drained = Vec::new();
+        loop {
+            let frame = read_frame(&mut self.stream).map_err(ServeError::Wire)?;
+            match decode_response(&mut frame.as_slice())? {
+                Response::Notification { epoch, episodes } => drained.push((epoch, episodes)),
+                Response::Unsubscribed => return Ok(drained),
+                Response::Error(message) => return Err(ServeError::Remote(message)),
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "unexpected frame draining unsubscribe: {other:?}"
+                    )))
+                }
+            }
         }
     }
 }

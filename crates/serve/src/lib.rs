@@ -75,10 +75,10 @@ pub mod proto;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientStats};
+pub use client::{Client, ClientStats, Notification, Subscriber};
 pub use proto::{
-    decode_request, decode_response, encode_request, encode_response, ExplainReport, Request,
-    Response, ServerStats, WirePlan,
+    decode_episode, decode_request, decode_response, encode_episode, encode_request,
+    encode_response, ExplainReport, Request, Response, ServerStats, WirePlan,
 };
 pub use server::{Server, ServerConfig};
 pub use wire::{read_frame, write_frame, WireError};

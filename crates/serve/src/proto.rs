@@ -10,7 +10,7 @@
 //! materializing an invalid value, so a corrupted frame that somehow
 //! cleared the CRC still cannot reach the engine.
 
-use sitm_core::{SemanticTrajectory, Timestamp};
+use sitm_core::{Episode, SemanticTrajectory, TimeInterval, Timestamp};
 use sitm_obs::codec::{decode_snapshot, snapshot_to_bytes};
 use sitm_obs::MetricsSnapshot;
 use sitm_query::wire::{decode_wire_query, encode_wire_query, WireQuery};
@@ -20,7 +20,7 @@ use sitm_store::codec::{
     encode_annotations, encode_cell, encode_presence, encode_str, encode_trajectory, take_tag,
 };
 use sitm_store::{varint, CodecError};
-use sitm_stream::{StreamEvent, VisitKey};
+use sitm_stream::{EmittedEpisode, StreamEvent, VisitKey};
 
 // --- stream events ---------------------------------------------------------
 
@@ -127,6 +127,16 @@ pub enum Request {
     /// counter/gauge/histogram across the ingest → warehouse → serve
     /// path, plus the slow-query ring buffer.
     Metrics,
+    /// Register a continuous query on this session. On every ingest
+    /// barrier that advances the engine epoch, drained episodes whose
+    /// delta evaluation is not provably false for the predicate are
+    /// pushed to this session as [`Response::Notification`] frames.
+    /// One subscription per session; re-subscribing replaces the query.
+    Subscribe(WireQuery),
+    /// Drop this session's continuous query. The server stops pushing;
+    /// notifications already queued are still flushed before the
+    /// [`Response::Unsubscribed`] acknowledgement.
+    Unsubscribe,
 }
 
 const REQ_INGEST: u8 = 0;
@@ -137,6 +147,8 @@ const REQ_STATS: u8 = 4;
 const REQ_CHECKPOINT: u8 = 5;
 const REQ_SHUTDOWN: u8 = 6;
 const REQ_METRICS: u8 = 7;
+const REQ_SUBSCRIBE: u8 = 8;
+const REQ_UNSUBSCRIBE: u8 = 9;
 
 /// Encodes a request into a frame payload.
 pub fn encode_request(buf: &mut Vec<u8>, req: &Request) {
@@ -164,6 +176,11 @@ pub fn encode_request(buf: &mut Vec<u8>, req: &Request) {
         Request::Checkpoint => buf.push(REQ_CHECKPOINT),
         Request::Shutdown => buf.push(REQ_SHUTDOWN),
         Request::Metrics => buf.push(REQ_METRICS),
+        Request::Subscribe(q) => {
+            buf.push(REQ_SUBSCRIBE);
+            encode_wire_query(buf, q);
+        }
+        Request::Unsubscribe => buf.push(REQ_UNSUBSCRIBE),
     }
 }
 
@@ -185,6 +202,8 @@ pub fn decode_request(buf: &mut &[u8]) -> Result<Request, CodecError> {
         REQ_CHECKPOINT => Request::Checkpoint,
         REQ_SHUTDOWN => Request::Shutdown,
         REQ_METRICS => Request::Metrics,
+        REQ_SUBSCRIBE => Request::Subscribe(decode_wire_query(buf)?),
+        REQ_UNSUBSCRIBE => Request::Unsubscribe,
         other => return Err(CodecError::BadTag(other)),
     };
     if !buf.is_empty() {
@@ -226,6 +245,10 @@ pub struct ExplainReport {
     /// Nanoseconds spent planning/evaluating against the snapshot and
     /// the warehouse after the snapshot was cut.
     pub evaluate_ns: u64,
+    /// Whether the live snapshot this plan consulted was served from
+    /// the server's epoch cache (`snapshot_build_ns` is then the cache
+    /// lookup, not a quiesce).
+    pub snapshot_cached: bool,
 }
 
 /// Engine + warehouse counters, as served by [`Request::Stats`].
@@ -249,8 +272,10 @@ pub struct ServerStats {
     pub warehouse_trajectories: u64,
     /// Live warehouse segments.
     pub warehouse_segments: u64,
-    /// Sessions the server has accepted so far.
-    pub sessions: u64,
+    /// Sessions the server has accepted over its lifetime.
+    pub sessions_accepted: u64,
+    /// Sessions connected right now.
+    pub sessions_active: u64,
 }
 
 /// One server response.
@@ -284,6 +309,25 @@ pub enum Response {
     /// The server's metrics snapshot (versioned payload, see
     /// `sitm_obs::codec`).
     Metrics(MetricsSnapshot),
+    /// The continuous query was registered. `epoch` is the engine epoch
+    /// at registration: every notification the subscription will ever
+    /// receive carries an epoch strictly greater than this.
+    Subscribed {
+        /// Engine epoch when the subscription took effect.
+        epoch: u64,
+    },
+    /// The continuous query was dropped; no further notifications
+    /// follow on this session.
+    Unsubscribed,
+    /// A pushed batch of drained episodes matching (or not provably
+    /// missing) a session's subscription. Unsolicited: arrives between
+    /// request/response pairs, identified by its tag.
+    Notification {
+        /// The engine epoch whose ingest barrier drained these episodes.
+        epoch: u64,
+        /// The matching episodes, in the drain's deterministic order.
+        episodes: Vec<EmittedEpisode>,
+    },
 }
 
 const RESP_INGESTED: u8 = 0;
@@ -294,6 +338,53 @@ const RESP_CHECKPOINTED: u8 = 4;
 const RESP_SHUTTING_DOWN: u8 = 5;
 const RESP_ERROR: u8 = 6;
 const RESP_METRICS: u8 = 7;
+const RESP_SUBSCRIBED: u8 = 8;
+const RESP_UNSUBSCRIBED: u8 = 9;
+const RESP_NOTIFICATION: u8 = 10;
+
+/// Encodes one drained episode as pushed by a subscription.
+pub fn encode_episode(buf: &mut Vec<u8>, episode: &EmittedEpisode) {
+    varint::encode_u64(buf, episode.visit.0);
+    encode_str(buf, &episode.moving_object);
+    varint::encode_u64(buf, episode.predicate as u64);
+    varint::encode_u64(buf, episode.episode.range.start as u64);
+    varint::encode_u64(buf, episode.episode.range.end as u64);
+    varint::encode_i64(buf, episode.episode.time.start.0);
+    varint::encode_i64(buf, episode.episode.time.end.0);
+    encode_annotations(buf, &episode.episode.annotations);
+}
+
+/// Decodes one drained episode, validating range and interval ordering.
+pub fn decode_episode(buf: &mut &[u8]) -> Result<EmittedEpisode, CodecError> {
+    let visit = VisitKey(varint::decode_u64(buf)?);
+    let moving_object = decode_str(buf)?;
+    let predicate = varint::decode_u64(buf)? as usize;
+    let start = varint::decode_u64(buf)? as usize;
+    let end = varint::decode_u64(buf)? as usize;
+    if end < start {
+        return Err(CodecError::InvalidTrace(
+            "episode range end before start".into(),
+        ));
+    }
+    let t_start = Timestamp(varint::decode_i64(buf)?);
+    let t_end = Timestamp(varint::decode_i64(buf)?);
+    if t_end < t_start {
+        return Err(CodecError::InvalidTrace(
+            "episode interval end before start".into(),
+        ));
+    }
+    let annotations = decode_annotations(buf)?;
+    Ok(EmittedEpisode {
+        visit,
+        moving_object,
+        predicate,
+        episode: Episode {
+            range: start..end,
+            time: TimeInterval::new(t_start, t_end),
+            annotations,
+        },
+    })
+}
 
 /// Encodes a response into a frame payload.
 pub fn encode_response(buf: &mut Vec<u8>, resp: &Response) {
@@ -327,6 +418,7 @@ pub fn encode_response(buf: &mut Vec<u8>, resp: &Response) {
             varint::encode_u64(buf, report.bloom_pruned);
             varint::encode_u64(buf, report.snapshot_build_ns);
             varint::encode_u64(buf, report.evaluate_ns);
+            buf.push(report.snapshot_cached as u8);
         }
         Response::Stats(s) => {
             buf.push(RESP_STATS);
@@ -340,7 +432,8 @@ pub fn encode_response(buf: &mut Vec<u8>, resp: &Response) {
                 s.open_visits,
                 s.warehouse_trajectories,
                 s.warehouse_segments,
-                s.sessions,
+                s.sessions_accepted,
+                s.sessions_active,
             ] {
                 varint::encode_u64(buf, n);
             }
@@ -368,6 +461,19 @@ pub fn encode_response(buf: &mut Vec<u8>, resp: &Response) {
             let bytes = snapshot_to_bytes(snapshot);
             varint::encode_u64(buf, bytes.len() as u64);
             buf.extend_from_slice(&bytes);
+        }
+        Response::Subscribed { epoch } => {
+            buf.push(RESP_SUBSCRIBED);
+            varint::encode_u64(buf, *epoch);
+        }
+        Response::Unsubscribed => buf.push(RESP_UNSUBSCRIBED),
+        Response::Notification { epoch, episodes } => {
+            buf.push(RESP_NOTIFICATION);
+            varint::encode_u64(buf, *epoch);
+            varint::encode_u64(buf, episodes.len() as u64);
+            for e in episodes {
+                encode_episode(buf, e);
+            }
         }
     }
 }
@@ -403,6 +509,11 @@ pub fn decode_response(buf: &mut &[u8]) -> Result<Response, CodecError> {
             let bloom_pruned = varint::decode_u64(buf)?;
             let snapshot_build_ns = varint::decode_u64(buf)?;
             let evaluate_ns = varint::decode_u64(buf)?;
+            let snapshot_cached = match take_tag(buf)? {
+                0 => false,
+                1 => true,
+                other => return Err(CodecError::BadTag(other)),
+            };
             Response::Explained(ExplainReport {
                 plans,
                 segments,
@@ -410,10 +521,11 @@ pub fn decode_response(buf: &mut &[u8]) -> Result<Response, CodecError> {
                 bloom_pruned,
                 snapshot_build_ns,
                 evaluate_ns,
+                snapshot_cached,
             })
         }
         RESP_STATS => {
-            let mut fields = [0u64; 10];
+            let mut fields = [0u64; 11];
             for slot in &mut fields {
                 *slot = varint::decode_u64(buf)?;
             }
@@ -427,7 +539,8 @@ pub fn decode_response(buf: &mut &[u8]) -> Result<Response, CodecError> {
                 open_visits: fields[6],
                 warehouse_trajectories: fields[7],
                 warehouse_segments: fields[8],
-                sessions: fields[9],
+                sessions_accepted: fields[9],
+                sessions_active: fields[10],
             })
         }
         RESP_CHECKPOINTED => Response::Checkpointed {
@@ -445,6 +558,19 @@ pub fn decode_response(buf: &mut &[u8]) -> Result<Response, CodecError> {
             let snapshot = decode_snapshot(blob)
                 .map_err(|e| CodecError::InvalidTrace(format!("metrics snapshot: {e}")))?;
             Response::Metrics(snapshot)
+        }
+        RESP_SUBSCRIBED => Response::Subscribed {
+            epoch: varint::decode_u64(buf)?,
+        },
+        RESP_UNSUBSCRIBED => Response::Unsubscribed,
+        RESP_NOTIFICATION => {
+            let epoch = varint::decode_u64(buf)?;
+            let count = decode_count(buf)?;
+            let mut episodes = Vec::with_capacity(count);
+            for _ in 0..count {
+                episodes.push(decode_episode(buf)?);
+            }
+            Response::Notification { epoch, episodes }
         }
         other => return Err(CodecError::BadTag(other)),
     };
@@ -528,7 +654,25 @@ mod tests {
             Request::Checkpoint,
             Request::Shutdown,
             Request::Metrics,
+            Request::Subscribe(WireQuery::filtered(
+                Predicate::HasTrajAnnotation(Annotation::goal("visit"))
+                    .and(Predicate::MovingObject("mo".into())),
+            )),
+            Request::Unsubscribe,
         ]
+    }
+
+    fn sample_episode() -> EmittedEpisode {
+        EmittedEpisode {
+            visit: VisitKey(41),
+            moving_object: "mo-41".into(),
+            predicate: 2,
+            episode: Episode {
+                range: 1..4,
+                time: TimeInterval::new(Timestamp(-3), Timestamp(90)),
+                annotations: AnnotationSet::from_iter([Annotation::goal("visit")]),
+            },
+        }
     }
 
     fn sample_snapshot() -> MetricsSnapshot {
@@ -562,6 +706,7 @@ mod tests {
                 bloom_pruned: 1,
                 snapshot_build_ns: 48_000,
                 evaluate_ns: 31_000,
+                snapshot_cached: true,
             }),
             Response::Stats(ServerStats {
                 events: 1,
@@ -573,7 +718,8 @@ mod tests {
                 open_visits: 7,
                 warehouse_trajectories: 8,
                 warehouse_segments: 9,
-                sessions: 10,
+                sessions_accepted: 10,
+                sessions_active: 2,
             }),
             Response::Checkpointed {
                 spilled: 12,
@@ -584,6 +730,16 @@ mod tests {
             Response::Error("bad payload".into()),
             Response::Metrics(sample_snapshot()),
             Response::Metrics(MetricsSnapshot::default()),
+            Response::Subscribed { epoch: 17 },
+            Response::Unsubscribed,
+            Response::Notification {
+                epoch: 18,
+                episodes: vec![sample_episode()],
+            },
+            Response::Notification {
+                epoch: 19,
+                episodes: vec![],
+            },
         ]
     }
 
@@ -635,6 +791,45 @@ mod tests {
         encode_response(&mut buf, &Response::ShuttingDown);
         buf.push(0);
         assert!(decode_response(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn inverted_episode_ranges_and_intervals_are_rejected() {
+        // range end before start
+        let mut buf = Vec::new();
+        let mut bad = sample_episode();
+        encode_episode(&mut buf, &bad);
+        let good_len = buf.len();
+        buf.clear();
+        varint::encode_u64(&mut buf, bad.visit.0);
+        encode_str(&mut buf, &bad.moving_object);
+        varint::encode_u64(&mut buf, bad.predicate as u64);
+        varint::encode_u64(&mut buf, 4); // start
+        varint::encode_u64(&mut buf, 1); // end < start
+        varint::encode_i64(&mut buf, bad.episode.time.start.0);
+        varint::encode_i64(&mut buf, bad.episode.time.end.0);
+        encode_annotations(&mut buf, &bad.episode.annotations);
+        assert!(decode_episode(&mut buf.as_slice()).is_err());
+
+        // interval end before start — swap the timestamps
+        bad.episode.range = 1..4;
+        buf.clear();
+        varint::encode_u64(&mut buf, bad.visit.0);
+        encode_str(&mut buf, &bad.moving_object);
+        varint::encode_u64(&mut buf, bad.predicate as u64);
+        varint::encode_u64(&mut buf, bad.episode.range.start as u64);
+        varint::encode_u64(&mut buf, bad.episode.range.end as u64);
+        varint::encode_i64(&mut buf, bad.episode.time.end.0);
+        varint::encode_i64(&mut buf, bad.episode.time.start.0);
+        encode_annotations(&mut buf, &bad.episode.annotations);
+        assert!(decode_episode(&mut buf.as_slice()).is_err());
+
+        // and the well-formed encoding still round-trips
+        buf.clear();
+        let episode = sample_episode();
+        encode_episode(&mut buf, &episode);
+        assert_eq!(buf.len(), good_len);
+        assert_eq!(decode_episode(&mut buf.as_slice()).unwrap(), episode);
     }
 
     #[test]

@@ -7,12 +7,11 @@
 //!                                                          │ (pool of N)
 //!                                          frame ⇄ request │
 //!                                                          ▼
-//!                                              ┌─────── Core (Mutex) ───────┐
-//!                                              │ ParallelEngine   (ingest,  │
-//!                                              │   live_snapshot, stats)    │
-//!                                              │ Flusher → SegmentedDb      │
-//!                                              │   (checkpoint, queries)    │
-//!                                              └────────────────────────────┘
+//!                      ┌─────── Core (Mutex) ────────┐ ┌─ Warehouse (RwLock) ─┐
+//!                      │ ParallelEngine (ingest,     │ │ Flusher → SegmentedDb│
+//!                      │   epoch, cached snapshot,   │ │  (readers share;     │
+//!                      │   drain → subscriptions)    │ │   checkpoint writes) │
+//!                      └─────────────────────────────┘ └──────────────────────┘
 //! ```
 //!
 //! * **Listener** — one thread accepting connections and handing each
@@ -30,11 +29,29 @@
 //!   one connection, and moves on — the listener and every other
 //!   session stay up (`tests/wire_torture.rs` tears frames at every
 //!   byte offset to pin this).
-//! * **Core** — the shared pipeline state: one work-stealing
-//!   [`ParallelEngine`] (itself internally concurrent) and the
-//!   [`Flusher`]-fed [`sitm_query::SegmentedDb`] warehouse. Sessions
-//!   serialize on the core mutex per *request*; the engine's own worker
-//!   pool runs event application in parallel underneath it.
+//! * **Core + warehouse** — the mutable pipeline state splits in two.
+//!   The core mutex guards the work-stealing [`ParallelEngine`]; the
+//!   [`Flusher`]-fed [`sitm_query::SegmentedDb`] warehouse sits behind
+//!   its own `RwLock`, shared by query readers and written only by
+//!   checkpoints. Only ingest, checkpoint, shutdown, and subscription
+//!   registration serialize on the core mutex: the query/explain ops
+//!   clone the engine's **epoch-cached** `Arc<LiveSnapshot>` and
+//!   acquire a warehouse read guard under the lock, then release it
+//!   and evaluate outside — concurrent queries run truly in parallel,
+//!   and back-to-back queries between ingest barriers share one
+//!   snapshot (`serve.snapshot_cache_hits`).
+//! * **Subscriptions** — a session can register a continuous query.
+//!   While at least one subscription exists, every ingest barrier
+//!   drains the engine's emitted-episode backlog, stamps the new
+//!   epoch, and fans the delta out to each subscriber whose predicate
+//!   does not provably reject it (`Predicate::delta_may_match`), into
+//!   a **bounded** per-subscriber queue. The owning session flushes
+//!   its queue as [`Response::Notification`] frames between requests
+//!   and at every idle poll. A subscriber that falls behind the bound
+//!   is sent an in-band [`Response::Error`] and dropped (the session
+//!   survives); a subscriber that disconnects with undelivered
+//!   episodes has them re-injected into the engine's pending pool so
+//!   nothing is lost.
 //! * **Shutdown** — a [`Request::Shutdown`] spills the finished backlog
 //!   into the warehouse (durable), acknowledges, then flips the shared
 //!   flag and nudges the listener awake with a loop-back connection.
@@ -43,12 +60,13 @@
 //!   in-flight request and close; [`Server::join`] returns once every
 //!   thread is down.
 
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant};
 
@@ -56,7 +74,7 @@ use sitm_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use sitm_query::{Predicate, SegmentedDb, TrajectorySource};
 use sitm_store::segment::FRAME_OVERHEAD;
 use sitm_store::warehouse::WarehouseConfig;
-use sitm_stream::{EngineConfig, Flusher, ParallelEngine};
+use sitm_stream::{EmittedEpisode, EngineConfig, Flusher, LiveSnapshot, ParallelEngine};
 
 use crate::proto::{
     decode_request, encode_response, ExplainReport, Request, Response, ServerStats, WirePlan,
@@ -160,7 +178,7 @@ impl ServerConfig {
 
 /// Wire-op names, indexed by [`op_index`] — the suffixes of the
 /// `serve.requests.{op}` counters and `serve.handle_ns.{op}` histograms.
-const OP_NAMES: [&str; 8] = [
+const OP_NAMES: [&str; 10] = [
     "ingest",
     "query",
     "query_federated",
@@ -169,6 +187,8 @@ const OP_NAMES: [&str; 8] = [
     "checkpoint",
     "shutdown",
     "metrics",
+    "subscribe",
+    "unsubscribe",
 ];
 
 fn op_index(request: &Request) -> usize {
@@ -181,6 +201,8 @@ fn op_index(request: &Request) -> usize {
         Request::Checkpoint => 5,
         Request::Shutdown => 6,
         Request::Metrics => 7,
+        Request::Subscribe(_) => 8,
+        Request::Unsubscribe => 9,
     }
 }
 
@@ -212,6 +234,18 @@ struct ServeMetrics {
     /// snapshot vs evaluating against it + the warehouse.
     snapshot_build_ns: Arc<Histogram>,
     evaluate_ns: Arc<Histogram>,
+    /// `Explain`'s snapshot acquisition, recorded apart from the query
+    /// path so plans don't pollute `serve.snapshot_build_ns`.
+    explain_snapshot_ns: Arc<Histogram>,
+    /// Epoch-cache outcomes for query/explain snapshot acquisitions.
+    snapshot_cache_hits: Arc<Counter>,
+    snapshot_cache_misses: Arc<Counter>,
+    /// Continuous queries registered right now.
+    subscriptions_active: Arc<Gauge>,
+    /// Notification frames written to subscribers.
+    notifications_pushed: Arc<Counter>,
+    /// Subscribers dropped for falling behind their queue bound.
+    subscribers_dropped: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -233,22 +267,82 @@ impl ServeMetrics {
             sessions_active: registry.gauge("serve.sessions_active"),
             snapshot_build_ns: registry.histogram("serve.snapshot_build_ns"),
             evaluate_ns: registry.histogram("serve.evaluate_ns"),
+            explain_snapshot_ns: registry.histogram("serve.explain_snapshot_ns"),
+            snapshot_cache_hits: registry.counter("serve.snapshot_cache_hits"),
+            snapshot_cache_misses: registry.counter("serve.snapshot_cache_misses"),
+            subscriptions_active: registry.gauge("serve.subscriptions_active"),
+            notifications_pushed: registry.counter("serve.notifications_pushed"),
+            subscribers_dropped: registry.counter("serve.subscribers_dropped"),
             registry,
         }
     }
 }
 
-/// The shared pipeline state every session executes against.
+/// The engine side of the pipeline — everything that mutates per
+/// event. Queries never hold this lock while evaluating: they clone
+/// the engine's epoch-cached snapshot `Arc` and leave.
 struct Core {
     engine: ParallelEngine,
-    flusher: Flusher,
+}
+
+/// Episodes a single subscriber may hold queued before the server
+/// declares it lagged, drops the subscription, and tells it so in-band.
+const SUBSCRIBER_QUEUE_BOUND: usize = 4096;
+
+/// Undelivered notification batches for one subscriber.
+#[derive(Default)]
+struct SubscriptionQueue {
+    /// `(epoch, episodes)` batches in drain order.
+    batches: Vec<(u64, Vec<EmittedEpisode>)>,
+    /// Episodes across all queued batches (the bound's unit).
+    queued: usize,
+    /// The queue overflowed: contents were discarded and the owning
+    /// session must error + drop the subscription.
+    lagged: bool,
+}
+
+/// One session's continuous query, shared between the ingest path
+/// (producer) and the owning session thread (consumer).
+struct Subscription {
+    predicate: Predicate,
+    queue: Mutex<SubscriptionQueue>,
+}
+
+impl Subscription {
+    fn new(predicate: Predicate) -> Subscription {
+        Subscription {
+            predicate,
+            queue: Mutex::new(SubscriptionQueue::default()),
+        }
+    }
+
+    /// Takes every queued batch (and the lagged flag) in one swap.
+    fn take_batches(&self) -> (Vec<(u64, Vec<EmittedEpisode>)>, bool) {
+        let mut queue = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+        queue.queued = 0;
+        (std::mem::take(&mut queue.batches), queue.lagged)
+    }
+
+    /// Flattens the undelivered episodes for re-injection.
+    fn take_episodes(&self) -> Vec<EmittedEpisode> {
+        let (batches, _) = self.take_batches();
+        batches.into_iter().flat_map(|(_, eps)| eps).collect()
+    }
 }
 
 /// State shared by the listener, the workers, and the handle.
 struct Shared {
     core: Mutex<Core>,
+    /// The warehouse tier. Readers (query ops) share; checkpoint and
+    /// shutdown flushes take the write side. Lock order is always
+    /// core → warehouse when both are held.
+    warehouse: RwLock<Flusher>,
+    /// Registered continuous queries by session id. Lock order is
+    /// core → subscriptions when both are held (the ingest fan-out).
+    subscriptions: Mutex<HashMap<u64, Arc<Subscription>>>,
     shutdown: AtomicBool,
     sessions_accepted: AtomicU64,
+    next_session_id: AtomicU64,
     /// The bound address, kept so any thread can nudge a blocked
     /// `accept` awake after flipping the shutdown flag.
     addr: SocketAddr,
@@ -288,9 +382,12 @@ impl Server {
         let listener = TcpListener::bind(config.bind)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            core: Mutex::new(Core { engine, flusher }),
+            core: Mutex::new(Core { engine }),
+            warehouse: RwLock::new(flusher),
+            subscriptions: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
             sessions_accepted: AtomicU64::new(0),
+            next_session_id: AtomicU64::new(0),
             addr,
             metrics: ServeMetrics::bind(registry),
         });
@@ -337,11 +434,7 @@ impl Server {
     /// client's [`Request::Shutdown`]): flushes the warehouse, stops
     /// the listener, lets sessions drain.
     pub fn shutdown(&self) {
-        {
-            let mut core = self.shared.core.lock().unwrap_or_else(|p| p.into_inner());
-            let Core { engine, flusher } = &mut *core;
-            let _ = flusher.force(engine);
-        }
+        flush_final(&self.shared);
         self.shared.shutdown.store(true, Ordering::SeqCst);
         wake_listener(self.addr);
     }
@@ -369,9 +462,10 @@ impl Server {
 /// every session worker stopped, nothing can ingest concurrently, so
 /// this cut is the server's final durable state.
 fn flush_final(shared: &Shared) {
+    // Lock order: core → warehouse (matches every dual-lock site).
     let mut core = shared.core.lock().unwrap_or_else(|p| p.into_inner());
-    let Core { engine, flusher } = &mut *core;
-    let _ = flusher.force(engine);
+    let mut warehouse = shared.warehouse.write().unwrap_or_else(|p| p.into_inner());
+    let _ = warehouse.force(&mut core.engine);
 }
 
 impl Drop for Server {
@@ -437,6 +531,13 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>, idle_poll: StdD
     }
 }
 
+/// One session's server-side state beyond the socket: its identity in
+/// the subscription registry and its (at most one) continuous query.
+struct SessionState {
+    id: u64,
+    subscription: Option<Arc<Subscription>>,
+}
+
 /// Serves one connection until the client closes, a fatal transport
 /// error occurs, or shutdown drains it. Malformed input never panics
 /// and never takes the server down — worst case, this one session ends.
@@ -451,13 +552,102 @@ fn run_session(shared: &Shared, mut stream: TcpStream, idle_poll: StdDuration) {
         }
     }
     let _active = ActiveGuard(&metrics.sessions_active);
+    let mut session = SessionState {
+        id: shared.next_session_id.fetch_add(1, Ordering::Relaxed),
+        subscription: None,
+    };
+    session_loop(shared, &mut stream, idle_poll, &mut session);
+    teardown_session(shared, &mut session);
+}
+
+/// Unregisters a session's subscription (if any) and re-injects its
+/// undelivered episodes into the engine's pending pool, so a
+/// subscriber crash never loses drained episodes. A lagged queue was
+/// already emptied — the slow-consumer contract is the one loss path.
+fn teardown_session(shared: &Shared, session: &mut SessionState) {
+    let Some(sub) = session.subscription.take() else {
+        return;
+    };
+    {
+        let mut subs = shared
+            .subscriptions
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        subs.remove(&session.id);
+    }
+    shared.metrics.subscriptions_active.add(-1);
+    // The registry entry is gone, so no producer can enqueue anymore:
+    // this swap observes the queue's final state.
+    let undelivered = sub.take_episodes();
+    if !undelivered.is_empty() {
+        let mut core = shared.core.lock().unwrap_or_else(|p| p.into_inner());
+        core.engine.requeue_pending(undelivered);
+    }
+}
+
+/// Writes every queued notification for this session's subscription,
+/// then handles the lagged case: in-band error, drop the subscription
+/// (no re-inject — the overflow already discarded the backlog), keep
+/// the session. `Err` means the transport failed and the session ends.
+fn flush_notifications(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    session: &mut SessionState,
+) -> std::io::Result<()> {
+    let Some(sub) = &session.subscription else {
+        return Ok(());
+    };
+    let (batches, lagged) = sub.take_batches();
+    for (epoch, episodes) in batches {
+        shared.metrics.notifications_pushed.inc();
+        respond(
+            stream,
+            &Response::Notification { epoch, episodes },
+            &shared.metrics,
+        )?;
+    }
+    if lagged {
+        {
+            let mut subs = shared
+                .subscriptions
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            subs.remove(&session.id);
+        }
+        session.subscription = None;
+        shared.metrics.subscriptions_active.add(-1);
+        shared.metrics.subscribers_dropped.inc();
+        respond(
+            stream,
+            &Response::Error(
+                "subscription lagged: the notification queue overflowed and was dropped; \
+                 re-subscribe to resume"
+                    .into(),
+            ),
+            &shared.metrics,
+        )?;
+    }
+    Ok(())
+}
+
+fn session_loop(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    idle_poll: StdDuration,
+    session: &mut SessionState,
+) {
+    let metrics = &shared.metrics;
     let _ = stream.set_read_timeout(Some(idle_poll));
     let _ = stream.set_nodelay(true);
     loop {
-        let payload = match read_frame_or_idle(&mut stream) {
+        let payload = match read_frame_or_idle(&mut *stream) {
             Ok(Some(payload)) => payload,
             Ok(None) => {
-                // Idle: between frames is the safe drain point.
+                // Idle: push queued notifications, then the safe
+                // drain point between frames.
+                if flush_notifications(shared, stream, session).is_err() {
+                    return;
+                }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
@@ -470,7 +660,7 @@ fn run_session(shared: &Shared, mut stream: TcpStream, idle_poll: StdDuration) {
                 // frame-error count per torn connection.
                 metrics.frame_errors.inc();
                 let _ = respond(
-                    &mut stream,
+                    stream,
                     &Response::Error(format!("bad frame: {err}")),
                     metrics,
                 );
@@ -488,7 +678,7 @@ fn run_session(shared: &Shared, mut stream: TcpStream, idle_poll: StdDuration) {
                 // session survives the error response.
                 metrics.bad_requests.inc();
                 if respond(
-                    &mut stream,
+                    stream,
                     &Response::Error(format!("bad request: {err}")),
                     metrics,
                 )
@@ -511,7 +701,7 @@ fn run_session(shared: &Shared, mut stream: TcpStream, idle_poll: StdDuration) {
             s
         });
         let started = Instant::now();
-        let response = handle_request(shared, request);
+        let response = handle_request(shared, request, session);
         let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         metrics.ops[op].handle_ns.record(elapsed_ns);
         if slow_armed {
@@ -519,7 +709,20 @@ fn run_session(shared: &Shared, mut stream: TcpStream, idle_poll: StdDuration) {
                 .registry
                 .record_slow_with(OP_NAMES[op], elapsed_ns, || detail.unwrap_or_default());
         }
-        if respond(&mut stream, &response, metrics).is_err() {
+        if matches!(response, Response::Unsubscribed) {
+            // The handler already unregistered the subscription, so
+            // its queue is quiescent: flush what's left to the client,
+            // then drop it — nothing re-injects on a clean unsubscribe.
+            if flush_notifications(shared, stream, session).is_err() {
+                return;
+            }
+            if session.subscription.take().is_some() {
+                metrics.subscriptions_active.add(-1);
+            }
+        } else if flush_notifications(shared, stream, session).is_err() {
+            return;
+        }
+        if respond(stream, &response, metrics).is_err() {
             return;
         }
         if is_shutdown {
@@ -563,50 +766,136 @@ fn respond(
     stream.flush()
 }
 
-/// Executes one request against the shared core. Every failure becomes
-/// a [`Response::Error`]; nothing here may panic on bad input.
-fn handle_request(shared: &Shared, request: Request) -> Response {
+/// Acquires the consistent read set for a federated query/explain:
+/// under the core lock, clone the engine's epoch-cached snapshot `Arc`
+/// and take the warehouse read guard; then release the core. Taking
+/// the warehouse guard *before* the core unlocks is what keeps the cut
+/// atomic — a checkpoint needs the write side, so no visit can move
+/// live → warehouse between the snapshot and the guard (no double
+/// count, no gap).
+fn acquire_read_set<'a>(
+    shared: &'a Shared,
+) -> (
+    Arc<LiveSnapshot>,
+    bool,
+    std::sync::RwLockReadGuard<'a, Flusher>,
+) {
     let mut core = shared.core.lock().unwrap_or_else(|p| p.into_inner());
-    let Core { engine, flusher } = &mut *core;
+    let (snapshot, cached) = core.engine.live_snapshot_cached();
+    let warehouse = shared.warehouse.read().unwrap_or_else(|p| p.into_inner());
+    if cached {
+        shared.metrics.snapshot_cache_hits.inc();
+    } else {
+        shared.metrics.snapshot_cache_misses.inc();
+    }
+    (snapshot, cached, warehouse)
+}
+
+/// The ingest barrier's push half: while subscriptions exist, drain
+/// the engine's emitted-episode backlog, stamp the epoch the barrier
+/// advanced to, and enqueue the delta on every subscriber whose
+/// predicate does not provably reject it. Runs under the core lock;
+/// takes subscriptions after it (the documented order).
+fn notify_subscribers(shared: &Shared, engine: &mut ParallelEngine) {
+    let subs = shared
+        .subscriptions
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    if subs.is_empty() {
+        // No subscribers → the barrier must not consume the backlog;
+        // polling consumers (`drain` via checkpointed replay) keep it.
+        return;
+    }
+    let episodes = engine.drain();
+    let epoch = engine.epoch();
+    if episodes.is_empty() {
+        return;
+    }
+    for sub in subs.values() {
+        let matched: Vec<EmittedEpisode> = episodes
+            .iter()
+            .filter(|e| {
+                sub.predicate.delta_may_match(
+                    &e.moving_object,
+                    &e.episode.annotations,
+                    e.episode.time,
+                )
+            })
+            .cloned()
+            .collect();
+        if matched.is_empty() {
+            continue;
+        }
+        let mut queue = sub.queue.lock().unwrap_or_else(|p| p.into_inner());
+        if queue.lagged {
+            continue; // already overflowed; awaiting the owner's drop
+        }
+        queue.queued += matched.len();
+        queue.batches.push((epoch, matched));
+        if queue.queued > SUBSCRIBER_QUEUE_BOUND {
+            // Slow consumer: discard the backlog and flag. The owning
+            // session errors + drops the subscription at its next
+            // flush — the one sanctioned loss path.
+            queue.batches.clear();
+            queue.queued = 0;
+            queue.lagged = true;
+        }
+    }
+}
+
+/// Executes one request. Ingest, checkpoint, shutdown, and
+/// subscription registration serialize on the core mutex; the query
+/// ops acquire their read set under it and evaluate *outside* it.
+/// Every failure becomes a [`Response::Error`]; nothing here may panic
+/// on bad input.
+fn handle_request(shared: &Shared, request: Request, session: &mut SessionState) -> Response {
     match request {
         Request::IngestBatch(events) => {
             let n = events.len() as u64;
-            engine.ingest_all(events);
+            let mut core = shared.core.lock().unwrap_or_else(|p| p.into_inner());
+            core.engine.ingest_all(events);
+            notify_subscribers(shared, &mut core.engine);
             Response::Ingested { events: n }
         }
         Request::Query(wire_query) => {
+            // Warehouse-only: the immutable segment tier needs no core
+            // lock at all — concurrent queries share the read side.
             let query = wire_query.to_query();
+            let warehouse = shared.warehouse.read().unwrap_or_else(|p| p.into_inner());
             Response::Trajectories(
-                query.execute_federated(&[flusher.db() as &dyn TrajectorySource]),
+                query.execute_federated(&[warehouse.db() as &dyn TrajectorySource]),
             )
         }
         Request::QueryFederated(wire_query) => {
             let query = wire_query.to_query();
-            // The federated RTT decomposition: cutting the live
-            // snapshot vs evaluating over live ∪ warehouse. The
-            // remainder of the client-observed RTT is wire + framing.
+            // The federated RTT decomposition: acquiring the live
+            // snapshot (cache hit: an Arc clone; miss: quiesce + cut)
+            // vs evaluating over live ∪ warehouse, both outside the
+            // core lock. The remainder of the client-observed RTT is
+            // wire + framing.
             let build = Instant::now();
-            let snapshot = engine.live_snapshot();
+            let (snapshot, _cached, warehouse) = acquire_read_set(shared);
             let build_ns = u64::try_from(build.elapsed().as_nanos()).unwrap_or(u64::MAX);
             shared.metrics.snapshot_build_ns.record(build_ns);
             let eval = Instant::now();
             let trajectories = query.execute_federated(&[
-                &snapshot as &dyn TrajectorySource,
-                flusher.db() as &dyn TrajectorySource,
+                &*snapshot as &dyn TrajectorySource,
+                warehouse.db() as &dyn TrajectorySource,
             ]);
-            // Releasing the cut is part of evaluation's cost — without
-            // this the build + evaluate split undercounts the handle
-            // time by the (large) snapshot free.
-            drop(snapshot);
             let eval_ns = u64::try_from(eval.elapsed().as_nanos()).unwrap_or(u64::MAX);
             shared.metrics.evaluate_ns.record(eval_ns);
+            // The snapshot Arc is shared with the engine's cache: our
+            // clone drops here without freeing anything, so evaluate_ns
+            // no longer carries the cut's dealloc.
             Response::Trajectories(trajectories)
         }
-        Request::Explain(predicate) => {
-            Response::Explained(explain(engine, flusher.db(), &predicate, &shared.metrics))
-        }
+        Request::Explain(predicate) => Response::Explained(explain(shared, &predicate)),
         Request::Stats => {
-            let stats = engine.stats();
+            let stats = {
+                let mut core = shared.core.lock().unwrap_or_else(|p| p.into_inner());
+                core.engine.stats()
+            };
+            let warehouse = shared.warehouse.read().unwrap_or_else(|p| p.into_inner());
             Response::Stats(ServerStats {
                 events: stats.events,
                 presences: stats.presences,
@@ -615,45 +904,90 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                 episodes: stats.episodes,
                 anomalies: stats.anomalies.total(),
                 open_visits: stats.open_visits,
-                warehouse_trajectories: flusher.db().len() as u64,
-                warehouse_segments: flusher.db().segments().len() as u64,
-                sessions: shared.sessions_accepted.load(Ordering::Relaxed),
+                warehouse_trajectories: warehouse.db().len() as u64,
+                warehouse_segments: warehouse.db().segments().len() as u64,
+                sessions_accepted: shared.sessions_accepted.load(Ordering::Relaxed),
+                sessions_active: shared.metrics.sessions_active.get().max(0) as u64,
             })
         }
-        Request::Checkpoint => match flusher.force(engine) {
-            Ok(spilled) => Response::Checkpointed {
-                spilled: spilled as u64,
-                warehouse_trajectories: flusher.db().len() as u64,
-                manifest_sequence: flusher.db().store().sequence(),
-            },
-            Err(err) => Response::Error(format!("checkpoint failed: {err}")),
-        },
-        Request::Shutdown => match flusher.force(engine) {
-            // The session loop flips the flag *after* this response is
-            // on the wire, so the acknowledgement always arrives.
-            Ok(_) => Response::ShuttingDown,
-            Err(err) => Response::Error(format!("shutdown flush failed: {err}")),
-        },
+        Request::Checkpoint => {
+            let mut core = shared.core.lock().unwrap_or_else(|p| p.into_inner());
+            let mut warehouse = shared.warehouse.write().unwrap_or_else(|p| p.into_inner());
+            match warehouse.force(&mut core.engine) {
+                Ok(spilled) => Response::Checkpointed {
+                    spilled: spilled as u64,
+                    warehouse_trajectories: warehouse.db().len() as u64,
+                    manifest_sequence: warehouse.db().store().sequence(),
+                },
+                Err(err) => Response::Error(format!("checkpoint failed: {err}")),
+            }
+        }
+        Request::Shutdown => {
+            let mut core = shared.core.lock().unwrap_or_else(|p| p.into_inner());
+            let mut warehouse = shared.warehouse.write().unwrap_or_else(|p| p.into_inner());
+            match warehouse.force(&mut core.engine) {
+                // The session loop flips the flag *after* this response
+                // is on the wire, so the acknowledgement always arrives.
+                Ok(_) => Response::ShuttingDown,
+                Err(err) => Response::Error(format!("shutdown flush failed: {err}")),
+            }
+        }
         Request::Metrics => Response::Metrics(shared.metrics.registry.snapshot()),
+        Request::Subscribe(wire_query) => {
+            // Register under the core lock so the acknowledged epoch
+            // is exact: every later barrier (which needs this lock)
+            // notifies this subscription with a strictly greater epoch.
+            let mut core = shared.core.lock().unwrap_or_else(|p| p.into_inner());
+            let epoch = core.engine.epoch();
+            let sub = Arc::new(Subscription::new(wire_query.predicate));
+            {
+                let mut subs = shared
+                    .subscriptions
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner());
+                subs.insert(session.id, Arc::clone(&sub));
+            }
+            if let Some(old) = session.subscription.replace(sub) {
+                // Re-subscribe replaces the query; the old queue's
+                // undelivered episodes go back to the pending pool
+                // rather than silently vanishing.
+                let undelivered = old.take_episodes();
+                core.engine.requeue_pending(undelivered);
+            } else {
+                shared.metrics.subscriptions_active.add(1);
+            }
+            Response::Subscribed { epoch }
+        }
+        Request::Unsubscribe => {
+            // Unregister only; the session loop flushes the (now
+            // quiescent) queue to the client before this ack goes out.
+            if session.subscription.is_some() {
+                let mut subs = shared
+                    .subscriptions
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner());
+                subs.remove(&session.id);
+            }
+            Response::Unsubscribed
+        }
     }
 }
 
 /// Plans `predicate` over live ∪ warehouse: per-source access paths
 /// (the federation's `federated_explain`) plus the warehouse's
 /// zone-map / Bloom pruning counters ([`SegmentedDb::explain`]).
-fn explain(
-    engine: &mut ParallelEngine,
-    db: &SegmentedDb,
-    predicate: &Predicate,
-    metrics: &ServeMetrics,
-) -> ExplainReport {
+/// Evaluates outside the core lock, like the query ops, and records
+/// its snapshot acquisition into `serve.explain_snapshot_ns` so plans
+/// don't pollute the query path's `serve.snapshot_build_ns`.
+fn explain(shared: &Shared, predicate: &Predicate) -> ExplainReport {
     let build = Instant::now();
-    let snapshot = engine.live_snapshot();
+    let (snapshot, snapshot_cached, warehouse) = acquire_read_set(shared);
     let snapshot_build_ns = u64::try_from(build.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    metrics.snapshot_build_ns.record(snapshot_build_ns);
+    shared.metrics.explain_snapshot_ns.record(snapshot_build_ns);
+    let db: &SegmentedDb = warehouse.db();
     let eval = Instant::now();
     let plans: Vec<WirePlan> = {
-        let sources: [&dyn TrajectorySource; 2] = [&snapshot, db];
+        let sources: [&dyn TrajectorySource; 2] = [&*snapshot, db];
         sitm_query::federated_explain(predicate, &sources)
             .into_iter()
             .map(|plan| WirePlan {
@@ -668,11 +1002,8 @@ fn explain(
             .collect()
     };
     let segmented = db.explain(predicate);
-    // Releasing the cut is attributed to evaluation (see the federated
-    // query arm).
-    drop(snapshot);
     let evaluate_ns = u64::try_from(eval.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    metrics.evaluate_ns.record(evaluate_ns);
+    shared.metrics.evaluate_ns.record(evaluate_ns);
     ExplainReport {
         plans,
         segments: segmented.segments as u64,
@@ -680,5 +1011,6 @@ fn explain(
         bloom_pruned: segmented.bloom_pruned as u64,
         snapshot_build_ns,
         evaluate_ns,
+        snapshot_cached,
     }
 }

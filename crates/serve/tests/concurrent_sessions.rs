@@ -217,7 +217,7 @@ fn concurrent_writers_and_readers_equal_single_threaded_replay() {
         let served = client.query_federated(&q).expect("federated");
         let mut local = q
             .to_query()
-            .execute_federated(&[&snapshot as &dyn TrajectorySource, local_db]);
+            .execute_federated(&[&*snapshot as &dyn TrajectorySource, local_db]);
         // MovingObject ids are unique per visit here and the sort is
         // total on them for the first two queries; the third is a
         // single-visit point query — either way the sorted sequences

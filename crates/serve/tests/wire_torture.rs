@@ -229,6 +229,116 @@ fn torn_response_at_every_offset_errors_cleanly() {
     }
 }
 
+/// The push ops under the same torture: a Subscribe request frame
+/// torn/corrupted at every offset never kills the server and never
+/// half-registers a subscription, and a Notification response frame
+/// torn/corrupted at every offset errors cleanly client-side.
+#[test]
+fn torn_subscribe_and_notification_frames_error_cleanly() {
+    use sitm_core::PresenceInterval;
+    use sitm_serve::Subscriber;
+    use sitm_stream::EmittedEpisode;
+
+    let tmp = TempDir::new("torn-subscribe");
+    let server = Server::start(ServerConfig::new(engine_config(), &tmp.0).with_sessions(2))
+        .expect("start server");
+
+    let mut payload = Vec::new();
+    encode_request(
+        &mut payload,
+        &Request::Subscribe(WireQuery::filtered(Predicate::MovingObject("mo-1".into()))),
+    );
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &payload).expect("frame");
+    for cut in 0..frame.len() {
+        let responses = send_raw(server.addr(), &frame[..cut]);
+        for response in &responses {
+            assert!(
+                matches!(response, Response::Error(_)),
+                "cut {cut}: torn subscribe must only produce an error, got {response:?}"
+            );
+        }
+    }
+    for i in 0..frame.len() {
+        let mut corrupt = frame.clone();
+        corrupt[i] ^= 0x01;
+        let responses = send_raw(server.addr(), &corrupt);
+        for response in &responses {
+            assert!(
+                matches!(response, Response::Error(_)),
+                "flip {i}: corrupt subscribe must only produce an error, got {response:?}"
+            );
+        }
+    }
+
+    // No tear half-registered anything, and the push path still works.
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let snapshot = client.metrics().expect("metrics");
+    assert_eq!(snapshot.gauge("serve.subscriptions_active").unwrap_or(0), 0);
+    let sub = Subscriber::subscribe(server.addr(), &WireQuery::filtered(Predicate::True))
+        .expect("subscribe after torture");
+    client
+        .ingest_batch(vec![
+            StreamEvent::VisitOpened {
+                visit: VisitKey(1),
+                moving_object: "mo-1".into(),
+                annotations: AnnotationSet::from_iter([Annotation::goal("visit")]),
+                at: Timestamp(0),
+            },
+            StreamEvent::Presence {
+                visit: VisitKey(1),
+                interval: PresenceInterval::new(
+                    sitm_core::TransitionTaken::Unknown,
+                    cell(1),
+                    Timestamp(0),
+                    Timestamp(4),
+                ),
+            },
+            StreamEvent::VisitClosed {
+                visit: VisitKey(1),
+                at: Timestamp(5),
+            },
+        ])
+        .expect("ingest after torture");
+    let drained: Vec<EmittedEpisode> = sub
+        .unsubscribe()
+        .expect("unsubscribe")
+        .into_iter()
+        .flat_map(|(_, eps)| eps)
+        .collect();
+    assert!(!drained.is_empty(), "the push path survived the torture");
+
+    // Client side: a Notification frame torn at every offset fails in
+    // the framing; corrupt payload bytes fail in the codec — never a
+    // panic, never a partial value.
+    let mut payload = Vec::new();
+    encode_response(
+        &mut payload,
+        &Response::Notification {
+            epoch: 3,
+            episodes: drained,
+        },
+    );
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &payload).expect("frame");
+    for cut in 0..frame.len() {
+        let mut cursor = &frame[..cut];
+        assert!(read_frame(&mut cursor).is_err(), "cut {cut}");
+    }
+    for i in 0..payload.len() {
+        let mut corrupt = payload.clone();
+        corrupt[i] ^= 0xFF;
+        let mut reframed = Vec::new();
+        write_frame(&mut reframed, &corrupt).expect("frame");
+        let mut cursor: &[u8] = &reframed;
+        let recovered = read_frame(&mut cursor).expect("framing is intact");
+        let _ = decode_response(&mut recovered.as_slice());
+    }
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("join");
+}
+
 /// End-of-exchange sanity for the full loop: a live server answers a
 /// well-formed raw frame with a well-formed response frame.
 #[test]

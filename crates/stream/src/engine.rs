@@ -312,6 +312,14 @@ pub struct ShardedEngine {
     shards: Vec<Shard>,
     sequence: u64,
     metrics: EngineMetrics,
+    /// Advances whenever the queryable live state may have changed
+    /// (see [`ShardedEngine::epoch`]).
+    epoch: u64,
+    /// Mutations since the epoch was last stamped.
+    dirty: bool,
+    /// The live snapshot memoized for `epoch` — shared, so concurrent
+    /// readers clone an `Arc` instead of re-cutting the live state.
+    snapshot_cache: Option<(u64, Arc<LiveSnapshot>)>,
 }
 
 /// Reconciles a restored snapshot with the configuration's retention
@@ -358,6 +366,9 @@ impl ShardedEngine {
             shards,
             sequence: 0,
             metrics,
+            epoch: 0,
+            dirty: false,
+            snapshot_cache: None,
         })
     }
 
@@ -378,6 +389,7 @@ impl ShardedEngine {
 
     /// Routes one event to its shard.
     pub fn ingest(&mut self, event: StreamEvent) {
+        self.dirty = true;
         let shard = shard_of(event.visit(), self.config.shards);
         self.shards[shard].enqueue(event, &self.config.ctx());
         self.metrics.events_ingested.inc();
@@ -417,12 +429,33 @@ impl ShardedEngine {
         for shard in &mut self.shards {
             out.extend(shard.take_pending());
         }
+        if !out.is_empty() {
+            // Pending episodes ride the live snapshot; removing them
+            // changes the queryable cut.
+            self.dirty = true;
+        }
         out.sort_by_key(|a| a.sort_key());
         out
     }
 
+    /// Returns drained episodes to the pending pool (the undo of
+    /// [`ShardedEngine::drain`] for deltas that could not be delivered);
+    /// the next drain re-emits them in the usual deterministic order.
+    pub fn requeue_pending(&mut self, episodes: Vec<EmittedEpisode>) {
+        if episodes.is_empty() {
+            return;
+        }
+        self.dirty = true;
+        let shards = self.config.shards;
+        for episode in episodes {
+            let shard = shard_of(episode.visit, shards);
+            self.shards[shard].requeue_pending(episode);
+        }
+    }
+
     /// End-of-stream: closes every open visit, then drains.
     pub fn finish(&mut self) -> Vec<EmittedEpisode> {
+        self.dirty = true;
         self.flush();
         let ctx = self.config.ctx();
         for shard in &mut self.shards {
@@ -450,14 +483,49 @@ impl ShardedEngine {
         out
     }
 
+    /// The engine's state epoch: advances whenever the queryable live
+    /// state may have changed since the last stamp (an ingest, a drain,
+    /// a finish, a restore, a requeue). Stamping is a barrier-free
+    /// bookkeeping step — the counter is what keys the snapshot cache
+    /// and what push subscribers see on notifications.
+    pub fn epoch(&mut self) -> u64 {
+        if self.dirty {
+            self.epoch += 1;
+            self.dirty = false;
+            self.snapshot_cache = None;
+        }
+        self.epoch
+    }
+
     /// A snapshot-consistent cut of the live state: every open visit's
     /// trajectory prefix (requires
     /// [`EngineConfig::with_live_queries`]) plus the episodes finalized
     /// but not yet drained. See [`crate::live_query`] for the
     /// consistency model and the query surface.
-    pub fn live_snapshot(&mut self) -> LiveSnapshot {
+    ///
+    /// The cut is **epoch-cached**: while nothing mutates the engine,
+    /// repeated calls share one [`Arc`]'d snapshot instead of re-cutting
+    /// (and re-cloning) the live state per call. Any ingest invalidates
+    /// the cache.
+    pub fn live_snapshot(&mut self) -> Arc<LiveSnapshot> {
+        self.live_snapshot_cached().0
+    }
+
+    /// [`ShardedEngine::live_snapshot`], also reporting whether the cut
+    /// was served from the epoch cache (`true` = cache hit).
+    pub fn live_snapshot_cached(&mut self) -> (Arc<LiveSnapshot>, bool) {
+        let epoch = self.epoch();
+        if let Some((cached_epoch, snapshot)) = &self.snapshot_cache {
+            if *cached_epoch == epoch {
+                return (Arc::clone(snapshot), true);
+            }
+        }
         self.flush();
-        LiveSnapshot::from_shards(self.shards.iter().map(Shard::live_state).collect())
+        let snapshot = Arc::new(LiveSnapshot::from_shards(
+            self.shards.iter().map(Shard::live_state).collect(),
+        ));
+        self.snapshot_cache = Some((epoch, Arc::clone(&snapshot)));
+        (snapshot, false)
     }
 
     /// The engine watermark: the *minimum* of the per-shard high-water
@@ -550,6 +618,9 @@ impl ShardedEngine {
             shards,
             sequence,
             metrics,
+            epoch: 0,
+            dirty: false,
+            snapshot_cache: None,
         })
     }
 }

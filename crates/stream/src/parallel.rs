@@ -610,6 +610,14 @@ pub struct ParallelEngine {
     buffer: Vec<StreamEvent>,
     handles: Vec<JoinHandle<()>>,
     sequence: u64,
+    /// Advances whenever the queryable live state may have changed
+    /// (see [`ParallelEngine::epoch`]).
+    epoch: u64,
+    /// Mutations since the epoch was last stamped.
+    dirty: bool,
+    /// The live snapshot memoized for `epoch` — a cache hit skips the
+    /// dispatch + quiesce barrier *and* the open-visit clone entirely.
+    snapshot_cache: Option<(u64, Arc<LiveSnapshot>)>,
 }
 
 impl ParallelEngine {
@@ -707,6 +715,9 @@ impl ParallelEngine {
             buffer: Vec::new(),
             handles,
             sequence: 0,
+            epoch: 0,
+            dirty: false,
+            snapshot_cache: None,
         }
     }
 
@@ -736,6 +747,7 @@ impl ParallelEngine {
     /// the caller's thread and handed over one batch per lock
     /// acquisition, so per-event cost here is one push.
     pub fn ingest(&mut self, event: StreamEvent) {
+        self.dirty = true;
         self.buffer.push(event);
         if self.buffer.len() >= self.config.batch_capacity.max(1) {
             self.dispatch();
@@ -836,8 +848,25 @@ impl ParallelEngine {
             out.append(&mut lock(deposit).pending);
         }
         drop(guard);
+        if !out.is_empty() {
+            // Pending episodes ride the live snapshot; removing them
+            // changes the queryable cut.
+            self.dirty = true;
+        }
         out.sort_by_key(|a| a.sort_key());
         out
+    }
+
+    /// Returns drained episodes to the pending pool (the undo of
+    /// [`ParallelEngine::drain`] for deltas that could not be
+    /// delivered); the next drain re-emits them in the usual
+    /// deterministic order.
+    pub fn requeue_pending(&mut self, episodes: Vec<EmittedEpisode>) {
+        if episodes.is_empty() {
+            return;
+        }
+        self.dirty = true;
+        lock(&self.shared.deposits[0]).pending.extend(episodes);
     }
 
     /// Flushes, then takes every visit trajectory completed since the
@@ -864,6 +893,7 @@ impl ParallelEngine {
     /// watermark, exactly like the sequential `close_all`), then
     /// drains.
     pub fn finish(&mut self) -> Vec<EmittedEpisode> {
+        self.dirty = true;
         self.dispatch();
         let mut guard = self.quiesce();
         let ctx = self.config.ctx();
@@ -947,10 +977,49 @@ impl ParallelEngine {
         merged
     }
 
+    /// The engine's state epoch: advances whenever the queryable live
+    /// state may have changed since the last stamp (an ingest, a drain,
+    /// a finish, a restore, a requeue). Stamping is barrier-free — the
+    /// counter is what keys the snapshot cache and what push
+    /// subscribers see on notifications.
+    pub fn epoch(&mut self) -> u64 {
+        if self.dirty {
+            self.epoch += 1;
+            self.dirty = false;
+            self.snapshot_cache = None;
+        }
+        self.epoch
+    }
+
     /// A snapshot-consistent cut of the live state across every worker
     /// (see [`crate::live_query`] for the consistency model). The
     /// snapshot carries the scheduler's live index from the same cut.
-    pub fn live_snapshot(&mut self) -> LiveSnapshot {
+    ///
+    /// The cut is **epoch-cached**: while nothing mutates the engine,
+    /// repeated calls share one [`Arc`]'d snapshot — no dispatch, no
+    /// quiesce barrier, no open-visit clone. Any ingest invalidates the
+    /// cache, so the first call after a mutation pays the full cut.
+    pub fn live_snapshot(&mut self) -> Arc<LiveSnapshot> {
+        self.live_snapshot_cached().0
+    }
+
+    /// [`ParallelEngine::live_snapshot`], also reporting whether the
+    /// cut was served from the epoch cache (`true` = cache hit).
+    pub fn live_snapshot_cached(&mut self) -> (Arc<LiveSnapshot>, bool) {
+        let epoch = self.epoch();
+        if let Some((cached_epoch, snapshot)) = &self.snapshot_cache {
+            if *cached_epoch == epoch {
+                return (Arc::clone(snapshot), true);
+            }
+        }
+        let snapshot = Arc::new(self.cut_live_snapshot());
+        self.snapshot_cache = Some((epoch, Arc::clone(&snapshot)));
+        (snapshot, false)
+    }
+
+    /// Cuts a fresh snapshot (the cache-miss path): dispatch, quiesce,
+    /// clone every open visit's retained prefix plus the live index.
+    fn cut_live_snapshot(&mut self) -> LiveSnapshot {
         self.dispatch();
         let guard = self.quiesce();
         let shards = self.config.shards;

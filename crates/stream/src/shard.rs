@@ -363,6 +363,15 @@ impl Shard {
         std::mem::take(&mut self.pending)
     }
 
+    /// Returns a drained episode to the pending pool — the undo of
+    /// [`Shard::take_pending`] for consumers that took a delta but could
+    /// not deliver it (a push subscriber disconnecting mid-hand-off).
+    /// The next drain re-emits it; global ordering is restored by the
+    /// drain's deterministic sort.
+    pub fn requeue_pending(&mut self, episode: EmittedEpisode) {
+        self.pending.push(episode);
+    }
+
     /// Takes every completed-but-unflushed trajectory (the warehouse
     /// drain; empty unless [`ShardCtx::retain_finished`]).
     pub fn take_finished(&mut self) -> Vec<(u64, sitm_core::SemanticTrajectory)> {

@@ -364,7 +364,7 @@ fn explain_reports_the_live_index_path_and_federated_queries_page_the_union() {
     // side — and the candidate count bounds the population.
     let hall = zone_cell(&model, 60886);
     let query = Query::new().visited(hall);
-    let plan = query.explain_source(&snapshot as &dyn TrajectorySource);
+    let plan = query.explain_source(&*snapshot as &dyn TrajectorySource);
     match plan.access {
         AccessPath::IndexCandidates { candidates } => {
             assert!(candidates <= snapshot.visits.len());
@@ -383,7 +383,7 @@ fn explain_reports_the_live_index_path_and_federated_queries_page_the_union() {
         .filter(sitm_query::Predicate::MinTotalDwell(
             sitm_core::Duration::minutes(1),
         ))
-        .explain_source(&snapshot as &dyn TrajectorySource);
+        .explain_source(&*snapshot as &dyn TrajectorySource);
     assert_eq!(scan_plan.access, AccessPath::FullScan);
 
     // Sorted + limited federated execution over live state ∪ warehouse:
@@ -394,7 +394,7 @@ fn explain_reports_the_live_index_path_and_federated_queries_page_the_union() {
         .map(|v| v.trajectory.clone())
         .collect();
     let db = TrajectoryDb::build(warehouse);
-    let sources: Vec<&dyn TrajectorySource> = vec![&snapshot, &db];
+    let sources: Vec<&dyn TrajectorySource> = vec![&*snapshot, &db];
     let q = Query::new()
         .visited(hall)
         .order_by(SortKey::Start, true)

@@ -87,7 +87,7 @@ fn main() {
             (q + 1) * quarter,
             snapshot.visits.len(),
             snapshot.count_matching(&in_hall),
-            federated_count(&long_dwell, &[&snapshot as &dyn TrajectorySource]),
+            federated_count(&long_dwell, &[&*snapshot as &dyn TrajectorySource]),
             checkpointer.log().size_bytes(),
         );
         delivered.extend(engine.drain());

@@ -1,7 +1,9 @@
 //! The network tier end to end: start a `sitm::serve` server, drive it
 //! with a client — batched ingest, a mid-stream checkpoint into the
-//! warehouse, federated queries over live ∪ warehouse, an EXPLAIN with
-//! zone-map/Bloom pruning counts — then shut it down gracefully.
+//! warehouse, a continuous-query subscription that gets closed-visit
+//! episodes *pushed* at the ingest barrier, federated queries over
+//! live ∪ warehouse, an EXPLAIN with zone-map/Bloom pruning counts —
+//! then shut it down gracefully.
 //!
 //! This doubles as the CI smoke test for the server (`cargo run
 //! --example query_server`): everything runs in-process on an
@@ -14,7 +16,7 @@ use sitm::core::{
 use sitm::graph::{LayerIdx, NodeId};
 use sitm::query::wire::WireQuery;
 use sitm::query::{Predicate, SortKey};
-use sitm::serve::{Client, Server, ServerConfig};
+use sitm::serve::{Client, Server, ServerConfig, Subscriber};
 use sitm::space::CellRef;
 use sitm::stream::{EngineConfig, StreamEvent, VisitKey};
 
@@ -89,8 +91,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mid = events.len() / 2;
     client.ingest_batch(events[..mid].to_vec())?;
     let (spilled_early, _, _) = client.checkpoint()?;
+
+    // A continuous query on its own connection, registered before the
+    // second half of the day: the episodes its visits close are
+    // *pushed* at the ingest barrier instead of polled for.
+    let mut sub = Subscriber::subscribe(
+        server.addr(),
+        &WireQuery {
+            predicate: Predicate::HasTrajAnnotation(Annotation::goal("gallery-1")),
+            order: None,
+            offset: 0,
+            limit: None,
+        },
+    )?;
+
     client.ingest_batch(events[mid..].to_vec())?;
     let (spilled_late, warehouse_total, manifest) = client.checkpoint()?;
+
+    let mut pushed = 0usize;
+    let mut last_epoch = sub.epoch();
+    for _ in 0..40 {
+        if let Some((epoch, episodes)) = sub.poll(std::time::Duration::from_millis(250))? {
+            assert!(epoch > last_epoch, "notification epochs strictly increase");
+            last_epoch = epoch;
+            pushed += episodes.len();
+            if pushed > 0 {
+                break;
+            }
+        }
+    }
+    println!("subscription pushed {pushed} gallery-1 episodes (epoch {last_epoch})");
+    assert!(pushed >= 1, "the barrier must push at least one match");
+    let drained = sub.unsubscribe()?;
+    println!(
+        "unsubscribed ({} notifications still queued)",
+        drained.len()
+    );
     println!(
         "checkpoints spilled {spilled_early} + {spilled_late} visits \
          → warehouse holds {warehouse_total} (manifest #{manifest})"
@@ -139,14 +175,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = client.server_stats()?;
     println!(
         "stats: {} events, {} opened / {} closed, {} open now, \
-         {} warehouse trajectories in {} segments, {} sessions served",
+         {} warehouse trajectories in {} segments, {} sessions served ({} active)",
         stats.events,
         stats.visits_opened,
         stats.visits_closed,
         stats.open_visits,
         stats.warehouse_trajectories,
         stats.warehouse_segments,
-        stats.sessions
+        stats.sessions_accepted,
+        stats.sessions_active
     );
     assert_eq!(stats.open_visits, 3);
     assert_eq!(stats.warehouse_trajectories, 12);
@@ -192,6 +229,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(
         !metrics.slow_queries.is_empty(),
         "a zero threshold must populate the slow-query log"
+    );
+    assert!(
+        metrics.counter("serve.notifications_pushed").unwrap_or(0) >= 1,
+        "the subscription must have been pushed to"
+    );
+    assert!(
+        metrics.counter("serve.snapshot_cache_hits").unwrap_or(0) > 0,
+        "read-only requests between barriers must reuse the cached snapshot"
     );
 
     // Graceful shutdown: flushes the warehouse, drains sessions.

@@ -96,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .order_by(SortKey::TotalDwell, false)
         .limit(3);
     let snapshot = engine.live_snapshot(); // empty now — everything closed
-    let hits: Vec<SemanticTrajectory> = q.execute_federated(&[&snapshot, &db]);
+    let hits: Vec<SemanticTrajectory> = q.execute_federated(&[&*snapshot, &db]);
     println!("\ntop-3 dwellers through zone E (live ∪ warehouse):");
     for t in &hits {
         println!("  {}  dwell {}", t.moving_object, t.trace().dwell_total());

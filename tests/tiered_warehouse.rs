@@ -185,14 +185,14 @@ fn warehouse_is_differentially_invisible_at_every_flush_point() {
         engine.ingest_all(chunk.to_vec());
         flusher.poll(&mut engine).unwrap();
         let snapshot = engine.live_snapshot();
-        assert_differential(flusher.db(), &snapshot, &format!("chunk {i}"));
+        assert_differential(flusher.db(), &*snapshot, &format!("chunk {i}"));
     }
     // End of stream: close everything, spill the rest, check again.
     engine.finish();
     flusher.force(&mut engine).unwrap();
     let snapshot = engine.live_snapshot();
     assert!(snapshot.visits.is_empty(), "finish closed every open visit");
-    assert_differential(flusher.db(), &snapshot, "after finish");
+    assert_differential(flusher.db(), &*snapshot, "after finish");
     // The stream really exercised the tiers.
     let db = flusher.into_db().unwrap();
     assert_eq!(db.len(), 30, "every visit reached the warehouse");
@@ -255,8 +255,8 @@ fn both_runtimes_build_identical_warehouses_live_included() {
             .filter(p.clone())
             .order_by(SortKey::Start, true);
         assert_eq!(
-            q.execute_federated(&[&seq_snapshot, &seq_db]),
-            q.execute_federated(&[&par_snapshot, &par_db]),
+            q.execute_federated(&[&*seq_snapshot, &seq_db]),
+            q.execute_federated(&[&*par_snapshot, &par_db]),
             "runtimes diverged under federation for {p}"
         );
     }
