@@ -1,12 +1,24 @@
 //! Machine-readable performance snapshot: times the hot paths this
-//! repo's perf work targets and writes `BENCH_7.json` (group → ns/op)
+//! repo's perf work targets and writes `BENCH_8.json` (group → ns/op)
 //! — the cross-PR perf trajectory, uploaded as a CI artifact so
 //! regressions are diffable without parsing criterion output.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin bench_json [path]`
-//! (default output path: `BENCH_7.json` in the working directory).
+//! (default output path: `BENCH_8.json` in the working directory).
 //!
-//! New in BENCH_7: the served warehouse is loaded through chunked
+//! New in BENCH_8: the cold-scale warehouse groups. A 12-segment
+//! warehouse is reopened cold for every measurement so the format-v2
+//! offset directories — not decoded trajectories — answer the work:
+//! `warehouse/cold_open` (header-only open; asserted ≥ 5× faster than
+//! `warehouse/eager_open_baseline`, which opens *and* decodes every
+//! segment), `warehouse/cold_point_query` (an absent-object point query
+//! the global object index rejects outright; the run aborts unless the
+//! `query.segment_bytes_read` / `query.trajectories_decoded` deltas are
+//! exactly zero), and `warehouse/paged_pushdown` (a sorted+limited
+//! `Query::execute_segmented` page served through the directories; the
+//! run aborts if more trajectories decode than the page returns).
+//!
+//! From BENCH_7: the served warehouse is loaded through chunked
 //! checkpoints (time-partitioned segments, like the in-process
 //! `warehouse/pruned_count` group), so the wire-side query groups
 //! exercise real zone-map + Bloom pruning — the run aborts if either
@@ -42,7 +54,7 @@ use std::time::Instant;
 use sitm_bench::stream_feeds::{louvre_feed, skewed_feed, stream_config as config};
 use sitm_core::SemanticTrajectory;
 use sitm_louvre::build_louvre;
-use sitm_query::{Predicate, SegmentedDb};
+use sitm_query::{Predicate, Query, SegmentedDb, SortKey};
 use sitm_store::warehouse::WarehouseConfig;
 use sitm_stream::{Flusher, ParallelEngine, ShardedEngine, StreamEvent};
 
@@ -96,7 +108,7 @@ impl Drop for TempWarehouse {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_7.json".to_string());
+        .unwrap_or_else(|| "BENCH_8.json".to_string());
     let model = build_louvre();
     let louvre = louvre_feed(&model);
     let skewed = skewed_feed(400, 20_000, 1.2);
@@ -240,12 +252,116 @@ fn main() {
     ));
     drop(pruned_db);
 
+    // ---- Cold-scale warehouse (segment format v2) -----------------------
+    // A 12-segment warehouse built once on disk, then reopened *cold*
+    // for every group below: the offset directories, rollups, and the
+    // global object index are all that `open` reads, so the groups
+    // measure what a pruned or paged query costs when nothing is
+    // resident yet. `fanout: 64` disables size-tiered compaction so the
+    // twelve time-sliced flushes stay twelve distinct segments.
+    let cold_config = WarehouseConfig {
+        fanout: 64,
+        ..WarehouseConfig::default()
+    };
+    let cold_dir = std::env::temp_dir().join(format!("sitm-bench-cold-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cold_dir);
+    // Four museum days of history (day-suffixed visitor ids), so the
+    // eager baseline pays a realistic decode bill: at one day the
+    // per-segment fixed open cost (syscalls, zone-map decode) drowns
+    // out the decode saving the lazy open exists to measure.
+    let cold_history: Vec<SemanticTrajectory> = (0..4)
+        .flat_map(|day| {
+            history.iter().map(move |t| {
+                let mut t = t.clone();
+                t.moving_object = format!("{}-day{day}", t.moving_object);
+                t
+            })
+        })
+        .collect();
+    {
+        let (mut db, _) = SegmentedDb::open(&cold_dir, cold_config).expect("open cold warehouse");
+        for chunk in cold_history.chunks(cold_history.len() / 12) {
+            db.flush(chunk.to_vec()).expect("flush cold chunk");
+        }
+        let segments = db.explain(&Predicate::True).segments;
+        assert!(
+            segments >= 10,
+            "cold-scale bench needs >= 10 segments, got {segments}"
+        );
+    }
+    let cold_open = || {
+        SegmentedDb::open(&cold_dir, cold_config)
+            .expect("cold open")
+            .0
+    };
+
+    // Lazy open (headers only: zone map + directory + rollup frames)
+    // vs the eager baseline that also decodes every trajectory — the
+    // pre-v2 open cost. The ≥ 5× acceptance gate is asserted after the
+    // JSON is written.
+    results.push((
+        "warehouse/cold_open".into(),
+        time_ns(19, || cold_open().len()),
+    ));
+    results.push((
+        "warehouse/eager_open_baseline".into(),
+        time_ns(19, || cold_open().iter().count()),
+    ));
+
+    // Fully-pruned cold point query: the global object index rejects
+    // the absent visitor before zone maps or segment bytes are touched.
+    // The I/O counters are bound to a fresh registry so their *totals*
+    // are this group's deltas — both must be exactly zero.
+    let registry = sitm_obs::MetricsRegistry::new();
+    let cold_db = cold_open().with_metrics(&registry);
+    let absent = Predicate::MovingObject("bench-no-such-visitor".into());
+    results.push((
+        "warehouse/cold_point_query".into(),
+        time_ns(199, || cold_db.count_matching(&absent)),
+    ));
+    let bytes_read = registry.counter("query.segment_bytes_read").get();
+    let decoded = registry.counter("query.trajectories_decoded").get();
+    assert_eq!(
+        (bytes_read, decoded),
+        (0, 0),
+        "a fully-pruned cold point query must read zero segment bytes"
+    );
+    results.push(("metrics/query/cold_segment_bytes_read".into(), bytes_read));
+    results.push(("metrics/query/cold_trajectories_decoded".into(), decoded));
+    drop(cold_db);
+
+    // Sorted+limited pushdown on a cold warehouse: the directories
+    // order every candidate by start time and only the returned page is
+    // ever decoded. Single-frame fetches are deliberately uncached
+    // (only full decodes populate the segment cache), so each timed run
+    // re-reads its ten frames; the decode-count assertion is taken on
+    // one isolated cold run before the timing loop.
+    let page_registry = sitm_obs::MetricsRegistry::new();
+    let paged_db = cold_open().with_metrics(&page_registry);
+    let first_page = Query::new().order_by(SortKey::Start, true).limit(10);
+    let page = first_page.execute_segmented(&paged_db);
+    let page_decoded = page_registry.counter("query.trajectories_decoded").get();
+    assert!(
+        page_decoded as usize <= page.len(),
+        "paged pushdown must decode at most the returned page ({} rows), decoded {page_decoded}",
+        page.len()
+    );
+    results.push((
+        "warehouse/paged_pushdown".into(),
+        time_ns(199, || first_page.execute_segmented(&paged_db).len()),
+    ));
+    results.push((
+        "metrics/query/paged_trajectories_decoded".into(),
+        page_decoded,
+    ));
+    drop(paged_db);
+    let _ = std::fs::remove_dir_all(&cold_dir);
+
     // ---- Network tier ---------------------------------------------------
     // One server over loopback TCP; each group is a full client round
     // trip (encode → frame → TCP → decode → engine/warehouse → back).
     {
         use sitm_query::wire::WireQuery;
-        use sitm_query::SortKey;
         use sitm_serve::{Client, Server, ServerConfig};
 
         let serve_dir =
@@ -396,6 +512,42 @@ fn main() {
             }),
         ));
 
+        // The global object index answers served *object* point queries
+        // at stage 0 now (they bump `query.object_pruned`; the zone maps
+        // of object-rejected segments are never consulted), so two extra
+        // probes keep the later pruning tiers exercised over the wire: a
+        // span window covering only the day's first half hour zone-prunes
+        // the later time-slices, and a cell no layer defines is a
+        // Bloom-tier fast no in every segment.
+        {
+            use sitm_core::{TimeInterval, Timestamp};
+            use sitm_graph::{LayerIdx, NodeId};
+            use sitm_space::CellRef;
+            let t0 = history
+                .iter()
+                .map(|t| t.span().start)
+                .min()
+                .expect("corpus spans the day");
+            let probe = |predicate: Predicate| WireQuery {
+                predicate,
+                order: None,
+                offset: 0,
+                limit: Some(1),
+            };
+            client
+                .query(&probe(Predicate::SpanOverlaps(TimeInterval::new(
+                    t0,
+                    Timestamp(t0.0 + 1800),
+                ))))
+                .expect("zone-map probe");
+            client
+                .query(&probe(Predicate::VisitedCell(CellRef::new(
+                    LayerIdx::from_index(0),
+                    NodeId::from_index(1_000_000),
+                ))))
+                .expect("bloom probe");
+        }
+
         // The run's accumulated pipeline counters, embedded so pruning
         // effectiveness rides the same artifact as the timings.
         let final_metrics = client.metrics().expect("final metrics");
@@ -406,9 +558,13 @@ fn main() {
             "flush.spills",
             "store.segments_built",
             "store.segments_compacted",
+            "store.lazy_opens",
             "query.segments_scanned",
+            "query.object_pruned",
             "query.zone_pruned",
             "query.bloom_pruned",
+            "query.segment_bytes_read",
+            "query.trajectories_decoded",
             "serve.snapshot_cache_hits",
             "serve.snapshot_cache_misses",
         ] {
@@ -419,11 +575,16 @@ fn main() {
         }
         // The chunked-checkpoint load exists to make pruning real over
         // the wire; a zero here means the serve workload regressed to
-        // a shape the zone maps / Bloom filters cannot prune.
-        for name in ["query.zone_pruned", "query.bloom_pruned"] {
+        // a shape none of the three pruning tiers (object index, zone
+        // map, Bloom) can reject.
+        for name in [
+            "query.object_pruned",
+            "query.zone_pruned",
+            "query.bloom_pruned",
+        ] {
             assert!(
                 final_metrics.counter(name).unwrap_or(0) > 0,
-                "served point queries must prune segments ({name} is zero)"
+                "served queries must prune segments ({name} is zero)"
             );
         }
         assert!(
@@ -470,6 +631,13 @@ fn main() {
     eprintln!(
         "warehouse pruning speedup (scan/pruned): {:.1}x",
         ratio("warehouse/pruned_count", "warehouse/scan_count")
+    );
+    let cold_speedup = ratio("warehouse/cold_open", "warehouse/eager_open_baseline");
+    eprintln!("cold-open speedup (eager/lazy): {cold_speedup:.1}x");
+    assert!(
+        cold_speedup >= 5.0,
+        "warehouse/cold_open must be >= 5x faster than the eager-decode baseline, \
+         got {cold_speedup:.1}x"
     );
     let find = |key: &str| {
         results

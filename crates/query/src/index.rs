@@ -17,6 +17,7 @@
 //! sound, never complete-in-itself.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use sitm_core::{Annotation, SemanticTrajectory, TimeInterval};
 use sitm_space::CellRef;
@@ -110,9 +111,14 @@ impl CandidateSet {
 }
 
 /// An indexed, immutable collection of semantic trajectories.
+///
+/// Storage is `Arc`-shared: [`TrajectoryDb::build_shared`] indexes a
+/// collection *without copying it*, so a warehouse segment's single
+/// decoded run can back both the segment cache and its postings (the
+/// pre-v2 design cloned the vector per consumer).
 #[derive(Debug, Clone, Default)]
 pub struct TrajectoryDb {
-    items: Vec<SemanticTrajectory>,
+    items: Arc<Vec<SemanticTrajectory>>,
     cell_postings: BTreeMap<CellRef, Vec<TrajId>>,
     traj_ann_postings: BTreeMap<Annotation, Vec<TrajId>>,
     stay_ann_postings: BTreeMap<Annotation, Vec<TrajId>>,
@@ -132,6 +138,13 @@ impl TrajectoryDb {
     /// Builds the database, consuming the trajectories and constructing
     /// every secondary index in one pass (O(total stays · log)).
     pub fn build(items: Vec<SemanticTrajectory>) -> TrajectoryDb {
+        TrajectoryDb::build_shared(Arc::new(items))
+    }
+
+    /// Builds the database over an already-shared collection: only the
+    /// secondary indexes are constructed, the storage itself is the
+    /// caller's `Arc` (zero trajectory copies).
+    pub fn build_shared(items: Arc<Vec<SemanticTrajectory>>) -> TrajectoryDb {
         let mut cell_postings: BTreeMap<CellRef, Vec<TrajId>> = BTreeMap::new();
         let mut traj_ann_postings: BTreeMap<Annotation, Vec<TrajId>> = BTreeMap::new();
         let mut stay_ann_postings: BTreeMap<Annotation, Vec<TrajId>> = BTreeMap::new();

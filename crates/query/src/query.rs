@@ -36,6 +36,7 @@ use sitm_space::CellRef;
 use crate::federation::{federated_for_each, TrajectorySource};
 use crate::index::{CandidateSet, TrajId, TrajectoryDb};
 use crate::predicate::Predicate;
+use crate::segmented::SegmentedDb;
 
 /// Sort dimension for query results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -325,6 +326,141 @@ impl Query {
             Some(n) => hits.into_iter().take(n).collect(),
             None => hits,
         }
+    }
+
+    /// Runs the full query — predicate, ordering, paging — directly
+    /// against a [`SegmentedDb`] warehouse, pushing the sort and the
+    /// page down onto the segments' **offset directories**.
+    ///
+    /// Result-identical (same trajectories, same order) to
+    /// [`Query::execute`] over an eager [`TrajectoryDb`] built from the
+    /// warehouse's iteration order — global positions are the id
+    /// tiebreak — but cold segments are touched per *frame*, not per
+    /// segment:
+    ///
+    /// * no `order_by`: candidates stream in warehouse order and the
+    ///   scan stops as soon as the page is full;
+    /// * `order_by` [`SortKey::Start`] / [`SortKey::End`] /
+    ///   [`SortKey::SpanDuration`]: the sort key is read from the
+    ///   directory entries (span start/end are recorded per frame), so
+    ///   ordering + paging decide *which* frames to decode before any
+    ///   trajectory is materialized;
+    /// * content-derived keys ([`SortKey::TotalDwell`],
+    ///   [`SortKey::MovingObject`], [`SortKey::TraceLength`]): every
+    ///   candidate is decoded (the key needs the row), then sorted and
+    ///   paged as usual.
+    ///
+    /// Rows past the page are never materialized on the first two
+    /// paths. Results are cloned out (cold frames decode to owned
+    /// values anyway).
+    ///
+    /// # Panics
+    ///
+    /// If a segment body turns out corrupt mid-query (same fail-stop
+    /// policy as [`SegmentedDb`] hydration; headers were validated at
+    /// open).
+    pub fn execute_segmented(&self, db: &SegmentedDb) -> Vec<SemanticTrajectory> {
+        let segments = db.store().segments();
+        if segments.is_empty() {
+            return Vec::new();
+        }
+        // Global position → (segment, local index) via cumulative bases.
+        let mut bases: Vec<TrajId> = Vec::with_capacity(segments.len());
+        let mut acc: TrajId = 0;
+        for s in segments {
+            bases.push(acc);
+            acc += s.len() as TrajId;
+        }
+        let locate = |gid: TrajId| -> (usize, usize) {
+            let si = match bases.binary_search(&gid) {
+                Ok(i) => i,
+                Err(i) => i - 1,
+            };
+            (si, (gid - bases[si]) as usize)
+        };
+        let fetch = |gid: TrajId| -> SemanticTrajectory {
+            let (si, local) = locate(gid);
+            segments[si]
+                .read_trajectory(local)
+                .unwrap_or_else(|e| panic!("segment {} corrupt mid-query: {e}", segments[si].id))
+        };
+        // Candidate positions, ascending == warehouse order (object
+        // index + zone maps + per-segment postings already applied).
+        let ids: Vec<TrajId> = match db.candidates(&self.predicate) {
+            CandidateSet::All => (0..db.len() as TrajId).collect(),
+            CandidateSet::Ids(ids) => ids,
+        };
+        let directory_key = |key: SortKey, gid: TrajId| -> i64 {
+            let (si, local) = locate(gid);
+            let e = segments[si].directory().entries[local];
+            match key {
+                SortKey::Start => e.start,
+                SortKey::End => e.end,
+                SortKey::SpanDuration => e.end - e.start,
+                _ => unreachable!("content-derived key has no directory column"),
+            }
+        };
+        // The frame-visit order: warehouse order when unsorted, or
+        // (directory key, global position) — `execute`'s exact ordering
+        // contract (ties keep id order; descending reverses wholesale).
+        let ordered: Vec<TrajId> = match self.order {
+            None => ids,
+            Some((key, ascending)) => match key {
+                SortKey::Start | SortKey::End | SortKey::SpanDuration => {
+                    let mut entries: Vec<(i64, TrajId)> = ids
+                        .iter()
+                        .map(|&gid| (directory_key(key, gid), gid))
+                        .collect();
+                    entries.sort_unstable();
+                    if !ascending {
+                        entries.reverse();
+                    }
+                    entries.into_iter().map(|(_, gid)| gid).collect()
+                }
+                SortKey::TotalDwell | SortKey::MovingObject | SortKey::TraceLength => {
+                    // Content-derived key: materialize the candidates.
+                    let mut hits: Vec<(TrajId, SemanticTrajectory)> = ids
+                        .into_iter()
+                        .map(|gid| (gid, fetch(gid)))
+                        .filter(|(_, t)| self.predicate.matches(t))
+                        .collect();
+                    hits.sort_by(|a, b| {
+                        let ord = key.compare(&a.1, &b.1).then(a.0.cmp(&b.0));
+                        if ascending {
+                            ord
+                        } else {
+                            ord.reverse()
+                        }
+                    });
+                    let page = hits.into_iter().skip(self.offset).map(|(_, t)| t);
+                    return match self.limit {
+                        Some(n) => page.take(n).collect(),
+                        None => page.collect(),
+                    };
+                }
+            },
+        };
+        // Lazily decode in visit order until the page is full.
+        let mut out = Vec::new();
+        let mut skipped = 0;
+        for gid in ordered {
+            if self.limit == Some(0) {
+                break;
+            }
+            let t = fetch(gid);
+            if !self.predicate.matches(&t) {
+                continue;
+            }
+            if skipped < self.offset {
+                skipped += 1;
+                continue;
+            }
+            out.push(t);
+            if Some(out.len()) == self.limit {
+                break;
+            }
+        }
+        out
     }
 
     /// Number of matches, skipping sort/paging work.

@@ -42,13 +42,48 @@
 //! sequence of flushes and compactions, which is what lets the
 //! differential tests demand *exact* equality (ids included) against a
 //! [`TrajectoryDb`] built from the same iteration.
+//!
+//! ## Lazy residency (segment format v2)
+//!
+//! Segments open **cold**: `SegmentStore::open` reads only header
+//! frames (zone map, offset directory, rollup), so everything above is
+//! available without decoding a single trajectory. A segment's postings
+//! ([`TrajectoryDb`]) hydrate on first contact — when pruning leaves
+//! the segment in a query's surviving set — from one decode pass whose
+//! storage is `Arc`-shared between the store's segment cache and the
+//! postings ([`TrajectoryDb::build_shared`]); there is exactly one
+//! resident copy of a segment's run, ever. A fully-pruned query
+//! therefore reads ~zero segment bytes (`query.segment_bytes_read`).
+//! Hydration **panics** if the segment body turns out corrupt
+//! (`Segment::trajectories` errors): header corruption is refused at
+//! open, and the query surface is infallible by signature, so body
+//! corruption discovered mid-query is deliberately fail-stop.
+//!
+//! ## Global object index
+//!
+//! Before any per-segment probe, point lookups (`MovingObject` leaves,
+//! and `And`/`Or` combinations over them) consult the store's
+//! cross-segment **object index** — object → segment-id postings
+//! maintained incrementally on flush and compaction. Segments outside
+//! the posting set are skipped without even touching their zone map
+//! ([`SegmentedPlan::object_pruned`]).
+//!
+//! ## Rollups
+//!
+//! Per-cell and per-period aggregates ([`SegmentedDb::rollup_cells`],
+//! [`SegmentedDb::rollup_occupancy`]) merge the segments' header-frame
+//! rollups — Stats-style dashboards answer without hydrating anything.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use sitm_core::SemanticTrajectory;
 use sitm_obs::{Counter, Histogram, MetricsRegistry};
-use sitm_store::warehouse::{Segment, SegmentStore, WarehouseConfig, WarehouseError, ZoneMap};
+use sitm_space::CellRef;
+use sitm_store::warehouse::{
+    CellRollup, Segment, SegmentStore, WarehouseConfig, WarehouseError, ZoneMap,
+};
 use sitm_store::RecoveryReport;
 
 use crate::federation::TrajectorySource;
@@ -119,17 +154,21 @@ pub fn zone_bloom_rejects(zone: &ZoneMap, p: &Predicate) -> bool {
     }
 }
 
-/// One live segment plus its query-side structures.
+/// One live segment's query-side structures. Parts align **by index**
+/// with [`SegmentStore::segments`] (both follow manifest order), so the
+/// pruning metadata (zone map, directory, rollup) is read straight off
+/// the store's segment — no clones.
 struct SegmentPart {
     /// The segment id (segments are immutable, so the id keys reuse
     /// across rebuilds).
     id: u64,
-    /// Pruning metadata (cloned from the store's segment).
-    zone_map: ZoneMap,
-    /// Per-segment postings over the segment's sorted run.
-    db: TrajectoryDb,
+    /// Trajectory count (from the offset directory — no decode).
+    len: usize,
     /// Global position of the segment's first trajectory.
     base: TrajId,
+    /// Per-segment postings over the segment's sorted run, hydrated on
+    /// first contact from the segment's `Arc`-shared decode.
+    db: OnceLock<TrajectoryDb>,
 }
 
 /// How a segmented query would be served (the warehouse analogue of
@@ -144,6 +183,9 @@ pub struct SegmentedPlan {
     /// rejected (point predicates answered before the exact sets were
     /// touched) — always `≤ pruned`.
     pub bloom_pruned: usize,
+    /// Segments skipped by the global object index before their zone
+    /// maps were even consulted (disjoint from `pruned`).
+    pub object_pruned: usize,
     /// Candidate positions surviving both stages (`None` when the
     /// surviving segments cannot narrow and the query degrades to a
     /// scan of the unpruned segments).
@@ -159,6 +201,7 @@ struct QueryMetrics {
     segments_scanned: Arc<Counter>,
     zone_pruned: Arc<Counter>,
     bloom_pruned: Arc<Counter>,
+    object_pruned: Arc<Counter>,
     candidates: Arc<Histogram>,
 }
 
@@ -168,8 +211,22 @@ impl QueryMetrics {
             segments_scanned: registry.counter("query.segments_scanned"),
             zone_pruned: registry.counter("query.zone_pruned"),
             bloom_pruned: registry.counter("query.bloom_pruned"),
+            object_pruned: registry.counter("query.object_pruned"),
             candidates: registry.histogram("query.candidates"),
         }
+    }
+}
+
+/// Can the per-segment postings narrow `p` at all? `false` means every
+/// segment would answer [`CandidateSet::All`], so consulting them (and
+/// hydrating cold segments to do it) is pure waste. Mirrors
+/// [`TrajectoryDb::candidates`]'s `All` cases, conservatively.
+fn index_can_narrow(p: &Predicate) -> bool {
+    match p {
+        Predicate::True | Predicate::MinTotalDwell(_) | Predicate::Not(_) => false,
+        Predicate::And(parts) => parts.iter().any(index_can_narrow),
+        Predicate::Or(parts) => parts.is_empty() || parts.iter().all(index_can_narrow),
+        _ => true,
     }
 }
 
@@ -226,7 +283,7 @@ impl SegmentedDb {
         self.total = 0;
         for segment in self.store.segments() {
             let base = self.total as TrajId;
-            self.total += segment.trajectories.len();
+            self.total += segment.len();
             let part = match reusable.remove(&segment.id) {
                 Some(mut part) => {
                     part.base = base;
@@ -234,12 +291,66 @@ impl SegmentedDb {
                 }
                 None => SegmentPart {
                     id: segment.id,
-                    zone_map: segment.zone_map.clone(),
-                    db: TrajectoryDb::build(segment.trajectories.clone()),
+                    len: segment.len(),
                     base,
+                    db: OnceLock::new(),
                 },
             };
             self.parts.push(part);
+        }
+    }
+
+    /// The postings of part `idx`, hydrating them on first contact from
+    /// the store segment's cached (`Arc`-shared) decode.
+    ///
+    /// # Panics
+    ///
+    /// If the segment body is corrupt (see the module docs: headers
+    /// were validated at open; body corruption mid-query is fail-stop).
+    fn part_db(&self, idx: usize) -> &TrajectoryDb {
+        let part = &self.parts[idx];
+        part.db.get_or_init(|| {
+            let segment = &self.store.segments()[idx];
+            let run = segment.trajectories().unwrap_or_else(|e| {
+                panic!("segment {} body corrupt at hydration: {e}", segment.id)
+            });
+            TrajectoryDb::build_shared(Arc::clone(run))
+        })
+    }
+
+    /// Consults the global object index: the segment ids that may hold
+    /// a match for `p`, or `None` when `p` has no object structure the
+    /// index can answer. Sound: a segment outside the returned set
+    /// provably contains no match (the index is exact, not
+    /// probabilistic — every flush/compaction rewrites its postings).
+    fn object_segment_filter(&self, p: &Predicate) -> Option<BTreeSet<u64>> {
+        match p {
+            Predicate::MovingObject(id) => {
+                Some(self.store.object_segments(id).cloned().unwrap_or_default())
+            }
+            Predicate::And(parts) => {
+                // Intersect whatever arms the index can answer; arms it
+                // cannot answer constrain nothing.
+                let mut acc: Option<BTreeSet<u64>> = None;
+                for q in parts {
+                    if let Some(s) = self.object_segment_filter(q) {
+                        acc = Some(match acc {
+                            None => s,
+                            Some(prev) => prev.intersection(&s).copied().collect(),
+                        });
+                    }
+                }
+                acc
+            }
+            Predicate::Or(parts) => {
+                // A union is only sound if *every* arm is answerable.
+                let mut acc = BTreeSet::new();
+                for q in parts {
+                    acc.extend(self.object_segment_filter(q)?);
+                }
+                Some(acc)
+            }
+            _ => None,
         }
     }
 
@@ -288,20 +399,48 @@ impl SegmentedDb {
     }
 
     /// Trajectory by global position (warehouse iteration order).
+    /// Hydrates the owning segment.
     pub fn get(&self, id: TrajId) -> Option<&SemanticTrajectory> {
         let part_idx = match self.parts.binary_search_by(|p| p.base.cmp(&id)) {
             Ok(i) => i,
             Err(0) => return None,
             Err(i) => i - 1,
         };
-        let part = &self.parts[part_idx];
-        part.db.get(id - part.base)
+        self.part_db(part_idx).get(id - self.parts[part_idx].base)
     }
 
     /// Every trajectory, in warehouse order (segments in manifest
-    /// order, each its sorted run).
+    /// order, each its sorted run). A full scan — hydrates everything.
     pub fn iter(&self) -> impl Iterator<Item = &SemanticTrajectory> {
-        self.parts.iter().flat_map(|p| p.db.iter())
+        (0..self.parts.len()).flat_map(|i| self.part_db(i).iter())
+    }
+
+    /// Warehouse-wide per-cell aggregates merged from the segments'
+    /// header-frame rollups: distinct-trajectory count, stay count, and
+    /// total dwell seconds per cell. **Decodes nothing** — this is the
+    /// Stats fast path.
+    pub fn rollup_cells(&self) -> BTreeMap<CellRef, CellRollup> {
+        let mut out: BTreeMap<CellRef, CellRollup> = BTreeMap::new();
+        for segment in self.store.segments() {
+            for (cell, cr) in &segment.rollup().cells {
+                out.entry(*cell).or_default().merge(cr);
+            }
+        }
+        out
+    }
+
+    /// Warehouse-wide occupancy merged from the segments' header-frame
+    /// rollups: period start (seconds, aligned to the rollup period) →
+    /// number of trajectories whose span touches the period. Decodes
+    /// nothing.
+    pub fn rollup_occupancy(&self) -> BTreeMap<i64, u64> {
+        let mut out: BTreeMap<i64, u64> = BTreeMap::new();
+        for segment in self.store.segments() {
+            for (period, n) in &segment.rollup().periods {
+                *out.entry(*period).or_default() += n;
+            }
+        }
+        out
     }
 
     /// Derives a global candidate superset for `p`: zone-map pruning
@@ -315,21 +454,41 @@ impl SegmentedDb {
         let mut scanned = 0u64;
         let mut zone_pruned = 0u64;
         let mut bloom_pruned = 0u64;
-        for part in &self.parts {
-            if !zone_may_match(&part.zone_map, p) {
+        let mut object_pruned = 0u64;
+        let object_filter = self.object_segment_filter(p);
+        let can_narrow = index_can_narrow(p);
+        let segments = self.store.segments();
+        for (idx, part) in self.parts.iter().enumerate() {
+            // Stage 0: the global object index — exact, cross-segment,
+            // cheaper than any zone probe.
+            if let Some(filter) = &object_filter {
+                if !filter.contains(&part.id) {
+                    narrowed = true;
+                    object_pruned += 1;
+                    continue;
+                }
+            }
+            let zone = &segments[idx].zone_map;
+            if !zone_may_match(zone, p) {
                 narrowed = true;
                 zone_pruned += 1;
                 // Only already-pruned segments are re-probed, so the
                 // bloom attribution costs nothing on survivors.
-                if zone_bloom_rejects(&part.zone_map, p) {
+                if zone_bloom_rejects(zone, p) {
                     bloom_pruned += 1;
                 }
                 continue;
             }
             scanned += 1;
-            match part.db.candidates(p) {
+            if !can_narrow {
+                // Every segment would answer All; say so without
+                // hydrating cold postings.
+                ids.extend(part.base..part.base + part.len as TrajId);
+                continue;
+            }
+            match self.part_db(idx).candidates(p) {
                 CandidateSet::All => {
-                    ids.extend(part.base..part.base + part.db.len() as TrajId);
+                    ids.extend(part.base..part.base + part.len as TrajId);
                 }
                 CandidateSet::Ids(local) => {
                     narrowed = true;
@@ -340,6 +499,7 @@ impl SegmentedDb {
         self.metrics.segments_scanned.add(scanned);
         self.metrics.zone_pruned.add(zone_pruned);
         self.metrics.bloom_pruned.add(bloom_pruned);
+        self.metrics.object_pruned.add(object_pruned);
         self.metrics.candidates.record(ids.len() as u64);
         if narrowed {
             CandidateSet::Ids(ids)
@@ -352,15 +512,26 @@ impl SegmentedDb {
     /// how many segments zone maps pruned and how many candidates
     /// survive.
     pub fn explain(&self, p: &Predicate) -> SegmentedPlan {
+        let object_filter = self.object_segment_filter(p);
+        let survives_object = |part: &SegmentPart| match &object_filter {
+            Some(filter) => filter.contains(&part.id),
+            None => true,
+        };
+        let object_pruned = self.parts.iter().filter(|p| !survives_object(p)).count();
+        let segments = self.store.segments();
         let pruned = self
             .parts
             .iter()
-            .filter(|part| !zone_may_match(&part.zone_map, p))
+            .enumerate()
+            .filter(|(i, part)| survives_object(part) && !zone_may_match(&segments[*i].zone_map, p))
             .count();
         let bloom_pruned = self
             .parts
             .iter()
-            .filter(|part| zone_bloom_rejects(&part.zone_map, p))
+            .enumerate()
+            .filter(|(i, part)| {
+                survives_object(part) && zone_bloom_rejects(&segments[*i].zone_map, p)
+            })
             .count();
         let candidates = match self.candidates(p) {
             CandidateSet::All => None,
@@ -370,6 +541,7 @@ impl SegmentedDb {
             segments: self.parts.len(),
             pruned,
             bloom_pruned,
+            object_pruned,
             candidates,
             total: self.total,
         }
@@ -598,17 +770,26 @@ mod tests {
             assert!(plan.bloom_pruned <= plan.pruned, "for {p}");
             assert_eq!(db.matching(&p).len(), db.matching_scan(&p).len(), "{p}");
         }
-        // Fully absent point values are bloom-rejected in every segment.
+        // A wholly absent object is pruned by the *global object index*
+        // before any zone map or bloom filter is consulted.
         let absent = Predicate::MovingObject("nobody".into());
         let plan = db.explain(&absent);
+        assert_eq!(plan.object_pruned, 2, "object index rejects both segments");
+        assert_eq!(plan.pruned, 0, "zone maps never consulted");
+        assert_eq!(plan.candidates, Some(0));
+        // An absent *cell* has no object structure: the zone/bloom tier
+        // still does that work.
+        let absent_cell = Predicate::VisitedCell(cell(9));
+        let plan = db.explain(&absent_cell);
+        assert_eq!(plan.object_pruned, 0);
         assert_eq!(plan.pruned, 2);
         assert_eq!(
             plan.bloom_pruned, 2,
-            "blooms alone reject a wholly absent object"
+            "blooms alone reject a wholly absent cell"
         );
         // A present value is never bloom-rejected in its home segment.
         for s in db.segments() {
-            for t in &s.trajectories {
+            for t in s.trajectories().unwrap().iter() {
                 assert!(!zone_bloom_rejects(
                     &s.zone_map,
                     &Predicate::MovingObject(t.moving_object.clone())
@@ -698,6 +879,42 @@ mod tests {
             assert_eq!(indexed, scanned, "diverged for {p}");
             assert_eq!(db.count_matching(&p), db.count_matching_scan(&p));
         }
+    }
+
+    #[test]
+    fn cold_queries_hydrate_only_surviving_segments() {
+        let tmp = TempDir::new("cold");
+        {
+            let mut db = open(&tmp);
+            db.flush(vec![traj("a", &[(1, 0, 100)], "visit")]).unwrap();
+            db.flush(vec![traj("b", &[(2, 1000, 1100)], "visit")])
+                .unwrap();
+            assert_eq!(db.segments().len(), 2);
+        }
+        let db = open(&tmp);
+        assert!(
+            db.segments().iter().all(|s| !s.is_loaded()),
+            "open is cold: headers only"
+        );
+        assert_eq!(db.len(), 2, "count comes from directories");
+        // Rollup aggregates answer from headers alone.
+        let cells = db.rollup_cells();
+        assert_eq!(cells[&cell(1)].dwell_seconds, 100);
+        assert_eq!(cells[&cell(2)].trajectories, 1);
+        assert_eq!(db.rollup_occupancy()[&0], 2, "both spans touch period 0");
+        // Fully-pruned queries touch nothing.
+        assert!(db
+            .matching(&Predicate::MovingObject("nobody".into()))
+            .is_empty());
+        assert!(db.matching(&Predicate::VisitedCell(cell(9))).is_empty());
+        assert!(
+            db.segments().iter().all(|s| !s.is_loaded()),
+            "pruned queries decode nothing"
+        );
+        // A one-segment point query hydrates only its segment.
+        assert_eq!(db.matching(&Predicate::MovingObject("a".into())).len(), 1);
+        let loaded: Vec<bool> = db.segments().iter().map(|s| s.is_loaded()).collect();
+        assert_eq!(loaded, vec![true, false]);
     }
 
     #[test]

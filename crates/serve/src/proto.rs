@@ -238,6 +238,18 @@ pub struct ExplainReport {
     pub zone_pruned: u64,
     /// Of those, segments the Bloom filters alone rejected.
     pub bloom_pruned: u64,
+    /// Segments the global object index skipped before their zone maps
+    /// were consulted (disjoint from `zone_pruned`).
+    pub object_pruned: u64,
+    /// Cumulative `query.segment_bytes_read` at explain time: segment
+    /// bytes lazily read off disk by cold queries since the server
+    /// started (directory-guided frame reads + hydrations).
+    pub segment_bytes_read: u64,
+    /// Cumulative `query.trajectories_decoded` at explain time.
+    pub trajectories_decoded: u64,
+    /// Cumulative `store.lazy_opens`: segments opened headers-only
+    /// (format v2) since the server started.
+    pub lazy_opens: u64,
     /// Nanoseconds the server spent cutting the live snapshot for this
     /// plan (quiesce + open-visit clone) — the per-stage timing that
     /// decomposes a federated query's latency.
@@ -416,6 +428,10 @@ pub fn encode_response(buf: &mut Vec<u8>, resp: &Response) {
             varint::encode_u64(buf, report.segments);
             varint::encode_u64(buf, report.zone_pruned);
             varint::encode_u64(buf, report.bloom_pruned);
+            varint::encode_u64(buf, report.object_pruned);
+            varint::encode_u64(buf, report.segment_bytes_read);
+            varint::encode_u64(buf, report.trajectories_decoded);
+            varint::encode_u64(buf, report.lazy_opens);
             varint::encode_u64(buf, report.snapshot_build_ns);
             varint::encode_u64(buf, report.evaluate_ns);
             buf.push(report.snapshot_cached as u8);
@@ -507,6 +523,10 @@ pub fn decode_response(buf: &mut &[u8]) -> Result<Response, CodecError> {
             let segments = varint::decode_u64(buf)?;
             let zone_pruned = varint::decode_u64(buf)?;
             let bloom_pruned = varint::decode_u64(buf)?;
+            let object_pruned = varint::decode_u64(buf)?;
+            let segment_bytes_read = varint::decode_u64(buf)?;
+            let trajectories_decoded = varint::decode_u64(buf)?;
+            let lazy_opens = varint::decode_u64(buf)?;
             let snapshot_build_ns = varint::decode_u64(buf)?;
             let evaluate_ns = varint::decode_u64(buf)?;
             let snapshot_cached = match take_tag(buf)? {
@@ -519,6 +539,10 @@ pub fn decode_response(buf: &mut &[u8]) -> Result<Response, CodecError> {
                 segments,
                 zone_pruned,
                 bloom_pruned,
+                object_pruned,
+                segment_bytes_read,
+                trajectories_decoded,
+                lazy_opens,
                 snapshot_build_ns,
                 evaluate_ns,
                 snapshot_cached,
@@ -704,6 +728,10 @@ mod tests {
                 segments: 4,
                 zone_pruned: 2,
                 bloom_pruned: 1,
+                object_pruned: 1,
+                segment_bytes_read: 4_096,
+                trajectories_decoded: 7,
+                lazy_opens: 4,
                 snapshot_build_ns: 48_000,
                 evaluate_ns: 31_000,
                 snapshot_cached: true,

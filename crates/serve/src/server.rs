@@ -860,11 +860,12 @@ fn handle_request(shared: &Shared, request: Request, session: &mut SessionState)
         Request::Query(wire_query) => {
             // Warehouse-only: the immutable segment tier needs no core
             // lock at all — concurrent queries share the read side.
+            // Served by the segment pushdown (`Query::execute_segmented`):
+            // ordering/paging ride the offset directories, so cold
+            // segments are touched per returned frame, not per segment.
             let query = wire_query.to_query();
             let warehouse = shared.warehouse.read().unwrap_or_else(|p| p.into_inner());
-            Response::Trajectories(
-                query.execute_federated(&[warehouse.db() as &dyn TrajectorySource]),
-            )
+            Response::Trajectories(query.execute_segmented(warehouse.db()))
         }
         Request::QueryFederated(wire_query) => {
             let query = wire_query.to_query();
@@ -1004,11 +1005,19 @@ fn explain(shared: &Shared, predicate: &Predicate) -> ExplainReport {
     let segmented = db.explain(predicate);
     let evaluate_ns = u64::try_from(eval.elapsed().as_nanos()).unwrap_or(u64::MAX);
     shared.metrics.evaluate_ns.record(evaluate_ns);
+    // Cold-tier I/O attribution: cumulative counters at explain time
+    // (bound to the server's registry by the pipeline), so a client can
+    // difference two Explains around a query to see what it cost.
+    let registry = &shared.metrics.registry;
     ExplainReport {
         plans,
         segments: segmented.segments as u64,
         zone_pruned: segmented.pruned as u64,
         bloom_pruned: segmented.bloom_pruned as u64,
+        object_pruned: segmented.object_pruned as u64,
+        segment_bytes_read: registry.counter("query.segment_bytes_read").get(),
+        trajectories_decoded: registry.counter("query.trajectories_decoded").get(),
+        lazy_opens: registry.counter("store.lazy_opens").get(),
         snapshot_build_ns,
         evaluate_ns,
         snapshot_cached,

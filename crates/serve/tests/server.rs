@@ -177,10 +177,11 @@ fn served_results_equal_in_process_federation() {
             .execute_federated(&[&*snapshot as &dyn TrajectorySource, local_db]);
         assert_eq!(served, local, "federated diverged for {:?}", q.predicate);
 
+        // Warehouse-only queries are served by the segment pushdown,
+        // whose ordering contract is `Query::execute`'s (global
+        // position tiebreak) — pin against the same pushdown locally.
         let served_wh = client.query(&q).expect("warehouse query");
-        let local_wh = q
-            .to_query()
-            .execute_federated(&[local_db as &dyn TrajectorySource]);
+        let local_wh = q.to_query().execute_segmented(local_db);
         assert_eq!(
             served_wh, local_wh,
             "warehouse diverged for {:?}",
@@ -198,6 +199,14 @@ fn served_results_equal_in_process_federation() {
     let local_plan = local_db.explain(&Predicate::MovingObject("mo-2".into()));
     assert_eq!(report.zone_pruned as usize, local_plan.pruned);
     assert_eq!(report.bloom_pruned as usize, local_plan.bloom_pruned);
+    assert_eq!(report.object_pruned as usize, local_plan.object_pruned);
+    // Cold-tier I/O counters ride the report. This server wrote every
+    // segment itself, so the write-through cache served the whole query
+    // suite: nothing was read back or decoded from disk, and no segment
+    // was lazily (headers-only) opened.
+    assert_eq!(report.segment_bytes_read, 0);
+    assert_eq!(report.trajectories_decoded, 0);
+    assert_eq!(report.lazy_opens, 0);
 
     client.shutdown().expect("graceful shutdown");
     server.join().expect("join");

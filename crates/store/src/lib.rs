@@ -48,6 +48,7 @@ pub use log::{LogStore, Record, RecoveryReport, StoreError};
 pub use segment::{scan, write_frame, write_header, Corruption, ScanOutcome};
 pub use varint::{decode_u64, encode_u64, zigzag_decode, zigzag_encode, VarintError};
 pub use warehouse::{
-    sort_run, ManifestRecord, Segment, SegmentRef, SegmentStore, WarehouseConfig, WarehouseError,
-    ZoneMap,
+    sort_run, CellRollup, DirectoryEntry, ManifestRecord, ObjectIndexRecord, Segment,
+    SegmentDirectory, SegmentRef, SegmentRollup, SegmentStore, WarehouseConfig, WarehouseError,
+    ZoneMap, DEFAULT_ROLLUP_PERIOD_SECONDS,
 };

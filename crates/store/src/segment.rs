@@ -17,8 +17,16 @@
 
 use crate::crc::crc32;
 
-/// Segment magic, also serving as a format version.
+/// Segment magic, also serving as a format version. Version 1 carries
+/// no offset directory: frames are discovered only by scanning front to
+/// back. The log store keeps writing v1 (its records are always read
+/// sequentially anyway).
 pub const MAGIC: &[u8; 8] = b"SITMSEG1";
+
+/// Version-2 segment magic: the file carries an offset directory frame
+/// (see `warehouse`), so readers can open headers only and seek
+/// straight to individual trajectory frames.
+pub const MAGIC_V2: &[u8; 8] = b"SITMSEG2";
 
 /// Frame marker byte preceding every frame.
 pub const FRAME_MARKER: u8 = 0x5A;
@@ -91,6 +99,11 @@ pub fn write_header(buf: &mut Vec<u8>) {
     buf.extend_from_slice(MAGIC);
 }
 
+/// Appends the version-2 segment header to an empty buffer.
+pub fn write_header_v2(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(MAGIC_V2);
+}
+
 /// Appends one frame.
 pub fn write_frame(buf: &mut Vec<u8>, payload: &[u8]) {
     assert!(
@@ -104,8 +117,12 @@ pub fn write_frame(buf: &mut Vec<u8>, payload: &[u8]) {
 }
 
 /// Scans a segment buffer, validating the header and every frame.
+/// Accepts either format version — the frame layout is identical; v2
+/// differs only in which frames a writer emits.
 pub fn scan(data: &[u8]) -> ScanOutcome<'_> {
-    if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+    if data.len() < MAGIC.len()
+        || (&data[..MAGIC.len()] != MAGIC && &data[..MAGIC.len()] != MAGIC_V2)
+    {
         return ScanOutcome {
             payloads: Vec::new(),
             valid_len: 0,
@@ -212,6 +229,19 @@ mod tests {
         assert_eq!(scan(b"").corruption, Some(Corruption::BadHeader));
         assert_eq!(scan(b"SITM").corruption, Some(Corruption::BadHeader));
         assert_eq!(scan(b"WRONGMAG").corruption, Some(Corruption::BadHeader));
+        assert_eq!(scan(b"SITMSEG3").corruption, Some(Corruption::BadHeader));
+    }
+
+    #[test]
+    fn v2_header_scans_with_the_same_frame_layout() {
+        let mut buf = Vec::new();
+        write_header_v2(&mut buf);
+        write_frame(&mut buf, b"zone");
+        write_frame(&mut buf, b"dir");
+        let out = scan(&buf);
+        assert_eq!(out.payloads, vec![b"zone".as_slice(), b"dir"]);
+        assert_eq!(out.corruption, None);
+        assert_eq!(out.valid_len, buf.len());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! in the related work); `sitm_query::SegmentedDb` supplies the query
 //! half on top of it.
 //!
-//! ## Segment files
+//! ## Segment files (format v2)
 //!
 //! A segment is an **immutable sorted run** of encoded
 //! [`SemanticTrajectory`]s, framed exactly like every other durable
@@ -15,8 +15,10 @@
 //! marker/length/CRC frames):
 //!
 //! ```text
-//! seg-NNNNNNNN.seg := magic "SITMSEG1"
+//! seg-NNNNNNNN.seg := magic "SITMSEG2"
 //!                   | frame(zone map)
+//!                   | frame(offset directory)
+//!                   | frame(rollup)
 //!                   | frame(trajectory)*
 //! ```
 //!
@@ -26,6 +28,36 @@
 //! any trajectory. Trajectories are sorted by [`sort_run`]'s canonical
 //! total order (span start, span end, encoded bytes), so every segment
 //! is one sorted run and compaction is a merge of runs.
+//!
+//! Frame 1 is the [`SegmentDirectory`]: one fixed-width entry per
+//! trajectory carrying the byte offset and length of its frame plus its
+//! span start/end. With it, [`SegmentStore::open`] reads **headers
+//! only** — the three leading frames, never a trajectory byte — and a
+//! [`Segment`] decodes trajectories lazily: the whole run on first
+//! indexed access ([`Segment::trajectories`], cached), or one row at a
+//! time by a directory-guided seek ([`Segment::read_trajectory`], the
+//! path sorted/paged query pushdown uses). The span columns double as a
+//! sort/pre-filter index: start/end/duration orderings and
+//! span-overlap screens need no decode at all.
+//!
+//! Frame 2 is the [`SegmentRollup`]: per-cell trajectory/stay/dwell
+//! totals and per-period span-presence counts pre-aggregated at build,
+//! so Stats-style GROUP BY answers come from headers alone.
+//!
+//! **Version 1 files** (`SITMSEG1`, no directory or rollup frame) still
+//! open: the directory and rollup are *derived data*, rebuilt by one
+//! full decode at open — the same contract as the pre-Bloom zone maps.
+//!
+//! ## The global object index
+//!
+//! `objindex.log` persists the cross-segment **object → segment-ids**
+//! postings map as complete-snapshot [`ObjectIndexRecord`]s stamped
+//! with the manifest sequence (the manifest idiom). It is maintained
+//! incrementally on every append/compaction and lets warehouse-wide
+//! moving-object point lookups name exactly the segments holding an
+//! object instead of probing every segment's Bloom/zone-map. Also
+//! derived data: a missing, torn, or out-of-sequence record is rebuilt
+//! from the resident zone maps at open.
 //!
 //! ## The manifest log
 //!
@@ -59,9 +91,9 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fs::File;
-use std::io::Write;
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use sitm_obs::{Counter, MetricsRegistry};
 
@@ -74,6 +106,7 @@ use crate::codec::{
     decode_annotations, decode_cell, decode_trajectory, encode_annotations, encode_cell,
     encode_trajectory, CodecError,
 };
+use crate::crc::crc32;
 use crate::log::{LogStore, Record, RecoveryReport, StoreError};
 use crate::segment::{self, Corruption};
 use crate::varint;
@@ -290,10 +323,16 @@ impl ZoneMap {
                 available: buf.len(),
             });
         }
-        let mut cells = BTreeSet::new();
+        // The sets were encoded in sorted order, so collecting through a
+        // Vec lets `BTreeSet::from_iter` bulk-build the tree (one
+        // already-sorted pass) instead of rebalancing per insert — open
+        // decodes every resident zone map, so this is on the cold-open
+        // hot path.
+        let mut cell_run = Vec::with_capacity(cell_count as usize);
         for _ in 0..cell_count {
-            cells.insert(decode_cell(buf)?);
+            cell_run.push(decode_cell(buf)?);
         }
+        let cells: BTreeSet<CellRef> = cell_run.into_iter().collect();
         let object_count = varint::decode_u64(buf)?;
         if object_count > buf.len() as u64 {
             return Err(CodecError::LengthOverrun {
@@ -301,7 +340,7 @@ impl ZoneMap {
                 available: buf.len(),
             });
         }
-        let mut objects = BTreeSet::new();
+        let mut object_run = Vec::with_capacity(object_count as usize);
         for _ in 0..object_count {
             let olen = varint::decode_u64(buf)?;
             if olen > buf.len() as u64 {
@@ -311,13 +350,14 @@ impl ZoneMap {
                 });
             }
             let (head, tail) = buf.split_at(olen as usize);
-            objects.insert(
+            object_run.push(
                 std::str::from_utf8(head)
                     .map_err(|_| CodecError::BadUtf8)?
                     .to_string(),
             );
             *buf = tail;
         }
+        let objects: BTreeSet<String> = object_run.into_iter().collect();
         let traj_annotations = decode_annotations(buf)?;
         let stay_annotations = decode_annotations(buf)?;
         // The bloom frames were appended to the zone-map encoding after
@@ -359,6 +399,265 @@ pub fn sort_run(trajectories: &mut [SemanticTrajectory]) {
         encode_trajectory(&mut bytes, t);
         (t.start(), t.end(), bytes)
     });
+}
+
+// --- the offset directory --------------------------------------------------
+
+/// One trajectory's position inside its segment file, plus the span
+/// columns sorted/paged pushdown orders by without decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectoryEntry {
+    /// Byte offset of the trajectory's frame (its marker byte) from the
+    /// start of the file.
+    pub offset: u64,
+    /// Total frame length in bytes, overhead included.
+    pub len: u32,
+    /// Span start (`tstart`), seconds.
+    pub start: i64,
+    /// Span end (`tend`), seconds.
+    pub end: i64,
+}
+
+/// Bytes per encoded [`DirectoryEntry`] (fixed width: the directory's
+/// own size must be known *before* the offsets it contains are
+/// computed, so variable-width encoding would be self-referential).
+const DIRECTORY_ENTRY_BYTES: usize = 8 + 4 + 8 + 8;
+
+/// The segment's offset directory (v2 frame 1): entry `i` locates the
+/// frame of trajectory `i` of the sorted run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SegmentDirectory {
+    /// Per-trajectory entries, in run order (offsets strictly
+    /// ascending and contiguous through the end of the file).
+    pub entries: Vec<DirectoryEntry>,
+}
+
+impl SegmentDirectory {
+    /// Number of trajectories the directory covers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the segment holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Encodes the directory (fixed width: u64 count, then
+    /// offset u64 / len u32 / start i64 / end i64 per entry, all LE).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for e in &self.entries {
+            buf.extend_from_slice(&e.offset.to_le_bytes());
+            buf.extend_from_slice(&e.len.to_le_bytes());
+            buf.extend_from_slice(&e.start.to_le_bytes());
+            buf.extend_from_slice(&e.end.to_le_bytes());
+        }
+    }
+
+    /// Exact encoded size of a directory over `n` entries.
+    pub fn encoded_len(n: usize) -> usize {
+        8 + n * DIRECTORY_ENTRY_BYTES
+    }
+
+    /// Decodes a directory encoded by [`SegmentDirectory::encode`].
+    pub fn decode(buf: &mut &[u8]) -> Result<SegmentDirectory, CodecError> {
+        if buf.len() < 8 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let (head, rest) = buf.split_at(8);
+        let count = u64::from_le_bytes(head.try_into().expect("8 bytes"));
+        *buf = rest;
+        if count.saturating_mul(DIRECTORY_ENTRY_BYTES as u64) > buf.len() as u64 {
+            return Err(CodecError::LengthOverrun {
+                declared: count,
+                available: buf.len(),
+            });
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let (head, rest) = buf.split_at(DIRECTORY_ENTRY_BYTES);
+            entries.push(DirectoryEntry {
+                offset: u64::from_le_bytes(head[0..8].try_into().expect("8 bytes")),
+                len: u32::from_le_bytes(head[8..12].try_into().expect("4 bytes")),
+                start: i64::from_le_bytes(head[12..20].try_into().expect("8 bytes")),
+                end: i64::from_le_bytes(head[20..28].try_into().expect("8 bytes")),
+            });
+            *buf = rest;
+        }
+        Ok(SegmentDirectory { entries })
+    }
+
+    /// Structural validation against the file it claims to describe:
+    /// `expected` entries, frames contiguous from `headers_end` through
+    /// exactly `file_len`, every length within frame bounds. Catches a
+    /// truncated file or a tampered directory at open, before any
+    /// trajectory byte is trusted.
+    fn validate(&self, headers_end: u64, file_len: u64, expected: u64) -> Result<(), &'static str> {
+        if self.entries.len() as u64 != expected {
+            return Err("directory count disagrees with zone map");
+        }
+        let mut cursor = headers_end;
+        for e in &self.entries {
+            if e.offset != cursor {
+                return Err("directory entries not contiguous");
+            }
+            if (e.len as usize) < segment::FRAME_OVERHEAD
+                || e.len > segment::MAX_PAYLOAD + segment::FRAME_OVERHEAD as u32
+            {
+                return Err("directory entry length out of bounds");
+            }
+            cursor = match cursor.checked_add(e.len as u64) {
+                Some(c) => c,
+                None => return Err("directory entry length out of bounds"),
+            };
+            if cursor > file_len {
+                return Err("directory overruns the file (truncated segment)");
+            }
+        }
+        if cursor != file_len {
+            return Err("file longer than the directory describes");
+        }
+        Ok(())
+    }
+}
+
+// --- rollup frames ---------------------------------------------------------
+
+/// Per-cell pre-aggregates of one segment (the GROUP BY axes of
+/// `sitm_query::aggregate`): distinct trajectories touching the cell,
+/// stay (detection) count, and total dwell seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellRollup {
+    /// Distinct trajectories with at least one stay in the cell.
+    pub trajectories: u64,
+    /// Stays (detections) in the cell.
+    pub stays: u64,
+    /// Summed stay durations in the cell, seconds.
+    pub dwell_seconds: u64,
+}
+
+impl CellRollup {
+    /// Component-wise sum (merging rollups across segments).
+    pub fn merge(&mut self, other: &CellRollup) {
+        self.trajectories += other.trajectories;
+        self.stays += other.stays;
+        self.dwell_seconds += other.dwell_seconds;
+    }
+}
+
+/// Default width of a rollup period bucket (one hour).
+pub const DEFAULT_ROLLUP_PERIOD_SECONDS: u64 = 3600;
+
+/// Per-zone / per-period pre-aggregates written at segment build (v2
+/// frame 2), so Stats-style aggregates answer from headers alone —
+/// the pre-aggregated measures the trajectory-warehouse line of work
+/// keeps beside its zone metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SegmentRollup {
+    /// Width of one period bucket, seconds (0 disables the period axis).
+    pub period_seconds: u64,
+    /// Per-cell aggregates.
+    pub cells: BTreeMap<CellRef, CellRollup>,
+    /// Period bucket start (seconds, `bucket * period_seconds`) →
+    /// trajectories whose span overlaps the bucket.
+    pub periods: BTreeMap<i64, u64>,
+}
+
+impl SegmentRollup {
+    /// Builds the rollup over a run of trajectories.
+    pub fn build(trajectories: &[SemanticTrajectory], period_seconds: u64) -> SegmentRollup {
+        let mut rollup = SegmentRollup {
+            period_seconds,
+            ..SegmentRollup::default()
+        };
+        for t in trajectories {
+            let mut touched: BTreeSet<CellRef> = BTreeSet::new();
+            for stay in t.trace().intervals() {
+                let slot = rollup.cells.entry(stay.cell).or_default();
+                slot.stays += 1;
+                slot.dwell_seconds += stay.duration().as_seconds().max(0) as u64;
+                touched.insert(stay.cell);
+            }
+            for cell in touched {
+                rollup.cells.entry(cell).or_default().trajectories += 1;
+            }
+            if period_seconds > 0 {
+                let span = t.span();
+                let first = span.start.as_seconds().div_euclid(period_seconds as i64);
+                let last = span.end.as_seconds().div_euclid(period_seconds as i64);
+                for bucket in first..=last {
+                    *rollup
+                        .periods
+                        .entry(bucket * period_seconds as i64)
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        rollup
+    }
+
+    /// Encodes the rollup (segment frame 2).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        varint::encode_u64(buf, self.period_seconds);
+        varint::encode_u64(buf, self.cells.len() as u64);
+        for (cell, r) in &self.cells {
+            encode_cell(buf, *cell);
+            varint::encode_u64(buf, r.trajectories);
+            varint::encode_u64(buf, r.stays);
+            varint::encode_u64(buf, r.dwell_seconds);
+        }
+        varint::encode_u64(buf, self.periods.len() as u64);
+        for (bucket, n) in &self.periods {
+            varint::encode_i64(buf, *bucket);
+            varint::encode_u64(buf, *n);
+        }
+    }
+
+    /// Decodes a rollup encoded by [`SegmentRollup::encode`].
+    pub fn decode(buf: &mut &[u8]) -> Result<SegmentRollup, CodecError> {
+        let period_seconds = varint::decode_u64(buf)?;
+        let cell_count = varint::decode_u64(buf)?;
+        if cell_count > buf.len() as u64 {
+            return Err(CodecError::LengthOverrun {
+                declared: cell_count,
+                available: buf.len(),
+            });
+        }
+        let mut cells = BTreeMap::new();
+        for _ in 0..cell_count {
+            let cell = decode_cell(buf)?;
+            let trajectories = varint::decode_u64(buf)?;
+            let stays = varint::decode_u64(buf)?;
+            let dwell_seconds = varint::decode_u64(buf)?;
+            cells.insert(
+                cell,
+                CellRollup {
+                    trajectories,
+                    stays,
+                    dwell_seconds,
+                },
+            );
+        }
+        let period_count = varint::decode_u64(buf)?;
+        if period_count > buf.len() as u64 {
+            return Err(CodecError::LengthOverrun {
+                declared: period_count,
+                available: buf.len(),
+            });
+        }
+        let mut periods = BTreeMap::new();
+        for _ in 0..period_count {
+            let bucket = varint::decode_i64(buf)?;
+            let n = varint::decode_u64(buf)?;
+            periods.insert(bucket, n);
+        }
+        Ok(SegmentRollup {
+            period_seconds,
+            cells,
+            periods,
+        })
+    }
 }
 
 // --- the manifest ----------------------------------------------------------
@@ -425,24 +724,132 @@ pub fn parse_segment_file_name(name: &str) -> Option<u64> {
         .ok()
 }
 
-// --- segment file i/o ------------------------------------------------------
-
-/// Serializes one segment (zone map + trajectories) into a buffer.
-fn encode_segment_file(zone_map: &ZoneMap, trajectories: &[SemanticTrajectory]) -> Vec<u8> {
-    let mut buf = Vec::new();
-    segment::write_header(&mut buf);
-    let mut scratch = Vec::new();
-    zone_map.encode(&mut scratch);
-    segment::write_frame(&mut buf, &scratch);
-    for t in trajectories {
-        scratch.clear();
-        encode_trajectory(&mut scratch, t);
-        segment::write_frame(&mut buf, &scratch);
-    }
-    buf
+/// One complete snapshot of the cross-segment object index, stamped
+/// with the manifest sequence it reflects. Persisted in `objindex.log`
+/// so a warm reopen skips the rebuild; an out-of-sequence (or absent,
+/// or torn) record just means the index is rebuilt from zone maps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectIndexRecord {
+    /// The manifest sequence this snapshot reflects.
+    pub sequence: u64,
+    /// Object id → sorted segment ids holding it.
+    pub entries: Vec<(String, Vec<u64>)>,
 }
 
-/// Reads and fully validates one segment file.
+impl Record for ObjectIndexRecord {
+    fn encode_record(&self, buf: &mut Vec<u8>) {
+        varint::encode_u64(buf, self.sequence);
+        varint::encode_u64(buf, self.entries.len() as u64);
+        for (object, segments) in &self.entries {
+            varint::encode_u64(buf, object.len() as u64);
+            buf.extend_from_slice(object.as_bytes());
+            varint::encode_u64(buf, segments.len() as u64);
+            for id in segments {
+                varint::encode_u64(buf, *id);
+            }
+        }
+    }
+
+    fn decode_record(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let sequence = varint::decode_u64(buf)?;
+        let count = varint::decode_u64(buf)?;
+        if count > buf.len() as u64 {
+            return Err(CodecError::LengthOverrun {
+                declared: count,
+                available: buf.len(),
+            });
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let olen = varint::decode_u64(buf)?;
+            if olen > buf.len() as u64 {
+                return Err(CodecError::LengthOverrun {
+                    declared: olen,
+                    available: buf.len(),
+                });
+            }
+            let (head, tail) = buf.split_at(olen as usize);
+            let object = std::str::from_utf8(head)
+                .map_err(|_| CodecError::BadUtf8)?
+                .to_string();
+            *buf = tail;
+            let seg_count = varint::decode_u64(buf)?;
+            if seg_count > buf.len() as u64 {
+                return Err(CodecError::LengthOverrun {
+                    declared: seg_count,
+                    available: buf.len(),
+                });
+            }
+            let mut segments = Vec::with_capacity(seg_count as usize);
+            for _ in 0..seg_count {
+                segments.push(varint::decode_u64(buf)?);
+            }
+            entries.push((object, segments));
+        }
+        Ok(ObjectIndexRecord { sequence, entries })
+    }
+}
+
+// --- segment file i/o ------------------------------------------------------
+
+/// Serializes one v2 segment (zone map, offset directory, rollup,
+/// trajectories) into a buffer, returning the encoded file and the
+/// directory describing it.
+fn encode_segment_file(
+    zone_map: &ZoneMap,
+    rollup: &SegmentRollup,
+    trajectories: &[SemanticTrajectory],
+) -> (Vec<u8>, SegmentDirectory) {
+    // Encode the trajectory payloads first: the directory needs their
+    // lengths, and the header frames' sizes must be known before any
+    // offset is final (which is why the directory is fixed-width).
+    let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(trajectories.len());
+    for t in trajectories {
+        let mut p = Vec::new();
+        encode_trajectory(&mut p, t);
+        payloads.push(p);
+    }
+    let mut zone_payload = Vec::new();
+    zone_map.encode(&mut zone_payload);
+    let mut rollup_payload = Vec::new();
+    rollup.encode(&mut rollup_payload);
+    let headers_end = segment::MAGIC.len()
+        + segment::FRAME_OVERHEAD
+        + zone_payload.len()
+        + segment::FRAME_OVERHEAD
+        + SegmentDirectory::encoded_len(trajectories.len())
+        + segment::FRAME_OVERHEAD
+        + rollup_payload.len();
+    let mut directory = SegmentDirectory::default();
+    let mut offset = headers_end as u64;
+    for (t, p) in trajectories.iter().zip(&payloads) {
+        let len = (segment::FRAME_OVERHEAD + p.len()) as u32;
+        let span = t.span();
+        directory.entries.push(DirectoryEntry {
+            offset,
+            len,
+            start: span.start.as_seconds(),
+            end: span.end.as_seconds(),
+        });
+        offset += len as u64;
+    }
+    let mut buf = Vec::with_capacity(offset as usize);
+    segment::write_header_v2(&mut buf);
+    segment::write_frame(&mut buf, &zone_payload);
+    let mut directory_payload = Vec::new();
+    directory.encode(&mut directory_payload);
+    segment::write_frame(&mut buf, &directory_payload);
+    segment::write_frame(&mut buf, &rollup_payload);
+    debug_assert_eq!(buf.len(), headers_end);
+    for p in &payloads {
+        segment::write_frame(&mut buf, p);
+    }
+    (buf, directory)
+}
+
+/// Reads and fully validates one segment file (either format version),
+/// decoding every trajectory eagerly. [`SegmentStore::open`] only takes
+/// this path for v1 files; v2 files open headers-only and lazy-decode.
 pub fn read_segment_file(
     path: &Path,
     id: u64,
@@ -452,13 +859,20 @@ pub fn read_segment_file(
     if let Some(corruption) = outcome.corruption {
         return Err(WarehouseError::CorruptSegment { id, corruption });
     }
-    let Some((first, rest)) = outcome.payloads.split_first() else {
+    // v2 carries two extra header frames (directory, rollup) between
+    // the zone map and the trajectories.
+    let header_frames = if data.starts_with(segment::MAGIC_V2) {
+        3
+    } else {
+        1
+    };
+    if outcome.payloads.len() < header_frames {
         return Err(WarehouseError::Inconsistent {
             id,
-            what: "segment has no zone-map frame",
+            what: "segment is missing header frames",
         });
-    };
-    let mut cursor: &[u8] = first;
+    }
+    let mut cursor: &[u8] = outcome.payloads[0];
     let zone_map = ZoneMap::decode(&mut cursor)?;
     if !cursor.is_empty() {
         return Err(WarehouseError::Inconsistent {
@@ -466,6 +880,7 @@ pub fn read_segment_file(
             what: "trailing bytes after zone map",
         });
     }
+    let rest = &outcome.payloads[header_frames..];
     let mut trajectories = Vec::with_capacity(rest.len());
     for payload in rest {
         let mut cursor: &[u8] = payload;
@@ -485,6 +900,167 @@ pub fn read_segment_file(
         });
     }
     Ok((zone_map, trajectories))
+}
+
+/// Reads one CRC frame at `offset` of an opened segment file, without
+/// touching any other byte. The lazy-open / lazy-decode primitive.
+fn read_frame_at(
+    file: &mut File,
+    offset: u64,
+    file_len: u64,
+    id: u64,
+) -> Result<(Vec<u8>, u64), WarehouseError> {
+    let overhead = segment::FRAME_OVERHEAD as u64;
+    if offset + overhead > file_len {
+        return Err(WarehouseError::CorruptSegment {
+            id,
+            corruption: Corruption::Torn {
+                offset: offset as usize,
+            },
+        });
+    }
+    file.seek(SeekFrom::Start(offset))?;
+    let mut head = [0u8; segment::FRAME_OVERHEAD];
+    file.read_exact(&mut head)?;
+    if head[0] != segment::FRAME_MARKER {
+        return Err(WarehouseError::CorruptSegment {
+            id,
+            corruption: Corruption::BadMarker {
+                offset: offset as usize,
+            },
+        });
+    }
+    let len = u32::from_le_bytes(head[1..5].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(head[5..9].try_into().expect("4 bytes"));
+    if len > segment::MAX_PAYLOAD {
+        return Err(WarehouseError::CorruptSegment {
+            id,
+            corruption: Corruption::Oversized {
+                offset: offset as usize,
+                declared: len,
+            },
+        });
+    }
+    let body_end = offset + overhead + len as u64;
+    if body_end > file_len {
+        return Err(WarehouseError::CorruptSegment {
+            id,
+            corruption: Corruption::Torn {
+                offset: offset as usize,
+            },
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    file.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(WarehouseError::CorruptSegment {
+            id,
+            corruption: Corruption::BadChecksum {
+                offset: offset as usize,
+            },
+        });
+    }
+    Ok((payload, body_end))
+}
+
+/// What a headers-only open yields: everything but the trajectories,
+/// plus the eagerly decoded run when the file predates the directory
+/// (v1, where one full decode is the only way to derive it).
+struct SegmentHeaders {
+    zone_map: ZoneMap,
+    directory: SegmentDirectory,
+    rollup: SegmentRollup,
+    preloaded: Option<Vec<SemanticTrajectory>>,
+}
+
+/// Opens one segment file reading headers only (magic + the three
+/// leading frames) for v2; falls back to a full decode for v1 files,
+/// rebuilding the directory and rollup as derived data.
+fn read_segment_headers(path: &Path, id: u64) -> Result<SegmentHeaders, WarehouseError> {
+    let mut file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut magic = [0u8; 8];
+    if file_len < magic.len() as u64 {
+        return Err(WarehouseError::CorruptSegment {
+            id,
+            corruption: Corruption::BadHeader,
+        });
+    }
+    file.read_exact(&mut magic)?;
+    if &magic == segment::MAGIC {
+        // Version 1: no directory on disk. One full decode rebuilds it
+        // as derived data, and the run is kept — the decode is already
+        // paid. Frame offsets are recovered from the scan walk (the
+        // zone frame's on-disk length may differ from a re-encode:
+        // pre-Bloom maps are shorter).
+        let (zone_map, trajectories) = read_segment_file(path, id)?;
+        let data = std::fs::read(path)?;
+        let outcome = segment::scan(&data);
+        let mut directory = SegmentDirectory::default();
+        let mut cursor = segment::MAGIC.len() as u64;
+        for (i, payload) in outcome.payloads.iter().enumerate() {
+            let frame_len = (segment::FRAME_OVERHEAD + payload.len()) as u64;
+            if i > 0 {
+                let span = trajectories[i - 1].span();
+                directory.entries.push(DirectoryEntry {
+                    offset: cursor,
+                    len: frame_len as u32,
+                    start: span.start.as_seconds(),
+                    end: span.end.as_seconds(),
+                });
+            }
+            cursor += frame_len;
+        }
+        let rollup = SegmentRollup::build(&trajectories, DEFAULT_ROLLUP_PERIOD_SECONDS);
+        return Ok(SegmentHeaders {
+            zone_map,
+            directory,
+            rollup,
+            preloaded: Some(trajectories),
+        });
+    }
+    if &magic != segment::MAGIC_V2 {
+        return Err(WarehouseError::CorruptSegment {
+            id,
+            corruption: Corruption::BadHeader,
+        });
+    }
+    let (zone_payload, after_zone) = read_frame_at(&mut file, magic.len() as u64, file_len, id)?;
+    let mut cursor: &[u8] = &zone_payload;
+    let zone_map = ZoneMap::decode(&mut cursor)?;
+    if !cursor.is_empty() {
+        return Err(WarehouseError::Inconsistent {
+            id,
+            what: "trailing bytes after zone map",
+        });
+    }
+    let (dir_payload, after_dir) = read_frame_at(&mut file, after_zone, file_len, id)?;
+    let mut cursor: &[u8] = &dir_payload;
+    let directory = SegmentDirectory::decode(&mut cursor)?;
+    if !cursor.is_empty() {
+        return Err(WarehouseError::Inconsistent {
+            id,
+            what: "trailing bytes after directory",
+        });
+    }
+    let (rollup_payload, headers_end) = read_frame_at(&mut file, after_dir, file_len, id)?;
+    let mut cursor: &[u8] = &rollup_payload;
+    let rollup = SegmentRollup::decode(&mut cursor)?;
+    if !cursor.is_empty() {
+        return Err(WarehouseError::Inconsistent {
+            id,
+            what: "trailing bytes after rollup",
+        });
+    }
+    directory
+        .validate(headers_end, file_len, zone_map.len)
+        .map_err(|what| WarehouseError::Inconsistent { id, what })?;
+    Ok(SegmentHeaders {
+        zone_map,
+        directory,
+        rollup,
+        preloaded: None,
+    })
 }
 
 #[cfg(unix)]
@@ -519,15 +1095,174 @@ impl Default for WarehouseConfig {
     }
 }
 
-/// One live, fully loaded segment.
-#[derive(Debug, Clone, PartialEq)]
+/// Lazy-read instrument handles a [`Segment`] charges its decode work
+/// to (`query.*` names: they measure what queries *cost*, not what the
+/// write path produced).
+#[derive(Debug, Clone)]
+struct LazyIoMetrics {
+    bytes_read: Arc<Counter>,
+    decoded: Arc<Counter>,
+}
+
+impl LazyIoMetrics {
+    fn bind(registry: &MetricsRegistry) -> LazyIoMetrics {
+        LazyIoMetrics {
+            bytes_read: registry.counter("query.segment_bytes_read"),
+            decoded: registry.counter("query.trajectories_decoded"),
+        }
+    }
+}
+
+/// One live segment: headers resident (zone map, offset directory,
+/// rollup), trajectories decoded **lazily** — a segment every query
+/// prunes costs ~zero bytes read for its entire lifetime.
+#[derive(Debug)]
 pub struct Segment {
     /// Segment id.
     pub id: u64,
     /// Pruning metadata.
     pub zone_map: ZoneMap,
-    /// The sorted run.
-    pub trajectories: Vec<SemanticTrajectory>,
+    /// Per-trajectory offsets + span columns.
+    directory: SegmentDirectory,
+    /// Per-zone / per-period pre-aggregates.
+    rollup: SegmentRollup,
+    /// Backing file (the source of every lazy read).
+    path: PathBuf,
+    /// The sorted run, decoded at most once and shared from then on
+    /// (`Arc` so per-segment indexes borrow the same storage instead of
+    /// cloning it).
+    loaded: OnceLock<Arc<Vec<SemanticTrajectory>>>,
+    io: LazyIoMetrics,
+}
+
+impl Segment {
+    /// Trajectories in the segment (from the directory; no decode).
+    pub fn len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// True when the segment holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.directory.is_empty()
+    }
+
+    /// The offset directory (per-trajectory offset/length/span).
+    pub fn directory(&self) -> &SegmentDirectory {
+        &self.directory
+    }
+
+    /// The pre-aggregated rollup frame.
+    pub fn rollup(&self) -> &SegmentRollup {
+        &self.rollup
+    }
+
+    /// True once the sorted run has been decoded (and cached).
+    pub fn is_loaded(&self) -> bool {
+        self.loaded.get().is_some()
+    }
+
+    /// The full sorted run, decoding (and caching) it on first call.
+    /// Concurrent callers race benignly: one result wins the cache.
+    /// Fails only on bitrot/tampering in the trajectory region — open
+    /// already validated the headers.
+    pub fn trajectories(&self) -> Result<&Arc<Vec<SemanticTrajectory>>, WarehouseError> {
+        if let Some(run) = self.loaded.get() {
+            return Ok(run);
+        }
+        let run = Arc::new(self.decode_all()?);
+        Ok(self.loaded.get_or_init(|| run))
+    }
+
+    /// Decodes trajectory `i` alone: one directory-guided seek + one
+    /// frame read, never touching the rest of the run (unless the run
+    /// is already cached, which is free). The sorted/paged pushdown
+    /// path — paging never materializes non-returned trajectories.
+    pub fn read_trajectory(&self, i: usize) -> Result<SemanticTrajectory, WarehouseError> {
+        if let Some(run) = self.loaded.get() {
+            return run.get(i).cloned().ok_or(WarehouseError::Inconsistent {
+                id: self.id,
+                what: "trajectory index out of range",
+            });
+        }
+        let Some(entry) = self.directory.entries.get(i).copied() else {
+            return Err(WarehouseError::Inconsistent {
+                id: self.id,
+                what: "trajectory index out of range",
+            });
+        };
+        let mut file = File::open(&self.path)?;
+        let file_len = entry.offset + entry.len as u64;
+        let (payload, _) = read_frame_at(&mut file, entry.offset, file_len, self.id)?;
+        self.io
+            .bytes_read
+            .add(segment::FRAME_OVERHEAD as u64 + payload.len() as u64);
+        self.io.decoded.inc();
+        let mut cursor: &[u8] = &payload;
+        let t = decode_trajectory(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(WarehouseError::Inconsistent {
+                id: self.id,
+                what: "trailing bytes after trajectory",
+            });
+        }
+        Ok(t)
+    }
+
+    /// Reads and decodes the whole trajectory region in one pass.
+    fn decode_all(&self) -> Result<Vec<SemanticTrajectory>, WarehouseError> {
+        let mut trajectories = Vec::with_capacity(self.directory.len());
+        if self.directory.is_empty() {
+            return Ok(trajectories);
+        }
+        let mut file = File::open(&self.path)?;
+        let first = self.directory.entries[0].offset;
+        let last = self.directory.entries.last().expect("non-empty");
+        let total = (last.offset + last.len as u64 - first) as usize;
+        file.seek(SeekFrom::Start(first))?;
+        let mut region = vec![0u8; total];
+        file.read_exact(&mut region)?;
+        self.io.bytes_read.add(total as u64);
+        for entry in &self.directory.entries {
+            let frame_start = (entry.offset - first) as usize;
+            let frame = &region[frame_start..frame_start + entry.len as usize];
+            if frame[0] != segment::FRAME_MARKER {
+                return Err(WarehouseError::CorruptSegment {
+                    id: self.id,
+                    corruption: Corruption::BadMarker {
+                        offset: entry.offset as usize,
+                    },
+                });
+            }
+            let len = u32::from_le_bytes(frame[1..5].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(frame[5..9].try_into().expect("4 bytes"));
+            if len as usize + segment::FRAME_OVERHEAD != entry.len as usize {
+                return Err(WarehouseError::Inconsistent {
+                    id: self.id,
+                    what: "frame length disagrees with directory",
+                });
+            }
+            let payload = &frame[segment::FRAME_OVERHEAD..];
+            if crc32(payload) != crc {
+                return Err(WarehouseError::CorruptSegment {
+                    id: self.id,
+                    corruption: Corruption::BadChecksum {
+                        offset: entry.offset as usize,
+                    },
+                });
+            }
+            let mut cursor: &[u8] = payload;
+            let t = decode_trajectory(&mut cursor)?;
+            if !cursor.is_empty() {
+                return Err(WarehouseError::Inconsistent {
+                    id: self.id,
+                    what: "trailing bytes after trajectory",
+                });
+            }
+            trajectories.push(t);
+        }
+        self.io.decoded.add(trajectories.len() as u64);
+        Ok(trajectories)
+    }
 }
 
 /// Warehouse-tier instrument handles, resolved once per registry so the
@@ -539,6 +1274,8 @@ struct StoreMetrics {
     segment_bytes_written: Arc<Counter>,
     manifest_records: Arc<Counter>,
     gc_sweeps: Arc<Counter>,
+    /// Segments opened headers-only (no trajectory decoded at open).
+    lazy_opens: Arc<Counter>,
 }
 
 impl StoreMetrics {
@@ -549,6 +1286,7 @@ impl StoreMetrics {
             segment_bytes_written: registry.counter("store.segment_bytes_written"),
             manifest_records: registry.counter("store.manifest_records"),
             gc_sweeps: registry.counter("store.gc_sweeps"),
+            lazy_opens: registry.counter("store.lazy_opens"),
         }
     }
 }
@@ -558,8 +1296,14 @@ impl StoreMetrics {
 pub struct SegmentStore {
     dir: PathBuf,
     manifest: LogStore<ManifestRecord>,
+    /// Persisted object → segment-ids snapshots (derived data; see the
+    /// module docs).
+    objindex: LogStore<ObjectIndexRecord>,
+    /// The live cross-segment object index.
+    object_index: BTreeMap<String, BTreeSet<u64>>,
     policy: WarehouseConfig,
     metrics: StoreMetrics,
+    lazy_io: LazyIoMetrics,
     segments: Vec<Segment>,
     /// Newest `policy.manifest.keep` records, oldest first — what a
     /// manifest compaction rewrites the log to.
@@ -571,6 +1315,13 @@ pub struct SegmentStore {
     commits_since_compact: u64,
     sequence: u64,
     next_id: u64,
+    /// Lifetime count of segments opened headers-only, kept alongside
+    /// the `store.lazy_opens` counter so a [`set_metrics`] rebind can
+    /// credit a fresh registry with opens that predate it (a server
+    /// binds its registry *after* recovery).
+    ///
+    /// [`set_metrics`]: SegmentStore::set_metrics
+    lazy_opened: u64,
 }
 
 impl SegmentStore {
@@ -587,6 +1338,10 @@ impl SegmentStore {
         std::fs::create_dir_all(&dir)?;
         let (manifest, records, report) =
             LogStore::<ManifestRecord>::open(dir.join("manifest.log"))?;
+        let (objindex, objindex_records, _objindex_report) =
+            LogStore::<ObjectIndexRecord>::open(dir.join("objindex.log"))?;
+        let metrics = StoreMetrics::bind(MetricsRegistry::global());
+        let lazy_io = LazyIoMetrics::bind(MetricsRegistry::global());
         let current = records.last().cloned();
         let history: VecDeque<ManifestRecord> = records
             .iter()
@@ -606,26 +1361,56 @@ impl SegmentStore {
             .collect();
         let mut next_id = 0;
         let mut sequence = 0;
+        let mut lazy_opened = 0u64;
         if let Some(record) = &current {
             sequence = record.sequence;
             for r in &record.segments {
                 current_ids.insert(r.id);
                 next_id = next_id.max(r.id + 1);
                 let path = dir.join(segment_file_name(r.id));
-                let (zone_map, trajectories) = read_segment_file(&path, r.id)?;
-                if trajectories.len() as u64 != r.records {
+                let headers = read_segment_headers(&path, r.id)?;
+                if headers.directory.len() as u64 != r.records || headers.zone_map.len != r.records
+                {
                     return Err(WarehouseError::Inconsistent {
                         id: r.id,
                         what: "manifest record count disagrees with segment",
                     });
                 }
+                let loaded = OnceLock::new();
+                match headers.preloaded {
+                    Some(run) => {
+                        let _ = loaded.set(Arc::new(run));
+                    }
+                    None => {
+                        metrics.lazy_opens.inc();
+                        lazy_opened += 1;
+                    }
+                }
                 segments.push(Segment {
                     id: r.id,
-                    zone_map,
-                    trajectories,
+                    zone_map: headers.zone_map,
+                    directory: headers.directory,
+                    rollup: headers.rollup,
+                    path,
+                    loaded,
+                    io: lazy_io.clone(),
                 });
             }
         }
+        // Adopt the persisted object index when it reflects exactly
+        // this manifest sequence; rebuild from the (resident) zone maps
+        // otherwise — it is derived data either way. The snapshot's
+        // entries are *moved* (objindex records have no other consumer)
+        // and arrive sorted, so the BTreeMap bulk-builds without
+        // re-allocating a single object id.
+        let object_index = match objindex_records.into_iter().next_back() {
+            Some(r) if r.sequence == sequence => r
+                .entries
+                .into_iter()
+                .map(|(o, ids)| (o, ids.into_iter().collect()))
+                .collect(),
+            _ => Self::rebuild_object_index(&segments),
+        };
         // Older manifest records in the retained history may reference
         // ids above the current set; never reuse those either.
         for record in &history {
@@ -658,24 +1443,67 @@ impl SegmentStore {
             SegmentStore {
                 dir,
                 manifest,
+                objindex,
+                object_index,
                 policy,
-                metrics: StoreMetrics::bind(MetricsRegistry::global()),
+                metrics,
+                lazy_io,
                 segments,
                 history,
                 garbage,
                 commits_since_compact: 0,
                 sequence,
                 next_id,
+                lazy_opened,
             },
             report,
         ))
     }
 
+    /// Derives the object → segment-ids index from the live zone maps
+    /// (always resident, so this touches no trajectory bytes).
+    fn rebuild_object_index(segments: &[Segment]) -> BTreeMap<String, BTreeSet<u64>> {
+        let mut index: BTreeMap<String, BTreeSet<u64>> = BTreeMap::new();
+        for s in segments {
+            for o in &s.zone_map.objects {
+                index.entry(o.clone()).or_default().insert(s.id);
+            }
+        }
+        index
+    }
+
     /// Re-points the `store.*` instruments at `registry` (stores
     /// default to [`MetricsRegistry::global`]; a server injects its
-    /// own so its `Metrics` op reflects this pipeline alone).
+    /// own so its `Metrics` op reflects this pipeline alone). The
+    /// lazy-read instruments every live segment charges follow along.
     pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
-        self.metrics = StoreMetrics::bind(registry);
+        let fresh = StoreMetrics::bind(registry);
+        // Recovery-time lazy opens predate the rebind; credit them so
+        // `store.lazy_opens` reflects this store's whole lifetime no
+        // matter when the owner injected its registry. (A registry
+        // hands back the same counter `Arc`, so rebinding to the
+        // registry already in place never double-counts.)
+        if !Arc::ptr_eq(&fresh.lazy_opens, &self.metrics.lazy_opens) {
+            fresh.lazy_opens.add(self.lazy_opened);
+        }
+        self.metrics = fresh;
+        self.lazy_io = LazyIoMetrics::bind(registry);
+        for s in &mut self.segments {
+            s.io = self.lazy_io.clone();
+        }
+    }
+
+    /// Segments known to hold `object` (exact, from the global object
+    /// index): `None` when the object appears nowhere in the warehouse.
+    /// A query layer may skip every other segment without probing its
+    /// Bloom or zone map.
+    pub fn object_segments(&self, object: &str) -> Option<&BTreeSet<u64>> {
+        self.object_index.get(object)
+    }
+
+    /// Distinct objects in the global object index.
+    pub fn object_index_len(&self) -> usize {
+        self.object_index.len()
     }
 
     /// The warehouse directory.
@@ -693,9 +1521,10 @@ impl SegmentStore {
         &self.segments
     }
 
-    /// Total trajectories across every live segment.
+    /// Total trajectories across every live segment (from directories;
+    /// no decode).
     pub fn len(&self) -> usize {
-        self.segments.iter().map(|s| s.trajectories.len()).sum()
+        self.segments.iter().map(|s| s.len()).sum()
     }
 
     /// True when no segment is live.
@@ -716,9 +1545,10 @@ impl SegmentStore {
     ) -> Result<Segment, WarehouseError> {
         sort_run(&mut trajectories);
         let zone_map = ZoneMap::build(&trajectories);
+        let rollup = SegmentRollup::build(&trajectories, DEFAULT_ROLLUP_PERIOD_SECONDS);
         let id = self.next_id;
         self.next_id += 1;
-        let buf = encode_segment_file(&zone_map, &trajectories);
+        let (buf, directory) = encode_segment_file(&zone_map, &rollup, &trajectories);
         let path = self.dir.join(segment_file_name(id));
         {
             let mut file = File::create(&path)?;
@@ -728,10 +1558,18 @@ impl SegmentStore {
         sync_dir(&self.dir)?;
         self.metrics.segments_built.inc();
         self.metrics.segment_bytes_written.add(buf.len() as u64);
+        // The run is in hand — pre-cache it so a freshly flushed
+        // segment serves queries without re-reading its own file.
+        let loaded = OnceLock::new();
+        let _ = loaded.set(Arc::new(trajectories));
         Ok(Segment {
             id,
             zone_map,
-            trajectories,
+            directory,
+            rollup,
+            path,
+            loaded,
+            io: self.lazy_io.clone(),
         })
     }
 
@@ -747,7 +1585,7 @@ impl SegmentStore {
                 .iter()
                 .map(|s| SegmentRef {
                     id: s.id,
-                    records: s.trajectories.len() as u64,
+                    records: s.len() as u64,
                 })
                 .collect(),
         };
@@ -767,6 +1605,24 @@ impl SegmentStore {
         }
         self.metrics.manifest_records.inc();
         self.sweep_garbage();
+        self.persist_object_index()?;
+        Ok(())
+    }
+
+    /// Rewrites `objindex.log` to one complete snapshot stamped with
+    /// the just-committed manifest sequence. The log never grows past
+    /// one record; a crash mid-rewrite only costs the next open a
+    /// rebuild from zone maps.
+    fn persist_object_index(&mut self) -> Result<(), WarehouseError> {
+        let record = ObjectIndexRecord {
+            sequence: self.sequence,
+            entries: self
+                .object_index
+                .iter()
+                .map(|(o, ids)| (o.clone(), ids.iter().copied().collect()))
+                .collect(),
+        };
+        self.objindex.compact(&[record])?;
         Ok(())
     }
 
@@ -802,6 +1658,12 @@ impl SegmentStore {
             return Ok(());
         }
         let segment = self.write_segment(trajectories)?;
+        for o in &segment.zone_map.objects {
+            self.object_index
+                .entry(o.clone())
+                .or_default()
+                .insert(segment.id);
+        }
         self.segments.push(segment);
         self.commit_manifest()
     }
@@ -821,7 +1683,7 @@ impl SegmentStore {
         let mut merged = Vec::new();
         for s in &self.segments {
             if victim_set.contains(&s.id) {
-                merged.extend(s.trajectories.iter().cloned());
+                merged.extend(s.trajectories()?.iter().cloned());
             }
         }
         let position = self
@@ -830,6 +1692,21 @@ impl SegmentStore {
             .position(|s| victim_set.contains(&s.id))
             .unwrap_or(self.segments.len());
         let segment = self.write_segment(merged)?;
+        // Incremental object-index maintenance: every victim id is
+        // swapped for the merged id wherever it appears, and the merged
+        // segment's own objects are added (a superset of the victims').
+        for ids in self.object_index.values_mut() {
+            for v in &victim_set {
+                ids.remove(v);
+            }
+        }
+        for o in &segment.zone_map.objects {
+            self.object_index
+                .entry(o.clone())
+                .or_default()
+                .insert(segment.id);
+        }
+        self.object_index.retain(|_, ids| !ids.is_empty());
         self.segments.retain(|s| !victim_set.contains(&s.id));
         self.segments
             .insert(position.min(self.segments.len()), segment);
@@ -847,7 +1724,7 @@ impl SegmentStore {
         let fanout = self.policy.fanout.max(2);
         let mut tiers: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
         for s in &self.segments {
-            let len = s.trajectories.len().max(1) as u64;
+            let len = s.len().max(1) as u64;
             let tier = 63 - len.leading_zeros(); // log2 bucket
             tiers.entry(tier).or_default().push(s.id);
         }
@@ -1047,8 +1924,25 @@ mod tests {
         assert!(report.is_clean());
         assert_eq!(store.segments().len(), 2);
         assert_eq!(store.len(), 3);
-        assert_eq!(store.segments()[0].trajectories[0].moving_object, "a");
-        assert_eq!(store.segments()[1].trajectories[0].moving_object, "c");
+        // Reopen is headers-only: nothing decoded until asked.
+        assert!(store.segments().iter().all(|s| !s.is_loaded()));
+        assert_eq!(
+            store.segments()[0].trajectories().unwrap()[0].moving_object,
+            "a"
+        );
+        assert_eq!(
+            store.segments()[1].trajectories().unwrap()[0].moving_object,
+            "c"
+        );
+        assert!(store.segments().iter().all(|s| s.is_loaded()));
+        // Row-level reads agree with the cached run.
+        assert_eq!(
+            store.segments()[0]
+                .read_trajectory(1)
+                .unwrap()
+                .moving_object,
+            "b"
+        );
     }
 
     #[test]
@@ -1097,7 +1991,7 @@ mod tests {
         assert_eq!(merges, 1);
         assert_eq!(store.segments().len(), 1);
         assert_eq!(store.len(), 3);
-        let run = &store.segments()[0].trajectories;
+        let run = store.segments()[0].trajectories().unwrap().clone();
         assert!(run.windows(2).all(|w| w[0].start() <= w[1].start()));
         // The victims' files are gone; the merged one survives reopen.
         drop(store);
@@ -1126,20 +2020,193 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_referenced_segment_is_refused() {
+    fn corrupt_segment_body_surfaces_at_lazy_decode() {
         let tmp = TempDir::new("corrupt");
         {
             let (mut store, _) = SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
             store.append_segment(vec![traj("a", 1, 0)]).unwrap();
         }
+        // Flip a byte near the end of the file — inside the trajectory
+        // region, past the header frames. A headers-only open succeeds
+        // (the point of lazy loading: unread bytes cost nothing, and
+        // their rot is caught exactly when they are first read).
         let path = tmp.0.join(segment_file_name(0));
         let mut data = std::fs::read(&path).unwrap();
         let n = data.len();
         data[n - 2] ^= 0xFF;
         std::fs::write(&path, &data).unwrap();
+        let (store, _) = SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
+        match store.segments()[0].trajectories() {
+            Err(WarehouseError::CorruptSegment { id: 0, .. }) => {}
+            other => panic!("expected CorruptSegment at decode, got {other:?}"),
+        }
+        match store.segments()[0].read_trajectory(0) {
+            Err(WarehouseError::CorruptSegment { id: 0, .. }) => {}
+            other => panic!("expected CorruptSegment at row read, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_segment_headers_are_refused_at_open() {
+        let tmp = TempDir::new("corrupt-head");
+        {
+            let (mut store, _) = SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
+            store.append_segment(vec![traj("a", 1, 0)]).unwrap();
+        }
+        // Flip a byte in the directory region (just past the zone-map
+        // frame): the headers-only open must refuse the file.
+        let path = tmp.0.join(segment_file_name(0));
+        let mut data = std::fs::read(&path).unwrap();
+        let zone_payload_len = u32::from_le_bytes(data[9..13].try_into().unwrap()) as usize;
+        let dir_frame = 8 + segment::FRAME_OVERHEAD + zone_payload_len;
+        data[dir_frame + segment::FRAME_OVERHEAD + 10] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
         match SegmentStore::open(&tmp.0, WarehouseConfig::default()) {
             Err(WarehouseError::CorruptSegment { id: 0, .. }) => {}
-            other => panic!("expected CorruptSegment, got {other:?}"),
+            other => panic!("expected CorruptSegment at open, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directory_round_trips_and_validates() {
+        let entries = vec![
+            DirectoryEntry {
+                offset: 100,
+                len: 40,
+                start: -5,
+                end: 60,
+            },
+            DirectoryEntry {
+                offset: 140,
+                len: 25,
+                start: 10,
+                end: 90,
+            },
+        ];
+        let dir = SegmentDirectory { entries };
+        let mut buf = Vec::new();
+        dir.encode(&mut buf);
+        assert_eq!(buf.len(), SegmentDirectory::encoded_len(2));
+        let mut cursor: &[u8] = &buf;
+        let back = SegmentDirectory::decode(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back, dir);
+        // Truncations always error (fixed width leaves no legacy
+        // boundary).
+        for cut in 0..buf.len() {
+            assert!(
+                SegmentDirectory::decode(&mut &buf[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        assert!(dir.validate(100, 165, 2).is_ok());
+        assert!(dir.validate(100, 165, 3).is_err(), "count mismatch");
+        assert!(dir.validate(99, 165, 2).is_err(), "gap before first entry");
+        assert!(dir.validate(100, 164, 2).is_err(), "truncated file");
+        assert!(dir.validate(100, 166, 2).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn rollup_round_trips_and_matches_recompute() {
+        let trajs = vec![traj("a", 1, 0), traj("b", 2, 100), traj("c", 1, 4000)];
+        let rollup = SegmentRollup::build(&trajs, 3600);
+        // Cell 1 hosts two trajectories with one 60s stay each.
+        let c1 = rollup.cells.get(&cell(1)).unwrap();
+        assert_eq!(c1.trajectories, 2);
+        assert_eq!(c1.stays, 2);
+        assert_eq!(c1.dwell_seconds, 120);
+        // Spans: [0,60] and [100,160] land in bucket 0; [4000,4060] in
+        // bucket 3600.
+        assert_eq!(rollup.periods.get(&0), Some(&2));
+        assert_eq!(rollup.periods.get(&3600), Some(&1));
+        let mut buf = Vec::new();
+        rollup.encode(&mut buf);
+        let mut cursor: &[u8] = &buf;
+        let back = SegmentRollup::decode(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back, rollup);
+        // A disabled period axis stays empty.
+        assert!(SegmentRollup::build(&trajs, 0).periods.is_empty());
+    }
+
+    #[test]
+    fn object_index_is_maintained_and_persisted() {
+        let tmp = TempDir::new("objindex");
+        let config = WarehouseConfig {
+            fanout: 2,
+            ..WarehouseConfig::default()
+        };
+        {
+            let (mut store, _) = SegmentStore::open(&tmp.0, config).unwrap();
+            store.append_segment(vec![traj("a", 1, 0)]).unwrap();
+            store.append_segment(vec![traj("b", 2, 100)]).unwrap();
+            assert_eq!(store.object_index_len(), 2);
+            assert_eq!(
+                store.object_segments("a"),
+                Some(&BTreeSet::from([0])),
+                "object a lives in segment 0 only"
+            );
+            assert_eq!(store.object_segments("nobody"), None);
+            // Compaction swaps victim ids for the merged id.
+            store.compact_size_tiered().unwrap();
+            assert_eq!(store.segments().len(), 1);
+            let merged = store.segments()[0].id;
+            assert_eq!(store.object_segments("a"), Some(&BTreeSet::from([merged])));
+            assert_eq!(store.object_segments("b"), Some(&BTreeSet::from([merged])));
+        }
+        // Reopen adopts the persisted snapshot (sequence matches) and
+        // it equals a from-scratch rebuild.
+        let (store, _) = SegmentStore::open(&tmp.0, config).unwrap();
+        let rebuilt = SegmentStore::rebuild_object_index(store.segments());
+        assert_eq!(store.object_index, rebuilt);
+        // A stale snapshot (wrong sequence) is ignored and rebuilt.
+        drop(store);
+        std::fs::remove_file(tmp.0.join("objindex.log")).unwrap();
+        let (store, _) = SegmentStore::open(&tmp.0, config).unwrap();
+        assert_eq!(store.object_index, rebuilt, "rebuilt from zone maps");
+    }
+
+    #[test]
+    fn v1_segment_files_still_open() {
+        let tmp = TempDir::new("v1-compat");
+        {
+            let (mut store, _) = SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
+            store
+                .append_segment(vec![traj("a", 1, 0), traj("b", 2, 100)])
+                .unwrap();
+        }
+        // Rewrite the segment file in the v1 layout: magic SITMSEG1,
+        // zone-map frame, trajectory frames — no directory, no rollup.
+        let path = tmp.0.join(segment_file_name(0));
+        let (zone_map, trajectories) = read_segment_file(&path, 0).unwrap();
+        let mut v1 = Vec::new();
+        segment::write_header(&mut v1);
+        let mut scratch = Vec::new();
+        zone_map.encode(&mut scratch);
+        segment::write_frame(&mut v1, &scratch);
+        for t in &trajectories {
+            scratch.clear();
+            encode_trajectory(&mut scratch, t);
+            segment::write_frame(&mut v1, &scratch);
+        }
+        std::fs::write(&path, &v1).unwrap();
+        let (store, report) = SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
+        assert!(report.is_clean());
+        let s = &store.segments()[0];
+        // The v1 fallback decodes eagerly (the directory is derived by
+        // that one decode) and the content is identical.
+        assert!(s.is_loaded());
+        assert_eq!(s.trajectories().unwrap().as_slice(), &trajectories[..]);
+        assert_eq!(s.directory().len(), 2);
+        assert_eq!(s.read_trajectory(1).unwrap(), trajectories[1]);
+        assert_eq!(
+            s.rollup(),
+            &SegmentRollup::build(&trajectories, DEFAULT_ROLLUP_PERIOD_SECONDS)
+        );
+        // Directory entries point at real frames in the v1 file.
+        let data = std::fs::read(&path).unwrap();
+        for e in &s.directory().entries {
+            assert_eq!(data[e.offset as usize], segment::FRAME_MARKER);
         }
     }
 }

@@ -63,12 +63,19 @@ fn traj(mo: &str, c: usize, start: i64) -> SemanticTrajectory {
     .unwrap()
 }
 
-/// The moving objects visible through a store, in iteration order.
+/// The moving objects visible through a store, in iteration order
+/// (forces the lazy decode — this is a content check, not a perf path).
 fn fingerprint(store: &SegmentStore) -> Vec<String> {
     store
         .segments()
         .iter()
-        .flat_map(|s| s.trajectories.iter().map(|t| t.moving_object.clone()))
+        .flat_map(|s| {
+            s.trajectories()
+                .expect("referenced segment decodes")
+                .iter()
+                .map(|t| t.moving_object.clone())
+                .collect::<Vec<_>>()
+        })
         .collect()
 }
 
@@ -174,6 +181,72 @@ fn torn_segment_file_before_manifest_commit_is_invisible_at_every_offset() {
         assert!(
             !torn.0.join(&orphan_name).exists(),
             "cut at {cut}: orphan collected"
+        );
+    }
+}
+
+#[test]
+fn referenced_v2_segment_header_region_tortured_at_every_offset() {
+    // Format v2 keeps all segment metadata (zone map, offset directory,
+    // rollup) in a header region read eagerly at open; trajectory frames
+    // behind it decode lazily. The torture contract splits accordingly:
+    //
+    // * truncation at ANY offset refuses the open (the directory pins
+    //   exact frame contiguity out to the file length);
+    // * a bit flip anywhere in the HEADER region refuses the open;
+    // * a bit flip in the TRAJECTORY region passes the open (headers are
+    //   intact, nothing is decoded) but the first decode reports the
+    //   corruption — altered data is never served.
+    let pristine = TempDir::new("v2-pristine");
+    let config = WarehouseConfig::default();
+    {
+        let (mut store, _) = SegmentStore::open(&pristine.0, config).unwrap();
+        store
+            .append_segment(vec![traj("ta", 1, 0), traj("tb", 2, 100)])
+            .unwrap();
+    }
+    let data = std::fs::read(pristine.0.join(segment_file_name(0))).unwrap();
+    assert_eq!(&data[..8], b"SITMSEG2", "new segments are format v2");
+    // Walk the three header frames (zone map, directory, rollup) to find
+    // where the trajectory region starts.
+    let mut headers_end = segment::MAGIC.len();
+    for _ in 0..3 {
+        let len = u32::from_le_bytes(data[headers_end + 1..headers_end + 5].try_into().unwrap());
+        headers_end += segment::FRAME_OVERHEAD + len as usize;
+    }
+    assert!(headers_end < data.len(), "trajectory frames follow headers");
+
+    let torn = TempDir::new("v2-torn");
+    for cut in 0..data.len() {
+        copy_dir(&pristine.0, &torn.0);
+        std::fs::write(torn.0.join(segment_file_name(0)), &data[..cut]).unwrap();
+        assert!(
+            SegmentStore::open(&torn.0, config).is_err(),
+            "cut at {cut}: truncated referenced segment must refuse to open"
+        );
+    }
+    for pos in 0..headers_end {
+        copy_dir(&pristine.0, &torn.0);
+        let mut flipped = data.clone();
+        flipped[pos] ^= 0x40;
+        std::fs::write(torn.0.join(segment_file_name(0)), &flipped).unwrap();
+        assert!(
+            SegmentStore::open(&torn.0, config).is_err(),
+            "flip at {pos}: corrupt header region must refuse to open"
+        );
+    }
+    for pos in headers_end..data.len() {
+        copy_dir(&pristine.0, &torn.0);
+        let mut flipped = data.clone();
+        flipped[pos] ^= 0x40;
+        std::fs::write(torn.0.join(segment_file_name(0)), &flipped).unwrap();
+        let (store, _) = SegmentStore::open(&torn.0, config)
+            .unwrap_or_else(|e| panic!("flip at {pos}: body flips must not block open: {e}"));
+        let seg = &store.segments()[0];
+        assert!(!seg.is_loaded(), "flip at {pos}: open decoded nothing");
+        assert!(
+            seg.trajectories().is_err(),
+            "flip at {pos}: corrupt body must surface at first decode"
         );
     }
 }

@@ -92,15 +92,16 @@
 //! |---|---|---|
 //! | `engine.*` | live | `events_ingested`, `events_fenced`, `visits_routed` vs `visits_stolen` (work-stealing attribution), `queue_depth.w{i}` per-worker gauges |
 //! | `flush.*` | spill | `spills`, `trajectories`, `duration_ns` histogram |
-//! | `store.*` | warehouse | `segments_built`, `segments_compacted`, `segment_bytes_written`, `manifest_records`, `gc_sweeps` |
-//! | `query.*` | retrieval | `segments_scanned` vs `zone_pruned` vs `bloom_pruned`, `candidates` set-size histogram |
+//! | `store.*` | warehouse | `segments_built`, `segments_compacted`, `segment_bytes_written`, `manifest_records`, `gc_sweeps`, `lazy_opens` (segments opened headers-only) |
+//! | `query.*` | retrieval | `segments_scanned` vs `object_pruned` vs `zone_pruned` vs `bloom_pruned`, `segment_bytes_read` / `trajectories_decoded` lazy-I/O attribution, `candidates` set-size histogram |
 //! | `serve.*` | network | `requests.{op}` / `handle_ns.{op}` per op, `bytes_in`/`bytes_out`, `errors`/`frame_errors`/`bad_requests`, `sessions_active` + `subscriptions_active` gauges, `snapshot_build_ns`/`evaluate_ns`/`explain_snapshot_ns` read-path splits, `snapshot_cache_hits`/`snapshot_cache_misses`, `notifications_pushed`/`subscribers_dropped` |
 //!
 //! The serve tier also keeps a bounded **slow-query log** (threshold
 //! set via `ServerConfig::with_slow_query_threshold`, carried in the
 //! same snapshot) and reports per-request stage timing in `Explain`
-//! responses; `bench_json` embeds a snapshot into `BENCH_7.json` so
-//! pruning ratios and the RTT decomposition ride the perf artifact.
+//! responses; `bench_json` embeds a snapshot into `BENCH_8.json` so
+//! pruning ratios, lazy-segment I/O attribution, and the RTT
+//! decomposition ride the perf artifact.
 //!
 //! **Consistency guarantees.** Queries see per-source snapshots:
 //! `SegmentedDb` answers from the newest committed manifest,

@@ -162,6 +162,38 @@ fn assert_differential(seg: &SegmentedDb, live: &dyn TrajectorySource, context: 
             paged.execute_federated(&[live, &reference]),
             "{context}: paged federation diverged for {p}"
         );
+
+        // Pushdown: `execute_segmented` (directory-ordered, paged,
+        // lazily decoded) must return exactly what `execute` returns
+        // over the eager reference, for every sort key and page shape.
+        for (order, offset, limit) in [
+            (None, 0, None),
+            (None, 1, Some(4)),
+            (Some((SortKey::Start, true)), 0, Some(6)),
+            (Some((SortKey::End, false)), 2, Some(3)),
+            (Some((SortKey::SpanDuration, true)), 1, None),
+            (Some((SortKey::TotalDwell, false)), 0, Some(5)),
+            (Some((SortKey::MovingObject, true)), 3, Some(4)),
+            (Some((SortKey::TraceLength, false)), 0, None),
+        ] {
+            let mut q = Query::new().filter(p.clone()).offset(offset);
+            if let Some((key, asc)) = order {
+                q = q.order_by(key, asc);
+            }
+            if let Some(n) = limit {
+                q = q.limit(n);
+            }
+            let pushed = q.execute_segmented(seg);
+            let eager: Vec<SemanticTrajectory> = q
+                .execute(&reference)
+                .into_iter()
+                .map(|m| m.trajectory.clone())
+                .collect();
+            assert_eq!(
+                pushed, eager,
+                "{context}: pushdown diverged for {p} order {order:?} offset {offset} limit {limit:?}"
+            );
+        }
     }
 }
 
@@ -263,6 +295,91 @@ fn both_runtimes_build_identical_warehouses_live_included() {
 }
 
 #[test]
+fn cold_open_decodes_nothing_and_pruned_point_queries_read_zero_bytes() {
+    // The format-v2 cold-scale contract: reopening a many-segment
+    // warehouse reads headers only, fully-pruned point queries keep
+    // `query.segment_bytes_read` at zero, and a sorted/limited pushdown
+    // decodes exactly the returned page.
+    let tmp = TempDir::new("cold-scale");
+    let config = WarehouseConfig {
+        fanout: 64, // keep the twelve flush segments distinct
+        manifest: CompactionPolicy::default(),
+    };
+    {
+        let (mut db, _) = SegmentedDb::open(&tmp.0, config).unwrap();
+        for batch in 0..12i64 {
+            let base = batch * 10_000;
+            let trajs: Vec<SemanticTrajectory> = (0..4)
+                .map(|i| {
+                    let start = base + i * 100;
+                    let stay = PresenceInterval::new(
+                        TransitionTaken::Unknown,
+                        cell((i % 5) as usize),
+                        Timestamp(start),
+                        Timestamp(start + 50),
+                    );
+                    SemanticTrajectory::new(
+                        format!("mo-{batch}-{i}"),
+                        sitm::core::Trace::new(vec![stay]).unwrap(),
+                        label("visit"),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            db.flush(trajs).unwrap();
+        }
+        assert_eq!(db.segments().len(), 12);
+    }
+
+    let registry = sitm::obs::MetricsRegistry::new();
+    let (db, report) = SegmentedDb::open(&tmp.0, config).unwrap();
+    let db = db.with_metrics(&registry);
+    assert!(report.is_clean());
+    assert_eq!(db.len(), 48, "counts come from the offset directories");
+    assert!(
+        db.segments().iter().all(|s| !s.is_loaded()),
+        "cold open decoded nothing"
+    );
+
+    let bytes = registry.counter("query.segment_bytes_read");
+    let decoded = registry.counter("query.trajectories_decoded");
+    // Fully-pruned point queries: object index (absent object) and
+    // zone/Bloom tier (absent cell) both answer without any read.
+    let absent = Predicate::MovingObject("nobody".into());
+    assert_eq!(db.count_matching(&absent), 0);
+    assert!(Query::new()
+        .filter(absent)
+        .execute_segmented(&db)
+        .is_empty());
+    let absent_cell = Predicate::VisitedCell(cell(99));
+    assert_eq!(db.count_matching(&absent_cell), 0);
+    assert_eq!(
+        bytes.get(),
+        0,
+        "pruned cold queries read zero segment bytes"
+    );
+    assert_eq!(decoded.get(), 0);
+    assert!(db.segments().iter().all(|s| !s.is_loaded()));
+
+    // A sorted/limited pushdown decodes exactly the returned page —
+    // per frame, without hydrating any segment.
+    let page = Query::new()
+        .order_by(SortKey::Start, true)
+        .limit(3)
+        .execute_segmented(&db);
+    assert_eq!(page.len(), 3);
+    assert_eq!(decoded.get(), 3, "only the returned rows were decoded");
+    assert!(
+        bytes.get() > 0,
+        "the page frames were really read from disk"
+    );
+    assert!(
+        db.segments().iter().all(|s| !s.is_loaded()),
+        "paging reads frames, not whole segments"
+    );
+}
+
+#[test]
 fn zone_map_pruning_skips_segments_without_losing_matches() {
     // Time-partitioned flushes give disjoint span zone maps: a narrow
     // window query must prune most segments yet count identically.
@@ -302,10 +419,12 @@ fn zone_map_pruning_skips_segments_without_losing_matches() {
     assert_eq!(plan.pruned, 5, "five of six segments are span-disjoint");
     assert_eq!(db.count_matching(&window), db.count_matching_scan(&window));
     assert!(db.count_matching(&window) > 0);
-    // A moving-object point query prunes by the object zone set.
+    // A moving-object point query prunes by the *global object index*
+    // before any per-segment zone map or Bloom filter is consulted.
     let object = Predicate::MovingObject("mo-3-7".into());
     let plan = db.explain(&object);
-    assert_eq!(plan.pruned, 5);
+    assert_eq!(plan.object_pruned, 5, "object index rejects five segments");
+    assert_eq!(plan.pruned, 0, "their zone maps were never consulted");
     assert_eq!(plan.candidates, Some(1));
     assert_eq!(db.count_matching(&object), 1);
 }
