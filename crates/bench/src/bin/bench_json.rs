@@ -1,12 +1,26 @@
 //! Machine-readable performance snapshot: times the hot paths this
-//! repo's perf work targets and writes `BENCH_8.json` (group → ns/op)
+//! repo's perf work targets and writes `BENCH_9.json` (group → ns/op)
 //! — the cross-PR perf trajectory, uploaded as a CI artifact so
 //! regressions are diffable without parsing criterion output.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin bench_json [path]`
-//! (default output path: `BENCH_8.json` in the working directory).
+//! (default output path: `BENCH_9.json` in the working directory).
 //!
-//! New in BENCH_8: the cold-scale warehouse groups. A 12-segment
+//! New in BENCH_9: the warm read path. `warehouse/paged_rescan_warm`
+//! re-runs a paged scan against the bounded row-decode cache and must
+//! be ≥ 5× faster than `warehouse/paged_rescan_cold` (the same scan
+//! with the cache disabled) with a `query.trajectories_decoded` delta
+//! of exactly zero on the re-scan; `warehouse/content_sorted_limit`
+//! orders by a content key (`TotalDwell`) from the segment-v3 sort
+//! columns and must decode no more rows than it returns (it used to
+//! decode every candidate); `serve/stats_rollup` times the Stats op's
+//! rollup-served per-cell/per-period breakdowns over the wire. The
+//! cold-open group now also asserts `store.lazy_opens` is non-zero —
+//! BENCH_8 reported 0 because the served workload builds its segments
+//! in-process (flushes pre-cache their runs), not because the counter
+//! missed the lazy path.
+//!
+//! From BENCH_8: the cold-scale warehouse groups. A 12-segment
 //! warehouse is reopened cold for every measurement so the format-v2
 //! offset directories — not decoded trajectories — answer the work:
 //! `warehouse/cold_open` (header-only open; asserted ≥ 5× faster than
@@ -108,7 +122,7 @@ impl Drop for TempWarehouse {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_8.json".to_string());
+        .unwrap_or_else(|| "BENCH_9.json".to_string());
     let model = build_louvre();
     let louvre = louvre_feed(&model);
     let skewed = skewed_feed(400, 20_000, 1.2);
@@ -314,6 +328,16 @@ fn main() {
     // are this group's deltas — both must be exactly zero.
     let registry = sitm_obs::MetricsRegistry::new();
     let cold_db = cold_open().with_metrics(&registry);
+    // The rebind credits the open's header-only segment opens, so a
+    // zero here would mean the lazy-open path stopped counting (the
+    // served workload below legitimately reports 0: its segments are
+    // built in-process and flushes pre-cache their runs).
+    let cold_lazy_opens = registry.counter("store.lazy_opens").get();
+    assert!(
+        cold_lazy_opens >= 10,
+        "a cold 12-segment open must count its lazy opens"
+    );
+    results.push(("metrics/store/cold_lazy_opens".into(), cold_lazy_opens));
     let absent = Predicate::MovingObject("bench-no-such-visitor".into());
     results.push((
         "warehouse/cold_point_query".into(),
@@ -332,10 +356,8 @@ fn main() {
 
     // Sorted+limited pushdown on a cold warehouse: the directories
     // order every candidate by start time and only the returned page is
-    // ever decoded. Single-frame fetches are deliberately uncached
-    // (only full decodes populate the segment cache), so each timed run
-    // re-reads its ten frames; the decode-count assertion is taken on
-    // one isolated cold run before the timing loop.
+    // ever decoded. The decode-count assertion is taken on one isolated
+    // cold run before the timing loop.
     let page_registry = sitm_obs::MetricsRegistry::new();
     let paged_db = cold_open().with_metrics(&page_registry);
     let first_page = Query::new().order_by(SortKey::Start, true).limit(10);
@@ -355,6 +377,87 @@ fn main() {
         page_decoded,
     ));
     drop(paged_db);
+
+    // Warm vs cold paged re-scan: the same 1000-row page, repeated.
+    // (A page large enough that frame fetches — not the shared
+    // plan/order step — dominate the run.) Cold disables the row-decode
+    // cache (`row_cache_bytes: 0`), so every run re-seeks and re-decodes
+    // its frames — the pre-v3 cost of a repeated scan. Warm uses the
+    // default budget: after one priming pass the rows are resident, and
+    // the re-scan's `query.trajectories_decoded` delta must be exactly
+    // zero. The ≥ 5× acceptance gate is asserted after the JSON is
+    // written.
+    let rescan_page = Query::new().order_by(SortKey::Start, true).limit(1000);
+    let uncached_config = WarehouseConfig {
+        row_cache_bytes: 0,
+        ..cold_config
+    };
+    let uncached_db = SegmentedDb::open(&cold_dir, uncached_config)
+        .expect("cold open, cache off")
+        .0;
+    results.push((
+        "warehouse/paged_rescan_cold".into(),
+        time_ns(199, || rescan_page.execute_segmented(&uncached_db).len()),
+    ));
+    drop(uncached_db);
+    let warm_registry = sitm_obs::MetricsRegistry::new();
+    let warm_db = cold_open().with_metrics(&warm_registry);
+    let primed = rescan_page.execute_segmented(&warm_db);
+    assert_eq!(primed.len(), 1000, "the priming pass returns the page");
+    let decoded_before = warm_registry.counter("query.trajectories_decoded").get();
+    let rescan = rescan_page.execute_segmented(&warm_db);
+    let decoded_after = warm_registry.counter("query.trajectories_decoded").get();
+    assert_eq!(rescan, primed, "the warm re-scan answers identically");
+    assert_eq!(
+        decoded_after - decoded_before,
+        0,
+        "a warm paged re-scan must decode zero rows"
+    );
+    results.push((
+        "warehouse/paged_rescan_warm".into(),
+        time_ns(199, || rescan_page.execute_segmented(&warm_db).len()),
+    ));
+    results.push((
+        "metrics/query/warm_rescan_trajectories_decoded".into(),
+        decoded_after - decoded_before,
+    ));
+    // The cache never outgrows its configured budget, even after the
+    // scans churned rows through it.
+    let resident = warm_registry.gauge("query.row_cache_bytes").get();
+    let budget = WarehouseConfig::default().row_cache_bytes as i64;
+    assert!(
+        (0..=budget).contains(&resident),
+        "row cache residency {resident} must stay within its {budget}-byte budget"
+    );
+    results.push((
+        "metrics/query/row_cache_bytes".into(),
+        resident.max(0) as u64,
+    ));
+    drop(warm_db);
+
+    // Content-key sorted/limited query, cold: the ordering comes from
+    // the segment-v3 sort columns, so — like the directory-served keys —
+    // only the returned page is ever decoded (this used to materialize
+    // every candidate).
+    let content_registry = sitm_obs::MetricsRegistry::new();
+    let content_db = cold_open().with_metrics(&content_registry);
+    let content_page = Query::new().order_by(SortKey::TotalDwell, false).limit(10);
+    let content = content_page.execute_segmented(&content_db);
+    let content_decoded = content_registry.counter("query.trajectories_decoded").get();
+    assert!(
+        content_decoded as usize <= content.len(),
+        "content-key pushdown must decode at most the returned page ({} rows), decoded {content_decoded}",
+        content.len()
+    );
+    results.push((
+        "warehouse/content_sorted_limit".into(),
+        time_ns(199, || content_page.execute_segmented(&content_db).len()),
+    ));
+    results.push((
+        "metrics/query/content_sorted_trajectories_decoded".into(),
+        content_decoded,
+    ));
+    drop(content_db);
     let _ = std::fs::remove_dir_all(&cold_dir);
 
     // ---- Network tier ---------------------------------------------------
@@ -488,6 +591,27 @@ fn main() {
             "serve/stats".into(),
             time_ns(49, || client.server_stats().expect("stats").events),
         ));
+        // The rollup-served Stats breakdowns: per-cell and per-period
+        // totals merged from the segments' header-frame rollups and a
+        // live-tier fold — a full round trip that decodes nothing.
+        let (_, rollup) = client
+            .server_stats_with_rollup()
+            .expect("stats rollup probe");
+        assert!(
+            !rollup.cells.is_empty(),
+            "the loaded warehouse serves per-cell rollups"
+        );
+        results.push((
+            "serve/stats_rollup".into(),
+            time_ns(49, || {
+                client
+                    .server_stats_with_rollup()
+                    .expect("stats rollup")
+                    .1
+                    .cells
+                    .len()
+            }),
+        ));
 
         // Multi-client burst: 4 concurrent sessions each ingesting a
         // fixed slice — the whole burst is one op (wall-clock ns).
@@ -565,6 +689,9 @@ fn main() {
             "query.bloom_pruned",
             "query.segment_bytes_read",
             "query.trajectories_decoded",
+            "query.row_cache_hits",
+            "query.row_cache_misses",
+            "query.row_cache_evicted_bytes",
             "serve.snapshot_cache_hits",
             "serve.snapshot_cache_misses",
         ] {
@@ -638,6 +765,13 @@ fn main() {
         cold_speedup >= 5.0,
         "warehouse/cold_open must be >= 5x faster than the eager-decode baseline, \
          got {cold_speedup:.1}x"
+    );
+    let warm_speedup = ratio("warehouse/paged_rescan_warm", "warehouse/paged_rescan_cold");
+    eprintln!("warm re-scan speedup (cold/warm): {warm_speedup:.1}x");
+    assert!(
+        warm_speedup >= 5.0,
+        "warehouse/paged_rescan_warm must be >= 5x faster than the uncached re-scan, \
+         got {warm_speedup:.1}x"
     );
     let find = |key: &str| {
         results

@@ -33,6 +33,8 @@ use std::fmt;
 use sitm_core::{Annotation, Duration, SemanticTrajectory, TimeInterval};
 use sitm_space::CellRef;
 
+use sitm_store::warehouse::SortColumns;
+
 use crate::federation::{federated_for_each, TrajectorySource};
 use crate::index::{CandidateSet, TrajId, TrajectoryDb};
 use crate::predicate::Predicate;
@@ -346,11 +348,16 @@ impl Query {
     ///   ordering + paging decide *which* frames to decode before any
     ///   trajectory is materialized;
     /// * content-derived keys ([`SortKey::TotalDwell`],
-    ///   [`SortKey::MovingObject`], [`SortKey::TraceLength`]): every
-    ///   candidate is decoded (the key needs the row), then sorted and
-    ///   paged as usual.
+    ///   [`SortKey::MovingObject`], [`SortKey::TraceLength`]): the sort
+    ///   key is read from the segments' persisted **sort columns**
+    ///   (format v3; dwell seconds, trace length, and an index into the
+    ///   zone map's sorted object set per row), so ordering + paging
+    ///   again decide which frames to decode before any trajectory is
+    ///   materialized. Only when a segment lacks columns (a v2 file not
+    ///   yet fully decoded) does the query fall back to materializing
+    ///   every candidate.
     ///
-    /// Rows past the page are never materialized on the first two
+    /// Rows past the page are never materialized on the pushed-down
     /// paths. Results are cloned out (cold frames decode to owned
     /// values anyway).
     ///
@@ -418,25 +425,81 @@ impl Query {
                     entries.into_iter().map(|(_, gid)| gid).collect()
                 }
                 SortKey::TotalDwell | SortKey::MovingObject | SortKey::TraceLength => {
-                    // Content-derived key: materialize the candidates.
-                    let mut hits: Vec<(TrajId, SemanticTrajectory)> = ids
-                        .into_iter()
-                        .map(|gid| (gid, fetch(gid)))
-                        .filter(|(_, t)| self.predicate.matches(t))
-                        .collect();
-                    hits.sort_by(|a, b| {
-                        let ord = key.compare(&a.1, &b.1).then(a.0.cmp(&b.0));
-                        if ascending {
-                            ord
-                        } else {
-                            ord.reverse()
+                    let columns: Vec<Option<&SortColumns>> =
+                        segments.iter().map(|s| s.sort_columns()).collect();
+                    if columns.iter().any(|c| c.is_none()) {
+                        // A segment without columns (a v2 file not yet
+                        // fully decoded) forces the fallback:
+                        // materialize the candidates, sort, page.
+                        let mut hits: Vec<(TrajId, SemanticTrajectory)> = ids
+                            .into_iter()
+                            .map(|gid| (gid, fetch(gid)))
+                            .filter(|(_, t)| self.predicate.matches(t))
+                            .collect();
+                        hits.sort_by(|a, b| {
+                            let ord = key.compare(&a.1, &b.1).then(a.0.cmp(&b.0));
+                            if ascending {
+                                ord
+                            } else {
+                                ord.reverse()
+                            }
+                        });
+                        let page = hits.into_iter().skip(self.offset).map(|(_, t)| t);
+                        return match self.limit {
+                            Some(n) => page.take(n).collect(),
+                            None => page.collect(),
+                        };
+                    }
+                    // Column-served ordering, decoding nothing. Sorting
+                    // every candidate by (column key, position) and then
+                    // lazily filtering below is identical to
+                    // filter-then-sort: dropping non-matches preserves
+                    // the relative order of what remains.
+                    match key {
+                        SortKey::MovingObject => {
+                            // The object column indexes into the zone
+                            // map's sorted object set, so the globally
+                            // comparable string is resident.
+                            let objects: Vec<Vec<&str>> = segments
+                                .iter()
+                                .map(|s| s.zone_map.objects.iter().map(|o| o.as_str()).collect())
+                                .collect();
+                            let mut entries: Vec<(&str, TrajId)> = ids
+                                .iter()
+                                .map(|&gid| {
+                                    let (si, local) = locate(gid);
+                                    let c = columns[si].expect("checked above");
+                                    (objects[si][c.object[local] as usize], gid)
+                                })
+                                .collect();
+                            entries.sort_unstable();
+                            if !ascending {
+                                entries.reverse();
+                            }
+                            entries.into_iter().map(|(_, gid)| gid).collect()
                         }
-                    });
-                    let page = hits.into_iter().skip(self.offset).map(|(_, t)| t);
-                    return match self.limit {
-                        Some(n) => page.take(n).collect(),
-                        None => page.collect(),
-                    };
+                        _ => {
+                            // Dwell is persisted in seconds — the exact
+                            // value `Duration` ordering compares.
+                            let mut entries: Vec<(i64, TrajId)> = ids
+                                .iter()
+                                .map(|&gid| {
+                                    let (si, local) = locate(gid);
+                                    let c = columns[si].expect("checked above");
+                                    let v = match key {
+                                        SortKey::TotalDwell => c.dwell[local],
+                                        _ => c.trace_len[local] as i64,
+                                    };
+                                    (v, gid)
+                                })
+                                .collect();
+                            entries.sort_unstable();
+                            if !ascending {
+                                entries.reverse();
+                            }
+                            entries.into_iter().map(|(_, gid)| gid).collect()
+                        }
+                    }
                 }
             },
         };

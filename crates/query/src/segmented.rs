@@ -43,18 +43,24 @@
 //! differential tests demand *exact* equality (ids included) against a
 //! [`TrajectoryDb`] built from the same iteration.
 //!
-//! ## Lazy residency (segment format v2)
+//! ## Lazy residency (segment format v3)
 //!
 //! Segments open **cold**: `SegmentStore::open` reads only header
-//! frames (zone map, offset directory, rollup), so everything above is
-//! available without decoding a single trajectory. A segment's postings
+//! frames (zone map, offset directory, sort columns, rollup), so
+//! everything above is available without decoding a single trajectory —
+//! and the sort columns let content-key ordering (`TotalDwell`,
+//! `MovingObject`, `TraceLength`) decide which frames a page needs
+//! before any row is materialized. A segment's postings
 //! ([`TrajectoryDb`]) hydrate on first contact — when pruning leaves
 //! the segment in a query's surviving set — from one decode pass whose
 //! storage is `Arc`-shared between the store's segment cache and the
 //! postings ([`TrajectoryDb::build_shared`]); there is exactly one
 //! resident copy of a segment's run, ever. A fully-pruned query
 //! therefore reads ~zero segment bytes (`query.segment_bytes_read`).
-//! Hydration **panics** if the segment body turns out corrupt
+//! Single-row seeks land in the store's bounded **row-decode cache**
+//! (see `sitm_store::warehouse`), so repeated paged scans over hot
+//! segments re-decode nothing (`query.row_cache_hits`). Hydration
+//! **panics** if the segment body turns out corrupt
 //! (`Segment::trajectories` errors): header corruption is refused at
 //! open, and the query surface is infallible by signature, so body
 //! corruption discovered mid-query is deliberately fail-stop.
@@ -72,7 +78,9 @@
 //!
 //! Per-cell and per-period aggregates ([`SegmentedDb::rollup_cells`],
 //! [`SegmentedDb::rollup_occupancy`]) merge the segments' header-frame
-//! rollups — Stats-style dashboards answer without hydrating anything.
+//! rollups — the served `Stats` op answers per-cell and per-period
+//! breakdowns from these (merged with a live-tier fold) without
+//! hydrating anything.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;

@@ -24,7 +24,7 @@ use sitm_query::Predicate;
 use sitm_stream::{EmittedEpisode, StreamEvent};
 
 use crate::proto::{
-    decode_response, encode_request, ExplainReport, Request, Response, ServerStats,
+    decode_response, encode_request, ExplainReport, Request, Response, ServerStats, StatsRollup,
 };
 use crate::wire::{read_frame, read_frame_or_idle, write_frame};
 use crate::ServeError;
@@ -188,7 +188,18 @@ impl Client {
     /// this client's own transport counters see [`Client::stats`]).
     pub fn server_stats(&mut self) -> Result<ServerStats, ServeError> {
         match self.call(&Request::Stats)? {
-            Response::Stats(stats) => Ok(stats),
+            Response::Stats { stats, .. } => Ok(stats),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// Fetches the counters together with the decode-free warehouse
+    /// breakdowns: per-cell trajectory/stay/dwell totals and per-period
+    /// occupancy, merged across every segment's rollup frame and the
+    /// live tier.
+    pub fn server_stats_with_rollup(&mut self) -> Result<(ServerStats, StatsRollup), ServeError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { stats, rollup } => Ok((stats, rollup)),
             other => Err(Self::expect_error(other)),
         }
     }

@@ -78,7 +78,7 @@ pub mod wire;
 pub use client::{Client, ClientStats, Notification, Subscriber};
 pub use proto::{
     decode_episode, decode_request, decode_response, encode_episode, encode_request,
-    encode_response, ExplainReport, Request, Response, ServerStats, WirePlan,
+    encode_response, ExplainReport, Request, Response, ServerStats, StatsRollup, WirePlan,
 };
 pub use server::{Server, ServerConfig};
 pub use wire::{read_frame, write_frame, WireError};

@@ -15,10 +15,12 @@ use sitm_obs::codec::{decode_snapshot, snapshot_to_bytes};
 use sitm_obs::MetricsSnapshot;
 use sitm_query::wire::{decode_wire_query, encode_wire_query, WireQuery};
 use sitm_query::{decode_predicate, encode_predicate, Predicate};
+use sitm_space::CellRef;
 use sitm_store::codec::{
     decode_annotations, decode_cell, decode_count, decode_presence, decode_str, decode_trajectory,
     encode_annotations, encode_cell, encode_presence, encode_str, encode_trajectory, take_tag,
 };
+use sitm_store::warehouse::CellRollup;
 use sitm_store::{varint, CodecError};
 use sitm_stream::{EmittedEpisode, StreamEvent, VisitKey};
 
@@ -248,8 +250,14 @@ pub struct ExplainReport {
     /// Cumulative `query.trajectories_decoded` at explain time.
     pub trajectories_decoded: u64,
     /// Cumulative `store.lazy_opens`: segments opened headers-only
-    /// (format v2) since the server started.
+    /// (format v2/v3) since the server started.
     pub lazy_opens: u64,
+    /// Cumulative `query.row_cache_hits`: single-row reads served from
+    /// the warehouse's bounded row-decode cache since the server
+    /// started.
+    pub row_cache_hits: u64,
+    /// Cumulative `query.row_cache_misses`.
+    pub row_cache_misses: u64,
     /// Nanoseconds the server spent cutting the live snapshot for this
     /// plan (quiesce + open-visit clone) — the per-stage timing that
     /// decomposes a federated query's latency.
@@ -290,6 +298,21 @@ pub struct ServerStats {
     pub sessions_active: u64,
 }
 
+/// Decode-free warehouse breakdowns served alongside [`ServerStats`]:
+/// the segments' header-frame rollups merged with a live-tier fold, so
+/// per-cell and per-period totals ride the `Stats` op without the
+/// server decoding a single trajectory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsRollup {
+    /// Bucket width of the `periods` axis, in seconds.
+    pub period_seconds: u64,
+    /// Per-cell totals, strictly ascending by cell.
+    pub cells: Vec<(CellRef, CellRollup)>,
+    /// Period bucket start (seconds, floor-aligned) → distinct
+    /// trajectories present, strictly ascending by bucket.
+    pub periods: Vec<(i64, u64)>,
+}
+
 /// One server response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -302,8 +325,13 @@ pub enum Response {
     Trajectories(Vec<SemanticTrajectory>),
     /// The plan for an [`Request::Explain`].
     Explained(ExplainReport),
-    /// Current counters.
-    Stats(ServerStats),
+    /// Current counters plus decode-free warehouse breakdowns.
+    Stats {
+        /// Engine + warehouse counters.
+        stats: ServerStats,
+        /// Rollup-served per-cell / per-period aggregates.
+        rollup: StatsRollup,
+    },
     /// The finished backlog was spilled and committed.
     Checkpointed {
         /// Trajectories made durable by this checkpoint.
@@ -432,11 +460,13 @@ pub fn encode_response(buf: &mut Vec<u8>, resp: &Response) {
             varint::encode_u64(buf, report.segment_bytes_read);
             varint::encode_u64(buf, report.trajectories_decoded);
             varint::encode_u64(buf, report.lazy_opens);
+            varint::encode_u64(buf, report.row_cache_hits);
+            varint::encode_u64(buf, report.row_cache_misses);
             varint::encode_u64(buf, report.snapshot_build_ns);
             varint::encode_u64(buf, report.evaluate_ns);
             buf.push(report.snapshot_cached as u8);
         }
-        Response::Stats(s) => {
+        Response::Stats { stats: s, rollup } => {
             buf.push(RESP_STATS);
             for n in [
                 s.events,
@@ -452,6 +482,19 @@ pub fn encode_response(buf: &mut Vec<u8>, resp: &Response) {
                 s.sessions_active,
             ] {
                 varint::encode_u64(buf, n);
+            }
+            varint::encode_u64(buf, rollup.period_seconds);
+            varint::encode_u64(buf, rollup.cells.len() as u64);
+            for (cell, agg) in &rollup.cells {
+                encode_cell(buf, *cell);
+                varint::encode_u64(buf, agg.trajectories);
+                varint::encode_u64(buf, agg.stays);
+                varint::encode_u64(buf, agg.dwell_seconds);
+            }
+            varint::encode_u64(buf, rollup.periods.len() as u64);
+            for (bucket, count) in &rollup.periods {
+                varint::encode_i64(buf, *bucket);
+                varint::encode_u64(buf, *count);
             }
         }
         Response::Checkpointed {
@@ -527,6 +570,8 @@ pub fn decode_response(buf: &mut &[u8]) -> Result<Response, CodecError> {
             let segment_bytes_read = varint::decode_u64(buf)?;
             let trajectories_decoded = varint::decode_u64(buf)?;
             let lazy_opens = varint::decode_u64(buf)?;
+            let row_cache_hits = varint::decode_u64(buf)?;
+            let row_cache_misses = varint::decode_u64(buf)?;
             let snapshot_build_ns = varint::decode_u64(buf)?;
             let evaluate_ns = varint::decode_u64(buf)?;
             let snapshot_cached = match take_tag(buf)? {
@@ -543,6 +588,8 @@ pub fn decode_response(buf: &mut &[u8]) -> Result<Response, CodecError> {
                 segment_bytes_read,
                 trajectories_decoded,
                 lazy_opens,
+                row_cache_hits,
+                row_cache_misses,
                 snapshot_build_ns,
                 evaluate_ns,
                 snapshot_cached,
@@ -553,19 +600,63 @@ pub fn decode_response(buf: &mut &[u8]) -> Result<Response, CodecError> {
             for slot in &mut fields {
                 *slot = varint::decode_u64(buf)?;
             }
-            Response::Stats(ServerStats {
-                events: fields[0],
-                presences: fields[1],
-                visits_opened: fields[2],
-                visits_closed: fields[3],
-                episodes: fields[4],
-                anomalies: fields[5],
-                open_visits: fields[6],
-                warehouse_trajectories: fields[7],
-                warehouse_segments: fields[8],
-                sessions_accepted: fields[9],
-                sessions_active: fields[10],
-            })
+            let period_seconds = varint::decode_u64(buf)?;
+            let cell_count = decode_count(buf)?;
+            let mut cells: Vec<(CellRef, CellRollup)> = Vec::with_capacity(cell_count);
+            for _ in 0..cell_count {
+                let cell = decode_cell(buf)?;
+                if let Some((last, _)) = cells.last() {
+                    if *last >= cell {
+                        return Err(CodecError::InvalidTrace(
+                            "stats rollup cells out of order".into(),
+                        ));
+                    }
+                }
+                let trajectories = varint::decode_u64(buf)?;
+                let stays = varint::decode_u64(buf)?;
+                let dwell_seconds = varint::decode_u64(buf)?;
+                cells.push((
+                    cell,
+                    CellRollup {
+                        trajectories,
+                        stays,
+                        dwell_seconds,
+                    },
+                ));
+            }
+            let period_count = decode_count(buf)?;
+            let mut periods: Vec<(i64, u64)> = Vec::with_capacity(period_count);
+            for _ in 0..period_count {
+                let bucket = varint::decode_i64(buf)?;
+                if let Some((last, _)) = periods.last() {
+                    if *last >= bucket {
+                        return Err(CodecError::InvalidTrace(
+                            "stats rollup periods out of order".into(),
+                        ));
+                    }
+                }
+                periods.push((bucket, varint::decode_u64(buf)?));
+            }
+            Response::Stats {
+                stats: ServerStats {
+                    events: fields[0],
+                    presences: fields[1],
+                    visits_opened: fields[2],
+                    visits_closed: fields[3],
+                    episodes: fields[4],
+                    anomalies: fields[5],
+                    open_visits: fields[6],
+                    warehouse_trajectories: fields[7],
+                    warehouse_segments: fields[8],
+                    sessions_accepted: fields[9],
+                    sessions_active: fields[10],
+                },
+                rollup: StatsRollup {
+                    period_seconds,
+                    cells,
+                    periods,
+                },
+            }
         }
         RESP_CHECKPOINTED => Response::Checkpointed {
             spilled: varint::decode_u64(buf)?,
@@ -732,23 +823,53 @@ mod tests {
                 segment_bytes_read: 4_096,
                 trajectories_decoded: 7,
                 lazy_opens: 4,
+                row_cache_hits: 9,
+                row_cache_misses: 5,
                 snapshot_build_ns: 48_000,
                 evaluate_ns: 31_000,
                 snapshot_cached: true,
             }),
-            Response::Stats(ServerStats {
-                events: 1,
-                presences: 2,
-                visits_opened: 3,
-                visits_closed: 4,
-                episodes: 5,
-                anomalies: 6,
-                open_visits: 7,
-                warehouse_trajectories: 8,
-                warehouse_segments: 9,
-                sessions_accepted: 10,
-                sessions_active: 2,
-            }),
+            Response::Stats {
+                stats: ServerStats {
+                    events: 1,
+                    presences: 2,
+                    visits_opened: 3,
+                    visits_closed: 4,
+                    episodes: 5,
+                    anomalies: 6,
+                    open_visits: 7,
+                    warehouse_trajectories: 8,
+                    warehouse_segments: 9,
+                    sessions_accepted: 10,
+                    sessions_active: 2,
+                },
+                rollup: StatsRollup {
+                    period_seconds: 3600,
+                    cells: vec![
+                        (
+                            cell(1),
+                            CellRollup {
+                                trajectories: 2,
+                                stays: 3,
+                                dwell_seconds: 120,
+                            },
+                        ),
+                        (
+                            cell(4),
+                            CellRollup {
+                                trajectories: 1,
+                                stays: 1,
+                                dwell_seconds: 60,
+                            },
+                        ),
+                    ],
+                    periods: vec![(-3600, 1), (0, 2), (7200, 1)],
+                },
+            },
+            Response::Stats {
+                stats: ServerStats::default(),
+                rollup: StatsRollup::default(),
+            },
             Response::Checkpointed {
                 spilled: 12,
                 warehouse_trajectories: 99,

@@ -73,11 +73,12 @@ use std::time::{Duration as StdDuration, Instant};
 use sitm_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use sitm_query::{Predicate, SegmentedDb, TrajectorySource};
 use sitm_store::segment::FRAME_OVERHEAD;
-use sitm_store::warehouse::WarehouseConfig;
+use sitm_store::warehouse::{SegmentRollup, WarehouseConfig, DEFAULT_ROLLUP_PERIOD_SECONDS};
 use sitm_stream::{EmittedEpisode, EngineConfig, Flusher, LiveSnapshot, ParallelEngine};
 
 use crate::proto::{
-    decode_request, encode_response, ExplainReport, Request, Response, ServerStats, WirePlan,
+    decode_request, encode_response, ExplainReport, Request, Response, ServerStats, StatsRollup,
+    WirePlan,
 };
 use crate::wire::{read_frame_or_idle, write_frame, WireError};
 use crate::ServeError;
@@ -896,20 +897,39 @@ fn handle_request(shared: &Shared, request: Request, session: &mut SessionState)
                 let mut core = shared.core.lock().unwrap_or_else(|p| p.into_inner());
                 core.engine.stats()
             };
-            let warehouse = shared.warehouse.read().unwrap_or_else(|p| p.into_inner());
-            Response::Stats(ServerStats {
-                events: stats.events,
-                presences: stats.presences,
-                visits_opened: stats.visits_opened,
-                visits_closed: stats.visits_closed,
-                episodes: stats.episodes,
-                anomalies: stats.anomalies.total(),
-                open_visits: stats.open_visits,
-                warehouse_trajectories: warehouse.db().len() as u64,
-                warehouse_segments: warehouse.db().segments().len() as u64,
-                sessions_accepted: shared.sessions_accepted.load(Ordering::Relaxed),
-                sessions_active: shared.metrics.sessions_active.get().max(0) as u64,
-            })
+            // The breakdowns decode nothing: segment totals come from
+            // the warehouse's header-frame rollups, the live tier folds
+            // through the (epoch-cached) snapshot, and the two merge
+            // component-wise.
+            let (snapshot, _cached, warehouse) = acquire_read_set(shared);
+            let mut merged = SegmentRollup::new(DEFAULT_ROLLUP_PERIOD_SECONDS);
+            snapshot.for_each_trajectory(&mut |t| merged.add(t));
+            for (cell, agg) in warehouse.db().rollup_cells() {
+                merged.cells.entry(cell).or_default().merge(&agg);
+            }
+            for (bucket, count) in warehouse.db().rollup_occupancy() {
+                *merged.periods.entry(bucket).or_insert(0) += count;
+            }
+            Response::Stats {
+                stats: ServerStats {
+                    events: stats.events,
+                    presences: stats.presences,
+                    visits_opened: stats.visits_opened,
+                    visits_closed: stats.visits_closed,
+                    episodes: stats.episodes,
+                    anomalies: stats.anomalies.total(),
+                    open_visits: stats.open_visits,
+                    warehouse_trajectories: warehouse.db().len() as u64,
+                    warehouse_segments: warehouse.db().segments().len() as u64,
+                    sessions_accepted: shared.sessions_accepted.load(Ordering::Relaxed),
+                    sessions_active: shared.metrics.sessions_active.get().max(0) as u64,
+                },
+                rollup: StatsRollup {
+                    period_seconds: merged.period_seconds,
+                    cells: merged.cells.into_iter().collect(),
+                    periods: merged.periods.into_iter().collect(),
+                },
+            }
         }
         Request::Checkpoint => {
             let mut core = shared.core.lock().unwrap_or_else(|p| p.into_inner());
@@ -1018,6 +1038,8 @@ fn explain(shared: &Shared, predicate: &Predicate) -> ExplainReport {
         segment_bytes_read: registry.counter("query.segment_bytes_read").get(),
         trajectories_decoded: registry.counter("query.trajectories_decoded").get(),
         lazy_opens: registry.counter("store.lazy_opens").get(),
+        row_cache_hits: registry.counter("query.row_cache_hits").get(),
+        row_cache_misses: registry.counter("query.row_cache_misses").get(),
         snapshot_build_ns,
         evaluate_ns,
         snapshot_cached,

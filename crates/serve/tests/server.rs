@@ -294,7 +294,13 @@ fn client_reconnects_after_connection_loss() {
         let request = decode_request(&mut frame.as_slice()).expect("decodes");
         assert_eq!(request, sitm_serve::Request::Stats);
         let mut buf = Vec::new();
-        encode_response(&mut buf, &sitm_serve::Response::Stats(Default::default()));
+        encode_response(
+            &mut buf,
+            &sitm_serve::Response::Stats {
+                stats: Default::default(),
+                rollup: Default::default(),
+            },
+        );
         write_frame(&mut second, &buf).expect("respond");
     });
 

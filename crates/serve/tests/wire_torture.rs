@@ -78,7 +78,13 @@ fn request_frame() -> Vec<u8> {
 /// A representative response frame (a stats reply).
 fn response_frame() -> Vec<u8> {
     let mut payload = Vec::new();
-    encode_response(&mut payload, &Response::Stats(Default::default()));
+    encode_response(
+        &mut payload,
+        &Response::Stats {
+            stats: Default::default(),
+            rollup: Default::default(),
+        },
+    );
     let mut frame = Vec::new();
     write_frame(&mut frame, &payload).expect("frame");
     frame
@@ -215,7 +221,13 @@ fn torn_response_at_every_offset_errors_cleanly() {
     // And a framed-but-corrupt payload fails in the codec, not the
     // framing: flip payload bytes and re-frame with a fresh CRC.
     let mut payload = Vec::new();
-    encode_response(&mut payload, &Response::Stats(Default::default()));
+    encode_response(
+        &mut payload,
+        &Response::Stats {
+            stats: Default::default(),
+            rollup: Default::default(),
+        },
+    );
     for i in 0..payload.len() {
         let mut corrupt = payload.clone();
         corrupt[i] ^= 0xFF;

@@ -28,6 +28,12 @@ pub const MAGIC: &[u8; 8] = b"SITMSEG1";
 /// straight to individual trajectory frames.
 pub const MAGIC_V2: &[u8; 8] = b"SITMSEG2";
 
+/// Version-3 segment magic: in addition to the v2 header frames, the
+/// file persists a sort-column frame (fixed-width per-row content sort
+/// keys; see `warehouse`) between the directory and rollup frames, so
+/// content-key ordering never decodes unreturned rows.
+pub const MAGIC_V3: &[u8; 8] = b"SITMSEG3";
+
 /// Frame marker byte preceding every frame.
 pub const FRAME_MARKER: u8 = 0x5A;
 
@@ -104,6 +110,11 @@ pub fn write_header_v2(buf: &mut Vec<u8>) {
     buf.extend_from_slice(MAGIC_V2);
 }
 
+/// Appends the version-3 segment header to an empty buffer.
+pub fn write_header_v3(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(MAGIC_V3);
+}
+
 /// Appends one frame.
 pub fn write_frame(buf: &mut Vec<u8>, payload: &[u8]) {
     assert!(
@@ -117,11 +128,13 @@ pub fn write_frame(buf: &mut Vec<u8>, payload: &[u8]) {
 }
 
 /// Scans a segment buffer, validating the header and every frame.
-/// Accepts either format version — the frame layout is identical; v2
-/// differs only in which frames a writer emits.
+/// Accepts any format version — the frame layout is identical; the
+/// versions differ only in which frames a writer emits.
 pub fn scan(data: &[u8]) -> ScanOutcome<'_> {
     if data.len() < MAGIC.len()
-        || (&data[..MAGIC.len()] != MAGIC && &data[..MAGIC.len()] != MAGIC_V2)
+        || (&data[..MAGIC.len()] != MAGIC
+            && &data[..MAGIC.len()] != MAGIC_V2
+            && &data[..MAGIC.len()] != MAGIC_V3)
     {
         return ScanOutcome {
             payloads: Vec::new(),
@@ -229,7 +242,7 @@ mod tests {
         assert_eq!(scan(b"").corruption, Some(Corruption::BadHeader));
         assert_eq!(scan(b"SITM").corruption, Some(Corruption::BadHeader));
         assert_eq!(scan(b"WRONGMAG").corruption, Some(Corruption::BadHeader));
-        assert_eq!(scan(b"SITMSEG3").corruption, Some(Corruption::BadHeader));
+        assert_eq!(scan(b"SITMSEG9").corruption, Some(Corruption::BadHeader));
     }
 
     #[test]
@@ -240,6 +253,19 @@ mod tests {
         write_frame(&mut buf, b"dir");
         let out = scan(&buf);
         assert_eq!(out.payloads, vec![b"zone".as_slice(), b"dir"]);
+        assert_eq!(out.corruption, None);
+        assert_eq!(out.valid_len, buf.len());
+    }
+
+    #[test]
+    fn v3_header_scans_with_the_same_frame_layout() {
+        let mut buf = Vec::new();
+        write_header_v3(&mut buf);
+        write_frame(&mut buf, b"zone");
+        write_frame(&mut buf, b"dir");
+        write_frame(&mut buf, b"sort");
+        let out = scan(&buf);
+        assert_eq!(out.payloads, vec![b"zone".as_slice(), b"dir", b"sort"]);
         assert_eq!(out.corruption, None);
         assert_eq!(out.valid_len, buf.len());
     }

@@ -7,7 +7,7 @@
 //! in the related work); `sitm_query::SegmentedDb` supplies the query
 //! half on top of it.
 //!
-//! ## Segment files (format v2)
+//! ## Segment files (format v3)
 //!
 //! A segment is an **immutable sorted run** of encoded
 //! [`SemanticTrajectory`]s, framed exactly like every other durable
@@ -15,9 +15,10 @@
 //! marker/length/CRC frames):
 //!
 //! ```text
-//! seg-NNNNNNNN.seg := magic "SITMSEG2"
+//! seg-NNNNNNNN.seg := magic "SITMSEG3"
 //!                   | frame(zone map)
 //!                   | frame(offset directory)
+//!                   | frame(sort columns)
 //!                   | frame(rollup)
 //!                   | frame(trajectory)*
 //! ```
@@ -32,7 +33,7 @@
 //! Frame 1 is the [`SegmentDirectory`]: one fixed-width entry per
 //! trajectory carrying the byte offset and length of its frame plus its
 //! span start/end. With it, [`SegmentStore::open`] reads **headers
-//! only** — the three leading frames, never a trajectory byte — and a
+//! only** — the four leading frames, never a trajectory byte — and a
 //! [`Segment`] decodes trajectories lazily: the whole run on first
 //! indexed access ([`Segment::trajectories`], cached), or one row at a
 //! time by a directory-guided seek ([`Segment::read_trajectory`], the
@@ -40,13 +41,41 @@
 //! sort/pre-filter index: start/end/duration orderings and
 //! span-overlap screens need no decode at all.
 //!
-//! Frame 2 is the [`SegmentRollup`]: per-cell trajectory/stay/dwell
+//! Frame 2 is the segment's [`SortColumns`]: fixed-width per-row
+//! *content* sort keys — total dwell seconds, trace length, and the
+//! row's moving-object as an index into the zone map's (resident,
+//! sorted) object set. The span columns in the directory serve
+//! start/end/duration orderings; these columns serve the content-key
+//! orderings (`TotalDwell` / `MovingObject` / `TraceLength`), so a
+//! sorted/limited query over any key decodes only the returned page.
+//!
+//! Frame 3 is the [`SegmentRollup`]: per-cell trajectory/stay/dwell
 //! totals and per-period span-presence counts pre-aggregated at build,
 //! so Stats-style GROUP BY answers come from headers alone.
 //!
-//! **Version 1 files** (`SITMSEG1`, no directory or rollup frame) still
-//! open: the directory and rollup are *derived data*, rebuilt by one
-//! full decode at open — the same contract as the pre-Bloom zone maps.
+//! **Version 1 files** (`SITMSEG1`, no directory, sort-column, or
+//! rollup frame) still open: those frames are *derived data*, rebuilt
+//! by one full decode at open — the same contract as the pre-Bloom zone
+//! maps. **Version 2 files** (`SITMSEG2`, no sort-column frame) open
+//! headers-only exactly as before; their sort columns are rebuilt as
+//! derived data on the first full decode, mirroring the v1 → v2 path.
+//!
+//! ## The row-decode cache
+//!
+//! Directory-guided single-row seeks ([`Segment::read_trajectory`])
+//! and full decodes populate a **store-wide bounded row cache** keyed
+//! by `(segment id, row index)` with a configurable byte budget
+//! ([`WarehouseConfig::row_cache_bytes`], default 16 MiB, `0`
+//! disables). Repeated paged scans over the same hot rows decode each
+//! row once; cold rows are evicted second-chance (CLOCK) when the
+//! budget overflows — a hit marks its row hot instead of refiling a
+//! strict-LRU order, keeping the warm path allocation-free — and a
+//! compaction that retires a segment id invalidates
+//! that segment's entries wholesale (ids are never reused, so a stale
+//! hit is impossible). Residency is observable via the
+//! `query.row_cache_hits` / `query.row_cache_misses` /
+//! `query.row_cache_evicted_bytes` counters and the
+//! `query.row_cache_bytes` gauge.
 //!
 //! ## The global object index
 //!
@@ -89,13 +118,13 @@
 //! for the next open's GC. `tests/warehouse.rs` tortures both the
 //! manifest and the newest segment file at every byte offset.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use sitm_obs::{Counter, MetricsRegistry};
+use sitm_obs::{Counter, Gauge, MetricsRegistry};
 
 use sitm_core::{AnnotationSet, SemanticTrajectory, TimeInterval, Timestamp};
 use sitm_space::CellRef;
@@ -522,6 +551,138 @@ impl SegmentDirectory {
     }
 }
 
+// --- content sort columns --------------------------------------------------
+
+/// Bytes per encoded [`SortColumns`] row (dwell i64, trace_len u32,
+/// object u32, all LE).
+const SORT_COLUMN_ROW_BYTES: usize = 8 + 4 + 4;
+
+/// Fixed-width per-row content sort keys (v3 header frame 2): the
+/// columns a sorted/paged query orders `TotalDwell` / `MovingObject` /
+/// `TraceLength` queries from, deciding which frames to decode before
+/// any trajectory is materialized — the content-key twin of the
+/// directory's span columns.
+///
+/// All three vectors have one entry per trajectory, in run order. The
+/// moving-object column stores each row's object as an index into the
+/// segment's [`ZoneMap::objects`] set in sorted order — the set is
+/// always resident, so the actual (globally comparable) string is
+/// recovered without decoding the row or persisting a byte of it
+/// twice.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SortColumns {
+    /// Total dwell per row (sum of stay durations), seconds — orders
+    /// exactly as `Trace::dwell_total` (`Duration` is a seconds
+    /// newtype).
+    pub dwell: Vec<i64>,
+    /// Trace tuples per row.
+    pub trace_len: Vec<u32>,
+    /// Per-row moving-object as an index into the zone map's sorted
+    /// object set.
+    pub object: Vec<u32>,
+}
+
+impl SortColumns {
+    /// Builds the columns over a run of trajectories (the same run the
+    /// zone map summarizes, so the object indexes line up with
+    /// [`ZoneMap::objects`]).
+    pub fn build(trajectories: &[SemanticTrajectory]) -> SortColumns {
+        let objects: BTreeSet<&str> = trajectories
+            .iter()
+            .map(|t| t.moving_object.as_str())
+            .collect();
+        let index: BTreeMap<&str, u32> = objects
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| (o, i as u32))
+            .collect();
+        SortColumns {
+            dwell: trajectories
+                .iter()
+                .map(|t| t.trace().dwell_total().as_seconds())
+                .collect(),
+            trace_len: trajectories
+                .iter()
+                .map(|t| t.trace().len() as u32)
+                .collect(),
+            object: trajectories
+                .iter()
+                .map(|t| index[t.moving_object.as_str()])
+                .collect(),
+        }
+    }
+
+    /// Rows the columns cover.
+    pub fn len(&self) -> usize {
+        self.dwell.len()
+    }
+
+    /// True when the columns cover no rows.
+    pub fn is_empty(&self) -> bool {
+        self.dwell.is_empty()
+    }
+
+    /// Encodes the columns (fixed width: u64 count, then dwell i64 /
+    /// trace_len u32 / object u32 per row, all LE).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.dwell.len() as u64).to_le_bytes());
+        for i in 0..self.dwell.len() {
+            buf.extend_from_slice(&self.dwell[i].to_le_bytes());
+            buf.extend_from_slice(&self.trace_len[i].to_le_bytes());
+            buf.extend_from_slice(&self.object[i].to_le_bytes());
+        }
+    }
+
+    /// Decodes columns encoded by [`SortColumns::encode`].
+    pub fn decode(buf: &mut &[u8]) -> Result<SortColumns, CodecError> {
+        if buf.len() < 8 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let (head, rest) = buf.split_at(8);
+        let count = u64::from_le_bytes(head.try_into().expect("8 bytes"));
+        *buf = rest;
+        if count.saturating_mul(SORT_COLUMN_ROW_BYTES as u64) > buf.len() as u64 {
+            return Err(CodecError::LengthOverrun {
+                declared: count,
+                available: buf.len(),
+            });
+        }
+        let mut columns = SortColumns {
+            dwell: Vec::with_capacity(count as usize),
+            trace_len: Vec::with_capacity(count as usize),
+            object: Vec::with_capacity(count as usize),
+        };
+        for _ in 0..count {
+            let (head, rest) = buf.split_at(SORT_COLUMN_ROW_BYTES);
+            columns
+                .dwell
+                .push(i64::from_le_bytes(head[0..8].try_into().expect("8 bytes")));
+            columns
+                .trace_len
+                .push(u32::from_le_bytes(head[8..12].try_into().expect("4 bytes")));
+            columns.object.push(u32::from_le_bytes(
+                head[12..16].try_into().expect("4 bytes"),
+            ));
+            *buf = rest;
+        }
+        Ok(columns)
+    }
+
+    /// Structural validation against the zone map the segment opened
+    /// with: `rows` entries, every object index inside the zone map's
+    /// object set. Catches a tampered or mismatched frame at open,
+    /// before any ordering decision trusts it.
+    fn validate(&self, rows: u64, objects: u64) -> Result<(), &'static str> {
+        if self.dwell.len() as u64 != rows {
+            return Err("sort-column count disagrees with zone map");
+        }
+        if self.object.iter().any(|&o| o as u64 >= objects) {
+            return Err("sort-column object index out of bounds");
+        }
+        Ok(())
+    }
+}
+
 // --- rollup frames ---------------------------------------------------------
 
 /// Per-cell pre-aggregates of one segment (the GROUP BY axes of
@@ -549,8 +710,8 @@ impl CellRollup {
 /// Default width of a rollup period bucket (one hour).
 pub const DEFAULT_ROLLUP_PERIOD_SECONDS: u64 = 3600;
 
-/// Per-zone / per-period pre-aggregates written at segment build (v2
-/// frame 2), so Stats-style aggregates answer from headers alone —
+/// Per-zone / per-period pre-aggregates written at segment build (v3
+/// frame 3), so Stats-style aggregates answer from headers alone —
 /// the pre-aggregated measures the trajectory-warehouse line of work
 /// keeps beside its zone metadata.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -565,39 +726,68 @@ pub struct SegmentRollup {
 }
 
 impl SegmentRollup {
-    /// Builds the rollup over a run of trajectories.
-    pub fn build(trajectories: &[SemanticTrajectory], period_seconds: u64) -> SegmentRollup {
-        let mut rollup = SegmentRollup {
+    /// An empty rollup with the given period width (the starting point
+    /// for folding trajectories in one at a time with
+    /// [`SegmentRollup::add`] — e.g. a live tier aggregated on the
+    /// fly).
+    pub fn new(period_seconds: u64) -> SegmentRollup {
+        SegmentRollup {
             period_seconds,
             ..SegmentRollup::default()
-        };
+        }
+    }
+
+    /// Builds the rollup over a run of trajectories.
+    pub fn build(trajectories: &[SemanticTrajectory], period_seconds: u64) -> SegmentRollup {
+        let mut rollup = SegmentRollup::new(period_seconds);
         for t in trajectories {
-            let mut touched: BTreeSet<CellRef> = BTreeSet::new();
-            for stay in t.trace().intervals() {
-                let slot = rollup.cells.entry(stay.cell).or_default();
-                slot.stays += 1;
-                slot.dwell_seconds += stay.duration().as_seconds().max(0) as u64;
-                touched.insert(stay.cell);
-            }
-            for cell in touched {
-                rollup.cells.entry(cell).or_default().trajectories += 1;
-            }
-            if period_seconds > 0 {
-                let span = t.span();
-                let first = span.start.as_seconds().div_euclid(period_seconds as i64);
-                let last = span.end.as_seconds().div_euclid(period_seconds as i64);
-                for bucket in first..=last {
-                    *rollup
-                        .periods
-                        .entry(bucket * period_seconds as i64)
-                        .or_insert(0) += 1;
-                }
-            }
+            rollup.add(t);
         }
         rollup
     }
 
-    /// Encodes the rollup (segment frame 2).
+    /// Folds one trajectory into the rollup.
+    pub fn add(&mut self, t: &SemanticTrajectory) {
+        let mut touched: BTreeSet<CellRef> = BTreeSet::new();
+        for stay in t.trace().intervals() {
+            let slot = self.cells.entry(stay.cell).or_default();
+            slot.stays += 1;
+            slot.dwell_seconds += stay.duration().as_seconds().max(0) as u64;
+            touched.insert(stay.cell);
+        }
+        for cell in touched {
+            self.cells.entry(cell).or_default().trajectories += 1;
+        }
+        if self.period_seconds > 0 {
+            let span = t.span();
+            let first = span
+                .start
+                .as_seconds()
+                .div_euclid(self.period_seconds as i64);
+            let last = span.end.as_seconds().div_euclid(self.period_seconds as i64);
+            for bucket in first..=last {
+                *self
+                    .periods
+                    .entry(bucket * self.period_seconds as i64)
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Folds another rollup in: cells merge component-wise, periods sum
+    /// per bucket. Only meaningful across rollups sharing the same
+    /// `period_seconds` (the warehouse builds every frame with
+    /// [`DEFAULT_ROLLUP_PERIOD_SECONDS`]).
+    pub fn merge(&mut self, other: &SegmentRollup) {
+        for (cell, cr) in &other.cells {
+            self.cells.entry(*cell).or_default().merge(cr);
+        }
+        for (bucket, n) in &other.periods {
+            *self.periods.entry(*bucket).or_insert(0) += n;
+        }
+    }
+
+    /// Encodes the rollup (segment frame 3).
     pub fn encode(&self, buf: &mut Vec<u8>) {
         varint::encode_u64(buf, self.period_seconds);
         varint::encode_u64(buf, self.cells.len() as u64);
@@ -792,14 +982,14 @@ impl Record for ObjectIndexRecord {
 
 // --- segment file i/o ------------------------------------------------------
 
-/// Serializes one v2 segment (zone map, offset directory, rollup,
-/// trajectories) into a buffer, returning the encoded file and the
-/// directory describing it.
+/// Serializes one v3 segment (zone map, offset directory, sort
+/// columns, rollup, trajectories) into a buffer, returning the encoded
+/// file plus the directory and sort columns describing it.
 fn encode_segment_file(
     zone_map: &ZoneMap,
     rollup: &SegmentRollup,
     trajectories: &[SemanticTrajectory],
-) -> (Vec<u8>, SegmentDirectory) {
+) -> (Vec<u8>, SegmentDirectory, SortColumns) {
     // Encode the trajectory payloads first: the directory needs their
     // lengths, and the header frames' sizes must be known before any
     // offset is final (which is why the directory is fixed-width).
@@ -811,6 +1001,9 @@ fn encode_segment_file(
     }
     let mut zone_payload = Vec::new();
     zone_map.encode(&mut zone_payload);
+    let sort_columns = SortColumns::build(trajectories);
+    let mut sort_payload = Vec::new();
+    sort_columns.encode(&mut sort_payload);
     let mut rollup_payload = Vec::new();
     rollup.encode(&mut rollup_payload);
     let headers_end = segment::MAGIC.len()
@@ -818,6 +1011,8 @@ fn encode_segment_file(
         + zone_payload.len()
         + segment::FRAME_OVERHEAD
         + SegmentDirectory::encoded_len(trajectories.len())
+        + segment::FRAME_OVERHEAD
+        + sort_payload.len()
         + segment::FRAME_OVERHEAD
         + rollup_payload.len();
     let mut directory = SegmentDirectory::default();
@@ -834,22 +1029,24 @@ fn encode_segment_file(
         offset += len as u64;
     }
     let mut buf = Vec::with_capacity(offset as usize);
-    segment::write_header_v2(&mut buf);
+    segment::write_header_v3(&mut buf);
     segment::write_frame(&mut buf, &zone_payload);
     let mut directory_payload = Vec::new();
     directory.encode(&mut directory_payload);
     segment::write_frame(&mut buf, &directory_payload);
+    segment::write_frame(&mut buf, &sort_payload);
     segment::write_frame(&mut buf, &rollup_payload);
     debug_assert_eq!(buf.len(), headers_end);
     for p in &payloads {
         segment::write_frame(&mut buf, p);
     }
-    (buf, directory)
+    (buf, directory, sort_columns)
 }
 
-/// Reads and fully validates one segment file (either format version),
+/// Reads and fully validates one segment file (any format version),
 /// decoding every trajectory eagerly. [`SegmentStore::open`] only takes
-/// this path for v1 files; v2 files open headers-only and lazy-decode.
+/// this path for v1 files; v2/v3 files open headers-only and
+/// lazy-decode.
 pub fn read_segment_file(
     path: &Path,
     id: u64,
@@ -860,8 +1057,10 @@ pub fn read_segment_file(
         return Err(WarehouseError::CorruptSegment { id, corruption });
     }
     // v2 carries two extra header frames (directory, rollup) between
-    // the zone map and the trajectories.
-    let header_frames = if data.starts_with(segment::MAGIC_V2) {
+    // the zone map and the trajectories; v3 adds the sort columns.
+    let header_frames = if data.starts_with(segment::MAGIC_V3) {
+        4
+    } else if data.starts_with(segment::MAGIC_V2) {
         3
     } else {
         1
@@ -965,17 +1164,21 @@ fn read_frame_at(
 
 /// What a headers-only open yields: everything but the trajectories,
 /// plus the eagerly decoded run when the file predates the directory
-/// (v1, where one full decode is the only way to derive it).
+/// (v1, where one full decode is the only way to derive it). The sort
+/// columns are `None` only for v2 files, whose columns are rebuilt as
+/// derived data on the first full decode.
 struct SegmentHeaders {
     zone_map: ZoneMap,
     directory: SegmentDirectory,
+    sort_columns: Option<SortColumns>,
     rollup: SegmentRollup,
     preloaded: Option<Vec<SemanticTrajectory>>,
 }
 
-/// Opens one segment file reading headers only (magic + the three
-/// leading frames) for v2; falls back to a full decode for v1 files,
-/// rebuilding the directory and rollup as derived data.
+/// Opens one segment file reading headers only (magic + the leading
+/// frames: four for v3, three for v2); falls back to a full decode for
+/// v1 files, rebuilding the directory, sort columns, and rollup as
+/// derived data.
 fn read_segment_headers(path: &Path, id: u64) -> Result<SegmentHeaders, WarehouseError> {
     let mut file = File::open(path)?;
     let file_len = file.metadata()?.len();
@@ -1011,15 +1214,18 @@ fn read_segment_headers(path: &Path, id: u64) -> Result<SegmentHeaders, Warehous
             }
             cursor += frame_len;
         }
+        let sort_columns = SortColumns::build(&trajectories);
         let rollup = SegmentRollup::build(&trajectories, DEFAULT_ROLLUP_PERIOD_SECONDS);
         return Ok(SegmentHeaders {
             zone_map,
             directory,
+            sort_columns: Some(sort_columns),
             rollup,
             preloaded: Some(trajectories),
         });
     }
-    if &magic != segment::MAGIC_V2 {
+    let is_v3 = &magic == segment::MAGIC_V3;
+    if !is_v3 && &magic != segment::MAGIC_V2 {
         return Err(WarehouseError::CorruptSegment {
             id,
             corruption: Corruption::BadHeader,
@@ -1043,7 +1249,22 @@ fn read_segment_headers(path: &Path, id: u64) -> Result<SegmentHeaders, Warehous
             what: "trailing bytes after directory",
         });
     }
-    let (rollup_payload, headers_end) = read_frame_at(&mut file, after_dir, file_len, id)?;
+    // v3 only: the sort-column frame sits between directory and rollup.
+    let (sort_columns, after_sort) = if is_v3 {
+        let (sort_payload, after_sort) = read_frame_at(&mut file, after_dir, file_len, id)?;
+        let mut cursor: &[u8] = &sort_payload;
+        let columns = SortColumns::decode(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(WarehouseError::Inconsistent {
+                id,
+                what: "trailing bytes after sort columns",
+            });
+        }
+        (Some(columns), after_sort)
+    } else {
+        (None, after_dir)
+    };
+    let (rollup_payload, headers_end) = read_frame_at(&mut file, after_sort, file_len, id)?;
     let mut cursor: &[u8] = &rollup_payload;
     let rollup = SegmentRollup::decode(&mut cursor)?;
     if !cursor.is_empty() {
@@ -1055,9 +1276,15 @@ fn read_segment_headers(path: &Path, id: u64) -> Result<SegmentHeaders, Warehous
     directory
         .validate(headers_end, file_len, zone_map.len)
         .map_err(|what| WarehouseError::Inconsistent { id, what })?;
+    if let Some(columns) = &sort_columns {
+        columns
+            .validate(zone_map.len, zone_map.objects.len() as u64)
+            .map_err(|what| WarehouseError::Inconsistent { id, what })?;
+    }
     Ok(SegmentHeaders {
         zone_map,
         directory,
+        sort_columns,
         rollup,
         preloaded: None,
     })
@@ -1075,6 +1302,9 @@ fn sync_dir(_dir: &Path) -> std::io::Result<()> {
 
 // --- the segment store -----------------------------------------------------
 
+/// Default byte budget of the store-wide row-decode cache (16 MiB).
+pub const DEFAULT_ROW_CACHE_BYTES: usize = 16 * 1024 * 1024;
+
 /// Warehouse-tier configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WarehouseConfig {
@@ -1084,6 +1314,9 @@ pub struct WarehouseConfig {
     /// Size-tiered compaction fanout: when `fanout` segments share a
     /// size tier (log₂ bucket of record count), they merge into one.
     pub fanout: usize,
+    /// Byte budget of the store-wide row-decode cache (see the module
+    /// docs; `0` disables caching entirely).
+    pub row_cache_bytes: usize,
 }
 
 impl Default for WarehouseConfig {
@@ -1091,6 +1324,7 @@ impl Default for WarehouseConfig {
         WarehouseConfig {
             manifest: CompactionPolicy::default(),
             fanout: 4,
+            row_cache_bytes: DEFAULT_ROW_CACHE_BYTES,
         }
     }
 }
@@ -1113,6 +1347,175 @@ impl LazyIoMetrics {
     }
 }
 
+/// Instrument handles the row cache charges (`query.*` names — the
+/// cache exists to make repeated query reads cheap).
+#[derive(Debug, Clone)]
+struct RowCacheMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evicted_bytes: Arc<Counter>,
+    bytes: Arc<Gauge>,
+}
+
+impl RowCacheMetrics {
+    fn bind(registry: &MetricsRegistry) -> RowCacheMetrics {
+        RowCacheMetrics {
+            hits: registry.counter("query.row_cache_hits"),
+            misses: registry.counter("query.row_cache_misses"),
+            evicted_bytes: registry.counter("query.row_cache_evicted_bytes"),
+            bytes: registry.gauge("query.row_cache_bytes"),
+        }
+    }
+}
+
+/// One cached decoded row.
+#[derive(Debug)]
+struct RowCacheEntry {
+    row: SemanticTrajectory,
+    /// Charged bytes (the row's on-disk frame length — a stable proxy
+    /// for decoded size that the directory already knows).
+    cost: u64,
+    /// Second-chance bit: set by every hit, cleared (and the entry
+    /// spared once) when the eviction hand sweeps past.
+    hot: bool,
+}
+
+/// The bounded store-wide row-decode cache (see the module docs):
+/// `(segment id, row index)` → decoded trajectory with second-chance
+/// (CLOCK) eviction, shared by every [`Segment`] of a store behind one
+/// `Arc` so a byte budget caps the *store's* residency, not one
+/// segment's. CLOCK keeps the hit path allocation-free — a hit sets
+/// one flag instead of refiling a strict-LRU order, which matters
+/// because warm paged re-scans take this path once per returned row.
+/// Compaction retiring a segment id invalidates its entries wholesale;
+/// segment ids are never reused, so a stale hit is impossible.
+#[derive(Debug, Clone)]
+struct RowCache {
+    inner: Arc<Mutex<RowCacheInner>>,
+}
+
+#[derive(Debug)]
+struct RowCacheInner {
+    /// Byte budget (`0` disables the cache).
+    budget: u64,
+    /// Charged bytes currently resident.
+    bytes: u64,
+    rows: HashMap<(u64, usize), RowCacheEntry>,
+    /// Insertion-ordered sweep queue (the clock hand pops the front; a
+    /// hot entry is cooled and re-queued, a cold one is evicted).
+    sweep: VecDeque<(u64, usize)>,
+    metrics: RowCacheMetrics,
+}
+
+impl RowCache {
+    fn new(budget: usize, registry: &MetricsRegistry) -> RowCache {
+        RowCache {
+            inner: Arc::new(Mutex::new(RowCacheInner {
+                budget: budget as u64,
+                bytes: 0,
+                rows: HashMap::new(),
+                sweep: VecDeque::new(),
+                metrics: RowCacheMetrics::bind(registry),
+            })),
+        }
+    }
+
+    /// Looks up one row, marking it hot for the next eviction sweep. A
+    /// disabled cache (budget 0) answers `None` without counting a
+    /// miss.
+    fn get(&self, segment: u64, row: usize) -> Option<SemanticTrajectory> {
+        let mut guard = self.inner.lock().expect("row cache poisoned");
+        let inner = &mut *guard;
+        if inner.budget == 0 {
+            return None;
+        }
+        let Some(entry) = inner.rows.get_mut(&(segment, row)) else {
+            inner.metrics.misses.inc();
+            return None;
+        };
+        entry.hot = true;
+        inner.metrics.hits.inc();
+        Some(entry.row.clone())
+    }
+
+    /// Admits one freshly decoded row, sweeping cold entries out until
+    /// the budget holds (hot entries get one second chance per sweep).
+    /// A row too large for the whole budget is never admitted (it
+    /// would evict everything for one uncacheable resident).
+    fn insert(&self, segment: u64, row: usize, t: &SemanticTrajectory, cost: u64) {
+        let mut guard = self.inner.lock().expect("row cache poisoned");
+        let inner = &mut *guard;
+        if inner.budget == 0 || cost > inner.budget || inner.rows.contains_key(&(segment, row)) {
+            return;
+        }
+        inner.rows.insert(
+            (segment, row),
+            RowCacheEntry {
+                row: t.clone(),
+                cost,
+                hot: false,
+            },
+        );
+        inner.sweep.push_back((segment, row));
+        inner.bytes += cost;
+        while inner.bytes > inner.budget {
+            let key = inner
+                .sweep
+                .pop_front()
+                .expect("over budget implies entries");
+            let entry = inner.rows.get_mut(&key).expect("sweep and rows agree");
+            if entry.hot {
+                entry.hot = false;
+                inner.sweep.push_back(key);
+                continue;
+            }
+            let evicted = inner.rows.remove(&key).expect("present above");
+            inner.bytes -= evicted.cost;
+            inner.metrics.evicted_bytes.add(evicted.cost);
+        }
+        inner.metrics.bytes.set(inner.bytes as i64);
+    }
+
+    /// Drops every entry of one retired segment id (compaction's
+    /// wholesale invalidation hook). Freed bytes are not counted as
+    /// evictions — nothing was displaced by pressure.
+    fn invalidate_segment(&self, segment: u64) {
+        let mut guard = self.inner.lock().expect("row cache poisoned");
+        let inner = &mut *guard;
+        if inner.rows.is_empty() {
+            return;
+        }
+        inner.sweep.retain(|&(seg, _)| seg != segment);
+        let mut freed = 0u64;
+        inner.rows.retain(|&(seg, _), entry| {
+            if seg == segment {
+                freed += entry.cost;
+                false
+            } else {
+                true
+            }
+        });
+        inner.bytes -= freed;
+        inner.metrics.bytes.set(inner.bytes as i64);
+    }
+
+    /// Re-points the cache's instruments at `registry`, re-reporting
+    /// the current residency on the fresh gauge.
+    fn set_metrics(&self, registry: &MetricsRegistry) {
+        let mut guard = self.inner.lock().expect("row cache poisoned");
+        guard.metrics = RowCacheMetrics::bind(registry);
+        let bytes = guard.bytes;
+        guard.metrics.bytes.set(bytes as i64);
+    }
+
+    /// Charged bytes currently resident (tests assert the budget
+    /// invariant through this).
+    #[cfg(test)]
+    fn bytes(&self) -> u64 {
+        self.inner.lock().expect("row cache poisoned").bytes
+    }
+}
+
 /// One live segment: headers resident (zone map, offset directory,
 /// rollup), trajectories decoded **lazily** — a segment every query
 /// prunes costs ~zero bytes read for its entire lifetime.
@@ -1126,6 +1529,10 @@ pub struct Segment {
     directory: SegmentDirectory,
     /// Per-zone / per-period pre-aggregates.
     rollup: SegmentRollup,
+    /// Fixed-width content sort keys: resident from open for v3 (and
+    /// v1) files, rebuilt as derived data on the first full decode for
+    /// v2 files.
+    sort_columns: OnceLock<Arc<SortColumns>>,
     /// Backing file (the source of every lazy read).
     path: PathBuf,
     /// The sorted run, decoded at most once and shared from then on
@@ -1133,6 +1540,9 @@ pub struct Segment {
     /// cloning it).
     loaded: OnceLock<Arc<Vec<SemanticTrajectory>>>,
     io: LazyIoMetrics,
+    /// The store-wide bounded row-decode cache (shared by every
+    /// segment of the owning store).
+    cache: RowCache,
 }
 
 impl Segment {
@@ -1156,6 +1566,15 @@ impl Segment {
         &self.rollup
     }
 
+    /// The content sort columns, when resident: always for v3 (and v1)
+    /// files, and for v2 files once the run has been fully decoded
+    /// (they are derived data there, mirroring the v1 directory
+    /// rebuild). Never forces a decode — a caller finding `None` must
+    /// fall back to materializing the rows it orders.
+    pub fn sort_columns(&self) -> Option<&SortColumns> {
+        self.sort_columns.get().map(|c| c.as_ref())
+    }
+
     /// True once the sorted run has been decoded (and cached).
     pub fn is_loaded(&self) -> bool {
         self.loaded.get().is_some()
@@ -1170,6 +1589,11 @@ impl Segment {
             return Ok(run);
         }
         let run = Arc::new(self.decode_all()?);
+        // v2 files carry no sort-column frame; the full decode is the
+        // moment the columns become derivable for free.
+        if self.sort_columns.get().is_none() {
+            let _ = self.sort_columns.set(Arc::new(SortColumns::build(&run)));
+        }
         Ok(self.loaded.get_or_init(|| run))
     }
 
@@ -1177,6 +1601,8 @@ impl Segment {
     /// frame read, never touching the rest of the run (unless the run
     /// is already cached, which is free). The sorted/paged pushdown
     /// path — paging never materializes non-returned trajectories.
+    /// Consults (and on a miss, populates) the store-wide row cache, so
+    /// a warm re-scan of the same rows decodes nothing.
     pub fn read_trajectory(&self, i: usize) -> Result<SemanticTrajectory, WarehouseError> {
         if let Some(run) = self.loaded.get() {
             return run.get(i).cloned().ok_or(WarehouseError::Inconsistent {
@@ -1190,6 +1616,9 @@ impl Segment {
                 what: "trajectory index out of range",
             });
         };
+        if let Some(t) = self.cache.get(self.id, i) {
+            return Ok(t);
+        }
         let mut file = File::open(&self.path)?;
         let file_len = entry.offset + entry.len as u64;
         let (payload, _) = read_frame_at(&mut file, entry.offset, file_len, self.id)?;
@@ -1205,6 +1634,7 @@ impl Segment {
                 what: "trailing bytes after trajectory",
             });
         }
+        self.cache.insert(self.id, i, &t, entry.len as u64);
         Ok(t)
     }
 
@@ -1258,6 +1688,11 @@ impl Segment {
                     what: "trailing bytes after trajectory",
                 });
             }
+            // Full decodes seed the row cache too, so rows stay warm
+            // even after the run's Arc is dropped; the sweep simply
+            // evicts what the budget cannot hold.
+            self.cache
+                .insert(self.id, trajectories.len(), &t, entry.len as u64);
             trajectories.push(t);
         }
         self.io.decoded.add(trajectories.len() as u64);
@@ -1304,6 +1739,8 @@ pub struct SegmentStore {
     policy: WarehouseConfig,
     metrics: StoreMetrics,
     lazy_io: LazyIoMetrics,
+    /// The store-wide bounded row-decode cache every segment shares.
+    row_cache: RowCache,
     segments: Vec<Segment>,
     /// Newest `policy.manifest.keep` records, oldest first — what a
     /// manifest compaction rewrites the log to.
@@ -1342,6 +1779,7 @@ impl SegmentStore {
             LogStore::<ObjectIndexRecord>::open(dir.join("objindex.log"))?;
         let metrics = StoreMetrics::bind(MetricsRegistry::global());
         let lazy_io = LazyIoMetrics::bind(MetricsRegistry::global());
+        let row_cache = RowCache::new(policy.row_cache_bytes, MetricsRegistry::global());
         let current = records.last().cloned();
         let history: VecDeque<ManifestRecord> = records
             .iter()
@@ -1386,14 +1824,20 @@ impl SegmentStore {
                         lazy_opened += 1;
                     }
                 }
+                let sort_columns = OnceLock::new();
+                if let Some(columns) = headers.sort_columns {
+                    let _ = sort_columns.set(Arc::new(columns));
+                }
                 segments.push(Segment {
                     id: r.id,
                     zone_map: headers.zone_map,
                     directory: headers.directory,
                     rollup: headers.rollup,
+                    sort_columns,
                     path,
                     loaded,
                     io: lazy_io.clone(),
+                    cache: row_cache.clone(),
                 });
             }
         }
@@ -1448,6 +1892,7 @@ impl SegmentStore {
                 policy,
                 metrics,
                 lazy_io,
+                row_cache,
                 segments,
                 history,
                 garbage,
@@ -1491,6 +1936,7 @@ impl SegmentStore {
         for s in &mut self.segments {
             s.io = self.lazy_io.clone();
         }
+        self.row_cache.set_metrics(registry);
     }
 
     /// Segments known to hold `object` (exact, from the global object
@@ -1548,7 +1994,7 @@ impl SegmentStore {
         let rollup = SegmentRollup::build(&trajectories, DEFAULT_ROLLUP_PERIOD_SECONDS);
         let id = self.next_id;
         self.next_id += 1;
-        let (buf, directory) = encode_segment_file(&zone_map, &rollup, &trajectories);
+        let (buf, directory, sort_columns) = encode_segment_file(&zone_map, &rollup, &trajectories);
         let path = self.dir.join(segment_file_name(id));
         {
             let mut file = File::create(&path)?;
@@ -1562,14 +2008,18 @@ impl SegmentStore {
         // segment serves queries without re-reading its own file.
         let loaded = OnceLock::new();
         let _ = loaded.set(Arc::new(trajectories));
+        let columns = OnceLock::new();
+        let _ = columns.set(Arc::new(sort_columns));
         Ok(Segment {
             id,
             zone_map,
             directory,
             rollup,
+            sort_columns: columns,
             path,
             loaded,
             io: self.lazy_io.clone(),
+            cache: self.row_cache.clone(),
         })
     }
 
@@ -1710,6 +2160,11 @@ impl SegmentStore {
         self.segments.retain(|s| !victim_set.contains(&s.id));
         self.segments
             .insert(position.min(self.segments.len()), segment);
+        // Retired ids never serve reads again (and are never reused):
+        // drop their cached rows wholesale.
+        for victim in &victim_set {
+            self.row_cache.invalidate_segment(*victim);
+        }
         self.garbage.extend(victim_set);
         self.metrics.segments_compacted.inc();
         self.commit_manifest()
@@ -2203,10 +2658,206 @@ mod tests {
             s.rollup(),
             &SegmentRollup::build(&trajectories, DEFAULT_ROLLUP_PERIOD_SECONDS)
         );
+        // The sort columns are derived by the same eager decode.
+        assert_eq!(
+            s.sort_columns().unwrap(),
+            &SortColumns::build(&trajectories)
+        );
         // Directory entries point at real frames in the v1 file.
         let data = std::fs::read(&path).unwrap();
         for e in &s.directory().entries {
             assert_eq!(data[e.offset as usize], segment::FRAME_MARKER);
         }
+    }
+
+    /// Writes trajectories in the v2 layout: magic `SITMSEG2`, zone-map
+    /// frame, offset directory, rollup frame, trajectory frames — no
+    /// sort-column frame.
+    fn encode_segment_file_v2(
+        zone_map: &ZoneMap,
+        rollup: &SegmentRollup,
+        trajectories: &[SemanticTrajectory],
+    ) -> Vec<u8> {
+        let mut payloads = Vec::with_capacity(trajectories.len());
+        for t in trajectories {
+            let mut p = Vec::new();
+            encode_trajectory(&mut p, t);
+            payloads.push(p);
+        }
+        let mut zone_payload = Vec::new();
+        zone_map.encode(&mut zone_payload);
+        let mut rollup_payload = Vec::new();
+        rollup.encode(&mut rollup_payload);
+        let dir_payload_len = SegmentDirectory::encoded_len(trajectories.len());
+        let headers_end = segment::MAGIC_V2.len()
+            + segment::FRAME_OVERHEAD
+            + zone_payload.len()
+            + segment::FRAME_OVERHEAD
+            + dir_payload_len
+            + segment::FRAME_OVERHEAD
+            + rollup_payload.len();
+        let mut offset = headers_end as u64;
+        let mut entries = Vec::with_capacity(trajectories.len());
+        for (t, p) in trajectories.iter().zip(&payloads) {
+            let len = (segment::FRAME_OVERHEAD + p.len()) as u32;
+            let span = t.span();
+            entries.push(DirectoryEntry {
+                offset,
+                len,
+                start: span.start.as_seconds(),
+                end: span.end.as_seconds(),
+            });
+            offset += len as u64;
+        }
+        let directory = SegmentDirectory { entries };
+        let mut dir_payload = Vec::new();
+        directory.encode(&mut dir_payload);
+        let mut buf = Vec::new();
+        segment::write_header_v2(&mut buf);
+        segment::write_frame(&mut buf, &zone_payload);
+        segment::write_frame(&mut buf, &dir_payload);
+        segment::write_frame(&mut buf, &rollup_payload);
+        assert_eq!(buf.len(), headers_end);
+        for p in &payloads {
+            segment::write_frame(&mut buf, p);
+        }
+        buf
+    }
+
+    #[test]
+    fn v2_segment_files_still_open() {
+        let tmp = TempDir::new("v2-compat");
+        {
+            let (mut store, _) = SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
+            store
+                .append_segment(vec![traj("a", 1, 0), traj("b", 2, 100)])
+                .unwrap();
+        }
+        // Rewrite the segment file in the v2 layout (no sort columns).
+        let path = tmp.0.join(segment_file_name(0));
+        let (zone_map, trajectories) = read_segment_file(&path, 0).unwrap();
+        let rollup = SegmentRollup::build(&trajectories, DEFAULT_ROLLUP_PERIOD_SECONDS);
+        let v2 = encode_segment_file_v2(&zone_map, &rollup, &trajectories);
+        std::fs::write(&path, &v2).unwrap();
+        let (store, report) = SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
+        assert!(report.is_clean());
+        let s = &store.segments()[0];
+        // v2 opens lazily, headers only — no sort columns yet.
+        assert!(!s.is_loaded());
+        assert_eq!(s.sort_columns(), None);
+        // Single-row seeks work without ever building the columns.
+        assert_eq!(s.read_trajectory(1).unwrap(), trajectories[1]);
+        assert_eq!(s.sort_columns(), None);
+        // The first full decode rebuilds them as derived data.
+        assert_eq!(s.trajectories().unwrap().as_slice(), &trajectories[..]);
+        assert_eq!(
+            s.sort_columns().unwrap(),
+            &SortColumns::build(&trajectories)
+        );
+        assert_eq!(s.rollup(), &rollup);
+    }
+
+    #[test]
+    fn sort_columns_round_trip_and_validate() {
+        let trajs = vec![
+            traj("carol", 3, 50),
+            traj("alice", 1, 0),
+            traj("bob", 2, 100),
+        ];
+        let columns = SortColumns::build(&trajs);
+        assert_eq!(columns.len(), 3);
+        // Per-row values match the decoded keys.
+        for (i, t) in trajs.iter().enumerate() {
+            assert_eq!(columns.dwell[i], t.trace().dwell_total().as_seconds());
+            assert_eq!(columns.trace_len[i], t.trace().len() as u32);
+        }
+        // The object column indexes into the zone map's sorted object
+        // set: row order carol, alice, bob → indexes 2, 0, 1.
+        let map = ZoneMap::build(&trajs);
+        let objects: Vec<&str> = map.objects.iter().map(|s| s.as_str()).collect();
+        assert_eq!(objects, vec!["alice", "bob", "carol"]);
+        assert_eq!(columns.object, vec![2, 0, 1]);
+        let mut buf = Vec::new();
+        columns.encode(&mut buf);
+        assert_eq!(buf.len(), 8 + 3 * SORT_COLUMN_ROW_BYTES);
+        let mut cursor: &[u8] = &buf;
+        let back = SortColumns::decode(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back, columns);
+        // Truncations always error (fixed width, no legacy boundary).
+        for cut in 0..buf.len() {
+            assert!(SortColumns::decode(&mut &buf[..cut]).is_err(), "cut {cut}");
+        }
+        assert!(columns.validate(3, 3).is_ok());
+        assert!(columns.validate(2, 3).is_err(), "row-count mismatch");
+        assert!(
+            columns.validate(3, 2).is_err(),
+            "object index out of bounds"
+        );
+        // The empty column set is valid for an empty segment.
+        assert!(SortColumns::default().validate(0, 0).is_ok());
+    }
+
+    #[test]
+    fn row_cache_evicts_within_budget_and_invalidates() {
+        let registry = MetricsRegistry::new();
+        let cache = RowCache::new(100, &registry);
+        let t = traj("a", 1, 0);
+        cache.insert(0, 0, &t, 40);
+        cache.insert(0, 1, &t, 40);
+        assert_eq!(cache.bytes(), 80);
+        assert_eq!(cache.get(0, 0), Some(t.clone()));
+        // A third row breaks the budget; the sweep spares the just-hit
+        // row 0 (hot) and evicts untouched segment 0 row 1.
+        cache.insert(1, 0, &t, 40);
+        assert_eq!(cache.bytes(), 80);
+        assert_eq!(cache.get(0, 1), None);
+        assert_eq!(cache.get(0, 0), Some(t.clone()));
+        assert_eq!(cache.get(1, 0), Some(t.clone()));
+        // An oversized row is never admitted.
+        cache.insert(2, 0, &t, 101);
+        assert_eq!(cache.get(2, 0), None);
+        // Compaction retiring segment 0 drops its rows wholesale.
+        cache.invalidate_segment(0);
+        assert_eq!(cache.bytes(), 40);
+        assert_eq!(cache.get(0, 0), None);
+        assert_eq!(cache.get(1, 0), Some(t.clone()));
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("query.row_cache_bytes"), Some(40));
+        assert_eq!(snap.counter("query.row_cache_evicted_bytes"), Some(40));
+        assert!(snap.counter("query.row_cache_hits").unwrap() >= 4);
+        assert!(snap.counter("query.row_cache_misses").unwrap() >= 3);
+    }
+
+    #[test]
+    fn zero_budget_disables_the_row_cache() {
+        let registry = MetricsRegistry::new();
+        let cache = RowCache::new(0, &registry);
+        let t = traj("a", 1, 0);
+        cache.insert(0, 0, &t, 1);
+        assert_eq!(cache.get(0, 0), None);
+        assert_eq!(cache.bytes(), 0);
+        // A disabled cache stays silent: no hit/miss accounting.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("query.row_cache_hits"), Some(0));
+        assert_eq!(snap.counter("query.row_cache_misses"), Some(0));
+    }
+
+    #[test]
+    fn warm_rows_are_served_from_the_cache_without_io() {
+        let tmp = TempDir::new("warm-rows");
+        let (mut store, _) = SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
+        let trajs = vec![traj("a", 1, 0), traj("b", 2, 100)];
+        store.append_segment(trajs.clone()).unwrap();
+        drop(store);
+        // Reopen cold so rows are not pre-cached by the append.
+        let (store, _) = SegmentStore::open(&tmp.0, WarehouseConfig::default()).unwrap();
+        let s = &store.segments()[0];
+        assert_eq!(s.read_trajectory(0).unwrap(), trajs[0]);
+        // Deleting the file proves the second read touches no disk.
+        std::fs::remove_file(tmp.0.join(segment_file_name(0))).unwrap();
+        assert_eq!(s.read_trajectory(0).unwrap(), trajs[0]);
+        // An uncached row now fails at the filesystem.
+        assert!(s.read_trajectory(1).is_err());
     }
 }

@@ -186,18 +186,20 @@ fn torn_segment_file_before_manifest_commit_is_invisible_at_every_offset() {
 }
 
 #[test]
-fn referenced_v2_segment_header_region_tortured_at_every_offset() {
-    // Format v2 keeps all segment metadata (zone map, offset directory,
-    // rollup) in a header region read eagerly at open; trajectory frames
-    // behind it decode lazily. The torture contract splits accordingly:
+fn referenced_v3_segment_header_region_tortured_at_every_offset() {
+    // Format v3 keeps all segment metadata (zone map, offset directory,
+    // sort columns, rollup) in a header region read eagerly at open;
+    // trajectory frames behind it decode lazily. The torture contract
+    // splits accordingly:
     //
     // * truncation at ANY offset refuses the open (the directory pins
     //   exact frame contiguity out to the file length);
-    // * a bit flip anywhere in the HEADER region refuses the open;
+    // * a bit flip anywhere in the HEADER region — the sort-column frame
+    //   included — refuses the open;
     // * a bit flip in the TRAJECTORY region passes the open (headers are
     //   intact, nothing is decoded) but the first decode reports the
     //   corruption — altered data is never served.
-    let pristine = TempDir::new("v2-pristine");
+    let pristine = TempDir::new("v3-pristine");
     let config = WarehouseConfig::default();
     {
         let (mut store, _) = SegmentStore::open(&pristine.0, config).unwrap();
@@ -206,17 +208,17 @@ fn referenced_v2_segment_header_region_tortured_at_every_offset() {
             .unwrap();
     }
     let data = std::fs::read(pristine.0.join(segment_file_name(0))).unwrap();
-    assert_eq!(&data[..8], b"SITMSEG2", "new segments are format v2");
-    // Walk the three header frames (zone map, directory, rollup) to find
-    // where the trajectory region starts.
+    assert_eq!(&data[..8], b"SITMSEG3", "new segments are format v3");
+    // Walk the four header frames (zone map, directory, sort columns,
+    // rollup) to find where the trajectory region starts.
     let mut headers_end = segment::MAGIC.len();
-    for _ in 0..3 {
+    for _ in 0..4 {
         let len = u32::from_le_bytes(data[headers_end + 1..headers_end + 5].try_into().unwrap());
         headers_end += segment::FRAME_OVERHEAD + len as usize;
     }
     assert!(headers_end < data.len(), "trajectory frames follow headers");
 
-    let torn = TempDir::new("v2-torn");
+    let torn = TempDir::new("v3-torn");
     for cut in 0..data.len() {
         copy_dir(&pristine.0, &torn.0);
         std::fs::write(torn.0.join(segment_file_name(0)), &data[..cut]).unwrap();
@@ -262,6 +264,7 @@ fn torn_tail_after_compaction_still_recovers() {
     let config = WarehouseConfig {
         fanout: 3,
         manifest: CompactionPolicy { keep: 2, every: 1 },
+        ..WarehouseConfig::default()
     };
     let pre_merge_state;
     {

@@ -206,6 +206,7 @@ fn warehouse_is_differentially_invisible_at_every_flush_point() {
         WarehouseConfig {
             fanout: 3, // small fanout: compactions actually happen mid-test
             manifest: CompactionPolicy::default(),
+            ..WarehouseConfig::default()
         },
     )
     .unwrap();
@@ -241,6 +242,7 @@ fn warehouse_is_differentially_invisible_at_every_flush_point() {
         WarehouseConfig {
             fanout: 3,
             manifest: CompactionPolicy::default(),
+            ..WarehouseConfig::default()
         },
     )
     .unwrap();
@@ -304,6 +306,7 @@ fn cold_open_decodes_nothing_and_pruned_point_queries_read_zero_bytes() {
     let config = WarehouseConfig {
         fanout: 64, // keep the twelve flush segments distinct
         manifest: CompactionPolicy::default(),
+        ..WarehouseConfig::default()
     };
     {
         let (mut db, _) = SegmentedDb::open(&tmp.0, config).unwrap();
@@ -389,6 +392,7 @@ fn zone_map_pruning_skips_segments_without_losing_matches() {
         WarehouseConfig {
             fanout: 64, // keep flush segments distinct
             manifest: CompactionPolicy::default(),
+            ..WarehouseConfig::default()
         },
     )
     .unwrap();
@@ -427,4 +431,138 @@ fn zone_map_pruning_skips_segments_without_losing_matches() {
     assert_eq!(plan.pruned, 0, "their zone maps were never consulted");
     assert_eq!(plan.candidates, Some(1));
     assert_eq!(db.count_matching(&object), 1);
+}
+
+#[test]
+fn row_cache_is_query_invisible_across_flushes_and_compaction() {
+    // Differential guarantee for the warm read path: a warehouse with
+    // the row-decode cache enabled (default budget) must answer every
+    // query — paged, sorted by every key, re-run warm — identically to
+    // one with the cache disabled (`row_cache_bytes: 0`), at every
+    // flush point and across the compaction that invalidates cached
+    // segment ids.
+    let tmp_on = TempDir::new("cache-on");
+    let tmp_off = TempDir::new("cache-off");
+    let config_on = WarehouseConfig {
+        fanout: 3, // small fanout: compaction happens mid-test
+        ..WarehouseConfig::default()
+    };
+    let config_off = WarehouseConfig {
+        fanout: 3,
+        row_cache_bytes: 0,
+        ..WarehouseConfig::default()
+    };
+    let registry = sitm::obs::MetricsRegistry::new();
+    let mut db_on = SegmentedDb::open(&tmp_on.0, config_on)
+        .unwrap()
+        .0
+        .with_metrics(&registry);
+    let mut db_off = SegmentedDb::open(&tmp_off.0, config_off).unwrap().0;
+
+    // A deterministic pseudo-random corpus: varied objects, cells,
+    // stay counts, and dwell durations so every sort key has ties and
+    // distinct values.
+    let mut seed: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (seed >> 33) as i64
+    };
+    let queries = || {
+        let mut out = Vec::new();
+        for p in [
+            Predicate::True,
+            Predicate::VisitedCell(cell(2)),
+            Predicate::MinTotalDwell(Duration::seconds(40)),
+        ] {
+            for (order, offset, limit) in [
+                (None, 0, Some(7)),
+                (Some((SortKey::Start, true)), 1, Some(5)),
+                (Some((SortKey::TotalDwell, false)), 0, Some(4)),
+                (Some((SortKey::MovingObject, true)), 2, Some(6)),
+                (Some((SortKey::TraceLength, false)), 0, None),
+            ] {
+                let mut q = Query::new().filter(p.clone()).offset(offset);
+                if let Some((key, asc)) = order {
+                    q = q.order_by(key, asc);
+                }
+                if let Some(n) = limit {
+                    q = q.limit(n);
+                }
+                out.push(q);
+            }
+        }
+        out
+    };
+
+    for batch in 0..8 {
+        let trajs: Vec<SemanticTrajectory> = (0..6)
+            .map(|_| {
+                let start = next().rem_euclid(5_000);
+                let stays = 1 + (next().rem_euclid(3) as usize);
+                let intervals: Vec<PresenceInterval> = (0..stays)
+                    .map(|k| {
+                        let s = start + k as i64 * 200;
+                        PresenceInterval::new(
+                            TransitionTaken::Unknown,
+                            cell(next().rem_euclid(5) as usize),
+                            Timestamp(s),
+                            Timestamp(s + 10 + next().rem_euclid(90)),
+                        )
+                    })
+                    .collect();
+                SemanticTrajectory::new(
+                    format!("mo-{}", next().rem_euclid(9)),
+                    sitm::core::Trace::new(intervals).unwrap(),
+                    label("visit"),
+                )
+                .unwrap()
+            })
+            .collect();
+        // The flush (and any size-tiered compaction it triggers) runs
+        // against the instance whose cache the previous iteration's
+        // queries populated — retiring segment ids must invalidate
+        // those rows. The reopen then drops the pre-cached runs so the
+        // queries below really read per frame through the row cache.
+        db_on.flush(trajs.clone()).unwrap();
+        db_off.flush(trajs).unwrap();
+        db_on = SegmentedDb::open(&tmp_on.0, config_on)
+            .unwrap()
+            .0
+            .with_metrics(&registry);
+        db_off = SegmentedDb::open(&tmp_off.0, config_off).unwrap().0;
+        for q in queries() {
+            let cold = q.execute_segmented(&db_on);
+            assert_eq!(
+                cold,
+                q.execute_segmented(&db_off),
+                "batch {batch}: cache-enabled diverged from cache-disabled"
+            );
+            // The warm re-run — now served (partly) from the cache —
+            // answers identically.
+            assert_eq!(
+                cold,
+                q.execute_segmented(&db_on),
+                "batch {batch}: warm re-run diverged"
+            );
+        }
+    }
+    // The corpus really exercised both the cache and its invalidation.
+    let snapshot = registry.snapshot();
+    assert!(
+        snapshot.counter("query.row_cache_hits").unwrap() > 0,
+        "warm re-runs hit the cache"
+    );
+    assert!(
+        db_on.segments().len() < 8,
+        "compaction retired segment ids mid-test (got {})",
+        db_on.segments().len()
+    );
+    let budget = WarehouseConfig::default().row_cache_bytes as i64;
+    let resident = snapshot.gauge("query.row_cache_bytes").unwrap();
+    assert!(
+        (0..=budget).contains(&resident),
+        "cache residency {resident} within budget {budget}"
+    );
 }
