@@ -1,0 +1,43 @@
+//! Microbenchmark for the per-request tracing tax: the span shape of a
+//! served warehouse point query, recorded through a default
+//! [`TraceRecorder`] (coarse spans every request, detail spans 1-in-N).
+//!
+//! `cargo run --release -p sitm-obs --example trace_micro`
+
+use std::time::Instant;
+
+use sitm_obs::trace::{child, child_detail, TraceContext, TraceRecorder};
+
+fn main() {
+    let recorder = TraceRecorder::new(64);
+    let n = 200_000u32;
+    let t = Instant::now();
+    for _ in 0..n {
+        let _root = recorder.begin("query", TraceContext::generate());
+        {
+            let _handle = child("handle");
+            let _eval = child("evaluate");
+            {
+                let _prune = child_detail("prune");
+            }
+            {
+                let _order = child_detail("order_page");
+            }
+            {
+                let _fetch = child_detail("fetch_rows");
+            }
+        }
+        let _wire = child("wire_write");
+    }
+    let per_request = t.elapsed().as_nanos() / n as u128;
+
+    let t = Instant::now();
+    for _ in 0..n {
+        for _ in 0..8 {
+            let _c = child("x");
+        }
+    }
+    let inert = t.elapsed().as_nanos() / n as u128;
+
+    println!("served-query trace shape: {per_request} ns/request; 8 inert children: {inert} ns");
+}

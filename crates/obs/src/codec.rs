@@ -41,6 +41,10 @@ pub enum SnapshotCodecError {
     InvalidBucket(u8),
     /// Bytes remained after a complete snapshot.
     TrailingBytes(usize),
+    /// A span tree nested past [`crate::trace::MAX_SPAN_DEPTH`] levels.
+    TooDeep(usize),
+    /// A name index pointed past the frame's interned name table.
+    BadNameIndex(u64),
 }
 
 impl std::fmt::Display for SnapshotCodecError {
@@ -61,6 +65,12 @@ impl std::fmt::Display for SnapshotCodecError {
             SnapshotCodecError::TrailingBytes(n) => {
                 write!(f, "{n} trailing bytes after snapshot")
             }
+            SnapshotCodecError::TooDeep(d) => {
+                write!(f, "span tree nested {d} levels deep (over the bound)")
+            }
+            SnapshotCodecError::BadNameIndex(i) => {
+                write!(f, "name index {i} past the interned table")
+            }
         }
     }
 }
@@ -68,9 +78,10 @@ impl std::fmt::Display for SnapshotCodecError {
 impl std::error::Error for SnapshotCodecError {}
 
 // ---------------------------------------------------------------------------
-// Primitives
+// Primitives (shared with the trace / time-series / health codecs, which
+// follow exactly this format's discipline)
 
-fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -82,26 +93,30 @@ fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn put_i64(buf: &mut Vec<u8>, v: i64) {
+pub(crate) fn put_i64(buf: &mut Vec<u8>, v: i64) {
     put_u64(buf, ((v << 1) ^ (v >> 63)) as u64);
 }
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u64(buf, s.len() as u64);
     buf.extend_from_slice(s.as_bytes());
 }
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn remaining(&self) -> usize {
+    pub(crate) fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }
 
-    fn u8(&mut self) -> Result<u8, SnapshotCodecError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, SnapshotCodecError> {
         let b = *self
             .bytes
             .get(self.pos)
@@ -110,7 +125,7 @@ impl<'a> Reader<'a> {
         Ok(b)
     }
 
-    fn u64(&mut self) -> Result<u64, SnapshotCodecError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapshotCodecError> {
         let mut value = 0u64;
         for shift in (0..64).step_by(7) {
             let byte = self.u8()?;
@@ -126,12 +141,12 @@ impl<'a> Reader<'a> {
         Err(SnapshotCodecError::VarintOverflow)
     }
 
-    fn i64(&mut self) -> Result<i64, SnapshotCodecError> {
+    pub(crate) fn i64(&mut self) -> Result<i64, SnapshotCodecError> {
         let z = self.u64()?;
         Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
     }
 
-    fn str(&mut self) -> Result<String, SnapshotCodecError> {
+    pub(crate) fn str(&mut self) -> Result<String, SnapshotCodecError> {
         let len = usize::try_from(self.u64()?).map_err(|_| SnapshotCodecError::Truncated)?;
         if len > self.remaining() {
             return Err(SnapshotCodecError::Truncated);
@@ -144,7 +159,7 @@ impl<'a> Reader<'a> {
     /// An element count, validated against `min_bytes`-per-element so a
     /// corrupt length can never drive `Vec::with_capacity` past the
     /// buffer it must be parsed from.
-    fn count(&mut self, min_bytes: usize) -> Result<usize, SnapshotCodecError> {
+    pub(crate) fn count(&mut self, min_bytes: usize) -> Result<usize, SnapshotCodecError> {
         let n = usize::try_from(self.u64()?).map_err(|_| SnapshotCodecError::Truncated)?;
         if n > self.remaining() / min_bytes.max(1) {
             return Err(SnapshotCodecError::Truncated);
@@ -198,7 +213,7 @@ pub fn snapshot_to_bytes(snap: &MetricsSnapshot) -> Vec<u8> {
 
 /// Decodes a snapshot that must occupy `bytes` exactly.
 pub fn decode_snapshot(bytes: &[u8]) -> Result<MetricsSnapshot, SnapshotCodecError> {
-    let mut r = Reader { bytes, pos: 0 };
+    let mut r = Reader::new(bytes);
     let version = r.u8()?;
     if version != SNAPSHOT_VERSION {
         return Err(SnapshotCodecError::UnsupportedVersion(version));

@@ -37,6 +37,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 pub mod codec;
+pub mod health;
+pub mod timeseries;
+pub mod trace;
 
 /// Buckets in a [`Histogram`]: bucket 0 holds the value 0, bucket `i`
 /// (1 ≤ i < 64) holds values in `[2^(i-1), 2^i - 1]`, with the last

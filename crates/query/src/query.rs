@@ -410,6 +410,7 @@ impl Query {
         // The frame-visit order: warehouse order when unsorted, or
         // (directory key, global position) — `execute`'s exact ordering
         // contract (ties keep id order; descending reverses wholesale).
+        let order_span = sitm_obs::trace::child_detail("order_page");
         let ordered: Vec<TrajId> = match self.order {
             None => ids,
             Some((key, ascending)) => match key {
@@ -503,7 +504,9 @@ impl Query {
                 }
             },
         };
+        drop(order_span);
         // Lazily decode in visit order until the page is full.
+        let _fetch = sitm_obs::trace::child_detail("fetch_rows");
         let mut out = Vec::new();
         let mut skipped = 0;
         for gid in ordered {

@@ -457,6 +457,7 @@ impl SegmentedDb {
     /// `tests/segmented_proptests.rs`): every trajectory matching `p`
     /// is in the returned set.
     pub fn candidates(&self, p: &Predicate) -> CandidateSet {
+        let _prune = sitm_obs::trace::child_detail("prune");
         let mut ids: Vec<TrajId> = Vec::new();
         let mut narrowed = false;
         let mut scanned = 0u64;

@@ -18,6 +18,8 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration as StdDuration;
 
 use sitm_core::SemanticTrajectory;
+use sitm_obs::health::HealthReport;
+use sitm_obs::trace::{TraceContext, TraceTree};
 use sitm_obs::MetricsSnapshot;
 use sitm_query::wire::WireQuery;
 use sitm_query::Predicate;
@@ -26,7 +28,7 @@ use sitm_stream::{EmittedEpisode, StreamEvent};
 use crate::proto::{
     decode_response, encode_request, ExplainReport, Request, Response, ServerStats, StatsRollup,
 };
-use crate::wire::{read_frame, read_frame_or_idle, write_frame};
+use crate::wire::{read_frame, read_frame_or_idle, write_frame, write_traced_frame};
 use crate::ServeError;
 
 /// Client-side transport counters (see [`Client::stats`]). These count
@@ -91,6 +93,27 @@ impl Client {
     /// One request/response round trip (see the module docs for the
     /// retry contract).
     pub fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
+        self.call_inner(request, None)
+    }
+
+    /// Like [`Client::call`], but the request rides a traced envelope
+    /// carrying `ctx` — the server adopts that trace id and parent span
+    /// instead of generating fresh ones, so the resulting server-side
+    /// trace tree joins the caller's trace (the federation fan-out
+    /// contract; see `sitm_obs::trace::current_context`).
+    pub fn call_traced(
+        &mut self,
+        request: &Request,
+        ctx: TraceContext,
+    ) -> Result<Response, ServeError> {
+        self.call_inner(request, Some(ctx))
+    }
+
+    fn call_inner(
+        &mut self,
+        request: &Request,
+        ctx: Option<TraceContext>,
+    ) -> Result<Response, ServeError> {
         self.stats.requests += 1;
         let mut payload = Vec::new();
         encode_request(&mut payload, request);
@@ -108,7 +131,10 @@ impl Client {
         loop {
             attempt += 1;
             let sent = match self.ensure_connected() {
-                Ok(stream) => write_frame(stream, &payload).map_err(ServeError::Io),
+                Ok(stream) => match ctx {
+                    Some(ctx) => write_traced_frame(stream, ctx, &payload).map_err(ServeError::Io),
+                    None => write_frame(stream, &payload).map_err(ServeError::Io),
+                },
                 Err(err) => Err(err),
             };
             match sent {
@@ -223,6 +249,24 @@ impl Client {
                 warehouse_trajectories,
                 manifest_sequence,
             } => Ok((spilled, warehouse_trajectories, manifest_sequence)),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// Polls the server's liveness summary: uptime, epoch, tier lag,
+    /// session load, ingest rate. Cheap on both sides.
+    pub fn health(&mut self) -> Result<HealthReport, ServeError> {
+        match self.call(&Request::Health)? {
+            Response::Health(report) => Ok(report),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// Fetches the server's most recent `limit` trace trees, oldest
+    /// first (empty when tracing is disabled server-side).
+    pub fn traces(&mut self, limit: u64) -> Result<Vec<TraceTree>, ServeError> {
+        match self.call(&Request::Trace { limit })? {
+            Response::Traces(trees) => Ok(trees),
             other => Err(Self::expect_error(other)),
         }
     }

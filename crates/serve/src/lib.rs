@@ -14,7 +14,9 @@
 //! * [`wire`] — the framed transport: every message rides the same
 //!   `marker | len | crc32 | payload` envelope the storage tier
 //!   torture-tests, so torn and corrupted frames are detected before
-//!   any decoding;
+//!   any decoding; a second marker (`0x5B`) carries an optional
+//!   16-byte trace-context prefix so one trace id follows a request
+//!   across federation hops;
 //! * [`proto`] — the request/response vocabulary ([`Request`],
 //!   [`Response`]) and its fully validated payload codec: ingest
 //!   batches of [`sitm_stream::StreamEvent`]s, warehouse and federated
@@ -63,6 +65,17 @@
 //! ([`Client::metrics`]); [`ServerConfig::with_slow_query_threshold`]
 //! arms the slow-query ring buffer carried in the same snapshot.
 //!
+//! On top of metrics, every served request records a hierarchical
+//! trace tree (root → `handle` → `snapshot_cut`/`evaluate`/pushdown
+//! tiers → `wire_write`) into a bounded [`sitm_obs::trace`] ring,
+//! fetched over the wire with [`Request::Trace`]; a background
+//! [`sitm_obs::timeseries`] sampler snapshots the registry each period
+//! so [`Request::Health`] can answer with *current* rates and tier lag
+//! ([`Client::health`] / [`Client::traces`]). A client that already
+//! holds a trace context (a federation fan-out) propagates it with
+//! [`Client::call_traced`] so the server-side tree joins the caller's
+//! trace instead of starting a fresh one.
+//!
 //! Consistency over the wire is exactly the in-process contract:
 //! `QueryFederated` evaluates over a snapshot-consistent live cut
 //! unioned with the newest committed warehouse manifest, via the same
@@ -81,7 +94,10 @@ pub use proto::{
     encode_response, ExplainReport, Request, Response, ServerStats, StatsRollup, WirePlan,
 };
 pub use server::{Server, ServerConfig};
-pub use wire::{read_frame, write_frame, WireError};
+pub use wire::{
+    read_frame, read_message, read_message_or_idle, write_frame, write_traced_frame, WireError,
+    WireMessage, TRACED_FRAME_MARKER, TRACE_ENVELOPE_BYTES,
+};
 
 use sitm_store::CodecError;
 

@@ -12,6 +12,8 @@
 
 use sitm_core::{Episode, SemanticTrajectory, TimeInterval, Timestamp};
 use sitm_obs::codec::{decode_snapshot, snapshot_to_bytes};
+use sitm_obs::health::{decode_health, health_to_bytes, HealthReport};
+use sitm_obs::trace::{decode_traces, traces_to_bytes, TraceTree};
 use sitm_obs::MetricsSnapshot;
 use sitm_query::wire::{decode_wire_query, encode_wire_query, WireQuery};
 use sitm_query::{decode_predicate, encode_predicate, Predicate};
@@ -139,6 +141,17 @@ pub enum Request {
     /// notifications already queued are still flushed before the
     /// [`Response::Unsubscribed`] acknowledgement.
     Unsubscribe,
+    /// A point-in-time liveness summary: uptime, epoch, tier lag
+    /// (flush backlog, worker queues, checkpoint age), session load,
+    /// and the current ingest rate. Cheap enough to poll every second.
+    Health,
+    /// The most recent `limit` trace trees from the server's recorder
+    /// (empty when tracing is disabled).
+    Trace {
+        /// Most-recent trees to return (the server also caps this at
+        /// its ring capacity).
+        limit: u64,
+    },
 }
 
 const REQ_INGEST: u8 = 0;
@@ -151,6 +164,8 @@ const REQ_SHUTDOWN: u8 = 6;
 const REQ_METRICS: u8 = 7;
 const REQ_SUBSCRIBE: u8 = 8;
 const REQ_UNSUBSCRIBE: u8 = 9;
+const REQ_HEALTH: u8 = 10;
+const REQ_TRACE: u8 = 11;
 
 /// Encodes a request into a frame payload.
 pub fn encode_request(buf: &mut Vec<u8>, req: &Request) {
@@ -183,6 +198,11 @@ pub fn encode_request(buf: &mut Vec<u8>, req: &Request) {
             encode_wire_query(buf, q);
         }
         Request::Unsubscribe => buf.push(REQ_UNSUBSCRIBE),
+        Request::Health => buf.push(REQ_HEALTH),
+        Request::Trace { limit } => {
+            buf.push(REQ_TRACE);
+            varint::encode_u64(buf, *limit);
+        }
     }
 }
 
@@ -206,6 +226,10 @@ pub fn decode_request(buf: &mut &[u8]) -> Result<Request, CodecError> {
         REQ_METRICS => Request::Metrics,
         REQ_SUBSCRIBE => Request::Subscribe(decode_wire_query(buf)?),
         REQ_UNSUBSCRIBE => Request::Unsubscribe,
+        REQ_HEALTH => Request::Health,
+        REQ_TRACE => Request::Trace {
+            limit: varint::decode_u64(buf)?,
+        },
         other => return Err(CodecError::BadTag(other)),
     };
     if !buf.is_empty() {
@@ -368,6 +392,12 @@ pub enum Response {
         /// The matching episodes, in the drain's deterministic order.
         episodes: Vec<EmittedEpisode>,
     },
+    /// The liveness summary (versioned payload, see
+    /// `sitm_obs::health`).
+    Health(HealthReport),
+    /// Recent trace trees, oldest first (versioned payload, see
+    /// `sitm_obs::trace`).
+    Traces(Vec<TraceTree>),
 }
 
 const RESP_INGESTED: u8 = 0;
@@ -381,6 +411,8 @@ const RESP_METRICS: u8 = 7;
 const RESP_SUBSCRIBED: u8 = 8;
 const RESP_UNSUBSCRIBED: u8 = 9;
 const RESP_NOTIFICATION: u8 = 10;
+const RESP_HEALTH: u8 = 11;
+const RESP_TRACES: u8 = 12;
 
 /// Encodes one drained episode as pushed by a subscription.
 pub fn encode_episode(buf: &mut Vec<u8>, episode: &EmittedEpisode) {
@@ -533,6 +565,20 @@ pub fn encode_response(buf: &mut Vec<u8>, resp: &Response) {
             for e in episodes {
                 encode_episode(buf, e);
             }
+        }
+        Response::Health(report) => {
+            buf.push(RESP_HEALTH);
+            // Versioned, self-delimiting payload as a length-prefixed
+            // blob — the `Metrics` idiom, same trailing-bytes coverage.
+            let bytes = health_to_bytes(report);
+            varint::encode_u64(buf, bytes.len() as u64);
+            buf.extend_from_slice(&bytes);
+        }
+        Response::Traces(trees) => {
+            buf.push(RESP_TRACES);
+            let bytes = traces_to_bytes(trees);
+            varint::encode_u64(buf, bytes.len() as u64);
+            buf.extend_from_slice(&bytes);
         }
     }
 }
@@ -687,6 +733,22 @@ pub fn decode_response(buf: &mut &[u8]) -> Result<Response, CodecError> {
             }
             Response::Notification { epoch, episodes }
         }
+        RESP_HEALTH => {
+            let len = decode_count(buf)?;
+            let (blob, rest) = buf.split_at(len);
+            *buf = rest;
+            let report = decode_health(blob)
+                .map_err(|e| CodecError::InvalidTrace(format!("health report: {e}")))?;
+            Response::Health(report)
+        }
+        RESP_TRACES => {
+            let len = decode_count(buf)?;
+            let (blob, rest) = buf.split_at(len);
+            *buf = rest;
+            let trees = decode_traces(blob)
+                .map_err(|e| CodecError::InvalidTrace(format!("trace trees: {e}")))?;
+            Response::Traces(trees)
+        }
         other => return Err(CodecError::BadTag(other)),
     };
     if !buf.is_empty() {
@@ -774,7 +836,48 @@ mod tests {
                     .and(Predicate::MovingObject("mo".into())),
             )),
             Request::Unsubscribe,
+            Request::Health,
+            Request::Trace { limit: 16 },
         ]
+    }
+
+    fn sample_health() -> HealthReport {
+        HealthReport {
+            uptime_ms: 12_000,
+            epoch: 9,
+            sessions_accepted: 4,
+            sessions_active: 2,
+            subscribers_active: 1,
+            flush_backlog_trajectories: 30,
+            worker_queue_depths: vec![0, 5],
+            last_checkpoint_age_ms: Some(800),
+            warehouse_segments: 3,
+            warehouse_trajectories: 700,
+            traces_recorded: 11,
+            events_per_sec_milli: 2_500,
+        }
+    }
+
+    fn sample_traces() -> Vec<TraceTree> {
+        use sitm_obs::trace::SpanRecord;
+        use std::borrow::Cow;
+        vec![TraceTree {
+            trace_id: 0xFEED,
+            parent_span_id: 3,
+            root: SpanRecord {
+                id: 1,
+                name: Cow::Borrowed("query_federated"),
+                start_ns: 0,
+                duration_ns: 90_000,
+                children: vec![SpanRecord {
+                    id: 2,
+                    name: Cow::Borrowed("snapshot_cut"),
+                    start_ns: 50,
+                    duration_ns: 7_000,
+                    children: Vec::new(),
+                }],
+            },
+        }]
     }
 
     fn sample_episode() -> EmittedEpisode {
@@ -889,6 +992,10 @@ mod tests {
                 epoch: 19,
                 episodes: vec![],
             },
+            Response::Health(sample_health()),
+            Response::Health(HealthReport::default()),
+            Response::Traces(sample_traces()),
+            Response::Traces(Vec::new()),
         ]
     }
 

@@ -70,6 +70,9 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant};
 
+use sitm_obs::health::HealthReport;
+use sitm_obs::timeseries::{rate_per_sec, Sampler, DEFAULT_SAMPLE_PERIOD, DEFAULT_SERIES_CAPACITY};
+use sitm_obs::trace::{self, TraceContext, TraceRecorder, DEFAULT_TRACE_CAPACITY};
 use sitm_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use sitm_query::{Predicate, SegmentedDb, TrajectorySource};
 use sitm_store::segment::FRAME_OVERHEAD;
@@ -80,7 +83,7 @@ use crate::proto::{
     decode_request, encode_response, ExplainReport, Request, Response, ServerStats, StatsRollup,
     WirePlan,
 };
-use crate::wire::{read_frame_or_idle, write_frame, WireError};
+use crate::wire::{read_message_or_idle, write_frame, WireError};
 use crate::ServeError;
 
 /// Server construction parameters.
@@ -115,6 +118,13 @@ pub struct ServerConfig {
     /// Requests at or above this duration enter the slow-query ring
     /// buffer (queryable via the `Metrics` op). `None` disables it.
     pub slow_query_threshold: Option<StdDuration>,
+    /// Trace trees the server's [`TraceRecorder`] retains for the
+    /// `Trace` op. `0` disables tracing entirely: requests skip the
+    /// span machinery and `Trace` serves an empty list.
+    pub trace_capacity: usize,
+    /// The time-series sampler: `(period, frames retained)`. `None`
+    /// disables it (Health then reports a 0 ingest rate).
+    pub sampler: Option<(StdDuration, usize)>,
 }
 
 impl ServerConfig {
@@ -134,6 +144,8 @@ impl ServerConfig {
             idle_poll: StdDuration::from_millis(25),
             metrics: None,
             slow_query_threshold: None,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+            sampler: Some((DEFAULT_SAMPLE_PERIOD, DEFAULT_SERIES_CAPACITY)),
         }
     }
 
@@ -175,11 +187,32 @@ impl ServerConfig {
         self.slow_query_threshold = Some(threshold);
         self
     }
+
+    /// Overrides the trace ring capacity (`0` turns tracing off).
+    #[must_use]
+    pub fn with_trace_capacity(mut self, capacity: usize) -> ServerConfig {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Overrides the time-series sampler's period and retained frames.
+    #[must_use]
+    pub fn with_sampler(mut self, period: StdDuration, capacity: usize) -> ServerConfig {
+        self.sampler = Some((period, capacity));
+        self
+    }
+
+    /// Disables the time-series sampler.
+    #[must_use]
+    pub fn without_sampler(mut self) -> ServerConfig {
+        self.sampler = None;
+        self
+    }
 }
 
 /// Wire-op names, indexed by [`op_index`] — the suffixes of the
 /// `serve.requests.{op}` counters and `serve.handle_ns.{op}` histograms.
-const OP_NAMES: [&str; 10] = [
+const OP_NAMES: [&str; 12] = [
     "ingest",
     "query",
     "query_federated",
@@ -190,6 +223,8 @@ const OP_NAMES: [&str; 10] = [
     "metrics",
     "subscribe",
     "unsubscribe",
+    "health",
+    "trace",
 ];
 
 fn op_index(request: &Request) -> usize {
@@ -204,6 +239,8 @@ fn op_index(request: &Request) -> usize {
         Request::Metrics => 7,
         Request::Subscribe(_) => 8,
         Request::Unsubscribe => 9,
+        Request::Health => 10,
+        Request::Trace { .. } => 11,
     }
 }
 
@@ -243,6 +280,11 @@ struct ServeMetrics {
     snapshot_cache_misses: Arc<Counter>,
     /// Continuous queries registered right now.
     subscriptions_active: Arc<Gauge>,
+    /// Live [`Subscription`] objects (drop-guard maintained, the
+    /// `sessions_active` idiom): stays high while an unregistered
+    /// subscription's queue is still being flushed, so Health sees the
+    /// push tier's true load.
+    subscribers_active: Arc<Gauge>,
     /// Notification frames written to subscribers.
     notifications_pushed: Arc<Counter>,
     /// Subscribers dropped for falling behind their queue bound.
@@ -272,6 +314,7 @@ impl ServeMetrics {
             snapshot_cache_hits: registry.counter("serve.snapshot_cache_hits"),
             snapshot_cache_misses: registry.counter("serve.snapshot_cache_misses"),
             subscriptions_active: registry.gauge("serve.subscriptions_active"),
+            subscribers_active: registry.gauge("serve.subscribers_active"),
             notifications_pushed: registry.counter("serve.notifications_pushed"),
             subscribers_dropped: registry.counter("serve.subscribers_dropped"),
             registry,
@@ -303,17 +346,25 @@ struct SubscriptionQueue {
 }
 
 /// One session's continuous query, shared between the ingest path
-/// (producer) and the owning session thread (consumer).
+/// (producer) and the owning session thread (consumer). Its lifetime
+/// maintains `serve.subscribers_active` drop-guard style: incremented
+/// at construction, decremented when the last `Arc` drops — so the
+/// gauge counts subscriptions that still exist anywhere (registered,
+/// or unregistered but draining), the way `sessions_active` counts
+/// sockets rather than registrations.
 struct Subscription {
     predicate: Predicate,
     queue: Mutex<SubscriptionQueue>,
+    active: Arc<Gauge>,
 }
 
 impl Subscription {
-    fn new(predicate: Predicate) -> Subscription {
+    fn new(predicate: Predicate, active: Arc<Gauge>) -> Subscription {
+        active.add(1);
         Subscription {
             predicate,
             queue: Mutex::new(SubscriptionQueue::default()),
+            active,
         }
     }
 
@@ -328,6 +379,12 @@ impl Subscription {
     fn take_episodes(&self) -> Vec<EmittedEpisode> {
         let (batches, _) = self.take_batches();
         batches.into_iter().flat_map(|(_, eps)| eps).collect()
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.active.add(-1);
     }
 }
 
@@ -348,6 +405,18 @@ struct Shared {
     /// `accept` awake after flipping the shutdown flag.
     addr: SocketAddr,
     metrics: ServeMetrics,
+    /// When the server started (Health's uptime origin).
+    started: Instant,
+    /// Finished span trees, served by the `Trace` op.
+    recorder: TraceRecorder,
+    /// The background metrics sampler, when enabled.
+    sampler: Option<Sampler>,
+    /// Milliseconds after `started` at which the last successful
+    /// checkpoint (or shutdown flush) committed; `u64::MAX` = never.
+    last_checkpoint_ms: AtomicU64,
+    /// `engine.queue_depth.w{i}` handles, resolved once, in worker
+    /// order — Health's per-worker ingest-lag column.
+    worker_queue_depths: Vec<Arc<Gauge>>,
 }
 
 /// A running server: listener + session-worker pool around one shared
@@ -380,6 +449,13 @@ impl Server {
             .with_min_batch(config.flush_batch)
             .with_metrics(&registry);
 
+        let worker_queue_depths = (0..engine.workers())
+            .map(|i| registry.gauge(&format!("engine.queue_depth.w{i}")))
+            .collect();
+        let sampler = config
+            .sampler
+            .map(|(period, capacity)| Sampler::start(registry.clone(), period, capacity));
+
         let listener = TcpListener::bind(config.bind)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -391,6 +467,11 @@ impl Server {
             next_session_id: AtomicU64::new(0),
             addr,
             metrics: ServeMetrics::bind(registry),
+            started: Instant::now(),
+            recorder: TraceRecorder::new(config.trace_capacity),
+            sampler,
+            last_checkpoint_ms: AtomicU64::new(u64::MAX),
+            worker_queue_depths,
         });
 
         let (tx, rx) = sync_channel::<TcpStream>(config.backlog.max(1));
@@ -455,7 +536,21 @@ impl Server {
             handle.join().map_err(|_| ServeError::WorkerPanicked)?;
         }
         flush_final(&self.shared);
+        if let Some(sampler) = &self.shared.sampler {
+            sampler.stop();
+        }
         Ok(())
+    }
+
+    /// The server's trace recorder (e.g. to inspect trees in-process
+    /// without the `Trace` wire op).
+    pub fn recorder(&self) -> TraceRecorder {
+        self.shared.recorder.clone()
+    }
+
+    /// The liveness report the `Health` op serves, built in-process.
+    pub fn health(&self) -> HealthReport {
+        build_health(&self.shared)
     }
 }
 
@@ -483,6 +578,9 @@ impl Drop for Server {
             let _ = handle.join();
         }
         flush_final(&self.shared);
+        if let Some(sampler) = &self.shared.sampler {
+            sampler.stop();
+        }
     }
 }
 
@@ -641,8 +739,8 @@ fn session_loop(
     let _ = stream.set_read_timeout(Some(idle_poll));
     let _ = stream.set_nodelay(true);
     loop {
-        let payload = match read_frame_or_idle(&mut *stream) {
-            Ok(Some(payload)) => payload,
+        let message = match read_message_or_idle(&mut *stream) {
+            Ok(Some(message)) => message,
             Ok(None) => {
                 // Idle: push queued notifications, then the safe
                 // drain point between frames.
@@ -670,8 +768,8 @@ fn session_loop(
         };
         metrics
             .bytes_in
-            .add((payload.len() + FRAME_OVERHEAD) as u64);
-        let request = match decode_request(&mut payload.as_slice()) {
+            .add((message.payload.len() + FRAME_OVERHEAD) as u64);
+        let request = match decode_request(&mut message.payload.as_slice()) {
             Ok(request) => request,
             Err(err) => {
                 // A well-framed but undecodable payload: the stream is
@@ -701,8 +799,24 @@ fn session_loop(
             s.truncate(160);
             s
         });
+        // The root span covers handle → notification flush → response
+        // write; a context from a traced envelope is adopted (one trace
+        // id across a federation fan-out) and gets the full detail-span
+        // breakdown — that caller asked about this request — while
+        // locally-generated traces sample detail 1-in-N. With tracing
+        // disabled (capacity 0) `begin` returns `None` and every
+        // child-span call below stays inert.
+        let _root = match message.trace {
+            Some(ctx) => shared.recorder.begin_detailed(OP_NAMES[op], ctx),
+            None => shared
+                .recorder
+                .begin(OP_NAMES[op], TraceContext::generate()),
+        };
         let started = Instant::now();
-        let response = handle_request(shared, request, session);
+        let response = {
+            let _handle = trace::child("handle");
+            handle_request(shared, request, session)
+        };
         let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         metrics.ops[op].handle_ns.record(elapsed_ns);
         if slow_armed {
@@ -742,6 +856,7 @@ fn respond(
     response: &Response,
     metrics: &ServeMetrics,
 ) -> std::io::Result<()> {
+    let _wire = trace::child("wire_write");
     let mut buf = Vec::new();
     encode_response(&mut buf, response);
     let mut is_error = matches!(response, Response::Error(_));
@@ -864,8 +979,12 @@ fn handle_request(shared: &Shared, request: Request, session: &mut SessionState)
             // Served by the segment pushdown (`Query::execute_segmented`):
             // ordering/paging ride the offset directories, so cold
             // segments are touched per returned frame, not per segment.
+            // On this arm the handler *is* the evaluation (no snapshot
+            // cut, no flush), so the coarse `handle` span already tells
+            // the whole story — `evaluate` rides the detail tier.
             let query = wire_query.to_query();
             let warehouse = shared.warehouse.read().unwrap_or_else(|p| p.into_inner());
+            let _eval = trace::child_detail("evaluate");
             Response::Trajectories(query.execute_segmented(warehouse.db()))
         }
         Request::QueryFederated(wire_query) => {
@@ -876,14 +995,20 @@ fn handle_request(shared: &Shared, request: Request, session: &mut SessionState)
             // core lock. The remainder of the client-observed RTT is
             // wire + framing.
             let build = Instant::now();
-            let (snapshot, _cached, warehouse) = acquire_read_set(shared);
+            let (snapshot, _cached, warehouse) = {
+                let _cut = trace::child("snapshot_cut");
+                acquire_read_set(shared)
+            };
             let build_ns = u64::try_from(build.elapsed().as_nanos()).unwrap_or(u64::MAX);
             shared.metrics.snapshot_build_ns.record(build_ns);
             let eval = Instant::now();
-            let trajectories = query.execute_federated(&[
-                &*snapshot as &dyn TrajectorySource,
-                warehouse.db() as &dyn TrajectorySource,
-            ]);
+            let trajectories = {
+                let _eval = trace::child("evaluate");
+                query.execute_federated(&[
+                    &*snapshot as &dyn TrajectorySource,
+                    warehouse.db() as &dyn TrajectorySource,
+                ])
+            };
             let eval_ns = u64::try_from(eval.elapsed().as_nanos()).unwrap_or(u64::MAX);
             shared.metrics.evaluate_ns.record(eval_ns);
             // The snapshot Arc is shared with the engine's cache: our
@@ -935,11 +1060,14 @@ fn handle_request(shared: &Shared, request: Request, session: &mut SessionState)
             let mut core = shared.core.lock().unwrap_or_else(|p| p.into_inner());
             let mut warehouse = shared.warehouse.write().unwrap_or_else(|p| p.into_inner());
             match warehouse.force(&mut core.engine) {
-                Ok(spilled) => Response::Checkpointed {
-                    spilled: spilled as u64,
-                    warehouse_trajectories: warehouse.db().len() as u64,
-                    manifest_sequence: warehouse.db().store().sequence(),
-                },
+                Ok(spilled) => {
+                    mark_checkpoint(shared);
+                    Response::Checkpointed {
+                        spilled: spilled as u64,
+                        warehouse_trajectories: warehouse.db().len() as u64,
+                        manifest_sequence: warehouse.db().store().sequence(),
+                    }
+                }
                 Err(err) => Response::Error(format!("checkpoint failed: {err}")),
             }
         }
@@ -949,7 +1077,10 @@ fn handle_request(shared: &Shared, request: Request, session: &mut SessionState)
             match warehouse.force(&mut core.engine) {
                 // The session loop flips the flag *after* this response
                 // is on the wire, so the acknowledgement always arrives.
-                Ok(_) => Response::ShuttingDown,
+                Ok(_) => {
+                    mark_checkpoint(shared);
+                    Response::ShuttingDown
+                }
                 Err(err) => Response::Error(format!("shutdown flush failed: {err}")),
             }
         }
@@ -960,7 +1091,10 @@ fn handle_request(shared: &Shared, request: Request, session: &mut SessionState)
             // notifies this subscription with a strictly greater epoch.
             let mut core = shared.core.lock().unwrap_or_else(|p| p.into_inner());
             let epoch = core.engine.epoch();
-            let sub = Arc::new(Subscription::new(wire_query.predicate));
+            let sub = Arc::new(Subscription::new(
+                wire_query.predicate,
+                Arc::clone(&shared.metrics.subscribers_active),
+            ));
             {
                 let mut subs = shared
                     .subscriptions
@@ -991,6 +1125,67 @@ fn handle_request(shared: &Shared, request: Request, session: &mut SessionState)
             }
             Response::Unsubscribed
         }
+        Request::Health => Response::Health(build_health(shared)),
+        Request::Trace { limit } => {
+            // Cap at the ring capacity's practical ceiling so a hostile
+            // limit cannot drive allocation.
+            let limit = usize::try_from(limit).unwrap_or(usize::MAX).min(4096);
+            Response::Traces(shared.recorder.recent(limit))
+        }
+    }
+}
+
+/// Stamps "a checkpoint committed now" for Health's checkpoint age.
+fn mark_checkpoint(shared: &Shared) {
+    let ms = u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX - 1);
+    shared.last_checkpoint_ms.store(ms, Ordering::Relaxed);
+}
+
+/// Assembles the `Health` report from state the server already
+/// maintains: one brief core lock for the epoch, one warehouse read
+/// guard for the backlog and segment shape, and relaxed gauge/counter
+/// loads for the rest — cheap enough to poll at the sampler period.
+fn build_health(shared: &Shared) -> HealthReport {
+    let uptime_ms = u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let epoch = {
+        let mut core = shared.core.lock().unwrap_or_else(|p| p.into_inner());
+        core.engine.epoch()
+    };
+    let (flush_backlog_trajectories, warehouse_trajectories, warehouse_segments) = {
+        let warehouse = shared.warehouse.read().unwrap_or_else(|p| p.into_inner());
+        (
+            warehouse.backlog() as u64,
+            warehouse.db().len() as u64,
+            warehouse.db().segments().len() as u64,
+        )
+    };
+    let last_checkpoint_age_ms = match shared.last_checkpoint_ms.load(Ordering::Relaxed) {
+        u64::MAX => None,
+        at_ms => Some(uptime_ms.saturating_sub(at_ms)),
+    };
+    let events_per_sec_milli = shared
+        .sampler
+        .as_ref()
+        .and_then(|s| s.ring().last_pair())
+        .and_then(|(a, b)| rate_per_sec(&a, &b, "engine.events_ingested"))
+        .map_or(0, |rate| (rate * 1000.0) as u64);
+    HealthReport {
+        uptime_ms,
+        epoch,
+        sessions_accepted: shared.sessions_accepted.load(Ordering::Relaxed),
+        sessions_active: shared.metrics.sessions_active.get().max(0) as u64,
+        subscribers_active: shared.metrics.subscribers_active.get().max(0) as u64,
+        flush_backlog_trajectories,
+        worker_queue_depths: shared
+            .worker_queue_depths
+            .iter()
+            .map(|g| g.get().max(0) as u64)
+            .collect(),
+        last_checkpoint_age_ms,
+        warehouse_segments,
+        warehouse_trajectories,
+        traces_recorded: shared.recorder.recorded(),
+        events_per_sec_milli,
     }
 }
 
@@ -1002,11 +1197,15 @@ fn handle_request(shared: &Shared, request: Request, session: &mut SessionState)
 /// don't pollute the query path's `serve.snapshot_build_ns`.
 fn explain(shared: &Shared, predicate: &Predicate) -> ExplainReport {
     let build = Instant::now();
-    let (snapshot, snapshot_cached, warehouse) = acquire_read_set(shared);
+    let (snapshot, snapshot_cached, warehouse) = {
+        let _cut = trace::child("snapshot_cut");
+        acquire_read_set(shared)
+    };
     let snapshot_build_ns = u64::try_from(build.elapsed().as_nanos()).unwrap_or(u64::MAX);
     shared.metrics.explain_snapshot_ns.record(snapshot_build_ns);
     let db: &SegmentedDb = warehouse.db();
     let eval = Instant::now();
+    let _eval_span = trace::child("evaluate");
     let plans: Vec<WirePlan> = {
         let sources: [&dyn TrajectorySource; 2] = [&*snapshot, db];
         sitm_query::federated_explain(predicate, &sources)

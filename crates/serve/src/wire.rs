@@ -23,11 +23,46 @@
 //! long-lived idle connections. A timeout *mid-frame* is a real error
 //! (the peer stalled inside an envelope), bounded by the socket's
 //! configured read timeout per read call.
+//!
+//! ## The traced envelope
+//!
+//! A second marker byte, [`TRACED_FRAME_MARKER`] (`0x5B`), carries the
+//! same CRC-checked frame plus a fixed 16-byte [`TraceContext`] prefix
+//! inside the checksummed body:
+//!
+//! ```text
+//! traced := marker 0x5B | body_len u32 LE | crc32(marker | body) u32 LE | body
+//! body   := trace_id u64 LE | parent_span_id u64 LE | payload
+//! ```
+//!
+//! Unlike the plain frame, the traced checksum also covers the marker
+//! byte: the two markers differ by a single bit, so a CRC over the
+//! body alone would let a one-bit marker flip silently re-frame a
+//! traced message as a plain one (context bytes leaking into the
+//! payload) — covering the marker makes the flip a checksum error in
+//! both directions.
+//!
+//! This is how a federation fan-out keeps **one** trace id across
+//! peers: the caller writes its active context ahead of the request
+//! payload, and the receiving server adopts it instead of generating a
+//! fresh one. The extension is optional end to end — [`read_message`]
+//! accepts both markers, and a plain [`read_frame`] reader simply
+//! discards the context — so traced and untraced endpoints interoperate
+//! frame by frame.
 
 use std::io::{ErrorKind, Read, Write};
 
+use sitm_obs::trace::TraceContext;
 use sitm_store::crc32;
 use sitm_store::segment::{FRAME_MARKER, FRAME_OVERHEAD, MAX_PAYLOAD};
+
+/// Marker byte opening a trace-context-carrying frame (plain frames
+/// open with [`FRAME_MARKER`], `0x5A`).
+pub const TRACED_FRAME_MARKER: u8 = 0x5B;
+
+/// Bytes the trace context occupies at the head of a traced frame's
+/// body (two little-endian `u64`s).
+pub const TRACE_ENVELOPE_BYTES: usize = 16;
 
 /// Framing-level failures. Payload decoding has its own error type
 /// ([`sitm_store::CodecError`], surfaced via [`crate::ServeError`]).
@@ -43,6 +78,8 @@ pub enum WireError {
     Oversized(u32),
     /// The payload checksum did not match: corruption in flight.
     BadChecksum,
+    /// A traced frame's body is too short to hold its context prefix.
+    BadEnvelope(u32),
 }
 
 impl std::fmt::Display for WireError {
@@ -53,6 +90,9 @@ impl std::fmt::Display for WireError {
             WireError::BadMarker(b) => write!(f, "bad frame marker {b:#04x}"),
             WireError::Oversized(n) => write!(f, "frame declares {n} bytes (over the bound)"),
             WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+            WireError::BadEnvelope(n) => {
+                write!(f, "traced frame body of {n} bytes cannot hold a context")
+            }
         }
     }
 }
@@ -63,6 +103,16 @@ impl From<std::io::Error> for WireError {
     fn from(e: std::io::Error) -> Self {
         WireError::Io(e)
     }
+}
+
+/// One frame off the wire: the payload plus the trace context it
+/// carried, if its envelope had one ([`TRACED_FRAME_MARKER`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMessage {
+    /// The context from a traced envelope; `None` for a plain frame.
+    pub trace: Option<TraceContext>,
+    /// The protocol payload (request or response bytes).
+    pub payload: Vec<u8>,
 }
 
 /// Writes one frame (marker, length, CRC, payload) and flushes. A
@@ -84,6 +134,43 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
     w.write_all(&header)?;
     w.write_all(payload)?;
     w.flush()
+}
+
+/// Writes one traced frame: the same CRC-checked envelope with `ctx`
+/// prefixed inside the body (see the module docs for the grammar).
+/// The payload bound is unchanged — the 16 context bytes ride on top.
+pub fn write_traced_frame(
+    w: &mut impl Write,
+    ctx: TraceContext,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    if payload.len() > MAX_PAYLOAD as usize {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidInput,
+            format!("payload of {} bytes exceeds the frame bound", payload.len()),
+        ));
+    }
+    let mut body = Vec::with_capacity(TRACE_ENVELOPE_BYTES + payload.len());
+    body.extend_from_slice(&ctx.trace_id.to_le_bytes());
+    body.extend_from_slice(&ctx.parent_span_id.to_le_bytes());
+    body.extend_from_slice(payload);
+    let mut header = [0u8; FRAME_OVERHEAD];
+    header[0] = TRACED_FRAME_MARKER;
+    header[1..5].copy_from_slice(&(body.len() as u32).to_le_bytes());
+    header[5..9].copy_from_slice(&traced_crc(&body).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+/// The traced frame's checksum: CRC over the marker byte *followed by*
+/// the body, so a one-bit marker flip (`0x5B` ↔ `0x5A`) cannot pass
+/// either marker's check (see the module docs).
+fn traced_crc(body: &[u8]) -> u32 {
+    let mut check = Vec::with_capacity(1 + body.len());
+    check.push(TRACED_FRAME_MARKER);
+    check.extend_from_slice(body);
+    crc32(&check)
 }
 
 /// Mid-frame read timeouts tolerated before a stalled peer is declared
@@ -138,29 +225,62 @@ fn read_exact_or_close(
     Ok(true)
 }
 
-/// Parses a frame whose marker byte has already been consumed.
-fn read_frame_body(r: &mut impl Read, marker: u8) -> Result<Vec<u8>, WireError> {
-    if marker != FRAME_MARKER {
-        return Err(WireError::BadMarker(marker));
-    }
+/// Parses a frame whose marker byte has already been consumed,
+/// splitting off the trace context when the marker declares one.
+fn read_frame_body(r: &mut impl Read, marker: u8) -> Result<WireMessage, WireError> {
+    let traced = match marker {
+        FRAME_MARKER => false,
+        TRACED_FRAME_MARKER => true,
+        other => return Err(WireError::BadMarker(other)),
+    };
     let mut header = [0u8; FRAME_OVERHEAD - 1];
     read_exact_or_close(r, &mut header, false)?;
     let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
     let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-    if len > MAX_PAYLOAD {
+    let bound = MAX_PAYLOAD
+        + if traced {
+            TRACE_ENVELOPE_BYTES as u32
+        } else {
+            0
+        };
+    if len > bound {
         return Err(WireError::Oversized(len));
     }
-    let mut payload = vec![0u8; len as usize];
-    read_exact_or_close(r, &mut payload, false)?;
-    if crc32(&payload) != crc {
+    if traced && (len as usize) < TRACE_ENVELOPE_BYTES {
+        return Err(WireError::BadEnvelope(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    read_exact_or_close(r, &mut body, false)?;
+    let expected = if traced {
+        traced_crc(&body)
+    } else {
+        crc32(&body)
+    };
+    if expected != crc {
         return Err(WireError::BadChecksum);
     }
-    Ok(payload)
+    if !traced {
+        return Ok(WireMessage {
+            trace: None,
+            payload: body,
+        });
+    }
+    let trace_id = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
+    let parent_span_id = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
+    body.drain(..TRACE_ENVELOPE_BYTES);
+    Ok(WireMessage {
+        trace: Some(TraceContext {
+            trace_id,
+            parent_span_id,
+        }),
+        payload: body,
+    })
 }
 
-/// Reads one full frame, blocking until it arrives. A clean peer close
-/// between frames yields [`WireError::Closed`].
-pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+/// Reads one message — plain or traced envelope — blocking until it
+/// arrives. A clean peer close between frames yields
+/// [`WireError::Closed`].
+pub fn read_message(r: &mut impl Read) -> Result<WireMessage, WireError> {
     let mut marker = [0u8; 1];
     if !read_exact_or_close(r, &mut marker, true)? {
         return Err(WireError::Closed);
@@ -168,11 +288,11 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
     read_frame_body(r, marker[0])
 }
 
-/// Like [`read_frame`], but a read timeout *before the first byte*
+/// Like [`read_message`], but a read timeout *before the first byte*
 /// (the socket's `read_timeout` firing on an idle connection) returns
 /// `Ok(None)` instead of an error, so a session loop can interleave
 /// shutdown checks with waiting for the next request.
-pub fn read_frame_or_idle(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+pub fn read_message_or_idle(r: &mut impl Read) -> Result<Option<WireMessage>, WireError> {
     let mut marker = [0u8; 1];
     loop {
         return match r.read(&mut marker) {
@@ -185,6 +305,20 @@ pub fn read_frame_or_idle(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireErro
             Err(e) => Err(WireError::Io(e)),
         };
     }
+}
+
+/// Reads one full frame, blocking until it arrives, discarding any
+/// trace context — the compatibility reader for callers that don't
+/// trace. A clean peer close between frames yields
+/// [`WireError::Closed`].
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    read_message(r).map(|m| m.payload)
+}
+
+/// Like [`read_frame`], but a read timeout *before the first byte*
+/// returns `Ok(None)` instead of an error (see [`read_message_or_idle`]).
+pub fn read_frame_or_idle(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    Ok(read_message_or_idle(r)?.map(|m| m.payload))
 }
 
 #[cfg(test)]
@@ -237,6 +371,115 @@ mod tests {
                 Ok(payload) => panic!("flip at {i} slipped through: {payload:?}"),
             }
         }
+    }
+
+    fn ctx() -> TraceContext {
+        TraceContext {
+            trace_id: 0x0123_4567_89AB_CDEF,
+            parent_span_id: 42,
+        }
+    }
+
+    #[test]
+    fn traced_frames_round_trip_with_their_context() {
+        let mut stream = Vec::new();
+        write_traced_frame(&mut stream, ctx(), b"req").unwrap();
+        write_traced_frame(&mut stream, ctx(), b"").unwrap();
+        write_frame(&mut stream, b"plain").unwrap();
+        let mut cursor: &[u8] = &stream;
+        assert_eq!(
+            read_message(&mut cursor).unwrap(),
+            WireMessage {
+                trace: Some(ctx()),
+                payload: b"req".to_vec()
+            }
+        );
+        assert_eq!(
+            read_message(&mut cursor).unwrap(),
+            WireMessage {
+                trace: Some(ctx()),
+                payload: Vec::new()
+            },
+            "an empty payload still carries its context"
+        );
+        assert_eq!(
+            read_message(&mut cursor).unwrap(),
+            WireMessage {
+                trace: None,
+                payload: b"plain".to_vec()
+            },
+            "plain frames interleave with traced ones"
+        );
+        assert!(matches!(read_message(&mut cursor), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn plain_readers_discard_the_context() {
+        let mut stream = Vec::new();
+        write_traced_frame(&mut stream, ctx(), b"legacy-peer").unwrap();
+        assert_eq!(read_frame(&mut stream.as_slice()).unwrap(), b"legacy-peer");
+    }
+
+    #[test]
+    fn traced_truncations_and_flips_are_clean_errors() {
+        let mut buf = Vec::new();
+        write_traced_frame(&mut buf, ctx(), b"payload-bytes").unwrap();
+        for cut in 1..buf.len() {
+            assert!(read_message(&mut &buf[..cut]).is_err(), "cut {cut}");
+        }
+        assert!(matches!(
+            read_message(&mut &buf[..0]),
+            Err(WireError::Closed)
+        ));
+        for i in 0..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[i] ^= 0x01;
+            match read_message(&mut corrupt.as_slice()) {
+                Err(_) => {}
+                Ok(msg) => panic!("flip at {i} slipped through: {msg:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn traced_body_too_short_for_a_context_is_rejected() {
+        // A hand-built traced frame whose body is 8 bytes: valid CRC,
+        // but no room for the 16-byte context.
+        let body = [0xAAu8; 8];
+        let mut buf = vec![TRACED_FRAME_MARKER];
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&traced_crc(&body).to_le_bytes());
+        buf.extend_from_slice(&body);
+        assert!(matches!(
+            read_message(&mut buf.as_slice()),
+            Err(WireError::BadEnvelope(8))
+        ));
+    }
+
+    #[test]
+    fn traced_bound_admits_a_max_payload_plus_context() {
+        let payload = vec![0x5Cu8; MAX_PAYLOAD as usize];
+        let mut buf = Vec::new();
+        write_traced_frame(&mut buf, ctx(), &payload).unwrap();
+        let msg = read_message(&mut buf.as_slice()).unwrap();
+        assert_eq!(msg.payload.len(), MAX_PAYLOAD as usize);
+        assert_eq!(msg.trace, Some(ctx()));
+        // One byte past that is oversized.
+        let mut buf = vec![TRACED_FRAME_MARKER];
+        buf.extend_from_slice(&(MAX_PAYLOAD + TRACE_ENVELOPE_BYTES as u32 + 1).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_message(&mut buf.as_slice()),
+            Err(WireError::Oversized(_))
+        ));
+        // And the plain marker does not get the extended bound.
+        let mut buf = vec![FRAME_MARKER];
+        buf.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_message(&mut buf.as_slice()),
+            Err(WireError::Oversized(_))
+        ));
     }
 
     #[test]

@@ -351,6 +351,83 @@ fn torn_subscribe_and_notification_frames_error_cleanly() {
     server.join().expect("join");
 }
 
+/// The traced envelope under the same torture: a traced request frame
+/// (marker `0x5B`, 16-byte context prefix in the checksummed body)
+/// torn and bit-flipped at every offset against a live server is a
+/// per-session error every time — including the one-bit flips that
+/// turn the traced marker into the plain one, which the marker-covering
+/// checksum must catch.
+#[test]
+fn torn_traced_frame_at_every_offset_never_kills_the_server() {
+    use sitm_obs::trace::TraceContext;
+    use sitm_serve::write_traced_frame;
+
+    let tmp = TempDir::new("torn-traced");
+    let server = Server::start(ServerConfig::new(engine_config(), &tmp.0).with_sessions(2))
+        .expect("start server");
+
+    let ctx = TraceContext {
+        trace_id: 0xABAD_1DEA_0C0F_FEE5,
+        parent_span_id: 3,
+    };
+    let mut payload = Vec::new();
+    encode_request(
+        &mut payload,
+        &Request::Query(WireQuery::filtered(Predicate::True)),
+    );
+    let mut frame = Vec::new();
+    write_traced_frame(&mut frame, ctx, &payload).expect("traced frame");
+
+    for cut in 0..frame.len() {
+        let responses = send_raw(server.addr(), &frame[..cut]);
+        for response in &responses {
+            assert!(
+                matches!(response, Response::Error(_)),
+                "cut {cut}: torn traced frame must only produce an error, got {response:?}"
+            );
+        }
+    }
+    for i in 0..frame.len() {
+        let mut corrupt = frame.clone();
+        corrupt[i] ^= 0x01;
+        let responses = send_raw(server.addr(), &corrupt);
+        for response in &responses {
+            assert!(
+                matches!(response, Response::Error(_)),
+                "flip {i}: corrupt traced frame must only produce an error, got {response:?}"
+            );
+        }
+    }
+
+    // The intact frame still works, and the server adopted the carried
+    // context (the recorder indexed the tree under our trace id).
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    write_traced_frame(&mut stream, ctx, &payload).expect("send");
+    let frame = read_frame(&mut stream).expect("response");
+    assert!(matches!(
+        decode_response(&mut frame.as_slice()).expect("decodes"),
+        Response::Trajectories(_)
+    ));
+    drop(stream);
+    // The response is written from inside the root span, so the client
+    // can observe it a beat before the session loop finishes the span
+    // and cuts the tree into the ring — poll instead of racing it.
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(10);
+    loop {
+        let trees = server.recorder().recent(usize::MAX);
+        if trees.iter().any(|t| t.trace_id == ctx.trace_id) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no torture frame reached the recorder, the intact one did"
+        );
+        std::thread::sleep(StdDuration::from_millis(10));
+    }
+    server.shutdown();
+    server.join().expect("join");
+}
+
 /// End-of-exchange sanity for the full loop: a live server answers a
 /// well-formed raw frame with a well-formed response frame.
 #[test]

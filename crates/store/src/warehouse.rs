@@ -1588,6 +1588,7 @@ impl Segment {
         if let Some(run) = self.loaded.get() {
             return Ok(run);
         }
+        let _hydrate = sitm_obs::trace::child_detail("segment_hydrate");
         let run = Arc::new(self.decode_all()?);
         // v2 files carry no sort-column frame; the full decode is the
         // moment the columns become derivable for free.
@@ -1619,6 +1620,7 @@ impl Segment {
         if let Some(t) = self.cache.get(self.id, i) {
             return Ok(t);
         }
+        let _row = sitm_obs::trace::child_detail("row_read");
         let mut file = File::open(&self.path)?;
         let file_len = entry.offset + entry.len as u64;
         let (payload, _) = read_frame_at(&mut file, entry.offset, file_len, self.id)?;

@@ -520,6 +520,7 @@ impl ShardedEngine {
                 return (Arc::clone(snapshot), true);
             }
         }
+        let _rebuild = sitm_obs::trace::child_detail("snapshot_rebuild");
         self.flush();
         let snapshot = Arc::new(LiveSnapshot::from_shards(
             self.shards.iter().map(Shard::live_state).collect(),

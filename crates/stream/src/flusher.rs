@@ -43,7 +43,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sitm_core::SemanticTrajectory;
-use sitm_obs::{Counter, Histogram, MetricsRegistry};
+use sitm_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use sitm_query::SegmentedDb;
 use sitm_store::warehouse::WarehouseError;
 
@@ -81,10 +81,12 @@ pub struct Flusher {
     /// Taken from the engine but below the batch threshold.
     carry: Vec<SemanticTrajectory>,
     /// `flush.*` instruments: spills, trajectories spilled, spill
-    /// duration (ns).
+    /// duration (ns), and the carry length as a gauge (the spill
+    /// tier's lag, served by the Health surface).
     spills: Arc<Counter>,
     trajectories: Arc<Counter>,
     duration_ns: Arc<Histogram>,
+    backlog_gauge: Arc<Gauge>,
 }
 
 impl Flusher {
@@ -97,6 +99,7 @@ impl Flusher {
             spills: MetricsRegistry::global().counter("flush.spills"),
             trajectories: MetricsRegistry::global().counter("flush.trajectories"),
             duration_ns: MetricsRegistry::global().histogram("flush.duration_ns"),
+            backlog_gauge: MetricsRegistry::global().gauge("flush.backlog_trajectories"),
         }
     }
 
@@ -107,6 +110,8 @@ impl Flusher {
         self.spills = registry.counter("flush.spills");
         self.trajectories = registry.counter("flush.trajectories");
         self.duration_ns = registry.histogram("flush.duration_ns");
+        self.backlog_gauge = registry.gauge("flush.backlog_trajectories");
+        self.backlog_gauge.set(self.carry.len() as i64);
         self.db = self.db.with_metrics(registry);
         self
     }
@@ -127,6 +132,7 @@ impl Flusher {
     pub fn poll(&mut self, engine: &mut impl FinishedSource) -> Result<usize, WarehouseError> {
         self.carry.extend(engine.take_finished());
         if self.carry.len() < self.min_batch {
+            self.backlog_gauge.set(self.carry.len() as i64);
             return Ok(0);
         }
         self.spill()
@@ -141,9 +147,11 @@ impl Flusher {
 
     fn spill(&mut self) -> Result<usize, WarehouseError> {
         if self.carry.is_empty() {
+            self.backlog_gauge.set(0);
             return Ok(0);
         }
         let batch = std::mem::take(&mut self.carry);
+        self.backlog_gauge.set(0);
         let n = batch.len();
         let start = Instant::now();
         self.db.flush(batch)?;

@@ -1012,6 +1012,7 @@ impl ParallelEngine {
                 return (Arc::clone(snapshot), true);
             }
         }
+        let _rebuild = sitm_obs::trace::child_detail("snapshot_rebuild");
         let snapshot = Arc::new(self.cut_live_snapshot());
         self.snapshot_cache = Some((epoch, Arc::clone(&snapshot)));
         (snapshot, false)

@@ -239,6 +239,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "read-only requests between barriers must reuse the cached snapshot"
     );
 
+    // The liveness surface: one cheap report a monitor polls every
+    // second, rendered as the one-glance `sitm-top` screen.
+    let health = client.health()?;
+    println!("--- sitm-top ---\n{}", health.render());
+    assert!(health.epoch > 0, "ingest advanced the epoch");
+    assert_eq!(health.warehouse_trajectories, 12);
+    assert_eq!(
+        health.flush_backlog_trajectories, 0,
+        "checkpoints drained the spill tier"
+    );
+    assert!(
+        health.last_checkpoint_age_ms.is_some(),
+        "two checkpoints completed"
+    );
+    assert!(health.traces_recorded > 0, "requests record trace trees");
+
+    // And the trace surface: every request above left a span tree in
+    // the bounded ring. Render the newest federated query's timeline —
+    // the request's latency attributed tier by tier.
+    let traces = client.traces(64)?;
+    let federated_trace = traces
+        .iter()
+        .rev()
+        .find(|t| t.root.name == "query_federated")
+        .expect("a federated query was traced");
+    println!("--- trace {:#x} ---", federated_trace.trace_id);
+    print!("{}", federated_trace.render_timeline());
+    let handle = federated_trace
+        .root
+        .find("handle")
+        .expect("the handle span");
+    assert!(
+        handle.find("evaluate").is_some(),
+        "the trace attributes evaluation"
+    );
+
     // Graceful shutdown: flushes the warehouse, drains sessions.
     client.shutdown()?;
     server.join()?;

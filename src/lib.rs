@@ -17,7 +17,7 @@
 //! | [`sim`] | `sitm-sim` | seeded samplers & stochastic processes |
 //! | [`louvre`] | `sitm-louvre` | the Louvre case study & calibrated synthetic dataset |
 //! | [`mining`] | `sitm-mining` | sequential patterns, Markov models, similarity, profiling |
-//! | [`obs`] | `sitm-obs` | lock-cheap observability: counters, gauges, log₂ histograms, spans, slow-query log, snapshot codec |
+//! | [`obs`] | `sitm-obs` | lock-cheap observability: counters, gauges, log₂ histograms, spans, hierarchical request traces, a time-series sampler, health reports, slow-query log, snapshot codecs |
 //! | [`analytics`] | `sitm-analytics` | descriptive statistics, choropleths, reports |
 //! | [`query`] | `sitm-query` | indexed trajectory retrieval: predicates, plans, aggregation, federation, the segmented warehouse |
 //! | [`store`] | `sitm-store` | binary codec, CRC-framed append-only log, crash recovery, compaction, the segment tier, Bloom filters |
@@ -94,14 +94,58 @@
 //! | `flush.*` | spill | `spills`, `trajectories`, `duration_ns` histogram |
 //! | `store.*` | warehouse | `segments_built`, `segments_compacted`, `segment_bytes_written`, `manifest_records`, `gc_sweeps`, `lazy_opens` (segments opened headers-only) |
 //! | `query.*` | retrieval | `segments_scanned` vs `object_pruned` vs `zone_pruned` vs `bloom_pruned`, `segment_bytes_read` / `trajectories_decoded` lazy-I/O attribution, `candidates` set-size histogram |
-//! | `serve.*` | network | `requests.{op}` / `handle_ns.{op}` per op, `bytes_in`/`bytes_out`, `errors`/`frame_errors`/`bad_requests`, `sessions_active` + `subscriptions_active` gauges, `snapshot_build_ns`/`evaluate_ns`/`explain_snapshot_ns` read-path splits, `snapshot_cache_hits`/`snapshot_cache_misses`, `notifications_pushed`/`subscribers_dropped` |
+//! | `serve.*` | network | `requests.{op}` / `handle_ns.{op}` per op, `bytes_in`/`bytes_out`, `errors`/`frame_errors`/`bad_requests`, `sessions_active` + `subscriptions_active` + `subscribers_active` gauges, `snapshot_build_ns`/`evaluate_ns`/`explain_snapshot_ns` read-path splits, `snapshot_cache_hits`/`snapshot_cache_misses`, `notifications_pushed`/`subscribers_dropped` |
+//!
+//! (`flush.*` also carries the `backlog_trajectories` gauge — the
+//! spill tier's lag, served by the `Health` op. The authoritative
+//! catalog, pinned by `crates/serve/tests/metrics_catalog.rs`, lives
+//! in `PROTOCOL.md`.)
 //!
 //! The serve tier also keeps a bounded **slow-query log** (threshold
 //! set via `ServerConfig::with_slow_query_threshold`, carried in the
 //! same snapshot) and reports per-request stage timing in `Explain`
-//! responses; `bench_json` embeds a snapshot into `BENCH_8.json` so
+//! responses; `bench_json` embeds a snapshot into `BENCH_10.json` so
 //! pruning ratios, lazy-segment I/O attribution, and the RTT
 //! decomposition ride the perf artifact.
+//!
+//! ## Tracing: one tree per served request
+//!
+//! On top of the aggregate metrics, every served request records a
+//! **hierarchical trace**: a tree of spans rooted at the op, cut into
+//! a bounded ring by [`obs`]'s `TraceRecorder` and fetched over the
+//! wire with the `Trace` op. The spans name the tiers a request
+//! actually crossed:
+//!
+//! | Span | Tier | Covers |
+//! |---|---|---|
+//! | *root* (op name) | serve | handle → notification flush → response write |
+//! | `handle` | serve | the request handler exactly (the `handle_ns.{op}` sample) |
+//! | `snapshot_cut` | serve/live | the atomic live-cut + warehouse-guard acquisition |
+//! | `snapshot_rebuild` | live | the engine rebuilding a live snapshot on epoch-cache miss † |
+//! | `evaluate` | query | federated / segmented evaluation outside the locks († on the warehouse-only `Query` op) |
+//! | `prune` | query | object-index → Bloom → zone-map candidate pruning † |
+//! | `order_page` | query | sort-column / directory ordering of the candidate page † |
+//! | `fetch_rows` | query | decoding exactly the rows the page returns † |
+//! | `row_read` | store | one directory-guided single-row segment read (cache miss) † |
+//! | `segment_hydrate` | store | a segment's first full decode † |
+//! | `wire_write` | serve | encoding + writing the response frame |
+//!
+//! († = **detail tier**: recorded on one request in
+//! `sitm_obs::trace::DETAIL_SAMPLE_EVERY`, and on *every* request whose
+//! context arrived over the wire — the caller asked about that request
+//! specifically. The unmarked coarse tiers record on every trace, which
+//! keeps the default-config tracing tax ≤ 5% of a served point-query
+//! RTT, pinned by `BENCH_10.json`'s `trace_overhead` group.)
+//!
+//! A `TraceContext` (trace id + parent span id) rides an optional wire
+//! envelope extension (`PROTOCOL.md`), so a federation fan-out keeps
+//! one trace id across peers; with tracing off (capacity 0) every span
+//! call is inert. A background **time-series sampler** snapshots the
+//! registry each period into delta-compressed frames, from which the
+//! `Health` op derives current rates (events/s), tier lag (flush
+//! backlog, worker queue depths, checkpoint age), and session load —
+//! the one-glance `sitm-top` screen rendered by
+//! `examples/query_server.rs`.
 //!
 //! **Consistency guarantees.** Queries see per-source snapshots:
 //! `SegmentedDb` answers from the newest committed manifest,
